@@ -1,0 +1,75 @@
+// Ablation: attacker strength — the paper's CE-only shadow (He et al.)
+// versus this library's strengthened attacker with wire-moment matching.
+//
+// MiaOptions::wire_stats_weight > 0 adds a term that aligns the shadow
+// head's per-channel feature moments with the moments the semi-honest
+// server passively observes on the wire (still query-free: the observed
+// features are never paired with inputs). The alignment removes the
+// per-channel scale/shift ambiguity CE training leaves free — ambiguity
+// that is part of what the selective-ensemble defense hides behind. The
+// headline tables use the paper's attack; this bench quantifies how much
+// of the defense's margin survives the stronger adversary, for both the
+// Single baseline and Ensembler.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/stopwatch.hpp"
+#include "core/ensembler.hpp"
+#include "defense/baselines.hpp"
+
+int main() {
+    using namespace ens;
+    const bench::Scale scale = bench::current_scale();
+    std::printf("# Ablation: CE-only vs wire-moment-matching attacker (scale=%s)\n\n",
+                bench::scale_name(scale));
+
+    bench::Scenario scenario = bench::make_cifar10(scale);
+    const train::TrainOptions baseline_options = bench::baseline_train_options(scale);
+    const defense::ExperimentEnv env{*scenario.train, *scenario.test, *scenario.aux,
+                                     scenario.arch, baseline_options, 1234};
+
+    Stopwatch watch;
+    defense::ProtectedModel single = defense::train_single_gaussian(env, 0.1f);
+    const split::DeployedPipeline single_view = single.deployed();
+    std::fprintf(stderr, "[attacker] single trained in %.0fs\n", watch.elapsed_seconds());
+
+    watch.reset();
+    core::EnsemblerConfig config = bench::ensembler_config(scale, scenario.paper_p);
+    config.num_networks = scale == bench::Scale::kTiny ? 4 : 6;
+    config.num_selected = std::min(config.num_selected, config.num_networks);
+    core::Ensembler ensembler(scenario.arch, config);
+    ensembler.fit(*scenario.train);
+    const split::DeployedPipeline ours_view = ensembler.deployed();
+    std::fprintf(stderr, "[attacker] ensembler trained in %.0fs\n", watch.elapsed_seconds());
+
+    std::printf("| Attacker | Single SSIM | Single PSNR | Ours single-body SSIM | Ours adaptive "
+                "SSIM |\n");
+    bench::print_rule(5);
+    for (const float weight : {0.0f, 1.0f}) {
+        attack::MiaOptions options = bench::mia_options(scale);
+        options.wire_stats_weight = weight;
+        attack::ModelInversionAttack mia(scenario.arch, options);
+
+        watch.reset();
+        const attack::AttackOutcome on_single = mia.attack_single_body(
+            *single_view.bodies[0], *scenario.aux, *scenario.test, single_view.transmit);
+        // One representative body (a full best-of-N is Table I's job).
+        const attack::AttackOutcome on_ours_body = mia.attack_single_body(
+            *ours_view.bodies[0], *scenario.aux, *scenario.test, ours_view.transmit);
+        const attack::AttackOutcome adaptive = mia.attack_adaptive(
+            ours_view.bodies, *scenario.aux, *scenario.test, ours_view.transmit);
+        std::printf("| %-22s | %5.3f | %6.2f | %5.3f | %5.3f |\n",
+                    weight > 0.0f ? "wire-moment matching" : "CE-only (paper)",
+                    on_single.ssim, on_single.psnr, on_ours_body.ssim,
+                    adaptive.ssim);
+        std::fflush(stdout);
+        std::fprintf(stderr, "[attacker] weight=%.1f done in %.0fs\n", weight,
+                     watch.elapsed_seconds());
+    }
+    std::printf("\n(expected shape: moment matching lifts every reconstruction; the Ensembler "
+                "rows rise more than Single because the alignment attacks exactly the "
+                "ambiguity the ensemble hides behind — motivating defense-in-depth via the "
+                "§IV-C compositions)\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+// Ablation: ensemble size N and selection size P (design-choice study for
+// §III-D: MIA cost is O(2^N); the defense needs N > P >= 1 diverse nets).
+//
+// Sweeps N with P = N/2, then P at fixed N, reporting accuracy, the
+// adaptive attack, and a single-body attack (body 0 — a full best-of-N
+// per configuration would dominate runtime; Table I covers best-of-N).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/stopwatch.hpp"
+#include "core/ensembler.hpp"
+
+namespace {
+
+using namespace ens;
+
+struct SweepRow {
+    std::size_t n, p;
+    float accuracy;
+    float adaptive_ssim, adaptive_psnr;
+    float single_ssim, single_psnr;
+    float max_head_cos;
+};
+
+SweepRow run_config(const bench::Scenario& scenario, bench::Scale scale, std::size_t n,
+                    std::size_t p) {
+    core::EnsemblerConfig config = bench::ensembler_config(scale, p, 31337 + n * 100 + p);
+    config.num_networks = n;
+    config.num_selected = p;
+
+    core::Ensembler ensembler(scenario.arch, config);
+    ensembler.fit(*scenario.train);
+
+    attack::ModelInversionAttack mia(scenario.arch, bench::mia_options(scale, 1000 + n * 10 + p));
+    split::DeployedPipeline victim = ensembler.deployed();
+
+    SweepRow row;
+    row.n = n;
+    row.p = p;
+    row.accuracy = ensembler.evaluate_accuracy(*scenario.test);
+    const attack::AttackOutcome adaptive =
+        mia.attack_adaptive(victim.bodies, *scenario.aux, *scenario.test, victim.transmit);
+    row.adaptive_ssim = adaptive.ssim;
+    row.adaptive_psnr = adaptive.psnr;
+    const attack::AttackOutcome single = mia.attack_single_body(
+        *victim.bodies[0], *scenario.aux, *scenario.test, victim.transmit);
+    row.single_ssim = single.ssim;
+    row.single_psnr = single.psnr;
+
+    const data::Batch probe = data::materialize(*scenario.test, 0, 16);
+    row.max_head_cos = ensembler.max_head_cosine(probe.images);
+    return row;
+}
+
+void print_row(const SweepRow& row) {
+    std::printf("| %2zu | %2zu | %6.3f | %5.3f / %5.2f | %5.3f / %5.2f | %6.3f |\n", row.n, row.p,
+                row.accuracy, row.adaptive_ssim, row.adaptive_psnr, row.single_ssim,
+                row.single_psnr, row.max_head_cos);
+}
+
+}  // namespace
+
+int main() {
+    const bench::Scale scale = bench::current_scale();
+    std::printf("# Ablation: ensemble size N and selection size P (scale=%s)\n\n",
+                bench::scale_name(scale));
+    const bench::Scenario scenario = bench::make_cifar10(scale);
+
+    std::printf("| N | P | acc | adaptive SSIM/PSNR | single SSIM/PSNR | max head cos |\n");
+    bench::print_rule(6);
+
+    Stopwatch watch;
+    // N sweep at P = N/2.
+    for (const std::size_t n : {2u, 10u}) {
+        if (scale == bench::Scale::kTiny && n > 6) {
+            continue;
+        }
+        print_row(run_config(scenario, scale, n, std::max<std::size_t>(1, n / 2)));
+        std::fflush(stdout);
+    }
+    // P sweep at fixed N.
+    const std::size_t fixed_n = scale == bench::Scale::kTiny ? 6 : 10;
+    for (const std::size_t p : {1u, 8u}) {
+        if (p >= fixed_n) {
+            continue;
+        }
+        print_row(run_config(scenario, scale, fixed_n, p));
+        std::fflush(stdout);
+    }
+    std::fprintf(stderr, "[ablation_np] total %.0fs\n", watch.elapsed_seconds());
+    std::printf("\n(adaptive = shadow trained on all N bodies; single = shadow on body 0;\n"
+                " max head cos = max_i CS(stage3 head, stage1 head_i), the Eq. 3 target)\n");
+    return 0;
+}

@@ -1,0 +1,134 @@
+// Substrate micro-benchmarks (google-benchmark): the kernels every
+// experiment spends its time in. Useful for spotting performance
+// regressions in the NN engine; not part of the paper's tables.
+
+#include <benchmark/benchmark.h>
+
+#include "core/selector.hpp"
+#include "data/synth_cifar10.hpp"
+#include "metrics/psnr.hpp"
+#include "metrics/ssim.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "split/codec.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace ens;
+
+void BM_Gemm(benchmark::State& state) {
+    const auto n = static_cast<std::int64_t>(state.range(0));
+    Rng rng(1);
+    const Tensor a = Tensor::randn(Shape{n, n}, rng);
+    const Tensor b = Tensor::randn(Shape{n, n}, rng);
+    Tensor c(Shape{n, n});
+    for (auto _ : state) {
+        gemm(a, false, b, false, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dForward(benchmark::State& state) {
+    const auto channels = static_cast<std::int64_t>(state.range(0));
+    Rng rng(2);
+    nn::Conv2d conv(channels, channels, 3, 1, 1, rng);
+    const Tensor x = Tensor::randn(Shape{8, channels, 16, 16}, rng);
+    for (auto _ : state) {
+        Tensor y = conv.forward(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+    const auto channels = static_cast<std::int64_t>(state.range(0));
+    Rng rng(3);
+    nn::Conv2d conv(channels, channels, 3, 1, 1, rng);
+    const Tensor x = Tensor::randn(Shape{8, channels, 16, 16}, rng);
+    const Tensor y = conv.forward(x);
+    const Tensor dy = Tensor::randn(y.shape(), rng);
+    for (auto _ : state) {
+        nn::zero_grad(conv);
+        Tensor dx = conv.backward(dy);
+        benchmark::DoNotOptimize(dx.data());
+    }
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(4)->Arg(16);
+
+void BM_BatchNormForward(benchmark::State& state) {
+    Rng rng(4);
+    nn::BatchNorm2d bn(32);
+    const Tensor x = Tensor::randn(Shape{16, 32, 16, 16}, rng);
+    for (auto _ : state) {
+        Tensor y = bn.forward(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_BatchNormForward);
+
+void BM_Ssim(benchmark::State& state) {
+    const auto size = static_cast<std::int64_t>(state.range(0));
+    Rng rng(5);
+    const Tensor a = Tensor::uniform(Shape{3, size, size}, rng);
+    const Tensor b = Tensor::uniform(Shape{3, size, size}, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(metrics::ssim(a, b));
+    }
+}
+BENCHMARK(BM_Ssim)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Psnr(benchmark::State& state) {
+    Rng rng(6);
+    const Tensor a = Tensor::uniform(Shape{3, 32, 32}, rng);
+    const Tensor b = Tensor::uniform(Shape{3, 32, 32}, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(metrics::psnr(a, b));
+    }
+}
+BENCHMARK(BM_Psnr);
+
+void BM_FeatureCodecRoundTrip(benchmark::State& state) {
+    Rng rng(7);
+    const Tensor features = Tensor::randn(Shape{32, 64, 16, 16}, rng);
+    for (auto _ : state) {
+        const std::string bytes = split::encode_tensor(features);
+        Tensor restored = split::decode_tensor(bytes);
+        benchmark::DoNotOptimize(restored.data());
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(split::encoded_size(features)));
+}
+BENCHMARK(BM_FeatureCodecRoundTrip);
+
+void BM_SelectorApply(benchmark::State& state) {
+    Rng rng(8);
+    core::Selector selector = core::Selector::random(10, 4, rng);
+    std::vector<Tensor> features;
+    for (int i = 0; i < 10; ++i) {
+        features.push_back(Tensor::randn(Shape{32, 512}, rng));
+    }
+    for (auto _ : state) {
+        Tensor combined = selector.apply(features);
+        benchmark::DoNotOptimize(combined.data());
+    }
+}
+BENCHMARK(BM_SelectorApply);
+
+void BM_SynthCifar10Sample(benchmark::State& state) {
+    const data::SynthCifar10 dataset(1024, 9, 32);
+    std::size_t index = 0;
+    for (auto _ : state) {
+        data::Example example = dataset.get(index);
+        index = (index + 1) % dataset.size();
+        benchmark::DoNotOptimize(example.image.data());
+    }
+}
+BENCHMARK(BM_SynthCifar10Sample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

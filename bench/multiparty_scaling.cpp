@@ -1,0 +1,114 @@
+// Ablation: multiparty (multi-server) deployment of the N = 10 ensemble,
+// §III-D — "the proposed framework is friendly to parallel execution and
+// even multiparty (multi-server) inference".
+//
+// For K servers holding round-robin shards of the 10 bodies this bench
+// reports, per K,
+//   * the Table III cost model with the shard width as the effective
+//     stream count (the slowest shard gates server time),
+//   * measured per-server wire traffic for one real batched round trip at
+//     bench scale (every message crosses the codec),
+//   * the security ledger: the largest per-server brute-force search
+//     space (2^shard - 1), the minimum coalition that covers the client's
+//     secret selection, and whether any single server can mount even a
+//     Proposition-1 attack (holds >= 1 selected body).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/ensembler.hpp"
+#include "latency/estimator.hpp"
+#include "latency/profiles.hpp"
+#include "split/multiparty.hpp"
+#include "split/split_model.hpp"
+
+int main() {
+    using namespace ens;
+    const bench::Scale scale = bench::current_scale();
+    std::printf("# Ablation: multiparty deployment of the N=10 ensemble (scale=%s)\n\n",
+                bench::scale_name(scale));
+
+    // Cost model at paper width (Table III conditions).
+    nn::ResNetConfig paper_arch;
+    paper_arch.base_width = 64;
+    paper_arch.image_size = 32;
+    paper_arch.num_classes = 10;
+    Rng rng(1);
+    split::SplitModel parts = split::build_split_resnet18(paper_arch, rng);
+    latency::PipelineSpec spec;
+    spec.client_head = parts.head.get();
+    spec.server_body = parts.body.get();
+    spec.client_tail = parts.tail.get();
+    spec.input_shape = Shape{128, 3, 32, 32};
+    spec.tail_input_width = 4 * nn::resnet18_feature_width(paper_arch);
+    const auto edge = latency::raspberry_pi_profile();
+    const auto link = latency::wired_lan_profile();
+
+    // Small trained ensemble for the measured-traffic column.
+    bench::Scenario scenario = bench::make_cifar10(bench::Scale::kTiny);
+    core::EnsemblerConfig config = bench::ensembler_config(bench::Scale::kTiny, /*p=*/4);
+    config.num_networks = 10;
+    core::Ensembler ensembler(scenario.arch, config);
+    ensembler.fit(*scenario.train);
+    const core::Selector& selector = ensembler.selector();
+
+    std::vector<nn::Layer*> bodies;
+    for (std::size_t i = 0; i < 10; ++i) {
+        bodies.push_back(&ensembler.member_body(i));
+    }
+    struct TransmitLayer final : nn::Layer {
+        core::Ensembler* owner = nullptr;
+        Tensor forward(const Tensor& x) override {
+            return owner->client_noise().forward(owner->client_head().forward(x));
+        }
+        Tensor backward(const Tensor&) override { return Tensor{}; }
+        std::string name() const override { return "ClientTransmit"; }
+    };
+    TransmitLayer transmit;
+    transmit.owner = &ensembler;
+    const split::Combiner combiner = [&selector](const std::vector<Tensor>& features) {
+        return selector.apply(features);
+    };
+
+    std::printf("| K servers | server s (model) | total s (model) | max per-server bytes "
+                "(measured) | max shard 2^b-1 | min covering coalition | any single server can "
+                "attack |\n");
+    bench::print_rule(7);
+
+    for (const std::size_t servers : {1u, 2u, 5u, 10u}) {
+        // Each server runs its shard concurrently with the others; within a
+        // server the shard's bodies share that machine's streams. Model it
+        // by charging ceil(10/K) bodies at the cloud profile.
+        auto cloud = latency::a6000_profile();
+        latency::PipelineSpec shard_spec = spec;
+        shard_spec.num_server_nets =
+            (10 + servers - 1) / servers;  // slowest shard width
+        const latency::LatencyBreakdown cost =
+            latency::estimate_latency(shard_spec, edge, cloud, link);
+
+        const split::ShardPlan plan = split::ShardPlan::round_robin(10, servers);
+        split::MultipartyDeployment deployment(transmit, bodies, ensembler.client_tail(),
+                                               selector.indices(), combiner, plan);
+        const data::Batch batch = data::materialize(*scenario.test, 0, 16);
+        (void)deployment.infer(batch.images);
+
+        std::uint64_t max_bytes = 0;
+        std::uint64_t max_subsets = 0;
+        bool any_single_attack = false;
+        for (std::size_t server = 0; server < servers; ++server) {
+            const auto traffic = deployment.traffic()[server];
+            max_bytes = std::max(max_bytes, traffic.uplink.bytes + traffic.downlink.bytes);
+            max_subsets = std::max(max_subsets, deployment.coalition_subset_count({server}));
+            any_single_attack =
+                any_single_attack || deployment.coalition_holds_selected_body({server});
+        }
+        std::printf("| %2zu | %6.2f | %6.2f | %10llu | %4llu | %zu | %s |\n", servers,
+                    cost.server_s, cost.total_s(), static_cast<unsigned long long>(max_bytes),
+                    static_cast<unsigned long long>(max_subsets),
+                    deployment.min_covering_coalition(), any_single_attack ? "yes" : "no");
+    }
+    std::printf("\n(expected shape: more servers shrink both the slowest-shard server time and "
+                "every single server's 2^b-1 search space; with P=4 spread round-robin the "
+                "full selection is only covered by a multi-server coalition)\n");
+    return 0;
+}

@@ -1,0 +1,137 @@
+// Table II — CIFAR-10 defense-mechanism comparison (§IV-C):
+//   None, Shredder, Single, DR-single, DR-10 (best-SSIM / best-PSNR
+//   single-body attacks), Ours - {Adaptive, SSIM, PSNR}.
+//
+// Every defense is trained on the same synthetic CIFAR-10 analogue, then
+// attacked with the same MIA harness. Lower SSIM/PSNR = better defense.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/stopwatch.hpp"
+#include "core/ensembler.hpp"
+#include "defense/baselines.hpp"
+
+namespace {
+
+using namespace ens;
+
+struct Row {
+    std::string name;
+    float dacc;
+    float ssim;
+    float psnr;
+    float paper_dacc, paper_ssim, paper_psnr;
+};
+
+}  // namespace
+
+int main() {
+    const bench::Scale scale = bench::current_scale();
+    std::printf("# Table II: defense mechanisms on CIFAR-10 analogue (scale=%s)\n",
+                bench::scale_name(scale));
+
+    const bench::Scenario scenario = bench::make_cifar10(scale);
+    const train::TrainOptions options = bench::train_options(scale);
+    const defense::ExperimentEnv env{*scenario.train, *scenario.test, *scenario.aux,
+                                     scenario.arch, options, 4321};
+    attack::ModelInversionAttack mia(scenario.arch, bench::mia_options(scale, 777));
+
+    std::vector<Row> rows;
+    Stopwatch watch;
+
+    // --- None ---
+    defense::ProtectedModel none = defense::train_unprotected(env);
+    const float acc_none = none.evaluate_accuracy(*scenario.test);
+    {
+        const split::DeployedPipeline view = none.deployed();
+        const attack::AttackOutcome outcome = mia.attack_single_body(
+            *view.bodies[0], *scenario.aux, *scenario.test, view.transmit);
+        rows.push_back({"None", 0.0f, outcome.ssim, outcome.psnr, 0.0f, 0.49f, 9.86f});
+    }
+    std::fprintf(stderr, "[table2] none done in %.0fs\n", watch.elapsed_seconds());
+
+    // --- Shredder (learned additive noise) ---
+    watch.reset();
+    {
+        defense::ProtectedModel shredder = defense::train_shredder(env);
+        const float acc = shredder.evaluate_accuracy(*scenario.test);
+        const split::DeployedPipeline view = shredder.deployed();
+        const attack::AttackOutcome outcome = mia.attack_single_body(
+            *view.bodies[0], *scenario.aux, *scenario.test, view.transmit);
+        rows.push_back({"Shredder", acc - acc_none, outcome.ssim, outcome.psnr, -2.92f, 0.29f,
+                        6.70f});
+    }
+    std::fprintf(stderr, "[table2] shredder done in %.0fs\n", watch.elapsed_seconds());
+
+    // --- Single (fixed Gaussian) ---
+    watch.reset();
+    {
+        defense::ProtectedModel single = defense::train_single_gaussian(env, 0.1f);
+        const float acc = single.evaluate_accuracy(*scenario.test);
+        const split::DeployedPipeline view = single.deployed();
+        const attack::AttackOutcome outcome = mia.attack_single_body(
+            *view.bodies[0], *scenario.aux, *scenario.test, view.transmit);
+        rows.push_back({"Single", acc - acc_none, outcome.ssim, outcome.psnr, 2.15f, 0.39f,
+                        7.53f});
+    }
+    std::fprintf(stderr, "[table2] single done in %.0fs\n", watch.elapsed_seconds());
+
+    // --- DR-single (always-on dropout at the split) ---
+    watch.reset();
+    {
+        defense::ProtectedModel dr = defense::train_dropout_single(env, 0.3f);
+        const float acc = dr.evaluate_accuracy(*scenario.test);
+        const split::DeployedPipeline view = dr.deployed();
+        const attack::AttackOutcome outcome = mia.attack_single_body(
+            *view.bodies[0], *scenario.aux, *scenario.test, view.transmit);
+        rows.push_back({"DR-single", acc - acc_none, outcome.ssim, outcome.psnr, 2.70f, 0.35f,
+                        6.67f});
+    }
+    std::fprintf(stderr, "[table2] dr-single done in %.0fs\n", watch.elapsed_seconds());
+
+    // --- DR-N (ensemble + dropout, no stage-1 diversification) ---
+    watch.reset();
+    {
+        const std::size_t n = scale == bench::Scale::kTiny ? 6 : 10;
+        defense::ProtectedModel dr10 = defense::train_dropout_ensemble(env, n, 0.3f);
+        const float acc = dr10.evaluate_accuracy(*scenario.test);
+        const attack::BestOfN best =
+            mia.attack_best_of_n(dr10.deployed(), *scenario.aux, *scenario.test);
+        rows.push_back({"DR-" + std::to_string(n) + " - SSIM", acc - acc_none,
+                        best.best_ssim.ssim, best.best_ssim.psnr, 1.42f, 0.37f, 7.35f});
+        rows.push_back({"DR-" + std::to_string(n) + " - PSNR", acc - acc_none,
+                        best.best_psnr.ssim, best.best_psnr.psnr, 1.42f, 0.32f, 7.96f});
+    }
+    std::fprintf(stderr, "[table2] dr-ensemble done in %.0fs\n", watch.elapsed_seconds());
+
+    // --- Ours (Ensembler) ---
+    watch.reset();
+    {
+        core::Ensembler ensembler(scenario.arch,
+                                  bench::ensembler_config(scale, scenario.paper_p, 2025));
+        ensembler.fit(*scenario.train);
+        const float acc = ensembler.evaluate_accuracy(*scenario.test);
+        split::DeployedPipeline victim = ensembler.deployed();
+        const attack::BestOfN best = mia.attack_best_of_n(victim, *scenario.aux, *scenario.test);
+        const attack::AttackOutcome adaptive =
+            mia.attack_adaptive(victim.bodies, *scenario.aux, *scenario.test, victim.transmit);
+        rows.push_back({"Ours - Adaptive", acc - acc_none, adaptive.ssim, adaptive.psnr, -2.13f,
+                        0.06f, 5.98f});
+        rows.push_back({"Ours - SSIM", acc - acc_none, best.best_ssim.ssim, best.best_ssim.psnr,
+                        -2.13f, 0.29f, 4.87f});
+        rows.push_back({"Ours - PSNR", acc - acc_none, best.best_psnr.ssim, best.best_psnr.psnr,
+                        -2.13f, 0.22f, 5.53f});
+    }
+    std::fprintf(stderr, "[table2] ensembler done in %.0fs\n", watch.elapsed_seconds());
+
+    std::printf("\n| Name | dAcc | SSIM | PSNR |\n");
+    bench::print_rule(4);
+    for (const Row& row : rows) {
+        std::printf("| %-15s | %+6.2f%% (%+5.2f%%) | %5.3f (%4.2f) | %6.2f (%5.2f) |\n",
+                    row.name.c_str(), 100.0f * row.dacc, row.paper_dacc, row.ssim,
+                    row.paper_ssim, row.psnr, row.paper_psnr);
+    }
+    std::printf("\n(paper values in parentheses; lower SSIM/PSNR = better defense)\n");
+    return 0;
+}

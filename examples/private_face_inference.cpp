@@ -1,0 +1,81 @@
+// Private face identification — the paper's motivating scenario (§I):
+// an edge device classifies face images through a cloud server that must
+// not be able to reconstruct them.
+//
+// Compares the Single (fixed Gaussian) defense against Ensembler on the
+// CelebA-HQ analogue: identity-classification accuracy stays comparable,
+// while the attacker's reconstruction quality collapses under Ensembler.
+
+#include <cstdio>
+
+#include "attack/mia.hpp"
+#include "core/ensembler.hpp"
+#include "data/synth_faces.hpp"
+#include "defense/baselines.hpp"
+
+int main() {
+    using namespace ens;
+
+    // Face images: 20 identities, 32x32 at example scale (paper: CelebA-HQ
+    // subset with [64,64,64] split features -> no MaxPool in the head).
+    constexpr std::int64_t kIdentities = 10;
+    const data::SynthFaces train_set(300, 10, 32, kIdentities);
+    const data::SynthFaces test_set(80, 11, 32, kIdentities);
+    const data::SynthFaces attacker_aux(160, 12, 32, kIdentities);
+
+    nn::ResNetConfig arch;
+    arch.base_width = 4;
+    arch.image_size = 32;
+    arch.num_classes = kIdentities;
+    arch.include_maxpool = false;  // paper's CelebA split geometry
+
+    train::TrainOptions options;
+    options.epochs = 2;
+    options.batch_size = 32;
+    options.learning_rate = 0.1;
+
+    attack::MiaOptions mia_options;
+    mia_options.shadow_options.epochs = 1;
+    mia_options.decoder_options.epochs = 2;
+    mia_options.eval_samples = 40;
+    attack::ModelInversionAttack attacker(arch, mia_options);
+
+    // --- baseline: single net + fixed Gaussian mask ---
+    const defense::ExperimentEnv env{train_set, test_set, attacker_aux, arch, options, 7};
+    defense::ProtectedModel single = defense::train_single_gaussian(env, 0.1f);
+    const float single_acc = single.evaluate_accuracy(test_set);
+    const split::DeployedPipeline single_view = single.deployed();
+    const attack::AttackOutcome single_attack = attacker.attack_single_body(
+        *single_view.bodies[0], attacker_aux, test_set, single_view.transmit);
+
+    // --- Ensembler ---
+    core::EnsemblerConfig config;
+    config.num_networks = 4;
+    config.num_selected = 2;  // paper uses P=5 of N=10 for CelebA
+    config.stage1_options = options;
+    config.stage3_options = options;
+    config.seed = 99;
+
+    core::Ensembler ensembler(arch, config);
+    ensembler.fit(train_set);
+    const float ens_acc = ensembler.evaluate_accuracy(test_set);
+    split::DeployedPipeline victim = ensembler.deployed();
+    const attack::BestOfN ens_attack = attacker.attack_best_of_n(victim, attacker_aux, test_set);
+
+    std::printf("=== private face identification (%lld identities) ===\n",
+                static_cast<long long>(kIdentities));
+    std::printf("%-22s | accuracy | attacker SSIM | attacker PSNR\n", "defense");
+    std::printf("%-22s | %8.3f | %13.3f | %10.2f dB\n", "Single (sigma=0.1)", single_acc,
+                single_attack.ssim, single_attack.psnr);
+    std::printf("%-22s | %8.3f | %13.3f | %10.2f dB\n", "Ensembler (best-of-N)", ens_acc,
+                ens_attack.best_ssim.ssim, ens_attack.best_psnr.psnr);
+
+    if (ens_attack.best_ssim.ssim < single_attack.ssim) {
+        std::printf("\nEnsembler cut the attacker's best structural similarity by %.0f%%.\n",
+                    100.0f * (1.0f - ens_attack.best_ssim.ssim / single_attack.ssim));
+    }
+    std::printf("The Selector (%s) never left the device: an attacker training on any\n"
+                "subset of the %zu deployed bodies inverts the WRONG head (Prop. 1 & 2).\n",
+                ensembler.selector().to_string().c_str(), victim.bodies.size());
+    return 0;
+}

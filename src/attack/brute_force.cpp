@@ -1,0 +1,126 @@
+#include "attack/brute_force.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace ens::attack {
+
+namespace {
+
+/// Calls `visit` for every size-k subset of {0..n-1} in lexicographic
+/// order; returns false if the visitor aborted the walk.
+bool for_each_combination(std::size_t n, std::size_t k,
+                          const std::function<bool(const std::vector<std::size_t>&)>& visit) {
+    std::vector<std::size_t> subset(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        subset[i] = i;
+    }
+    for (;;) {
+        if (!visit(subset)) {
+            return false;
+        }
+        // Advance: find the rightmost index that can still move right.
+        std::size_t i = k;
+        while (i > 0 && subset[i - 1] == n - k + (i - 1)) {
+            --i;
+        }
+        if (i == 0) {
+            return true;
+        }
+        ++subset[i - 1];
+        for (std::size_t j = i; j < k; ++j) {
+            subset[j] = subset[j - 1] + 1;
+        }
+    }
+}
+
+}  // namespace
+
+std::uint64_t subset_search_space(std::size_t n, std::size_t min_size, std::size_t max_size) {
+    ENS_REQUIRE(n < 64, "subset_search_space: n too large for u64");
+    const std::size_t hi = std::min(max_size, n);
+    std::uint64_t total = 0;
+    for (std::size_t k = std::max<std::size_t>(min_size, 1); k <= hi; ++k) {
+        // C(n, k) via the multiplicative formula; n < 64 keeps this exact.
+        std::uint64_t binom = 1;
+        for (std::size_t j = 1; j <= k; ++j) {
+            binom = binom * (n - k + j) / j;
+        }
+        total += binom;
+    }
+    return total;
+}
+
+BruteForceReport brute_force_attack(ModelInversionAttack& mia,
+                                    const split::DeployedPipeline& victim,
+                                    const data::Dataset& aux, const data::Dataset& victim_inputs,
+                                    const std::vector<std::size_t>& true_selection,
+                                    const BruteForceOptions& options) {
+    const std::size_t n = victim.bodies.size();
+    ENS_REQUIRE(n >= 1, "brute_force_attack: victim has no bodies");
+    ENS_REQUIRE(options.min_subset_size >= 1, "brute_force_attack: min_subset_size must be >= 1");
+
+    std::vector<std::size_t> sorted_truth = true_selection;
+    std::sort(sorted_truth.begin(), sorted_truth.end());
+
+    BruteForceReport report;
+    report.search_space_size =
+        subset_search_space(n, options.min_subset_size, options.max_subset_size);
+
+    const std::size_t hi = std::min(options.max_subset_size, n);
+    for (std::size_t k = options.min_subset_size; k <= hi; ++k) {
+        const bool completed = for_each_combination(
+            n, k, [&](const std::vector<std::size_t>& subset) {
+                if (report.results.size() >= options.max_subsets) {
+                    return false;
+                }
+                std::vector<nn::Sequential*> bodies;
+                bodies.reserve(subset.size());
+                for (const std::size_t index : subset) {
+                    bodies.push_back(victim.bodies[index]);
+                }
+                SubsetAttackResult result;
+                result.subset = subset;
+                result.outcome = mia.attack_subset(bodies, aux, victim_inputs, victim.transmit);
+                result.is_true_selection = (subset == sorted_truth);
+                ENS_LOG_DEBUG << "brute-force: subset size " << subset.size() << " ssim "
+                              << result.outcome.ssim;
+                report.results.push_back(std::move(result));
+                return true;
+            });
+        if (!completed) {
+            break;
+        }
+    }
+    ENS_CHECK(!report.results.empty(), "brute_force_attack: budget admitted no subsets");
+
+    const auto by_ssim = [&](std::size_t a, std::size_t b) {
+        return report.results[a].outcome.ssim < report.results[b].outcome.ssim;
+    };
+    const auto by_aux = [&](std::size_t a, std::size_t b) {
+        return report.results[a].outcome.shadow_aux_accuracy <
+               report.results[b].outcome.shadow_aux_accuracy;
+    };
+    const auto by_mse = [&](std::size_t a, std::size_t b) {
+        // Lower decoder MSE = attacker thinks the inversion is better.
+        return report.results[a].outcome.decoder_aux_mse >
+               report.results[b].outcome.decoder_aux_mse;
+    };
+    std::vector<std::size_t> order(report.results.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        order[i] = i;
+    }
+    report.oracle_best_by_ssim = *std::max_element(order.begin(), order.end(), by_ssim);
+    report.attacker_best_by_aux = *std::max_element(order.begin(), order.end(), by_aux);
+    report.attacker_best_by_mse = *std::max_element(order.begin(), order.end(), by_mse);
+    report.aux_pick_matches_oracle =
+        report.attacker_best_by_aux == report.oracle_best_by_ssim;
+    report.mse_pick_matches_oracle =
+        report.attacker_best_by_mse == report.oracle_best_by_ssim;
+    return report;
+}
+
+}  // namespace ens::attack

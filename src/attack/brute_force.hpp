@@ -1,0 +1,84 @@
+#pragma once
+// Brute-force subset search — the §III-D attack-cost analysis, executed.
+//
+// The paper argues the expected MIA cost against Ensembler is O(2^N): any
+// guessed subset yields a *plausible* shadow network, so the server cannot
+// stop early — and, crucially, it cannot even tell WHICH of its 2^N - 1
+// reconstructions is the real one, because every signal it can compute
+// (shadow accuracy on aux data, decoder loss on aux data) looks equally
+// good for wrong subsets. This harness makes both halves of that argument
+// measurable:
+//
+//   * cost      - the search enumerates every candidate subset (optionally
+//                 budget-capped), so wall-clock scales as 2^N;
+//   * blindness - per subset it records the ORACLE reconstruction quality
+//                 (SSIM/PSNR against the true private inputs, which only
+//                 the experiment harness knows) next to the ATTACKER'S OWN
+//                 criteria, and reports whether the attacker's pick agrees
+//                 with the oracle's.
+//
+// Subsets are enumerated in size-major then lexicographic order, so a
+// budget cap spends its attacks on the cheap/small subsets first — the
+// order a rational attacker would use.
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/mia.hpp"
+#include "data/dataset.hpp"
+#include "split/deployed.hpp"
+
+namespace ens::attack {
+
+struct BruteForceOptions {
+    /// Inclusive bounds on candidate subset size (default: all sizes).
+    std::size_t min_subset_size = 1;
+    std::size_t max_subset_size = SIZE_MAX;
+
+    /// Hard cap on attacks mounted (the search space itself stays 2^N - 1;
+    /// the report records how much of it the budget covered).
+    std::uint64_t max_subsets = UINT64_MAX;
+};
+
+struct SubsetAttackResult {
+    std::vector<std::size_t> subset;  // body indices attacked
+    AttackOutcome outcome;            // oracle SSIM/PSNR + attacker criteria
+    bool is_true_selection = false;   // subset == the client's secret (oracle)
+};
+
+struct BruteForceReport {
+    std::vector<SubsetAttackResult> results;
+
+    /// |{S : S non-empty subset within the size bounds}| — what a full
+    /// §III-D search costs, whether or not the budget covered it.
+    std::uint64_t search_space_size = 0;
+
+    /// Indices into `results`.
+    std::size_t oracle_best_by_ssim = 0;    // needs ground truth
+    std::size_t attacker_best_by_aux = 0;   // max shadow_aux_accuracy
+    std::size_t attacker_best_by_mse = 0;   // min decoder_aux_mse
+
+    /// Did the attacker-computable criteria land on the oracle's pick?
+    bool aux_pick_matches_oracle = false;
+    bool mse_pick_matches_oracle = false;
+
+    const SubsetAttackResult& oracle_best() const { return results[oracle_best_by_ssim]; }
+    const SubsetAttackResult& attacker_pick() const { return results[attacker_best_by_aux]; }
+};
+
+/// Number of non-empty subsets of n bodies with size in [min_size,
+/// max_size] — the §III-D search-space size (2^n - 1 when unbounded).
+std::uint64_t subset_search_space(std::size_t n, std::size_t min_size = 1,
+                                  std::size_t max_size = SIZE_MAX);
+
+/// Runs attack_subset for every candidate subset of the victim's bodies.
+/// `true_selection` is the client's secret P-of-N choice (oracle-side, used
+/// only to label results; pass empty if unknown). Deterministic given the
+/// MIA options' seed.
+BruteForceReport brute_force_attack(ModelInversionAttack& mia,
+                                    const split::DeployedPipeline& victim,
+                                    const data::Dataset& aux, const data::Dataset& victim_inputs,
+                                    const std::vector<std::size_t>& true_selection,
+                                    const BruteForceOptions& options = {});
+
+}  // namespace ens::attack

@@ -1,0 +1,65 @@
+#include "attack/decoder.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "data/dataloader.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/loss.hpp"
+#include "nn/pooling.hpp"
+#include "optim/adam.hpp"
+
+namespace ens::attack {
+
+std::unique_ptr<nn::Sequential> build_decoder(const nn::ResNetConfig& arch, Rng& rng) {
+    const std::int64_t c = nn::resnet18_split_channels(arch);
+    const std::int64_t mid = std::max<std::int64_t>(c / 2, 8);
+
+    auto decoder = std::make_unique<nn::Sequential>();
+    decoder->emplace<nn::Conv2d>(c, c, 3, 1, 1, rng, /*with_bias=*/true);
+    decoder->emplace<nn::LeakyReLU>(0.2f);
+    decoder->emplace<nn::Conv2d>(c, c, 3, 1, 1, rng, true);
+    decoder->emplace<nn::LeakyReLU>(0.2f);
+    if (arch.include_maxpool) {
+        // Victim head halved the resolution; restore it.
+        decoder->emplace<nn::UpsampleNearest2d>(2);
+    }
+    decoder->emplace<nn::Conv2d>(c, mid, 3, 1, 1, rng, true);
+    decoder->emplace<nn::LeakyReLU>(0.2f);
+    decoder->emplace<nn::Conv2d>(mid, arch.in_channels, 3, 1, 1, rng, true);
+    decoder->emplace<nn::Sigmoid>();
+    return decoder;
+}
+
+float train_decoder(nn::Sequential& decoder, const std::function<Tensor(const Tensor&)>& encode,
+                    const data::Dataset& dataset, const DecoderTrainOptions& options) {
+    decoder.set_training(true);
+    optim::AdamOptions adam_options;
+    adam_options.learning_rate = options.learning_rate;
+    optim::Adam optimizer(decoder.parameters(), adam_options);
+
+    data::DataLoader loader(dataset, options.batch_size, Rng(options.seed), /*shuffle=*/true);
+    float final_loss = 0.0f;
+    for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+        loader.start_epoch();
+        double epoch_loss = 0.0;
+        std::size_t batches = 0;
+        while (auto batch = loader.next()) {
+            const Tensor features = encode(batch->images);
+            const Tensor reconstruction = decoder.forward(features);
+            const nn::LossResult loss = nn::mse_loss(reconstruction, batch->images);
+            optimizer.zero_grad();
+            decoder.backward(loss.grad);
+            optimizer.step();
+            epoch_loss += loss.value;
+            ++batches;
+        }
+        final_loss = static_cast<float>(epoch_loss / static_cast<double>(batches));
+        ENS_LOG_INFO << "decoder epoch " << (epoch + 1) << "/" << options.epochs
+                     << " mse=" << final_loss;
+    }
+    return final_loss;
+}
+
+}  // namespace ens::attack

@@ -1,0 +1,33 @@
+#pragma once
+// Inversion decoder: maps transmitted feature maps [C, S, S] back to RGB
+// images [3, H, W] (M^-1_c,h in Fig. 1b). Convolutional with nearest-
+// neighbour upsampling when the victim head downsampled, Sigmoid output
+// (images live in [0, 1]); trained with MSE on the attacker's data.
+
+#include <functional>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "nn/resnet.hpp"
+#include "nn/sequential.hpp"
+
+namespace ens::attack {
+
+/// Builds the decoder for the given victim architecture.
+std::unique_ptr<nn::Sequential> build_decoder(const nn::ResNetConfig& arch, Rng& rng);
+
+struct DecoderTrainOptions {
+    std::size_t epochs = 6;
+    std::size_t batch_size = 32;
+    double learning_rate = 2e-3;
+    std::uint64_t seed = 77;
+};
+
+/// Trains `decoder` to invert `encode`: min MSE(decoder(encode(x)), x)
+/// over the dataset. `encode` is treated as fixed (no gradients through
+/// it). Returns the final epoch's mean loss.
+float train_decoder(nn::Sequential& decoder, const std::function<Tensor(const Tensor&)>& encode,
+                    const data::Dataset& dataset, const DecoderTrainOptions& options);
+
+}  // namespace ens::attack

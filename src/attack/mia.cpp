@@ -1,0 +1,379 @@
+#include "attack/mia.hpp"
+
+#include <algorithm>
+
+#include "attack/shadow.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "data/dataloader.hpp"
+#include "metrics/psnr.hpp"
+#include "metrics/ssim.hpp"
+#include "nn/loss.hpp"
+#include "optim/schedule.hpp"
+#include "optim/sgd.hpp"
+#include "tensor/ops.hpp"
+
+namespace ens::attack {
+
+namespace {
+
+/// Per-sample [C,H,W] view copies of a batch tensor.
+Tensor sample_of(const Tensor& batch, std::int64_t index) {
+    const Shape sample_shape{batch.dim(1), batch.dim(2), batch.dim(3)};
+    const std::int64_t per_sample = sample_shape.numel();
+    return Tensor::from_vector(
+        sample_shape, std::vector<float>(batch.data() + index * per_sample,
+                                         batch.data() + (index + 1) * per_sample));
+}
+
+/// Per-channel first/second moments of observed wire traffic.
+struct ChannelStats {
+    Tensor mean;  // [C]
+    Tensor var;   // [C]
+    bool valid = false;
+};
+
+/// The deployed client broadcasts its (noised) features for every real
+/// inference; the semi-honest server records them. This computes the
+/// per-channel moments of that traffic — unpaired with inputs, so the
+/// query-free assumption stands.
+ChannelStats observe_wire_stats(const std::function<Tensor(const Tensor&)>& victim_transmit,
+                                const data::Dataset& victim_inputs, std::size_t sample_cap,
+                                std::size_t batch_size) {
+    ChannelStats stats;
+    const std::size_t total = std::min(sample_cap, victim_inputs.size());
+    double count = 0.0;
+    std::vector<double> sum;
+    std::vector<double> sum_sq;
+    std::size_t cursor = 0;
+    while (cursor < total) {
+        const std::size_t take = std::min(batch_size, total - cursor);
+        const data::Batch batch = data::materialize(victim_inputs, cursor, take);
+        const Tensor wire = victim_transmit(batch.images);
+        ENS_CHECK(wire.rank() == 4, "observe_wire_stats: expected NCHW features");
+        const std::int64_t channels = wire.dim(1);
+        const std::int64_t plane = wire.dim(2) * wire.dim(3);
+        if (sum.empty()) {
+            sum.assign(static_cast<std::size_t>(channels), 0.0);
+            sum_sq.assign(static_cast<std::size_t>(channels), 0.0);
+        }
+        const float* p = wire.data();
+        for (std::int64_t n = 0; n < wire.dim(0); ++n) {
+            for (std::int64_t c = 0; c < channels; ++c) {
+                const float* src = p + (n * channels + c) * plane;
+                for (std::int64_t i = 0; i < plane; ++i) {
+                    sum[static_cast<std::size_t>(c)] += src[i];
+                    sum_sq[static_cast<std::size_t>(c)] += static_cast<double>(src[i]) * src[i];
+                }
+            }
+        }
+        count += static_cast<double>(wire.dim(0) * plane);
+        cursor += take;
+    }
+    const auto channels = static_cast<std::int64_t>(sum.size());
+    stats.mean = Tensor(Shape{channels});
+    stats.var = Tensor(Shape{channels});
+    for (std::int64_t c = 0; c < channels; ++c) {
+        const double mu = sum[static_cast<std::size_t>(c)] / count;
+        stats.mean.at(c) = static_cast<float>(mu);
+        stats.var.at(c) =
+            static_cast<float>(sum_sq[static_cast<std::size_t>(c)] / count - mu * mu);
+    }
+    stats.valid = true;
+    return stats;
+}
+
+/// Adds d/dz of  beta/C * sum_c [(mu_c - mu*_c)^2 + (v_c - v*_c)^2]
+/// to d_z, where the moments are over batch+spatial positions of z.
+void add_wire_stats_gradient(const Tensor& z, const ChannelStats& target, float beta,
+                             Tensor& d_z) {
+    const std::int64_t batch = z.dim(0);
+    const std::int64_t channels = z.dim(1);
+    const std::int64_t plane = z.dim(2) * z.dim(3);
+    const double m = static_cast<double>(batch * plane);
+    const float* p = z.data();
+    float* g = d_z.data();
+    const float scale = beta / static_cast<float>(channels);
+
+    for (std::int64_t c = 0; c < channels; ++c) {
+        double sum = 0.0;
+        double sum_sq = 0.0;
+        for (std::int64_t n = 0; n < batch; ++n) {
+            const float* src = p + (n * channels + c) * plane;
+            for (std::int64_t i = 0; i < plane; ++i) {
+                sum += src[i];
+                sum_sq += static_cast<double>(src[i]) * src[i];
+            }
+        }
+        const double mu = sum / m;
+        const double var = sum_sq / m - mu * mu;
+        const float mu_term =
+            static_cast<float>(2.0 * (mu - target.mean.at(c)) / m);
+        const float var_coeff =
+            static_cast<float>(4.0 * (var - target.var.at(c)) / m);
+        for (std::int64_t n = 0; n < batch; ++n) {
+            const float* src = p + (n * channels + c) * plane;
+            float* dst = g + (n * channels + c) * plane;
+            for (std::int64_t i = 0; i < plane; ++i) {
+                dst[i] += scale * (mu_term + var_coeff * (src[i] - static_cast<float>(mu)));
+            }
+        }
+    }
+}
+
+}  // namespace
+
+ModelInversionAttack::ModelInversionAttack(nn::ResNetConfig victim_arch, MiaOptions options)
+    : arch_(victim_arch), options_(std::move(options)) {}
+
+/// Shared shadow-training loop: head -> (caller-supplied server stage) ->
+/// tail under CE, with optional wire-moment matching on the head output.
+void ModelInversionAttack::train_shadow(
+    nn::Sequential& shadow_head, nn::Sequential& shadow_tail,
+    const std::function<Tensor(const Tensor&)>& server_forward,
+    const std::function<Tensor(const Tensor&)>& server_backward, const data::Dataset& aux,
+    const ChannelStatsHandle& wire_stats, std::uint64_t seed) {
+    shadow_head.set_training(true);
+    shadow_tail.set_training(true);
+
+    std::vector<nn::Parameter*> params = shadow_head.parameters();
+    const auto tail_params = shadow_tail.parameters();
+    params.insert(params.end(), tail_params.begin(), tail_params.end());
+
+    const train::TrainOptions& options = options_.shadow_options;
+    optim::SgdOptions sgd_options;
+    sgd_options.learning_rate = options.learning_rate;
+    sgd_options.momentum = options.momentum;
+    sgd_options.weight_decay = options.weight_decay;
+    optim::Sgd optimizer(params, sgd_options);
+    optim::CosineAnnealing schedule(optimizer, options.learning_rate,
+                                    static_cast<std::int64_t>(options.epochs));
+
+    data::DataLoader loader(aux, options.batch_size, Rng(seed), /*shuffle=*/true);
+    const auto* stats = static_cast<const ChannelStats*>(wire_stats.ptr);
+
+    for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+        loader.start_epoch();
+        double epoch_loss = 0.0;
+        std::size_t batches = 0;
+        while (auto batch = loader.next()) {
+            const Tensor z = shadow_head.forward(batch->images);
+            const Tensor features = server_forward(z);
+            const Tensor logits = shadow_tail.forward(features);
+            const nn::LossResult ce = nn::softmax_cross_entropy(logits, batch->labels);
+
+            optimizer.zero_grad();
+            const Tensor d_features = shadow_tail.backward(ce.grad);
+            Tensor d_z = server_backward(d_features);
+            if (stats != nullptr && stats->valid && options_.wire_stats_weight > 0.0f) {
+                add_wire_stats_gradient(z, *stats, options_.wire_stats_weight, d_z);
+            }
+            shadow_head.backward(d_z);
+            if (options.clip_norm > 0.0) {
+                optim::clip_grad_norm(optimizer.parameters(), options.clip_norm);
+            }
+            optimizer.step();
+            epoch_loss += ce.value;
+            ++batches;
+        }
+        if (options.cosine_schedule) {
+            schedule.step_epoch();
+        }
+        ENS_LOG_INFO << "mia shadow epoch " << (epoch + 1) << "/" << options.epochs
+                     << " ce=" << epoch_loss / static_cast<double>(batches);
+    }
+    train::refresh_batchnorm_statistics(
+        [&](const Tensor& x) { return shadow_head.forward(x); }, aux, /*batches=*/16,
+        options.batch_size, seed ^ 0xBA7C4ULL);
+}
+
+AttackOutcome ModelInversionAttack::attack_single_body(
+    nn::Sequential& body, const data::Dataset& aux, const data::Dataset& victim_inputs,
+    const std::function<Tensor(const Tensor&)>& victim_transmit) {
+    Rng rng = Rng(options_.seed).fork_named("mia/single").fork(attack_counter_++);
+
+    auto shadow_head = build_shadow_head(arch_, rng);
+    auto shadow_tail =
+        build_shadow_tail(nn::resnet18_feature_width(arch_), arch_.num_classes, rng);
+
+    // Freeze the stolen body; gradients flow through it into the shadow head.
+    body.set_training(false);
+    nn::set_requires_grad(body, false);
+
+    ChannelStats stats;
+    if (options_.wire_stats_weight > 0.0f) {
+        stats = observe_wire_stats(victim_transmit, victim_inputs, options_.eval_samples,
+                                   options_.eval_batch);
+    }
+
+    train_shadow(*shadow_head, *shadow_tail,
+                 [&body](const Tensor& z) { return body.forward(z); },
+                 [&body](const Tensor& g) { return body.backward(g); }, aux,
+                 ChannelStatsHandle{&stats}, options_.seed ^ attack_counter_);
+
+    // Decoder inverts the shadow head.
+    auto decoder = build_decoder(arch_, rng);
+    shadow_head->set_training(false);
+    shadow_tail->set_training(false);
+    const float shadow_aux_accuracy = train::evaluate_accuracy(
+        [&](const Tensor& x) { return shadow_tail->forward(body.forward(shadow_head->forward(x))); },
+        aux, options_.eval_batch);
+    DecoderTrainOptions decoder_options = options_.decoder_options;
+    decoder_options.seed = options_.seed ^ (attack_counter_ * 31 + 7);
+    const float decoder_aux_mse =
+        train_decoder(*decoder, [&](const Tensor& x) { return shadow_head->forward(x); }, aux,
+                      decoder_options);
+
+    AttackOutcome outcome = evaluate_reconstruction(*decoder, victim_inputs, victim_transmit);
+    outcome.shadow_aux_accuracy = shadow_aux_accuracy;
+    outcome.decoder_aux_mse = decoder_aux_mse;
+    return outcome;
+}
+
+AttackOutcome ModelInversionAttack::attack_adaptive(
+    const std::vector<nn::Sequential*>& bodies, const data::Dataset& aux,
+    const data::Dataset& victim_inputs,
+    const std::function<Tensor(const Tensor&)>& victim_transmit) {
+    return attack_subset(bodies, aux, victim_inputs, victim_transmit);
+}
+
+AttackOutcome ModelInversionAttack::attack_subset(
+    const std::vector<nn::Sequential*>& bodies, const data::Dataset& aux,
+    const data::Dataset& victim_inputs,
+    const std::function<Tensor(const Tensor&)>& victim_transmit) {
+    return attack_subset_artifacts(bodies, aux, victim_inputs, victim_transmit).outcome;
+}
+
+ModelInversionAttack::Artifacts ModelInversionAttack::attack_subset_artifacts(
+    const std::vector<nn::Sequential*>& bodies, const data::Dataset& aux,
+    const data::Dataset& victim_inputs,
+    const std::function<Tensor(const Tensor&)>& victim_transmit) {
+    ENS_REQUIRE(!bodies.empty(), "attack_subset: no bodies");
+    Rng rng = Rng(options_.seed).fork_named("mia/adaptive").fork(attack_counter_++);
+
+    auto shadow_head = build_shadow_head(arch_, rng);
+    const auto n = static_cast<std::int64_t>(bodies.size());
+    auto shadow_tail = build_shadow_tail(n * nn::resnet18_feature_width(arch_),
+                                         arch_.num_classes, rng);
+
+    for (nn::Sequential* body : bodies) {
+        body->set_training(false);
+        nn::set_requires_grad(*body, false);
+    }
+
+    ChannelStats stats;
+    if (options_.wire_stats_weight > 0.0f) {
+        stats = observe_wire_stats(victim_transmit, victim_inputs, options_.eval_samples,
+                                   options_.eval_batch);
+    }
+
+    // Selector-shaped activation over ALL N bodies (the attacker knows the
+    // selector's form but not its secret subset, §IV-A): 1/N-scaled concat.
+    const float scale_factor = 1.0f / static_cast<float>(bodies.size());
+    const auto server_forward = [&, scale_factor](const Tensor& z) {
+        std::vector<Tensor> features;
+        features.reserve(bodies.size());
+        for (nn::Sequential* body : bodies) {
+            features.push_back(ens::scale(body->forward(z), scale_factor));
+        }
+        return concat_cols(features);
+    };
+    const auto server_backward = [&, scale_factor](const Tensor& d_combined) {
+        const std::int64_t width = d_combined.dim(1) / n;
+        std::vector<Tensor> d_features =
+            split_cols(d_combined, std::vector<std::int64_t>(bodies.size(), width));
+        Tensor d_z;
+        for (std::size_t i = 0; i < bodies.size(); ++i) {
+            d_features[i].scale_(scale_factor);
+            Tensor d_in = bodies[i]->backward(d_features[i]);
+            if (d_z.defined()) {
+                d_z.add_(d_in);
+            } else {
+                d_z = std::move(d_in);
+            }
+        }
+        return d_z;
+    };
+
+    train_shadow(*shadow_head, *shadow_tail, server_forward, server_backward, aux,
+                 ChannelStatsHandle{&stats}, options_.seed ^ (0xADA0ULL + attack_counter_));
+
+    auto decoder = build_decoder(arch_, rng);
+    shadow_head->set_training(false);
+    shadow_tail->set_training(false);
+    const float shadow_aux_accuracy = train::evaluate_accuracy(
+        [&](const Tensor& x) { return shadow_tail->forward(server_forward(shadow_head->forward(x))); },
+        aux, options_.eval_batch);
+    DecoderTrainOptions decoder_options = options_.decoder_options;
+    decoder_options.seed = options_.seed ^ (attack_counter_ * 131 + 17);
+    const float decoder_aux_mse =
+        train_decoder(*decoder, [&](const Tensor& x) { return shadow_head->forward(x); }, aux,
+                      decoder_options);
+
+    Artifacts artifacts;
+    artifacts.outcome = evaluate_reconstruction(*decoder, victim_inputs, victim_transmit);
+    artifacts.outcome.shadow_aux_accuracy = shadow_aux_accuracy;
+    artifacts.outcome.decoder_aux_mse = decoder_aux_mse;
+    artifacts.shadow_head = std::move(shadow_head);
+    artifacts.shadow_tail = std::move(shadow_tail);
+    artifacts.decoder = std::move(decoder);
+    return artifacts;
+}
+
+BestOfN ModelInversionAttack::attack_best_of_n(const split::DeployedPipeline& victim,
+                                               const data::Dataset& aux,
+                                               const data::Dataset& victim_inputs) {
+    ENS_REQUIRE(!victim.bodies.empty(), "attack_best_of_n: victim has no bodies");
+    BestOfN result;
+    result.best_ssim.ssim = -1.0f;
+    result.best_psnr.psnr = -1.0f;
+    for (std::size_t i = 0; i < victim.bodies.size(); ++i) {
+        AttackOutcome outcome =
+            attack_single_body(*victim.bodies[i], aux, victim_inputs, victim.transmit);
+        outcome.body_index = static_cast<int>(i);
+        ENS_LOG_INFO << "mia body " << i << ": ssim=" << outcome.ssim
+                     << " psnr=" << outcome.psnr;
+        if (outcome.ssim > result.best_ssim.ssim) {
+            result.best_ssim = outcome;
+        }
+        if (outcome.psnr > result.best_psnr.psnr) {
+            result.best_psnr = outcome;
+        }
+        result.per_body.push_back(outcome);
+    }
+    return result;
+}
+
+AttackOutcome ModelInversionAttack::evaluate_reconstruction(
+    nn::Sequential& decoder, const data::Dataset& victim_inputs,
+    const std::function<Tensor(const Tensor&)>& victim_transmit) const {
+    decoder.set_training(false);
+    const std::size_t total = std::min(options_.eval_samples, victim_inputs.size());
+    ENS_REQUIRE(total > 0, "evaluate_reconstruction: empty victim set");
+
+    double ssim_sum = 0.0;
+    double psnr_sum = 0.0;
+    std::size_t scored = 0;
+    std::size_t cursor = 0;
+    while (cursor < total) {
+        const std::size_t count = std::min(options_.eval_batch, total - cursor);
+        const data::Batch batch = data::materialize(victim_inputs, cursor, count);
+        const Tensor reconstruction = decoder.forward(victim_transmit(batch.images));
+        ENS_CHECK(reconstruction.shape() == batch.images.shape(),
+                  "evaluate_reconstruction: decoder output geometry mismatch");
+        for (std::int64_t i = 0; i < batch.size(); ++i) {
+            const Tensor truth = sample_of(batch.images, i);
+            const Tensor recon = sample_of(reconstruction, i);
+            ssim_sum += metrics::ssim(recon, truth);
+            psnr_sum += metrics::psnr(recon, truth);
+            ++scored;
+        }
+        cursor += count;
+    }
+    AttackOutcome outcome;
+    outcome.ssim = static_cast<float>(ssim_sum / static_cast<double>(scored));
+    outcome.psnr = static_cast<float>(psnr_sum / static_cast<double>(scored));
+    return outcome;
+}
+
+}  // namespace ens::attack

@@ -1,0 +1,41 @@
+#include "attack/shadow.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+
+namespace ens::attack {
+
+std::unique_ptr<nn::Sequential> build_shadow_head(const nn::ResNetConfig& arch, Rng& rng) {
+    const std::int64_t c = nn::resnet18_split_channels(arch);
+    // When the victim head contains the stride-2 MaxPool, the shadow head's
+    // first conv downsamples instead, reproducing the wire geometry.
+    const std::int64_t first_stride = arch.include_maxpool ? 2 : 1;
+
+    // 3 convolutions as in §IV-A; BatchNorm between them stabilizes the
+    // shadow training enough that the frozen body's (victim-calibrated)
+    // BatchNorm statistics can anchor the shadow features to the victim
+    // head's representation — without it the shadow drifts to a body-
+    // tolerated but pointwise-different solution and the transferred
+    // decoder underperforms.
+    auto head = std::make_unique<nn::Sequential>();
+    head->emplace<nn::Conv2d>(arch.in_channels, c, /*kernel=*/3, first_stride, /*padding=*/1,
+                              rng, /*with_bias=*/true);
+    head->emplace<nn::BatchNorm2d>(c);
+    head->emplace<nn::ReLU>();
+    head->emplace<nn::Conv2d>(c, c, 3, 1, 1, rng, true);
+    head->emplace<nn::BatchNorm2d>(c);
+    head->emplace<nn::ReLU>();
+    head->emplace<nn::Conv2d>(c, c, 3, 1, 1, rng, true);
+    return head;
+}
+
+std::unique_ptr<nn::Sequential> build_shadow_tail(std::int64_t feature_width,
+                                                  std::int64_t num_classes, Rng& rng) {
+    auto tail = std::make_unique<nn::Sequential>();
+    tail->emplace<nn::Linear>(feature_width, num_classes, rng);
+    return tail;
+}
+
+}  // namespace ens::attack

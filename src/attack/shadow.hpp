@@ -1,0 +1,29 @@
+#pragma once
+// Shadow-network construction (§IV-A).
+//
+// The attacker knows the architecture and has same-distribution data but
+// not the client's weights. It builds:
+//   shadow head  - 3 convolutions, split-width channels each: "the first
+//                  one simulating the unknown M_c,h, and the other two
+//                  simulating the Gaussian noise added to the intermediate
+//                  output". The first conv carries the head's stride so the
+//                  shadow output matches the transmitted feature geometry.
+//   shadow tail  - same shape as the victim's tail (Linear to classes).
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "nn/resnet.hpp"
+#include "nn/sequential.hpp"
+
+namespace ens::attack {
+
+/// 3-conv shadow head matching the victim's transmit geometry.
+std::unique_ptr<nn::Sequential> build_shadow_head(const nn::ResNetConfig& arch, Rng& rng);
+
+/// Shadow tail: Linear(feature_width -> classes). For a single-body attack
+/// feature_width = 8w; the adaptive attack passes N * 8w.
+std::unique_ptr<nn::Sequential> build_shadow_tail(std::int64_t feature_width,
+                                                  std::int64_t num_classes, Rng& rng);
+
+}  // namespace ens::attack

@@ -1,0 +1,79 @@
+#include "common/args.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace ens {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+    ENS_REQUIRE(argc >= 1, "ArgParser: empty argv");
+    program_ = argv[0];
+    int i = 1;
+    if (i < argc && argv[i][0] != '-') {
+        command_ = argv[i];
+        ++i;
+    }
+    while (i < argc) {
+        const std::string token = argv[i];
+        ENS_REQUIRE(token.size() > 2 && token.rfind("--", 0) == 0,
+                    "ArgParser: expected --flag, got '" + token + "'");
+        const std::string flag = token.substr(2);
+        if (i + 1 < argc && argv[i + 1][0] != '-') {
+            values_[flag] = argv[i + 1];
+            i += 2;
+        } else {
+            values_[flag] = "";  // boolean switch
+            ++i;
+        }
+    }
+}
+
+bool ArgParser::has(const std::string& flag) const {
+    consumed_[flag] = true;
+    return values_.count(flag) > 0;
+}
+
+std::string ArgParser::get_string(const std::string& flag, const std::string& fallback) const {
+    consumed_[flag] = true;
+    const auto it = values_.find(flag);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& flag, std::int64_t fallback) const {
+    consumed_[flag] = true;
+    const auto it = values_.find(flag);
+    if (it == values_.end()) {
+        return fallback;
+    }
+    char* end = nullptr;
+    const long long value = std::strtoll(it->second.c_str(), &end, 10);
+    ENS_REQUIRE(end != nullptr && *end == '\0' && !it->second.empty(),
+                "ArgParser: --" + flag + " expects an integer, got '" + it->second + "'");
+    return value;
+}
+
+double ArgParser::get_double(const std::string& flag, double fallback) const {
+    consumed_[flag] = true;
+    const auto it = values_.find(flag);
+    if (it == values_.end()) {
+        return fallback;
+    }
+    char* end = nullptr;
+    const double value = std::strtod(it->second.c_str(), &end);
+    ENS_REQUIRE(end != nullptr && *end == '\0' && !it->second.empty(),
+                "ArgParser: --" + flag + " expects a number, got '" + it->second + "'");
+    return value;
+}
+
+std::vector<std::string> ArgParser::unconsumed() const {
+    std::vector<std::string> unknown;
+    for (const auto& [flag, value] : values_) {
+        if (!consumed_.count(flag)) {
+            unknown.push_back(flag);
+        }
+    }
+    return unknown;
+}
+
+}  // namespace ens

@@ -1,0 +1,44 @@
+#pragma once
+// Minimal command-line parsing for the example drivers.
+//
+// Grammar: prog [subcommand] [--flag value]... [--switch]...
+// Flags are --key value pairs; a trailing --key with no value (or followed
+// by another --key) is a boolean switch. Unknown flags are collected and
+// reported so drivers can reject typos instead of silently ignoring them.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ens {
+
+class ArgParser {
+public:
+    /// Parses argv; argv[1] is taken as the subcommand when it does not
+    /// start with '-'.
+    ArgParser(int argc, const char* const* argv);
+
+    const std::string& command() const { return command_; }
+    const std::string& program() const { return program_; }
+
+    bool has(const std::string& flag) const;
+
+    /// Typed lookups with defaults; throw std::invalid_argument on
+    /// malformed values (e.g. --epochs banana).
+    std::string get_string(const std::string& flag, const std::string& fallback) const;
+    std::int64_t get_int(const std::string& flag, std::int64_t fallback) const;
+    double get_double(const std::string& flag, double fallback) const;
+
+    /// Flags seen on the command line that the driver never queried.
+    /// Call after all get_*/has calls to reject typos.
+    std::vector<std::string> unconsumed() const;
+
+private:
+    std::string program_;
+    std::string command_;
+    std::map<std::string, std::string> values_;  // flag -> raw value ("" = switch)
+    mutable std::map<std::string, bool> consumed_;
+};
+
+}  // namespace ens

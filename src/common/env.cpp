@@ -1,0 +1,41 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace ens {
+
+std::string env_string(const char* name, const std::string& fallback) {
+    const char* value = std::getenv(name);
+    if (value == nullptr || *value == '\0') {
+        return fallback;
+    }
+    return value;
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+    const char* value = std::getenv(name);
+    if (value == nullptr || *value == '\0') {
+        return fallback;
+    }
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0') {
+        return fallback;
+    }
+    return static_cast<std::size_t>(parsed);
+}
+
+double env_double(const char* name, double fallback) {
+    const char* value = std::getenv(name);
+    if (value == nullptr || *value == '\0') {
+        return fallback;
+    }
+    char* end = nullptr;
+    const double parsed = std::strtod(value, &end);
+    if (end == value || *end != '\0') {
+        return fallback;
+    }
+    return parsed;
+}
+
+}  // namespace ens

@@ -1,0 +1,21 @@
+#pragma once
+// Typed environment-variable lookups, used for runtime knobs
+// (ENS_THREADS, ENS_BENCH_SCALE, ENS_LOG_LEVEL) without a config-file
+// dependency.
+
+#include <cstddef>
+#include <string>
+
+namespace ens {
+
+/// Returns the variable's value or `fallback` when unset/empty.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// Returns the variable parsed as a size, or `fallback` when unset or
+/// unparseable.
+std::size_t env_size(const char* name, std::size_t fallback);
+
+/// Returns the variable parsed as a double, or `fallback`.
+double env_double(const char* name, double fallback);
+
+}  // namespace ens

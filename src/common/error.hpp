@@ -1,0 +1,48 @@
+#pragma once
+// Error-handling helpers.
+//
+// The library signals contract violations and unrecoverable failures with
+// exceptions (std::invalid_argument for bad arguments, std::runtime_error for
+// state errors), per I.10 of the C++ Core Guidelines. The macros below attach
+// file:line context so failures deep inside training loops are diagnosable.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ens {
+
+/// Builds a "file:line: message" string for exception payloads.
+inline std::string error_location(const char* file, int line, const std::string& msg) {
+    std::ostringstream oss;
+    oss << file << ':' << line << ": " << msg;
+    return oss.str();
+}
+
+}  // namespace ens
+
+/// Precondition check: throws std::invalid_argument when `cond` is false.
+#define ENS_REQUIRE(cond, msg)                                                        \
+    do {                                                                              \
+        if (!(cond)) {                                                                \
+            throw std::invalid_argument(                                              \
+                ::ens::error_location(__FILE__, __LINE__,                             \
+                                      std::string("requirement failed: ") + (msg)));  \
+        }                                                                             \
+    } while (0)
+
+/// Internal invariant check: throws std::runtime_error when `cond` is false.
+#define ENS_CHECK(cond, msg)                                                        \
+    do {                                                                            \
+        if (!(cond)) {                                                              \
+            throw std::runtime_error(                                               \
+                ::ens::error_location(__FILE__, __LINE__,                           \
+                                      std::string("invariant violated: ") + (msg))); \
+        }                                                                           \
+    } while (0)
+
+/// Unconditional failure for unreachable branches (e.g. exhaustive switch
+/// fall-through on an enum that gained a value).
+#define ENS_FAIL(msg)                                                             \
+    throw std::runtime_error(                                                     \
+        ::ens::error_location(__FILE__, __LINE__, std::string("failure: ") + (msg)))

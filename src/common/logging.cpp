@@ -1,0 +1,60 @@
+#include "common/logging.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <iostream>
+#include <mutex>
+
+#include "common/env.hpp"
+
+namespace ens {
+
+namespace {
+
+std::atomic<LogLevel>& level_storage() {
+    static std::atomic<LogLevel> level{parse_log_level(env_string("ENS_LOG_LEVEL", "warn"))};
+    return level;
+}
+
+const char* level_name(LogLevel level) {
+    switch (level) {
+        case LogLevel::kTrace: return "trace";
+        case LogLevel::kDebug: return "debug";
+        case LogLevel::kInfo: return "info";
+        case LogLevel::kWarn: return "warn";
+        case LogLevel::kError: return "error";
+        case LogLevel::kOff: return "off";
+    }
+    return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return level_storage().load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) { level_storage().store(level, std::memory_order_relaxed); }
+
+LogLevel parse_log_level(const std::string& text) {
+    std::string lower(text.size(), '\0');
+    std::transform(text.begin(), text.end(), lower.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    if (lower == "trace") return LogLevel::kTrace;
+    if (lower == "debug") return LogLevel::kDebug;
+    if (lower == "info") return LogLevel::kInfo;
+    if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+    if (lower == "error") return LogLevel::kError;
+    if (lower == "off" || lower == "none") return LogLevel::kOff;
+    return LogLevel::kInfo;
+}
+
+void log_message(LogLevel level, const std::string& message) {
+    if (level < log_level()) {
+        return;
+    }
+    static std::mutex mutex;
+    const std::lock_guard<std::mutex> lock(mutex);
+    std::cerr << '[' << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace ens

@@ -1,0 +1,58 @@
+#pragma once
+// Minimal leveled logger.
+//
+// Experiments and long-running training loops report progress through this;
+// everything writes to stderr so benchmark tables on stdout stay clean.
+// Level is controlled programmatically or with ENS_LOG_LEVEL
+// (trace|debug|info|warn|error|off).
+
+#include <sstream>
+#include <string>
+
+namespace ens {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global minimum level; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parses "info", "debug", ... (case-insensitive); unknown -> kInfo.
+LogLevel parse_log_level(const std::string& text);
+
+/// Emits one formatted line to stderr ("[level] message").
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+/// Stream-style collector used by the ENS_LOG macro.
+class LogLine {
+public:
+    explicit LogLine(LogLevel level) : level_(level) {}
+    LogLine(const LogLine&) = delete;
+    LogLine& operator=(const LogLine&) = delete;
+    ~LogLine() { log_message(level_, stream_.str()); }
+
+    template <typename T>
+    LogLine& operator<<(const T& value) {
+        stream_ << value;
+        return *this;
+    }
+
+private:
+    LogLevel level_;
+    std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace ens
+
+#define ENS_LOG(level)                            \
+    if (::ens::log_level() > (level)) {           \
+    } else                                        \
+        ::ens::detail::LogLine(level)
+
+#define ENS_LOG_INFO ENS_LOG(::ens::LogLevel::kInfo)
+#define ENS_LOG_DEBUG ENS_LOG(::ens::LogLevel::kDebug)
+#define ENS_LOG_WARN ENS_LOG(::ens::LogLevel::kWarn)
+#define ENS_LOG_ERROR ENS_LOG(::ens::LogLevel::kError)

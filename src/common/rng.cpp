@@ -1,0 +1,124 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace ens {
+
+namespace {
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+        word = splitmix64(sm);
+    }
+}
+
+std::uint64_t Rng::next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double Rng::uniform() {
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+    ENS_REQUIRE(lo <= hi, "uniform bounds out of order");
+    return lo + (hi - lo) * uniform();
+}
+
+double Rng::normal() {
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    // Box-Muller; u1 kept away from 0 so log() is finite.
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 1e-300);
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * std::numbers::pi * u2;
+    cached_normal_ = radius * std::sin(angle);
+    has_cached_normal_ = true;
+    return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) {
+    return mean + stddev * normal();
+}
+
+std::uint64_t Rng::next_below(std::uint64_t n) {
+    ENS_REQUIRE(n > 0, "next_below requires n > 0");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+        const std::uint64_t draw = next_u64();
+        if (draw >= threshold) {
+            return draw % n;
+        }
+    }
+}
+
+std::int64_t Rng::randint(std::int64_t lo, std::int64_t hi) {
+    ENS_REQUIRE(lo <= hi, "randint bounds out of order");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+bool Rng::bernoulli(double p) {
+    return uniform() < p;
+}
+
+Rng Rng::fork(std::uint64_t stream) const {
+    // Mix the parent's state with the stream id through splitmix64 so
+    // children are decorrelated from the parent and from each other.
+    std::uint64_t sm = state_[0] ^ rotl(state_[2], 13) ^ (stream * 0xD1342543DE82EF95ULL + 0x2545F4914F6CDD1DULL);
+    return Rng(splitmix64(sm));
+}
+
+Rng Rng::fork_named(std::string_view label) const {
+    // FNV-1a over the label, then fork on the hash.
+    std::uint64_t hash = 0xCBF29CE484222325ULL;
+    for (const char c : label) {
+        hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+        hash *= 0x100000001B3ULL;
+    }
+    return fork(hash);
+}
+
+std::vector<std::size_t> random_permutation(std::size_t n, Rng& rng) {
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        perm[i] = i;
+    }
+    rng.shuffle(perm);
+    return perm;
+}
+
+}  // namespace ens

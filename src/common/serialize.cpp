@@ -1,0 +1,119 @@
+#include "common/serialize.hpp"
+
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace ens {
+
+void BinaryWriter::write_raw(const void* data, std::size_t size) {
+    out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+    ENS_CHECK(out_.good(), "binary write failed");
+    bytes_ += size;
+}
+
+void BinaryWriter::write_u8(std::uint8_t v) { write_raw(&v, sizeof v); }
+
+void BinaryWriter::write_u32(std::uint32_t v) { write_raw(&v, sizeof v); }
+
+void BinaryWriter::write_u64(std::uint64_t v) { write_raw(&v, sizeof v); }
+
+void BinaryWriter::write_i64(std::int64_t v) { write_raw(&v, sizeof v); }
+
+void BinaryWriter::write_f32(float v) { write_raw(&v, sizeof v); }
+
+void BinaryWriter::write_f64(double v) { write_raw(&v, sizeof v); }
+
+void BinaryWriter::write_string(const std::string& s) {
+    ENS_REQUIRE(s.size() <= std::numeric_limits<std::uint32_t>::max(), "string too long");
+    write_u32(static_cast<std::uint32_t>(s.size()));
+    if (!s.empty()) {
+        write_raw(s.data(), s.size());
+    }
+}
+
+void BinaryWriter::write_f32_array(const float* data, std::size_t count) {
+    write_u64(count);
+    if (count > 0) {
+        write_raw(data, count * sizeof(float));
+    }
+}
+
+void BinaryWriter::write_i64_vector(const std::vector<std::int64_t>& v) {
+    write_u64(v.size());
+    if (!v.empty()) {
+        write_raw(v.data(), v.size() * sizeof(std::int64_t));
+    }
+}
+
+void BinaryReader::read_raw(void* data, std::size_t size) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+    ENS_CHECK(in_.gcount() == static_cast<std::streamsize>(size), "binary read truncated");
+}
+
+std::uint8_t BinaryReader::read_u8() {
+    std::uint8_t v = 0;
+    read_raw(&v, sizeof v);
+    return v;
+}
+
+std::uint32_t BinaryReader::read_u32() {
+    std::uint32_t v = 0;
+    read_raw(&v, sizeof v);
+    return v;
+}
+
+std::uint64_t BinaryReader::read_u64() {
+    std::uint64_t v = 0;
+    read_raw(&v, sizeof v);
+    return v;
+}
+
+std::int64_t BinaryReader::read_i64() {
+    std::int64_t v = 0;
+    read_raw(&v, sizeof v);
+    return v;
+}
+
+float BinaryReader::read_f32() {
+    float v = 0;
+    read_raw(&v, sizeof v);
+    return v;
+}
+
+double BinaryReader::read_f64() {
+    double v = 0;
+    read_raw(&v, sizeof v);
+    return v;
+}
+
+std::string BinaryReader::read_string() {
+    const std::uint32_t size = read_u32();
+    std::string s(size, '\0');
+    if (size > 0) {
+        read_raw(s.data(), size);
+    }
+    return s;
+}
+
+void BinaryReader::read_f32_array(float* data, std::size_t count) {
+    const std::uint64_t stored = read_u64();
+    ENS_CHECK(stored == count, "f32 array length mismatch");
+    if (count > 0) {
+        read_raw(data, count * sizeof(float));
+    }
+}
+
+std::vector<std::int64_t> BinaryReader::read_i64_vector() {
+    const std::uint64_t size = read_u64();
+    std::vector<std::int64_t> v(size);
+    if (size > 0) {
+        read_raw(v.data(), size * sizeof(std::int64_t));
+    }
+    return v;
+}
+
+}  // namespace ens

@@ -1,0 +1,59 @@
+#pragma once
+// Little binary stream codec used for model checkpoints and the split-
+// inference feature messages. All integers are written little-endian
+// fixed-width; floats as IEEE-754 bit patterns. The format carries no
+// versioning beyond a caller-supplied magic tag: both ends of the split
+// pipeline are built from this repository.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ens {
+
+class BinaryWriter {
+public:
+    explicit BinaryWriter(std::ostream& out) : out_(out) {}
+
+    void write_u8(std::uint8_t v);
+    void write_u32(std::uint32_t v);
+    void write_u64(std::uint64_t v);
+    void write_i64(std::int64_t v);
+    void write_f32(float v);
+    void write_f64(double v);
+    void write_string(const std::string& s);
+    void write_f32_array(const float* data, std::size_t count);
+    void write_i64_vector(const std::vector<std::int64_t>& v);
+
+    /// Total bytes written through this writer.
+    std::uint64_t bytes_written() const { return bytes_; }
+
+private:
+    void write_raw(const void* data, std::size_t size);
+
+    std::ostream& out_;
+    std::uint64_t bytes_ = 0;
+};
+
+class BinaryReader {
+public:
+    explicit BinaryReader(std::istream& in) : in_(in) {}
+
+    std::uint8_t read_u8();
+    std::uint32_t read_u32();
+    std::uint64_t read_u64();
+    std::int64_t read_i64();
+    float read_f32();
+    double read_f64();
+    std::string read_string();
+    void read_f32_array(float* data, std::size_t count);
+    std::vector<std::int64_t> read_i64_vector();
+
+private:
+    void read_raw(void* data, std::size_t size);
+
+    std::istream& in_;
+};
+
+}  // namespace ens

@@ -1,0 +1,28 @@
+#pragma once
+// Wall-clock stopwatch for coarse experiment timing (training stages,
+// attack phases). Latency *estimates* for Table III come from the
+// analytical model in src/latency, not from this clock.
+
+#include <chrono>
+
+namespace ens {
+
+class Stopwatch {
+public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    /// Seconds since construction or the last reset().
+    double elapsed_seconds() const {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+    void reset() { start_ = Clock::now(); }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+}  // namespace ens

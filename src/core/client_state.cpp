@@ -1,0 +1,66 @@
+#include "core/client_state.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "nn/checkpoint.hpp"
+
+namespace ens::core {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x454E5343;  // "ENSC"
+}
+
+void save_client_state(Ensembler& ensembler, std::ostream& out) {
+    const Selector& selector = ensembler.selector();
+    BinaryWriter writer(out);
+    writer.write_u32(kMagic);
+    writer.write_u64(selector.n());
+    writer.write_u64(selector.p());
+    for (const std::size_t index : selector.indices()) {
+        writer.write_u64(index);
+    }
+    nn::save_parameters(ensembler.client_head(), out);
+    // The noise mask is not a Parameter unless trainable; store it raw.
+    const Tensor& mask = ensembler.client_noise().mask();
+    writer.write_i64_vector(mask.shape().dims());
+    writer.write_f32_array(mask.data(), static_cast<std::size_t>(mask.numel()));
+    nn::save_parameters(ensembler.client_tail(), out);
+}
+
+void load_client_state(Ensembler& ensembler, std::istream& in) {
+    BinaryReader reader(in);
+    ENS_CHECK(reader.read_u32() == kMagic, "client state: bad magic");
+    const std::uint64_t n = reader.read_u64();
+    const std::uint64_t p = reader.read_u64();
+    ENS_REQUIRE(n == ensembler.num_networks(), "client state: N mismatch");
+    ENS_REQUIRE(p == ensembler.config().num_selected,
+                "client state: P mismatch (tail width would not fit)");
+    std::vector<std::size_t> indices(p);
+    for (std::uint64_t i = 0; i < p; ++i) {
+        indices[i] = reader.read_u64();
+    }
+    ensembler.run_stage2(std::move(indices));
+    nn::load_parameters(ensembler.client_head(), in);
+    const Shape mask_shape{reader.read_i64_vector()};
+    nn::FixedNoise& noise = ensembler.client_noise();
+    ENS_CHECK(mask_shape == noise.mask().shape(), "client state: noise mask shape mismatch");
+    reader.read_f32_array(noise.mask_parameter().value.data(),
+                          static_cast<std::size_t>(noise.mask().numel()));
+    nn::load_parameters(ensembler.client_tail(), in);
+}
+
+void save_client_state_file(Ensembler& ensembler, const std::string& path) {
+    std::ofstream out(path, std::ios::binary);
+    ENS_REQUIRE(out.good(), "cannot open client state for writing: " + path);
+    save_client_state(ensembler, out);
+}
+
+void load_client_state_file(Ensembler& ensembler, const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    ENS_REQUIRE(in.good(), "cannot open client state for reading: " + path);
+    load_client_state(ensembler, in);
+}
+
+}  // namespace ens::core

@@ -1,0 +1,29 @@
+#pragma once
+// Persistence for the client's private artifacts.
+//
+// After the three training stages, the client must carry four secrets
+// between sessions: the Selector, the stage-3 head weights, the fixed
+// noise mask, and the tail weights. The server bodies are NOT part of this
+// bundle — they live on the server and are public to it anyway. The bundle
+// is what a real deployment would keep in the device's secure storage;
+// leaking it is equivalent to leaking the selector (see §III-B).
+
+#include <iosfwd>
+#include <string>
+
+#include "core/ensembler.hpp"
+
+namespace ens::core {
+
+/// Writes selector indices + head/noise/tail parameters. Requires stage 3
+/// to have completed.
+void save_client_state(Ensembler& ensembler, std::ostream& out);
+void save_client_state_file(Ensembler& ensembler, const std::string& path);
+
+/// Restores the client artifacts into an Ensembler whose stages have run
+/// with the SAME architecture and N/P configuration (shape-checked): the
+/// selector is replaced, and head/noise/tail parameters are overwritten.
+void load_client_state(Ensembler& ensembler, std::istream& in);
+void load_client_state_file(Ensembler& ensembler, const std::string& path);
+
+}  // namespace ens::core

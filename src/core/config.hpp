@@ -1,0 +1,37 @@
+#pragma once
+// Ensembler hyper-parameters (paper defaults from §IV-A).
+
+#include <cstdint>
+
+#include "train/trainer.hpp"
+
+namespace ens::core {
+
+struct EnsemblerConfig {
+    /// N: parallel server nets (paper: 10).
+    std::size_t num_networks = 10;
+
+    /// P: secretly activated nets (paper: 4 for CIFAR-10, 3 for CIFAR-100,
+    /// 5 for the CelebA subset).
+    std::size_t num_selected = 4;
+
+    /// σ of the fixed Gaussian masks at the split (paper: 0.1), used both
+    /// for the per-net Stage-1 noises and the fresh Stage-3 noise.
+    float noise_stddev = 0.1f;
+
+    /// λ: strength of the Eq. 3 max-cosine-similarity regularizer.
+    float lambda = 0.5f;
+
+    /// Regularize against the stage-1 heads of the SELECTED nets only
+    /// (Eq. 3 sums over i ∈ P); set false to regularize against all N.
+    bool regularize_selected_only = true;
+
+    train::TrainOptions stage1_options;
+    train::TrainOptions stage3_options;
+
+    /// Master seed: drives per-net init, the noise masks, and the secret
+    /// selection (fork-separated streams).
+    std::uint64_t seed = 2024;
+};
+
+}  // namespace ens::core

@@ -1,0 +1,352 @@
+#include "core/ensembler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "metrics/accuracy.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "optim/schedule.hpp"
+#include "optim/sgd.hpp"
+#include "tensor/ops.hpp"
+#include "train/trainer.hpp"
+
+namespace ens::core {
+
+Ensembler::Ensembler(nn::ResNetConfig architecture, EnsemblerConfig config)
+    : arch_(architecture), config_(std::move(config)), root_rng_(config_.seed) {
+    ENS_REQUIRE(config_.num_networks >= 2, "Ensembler: need N >= 2");
+    ENS_REQUIRE(config_.num_selected >= 1 && config_.num_selected <= config_.num_networks,
+                "Ensembler: need 1 <= P <= N");
+    ENS_REQUIRE(config_.noise_stddev >= 0.0f, "Ensembler: negative noise stddev");
+}
+
+void Ensembler::require_stage(int stage) const {
+    if (stage >= 1) {
+        ENS_CHECK(stage1_done_, "Ensembler: stage 1 has not run");
+    }
+    if (stage >= 2) {
+        ENS_CHECK(selector_.has_value(), "Ensembler: stage 2 has not run");
+    }
+    if (stage >= 3) {
+        ENS_CHECK(stage3_done_, "Ensembler: stage 3 has not run");
+    }
+}
+
+void Ensembler::fit(const data::Dataset& train_set) {
+    run_stage1(train_set);
+    run_stage2();
+    run_stage3(train_set);
+}
+
+void Ensembler::run_stage1(const data::Dataset& train_set) {
+    members_.clear();
+    members_.reserve(config_.num_networks);
+    const Shape mask_shape{nn::resnet18_split_channels(arch_), nn::resnet18_split_hw(arch_),
+                           nn::resnet18_split_hw(arch_)};
+
+    for (std::size_t i = 0; i < config_.num_networks; ++i) {
+        Rng net_rng = root_rng_.fork_named("stage1/net").fork(i);
+        split::SplitModel parts = split::build_split_resnet18(arch_, net_rng);
+
+        Rng noise_rng = root_rng_.fork_named("stage1/noise").fork(i);
+        auto noise = std::make_unique<nn::FixedNoise>(mask_shape, config_.noise_stddev, noise_rng);
+
+        MemberNet member{std::move(parts.head), std::move(noise), std::move(parts.body),
+                         std::move(parts.tail)};
+
+        // Eq. 2: standard CE through head -> +noise_i -> body_i -> tail_i.
+        member.head->set_training(true);
+        member.body->set_training(true);
+        member.tail->set_training(true);
+
+        const train::ForwardFn forward = [&member](const Tensor& images) {
+            return member.tail->forward(
+                member.body->forward(member.noise->forward(member.head->forward(images))));
+        };
+        const train::BackwardFn backward = [&member](const Tensor& grad) {
+            member.head->backward(
+                member.noise->backward(member.body->backward(member.tail->backward(grad))));
+        };
+
+        std::vector<nn::Parameter*> params;
+        for (nn::Layer* layer :
+             std::initializer_list<nn::Layer*>{member.head.get(), member.body.get(),
+                                               member.tail.get()}) {
+            const auto layer_params = layer->parameters();
+            params.insert(params.end(), layer_params.begin(), layer_params.end());
+        }
+
+        train::TrainOptions options = config_.stage1_options;
+        options.seed = config_.seed ^ (0x5151ULL + i);
+        options.tag = "stage1/net" + std::to_string(i);
+        const train::TrainSummary summary =
+            train::train_classifier(forward, backward, std::move(params), train_set, options);
+        train::refresh_batchnorm_statistics(forward, train_set, /*batches=*/16,
+                                            options.batch_size, options.seed ^ 0xBA7C4ULL);
+        ENS_LOG_INFO << "stage1 net " << i << " done, train acc " << summary.final_train_accuracy;
+
+        members_.push_back(std::move(member));
+    }
+    stage1_done_ = true;
+    stage3_done_ = false;
+    selector_.reset();
+}
+
+void Ensembler::run_stage2() {
+    require_stage(1);
+    Rng selector_rng = root_rng_.fork_named("stage2/selector");
+    selector_ = Selector::random(config_.num_networks, config_.num_selected, selector_rng);
+    ENS_LOG_DEBUG << "stage2 selector " << selector_->to_string();
+}
+
+void Ensembler::run_stage2(std::vector<std::size_t> indices) {
+    require_stage(1);
+    selector_ = Selector(config_.num_networks, std::move(indices));
+}
+
+std::vector<std::size_t> Ensembler::regularization_set() const {
+    if (config_.regularize_selected_only) {
+        return selector_->indices();
+    }
+    std::vector<std::size_t> all(config_.num_networks);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        all[i] = i;
+    }
+    return all;
+}
+
+Stage3Diagnostics Ensembler::run_stage3(const data::Dataset& train_set) {
+    require_stage(2);
+
+    // Fresh client pieces. The head has the same architecture as the
+    // stage-1 heads; the tail takes the Selector's P*8w concatenation.
+    Rng stage3_rng = root_rng_.fork_named("stage3/init");
+    split::SplitModel fresh = split::build_split_resnet18(arch_, stage3_rng);
+    head_ = std::move(fresh.head);
+
+    const Shape mask_shape{nn::resnet18_split_channels(arch_), nn::resnet18_split_hw(arch_),
+                           nn::resnet18_split_hw(arch_)};
+    Rng noise_rng = root_rng_.fork_named("stage3/noise");
+    noise_ = std::make_unique<nn::FixedNoise>(mask_shape, config_.noise_stddev, noise_rng);
+
+    const std::int64_t tail_width =
+        static_cast<std::int64_t>(config_.num_selected) * nn::resnet18_feature_width(arch_);
+    tail_ = std::make_unique<nn::Sequential>();
+    tail_->emplace<nn::Linear>(tail_width, arch_.num_classes, stage3_rng);
+
+    // Freeze every stage-1 artifact; bodies run in eval mode (frozen
+    // BatchNorm statistics) while gradients still flow *through* them.
+    for (MemberNet& member : members_) {
+        member.head->set_training(false);
+        member.body->set_training(false);
+        member.tail->set_training(false);
+        nn::set_requires_grad(*member.head, false);
+        nn::set_requires_grad(*member.body, false);
+        nn::set_requires_grad(*member.tail, false);
+    }
+    head_->set_training(true);
+    tail_->set_training(true);
+
+    std::vector<nn::Parameter*> params = head_->parameters();
+    const auto tail_params = tail_->parameters();
+    params.insert(params.end(), tail_params.begin(), tail_params.end());
+
+    optim::SgdOptions sgd_options;
+    sgd_options.learning_rate = config_.stage3_options.learning_rate;
+    sgd_options.momentum = config_.stage3_options.momentum;
+    sgd_options.weight_decay = config_.stage3_options.weight_decay;
+    optim::Sgd optimizer(params, sgd_options);
+    optim::CosineAnnealing schedule(optimizer, config_.stage3_options.learning_rate,
+                                    static_cast<std::int64_t>(config_.stage3_options.epochs));
+
+    data::DataLoader loader(train_set, config_.stage3_options.batch_size,
+                            Rng(config_.seed ^ 0x53ULL), /*shuffle=*/true);
+
+    const std::vector<std::size_t> reg_set = regularization_set();
+    Stage3Diagnostics diagnostics;
+
+    for (std::size_t epoch = 0; epoch < config_.stage3_options.epochs; ++epoch) {
+        loader.start_epoch();
+        double epoch_ce = 0.0;
+        double epoch_max_cs = 0.0;
+        std::size_t batches = 0;
+
+        while (auto batch = loader.next()) {
+            // ---- forward ----
+            const Tensor z = head_->forward(batch->images);
+
+            // Eq. 3 regularizer: max over the reg set of the mean cosine
+            // similarity between the live head output and the frozen
+            // stage-1 head outputs. Subgradient flows through the argmax.
+            float max_cs = -2.0f;
+            Tensor max_cs_grad;
+            for (const std::size_t i : reg_set) {
+                const Tensor zi = members_[i].head->forward(batch->images);
+                const nn::LossResult cs = nn::cosine_similarity_mean(z, zi);
+                if (cs.value > max_cs) {
+                    max_cs = cs.value;
+                    max_cs_grad = cs.grad;
+                }
+            }
+
+            const Tensor z_noised = noise_->forward(z);
+            std::vector<Tensor> features;
+            features.reserve(selector_->p());
+            for (const std::size_t i : selector_->indices()) {
+                features.push_back(members_[i].body->forward(z_noised));
+            }
+            const Tensor combined = selector_->combine_selected(features);
+            const Tensor logits = tail_->forward(combined);
+
+            const nn::LossResult ce = nn::softmax_cross_entropy(logits, batch->labels);
+
+            // ---- backward ----
+            optimizer.zero_grad();
+            const Tensor d_combined = tail_->backward(ce.grad);
+            const std::vector<Tensor> d_features = selector_->split_gradient(d_combined);
+            Tensor d_z_noised;
+            std::size_t k = 0;
+            for (const std::size_t i : selector_->indices()) {
+                Tensor d_body_in = members_[i].body->backward(d_features[k++]);
+                if (d_z_noised.defined()) {
+                    d_z_noised.add_(d_body_in);
+                } else {
+                    d_z_noised = std::move(d_body_in);
+                }
+            }
+            Tensor d_z = noise_->backward(d_z_noised);
+            d_z.axpy_(config_.lambda, max_cs_grad);
+            head_->backward(d_z);
+
+            if (config_.stage3_options.clip_norm > 0.0) {
+                optim::clip_grad_norm(optimizer.parameters(), config_.stage3_options.clip_norm);
+            }
+            optimizer.step();
+
+            epoch_ce += ce.value;
+            epoch_max_cs += max_cs;
+            ++batches;
+        }
+        if (config_.stage3_options.cosine_schedule) {
+            schedule.step_epoch();
+        }
+        diagnostics.final_ce = static_cast<float>(epoch_ce / static_cast<double>(batches));
+        diagnostics.final_max_cosine =
+            static_cast<float>(epoch_max_cs / static_cast<double>(batches));
+        ENS_LOG_INFO << "stage3 epoch " << (epoch + 1) << "/" << config_.stage3_options.epochs
+                     << " ce=" << diagnostics.final_ce
+                     << " max_cs=" << diagnostics.final_max_cosine;
+    }
+
+    // The fresh head carries BatchNorm; re-converge its running statistics
+    // to the final weights (only the head trains in stage 3 — the tail is
+    // a bare Linear and the bodies stayed in eval mode).
+    train::refresh_batchnorm_statistics(
+        [this](const Tensor& x) { return head_->forward(x); }, train_set, /*batches=*/16,
+        config_.stage3_options.batch_size, config_.seed ^ 0xBA7C4ULL);
+
+    stage3_done_ = true;
+    return diagnostics;
+}
+
+Tensor Ensembler::predict(const Tensor& images) {
+    require_stage(3);
+    head_->set_training(false);
+    tail_->set_training(false);
+    const Tensor z_noised = noise_->forward(head_->forward(images));
+    std::vector<Tensor> features;
+    features.reserve(selector_->p());
+    for (const std::size_t i : selector_->indices()) {
+        members_[i].body->set_training(false);
+        features.push_back(members_[i].body->forward(z_noised));
+    }
+    return tail_->forward(selector_->combine_selected(features));
+}
+
+float Ensembler::evaluate_accuracy(const data::Dataset& test_set, std::size_t batch_size) {
+    return train::evaluate_accuracy([this](const Tensor& x) { return predict(x); }, test_set,
+                                    batch_size);
+}
+
+split::DeployedPipeline Ensembler::deployed() {
+    require_stage(3);
+    split::DeployedPipeline view;
+    view.transmit = [this](const Tensor& images) {
+        head_->set_training(false);
+        return noise_->forward(head_->forward(images));
+    };
+    for (MemberNet& member : members_) {
+        member.body->set_training(false);
+        view.bodies.push_back(member.body.get());
+    }
+    view.predict = [this](const Tensor& images) { return predict(images); };
+    return view;
+}
+
+const Selector& Ensembler::selector() const {
+    require_stage(2);
+    return *selector_;
+}
+
+nn::Sequential& Ensembler::client_head() {
+    require_stage(3);
+    return *head_;
+}
+
+nn::Sequential& Ensembler::client_tail() {
+    require_stage(3);
+    return *tail_;
+}
+
+nn::FixedNoise& Ensembler::client_noise() {
+    require_stage(3);
+    return *noise_;
+}
+
+void Ensembler::replace_client_noise(std::unique_ptr<nn::FixedNoise> noise) {
+    require_stage(3);
+    ENS_REQUIRE(noise != nullptr, "replace_client_noise: null noise layer");
+    ENS_REQUIRE(noise->mask().shape() == noise_->mask().shape(),
+                "replace_client_noise: mask shape must match the deployed head geometry");
+    noise_ = std::move(noise);
+}
+
+nn::Sequential& Ensembler::member_head(std::size_t i) {
+    require_stage(1);
+    ENS_REQUIRE(i < members_.size(), "Ensembler: member index out of range");
+    return *members_[i].head;
+}
+
+nn::Sequential& Ensembler::member_body(std::size_t i) {
+    require_stage(1);
+    ENS_REQUIRE(i < members_.size(), "Ensembler: member index out of range");
+    return *members_[i].body;
+}
+
+nn::Sequential& Ensembler::member_tail(std::size_t i) {
+    require_stage(1);
+    ENS_REQUIRE(i < members_.size(), "Ensembler: member index out of range");
+    return *members_[i].tail;
+}
+
+nn::FixedNoise& Ensembler::member_noise(std::size_t i) {
+    require_stage(1);
+    ENS_REQUIRE(i < members_.size(), "Ensembler: member index out of range");
+    return *members_[i].noise;
+}
+
+float Ensembler::max_head_cosine(const Tensor& images) {
+    require_stage(3);
+    head_->set_training(false);
+    const Tensor z = head_->forward(images);
+    float max_cs = -2.0f;
+    for (const std::size_t i : regularization_set()) {
+        const Tensor zi = members_[i].head->forward(images);
+        max_cs = std::max(max_cs, nn::cosine_similarity_mean(z, zi).value);
+    }
+    return max_cs;
+}
+
+}  // namespace ens::core

@@ -1,0 +1,116 @@
+#pragma once
+// Ensembler (the paper's contribution): selective-ensemble collaborative
+// inference with the three-stage training pipeline of §III-C.
+//
+//   Stage 1  trains N complete ResNet-18 pipelines, each with its own fixed
+//            Gaussian mask after the head (Eq. 2). Distinct masks force
+//            distinct head weights ("quasi-orthogonal" heads).
+//   Stage 2  secretly selects P of the N nets (the Selector).
+//   Stage 3  freezes the P server bodies, re-trains a FRESH client head +
+//            tail against the 1/P-scaled concatenation of the selected
+//            bodies' features, with loss Eq. 3:
+//              L = CE + λ · max_i CS(M_c,h(x), M^i_c,h(x))
+//            pushing the deployed head away from every stage-1 head so no
+//            single body is "favored".
+//
+// After training, all N bodies are deployed on the server; the client keeps
+// the stage-3 head, a fresh noise mask, the Selector, and the stage-3 tail.
+
+#include <memory>
+#include <optional>
+
+#include "core/config.hpp"
+#include "core/selector.hpp"
+#include "data/dataset.hpp"
+#include "nn/noise.hpp"
+#include "nn/resnet.hpp"
+#include "split/deployed.hpp"
+#include "split/split_model.hpp"
+
+namespace ens::core {
+
+/// Per-epoch diagnostics of Stage 3 (loss terms separately, for the λ
+/// ablation).
+struct Stage3Diagnostics {
+    float final_ce = 0.0f;
+    float final_max_cosine = 0.0f;  // max_i CS(head(x), head_i(x)) at the last epoch
+};
+
+class Ensembler {
+public:
+    Ensembler(nn::ResNetConfig architecture, EnsemblerConfig config);
+
+    /// Runs stage 1 + stage 2 + stage 3.
+    void fit(const data::Dataset& train_set);
+
+    /// Stage 1 (Eq. 2): trains the N member nets independently.
+    void run_stage1(const data::Dataset& train_set);
+
+    /// Stage 2: secret selection (drawn from the config seed, or explicit).
+    void run_stage2();
+    void run_stage2(std::vector<std::size_t> indices);
+
+    /// Stage 3 (Eq. 3): trains the deployed client head/tail.
+    Stage3Diagnostics run_stage3(const data::Dataset& train_set);
+
+    /// Deployed-pipeline inference (eval mode): head -> +noise -> selected
+    /// bodies -> Selector concat -> tail.
+    Tensor predict(const Tensor& images);
+
+    float evaluate_accuracy(const data::Dataset& test_set, std::size_t batch_size = 64);
+
+    /// Attacker-facing view: transmit() and ALL N server bodies.
+    split::DeployedPipeline deployed();
+
+    const Selector& selector() const;
+    std::size_t num_networks() const { return config_.num_networks; }
+    const nn::ResNetConfig& architecture() const { return arch_; }
+    const EnsemblerConfig& config() const { return config_; }
+
+    /// Client pieces (stage-3 artifacts).
+    nn::Sequential& client_head();
+    nn::Sequential& client_tail();
+    nn::FixedNoise& client_noise();
+
+    /// §V extensibility hook: swaps the stage-3 split-point perturbation
+    /// (e.g. for a Shredder-trained mask, see core/extensions.hpp). The
+    /// replacement's mask shape must match the deployed head geometry.
+    void replace_client_noise(std::unique_ptr<nn::FixedNoise> noise);
+
+    /// Stage-1 artifacts (for the Eq. 3 regularizer, tests, and ablations).
+    nn::Sequential& member_head(std::size_t i);
+    nn::Sequential& member_body(std::size_t i);
+    nn::Sequential& member_tail(std::size_t i);
+    nn::FixedNoise& member_noise(std::size_t i);
+
+    /// max_i CS(head(x), head_i(x)) over the regularization set — the
+    /// quantity Eq. 3 suppresses; exposed for tests/diagnostics.
+    float max_head_cosine(const Tensor& images);
+
+private:
+    struct MemberNet {
+        std::unique_ptr<nn::Sequential> head;
+        std::unique_ptr<nn::FixedNoise> noise;
+        std::unique_ptr<nn::Sequential> body;
+        std::unique_ptr<nn::Sequential> tail;
+    };
+
+    void require_stage(int stage) const;
+    std::vector<std::size_t> regularization_set() const;
+
+    nn::ResNetConfig arch_;
+    EnsemblerConfig config_;
+    Rng root_rng_;
+
+    std::vector<MemberNet> members_;
+    std::optional<Selector> selector_;
+
+    std::unique_ptr<nn::Sequential> head_;
+    std::unique_ptr<nn::FixedNoise> noise_;
+    std::unique_ptr<nn::Sequential> tail_;
+
+    bool stage1_done_ = false;
+    bool stage3_done_ = false;
+};
+
+}  // namespace ens::core

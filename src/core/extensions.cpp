@@ -1,0 +1,142 @@
+#include "core/extensions.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "data/dataloader.hpp"
+#include "nn/dropout.hpp"
+#include "nn/loss.hpp"
+#include "nn/noise.hpp"
+#include "optim/sgd.hpp"
+
+namespace ens::core {
+
+namespace {
+
+float mask_power(const nn::Parameter& mask) {
+    const std::int64_t n = mask.value.numel();
+    double power = 0.0;
+    const float* m = mask.value.data();
+    for (std::int64_t i = 0; i < n; ++i) {
+        power += static_cast<double>(m[i]) * m[i];
+    }
+    return static_cast<float>(power / static_cast<double>(n));
+}
+
+}  // namespace
+
+ShredderStage3Result attach_shredder_noise(Ensembler& ensembler, const data::Dataset& train_set,
+                                           const ShredderStage3Options& options) {
+    ENS_REQUIRE(options.epochs >= 1, "attach_shredder_noise: need at least one epoch");
+
+    // Start the trainable mask from the deployed fixed mask: the head and
+    // tail were stage-3-trained around that mask, so the warm start keeps
+    // CE near its trained value while the power term grows the mask.
+    nn::Sequential& head = ensembler.client_head();
+    nn::Sequential& tail = ensembler.client_tail();
+    const Selector& selector = ensembler.selector();
+
+    Rng mask_rng(options.seed);
+    auto trained_mask = std::make_unique<nn::FixedNoise>(
+        ensembler.client_noise().mask().shape(), ensembler.client_noise().stddev(), mask_rng,
+        /*trainable=*/true);
+    trained_mask->mask_parameter().value.copy_from(ensembler.client_noise().mask());
+    nn::FixedNoise* mask = trained_mask.get();
+
+    // Freeze everything but the mask. BN statistics stay at their trained
+    // values (eval mode) — only the mask moves.
+    head.set_training(false);
+    nn::set_requires_grad(head, false);
+    tail.set_training(false);
+    nn::set_requires_grad(tail, false);
+    for (const std::size_t i : selector.indices()) {
+        ensembler.member_body(i).set_training(false);
+        nn::set_requires_grad(ensembler.member_body(i), false);
+    }
+
+    ShredderStage3Result result;
+    result.initial_mask_power = mask_power(mask->mask_parameter());
+
+    optim::SgdOptions sgd_options;
+    sgd_options.learning_rate = options.learning_rate;
+    sgd_options.momentum = options.momentum;
+    optim::Sgd optimizer({&mask->mask_parameter()}, sgd_options);
+
+    data::DataLoader loader(train_set, options.batch_size, Rng(options.seed ^ 0x10ADULL),
+                            /*shuffle=*/true);
+    for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+        loader.start_epoch();
+        double epoch_ce = 0.0;
+        std::size_t batches = 0;
+        while (auto batch = loader.next()) {
+            // Deployed pipeline with the candidate mask at the split.
+            const Tensor z_noised = mask->forward(head.forward(batch->images));
+            std::vector<Tensor> features;
+            features.reserve(selector.p());
+            for (const std::size_t i : selector.indices()) {
+                features.push_back(ensembler.member_body(i).forward(z_noised));
+            }
+            const Tensor logits = tail.forward(selector.combine_selected(features));
+            const nn::LossResult ce = nn::softmax_cross_entropy(logits, batch->labels);
+
+            optimizer.zero_grad();
+            const Tensor d_combined = tail.backward(ce.grad);
+            const std::vector<Tensor> d_features = selector.split_gradient(d_combined);
+            Tensor d_z_noised;
+            std::size_t k = 0;
+            for (const std::size_t i : selector.indices()) {
+                Tensor d_in = ensembler.member_body(i).backward(d_features[k++]);
+                if (d_z_noised.defined()) {
+                    d_z_noised.add_(d_in);
+                } else {
+                    d_z_noised = std::move(d_in);
+                }
+            }
+            (void)mask->backward(d_z_noised);  // accumulates into the mask grad
+
+            // Shredder's power reward: d/dm [-λ log(mean(m²)+ε)].
+            nn::Parameter& param = mask->mask_parameter();
+            const float power = mask_power(param);
+            const std::int64_t n = param.value.numel();
+            const float coeff = static_cast<float>(
+                -options.noise_reward * 2.0 /
+                (static_cast<double>(n) * (static_cast<double>(power) + 1e-8)));
+            float* grad = param.grad.data();
+            const float* value = param.value.data();
+            for (std::int64_t i = 0; i < n; ++i) {
+                grad[i] += coeff * value[i];
+            }
+            optimizer.step();
+
+            epoch_ce += ce.value;
+            ++batches;
+        }
+        result.final_ce = static_cast<float>(epoch_ce / static_cast<double>(batches));
+        ENS_LOG_INFO << "ensembler+shredder mask epoch " << (epoch + 1)
+                     << " ce=" << result.final_ce
+                     << " power=" << mask_power(mask->mask_parameter());
+    }
+    result.final_mask_power = mask_power(mask->mask_parameter());
+
+    ensembler.replace_client_noise(std::move(trained_mask));
+    return result;
+}
+
+std::size_t attach_tail_dropout(Ensembler& ensembler, float drop_probability,
+                                std::uint64_t seed) {
+    ENS_REQUIRE(drop_probability > 0.0f && drop_probability < 1.0f,
+                "attach_tail_dropout: probability must be in (0, 1)");
+    nn::Sequential& tail = ensembler.client_tail();
+    // The tail is [... , Linear]; splice the always-on dropout right before
+    // the final Linear so it masks the combined feature vector (the FC
+    // input), exactly where He et al.'s DR defense puts it.
+    ENS_REQUIRE(!tail.empty(), "attach_tail_dropout: empty tail");
+    const std::size_t position = tail.size() - 1;
+    tail.insert(position,
+                std::make_unique<nn::Dropout>(drop_probability, Rng(seed), /*active_in_eval=*/true));
+    return position;
+}
+
+}  // namespace ens::core

@@ -1,0 +1,54 @@
+#pragma once
+// §IV-C / §V composition hooks: Ensembler "operates in parallel with
+// existing perturbation methods", and the paper names two concrete
+// combinations —
+//
+//   * "The additive noise N(0,σ) in the third stage could be replaced by
+//     Shredder's trained noise"  -> attach_shredder_noise()
+//   * "dropout can also be added to the network's FC layer to perform
+//     further protection"        -> attach_tail_dropout()
+//
+// Both operate on an already-fit Ensembler: the ensemble (bodies, secret
+// Selector, stage-3 head/tail) stays exactly as trained; only the client-
+// side perturbation around the wire changes. The combined pipelines are
+// evaluated against the same MIA harness in bench/ablation_combined.
+
+#include <cstdint>
+
+#include "core/ensembler.hpp"
+#include "data/dataset.hpp"
+
+namespace ens::core {
+
+struct ShredderStage3Options {
+    /// λ on -log(mask power): larger rewards louder masks.
+    float noise_reward = 0.05f;
+    std::size_t epochs = 3;
+    std::size_t batch_size = 32;
+    double learning_rate = 0.05;
+    double momentum = 0.9;
+    std::uint64_t seed = 0x5C0DE;
+};
+
+/// Diagnostics of the mask training (for tests and the ablation bench).
+struct ShredderStage3Result {
+    float initial_mask_power = 0.0f;  // mean(mask^2) before training
+    float final_mask_power = 0.0f;    // after — should grow
+    float final_ce = 0.0f;            // CE with the trained mask in place
+};
+
+/// Replaces the fit Ensembler's stage-3 fixed mask with a Shredder-trained
+/// mask: the deployed head, selected bodies and tail are frozen while the
+/// mask maximizes noise power subject to classification accuracy
+/// (CE - λ·log(mean(mask²)), the additive-noise Shredder objective). The
+/// trained mask is installed via Ensembler::replace_client_noise.
+ShredderStage3Result attach_shredder_noise(Ensembler& ensembler, const data::Dataset& train_set,
+                                           const ShredderStage3Options& options = {});
+
+/// Splices an always-on (active at inference) dropout layer directly
+/// before the tail's Linear — He et al.'s DR mechanism composed with the
+/// ensemble. Returns the inserted layer's position in the tail.
+std::size_t attach_tail_dropout(Ensembler& ensembler, float drop_probability,
+                                std::uint64_t seed = 0xD20);
+
+}  // namespace ens::core

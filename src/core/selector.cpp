@@ -1,0 +1,87 @@
+#include "core/selector.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace ens::core {
+
+Selector::Selector(std::size_t n, std::vector<std::size_t> indices)
+    : n_(n), indices_(std::move(indices)) {
+    ENS_REQUIRE(n_ >= 1, "Selector: need at least one network");
+    ENS_REQUIRE(!indices_.empty() && indices_.size() <= n_, "Selector: bad selection size");
+    std::vector<std::size_t> sorted = indices_;
+    std::sort(sorted.begin(), sorted.end());
+    ENS_REQUIRE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+                "Selector: duplicate indices");
+    ENS_REQUIRE(sorted.back() < n_, "Selector: index out of range");
+}
+
+Selector Selector::random(std::size_t n, std::size_t p, Rng& rng) {
+    ENS_REQUIRE(p >= 1 && p <= n, "Selector: p must be in [1, n]");
+    std::vector<std::size_t> pool(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        pool[i] = i;
+    }
+    rng.shuffle(pool);
+    pool.resize(p);
+    return Selector(n, std::move(pool));
+}
+
+bool Selector::contains(std::size_t body_index) const {
+    return std::find(indices_.begin(), indices_.end(), body_index) != indices_.end();
+}
+
+Tensor Selector::apply(const std::vector<Tensor>& all_features) const {
+    ENS_REQUIRE(all_features.size() == n_, "Selector::apply expects all N feature maps");
+    std::vector<Tensor> selected;
+    selected.reserve(indices_.size());
+    for (const std::size_t i : indices_) {
+        selected.push_back(all_features[i]);
+    }
+    return combine_selected(selected);
+}
+
+Tensor Selector::combine_selected(const std::vector<Tensor>& selected_features) const {
+    ENS_REQUIRE(selected_features.size() == indices_.size(),
+                "Selector: expected exactly the P selected feature maps");
+    const float scale = 1.0f / static_cast<float>(indices_.size());
+    std::vector<Tensor> scaled;
+    scaled.reserve(selected_features.size());
+    for (const Tensor& f : selected_features) {
+        ENS_REQUIRE(f.rank() == 2, "Selector: feature maps must be [batch, features]");
+        scaled.push_back(ens::scale(f, scale));
+    }
+    return concat_cols(scaled);
+}
+
+std::vector<Tensor> Selector::split_gradient(const Tensor& grad_combined) const {
+    ENS_REQUIRE(grad_combined.rank() == 2, "Selector: gradient must be [batch, features]");
+    const auto p = static_cast<std::int64_t>(indices_.size());
+    ENS_REQUIRE(grad_combined.dim(1) % p == 0, "Selector: gradient width not divisible by P");
+    const std::int64_t width = grad_combined.dim(1) / p;
+    std::vector<Tensor> grads = split_cols(grad_combined, std::vector<std::int64_t>(
+                                                              static_cast<std::size_t>(p), width));
+    const float scale = 1.0f / static_cast<float>(p);
+    for (Tensor& g : grads) {
+        g.scale_(scale);
+    }
+    return grads;
+}
+
+std::string Selector::to_string() const {
+    std::ostringstream oss;
+    oss << '{';
+    for (std::size_t i = 0; i < indices_.size(); ++i) {
+        if (i > 0) {
+            oss << ',';
+        }
+        oss << indices_[i];
+    }
+    oss << "}/" << n_;
+    return oss.str();
+}
+
+}  // namespace ens::core

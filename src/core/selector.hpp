@@ -1,0 +1,53 @@
+#pragma once
+// The secret Selector (Eq. 1): the client-private choice of P of the N
+// server nets, applied as   Sel[Ms(x)] = Concat[ S_i ⊙ f  ∀ f ∈ Ms(x')_p ]
+// with S_i = 1/P.
+//
+// The selector is the entire secret of the Ensembler scheme — the paper's
+// security argument (§III-B, §III-D) is that the server must brute-force
+// the O(2^N) subsets to know which shadow network actually matches the
+// client's head. Keep instances client-side; serialization exists for
+// checkpointing tests only.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ens::core {
+
+class Selector {
+public:
+    /// Explicit selection; indices must be distinct and < n.
+    Selector(std::size_t n, std::vector<std::size_t> indices);
+
+    /// Secret uniform draw of p distinct indices out of n.
+    static Selector random(std::size_t n, std::size_t p, Rng& rng);
+
+    std::size_t n() const { return n_; }
+    std::size_t p() const { return indices_.size(); }
+    const std::vector<std::size_t>& indices() const { return indices_; }
+    bool contains(std::size_t body_index) const;
+
+    /// Eq. 1 over the FULL set of N returned feature maps ([batch, F] each):
+    /// picks the selected P, scales by 1/P, concatenates -> [batch, P*F].
+    Tensor apply(const std::vector<Tensor>& all_features) const;
+
+    /// Eq. 1 when only the P selected maps were computed (training path).
+    Tensor combine_selected(const std::vector<Tensor>& selected_features) const;
+
+    /// Splits the gradient of combine_selected's output back into P
+    /// per-body gradients (scaled by 1/P).
+    std::vector<Tensor> split_gradient(const Tensor& grad_combined) const;
+
+    /// "{2,5,7}/10" - for logs; safe to print (tests only).
+    std::string to_string() const;
+
+private:
+    std::size_t n_;
+    std::vector<std::size_t> indices_;
+};
+
+}  // namespace ens::core

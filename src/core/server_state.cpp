@@ -1,0 +1,46 @@
+#include "core/server_state.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "nn/checkpoint.hpp"
+
+namespace ens::core {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x454E5353;  // "ENSS"
+}
+
+void save_server_bundle(Ensembler& ensembler, std::ostream& out) {
+    BinaryWriter writer(out);
+    writer.write_u32(kMagic);
+    writer.write_u64(ensembler.num_networks());
+    for (std::size_t i = 0; i < ensembler.num_networks(); ++i) {
+        nn::save_state(ensembler.member_body(i), out);
+    }
+}
+
+void load_server_bundle(Ensembler& ensembler, std::istream& in) {
+    BinaryReader reader(in);
+    ENS_CHECK(reader.read_u32() == kMagic, "server bundle: bad magic");
+    const std::uint64_t n = reader.read_u64();
+    ENS_REQUIRE(n == ensembler.num_networks(), "server bundle: N mismatch");
+    for (std::size_t i = 0; i < ensembler.num_networks(); ++i) {
+        nn::load_state(ensembler.member_body(i), in);
+    }
+}
+
+void save_server_bundle_file(Ensembler& ensembler, const std::string& path) {
+    std::ofstream out(path, std::ios::binary);
+    ENS_REQUIRE(out.good(), "cannot open server bundle for writing: " + path);
+    save_server_bundle(ensembler, out);
+}
+
+void load_server_bundle_file(Ensembler& ensembler, const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    ENS_REQUIRE(in.good(), "cannot open server bundle for reading: " + path);
+    load_server_bundle(ensembler, in);
+}
+
+}  // namespace ens::core

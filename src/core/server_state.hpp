@@ -1,0 +1,29 @@
+#pragma once
+// Persistence for the server-side deployment bundle.
+//
+// The counterpart of core/client_state.hpp: after the three training
+// stages, the CaaS provider installs all N body networks (it never learns
+// which P the client activates). The bundle stores every body with the
+// full-fidelity checkpoint (parameters + BatchNorm running statistics), so
+// a server process that loads it reproduces the training-time eval outputs
+// exactly — the property the client's deployed head/tail were trained
+// against. Nothing secret is in this file by design: §II-B's threat model
+// already gives the adversarial server white-box access to the bodies.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/ensembler.hpp"
+
+namespace ens::core {
+
+/// Writes N + per-body full state. Requires stage 1 to have completed.
+void save_server_bundle(Ensembler& ensembler, std::ostream& out);
+void save_server_bundle_file(Ensembler& ensembler, const std::string& path);
+
+/// Restores every body into an Ensembler built with the same architecture
+/// and N (shape/name-checked per tensor).
+void load_server_bundle(Ensembler& ensembler, std::istream& in);
+void load_server_bundle_file(Ensembler& ensembler, const std::string& path);
+
+}  // namespace ens::core

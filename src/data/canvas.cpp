@@ -1,0 +1,225 @@
+#include "data/canvas.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ens::data {
+
+namespace {
+
+float smooth_edge(float signed_distance) {
+    // 1 inside, 0 outside, linear ramp over ~1px.
+    return std::clamp(0.5f - signed_distance, 0.0f, 1.0f);
+}
+
+}  // namespace
+
+Rgb hsv_to_rgb(float h, float s, float v) {
+    h = h - std::floor(h);  // wrap to [0,1)
+    const float c = v * s;
+    const float hp = h * 6.0f;
+    const float x = c * (1.0f - std::fabs(std::fmod(hp, 2.0f) - 1.0f));
+    float r = 0.0f;
+    float g = 0.0f;
+    float b = 0.0f;
+    if (hp < 1.0f) {
+        r = c; g = x;
+    } else if (hp < 2.0f) {
+        r = x; g = c;
+    } else if (hp < 3.0f) {
+        g = c; b = x;
+    } else if (hp < 4.0f) {
+        g = x; b = c;
+    } else if (hp < 5.0f) {
+        r = x; b = c;
+    } else {
+        r = c; b = x;
+    }
+    const float m = v - c;
+    return {r + m, g + m, b + m};
+}
+
+Canvas::Canvas(std::int64_t height, std::int64_t width)
+    : height_(height), width_(width), pixels_(Shape{3, height, width}) {
+    ENS_REQUIRE(height > 0 && width > 0, "Canvas: bad size");
+}
+
+void Canvas::blend(std::int64_t x, std::int64_t y, const Rgb& color, float alpha) {
+    if (x < 0 || x >= width_ || y < 0 || y >= height_ || alpha <= 0.0f) {
+        return;
+    }
+    alpha = std::min(alpha, 1.0f);
+    float* p = pixels_.data();
+    const std::int64_t plane = height_ * width_;
+    const std::int64_t idx = y * width_ + x;
+    p[idx] = (1.0f - alpha) * p[idx] + alpha * color.r;
+    p[plane + idx] = (1.0f - alpha) * p[plane + idx] + alpha * color.g;
+    p[2 * plane + idx] = (1.0f - alpha) * p[2 * plane + idx] + alpha * color.b;
+}
+
+void Canvas::fill(const Rgb& color) {
+    float* p = pixels_.data();
+    const std::int64_t plane = height_ * width_;
+    std::fill(p, p + plane, color.r);
+    std::fill(p + plane, p + 2 * plane, color.g);
+    std::fill(p + 2 * plane, p + 3 * plane, color.b);
+}
+
+void Canvas::fill_vertical_gradient(const Rgb& top, const Rgb& bottom) {
+    for (std::int64_t y = 0; y < height_; ++y) {
+        const float t = height_ > 1 ? static_cast<float>(y) / static_cast<float>(height_ - 1) : 0.0f;
+        const Rgb c{top.r + t * (bottom.r - top.r), top.g + t * (bottom.g - top.g),
+                    top.b + t * (bottom.b - top.b)};
+        for (std::int64_t x = 0; x < width_; ++x) {
+            blend(x, y, c, 1.0f);
+        }
+    }
+}
+
+void Canvas::fill_horizontal_gradient(const Rgb& left, const Rgb& right) {
+    for (std::int64_t x = 0; x < width_; ++x) {
+        const float t = width_ > 1 ? static_cast<float>(x) / static_cast<float>(width_ - 1) : 0.0f;
+        const Rgb c{left.r + t * (right.r - left.r), left.g + t * (right.g - left.g),
+                    left.b + t * (right.b - left.b)};
+        for (std::int64_t y = 0; y < height_; ++y) {
+            blend(x, y, c, 1.0f);
+        }
+    }
+}
+
+void Canvas::draw_disc(float cx, float cy, float radius, const Rgb& color) {
+    for (std::int64_t y = 0; y < height_; ++y) {
+        for (std::int64_t x = 0; x < width_; ++x) {
+            const float dx = static_cast<float>(x) - cx;
+            const float dy = static_cast<float>(y) - cy;
+            const float d = std::sqrt(dx * dx + dy * dy) - radius;
+            blend(x, y, color, smooth_edge(d));
+        }
+    }
+}
+
+void Canvas::draw_ring(float cx, float cy, float radius, float thickness, const Rgb& color) {
+    for (std::int64_t y = 0; y < height_; ++y) {
+        for (std::int64_t x = 0; x < width_; ++x) {
+            const float dx = static_cast<float>(x) - cx;
+            const float dy = static_cast<float>(y) - cy;
+            const float d = std::fabs(std::sqrt(dx * dx + dy * dy) - radius) - thickness * 0.5f;
+            blend(x, y, color, smooth_edge(d));
+        }
+    }
+}
+
+void Canvas::draw_rect(float x0, float y0, float x1, float y1, const Rgb& color) {
+    for (std::int64_t y = 0; y < height_; ++y) {
+        for (std::int64_t x = 0; x < width_; ++x) {
+            const float fx = static_cast<float>(x);
+            const float fy = static_cast<float>(y);
+            // Signed distance to the rectangle boundary (negative inside).
+            const float dx = std::max(x0 - fx, fx - x1);
+            const float dy = std::max(y0 - fy, fy - y1);
+            const float d = std::max(dx, dy);
+            blend(x, y, color, smooth_edge(d));
+        }
+    }
+}
+
+void Canvas::draw_stripes(float angle, float period, float phase, const Rgb& color) {
+    ENS_REQUIRE(period > 0.5f, "draw_stripes: period too small");
+    const float nx = std::cos(angle);
+    const float ny = std::sin(angle);
+    for (std::int64_t y = 0; y < height_; ++y) {
+        for (std::int64_t x = 0; x < width_; ++x) {
+            const float proj = nx * static_cast<float>(x) + ny * static_cast<float>(y) + phase;
+            const float cycle = proj / period - std::floor(proj / period);
+            // Soft square wave with duty cycle 0.5.
+            const float soft = 1.0f / (1.0f + std::exp(-24.0f * (0.25f - std::fabs(cycle - 0.5f))));
+            blend(x, y, color, soft);
+        }
+    }
+}
+
+void Canvas::draw_checker(float cell, float ox, float oy, const Rgb& color) {
+    ENS_REQUIRE(cell >= 1.0f, "draw_checker: cell too small");
+    for (std::int64_t y = 0; y < height_; ++y) {
+        for (std::int64_t x = 0; x < width_; ++x) {
+            const auto cx = static_cast<std::int64_t>(
+                std::floor((static_cast<float>(x) - ox) / cell));
+            const auto cy = static_cast<std::int64_t>(
+                std::floor((static_cast<float>(y) - oy) / cell));
+            if (((cx + cy) & 1) == 0) {
+                blend(x, y, color, 1.0f);
+            }
+        }
+    }
+}
+
+void Canvas::draw_cross(float cx, float cy, float arm_length, float arm_width, const Rgb& color) {
+    draw_rect(cx - arm_length, cy - arm_width * 0.5f, cx + arm_length, cy + arm_width * 0.5f,
+              color);
+    draw_rect(cx - arm_width * 0.5f, cy - arm_length, cx + arm_width * 0.5f, cy + arm_length,
+              color);
+}
+
+void Canvas::draw_line(float x0, float y0, float x1, float y1, float half_width,
+                       const Rgb& color) {
+    const float vx = x1 - x0;
+    const float vy = y1 - y0;
+    const float len_sq = vx * vx + vy * vy;
+    for (std::int64_t y = 0; y < height_; ++y) {
+        for (std::int64_t x = 0; x < width_; ++x) {
+            const float px = static_cast<float>(x) - x0;
+            const float py = static_cast<float>(y) - y0;
+            const float t = len_sq > 0.0f ? std::clamp((px * vx + py * vy) / len_sq, 0.0f, 1.0f)
+                                          : 0.0f;
+            const float dx = px - t * vx;
+            const float dy = py - t * vy;
+            const float d = std::sqrt(dx * dx + dy * dy) - half_width;
+            blend(x, y, color, smooth_edge(d));
+        }
+    }
+}
+
+void Canvas::draw_blob(float cx, float cy, float sigma, const Rgb& color, float strength) {
+    const float inv_two_sigma_sq = 1.0f / (2.0f * sigma * sigma);
+    for (std::int64_t y = 0; y < height_; ++y) {
+        for (std::int64_t x = 0; x < width_; ++x) {
+            const float dx = static_cast<float>(x) - cx;
+            const float dy = static_cast<float>(y) - cy;
+            const float alpha = strength * std::exp(-(dx * dx + dy * dy) * inv_two_sigma_sq);
+            blend(x, y, color, alpha);
+        }
+    }
+}
+
+void Canvas::draw_ellipse(float cx, float cy, float rx, float ry, const Rgb& color) {
+    ENS_REQUIRE(rx > 0.0f && ry > 0.0f, "draw_ellipse: radii must be positive");
+    for (std::int64_t y = 0; y < height_; ++y) {
+        for (std::int64_t x = 0; x < width_; ++x) {
+            const float dx = (static_cast<float>(x) - cx) / rx;
+            const float dy = (static_cast<float>(y) - cy) / ry;
+            // Approximate signed distance: (|p|_ellipse - 1) * min(rx, ry).
+            const float d = (std::sqrt(dx * dx + dy * dy) - 1.0f) * std::min(rx, ry);
+            blend(x, y, color, smooth_edge(d));
+        }
+    }
+}
+
+void Canvas::add_noise(float stddev, Rng& rng) {
+    float* p = pixels_.data();
+    const std::int64_t n = pixels_.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        p[i] = std::clamp(p[i] + static_cast<float>(rng.normal(0.0, stddev)), 0.0f, 1.0f);
+    }
+}
+
+void Canvas::clamp() {
+    float* p = pixels_.data();
+    const std::int64_t n = pixels_.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        p[i] = std::clamp(p[i], 0.0f, 1.0f);
+    }
+}
+
+}  // namespace ens::data

@@ -1,0 +1,84 @@
+#pragma once
+// Procedural drawing primitives for the synthetic datasets.
+//
+// A Canvas wraps a [3, H, W] tensor of [0,1] RGB floats. Primitives blend
+// with soft (anti-aliased) edges so reconstruction metrics (SSIM/PSNR) vary
+// smoothly with geometry — hard 1-pixel edges would make inversion quality
+// look artificially binary.
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ens::data {
+
+struct Rgb {
+    float r = 0.0f;
+    float g = 0.0f;
+    float b = 0.0f;
+};
+
+/// HSV -> RGB, h in [0,1) wrapping, s/v in [0,1]. Used to build class color
+/// families with controlled hue ranges.
+Rgb hsv_to_rgb(float h, float s, float v);
+
+class Canvas {
+public:
+    Canvas(std::int64_t height, std::int64_t width);
+
+    std::int64_t height() const { return height_; }
+    std::int64_t width() const { return width_; }
+
+    /// The underlying [3, H, W] tensor (shared handle).
+    Tensor tensor() const { return pixels_; }
+
+    void fill(const Rgb& color);
+
+    /// Linear vertical gradient from `top` to `bottom`.
+    void fill_vertical_gradient(const Rgb& top, const Rgb& bottom);
+
+    /// Linear horizontal gradient from `left` to `right`.
+    void fill_horizontal_gradient(const Rgb& left, const Rgb& right);
+
+    /// Filled disc centered at (cx, cy) in pixel coords; soft edge ~1px.
+    void draw_disc(float cx, float cy, float radius, const Rgb& color);
+
+    /// Ring (annulus) with the given mid-radius and thickness.
+    void draw_ring(float cx, float cy, float radius, float thickness, const Rgb& color);
+
+    /// Axis-aligned filled rectangle (soft-edged).
+    void draw_rect(float x0, float y0, float x1, float y1, const Rgb& color);
+
+    /// Periodic stripes at `angle` radians; duty cycle 0.5.
+    void draw_stripes(float angle, float period, float phase, const Rgb& color);
+
+    /// Checkerboard with the given cell size and origin offset.
+    void draw_checker(float cell, float ox, float oy, const Rgb& color);
+
+    /// A "+"-shaped cross centered at (cx, cy).
+    void draw_cross(float cx, float cy, float arm_length, float arm_width, const Rgb& color);
+
+    /// Line segment with the given half-width.
+    void draw_line(float x0, float y0, float x1, float y1, float half_width, const Rgb& color);
+
+    /// Isotropic Gaussian intensity blob (adds, then clamps at blend).
+    void draw_blob(float cx, float cy, float sigma, const Rgb& color, float strength = 1.0f);
+
+    /// Filled ellipse with per-axis radii; soft edge.
+    void draw_ellipse(float cx, float cy, float rx, float ry, const Rgb& color);
+
+    /// Adds i.i.d. Gaussian pixel noise and clamps to [0, 1].
+    void add_noise(float stddev, Rng& rng);
+
+    /// Clamps every channel to [0, 1].
+    void clamp();
+
+private:
+    /// Alpha-blends `color` into pixel (x, y) with weight `alpha` in [0,1].
+    void blend(std::int64_t x, std::int64_t y, const Rgb& color, float alpha);
+
+    std::int64_t height_;
+    std::int64_t width_;
+    Tensor pixels_;
+};
+
+}  // namespace ens::data

@@ -1,0 +1,43 @@
+#include "data/dataloader.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ens::data {
+
+DataLoader::DataLoader(const Dataset& dataset, std::size_t batch_size, Rng rng, bool shuffle)
+    : dataset_(dataset), batch_size_(batch_size), rng_(rng), shuffle_(shuffle) {
+    ENS_REQUIRE(batch_size_ > 0, "DataLoader: batch size must be positive");
+    ENS_REQUIRE(dataset_.size() > 0, "DataLoader: empty dataset");
+    order_.resize(dataset_.size());
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+        order_[i] = i;
+    }
+    start_epoch();
+}
+
+void DataLoader::start_epoch() {
+    if (shuffle_) {
+        rng_.shuffle(order_);
+    }
+    cursor_ = 0;
+}
+
+std::optional<Batch> DataLoader::next() {
+    if (cursor_ >= order_.size()) {
+        return std::nullopt;
+    }
+    const std::size_t count = std::min(batch_size_, order_.size() - cursor_);
+    const std::vector<std::size_t> indices(order_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                                           order_.begin() +
+                                               static_cast<std::ptrdiff_t>(cursor_ + count));
+    cursor_ += count;
+    return materialize(dataset_, indices);
+}
+
+std::size_t DataLoader::batches_per_epoch() const {
+    return (dataset_.size() + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace ens::data

@@ -1,0 +1,42 @@
+#pragma once
+// Mini-batch iteration with optional per-epoch shuffling.
+//
+// Usage:
+//   DataLoader loader(dataset, 32, rng, /*shuffle=*/true);
+//   for (int epoch = 0; epoch < E; ++epoch) {
+//       loader.start_epoch();
+//       while (auto batch = loader.next()) { ... }
+//   }
+// The final partial batch is yielded (never dropped): the scaled-down
+// datasets are small enough that dropping remainders would bias training.
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace ens::data {
+
+class DataLoader {
+public:
+    DataLoader(const Dataset& dataset, std::size_t batch_size, Rng rng, bool shuffle = true);
+
+    /// Reshuffles (when enabled) and rewinds.
+    void start_epoch();
+
+    /// Next batch, or nullopt at epoch end.
+    std::optional<Batch> next();
+
+    std::size_t batches_per_epoch() const;
+    std::size_t batch_size() const { return batch_size_; }
+
+private:
+    const Dataset& dataset_;
+    std::size_t batch_size_;
+    Rng rng_;
+    bool shuffle_;
+    std::vector<std::size_t> order_;
+    std::size_t cursor_ = 0;
+};
+
+}  // namespace ens::data

@@ -1,0 +1,49 @@
+#include "data/dataset.hpp"
+
+#include "common/error.hpp"
+
+namespace ens::data {
+
+Subset::Subset(std::shared_ptr<const Dataset> base, std::vector<std::size_t> indices)
+    : base_(std::move(base)), indices_(std::move(indices)) {
+    ENS_REQUIRE(base_ != nullptr, "Subset: null base dataset");
+    for (const std::size_t i : indices_) {
+        ENS_REQUIRE(i < base_->size(), "Subset: index out of range");
+    }
+}
+
+Example Subset::get(std::size_t index) const {
+    ENS_REQUIRE(index < indices_.size(), "Subset: index out of range");
+    return base_->get(indices_[index]);
+}
+
+Batch materialize(const Dataset& dataset, std::size_t first, std::size_t count) {
+    std::vector<std::size_t> indices(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        indices[i] = first + i;
+    }
+    return materialize(dataset, indices);
+}
+
+Batch materialize(const Dataset& dataset, const std::vector<std::size_t>& indices) {
+    ENS_REQUIRE(!indices.empty(), "materialize: empty index list");
+    const std::int64_t c = dataset.channels();
+    const std::int64_t h = dataset.height();
+    const std::int64_t w = dataset.width();
+    Batch batch;
+    batch.images = Tensor(Shape{static_cast<std::int64_t>(indices.size()), c, h, w});
+    batch.labels.resize(indices.size());
+
+    const std::int64_t per_sample = c * h * w;
+    float* dst = batch.images.data();
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        const Example example = dataset.get(indices[i]);
+        ENS_CHECK(example.image.numel() == per_sample, "materialize: geometry mismatch");
+        const float* src = example.image.data();
+        std::copy(src, src + per_sample, dst + static_cast<std::int64_t>(i) * per_sample);
+        batch.labels[i] = example.label;
+    }
+    return batch;
+}
+
+}  // namespace ens::data

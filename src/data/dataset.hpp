@@ -1,0 +1,71 @@
+#pragma once
+// Dataset abstraction.
+//
+// The paper evaluates on CIFAR-10, CIFAR-100 and a CelebA-HQ subset; none
+// are available offline, so this module provides procedurally generated
+// stand-ins (see DESIGN.md §2). Generator datasets are *pure*: sample i is
+// a deterministic function of (dataset seed, i), so train/test/aux splits
+// and repeated epochs are bit-reproducible and nothing is stored.
+//
+// Pixel convention: float32 RGB in [0, 1], layout [3, H, W].
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ens::data {
+
+struct Example {
+    Tensor image;        // [C, H, W]
+    std::int64_t label;  // class index
+};
+
+struct Batch {
+    Tensor images;  // [N, C, H, W]
+    std::vector<std::int64_t> labels;
+
+    std::int64_t size() const { return images.defined() ? images.dim(0) : 0; }
+};
+
+class Dataset {
+public:
+    virtual ~Dataset() = default;
+
+    virtual std::size_t size() const = 0;
+    virtual Example get(std::size_t index) const = 0;
+
+    /// Number of distinct labels.
+    virtual std::int64_t num_classes() const = 0;
+
+    /// Image geometry (all samples share it).
+    virtual std::int64_t channels() const = 0;
+    virtual std::int64_t height() const = 0;
+    virtual std::int64_t width() const = 0;
+};
+
+/// Index-remapped view of another dataset (train/test/aux splits).
+class Subset final : public Dataset {
+public:
+    Subset(std::shared_ptr<const Dataset> base, std::vector<std::size_t> indices);
+
+    std::size_t size() const override { return indices_.size(); }
+    Example get(std::size_t index) const override;
+    std::int64_t num_classes() const override { return base_->num_classes(); }
+    std::int64_t channels() const override { return base_->channels(); }
+    std::int64_t height() const override { return base_->height(); }
+    std::int64_t width() const override { return base_->width(); }
+
+private:
+    std::shared_ptr<const Dataset> base_;
+    std::vector<std::size_t> indices_;
+};
+
+/// Collects examples [first, first+count) into a batch tensor.
+Batch materialize(const Dataset& dataset, std::size_t first, std::size_t count);
+
+/// Collects an arbitrary index list into a batch tensor.
+Batch materialize(const Dataset& dataset, const std::vector<std::size_t>& indices);
+
+}  // namespace ens::data

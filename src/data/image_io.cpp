@@ -1,0 +1,187 @@
+#include "data/image_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ens::data {
+
+namespace {
+
+std::uint8_t to_byte(float value) {
+    const float clamped = std::clamp(value, 0.0f, 1.0f);
+    return static_cast<std::uint8_t>(std::lround(clamped * 255.0f));
+}
+
+}  // namespace
+
+void write_image(const std::string& path, const Tensor& image) {
+    ENS_REQUIRE(image.defined() && image.shape().rank() == 3, "write_image: expected [C, H, W]");
+    const std::int64_t channels = image.shape().dim(0);
+    const std::int64_t height = image.shape().dim(1);
+    const std::int64_t width = image.shape().dim(2);
+    ENS_REQUIRE(channels == 1 || channels == 3, "write_image: C must be 1 (PGM) or 3 (PPM)");
+
+    std::ofstream out(path, std::ios::binary);
+    ENS_CHECK(out.good(), "write_image: cannot open " + path);
+    out << (channels == 3 ? "P6" : "P5") << '\n' << width << ' ' << height << "\n255\n";
+    const float* data = image.data();
+    const std::int64_t plane = height * width;
+    std::vector<char> row(static_cast<std::size_t>(width) * static_cast<std::size_t>(channels));
+    for (std::int64_t y = 0; y < height; ++y) {
+        for (std::int64_t x = 0; x < width; ++x) {
+            for (std::int64_t c = 0; c < channels; ++c) {
+                row[static_cast<std::size_t>((x * channels) + c)] =
+                    static_cast<char>(to_byte(data[c * plane + y * width + x]));
+            }
+        }
+        out.write(row.data(), static_cast<std::streamsize>(row.size()));
+    }
+    ENS_CHECK(out.good(), "write_image: write failed for " + path);
+}
+
+Tensor read_image(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    ENS_CHECK(in.good(), "read_image: cannot open " + path);
+    std::string magic;
+    in >> magic;
+    ENS_CHECK(magic == "P6" || magic == "P5", "read_image: not a binary PPM/PGM: " + path);
+    const std::int64_t channels = (magic == "P6") ? 3 : 1;
+
+    // Header fields may be separated by whitespace and '#' comment lines.
+    auto next_int = [&in, &path]() {
+        for (;;) {
+            int c = in.peek();
+            ENS_CHECK(c != EOF, "read_image: truncated header in " + path);
+            if (std::isspace(c) != 0) {
+                in.get();
+            } else if (c == '#') {
+                std::string comment;
+                std::getline(in, comment);
+            } else {
+                break;
+            }
+        }
+        std::int64_t value = 0;
+        in >> value;
+        ENS_CHECK(in.good(), "read_image: bad header field in " + path);
+        return value;
+    };
+    const std::int64_t width = next_int();
+    const std::int64_t height = next_int();
+    const std::int64_t maxval = next_int();
+    ENS_CHECK(maxval == 255, "read_image: only 8-bit images supported");
+    in.get();  // single whitespace after maxval
+
+    const auto row_bytes = static_cast<std::size_t>(width) * static_cast<std::size_t>(channels);
+    std::vector<char> row(row_bytes);
+    Tensor image{Shape{{channels, height, width}}};
+    float* data = image.data();
+    const std::int64_t plane = height * width;
+    for (std::int64_t y = 0; y < height; ++y) {
+        in.read(row.data(), static_cast<std::streamsize>(row.size()));
+        ENS_CHECK(in.good(), "read_image: truncated pixel data in " + path);
+        for (std::int64_t x = 0; x < width; ++x) {
+            for (std::int64_t c = 0; c < channels; ++c) {
+                const auto byte =
+                    static_cast<std::uint8_t>(row[static_cast<std::size_t>(x * channels + c)]);
+                data[c * plane + y * width + x] = static_cast<float>(byte) / 255.0f;
+            }
+        }
+    }
+    return image;
+}
+
+namespace {
+
+/// Normalizes input to a list of [C, H, W] views and validates uniformity.
+std::vector<Tensor> as_image_list(const std::vector<Tensor>& images) {
+    ENS_REQUIRE(!images.empty(), "tile_images: no images");
+    std::vector<Tensor> list;
+    for (const Tensor& entry : images) {
+        ENS_REQUIRE(entry.defined(), "tile_images: undefined tensor");
+        if (entry.shape().rank() == 4) {
+            const std::int64_t batch = entry.shape().dim(0);
+            const Shape item{{entry.shape().dim(1), entry.shape().dim(2), entry.shape().dim(3)}};
+            const std::int64_t stride = item.numel();
+            for (std::int64_t b = 0; b < batch; ++b) {
+                Tensor image(item);
+                std::copy_n(entry.data() + b * stride, stride, image.data());
+                list.push_back(std::move(image));
+            }
+        } else {
+            ENS_REQUIRE(entry.shape().rank() == 3, "tile_images: expected [C,H,W] or [B,C,H,W]");
+            list.push_back(entry);
+        }
+    }
+    for (const Tensor& image : list) {
+        ENS_REQUIRE(image.shape() == list.front().shape(),
+                    "tile_images: images must share one shape");
+    }
+    return list;
+}
+
+}  // namespace
+
+Tensor tile_images(const std::vector<Tensor>& images, std::size_t columns) {
+    ENS_REQUIRE(columns >= 1, "tile_images: columns must be >= 1");
+    const std::vector<Tensor> list = as_image_list(images);
+    const std::int64_t channels = list.front().shape().dim(0);
+    const std::int64_t height = list.front().shape().dim(1);
+    const std::int64_t width = list.front().shape().dim(2);
+    const auto cols = static_cast<std::int64_t>(std::min(columns, list.size()));
+    const auto rows = static_cast<std::int64_t>((list.size() + columns - 1) / columns);
+
+    const std::int64_t sheet_h = rows * height + (rows - 1);
+    const std::int64_t sheet_w = cols * width + (cols - 1);
+    Tensor sheet = Tensor::full(Shape{{channels, sheet_h, sheet_w}}, 1.0f);
+    float* out = sheet.data();
+    const std::int64_t sheet_plane = sheet_h * sheet_w;
+    const std::int64_t plane = height * width;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+        const std::int64_t row = static_cast<std::int64_t>(i) / cols;
+        const std::int64_t col = static_cast<std::int64_t>(i) % cols;
+        const std::int64_t y0 = row * (height + 1);
+        const std::int64_t x0 = col * (width + 1);
+        const float* src = list[i].data();
+        for (std::int64_t c = 0; c < channels; ++c) {
+            for (std::int64_t y = 0; y < height; ++y) {
+                std::copy_n(src + c * plane + y * width, width,
+                            out + c * sheet_plane + (y0 + y) * sheet_w + x0);
+            }
+        }
+    }
+    return sheet;
+}
+
+Tensor stack_rows(const std::vector<Tensor>& rows) {
+    ENS_REQUIRE(!rows.empty(), "stack_rows: no rows");
+    const std::int64_t channels = rows.front().shape().dim(0);
+    const std::int64_t width = rows.front().shape().dim(2);
+    std::int64_t total_h = static_cast<std::int64_t>(rows.size()) - 1;  // separators
+    for (const Tensor& row : rows) {
+        ENS_REQUIRE(row.defined() && row.shape().rank() == 3, "stack_rows: expected [C, H, W]");
+        ENS_REQUIRE(row.shape().dim(0) == channels && row.shape().dim(2) == width,
+                    "stack_rows: rows must share channels and width");
+        total_h += row.shape().dim(1);
+    }
+    Tensor sheet = Tensor::full(Shape{{channels, total_h, width}}, 1.0f);
+    float* out = sheet.data();
+    const std::int64_t sheet_plane = total_h * width;
+    std::int64_t y0 = 0;
+    for (const Tensor& row : rows) {
+        const std::int64_t height = row.shape().dim(1);
+        const std::int64_t plane = height * width;
+        const float* src = row.data();
+        for (std::int64_t c = 0; c < channels; ++c) {
+            std::copy_n(src + c * plane, plane, out + c * sheet_plane + y0 * width);
+        }
+        y0 += height + 1;
+    }
+    return sheet;
+}
+
+}  // namespace ens::data

@@ -1,0 +1,34 @@
+#pragma once
+// Minimal PPM/PGM image I/O for inspecting attack reconstructions.
+//
+// The paper's evidence is quantitative (SSIM/PSNR), but the qualitative
+// check — does the reconstruction LOOK like the private input? — is how
+// MIA results are usually judged. Binary PPM (P6) / PGM (P5) need no
+// external dependencies and open in any viewer.
+//
+// Tensor convention matches the datasets: [C, H, W] or [B, C, H, W] floats
+// in [0, 1] (values are clamped on write). C = 3 writes PPM, C = 1 PGM.
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ens::data {
+
+/// Writes one [C, H, W] image (C = 1 or 3). Throws on I/O failure.
+void write_image(const std::string& path, const Tensor& image);
+
+/// Reads a binary P5/P6 file back into a [C, H, W] float tensor in [0, 1].
+Tensor read_image(const std::string& path);
+
+/// Tiles images ([B, C, H, W], or a list of [C, H, W]) into one
+/// [C, rows*H, cols*W] sheet with a 1-pixel separator, row-major. Useful
+/// for original-vs-reconstruction galleries: one call per row, then stack.
+Tensor tile_images(const std::vector<Tensor>& images, std::size_t columns);
+
+/// Stacks same-width sheets vertically (e.g. originals row over
+/// reconstructions row) with a 1-pixel separator.
+Tensor stack_rows(const std::vector<Tensor>& rows);
+
+}  // namespace ens::data

@@ -1,0 +1,94 @@
+#include "data/synth_cifar10.hpp"
+
+#include "common/error.hpp"
+#include "data/canvas.hpp"
+
+namespace ens::data {
+
+SynthCifar10::SynthCifar10(std::size_t count, std::uint64_t seed, std::int64_t image_size)
+    : count_(count), seed_(seed), image_size_(image_size) {
+    ENS_REQUIRE(count > 0, "SynthCifar10: empty dataset");
+    ENS_REQUIRE(image_size >= 8, "SynthCifar10: image too small");
+}
+
+Example SynthCifar10::get(std::size_t index) const {
+    ENS_REQUIRE(index < count_, "SynthCifar10: index out of range");
+    const std::int64_t label = static_cast<std::int64_t>(index % 10);
+    Rng rng = Rng(seed_).fork_named("cifar10").fork(index);
+
+    const float s = static_cast<float>(image_size_);
+    Canvas canvas(image_size_, image_size_);
+
+    // Random mild background: either flat or a gradient.
+    const Rgb bg1 = hsv_to_rgb(static_cast<float>(rng.uniform()), 0.2f,
+                               static_cast<float>(rng.uniform(0.2, 0.6)));
+    const Rgb bg2 = hsv_to_rgb(static_cast<float>(rng.uniform()), 0.2f,
+                               static_cast<float>(rng.uniform(0.2, 0.6)));
+    if (rng.bernoulli(0.5)) {
+        canvas.fill_vertical_gradient(bg1, bg2);
+    } else {
+        canvas.fill_horizontal_gradient(bg1, bg2);
+    }
+
+    // Foreground color: saturated, sample-random hue.
+    const Rgb fg = hsv_to_rgb(static_cast<float>(rng.uniform()),
+                              static_cast<float>(rng.uniform(0.6, 1.0)),
+                              static_cast<float>(rng.uniform(0.7, 1.0)));
+    const Rgb fg2 = hsv_to_rgb(static_cast<float>(rng.uniform()),
+                               static_cast<float>(rng.uniform(0.6, 1.0)),
+                               static_cast<float>(rng.uniform(0.7, 1.0)));
+
+    // Random placement within the central region.
+    const float cx = static_cast<float>(rng.uniform(0.3, 0.7)) * s;
+    const float cy = static_cast<float>(rng.uniform(0.3, 0.7)) * s;
+    const float scale = static_cast<float>(rng.uniform(0.18, 0.32)) * s;
+
+    switch (label) {
+        case 0:  // disc
+            canvas.draw_disc(cx, cy, scale, fg);
+            break;
+        case 1:  // ring
+            canvas.draw_ring(cx, cy, scale, scale * 0.4f, fg);
+            break;
+        case 2:  // square
+            canvas.draw_rect(cx - scale, cy - scale, cx + scale, cy + scale, fg);
+            break;
+        case 3:  // horizontal stripes
+            canvas.draw_stripes(0.0f, static_cast<float>(rng.uniform(0.15, 0.3)) * s,
+                                static_cast<float>(rng.uniform(0.0, 8.0)), fg);
+            break;
+        case 4:  // vertical stripes
+            canvas.draw_stripes(1.5707963f, static_cast<float>(rng.uniform(0.15, 0.3)) * s,
+                                static_cast<float>(rng.uniform(0.0, 8.0)), fg);
+            break;
+        case 5:  // checkerboard
+            canvas.draw_checker(static_cast<float>(rng.uniform(0.12, 0.25)) * s,
+                                static_cast<float>(rng.uniform(0.0, 8.0)),
+                                static_cast<float>(rng.uniform(0.0, 8.0)), fg);
+            break;
+        case 6:  // cross
+            canvas.draw_cross(cx, cy, scale * 1.2f, scale * 0.5f, fg);
+            break;
+        case 7:  // diagonal line
+            canvas.draw_line(static_cast<float>(rng.uniform(0.0, 0.25)) * s,
+                             static_cast<float>(rng.uniform(0.0, 0.25)) * s,
+                             static_cast<float>(rng.uniform(0.75, 1.0)) * s,
+                             static_cast<float>(rng.uniform(0.75, 1.0)) * s, scale * 0.25f, fg);
+            break;
+        case 8: {  // two blobs
+            canvas.draw_blob(cx - scale, cy, scale * 0.5f, fg, 0.95f);
+            canvas.draw_blob(cx + scale, cy, scale * 0.5f, fg2, 0.95f);
+            break;
+        }
+        case 9:  // ellipse (wide)
+            canvas.draw_ellipse(cx, cy, scale * 1.5f, scale * 0.7f, fg);
+            break;
+        default:
+            ENS_CHECK(false, "unreachable label");
+    }
+
+    canvas.add_noise(0.02f, rng);
+    return Example{canvas.tensor(), label};
+}
+
+}  // namespace ens::data

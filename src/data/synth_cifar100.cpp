@@ -1,0 +1,105 @@
+#include "data/synth_cifar100.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "data/canvas.hpp"
+
+namespace ens::data {
+
+namespace {
+
+/// 5 color families: hue bands centered on red/yellow/green/cyan/violet.
+Rgb family_color(std::int64_t family, Rng& rng) {
+    const float center = 0.2f * static_cast<float>(family);
+    const float hue = center + static_cast<float>(rng.uniform(-0.06, 0.06));
+    return hsv_to_rgb(hue, static_cast<float>(rng.uniform(0.7, 1.0)),
+                      static_cast<float>(rng.uniform(0.7, 1.0)));
+}
+
+}  // namespace
+
+SynthCifar100::SynthCifar100(std::size_t count, std::uint64_t seed, std::int64_t image_size)
+    : count_(count), seed_(seed), image_size_(image_size) {
+    ENS_REQUIRE(count > 0, "SynthCifar100: empty dataset");
+    ENS_REQUIRE(image_size >= 8, "SynthCifar100: image too small");
+}
+
+Example SynthCifar100::get(std::size_t index) const {
+    ENS_REQUIRE(index < count_, "SynthCifar100: index out of range");
+    const std::int64_t label = static_cast<std::int64_t>(index % 100);
+    const std::int64_t motif = label / 5;
+    const std::int64_t family = label % 5;
+    Rng rng = Rng(seed_).fork_named("cifar100").fork(index);
+
+    const float s = static_cast<float>(image_size_);
+    Canvas canvas(image_size_, image_size_);
+
+    const Rgb bg = hsv_to_rgb(static_cast<float>(rng.uniform()), 0.15f,
+                              static_cast<float>(rng.uniform(0.2, 0.55)));
+    canvas.fill(bg);
+    const Rgb fg = family_color(family, rng);
+
+    const float cx = static_cast<float>(rng.uniform(0.35, 0.65)) * s;
+    const float cy = static_cast<float>(rng.uniform(0.35, 0.65)) * s;
+    const float unit = s * 0.25f;
+
+    // 20 motifs: 10 base shapes x 2 size/topology variants.
+    const std::int64_t base = motif % 10;
+    const bool variant = motif >= 10;
+    const float scale = unit * (variant ? 1.45f : 0.85f);
+
+    switch (base) {
+        case 0:
+            canvas.draw_disc(cx, cy, scale, fg);
+            break;
+        case 1:
+            canvas.draw_ring(cx, cy, scale, scale * (variant ? 0.25f : 0.5f), fg);
+            break;
+        case 2:
+            canvas.draw_rect(cx - scale, cy - scale * 0.8f, cx + scale, cy + scale * 0.8f, fg);
+            break;
+        case 3:
+            canvas.draw_stripes(0.0f, (variant ? 0.28f : 0.16f) * s,
+                                static_cast<float>(rng.uniform(0.0, 8.0)), fg);
+            break;
+        case 4:
+            canvas.draw_stripes(1.5707963f, (variant ? 0.28f : 0.16f) * s,
+                                static_cast<float>(rng.uniform(0.0, 8.0)), fg);
+            break;
+        case 5:
+            canvas.draw_checker((variant ? 0.24f : 0.14f) * s,
+                                static_cast<float>(rng.uniform(0.0, 8.0)),
+                                static_cast<float>(rng.uniform(0.0, 8.0)), fg);
+            break;
+        case 6:
+            canvas.draw_cross(cx, cy, scale * 1.2f, scale * (variant ? 0.7f : 0.35f), fg);
+            break;
+        case 7:
+            canvas.draw_line(cx - scale, cy - scale, cx + scale, cy + scale, scale * 0.2f, fg);
+            if (variant) {
+                canvas.draw_line(cx - scale, cy + scale, cx + scale, cy - scale, scale * 0.2f, fg);
+            }
+            break;
+        case 8: {
+            const std::int64_t blobs = variant ? 3 : 2;
+            for (std::int64_t k = 0; k < blobs; ++k) {
+                const float angle = 2.0944f * static_cast<float>(k);
+                canvas.draw_blob(cx + scale * std::cos(angle), cy + scale * std::sin(angle),
+                                 scale * 0.45f, fg, 0.95f);
+            }
+            break;
+        }
+        case 9:
+            canvas.draw_ellipse(cx, cy, scale * (variant ? 0.7f : 1.5f),
+                                scale * (variant ? 1.5f : 0.7f), fg);
+            break;
+        default:
+            ENS_CHECK(false, "unreachable motif");
+    }
+
+    canvas.add_noise(0.02f, rng);
+    return Example{canvas.tensor(), label};
+}
+
+}  // namespace ens::data

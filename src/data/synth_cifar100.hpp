@@ -1,0 +1,31 @@
+#pragma once
+// SynthCifar100: procedural 100-class stand-in for CIFAR-100.
+//
+// Classes factor as 20 geometric motif families x 5 color families
+// (class = motif * 5 + color_family), mirroring CIFAR-100's
+// coarse/fine-label structure. Motifs extend the SynthCifar10 set with
+// parameterized variants (sizes, thicknesses, periods, counts).
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace ens::data {
+
+class SynthCifar100 final : public Dataset {
+public:
+    SynthCifar100(std::size_t count, std::uint64_t seed, std::int64_t image_size = 32);
+
+    std::size_t size() const override { return count_; }
+    Example get(std::size_t index) const override;
+    std::int64_t num_classes() const override { return 100; }
+    std::int64_t channels() const override { return 3; }
+    std::int64_t height() const override { return image_size_; }
+    std::int64_t width() const override { return image_size_; }
+
+private:
+    std::size_t count_;
+    std::uint64_t seed_;
+    std::int64_t image_size_;
+};
+
+}  // namespace ens::data

@@ -1,0 +1,101 @@
+#include "data/synth_faces.hpp"
+
+#include "common/error.hpp"
+#include "data/canvas.hpp"
+
+namespace ens::data {
+
+SynthFaces::SynthFaces(std::size_t count, std::uint64_t seed, std::int64_t image_size,
+                       std::int64_t num_identities)
+    : count_(count), seed_(seed), image_size_(image_size), num_identities_(num_identities) {
+    ENS_REQUIRE(count > 0, "SynthFaces: empty dataset");
+    ENS_REQUIRE(image_size >= 16, "SynthFaces: image too small");
+    ENS_REQUIRE(num_identities >= 2, "SynthFaces: need at least two identities");
+}
+
+Example SynthFaces::get(std::size_t index) const {
+    ENS_REQUIRE(index < count_, "SynthFaces: index out of range");
+    const std::int64_t label = static_cast<std::int64_t>(index) % num_identities_;
+
+    // Identity stream: persistent facial parameters for this class.
+    Rng id_rng = Rng(seed_).fork_named("faces/identity").fork(static_cast<std::uint64_t>(label));
+    // Sample stream: per-image jitter (pose, expression, background).
+    Rng rng = Rng(seed_).fork_named("faces/sample").fork(index);
+
+    const float s = static_cast<float>(image_size_);
+
+    // --- identity parameters ---
+    const float skin_hue = static_cast<float>(id_rng.uniform(0.05, 0.11));
+    const float skin_sat = static_cast<float>(id_rng.uniform(0.25, 0.6));
+    const float skin_val = static_cast<float>(id_rng.uniform(0.55, 0.95));
+    const float face_rx = static_cast<float>(id_rng.uniform(0.24, 0.3)) * s;
+    const float face_ry = static_cast<float>(id_rng.uniform(0.3, 0.38)) * s;
+    const float eye_dx = static_cast<float>(id_rng.uniform(0.10, 0.15)) * s;
+    const float eye_r = static_cast<float>(id_rng.uniform(0.025, 0.045)) * s;
+    const float brow_tilt = static_cast<float>(id_rng.uniform(-0.25, 0.25));
+    const float mouth_w = static_cast<float>(id_rng.uniform(0.10, 0.18)) * s;
+    const float hair_hue = static_cast<float>(id_rng.uniform(0.0, 0.13));
+    const float hair_val = static_cast<float>(id_rng.uniform(0.1, 0.5));
+    const float hair_h = static_cast<float>(id_rng.uniform(0.10, 0.2)) * s;
+
+    // --- per-sample jitter ---
+    const float cx = s * 0.5f + static_cast<float>(rng.uniform(-0.04, 0.04)) * s;
+    const float cy = s * 0.52f + static_cast<float>(rng.uniform(-0.04, 0.04)) * s;
+    const float smile = static_cast<float>(rng.uniform(-0.5, 1.0));  // mouth curvature proxy
+    const float eye_open = static_cast<float>(rng.uniform(0.6, 1.0));
+
+    Canvas canvas(image_size_, image_size_);
+    const Rgb bg_top = hsv_to_rgb(static_cast<float>(rng.uniform()), 0.3f,
+                                  static_cast<float>(rng.uniform(0.3, 0.8)));
+    const Rgb bg_bot = hsv_to_rgb(static_cast<float>(rng.uniform()), 0.3f,
+                                  static_cast<float>(rng.uniform(0.3, 0.8)));
+    canvas.fill_vertical_gradient(bg_top, bg_bot);
+
+    const Rgb skin = hsv_to_rgb(skin_hue, skin_sat, skin_val);
+    const Rgb darker_skin = hsv_to_rgb(skin_hue, skin_sat, skin_val * 0.75f);
+    const Rgb hair = hsv_to_rgb(hair_hue, 0.6f, hair_val);
+    const Rgb eye_white{0.95f, 0.95f, 0.95f};
+    const Rgb pupil{0.05f, 0.05f, 0.1f};
+    const Rgb lips = hsv_to_rgb(0.99f, 0.6f, static_cast<float>(id_rng.uniform(0.5, 0.9)));
+
+    // Face.
+    canvas.draw_ellipse(cx, cy, face_rx, face_ry, skin);
+    // Hair: cap over the top of the face ellipse.
+    canvas.draw_rect(cx - face_rx, cy - face_ry - hair_h * 0.3f, cx + face_rx,
+                     cy - face_ry + hair_h, hair);
+    // Ears.
+    canvas.draw_disc(cx - face_rx, cy, eye_r * 1.4f, darker_skin);
+    canvas.draw_disc(cx + face_rx, cy, eye_r * 1.4f, darker_skin);
+
+    // Eyes (whites, then pupils shifted by gaze).
+    const float eye_y = cy - 0.08f * s;
+    const float gaze = static_cast<float>(rng.uniform(-0.35, 0.35)) * eye_r;
+    canvas.draw_ellipse(cx - eye_dx, eye_y, eye_r * 1.5f, eye_r * eye_open, eye_white);
+    canvas.draw_ellipse(cx + eye_dx, eye_y, eye_r * 1.5f, eye_r * eye_open, eye_white);
+    canvas.draw_disc(cx - eye_dx + gaze, eye_y, eye_r * 0.6f, pupil);
+    canvas.draw_disc(cx + eye_dx + gaze, eye_y, eye_r * 0.6f, pupil);
+
+    // Brows.
+    const float brow_y = eye_y - eye_r * 2.2f;
+    canvas.draw_line(cx - eye_dx - eye_r * 1.4f, brow_y + brow_tilt * eye_r * 2.0f,
+                     cx - eye_dx + eye_r * 1.4f, brow_y - brow_tilt * eye_r * 2.0f, eye_r * 0.35f,
+                     hair);
+    canvas.draw_line(cx + eye_dx - eye_r * 1.4f, brow_y - brow_tilt * eye_r * 2.0f,
+                     cx + eye_dx + eye_r * 1.4f, brow_y + brow_tilt * eye_r * 2.0f, eye_r * 0.35f,
+                     hair);
+
+    // Nose.
+    canvas.draw_line(cx, eye_y + eye_r, cx, cy + 0.05f * s, eye_r * 0.3f, darker_skin);
+
+    // Mouth: a line whose endpoints lift with `smile`.
+    const float mouth_y = cy + 0.18f * s;
+    canvas.draw_line(cx - mouth_w, mouth_y - smile * 0.02f * s, cx, mouth_y + smile * 0.03f * s,
+                     eye_r * 0.45f, lips);
+    canvas.draw_line(cx, mouth_y + smile * 0.03f * s, cx + mouth_w, mouth_y - smile * 0.02f * s,
+                     eye_r * 0.45f, lips);
+
+    canvas.add_noise(0.015f, rng);
+    return Example{canvas.tensor(), label};
+}
+
+}  // namespace ens::data

@@ -1,0 +1,170 @@
+#include "defense/baselines.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "nn/dropout.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/noise.hpp"
+#include "optim/sgd.hpp"
+#include "split/split_model.hpp"
+
+namespace ens::defense {
+
+namespace {
+
+/// Builds head/body/tail for a single-body model; multi-body variants
+/// append extra bodies and widen the tail.
+ProtectedModel make_base_model(const ExperimentEnv& env, Rng& rng, std::size_t num_bodies) {
+    ENS_REQUIRE(num_bodies >= 1, "make_base_model: need at least one body");
+    ProtectedModel model;
+    split::SplitModel first = split::build_split_resnet18(env.arch, rng);
+    model.head = std::move(first.head);
+    model.bodies.push_back(std::move(first.body));
+    for (std::size_t i = 1; i < num_bodies; ++i) {
+        split::SplitModel extra = split::build_split_resnet18(env.arch, rng);
+        model.bodies.push_back(std::move(extra.body));
+    }
+    if (num_bodies == 1) {
+        model.tail = std::move(first.tail);
+    } else {
+        const std::int64_t width = static_cast<std::int64_t>(num_bodies) *
+                                   nn::resnet18_feature_width(env.arch);
+        model.tail = std::make_unique<nn::Sequential>();
+        model.tail->emplace<nn::Linear>(width, env.arch.num_classes, rng);
+    }
+    return model;
+}
+
+void train_model(ProtectedModel& model, const ExperimentEnv& env, const std::string& tag) {
+    model.set_training(true);
+    train::TrainOptions options = env.train_options;
+    options.seed = env.seed ^ 0xDEF0ULL;
+    options.tag = tag;
+    train::train_classifier([&model](const Tensor& x) { return model.forward(x); },
+                            [&model](const Tensor& g) { model.backward(g); },
+                            model.trainable_parameters(), env.train, options);
+    // Re-converge BatchNorm running statistics to the final weights.
+    train::refresh_batchnorm_statistics([&model](const Tensor& x) { return model.forward(x); },
+                                        env.train, /*batches=*/16, options.batch_size,
+                                        env.seed ^ 0xBA7C4ULL);
+}
+
+Shape split_mask_shape(const ExperimentEnv& env) {
+    return Shape{nn::resnet18_split_channels(env.arch), nn::resnet18_split_hw(env.arch),
+                 nn::resnet18_split_hw(env.arch)};
+}
+
+}  // namespace
+
+ProtectedModel train_unprotected(const ExperimentEnv& env) {
+    Rng rng = Rng(env.seed).fork_named("defense/none");
+    ProtectedModel model = make_base_model(env, rng, 1);
+    train_model(model, env, "none");
+    return model;
+}
+
+ProtectedModel train_single_gaussian(const ExperimentEnv& env, float noise_stddev) {
+    Rng rng = Rng(env.seed).fork_named("defense/single");
+    ProtectedModel model = make_base_model(env, rng, 1);
+    Rng noise_rng = Rng(env.seed).fork_named("defense/single-noise");
+    model.perturb =
+        std::make_unique<nn::FixedNoise>(split_mask_shape(env), noise_stddev, noise_rng);
+    train_model(model, env, "single");
+    return model;
+}
+
+ProtectedModel train_shredder(const ExperimentEnv& env, const ShredderOptions& options) {
+    // Phase 1: pre-train the backbone with a mask present (so the network
+    // adapts to additive noise), mask not yet learned.
+    Rng rng = Rng(env.seed).fork_named("defense/shredder");
+    ProtectedModel model = make_base_model(env, rng, 1);
+    Rng noise_rng = Rng(env.seed).fork_named("defense/shredder-noise");
+    auto mask = std::make_unique<nn::FixedNoise>(split_mask_shape(env), options.initial_stddev,
+                                                 noise_rng, /*trainable=*/true);
+    nn::FixedNoise* mask_ptr = mask.get();
+    model.perturb = std::move(mask);
+    train_model(model, env, "shredder/backbone");
+
+    // Phase 2: freeze the backbone; train only the mask to maximize noise
+    // power while cross-entropy keeps accuracy (Shredder's objective,
+    // simplified to its additive-noise form).
+    model.set_training(true);
+    nn::set_requires_grad(*model.head, false);
+    for (auto& body : model.bodies) {
+        nn::set_requires_grad(*body, false);
+    }
+    nn::set_requires_grad(*model.tail, false);
+    model.head->set_training(false);
+    for (auto& body : model.bodies) {
+        body->set_training(false);
+    }
+    model.tail->set_training(false);
+
+    optim::SgdOptions sgd_options;
+    sgd_options.learning_rate = options.mask_learning_rate;
+    sgd_options.momentum = 0.9;
+    optim::Sgd optimizer({&mask_ptr->mask_parameter()}, sgd_options);
+
+    data::DataLoader loader(env.train, env.train_options.batch_size,
+                            Rng(env.seed ^ 0x5EEDULL), /*shuffle=*/true);
+    for (std::size_t epoch = 0; epoch < options.mask_epochs; ++epoch) {
+        loader.start_epoch();
+        double epoch_loss = 0.0;
+        std::size_t batches = 0;
+        while (auto batch = loader.next()) {
+            const Tensor logits = model.forward(batch->images);
+            const nn::LossResult ce = nn::softmax_cross_entropy(logits, batch->labels);
+            optimizer.zero_grad();
+            model.backward(ce.grad);
+
+            // d/dm [-λ log(mean(m^2) + eps)] = -λ * 2 m / (n * (power+eps))
+            nn::Parameter& mask_param = mask_ptr->mask_parameter();
+            const std::int64_t n = mask_param.value.numel();
+            double power = 0.0;
+            const float* m = mask_param.value.data();
+            for (std::int64_t i = 0; i < n; ++i) {
+                power += static_cast<double>(m[i]) * m[i];
+            }
+            power /= static_cast<double>(n);
+            const float coeff = static_cast<float>(
+                -options.noise_reward * 2.0 / (static_cast<double>(n) * (power + 1e-8)));
+            float* g = mask_param.grad.data();
+            for (std::int64_t i = 0; i < n; ++i) {
+                g[i] += coeff * m[i];
+            }
+            optimizer.step();
+
+            epoch_loss += ce.value - options.noise_reward * std::log(power + 1e-8);
+            ++batches;
+        }
+        ENS_LOG_INFO << "shredder mask epoch " << (epoch + 1) << " loss="
+                     << epoch_loss / static_cast<double>(batches);
+    }
+    return model;
+}
+
+ProtectedModel train_dropout_single(const ExperimentEnv& env, float drop_probability) {
+    Rng rng = Rng(env.seed).fork_named("defense/dr-single");
+    ProtectedModel model = make_base_model(env, rng, 1);
+    model.perturb = std::make_unique<nn::Dropout>(drop_probability,
+                                                  Rng(env.seed).fork_named("defense/dr-mask"),
+                                                  /*active_in_eval=*/true);
+    train_model(model, env, "dr-single");
+    return model;
+}
+
+ProtectedModel train_dropout_ensemble(const ExperimentEnv& env, std::size_t num_bodies,
+                                      float drop_probability) {
+    Rng rng = Rng(env.seed).fork_named("defense/dr-ensemble");
+    ProtectedModel model = make_base_model(env, rng, num_bodies);
+    model.perturb = std::make_unique<nn::Dropout>(drop_probability,
+                                                  Rng(env.seed).fork_named("defense/dr-ens-mask"),
+                                                  /*active_in_eval=*/true);
+    train_model(model, env, "dr-" + std::to_string(num_bodies));
+    return model;
+}
+
+}  // namespace ens::defense

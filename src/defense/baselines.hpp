@@ -1,0 +1,49 @@
+#pragma once
+// Baseline defenses from the paper's evaluation (Tables I & II):
+//
+//   None       - plain split inference, nothing at the split point.
+//   Single     - one net trained with a fixed Gaussian mask N(0, σ) at the
+//                split (the Gaussian mechanism of Dwork et al. [30]; the
+//                paper's non-ensembled counterpart of Ensembler).
+//   Shredder   - LEARNED additive noise at the split (Mireshghallah et al.
+//                [6]): the backbone is trained first, then frozen while the
+//                mask maximizes noise power subject to accuracy
+//                (CE - λ·log(mask power), the paper's "simple additive
+//                noise" Shredder variant).
+//   DR-single  - dropout at the split, kept active at inference
+//                (He et al. [34]).
+//   DR-N       - N-body ensemble with split dropout but WITHOUT Stage-1
+//                distinct-noise training: body diversity comes only from
+//                random init, trained jointly in one stage.
+
+#include "defense/env.hpp"
+#include "defense/protected_model.hpp"
+
+namespace ens::defense {
+
+/// "None": unprotected split model.
+ProtectedModel train_unprotected(const ExperimentEnv& env);
+
+/// "Single": fixed Gaussian mask at the split, trained end-to-end (Eq. 2
+/// with N = 1).
+ProtectedModel train_single_gaussian(const ExperimentEnv& env, float noise_stddev);
+
+struct ShredderOptions {
+    float initial_stddev = 0.1f;
+    float noise_reward = 0.05f;  // λ on -log(mask power)
+    std::size_t mask_epochs = 3;
+    double mask_learning_rate = 0.05;
+};
+
+/// "Shredder": learned additive noise on a frozen pre-trained backbone.
+ProtectedModel train_shredder(const ExperimentEnv& env, const ShredderOptions& options = {});
+
+/// "DR-single": always-on dropout at the split of a single net.
+ProtectedModel train_dropout_single(const ExperimentEnv& env, float drop_probability);
+
+/// "DR-N": N bodies + split dropout, one-stage joint training (no Eq. 2
+/// per-net noise diversification).
+ProtectedModel train_dropout_ensemble(const ExperimentEnv& env, std::size_t num_bodies,
+                                      float drop_probability);
+
+}  // namespace ens::defense

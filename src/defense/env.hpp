@@ -1,0 +1,27 @@
+#pragma once
+// Shared experiment environment: the dataset splits and architecture every
+// defense / attack run operates on.
+//
+// Splits follow the threat model: `train` is the private training set,
+// `test` the victim's inference-time inputs (what MIA reconstructs), `aux`
+// the attacker's same-distribution auxiliary data (§II-B: the server "has
+// a dataset in the same distribution as the private training dataset").
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "nn/resnet.hpp"
+#include "train/trainer.hpp"
+
+namespace ens::defense {
+
+struct ExperimentEnv {
+    const data::Dataset& train;
+    const data::Dataset& test;
+    const data::Dataset& aux;
+    nn::ResNetConfig arch;
+    train::TrainOptions train_options;
+    std::uint64_t seed = 1;
+};
+
+}  // namespace ens::defense

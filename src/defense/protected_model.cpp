@@ -1,0 +1,133 @@
+#include "defense/protected_model.hpp"
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+#include "train/trainer.hpp"
+
+namespace ens::defense {
+
+Tensor ProtectedModel::combine(std::vector<Tensor> features) const {
+    ENS_CHECK(!features.empty(), "ProtectedModel: no features to combine");
+    if (features.size() == 1) {
+        return features.front();
+    }
+    const float scale = 1.0f / static_cast<float>(features.size());
+    for (Tensor& f : features) {
+        f.scale_(scale);
+    }
+    return concat_cols(features);
+}
+
+std::vector<Tensor> ProtectedModel::split_feature_gradient(const Tensor& grad_combined) const {
+    if (bodies.size() == 1) {
+        return {grad_combined};
+    }
+    const auto k = static_cast<std::int64_t>(bodies.size());
+    ENS_CHECK(grad_combined.dim(1) % k == 0, "ProtectedModel: gradient width mismatch");
+    std::vector<Tensor> grads = split_cols(
+        grad_combined,
+        std::vector<std::int64_t>(bodies.size(), grad_combined.dim(1) / k));
+    const float scale = 1.0f / static_cast<float>(bodies.size());
+    for (Tensor& g : grads) {
+        g.scale_(scale);
+    }
+    return grads;
+}
+
+Tensor ProtectedModel::forward(const Tensor& images) {
+    Tensor z = head->forward(images);
+    if (perturb) {
+        z = perturb->forward(z);
+    }
+    std::vector<Tensor> features;
+    features.reserve(bodies.size());
+    for (auto& body : bodies) {
+        features.push_back(body->forward(z));
+    }
+    return tail->forward(combine(std::move(features)));
+}
+
+void ProtectedModel::backward(const Tensor& grad_logits) {
+    const Tensor d_combined = tail->backward(grad_logits);
+    const std::vector<Tensor> d_features = split_feature_gradient(d_combined);
+    Tensor d_z;
+    for (std::size_t i = 0; i < bodies.size(); ++i) {
+        Tensor d_body_in = bodies[i]->backward(d_features[i]);
+        if (d_z.defined()) {
+            d_z.add_(d_body_in);
+        } else {
+            d_z = std::move(d_body_in);
+        }
+    }
+    if (perturb) {
+        d_z = perturb->backward(d_z);
+    }
+    head->backward(d_z);
+}
+
+Tensor ProtectedModel::transmit(const Tensor& images) {
+    head->set_training(false);
+    if (perturb) {
+        perturb->set_training(false);
+    }
+    Tensor z = head->forward(images);
+    if (perturb) {
+        z = perturb->forward(z);
+    }
+    return z;
+}
+
+Tensor ProtectedModel::predict(const Tensor& images) {
+    set_training(false);
+    Tensor z = transmit(images);
+    std::vector<Tensor> features;
+    features.reserve(bodies.size());
+    for (auto& body : bodies) {
+        features.push_back(body->forward(z));
+    }
+    return tail->forward(combine(std::move(features)));
+}
+
+float ProtectedModel::evaluate_accuracy(const data::Dataset& test_set, std::size_t batch_size) {
+    return train::evaluate_accuracy([this](const Tensor& x) { return predict(x); }, test_set,
+                                    batch_size);
+}
+
+split::DeployedPipeline ProtectedModel::deployed() {
+    split::DeployedPipeline view;
+    view.transmit = [this](const Tensor& images) { return transmit(images); };
+    for (auto& body : bodies) {
+        body->set_training(false);
+        view.bodies.push_back(body.get());
+    }
+    view.predict = [this](const Tensor& images) { return predict(images); };
+    return view;
+}
+
+void ProtectedModel::set_training(bool training) {
+    head->set_training(training);
+    if (perturb) {
+        perturb->set_training(training);
+    }
+    for (auto& body : bodies) {
+        body->set_training(training);
+    }
+    tail->set_training(training);
+}
+
+std::vector<nn::Parameter*> ProtectedModel::trainable_parameters() {
+    std::vector<nn::Parameter*> params = head->parameters();
+    if (perturb) {
+        const auto p = perturb->parameters();
+        params.insert(params.end(), p.begin(), p.end());
+    }
+    for (auto& body : bodies) {
+        const auto p = body->parameters();
+        params.insert(params.end(), p.begin(), p.end());
+    }
+    const auto p = tail->parameters();
+    params.insert(params.end(), p.begin(), p.end());
+    return params;
+}
+
+}  // namespace ens::defense

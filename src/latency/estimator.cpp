@@ -1,0 +1,66 @@
+#include "latency/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ens::latency {
+
+namespace {
+
+/// Serialized message size for a tensor of `elements` values of
+/// `bytes_per_element` width with `rank` shape dims (mirrors
+/// split::encoded_size across wire formats; the few header bytes that
+/// differ between the f32 and quantized framings are negligible).
+double message_bytes(double elements, std::size_t rank, double bytes_per_element) {
+    return 4.0 + 8.0 + 8.0 * static_cast<double>(rank) + 8.0 + bytes_per_element * elements;
+}
+
+}  // namespace
+
+LatencyBreakdown estimate_latency(const PipelineSpec& spec, const DeviceProfile& edge,
+                                  const DeviceProfile& cloud, const LinkProfile& link) {
+    ENS_REQUIRE(spec.client_head && spec.server_body && spec.client_tail,
+                "estimate_latency: missing pipeline pieces");
+    ENS_REQUIRE(spec.num_server_nets >= 1, "estimate_latency: need at least one server net");
+
+    const CostReport head_cost = count_cost(*spec.client_head, spec.input_shape);
+    const CostReport body_cost = count_cost(*spec.server_body, head_cost.output_shape);
+    const Shape tail_input{spec.input_shape.dim(0), spec.tail_input_width};
+    const CostReport tail_cost = count_cost(*spec.client_tail, tail_input);
+
+    LatencyBreakdown breakdown;
+
+    // Client: head + tail, sequential on the edge device. The selector's
+    // scale-and-concat is O(P * F) and vanishes next to the head conv.
+    breakdown.client_s = (head_cost.total_flops + tail_cost.total_flops) / edge.flops_per_second +
+                         edge.per_batch_overhead_s;
+
+    // Server: one body per deployed net. Streams run concurrently up to the
+    // profile's capacity; extra rounds serialize. Each active extra stream
+    // adds a fractional contention overhead.
+    const auto n = static_cast<double>(spec.num_server_nets);
+    const auto streams = static_cast<double>(std::max(1, cloud.parallel_streams));
+    const double rounds = std::ceil(n / streams);
+    const double concurrent = std::min(n, streams);
+    const double contention = 1.0 + cloud.per_stream_overhead * (concurrent - 1.0);
+    breakdown.server_s =
+        rounds * (body_cost.total_flops / cloud.flops_per_second) * contention +
+        cloud.per_batch_overhead_s;
+
+    // Communication: one uplink feature map; N downlink body outputs.
+    ENS_REQUIRE(spec.bytes_per_element > 0.0, "estimate_latency: bad bytes_per_element");
+    const double up_bytes =
+        message_bytes(static_cast<double>(head_cost.output_shape.numel()),
+                      head_cost.output_shape.rank(), spec.bytes_per_element);
+    const double down_bytes =
+        n * message_bytes(static_cast<double>(body_cost.output_shape.numel()),
+                          body_cost.output_shape.rank(), spec.bytes_per_element);
+    breakdown.communication_s = up_bytes / link.uplink_bytes_per_s +
+                                down_bytes / link.downlink_bytes_per_s +
+                                (1.0 + n) * link.per_message_latency_s;
+    return breakdown;
+}
+
+}  // namespace ens::latency

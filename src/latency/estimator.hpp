@@ -1,0 +1,45 @@
+#pragma once
+// Collaborative-inference latency estimator (Table III).
+//
+// Decomposes one batched inference into the paper's three columns:
+//   client        = (head + tail [+ selector]) FLOPs / edge throughput
+//   server        = body FLOPs / cloud throughput, with N concurrent
+//                   streams for Ensembler
+//   communication = uplink feature bytes + N downlink feature-map bytes
+//                   through the link profile
+// Byte counts come from the split codec (real serialized sizes), FLOPs from
+// the analytical counter.
+
+#include "latency/flops.hpp"
+#include "latency/profiles.hpp"
+#include "nn/layer.hpp"
+
+namespace ens::latency {
+
+struct LatencyBreakdown {
+    double client_s = 0.0;
+    double server_s = 0.0;
+    double communication_s = 0.0;
+
+    double total_s() const { return client_s + server_s + communication_s; }
+};
+
+struct PipelineSpec {
+    const nn::Layer* client_head = nullptr;  // includes split noise if any
+    const nn::Layer* server_body = nullptr;  // one representative body
+    const nn::Layer* client_tail = nullptr;
+    std::size_t num_server_nets = 1;  // N (1 = standard CI)
+    Shape input_shape;                // [batch, C, H, W]
+    std::int64_t tail_input_width = 0;  // features entering the tail
+
+    /// Wire payload width (4 = f32, 2 = q16, 1 = q8; see split::WireFormat).
+    /// Quantized formats shrink the communication column only — client and
+    /// server compute still run in f32.
+    double bytes_per_element = 4.0;
+};
+
+/// Estimates one batched inference round trip.
+LatencyBreakdown estimate_latency(const PipelineSpec& spec, const DeviceProfile& edge,
+                                  const DeviceProfile& cloud, const LinkProfile& link);
+
+}  // namespace ens::latency

@@ -1,0 +1,37 @@
+#pragma once
+// Analytical per-layer FLOP and activation-size accounting.
+//
+// Walks a layer tree (Sequential / BasicBlock / primitive layers) with
+// shape inference and sums multiply-add work (counted as 2 FLOPs). This
+// feeds the Table III latency model: the reproduction host has no
+// Raspberry Pi or A6000, so device times are FLOPs / device-throughput
+// rather than wall-clock measurements (see DESIGN.md §2).
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "tensor/shape.hpp"
+
+namespace ens::latency {
+
+struct LayerCost {
+    std::string name;
+    double flops = 0.0;
+    Shape output_shape;
+};
+
+struct CostReport {
+    std::vector<LayerCost> layers;
+    double total_flops = 0.0;
+    Shape output_shape;
+
+    /// Serialized size of the final activation in bytes (f32 payload).
+    double output_bytes() const;
+};
+
+/// Computes the cost of running `layer` on input of `input_shape`
+/// (batch included). Throws for unsupported layer types.
+CostReport count_cost(const nn::Layer& layer, const Shape& input_shape);
+
+}  // namespace ens::latency

@@ -1,0 +1,48 @@
+#pragma once
+// Device and link profiles for the Table III latency model.
+//
+// The paper measures a Raspberry Pi client + A6000 GPU server over a wired
+// network on ResNet-18, batch 128. We have neither device, so Table III is
+// reproduced through calibrated analytical profiles: throughputs and link
+// parameters chosen so the STANDARD-CI row approximates the paper's
+// (0.66 client / 0.98 server / 2.30 comm). Every downstream number
+// (Ensembler overhead split, STAMP gap) then *follows from the model* —
+// only this file contains calibration constants.
+
+#include <string>
+
+namespace ens::latency {
+
+struct DeviceProfile {
+    std::string name;
+    double flops_per_second = 1e9;   // sustained effective throughput
+    double per_batch_overhead_s = 0.0;  // launch/setup cost per inference call
+
+    /// Up to `parallel_streams` independent networks run concurrently with
+    /// `per_stream_overhead` fractional slowdown each (GPU stream model);
+    /// 1 stream for CPU-bound edge devices.
+    int parallel_streams = 1;
+    double per_stream_overhead = 0.0;
+};
+
+struct LinkProfile {
+    std::string name;
+    double uplink_bytes_per_s = 1e6;    // client -> server
+    double downlink_bytes_per_s = 1e6;  // server -> client
+    double per_message_latency_s = 0.0;
+};
+
+/// Raspberry Pi 4-class edge device (sub-GFLOP/s effective on f32 CNN
+/// inference including framework overhead).
+DeviceProfile raspberry_pi_profile();
+
+/// A6000-class cloud GPU (~36 GFLOP/s effective at CIFAR-sized ResNet-18
+/// kernels — far below peak — with near-free concurrent streams).
+DeviceProfile a6000_profile();
+
+/// Wired LAN between edge and cloud as measured by the paper (~30 Mbit/s
+/// effective uplink from the edge device, faster downlink, a few ms per
+/// message).
+LinkProfile wired_lan_profile();
+
+}  // namespace ens::latency

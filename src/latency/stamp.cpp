@@ -1,0 +1,47 @@
+#include "latency/stamp.hpp"
+
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/resblock.hpp"
+#include "nn/sequential.hpp"
+
+namespace ens::latency {
+
+std::size_t count_linear_ops(const nn::Layer& layer) {
+    if (const auto* seq = dynamic_cast<const nn::Sequential*>(&layer)) {
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < seq->size(); ++i) {
+            total += count_linear_ops(seq->layer(i));
+        }
+        return total;
+    }
+    if (const auto* block = dynamic_cast<const nn::BasicBlock*>(&layer)) {
+        return block->has_projection() ? 3 : 2;
+    }
+    if (dynamic_cast<const nn::Conv2d*>(&layer) != nullptr ||
+        dynamic_cast<const nn::Linear*>(&layer) != nullptr) {
+        return 1;
+    }
+    return 0;
+}
+
+LatencyBreakdown estimate_stamp(const PipelineSpec& spec, const DeviceProfile& edge,
+                                const DeviceProfile& cloud, const LinkProfile& link,
+                                const StampModel& model) {
+    const LatencyBreakdown plain = estimate_latency(spec, edge, cloud, link);
+    const std::size_t linear_ops = count_linear_ops(*spec.client_head) +
+                                   count_linear_ops(*spec.server_body) +
+                                   count_linear_ops(*spec.client_tail);
+
+    LatencyBreakdown stamp;
+    // The paper reports a single end-to-end number for STAMP; we fold the
+    // enclave work into the server column and keep the blown-up traffic in
+    // the communication column.
+    stamp.client_s = 0.0;
+    stamp.server_s = (plain.client_s + plain.server_s) * model.enclave_compute_slowdown +
+                     static_cast<double>(linear_ops) * model.per_linear_op_s;
+    stamp.communication_s = plain.communication_s * model.traffic_blowup;
+    return stamp;
+}
+
+}  // namespace ens::latency

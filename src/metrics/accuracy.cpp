@@ -1,0 +1,30 @@
+#include "metrics/accuracy.hpp"
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace ens::metrics {
+
+float top1_accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels) {
+    AccuracyAccumulator acc;
+    acc.add(logits, labels);
+    return acc.value();
+}
+
+void AccuracyAccumulator::add(const Tensor& logits, const std::vector<std::int64_t>& labels) {
+    ENS_REQUIRE(logits.rank() == 2, "accuracy expects [batch, classes] logits");
+    ENS_REQUIRE(static_cast<std::size_t>(logits.dim(0)) == labels.size(),
+                "accuracy: label count mismatch");
+    const std::vector<std::int64_t> predictions = argmax_rows(logits);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        correct_ += predictions[i] == labels[i] ? 1 : 0;
+    }
+    total_ += static_cast<std::int64_t>(labels.size());
+}
+
+float AccuracyAccumulator::value() const {
+    ENS_REQUIRE(total_ > 0, "accuracy: no samples accumulated");
+    return static_cast<float>(correct_) / static_cast<float>(total_);
+}
+
+}  // namespace ens::metrics

@@ -1,0 +1,26 @@
+#pragma once
+// Classification accuracy helpers.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ens::metrics {
+
+/// Top-1 accuracy in [0, 1]: fraction of rows whose argmax equals the label.
+float top1_accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+/// Streaming accuracy accumulator for multi-batch evaluation.
+class AccuracyAccumulator {
+public:
+    void add(const Tensor& logits, const std::vector<std::int64_t>& labels);
+    float value() const;
+    std::int64_t count() const { return total_; }
+
+private:
+    std::int64_t correct_ = 0;
+    std::int64_t total_ = 0;
+};
+
+}  // namespace ens::metrics

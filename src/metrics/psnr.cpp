@@ -1,0 +1,29 @@
+#include "metrics/psnr.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ens::metrics {
+
+float psnr(const Tensor& a, const Tensor& b, float dynamic_range, float cap_db) {
+    ENS_REQUIRE(a.shape() == b.shape(), "psnr: shape mismatch");
+    ENS_REQUIRE(a.numel() > 0, "psnr: empty input");
+    const float* pa = a.data();
+    const float* pb = b.data();
+    const std::int64_t n = a.numel();
+    double mse = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        const double diff = static_cast<double>(pa[i]) - pb[i];
+        mse += diff * diff;
+    }
+    mse /= static_cast<double>(n);
+    if (mse <= 0.0) {
+        return cap_db;
+    }
+    const double value =
+        10.0 * std::log10(static_cast<double>(dynamic_range) * dynamic_range / mse);
+    return static_cast<float>(std::min(value, static_cast<double>(cap_db)));
+}
+
+}  // namespace ens::metrics

@@ -1,0 +1,13 @@
+#pragma once
+// Peak Signal-to-Noise Ratio: 10 log10(L^2 / MSE), L = dynamic range (1 for
+// [0,1] images). The paper's second defense metric (lower = better defense).
+
+#include "tensor/tensor.hpp"
+
+namespace ens::metrics {
+
+/// PSNR in dB between same-shape tensors. Identical inputs return +inf
+/// capped at `cap_db` (default 100 dB) so aggregation stays finite.
+float psnr(const Tensor& a, const Tensor& b, float dynamic_range = 1.0f, float cap_db = 100.0f);
+
+}  // namespace ens::metrics

@@ -1,0 +1,30 @@
+#include "metrics/similarity.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace ens::metrics {
+
+float cosine_similarity(const Tensor& a, const Tensor& b) {
+    ENS_REQUIRE(a.numel() == b.numel(), "cosine_similarity: size mismatch");
+    const double num = dot(a, b);
+    const double denom =
+        std::sqrt(static_cast<double>(squared_norm(a))) * std::sqrt(static_cast<double>(squared_norm(b)));
+    if (denom <= 1e-20) {
+        return 0.0f;
+    }
+    return static_cast<float>(num / denom);
+}
+
+float relative_l2_distance(const Tensor& a, const Tensor& b) {
+    ENS_REQUIRE(a.shape() == b.shape(), "relative_l2_distance: shape mismatch");
+    const Tensor diff = sub(a, b);
+    const double num = std::sqrt(static_cast<double>(squared_norm(diff)));
+    const double denom = std::sqrt(static_cast<double>(squared_norm(a))) +
+                         std::sqrt(static_cast<double>(squared_norm(b))) + 1e-12;
+    return static_cast<float>(num / denom);
+}
+
+}  // namespace ens::metrics

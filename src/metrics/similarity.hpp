@@ -1,0 +1,15 @@
+#pragma once
+// Scalar similarity metrics between tensors (flattened), used to verify
+// Stage-3's quasi-orthogonality property and to compare head weights.
+
+#include "tensor/tensor.hpp"
+
+namespace ens::metrics {
+
+/// Cosine similarity over all elements; 0 for zero-norm inputs.
+float cosine_similarity(const Tensor& a, const Tensor& b);
+
+/// Relative L2 distance ||a-b|| / (||a|| + ||b|| + eps).
+float relative_l2_distance(const Tensor& a, const Tensor& b);
+
+}  // namespace ens::metrics

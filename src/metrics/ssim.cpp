@@ -1,0 +1,143 @@
+#include "metrics/ssim.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ens::metrics {
+
+namespace {
+
+std::vector<float> gaussian_kernel(int size, float sigma) {
+    std::vector<float> k(static_cast<std::size_t>(size));
+    const float center = static_cast<float>(size - 1) / 2.0f;
+    float total = 0.0f;
+    for (int i = 0; i < size; ++i) {
+        const float d = static_cast<float>(i) - center;
+        k[static_cast<std::size_t>(i)] = std::exp(-d * d / (2.0f * sigma * sigma));
+        total += k[static_cast<std::size_t>(i)];
+    }
+    for (float& v : k) {
+        v /= total;
+    }
+    return k;
+}
+
+/// Separable Gaussian filter, valid region only: output is
+/// [h - size + 1, w - size + 1].
+void filter_valid(const float* img, std::int64_t h, std::int64_t w,
+                  const std::vector<float>& kernel, std::vector<float>& scratch,
+                  std::vector<float>& out) {
+    const auto size = static_cast<std::int64_t>(kernel.size());
+    const std::int64_t out_w = w - size + 1;
+    const std::int64_t out_h = h - size + 1;
+    scratch.assign(static_cast<std::size_t>(h * out_w), 0.0f);
+    // Horizontal pass.
+    for (std::int64_t y = 0; y < h; ++y) {
+        for (std::int64_t x = 0; x < out_w; ++x) {
+            float acc = 0.0f;
+            for (std::int64_t k = 0; k < size; ++k) {
+                acc += kernel[static_cast<std::size_t>(k)] * img[y * w + x + k];
+            }
+            scratch[static_cast<std::size_t>(y * out_w + x)] = acc;
+        }
+    }
+    // Vertical pass.
+    out.assign(static_cast<std::size_t>(out_h * out_w), 0.0f);
+    for (std::int64_t y = 0; y < out_h; ++y) {
+        for (std::int64_t x = 0; x < out_w; ++x) {
+            float acc = 0.0f;
+            for (std::int64_t k = 0; k < size; ++k) {
+                acc += kernel[static_cast<std::size_t>(k)] *
+                       scratch[static_cast<std::size_t>((y + k) * out_w + x)];
+            }
+            out[static_cast<std::size_t>(y * out_w + x)] = acc;
+        }
+    }
+}
+
+/// SSIM over one channel plane.
+double ssim_plane(const float* a, const float* b, std::int64_t h, std::int64_t w,
+                  const SsimOptions& options) {
+    int win = options.window;
+    const auto smallest = static_cast<int>(std::min(h, w));
+    if (win > smallest) {
+        win = smallest % 2 == 1 ? smallest : smallest - 1;  // keep odd
+    }
+    ENS_REQUIRE(win >= 1, "ssim: image too small");
+    const std::vector<float> kernel = gaussian_kernel(win, options.sigma);
+
+    const std::int64_t n = h * w;
+    std::vector<float> a_sq(static_cast<std::size_t>(n));
+    std::vector<float> b_sq(static_cast<std::size_t>(n));
+    std::vector<float> ab(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+        a_sq[static_cast<std::size_t>(i)] = a[i] * a[i];
+        b_sq[static_cast<std::size_t>(i)] = b[i] * b[i];
+        ab[static_cast<std::size_t>(i)] = a[i] * b[i];
+    }
+
+    std::vector<float> scratch;
+    std::vector<float> mu_a;
+    std::vector<float> mu_b;
+    std::vector<float> s_aa;
+    std::vector<float> s_bb;
+    std::vector<float> s_ab;
+    filter_valid(a, h, w, kernel, scratch, mu_a);
+    filter_valid(b, h, w, kernel, scratch, mu_b);
+    filter_valid(a_sq.data(), h, w, kernel, scratch, s_aa);
+    filter_valid(b_sq.data(), h, w, kernel, scratch, s_bb);
+    filter_valid(ab.data(), h, w, kernel, scratch, s_ab);
+
+    const float c1 = (0.01f * options.dynamic_range) * (0.01f * options.dynamic_range);
+    const float c2 = (0.03f * options.dynamic_range) * (0.03f * options.dynamic_range);
+
+    double total = 0.0;
+    for (std::size_t i = 0; i < mu_a.size(); ++i) {
+        const float ma = mu_a[i];
+        const float mb = mu_b[i];
+        const float var_a = s_aa[i] - ma * ma;
+        const float var_b = s_bb[i] - mb * mb;
+        const float cov = s_ab[i] - ma * mb;
+        const float numerator = (2.0f * ma * mb + c1) * (2.0f * cov + c2);
+        const float denominator = (ma * ma + mb * mb + c1) * (var_a + var_b + c2);
+        total += numerator / denominator;
+    }
+    return total / static_cast<double>(mu_a.size());
+}
+
+}  // namespace
+
+float ssim(const Tensor& a, const Tensor& b, const SsimOptions& options) {
+    ENS_REQUIRE(a.shape() == b.shape(), "ssim: shape mismatch");
+    ENS_REQUIRE(a.rank() == 3 || a.rank() == 4, "ssim expects [C,H,W] or [N,C,H,W]");
+
+    if (a.rank() == 3) {
+        const std::int64_t channels = a.dim(0);
+        const std::int64_t h = a.dim(1);
+        const std::int64_t w = a.dim(2);
+        double total = 0.0;
+        for (std::int64_t c = 0; c < channels; ++c) {
+            total += ssim_plane(a.data() + c * h * w, b.data() + c * h * w, h, w, options);
+        }
+        return static_cast<float>(total / static_cast<double>(channels));
+    }
+
+    const std::int64_t batch = a.dim(0);
+    const std::int64_t per_sample = a.numel() / batch;
+    const Shape sample_shape{a.dim(1), a.dim(2), a.dim(3)};
+    double total = 0.0;
+    for (std::int64_t i = 0; i < batch; ++i) {
+        const Tensor sa = Tensor::from_vector(
+            sample_shape, std::vector<float>(a.data() + i * per_sample,
+                                             a.data() + (i + 1) * per_sample));
+        const Tensor sb = Tensor::from_vector(
+            sample_shape, std::vector<float>(b.data() + i * per_sample,
+                                             b.data() + (i + 1) * per_sample));
+        total += ssim(sa, sb, options);
+    }
+    return static_cast<float>(total / static_cast<double>(batch));
+}
+
+}  // namespace ens::metrics

@@ -1,0 +1,24 @@
+#pragma once
+// Structural Similarity (Wang et al. 2004), the paper's primary defense
+// metric (lower SSIM between input and reconstruction = better defense).
+//
+// Implementation follows the reference: 11x11 Gaussian window (sigma 1.5),
+// valid-region convolution, constants C1 = (0.01 L)^2, C2 = (0.03 L)^2 with
+// dynamic range L = 1 (images live in [0,1]). For images smaller than the
+// window the window is shrunk to the image size (kept odd).
+
+#include "tensor/tensor.hpp"
+
+namespace ens::metrics {
+
+struct SsimOptions {
+    int window = 11;
+    float sigma = 1.5f;
+    float dynamic_range = 1.0f;
+};
+
+/// Mean SSIM between two [C, H, W] images (channel-averaged), or between
+/// two [N, C, H, W] batches (sample- and channel-averaged).
+float ssim(const Tensor& a, const Tensor& b, const SsimOptions& options = {});
+
+}  // namespace ens::metrics

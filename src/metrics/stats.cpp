@@ -1,0 +1,46 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ens::metrics {
+
+void RunningStat::add(double value) {
+    ++count_;
+    if (count_ == 1) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+}
+
+double RunningStat::mean() const {
+    ENS_REQUIRE(count_ > 0, "RunningStat: empty");
+    return mean_;
+}
+
+double RunningStat::variance() const {
+    ENS_REQUIRE(count_ > 0, "RunningStat: empty");
+    return m2_ / static_cast<double>(count_);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::min() const {
+    ENS_REQUIRE(count_ > 0, "RunningStat: empty");
+    return min_;
+}
+
+double RunningStat::max() const {
+    ENS_REQUIRE(count_ > 0, "RunningStat: empty");
+    return max_;
+}
+
+}  // namespace ens::metrics

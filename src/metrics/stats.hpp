@@ -1,0 +1,27 @@
+#pragma once
+// Streaming statistics (Welford) for experiment reporting.
+
+#include <cstdint>
+
+namespace ens::metrics {
+
+class RunningStat {
+public:
+    void add(double value);
+
+    std::int64_t count() const { return count_; }
+    double mean() const;
+    double variance() const;  // population variance
+    double stddev() const;
+    double min() const;
+    double max() const;
+
+private:
+    std::int64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+}  // namespace ens::metrics

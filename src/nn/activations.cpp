@@ -1,0 +1,114 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ens::nn {
+
+Tensor ReLU::forward(const Tensor& input) {
+    Tensor output(input.shape());
+    cached_mask_ = Tensor(input.shape());
+    const float* x = input.data();
+    float* y = output.data();
+    float* m = cached_mask_.data();
+    const std::int64_t n = input.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        const bool positive = x[i] > 0.0f;
+        y[i] = positive ? x[i] : 0.0f;
+        m[i] = positive ? 1.0f : 0.0f;
+    }
+    return output;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+    ENS_CHECK(cached_mask_.defined(), "ReLU::backward before forward");
+    ENS_REQUIRE(grad_output.shape() == cached_mask_.shape(), "ReLU: grad shape mismatch");
+    Tensor grad_input = grad_output.clone();
+    grad_input.mul_(cached_mask_);
+    return grad_input;
+}
+
+Tensor LeakyReLU::forward(const Tensor& input) {
+    cached_input_ = input;
+    Tensor output(input.shape());
+    const float* x = input.data();
+    float* y = output.data();
+    const std::int64_t n = input.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        y[i] = x[i] > 0.0f ? x[i] : slope_ * x[i];
+    }
+    return output;
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_output) {
+    ENS_CHECK(cached_input_.defined(), "LeakyReLU::backward before forward");
+    ENS_REQUIRE(grad_output.shape() == cached_input_.shape(), "LeakyReLU: grad shape mismatch");
+    Tensor grad_input(grad_output.shape());
+    const float* x = cached_input_.data();
+    const float* dy = grad_output.data();
+    float* dx = grad_input.data();
+    const std::int64_t n = grad_output.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        dx[i] = x[i] > 0.0f ? dy[i] : slope_ * dy[i];
+    }
+    return grad_input;
+}
+
+std::string LeakyReLU::name() const {
+    return "LeakyReLU(" + std::to_string(slope_) + ")";
+}
+
+Tensor Sigmoid::forward(const Tensor& input) {
+    Tensor output(input.shape());
+    const float* x = input.data();
+    float* y = output.data();
+    const std::int64_t n = input.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+    }
+    cached_output_ = output;
+    return output;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+    ENS_CHECK(cached_output_.defined(), "Sigmoid::backward before forward");
+    ENS_REQUIRE(grad_output.shape() == cached_output_.shape(), "Sigmoid: grad shape mismatch");
+    Tensor grad_input(grad_output.shape());
+    const float* y = cached_output_.data();
+    const float* dy = grad_output.data();
+    float* dx = grad_input.data();
+    const std::int64_t n = grad_output.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        dx[i] = dy[i] * y[i] * (1.0f - y[i]);
+    }
+    return grad_input;
+}
+
+Tensor Tanh::forward(const Tensor& input) {
+    Tensor output(input.shape());
+    const float* x = input.data();
+    float* y = output.data();
+    const std::int64_t n = input.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        y[i] = std::tanh(x[i]);
+    }
+    cached_output_ = output;
+    return output;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+    ENS_CHECK(cached_output_.defined(), "Tanh::backward before forward");
+    ENS_REQUIRE(grad_output.shape() == cached_output_.shape(), "Tanh: grad shape mismatch");
+    Tensor grad_input(grad_output.shape());
+    const float* y = cached_output_.data();
+    const float* dy = grad_output.data();
+    float* dx = grad_input.data();
+    const std::int64_t n = grad_output.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        dx[i] = dy[i] * (1.0f - y[i] * y[i]);
+    }
+    return grad_input;
+}
+
+}  // namespace ens::nn

@@ -1,0 +1,53 @@
+#pragma once
+// Pointwise activations. ReLU is used throughout the classifiers;
+// LeakyReLU and Sigmoid belong to the attack decoder (inversion networks
+// reconstruct pixel intensities in [0, 1]).
+
+#include "nn/layer.hpp"
+
+namespace ens::nn {
+
+class ReLU final : public Layer {
+public:
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string name() const override { return "ReLU"; }
+
+private:
+    Tensor cached_mask_;  // 1 where input > 0
+};
+
+class LeakyReLU final : public Layer {
+public:
+    explicit LeakyReLU(float negative_slope = 0.2f) : slope_(negative_slope) {}
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string name() const override;
+
+private:
+    float slope_;
+    Tensor cached_input_;
+};
+
+class Sigmoid final : public Layer {
+public:
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string name() const override { return "Sigmoid"; }
+
+private:
+    Tensor cached_output_;
+};
+
+class Tanh final : public Layer {
+public:
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string name() const override { return "Tanh"; }
+
+private:
+    Tensor cached_output_;
+};
+
+}  // namespace ens::nn

@@ -1,0 +1,179 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ens::nn {
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float eps, float momentum)
+    : channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_("gamma", Tensor::ones(Shape{channels})),
+      beta_("beta", Tensor::zeros(Shape{channels})),
+      running_mean_(Tensor::zeros(Shape{channels})),
+      running_var_(Tensor::ones(Shape{channels})) {
+    ENS_REQUIRE(channels > 0, "BatchNorm2d: channels must be positive");
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input) {
+    ENS_REQUIRE(input.rank() == 4 && input.dim(1) == channels_,
+                "BatchNorm2d: input shape mismatch, got " + input.shape().to_string());
+    const std::int64_t batch = input.dim(0);
+    const std::int64_t h = input.dim(2);
+    const std::int64_t w = input.dim(3);
+    const std::int64_t plane = h * w;
+    const std::int64_t per_channel = batch * plane;
+
+    Tensor output(input.shape());
+    const float* x = input.data();
+    float* y = output.data();
+    const float* g = gamma_.value.data();
+    const float* b = beta_.value.data();
+
+    last_forward_training_ = training();
+    if (training()) {
+        cached_shape_ = input.shape();
+        cached_xhat_ = Tensor(input.shape());
+        cached_invstd_ = Tensor(Shape{channels_});
+        float* xhat = cached_xhat_.data();
+        float* invstd = cached_invstd_.data();
+        float* rmean = running_mean_.data();
+        float* rvar = running_var_.data();
+
+        for (std::int64_t c = 0; c < channels_; ++c) {
+            double sum = 0.0;
+            double sq_sum = 0.0;
+            for (std::int64_t n = 0; n < batch; ++n) {
+                const float* src = x + (n * channels_ + c) * plane;
+                for (std::int64_t i = 0; i < plane; ++i) {
+                    sum += src[i];
+                    sq_sum += static_cast<double>(src[i]) * src[i];
+                }
+            }
+            const double mean = sum / static_cast<double>(per_channel);
+            const double var = sq_sum / static_cast<double>(per_channel) - mean * mean;
+            const float istd = static_cast<float>(1.0 / std::sqrt(var + eps_));
+            invstd[c] = istd;
+            rmean[c] = (1.0f - momentum_) * rmean[c] + momentum_ * static_cast<float>(mean);
+            rvar[c] = (1.0f - momentum_) * rvar[c] + momentum_ * static_cast<float>(var);
+
+            for (std::int64_t n = 0; n < batch; ++n) {
+                const float* src = x + (n * channels_ + c) * plane;
+                float* xh = xhat + (n * channels_ + c) * plane;
+                float* dst = y + (n * channels_ + c) * plane;
+                for (std::int64_t i = 0; i < plane; ++i) {
+                    const float normalized = (src[i] - static_cast<float>(mean)) * istd;
+                    xh[i] = normalized;
+                    dst[i] = g[c] * normalized + b[c];
+                }
+            }
+        }
+    } else {
+        cached_shape_ = input.shape();
+        const float* rmean = running_mean_.data();
+        const float* rvar = running_var_.data();
+        for (std::int64_t c = 0; c < channels_; ++c) {
+            const float istd = 1.0f / std::sqrt(rvar[c] + eps_);
+            const float scale = g[c] * istd;
+            const float shift = b[c] - scale * rmean[c];
+            for (std::int64_t n = 0; n < batch; ++n) {
+                const float* src = x + (n * channels_ + c) * plane;
+                float* dst = y + (n * channels_ + c) * plane;
+                for (std::int64_t i = 0; i < plane; ++i) {
+                    dst[i] = scale * src[i] + shift;
+                }
+            }
+        }
+    }
+    return output;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+    ENS_REQUIRE(grad_output.shape() == cached_shape_, "BatchNorm2d: grad shape mismatch");
+
+    if (!last_forward_training_) {
+        // Eval mode: the normalization is a fixed per-channel affine map, so
+        // dx = gamma / sqrt(running_var + eps) * dy. Parameter gradients are
+        // skipped — eval-mode backward only occurs through frozen nets
+        // (Stage-3 server bodies, attack targets).
+        const std::int64_t batch = cached_shape_.dim(0);
+        const std::int64_t plane = cached_shape_.dim(2) * cached_shape_.dim(3);
+        Tensor grad_input(cached_shape_);
+        const float* dy = grad_output.data();
+        float* dx = grad_input.data();
+        const float* g = gamma_.value.data();
+        const float* rvar = running_var_.data();
+        for (std::int64_t c = 0; c < channels_; ++c) {
+            const float scale = g[c] / std::sqrt(rvar[c] + eps_);
+            for (std::int64_t n = 0; n < batch; ++n) {
+                const float* gy = dy + (n * channels_ + c) * plane;
+                float* gx = dx + (n * channels_ + c) * plane;
+                for (std::int64_t i = 0; i < plane; ++i) {
+                    gx[i] = scale * gy[i];
+                }
+            }
+        }
+        return grad_input;
+    }
+
+    ENS_CHECK(cached_xhat_.defined(), "BatchNorm2d::backward before forward");
+
+    const std::int64_t batch = cached_shape_.dim(0);
+    const std::int64_t plane = cached_shape_.dim(2) * cached_shape_.dim(3);
+    const std::int64_t per_channel = batch * plane;
+
+    Tensor grad_input(cached_shape_);
+    const float* dy = grad_output.data();
+    const float* xhat = cached_xhat_.data();
+    const float* invstd = cached_invstd_.data();
+    const float* g = gamma_.value.data();
+    float* dx = grad_input.data();
+    float* dgamma = gamma_.grad.data();
+    float* dbeta = beta_.grad.data();
+
+    for (std::int64_t c = 0; c < channels_; ++c) {
+        // Channel-wise reductions: sum(dy) and sum(dy * xhat).
+        double sum_dy = 0.0;
+        double sum_dy_xhat = 0.0;
+        for (std::int64_t n = 0; n < batch; ++n) {
+            const float* gy = dy + (n * channels_ + c) * plane;
+            const float* xh = xhat + (n * channels_ + c) * plane;
+            for (std::int64_t i = 0; i < plane; ++i) {
+                sum_dy += gy[i];
+                sum_dy_xhat += static_cast<double>(gy[i]) * xh[i];
+            }
+        }
+        if (gamma_.requires_grad) {
+            dgamma[c] += static_cast<float>(sum_dy_xhat);
+            dbeta[c] += static_cast<float>(sum_dy);
+        }
+
+        // dx = (gamma * invstd / m) * (m*dy - sum(dy) - xhat * sum(dy*xhat))
+        const float k = g[c] * invstd[c] / static_cast<float>(per_channel);
+        const float m = static_cast<float>(per_channel);
+        for (std::int64_t n = 0; n < batch; ++n) {
+            const float* gy = dy + (n * channels_ + c) * plane;
+            const float* xh = xhat + (n * channels_ + c) * plane;
+            float* gx = dx + (n * channels_ + c) * plane;
+            for (std::int64_t i = 0; i < plane; ++i) {
+                gx[i] = k * (m * gy[i] - static_cast<float>(sum_dy) -
+                             xh[i] * static_cast<float>(sum_dy_xhat));
+            }
+        }
+    }
+    return grad_input;
+}
+
+std::vector<Parameter*> BatchNorm2d::parameters() { return {&gamma_, &beta_}; }
+
+std::vector<Layer::NamedBuffer> BatchNorm2d::buffers() {
+    return {{"bn.running_mean", &running_mean_}, {"bn.running_var", &running_var_}};
+}
+
+std::string BatchNorm2d::name() const {
+    return "BatchNorm2d(" + std::to_string(channels_) + ")";
+}
+
+}  // namespace ens::nn

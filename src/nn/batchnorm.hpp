@@ -1,0 +1,41 @@
+#pragma once
+// BatchNorm2d over NCHW: per-channel normalization with affine transform
+// and exponential-moving-average running statistics for eval mode.
+
+#include "nn/layer.hpp"
+
+namespace ens::nn {
+
+class BatchNorm2d final : public Layer {
+public:
+    explicit BatchNorm2d(std::int64_t channels, float eps = 1e-5f, float momentum = 0.1f);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::vector<Parameter*> parameters() override;
+    std::vector<NamedBuffer> buffers() override;
+    std::string name() const override;
+
+    std::int64_t channels() const { return channels_; }
+    Parameter& gamma() { return gamma_; }
+    Parameter& beta() { return beta_; }
+    Tensor& running_mean() { return running_mean_; }
+    Tensor& running_var() { return running_var_; }
+
+private:
+    std::int64_t channels_;
+    float eps_;
+    float momentum_;
+    Parameter gamma_;  // scale, [C]
+    Parameter beta_;   // shift, [C]
+    Tensor running_mean_;
+    Tensor running_var_;
+
+    // Backward caches (training mode).
+    Tensor cached_xhat_;
+    Tensor cached_invstd_;  // [C]
+    Shape cached_shape_;
+    bool last_forward_training_ = false;
+};
+
+}  // namespace ens::nn

@@ -1,0 +1,97 @@
+#include "nn/checkpoint.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace ens::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x454E5331;       // "ENS1": parameters only
+constexpr std::uint32_t kMagicState = 0x454E5332;  // "ENS2": parameters + buffers
+}
+
+void save_parameters(Layer& layer, std::ostream& out) {
+    BinaryWriter writer(out);
+    writer.write_u32(kMagic);
+    const auto params = layer.parameters();
+    writer.write_u64(params.size());
+    for (const Parameter* p : params) {
+        writer.write_string(p->name);
+        writer.write_i64_vector(p->value.shape().dims());
+        writer.write_f32_array(p->value.data(), static_cast<std::size_t>(p->value.numel()));
+    }
+}
+
+void load_parameters(Layer& layer, std::istream& in) {
+    BinaryReader reader(in);
+    ENS_CHECK(reader.read_u32() == kMagic, "checkpoint: bad magic");
+    const auto params = layer.parameters();
+    const std::uint64_t count = reader.read_u64();
+    ENS_CHECK(count == params.size(), "checkpoint: parameter count mismatch");
+    for (Parameter* p : params) {
+        const std::string name = reader.read_string();
+        ENS_CHECK(name == p->name, "checkpoint: parameter name mismatch: " + name);
+        const Shape shape{reader.read_i64_vector()};
+        ENS_CHECK(shape == p->value.shape(), "checkpoint: shape mismatch for " + name);
+        reader.read_f32_array(p->value.data(), static_cast<std::size_t>(p->value.numel()));
+    }
+}
+
+void save_parameters_file(Layer& layer, const std::string& path) {
+    std::ofstream out(path, std::ios::binary);
+    ENS_REQUIRE(out.good(), "cannot open checkpoint for writing: " + path);
+    save_parameters(layer, out);
+}
+
+void load_parameters_file(Layer& layer, const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    ENS_REQUIRE(in.good(), "cannot open checkpoint for reading: " + path);
+    load_parameters(layer, in);
+}
+
+void save_state(Layer& layer, std::ostream& out) {
+    BinaryWriter writer(out);
+    writer.write_u32(kMagicState);
+    save_parameters(layer, out);
+    const auto state = layer.buffers();
+    writer.write_u64(state.size());
+    for (const Layer::NamedBuffer& buffer : state) {
+        writer.write_string(buffer.name);
+        writer.write_i64_vector(buffer.tensor->shape().dims());
+        writer.write_f32_array(buffer.tensor->data(),
+                               static_cast<std::size_t>(buffer.tensor->numel()));
+    }
+}
+
+void load_state(Layer& layer, std::istream& in) {
+    BinaryReader reader(in);
+    ENS_CHECK(reader.read_u32() == kMagicState, "checkpoint: bad state magic");
+    load_parameters(layer, in);
+    const auto state = layer.buffers();
+    const std::uint64_t count = reader.read_u64();
+    ENS_CHECK(count == state.size(), "checkpoint: buffer count mismatch");
+    for (const Layer::NamedBuffer& buffer : state) {
+        const std::string name = reader.read_string();
+        ENS_CHECK(name == buffer.name, "checkpoint: buffer name mismatch: " + name);
+        const Shape shape{reader.read_i64_vector()};
+        ENS_CHECK(shape == buffer.tensor->shape(), "checkpoint: buffer shape mismatch: " + name);
+        reader.read_f32_array(buffer.tensor->data(),
+                              static_cast<std::size_t>(buffer.tensor->numel()));
+    }
+}
+
+void save_state_file(Layer& layer, const std::string& path) {
+    std::ofstream out(path, std::ios::binary);
+    ENS_REQUIRE(out.good(), "cannot open checkpoint for writing: " + path);
+    save_state(layer, out);
+}
+
+void load_state_file(Layer& layer, const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    ENS_REQUIRE(in.good(), "cannot open checkpoint for reading: " + path);
+    load_state(layer, in);
+}
+
+}  // namespace ens::nn

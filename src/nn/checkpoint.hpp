@@ -1,0 +1,36 @@
+#pragma once
+// Checkpointing for layer trees (by traversal order, name+shape validated).
+//
+// Two fidelities:
+//   save_parameters / load_parameters — trainable Parameters only. Enough
+//     for weights that will be retrained or whose BN statistics are
+//     re-derived (the in-process experiment flows).
+//   save_state / load_state — Parameters PLUS the named non-parameter
+//     buffers from Layer::buffers() (BatchNorm running statistics). This is
+//     the deployment-grade format: a network restored with load_state
+//     reproduces eval-mode outputs bit-for-bit in a fresh process.
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/layer.hpp"
+
+namespace ens::nn {
+
+/// Binary format: magic, parameter count, then (name, shape, f32 data).
+void save_parameters(Layer& layer, std::ostream& out);
+
+/// Restores into an identically-structured layer; throws on any mismatch.
+void load_parameters(Layer& layer, std::istream& in);
+
+void save_parameters_file(Layer& layer, const std::string& path);
+void load_parameters_file(Layer& layer, const std::string& path);
+
+/// Full-fidelity checkpoint: parameters + buffers (BN running stats).
+void save_state(Layer& layer, std::ostream& out);
+void load_state(Layer& layer, std::istream& in);
+
+void save_state_file(Layer& layer, const std::string& path);
+void load_state_file(Layer& layer, const std::string& path);
+
+}  // namespace ens::nn

@@ -1,0 +1,164 @@
+#include "nn/conv2d.hpp"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/threadpool.hpp"
+#include "tensor/ops.hpp"
+
+namespace ens::nn {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t kernel,
+               std::int64_t stride, std::int64_t padding, Rng& rng, bool with_bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      with_bias_(with_bias) {
+    ENS_REQUIRE(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0 && padding >= 0,
+                "Conv2d: bad geometry");
+    const std::int64_t fan_in = in_channels * kernel * kernel;
+    const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+    weight_ = Parameter("weight", Tensor::randn(Shape{out_channels, fan_in}, rng, 0.0f, stddev));
+    if (with_bias_) {
+        bias_ = Parameter("bias", Tensor::zeros(Shape{out_channels}));
+    }
+}
+
+ConvGeometry Conv2d::geometry_for(const Tensor& input) const {
+    ENS_REQUIRE(input.rank() == 4 && input.dim(1) == in_channels_,
+                "Conv2d: input shape mismatch, got " + input.shape().to_string());
+    ConvGeometry geom;
+    geom.in_channels = in_channels_;
+    geom.in_h = input.dim(2);
+    geom.in_w = input.dim(3);
+    geom.kernel_h = kernel_;
+    geom.kernel_w = kernel_;
+    geom.stride = stride_;
+    geom.padding = padding_;
+    ENS_REQUIRE(geom.out_h() > 0 && geom.out_w() > 0, "Conv2d: output collapses to zero size");
+    return geom;
+}
+
+Tensor Conv2d::forward(const Tensor& input) {
+    const ConvGeometry geom = geometry_for(input);
+    cached_input_ = input;
+    const std::int64_t batch = input.dim(0);
+    const std::int64_t positions = geom.out_positions();
+    Tensor output(Shape{batch, out_channels_, geom.out_h(), geom.out_w()});
+
+    const std::int64_t in_plane = in_channels_ * geom.in_h * geom.in_w;
+    const std::int64_t out_plane = out_channels_ * positions;
+
+    parallel_for(0, static_cast<std::size_t>(batch), [&](std::size_t lo, std::size_t hi) {
+        Tensor col(Shape{geom.patch_size(), positions});
+        Tensor out_mat(Shape{out_channels_, positions});
+        for (std::size_t n = lo; n < hi; ++n) {
+            im2col(input.data() + static_cast<std::int64_t>(n) * in_plane, geom, col.data());
+            gemm_serial(weight_.value, false, col, false, out_mat);
+            float* dst = output.data() + static_cast<std::int64_t>(n) * out_plane;
+            const float* src = out_mat.data();
+            if (with_bias_) {
+                const float* b = bias_.value.data();
+                for (std::int64_t c = 0; c < out_channels_; ++c) {
+                    for (std::int64_t p = 0; p < positions; ++p) {
+                        dst[c * positions + p] = src[c * positions + p] + b[c];
+                    }
+                }
+            } else {
+                std::copy(src, src + out_plane, dst);
+            }
+        }
+    });
+    return output;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+    ENS_CHECK(cached_input_.defined(), "Conv2d::backward before forward");
+    const ConvGeometry geom = geometry_for(cached_input_);
+    const std::int64_t batch = cached_input_.dim(0);
+    const std::int64_t positions = geom.out_positions();
+    ENS_REQUIRE(grad_output.rank() == 4 && grad_output.dim(0) == batch &&
+                    grad_output.dim(1) == out_channels_ && grad_output.dim(2) == geom.out_h() &&
+                    grad_output.dim(3) == geom.out_w(),
+                "Conv2d: grad shape mismatch");
+
+    Tensor grad_input(cached_input_.shape());
+    const std::int64_t in_plane = in_channels_ * geom.in_h * geom.in_w;
+    const std::int64_t out_plane = out_channels_ * positions;
+    const bool want_wgrad = weight_.requires_grad;
+
+    // Per-chunk weight-gradient partials, keyed by chunk start so the final
+    // reduction below runs in a deterministic order regardless of thread
+    // scheduling (float addition is not associative).
+    std::mutex accum_mutex;
+    std::map<std::size_t, std::pair<Tensor, Tensor>> partials;
+    parallel_for(0, static_cast<std::size_t>(batch), [&](std::size_t lo, std::size_t hi) {
+        Tensor col(Shape{geom.patch_size(), positions});
+        Tensor dcol(Shape{geom.patch_size(), positions});
+        Tensor local_wgrad = want_wgrad ? Tensor::zeros(weight_.value.shape()) : Tensor();
+        Tensor local_bgrad =
+            (want_wgrad && with_bias_) ? Tensor::zeros(Shape{out_channels_}) : Tensor();
+
+        for (std::size_t n = lo; n < hi; ++n) {
+            const float* x_n = cached_input_.data() + static_cast<std::int64_t>(n) * in_plane;
+            const Tensor dy_mat =
+                Tensor::from_vector(Shape{out_channels_, positions},
+                                    std::vector<float>(
+                                        grad_output.data() + static_cast<std::int64_t>(n) * out_plane,
+                                        grad_output.data() +
+                                            static_cast<std::int64_t>(n + 1) * out_plane));
+
+            if (want_wgrad) {
+                // dW += dY_n @ col_n^T  (recompute col; cheaper than caching
+                // the whole batch of patch matrices)
+                im2col(x_n, geom, col.data());
+                gemm_serial(dy_mat, false, col, true, local_wgrad, 1.0f, 1.0f);
+                if (with_bias_) {
+                    const float* g = dy_mat.data();
+                    float* db = local_bgrad.data();
+                    for (std::int64_t c = 0; c < out_channels_; ++c) {
+                        for (std::int64_t p = 0; p < positions; ++p) {
+                            db[c] += g[c * positions + p];
+                        }
+                    }
+                }
+            }
+
+            // dcol = W^T @ dY_n ; scatter back to the input gradient.
+            gemm_serial(weight_.value, true, dy_mat, false, dcol);
+            col2im(dcol.data(), geom, grad_input.data() + static_cast<std::int64_t>(n) * in_plane);
+        }
+
+        if (want_wgrad) {
+            const std::lock_guard<std::mutex> lock(accum_mutex);
+            partials.emplace(lo, std::make_pair(std::move(local_wgrad), std::move(local_bgrad)));
+        }
+    });
+    for (auto& [lo, grads] : partials) {
+        weight_.grad.add_(grads.first);
+        if (with_bias_) {
+            bias_.grad.add_(grads.second);
+        }
+    }
+    return grad_input;
+}
+
+std::vector<Parameter*> Conv2d::parameters() {
+    if (with_bias_) {
+        return {&weight_, &bias_};
+    }
+    return {&weight_};
+}
+
+std::string Conv2d::name() const {
+    return "Conv2d(" + std::to_string(in_channels_) + "->" + std::to_string(out_channels_) +
+           ", k" + std::to_string(kernel_) + " s" + std::to_string(stride_) + " p" +
+           std::to_string(padding_) + ")";
+}
+
+}  // namespace ens::nn

@@ -1,0 +1,45 @@
+#pragma once
+// 2-d convolution (NCHW) via im2col + GEMM, batch-parallel.
+
+#include "nn/layer.hpp"
+#include "tensor/im2col.hpp"
+
+namespace ens::nn {
+
+class Conv2d final : public Layer {
+public:
+    /// Square kernels only (all nets in this repo use 1x1/3x3/7x7).
+    /// He-normal init with fan_in = in_channels * k * k. ResNet convs are
+    /// bias-free (BatchNorm follows); the attack decoder uses biased convs.
+    Conv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t kernel,
+           std::int64_t stride, std::int64_t padding, Rng& rng, bool with_bias = false);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::vector<Parameter*> parameters() override;
+    std::string name() const override;
+
+    std::int64_t in_channels() const { return in_channels_; }
+    std::int64_t out_channels() const { return out_channels_; }
+    std::int64_t kernel() const { return kernel_; }
+    std::int64_t stride() const { return stride_; }
+    std::int64_t padding() const { return padding_; }
+
+    /// Weight stored as [out_channels, in_channels * k * k] for the GEMM.
+    Parameter& weight() { return weight_; }
+
+private:
+    ConvGeometry geometry_for(const Tensor& input) const;
+
+    std::int64_t in_channels_;
+    std::int64_t out_channels_;
+    std::int64_t kernel_;
+    std::int64_t stride_;
+    std::int64_t padding_;
+    bool with_bias_;
+    Parameter weight_;
+    Parameter bias_;
+    Tensor cached_input_;
+};
+
+}  // namespace ens::nn

@@ -1,0 +1,48 @@
+#include "nn/dropout.hpp"
+
+#include "common/error.hpp"
+
+namespace ens::nn {
+
+Dropout::Dropout(float p, Rng rng, bool active_in_eval)
+    : p_(p), rng_(rng), active_in_eval_(active_in_eval) {
+    ENS_REQUIRE(p >= 0.0f && p < 1.0f, "Dropout: p must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& input) {
+    last_forward_active_ = active();
+    if (!last_forward_active_ || p_ == 0.0f) {
+        cached_mask_ = Tensor();
+        return input;
+    }
+    cached_mask_ = Tensor(input.shape());
+    Tensor output(input.shape());
+    const float keep_scale = 1.0f / (1.0f - p_);
+    const float* x = input.data();
+    float* y = output.data();
+    float* m = cached_mask_.data();
+    const std::int64_t n = input.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float mask = rng_.bernoulli(p_) ? 0.0f : keep_scale;
+        m[i] = mask;
+        y[i] = x[i] * mask;
+    }
+    return output;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+    if (!last_forward_active_ || p_ == 0.0f) {
+        return grad_output;
+    }
+    ENS_CHECK(cached_mask_.defined(), "Dropout::backward before forward");
+    ENS_REQUIRE(grad_output.shape() == cached_mask_.shape(), "Dropout: grad shape mismatch");
+    Tensor grad_input = grad_output.clone();
+    grad_input.mul_(cached_mask_);
+    return grad_input;
+}
+
+std::string Dropout::name() const {
+    return "Dropout(p=" + std::to_string(p_) + (active_in_eval_ ? ", always-on" : "") + ")";
+}
+
+}  // namespace ens::nn

@@ -1,0 +1,31 @@
+#pragma once
+// Inverted dropout. Used by the DR-single / DR-10 baseline defenses
+// (He et al., IoT-J'21) which keep dropout ACTIVE at inference time as a
+// perturbation mechanism — hence `active_in_eval`.
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace ens::nn {
+
+class Dropout final : public Layer {
+public:
+    /// `p` is the drop probability. With `active_in_eval`, masks are drawn
+    /// in eval mode too (defense usage); otherwise eval is the identity.
+    Dropout(float p, Rng rng, bool active_in_eval = false);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string name() const override;
+
+private:
+    bool active() const { return training() || active_in_eval_; }
+
+    float p_;
+    Rng rng_;
+    bool active_in_eval_;
+    Tensor cached_mask_;
+    bool last_forward_active_ = false;
+};
+
+}  // namespace ens::nn

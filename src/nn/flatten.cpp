@@ -1,0 +1,34 @@
+#include "nn/flatten.hpp"
+
+#include "common/error.hpp"
+
+namespace ens::nn {
+
+Tensor Flatten::forward(const Tensor& input) {
+    ENS_REQUIRE(input.rank() >= 2, "Flatten expects at least a batch axis + 1");
+    cached_in_shape_ = input.shape();
+    return input.reshaped(Shape{input.dim(0), input.numel() / input.dim(0)});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+    ENS_CHECK(cached_in_shape_.rank() >= 2, "Flatten::backward before forward");
+    return grad_output.reshaped(cached_in_shape_);
+}
+
+Reshape::Reshape(Shape per_sample) : per_sample_(std::move(per_sample)) {}
+
+Tensor Reshape::forward(const Tensor& input) {
+    std::vector<std::int64_t> dims{input.dim(0)};
+    dims.insert(dims.end(), per_sample_.dims().begin(), per_sample_.dims().end());
+    cached_in_shape_ = input.shape();
+    return input.reshaped(Shape{std::move(dims)});
+}
+
+Tensor Reshape::backward(const Tensor& grad_output) {
+    ENS_CHECK(cached_in_shape_.rank() >= 1, "Reshape::backward before forward");
+    return grad_output.reshaped(cached_in_shape_);
+}
+
+std::string Reshape::name() const { return "Reshape(to " + per_sample_.to_string() + ")"; }
+
+}  // namespace ens::nn

@@ -1,0 +1,33 @@
+#pragma once
+// Flatten [N, C, H, W] -> [N, C*H*W]; backward restores the saved shape.
+
+#include "nn/layer.hpp"
+
+namespace ens::nn {
+
+class Flatten final : public Layer {
+public:
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string name() const override { return "Flatten"; }
+
+private:
+    Shape cached_in_shape_;
+};
+
+/// Inverse of Flatten for decoder pipelines: [N, C*H*W] -> [N, C, H, W].
+class Reshape final : public Layer {
+public:
+    /// `per_sample` is the target shape without the batch axis.
+    explicit Reshape(Shape per_sample);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string name() const override;
+
+private:
+    Shape per_sample_;
+    Shape cached_in_shape_;
+};
+
+}  // namespace ens::nn

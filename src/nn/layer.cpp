@@ -1,0 +1,38 @@
+#include "nn/layer.hpp"
+
+#include "common/error.hpp"
+
+namespace ens::nn {
+
+void set_requires_grad(Layer& layer, bool requires_grad) {
+    for (Parameter* p : layer.parameters()) {
+        p->requires_grad = requires_grad;
+    }
+}
+
+void zero_grad(Layer& layer) {
+    for (Parameter* p : layer.parameters()) {
+        p->zero_grad();
+    }
+}
+
+std::int64_t parameter_count(Layer& layer) {
+    std::int64_t total = 0;
+    for (Parameter* p : layer.parameters()) {
+        total += p->value.numel();
+    }
+    return total;
+}
+
+void copy_parameters(Layer& src, Layer& dst) {
+    const auto src_params = src.parameters();
+    const auto dst_params = dst.parameters();
+    ENS_REQUIRE(src_params.size() == dst_params.size(), "copy_parameters: layer mismatch");
+    for (std::size_t i = 0; i < src_params.size(); ++i) {
+        ENS_REQUIRE(src_params[i]->name == dst_params[i]->name,
+                    "copy_parameters: parameter name mismatch at " + src_params[i]->name);
+        dst_params[i]->value.copy_from(src_params[i]->value);
+    }
+}
+
+}  // namespace ens::nn

@@ -1,0 +1,90 @@
+#pragma once
+// Layer abstraction: explicit forward/backward with per-layer caching.
+//
+// This library deliberately uses layer-local backprop (Caffe style) instead
+// of a general autograd tape: every network in the paper is a feed-forward
+// chain (residual blocks handle their own skip wiring), so the simpler
+// contract keeps kernels fast and the gradient path auditable. The contract:
+//
+//   Tensor y  = layer.forward(x);        // caches whatever backward needs
+//   Tensor dx = layer.backward(dy);      // must follow the matching forward
+//
+// backward() ACCUMULATES into Parameter::grad (so gradients from several
+// branches sum naturally); optimizers zero grads after each step. Parameters
+// with requires_grad == false skip weight-gradient computation but still
+// propagate input gradients (needed for frozen server bodies in Stage 3 and
+// for the inversion attacks, which both backprop *through* frozen nets).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ens::nn {
+
+/// A named trainable tensor with its gradient accumulator.
+struct Parameter {
+    std::string name;
+    Tensor value;
+    Tensor grad;
+    bool requires_grad = true;
+
+    Parameter() = default;
+    Parameter(std::string param_name, Tensor init)
+        : name(std::move(param_name)), value(std::move(init)), grad(Tensor::zeros(value.shape())) {}
+
+    void zero_grad() { grad.fill(0.0f); }
+};
+
+class Layer {
+public:
+    virtual ~Layer() = default;
+
+    /// Computes the layer output, caching activations needed by backward.
+    virtual Tensor forward(const Tensor& input) = 0;
+
+    /// Propagates `grad_output` (gradient w.r.t. the last forward's output)
+    /// back to the input; accumulates parameter gradients.
+    virtual Tensor backward(const Tensor& grad_output) = 0;
+
+    /// Pointers to this layer's parameters (empty for stateless layers).
+    virtual std::vector<Parameter*> parameters() { return {}; }
+
+    /// Named non-parameter state that full-fidelity checkpoints must carry
+    /// (e.g. BatchNorm running statistics). Parameters are NOT repeated
+    /// here. Containers concatenate their children's buffers in traversal
+    /// order, mirroring parameters().
+    struct NamedBuffer {
+        std::string name;
+        Tensor* tensor = nullptr;
+    };
+    virtual std::vector<NamedBuffer> buffers() { return {}; }
+
+    /// Human-readable layer type + geometry, e.g. "Conv2d(3->8, k3 s1 p1)".
+    virtual std::string name() const = 0;
+
+    /// Train/eval mode (BatchNorm statistics, Dropout masks).
+    virtual void set_training(bool training) { training_ = training; }
+    bool training() const { return training_; }
+
+protected:
+    bool training_ = true;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+/// Sets requires_grad on every parameter of `layer` (freeze / unfreeze).
+void set_requires_grad(Layer& layer, bool requires_grad);
+
+/// Zeroes every parameter gradient of `layer`.
+void zero_grad(Layer& layer);
+
+/// Total number of scalar parameters.
+std::int64_t parameter_count(Layer& layer);
+
+/// Deep-copies all parameter values from `src` into `dst`; layers must have
+/// identical parameter lists (checked by name and shape).
+void copy_parameters(Layer& src, Layer& dst);
+
+}  // namespace ens::nn

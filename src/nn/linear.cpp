@@ -1,0 +1,77 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace ens::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng, bool with_bias)
+    : in_features_(in_features), out_features_(out_features), with_bias_(with_bias) {
+    ENS_REQUIRE(in_features > 0 && out_features > 0, "Linear: bad feature counts");
+    const float stddev = std::sqrt(2.0f / static_cast<float>(in_features));
+    weight_ = Parameter("weight", Tensor::randn(Shape{out_features, in_features}, rng, 0.0f, stddev));
+    if (with_bias_) {
+        bias_ = Parameter("bias", Tensor::zeros(Shape{out_features}));
+    }
+}
+
+Tensor Linear::forward(const Tensor& input) {
+    ENS_REQUIRE(input.rank() == 2 && input.dim(1) == in_features_,
+                "Linear: input shape mismatch, got " + input.shape().to_string());
+    cached_input_ = input;
+    Tensor out(Shape{input.dim(0), out_features_});
+    gemm(input, false, weight_.value, true, out);
+    if (with_bias_) {
+        float* o = out.data();
+        const float* b = bias_.value.data();
+        const std::int64_t rows = out.dim(0);
+        for (std::int64_t i = 0; i < rows; ++i) {
+            for (std::int64_t j = 0; j < out_features_; ++j) {
+                o[i * out_features_ + j] += b[j];
+            }
+        }
+    }
+    return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+    ENS_CHECK(cached_input_.defined(), "Linear::backward before forward");
+    ENS_REQUIRE(grad_output.rank() == 2 && grad_output.dim(1) == out_features_ &&
+                    grad_output.dim(0) == cached_input_.dim(0),
+                "Linear: grad shape mismatch");
+
+    if (weight_.requires_grad) {
+        // dW += dY^T X  ([out, in])
+        gemm(grad_output, true, cached_input_, false, weight_.grad, 1.0f, 1.0f);
+        if (with_bias_) {
+            const float* g = grad_output.data();
+            float* db = bias_.grad.data();
+            const std::int64_t rows = grad_output.dim(0);
+            for (std::int64_t i = 0; i < rows; ++i) {
+                for (std::int64_t j = 0; j < out_features_; ++j) {
+                    db[j] += g[i * out_features_ + j];
+                }
+            }
+        }
+    }
+
+    // dX = dY W  ([batch, in])
+    Tensor grad_input(Shape{grad_output.dim(0), in_features_});
+    gemm(grad_output, false, weight_.value, false, grad_input);
+    return grad_input;
+}
+
+std::vector<Parameter*> Linear::parameters() {
+    if (with_bias_) {
+        return {&weight_, &bias_};
+    }
+    return {&weight_};
+}
+
+std::string Linear::name() const {
+    return "Linear(" + std::to_string(in_features_) + "->" + std::to_string(out_features_) + ")";
+}
+
+}  // namespace ens::nn

@@ -1,0 +1,34 @@
+#pragma once
+// Fully-connected layer: y = x W^T + b over [batch, features] matrices.
+
+#include "nn/layer.hpp"
+
+namespace ens::nn {
+
+class Linear final : public Layer {
+public:
+    /// He-normal weight init (fan_in = in_features); bias zero-init.
+    Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng, bool with_bias = true);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::vector<Parameter*> parameters() override;
+    std::string name() const override;
+
+    std::int64_t in_features() const { return in_features_; }
+    std::int64_t out_features() const { return out_features_; }
+
+    Parameter& weight() { return weight_; }
+    Parameter& bias() { return bias_; }
+    bool has_bias() const { return with_bias_; }
+
+private:
+    std::int64_t in_features_;
+    std::int64_t out_features_;
+    bool with_bias_;
+    Parameter weight_;  // [out, in]
+    Parameter bias_;    // [out]
+    Tensor cached_input_;
+};
+
+}  // namespace ens::nn

@@ -1,0 +1,112 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ens::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<std::int64_t>& labels) {
+    ENS_REQUIRE(logits.rank() == 2, "cross_entropy expects [batch, classes] logits");
+    const std::int64_t batch = logits.dim(0);
+    const std::int64_t classes = logits.dim(1);
+    ENS_REQUIRE(static_cast<std::int64_t>(labels.size()) == batch,
+                "cross_entropy: label count mismatch");
+
+    LossResult result;
+    result.grad = Tensor(logits.shape());
+    const float* x = logits.data();
+    float* g = result.grad.data();
+    double total = 0.0;
+    const float inv_batch = 1.0f / static_cast<float>(batch);
+
+    for (std::int64_t i = 0; i < batch; ++i) {
+        const std::int64_t label = labels[static_cast<std::size_t>(i)];
+        ENS_REQUIRE(label >= 0 && label < classes, "cross_entropy: label out of range");
+        const float* row = x + i * classes;
+        float* grow = g + i * classes;
+
+        const float row_max = *std::max_element(row, row + classes);
+        double denom = 0.0;
+        for (std::int64_t j = 0; j < classes; ++j) {
+            denom += std::exp(static_cast<double>(row[j] - row_max));
+        }
+        const double log_denom = std::log(denom);
+        total += -(static_cast<double>(row[label] - row_max) - log_denom);
+
+        for (std::int64_t j = 0; j < classes; ++j) {
+            const float p =
+                static_cast<float>(std::exp(static_cast<double>(row[j] - row_max)) / denom);
+            grow[j] = (p - (j == label ? 1.0f : 0.0f)) * inv_batch;
+        }
+    }
+    result.value = static_cast<float>(total / static_cast<double>(batch));
+    return result;
+}
+
+LossResult mse_loss(const Tensor& prediction, const Tensor& target) {
+    ENS_REQUIRE(prediction.shape() == target.shape(), "mse_loss: shape mismatch");
+    const std::int64_t n = prediction.numel();
+    ENS_REQUIRE(n > 0, "mse_loss: empty input");
+
+    LossResult result;
+    result.grad = Tensor(prediction.shape());
+    const float* p = prediction.data();
+    const float* t = target.data();
+    float* g = result.grad.data();
+    double total = 0.0;
+    const float scale = 2.0f / static_cast<float>(n);
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float diff = p[i] - t[i];
+        total += static_cast<double>(diff) * diff;
+        g[i] = scale * diff;
+    }
+    result.value = static_cast<float>(total / static_cast<double>(n));
+    return result;
+}
+
+LossResult cosine_similarity_mean(const Tensor& a, const Tensor& b) {
+    ENS_REQUIRE(a.shape() == b.shape(), "cosine_similarity: shape mismatch");
+    ENS_REQUIRE(a.rank() >= 1 && a.dim(0) > 0, "cosine_similarity: need a batch axis");
+    const std::int64_t batch = a.dim(0);
+    const std::int64_t stride = a.numel() / batch;
+
+    LossResult result;
+    result.grad = Tensor(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* g = result.grad.data();
+    double total = 0.0;
+    const float inv_batch = 1.0f / static_cast<float>(batch);
+    constexpr double kEps = 1e-12;
+
+    for (std::int64_t i = 0; i < batch; ++i) {
+        const float* ra = pa + i * stride;
+        const float* rb = pb + i * stride;
+        double dot = 0.0;
+        double na = 0.0;
+        double nb = 0.0;
+        for (std::int64_t j = 0; j < stride; ++j) {
+            dot += static_cast<double>(ra[j]) * rb[j];
+            na += static_cast<double>(ra[j]) * ra[j];
+            nb += static_cast<double>(rb[j]) * rb[j];
+        }
+        const double norm_a = std::sqrt(na) + kEps;
+        const double norm_b = std::sqrt(nb) + kEps;
+        const double cs = dot / (norm_a * norm_b);
+        total += cs;
+
+        // d cs / d a_j = b_j / (|a||b|) - cs * a_j / |a|^2
+        float* grow = g + i * stride;
+        const double inv_ab = 1.0 / (norm_a * norm_b);
+        const double cs_over_na = cs / (na + kEps);
+        for (std::int64_t j = 0; j < stride; ++j) {
+            grow[j] = static_cast<float>((rb[j] * inv_ab - cs_over_na * ra[j]) * inv_batch);
+        }
+    }
+    result.value = static_cast<float>(total / static_cast<double>(batch));
+    return result;
+}
+
+}  // namespace ens::nn

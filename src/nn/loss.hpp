@@ -1,0 +1,32 @@
+#pragma once
+// Loss functions with analytic gradients.
+//
+// Each returns the scalar loss and the gradient w.r.t. its first argument,
+// ready to feed into Layer::backward. Cross-entropy fuses the softmax
+// (stable log-sum-exp) so the gradient is the familiar (p - y) / batch.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ens::nn {
+
+struct LossResult {
+    float value = 0.0f;
+    Tensor grad;  // d loss / d input, same shape as the input
+};
+
+/// Mean cross-entropy over the batch; logits [N, C], labels in [0, C).
+LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+/// Mean squared error over all elements (used by the inversion decoder).
+LossResult mse_loss(const Tensor& prediction, const Tensor& target);
+
+/// Mean over the batch of per-sample cosine similarity between rows of
+/// `a` and `b` (samples are flattened). Gradient is w.r.t. `a` only —
+/// Eq. 3's regularizer compares the live head output against frozen
+/// stage-1 head outputs.
+LossResult cosine_similarity_mean(const Tensor& a, const Tensor& b);
+
+}  // namespace ens::nn

@@ -1,0 +1,63 @@
+#include "nn/noise.hpp"
+
+#include "common/error.hpp"
+
+namespace ens::nn {
+
+FixedNoise::FixedNoise(Shape mask_shape, float stddev, Rng& rng, bool trainable)
+    : stddev_(stddev),
+      trainable_(trainable),
+      mask_("noise_mask", Tensor::randn(mask_shape, rng, 0.0f, stddev)) {
+    mask_.requires_grad = trainable;
+}
+
+Tensor FixedNoise::forward(const Tensor& input) {
+    ENS_REQUIRE(input.rank() == mask_.value.rank() + 1,
+                "FixedNoise: input must have a batch axis over the mask shape");
+    const std::int64_t per_sample = mask_.value.numel();
+    ENS_REQUIRE(input.numel() % per_sample == 0 &&
+                    input.numel() / input.dim(0) == per_sample,
+                "FixedNoise: mask shape mismatch with " + input.shape().to_string());
+    last_batch_ = input.dim(0);
+
+    Tensor output = input.clone();
+    float* y = output.data();
+    const float* m = mask_.value.data();
+    for (std::int64_t n = 0; n < last_batch_; ++n) {
+        float* row = y + n * per_sample;
+        for (std::int64_t i = 0; i < per_sample; ++i) {
+            row[i] += m[i];
+        }
+    }
+    return output;
+}
+
+Tensor FixedNoise::backward(const Tensor& grad_output) {
+    ENS_CHECK(last_batch_ > 0, "FixedNoise::backward before forward");
+    if (trainable_ && mask_.requires_grad) {
+        const std::int64_t per_sample = mask_.value.numel();
+        float* dm = mask_.grad.data();
+        const float* dy = grad_output.data();
+        for (std::int64_t n = 0; n < last_batch_; ++n) {
+            const float* row = dy + n * per_sample;
+            for (std::int64_t i = 0; i < per_sample; ++i) {
+                dm[i] += row[i];
+            }
+        }
+    }
+    return grad_output;
+}
+
+std::vector<Parameter*> FixedNoise::parameters() {
+    if (trainable_) {
+        return {&mask_};
+    }
+    return {};
+}
+
+std::string FixedNoise::name() const {
+    return std::string(trainable_ ? "LearnedNoise" : "FixedNoise") + "(sigma=" +
+           std::to_string(stddev_) + ")";
+}
+
+}  // namespace ens::nn

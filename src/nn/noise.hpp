@@ -1,0 +1,38 @@
+#pragma once
+// Noise layers at the split point.
+//
+// FixedNoise is the paper's N(0, σ) mask: sampled once at construction,
+// added to the head output in BOTH training and inference (§IV-A: "a fixed
+// Gaussian noise g ~ N(0, 0.1)"). Each ensemble member gets its own mask in
+// Stage 1; Stage 3 uses a freshly drawn mask. With `trainable = true` the
+// mask becomes a Parameter — that is exactly the Shredder baseline (learned
+// additive noise at the split).
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace ens::nn {
+
+class FixedNoise final : public Layer {
+public:
+    /// Mask shape is the per-sample feature shape [C, H, W]; it broadcasts
+    /// over the batch axis.
+    FixedNoise(Shape mask_shape, float stddev, Rng& rng, bool trainable = false);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::vector<Parameter*> parameters() override;
+    std::string name() const override;
+
+    const Tensor& mask() const { return mask_.value; }
+    Parameter& mask_parameter() { return mask_; }
+    float stddev() const { return stddev_; }
+
+private:
+    float stddev_;
+    bool trainable_;
+    Parameter mask_;  // [C, H, W]
+    std::int64_t last_batch_ = 0;
+};
+
+}  // namespace ens::nn

@@ -1,0 +1,183 @@
+#include "nn/pooling.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace ens::nn {
+
+MaxPool2d::MaxPool2d(std::int64_t kernel, std::int64_t stride)
+    : kernel_(kernel), stride_(stride == 0 ? kernel : stride) {
+    ENS_REQUIRE(kernel_ > 0 && stride_ > 0, "MaxPool2d: bad geometry");
+}
+
+Tensor MaxPool2d::forward(const Tensor& input) {
+    ENS_REQUIRE(input.rank() == 4, "MaxPool2d expects NCHW input");
+    const std::int64_t batch = input.dim(0);
+    const std::int64_t channels = input.dim(1);
+    const std::int64_t in_h = input.dim(2);
+    const std::int64_t in_w = input.dim(3);
+    const std::int64_t out_h = (in_h - kernel_) / stride_ + 1;
+    const std::int64_t out_w = (in_w - kernel_) / stride_ + 1;
+    ENS_REQUIRE(out_h > 0 && out_w > 0, "MaxPool2d: output collapses to zero size");
+
+    cached_in_shape_ = input.shape();
+    Tensor output(Shape{batch, channels, out_h, out_w});
+    cached_argmax_.assign(static_cast<std::size_t>(output.numel()), 0);
+
+    const float* x = input.data();
+    float* y = output.data();
+    std::int64_t out_index = 0;
+    for (std::int64_t n = 0; n < batch; ++n) {
+        for (std::int64_t c = 0; c < channels; ++c) {
+            const float* plane = x + (n * channels + c) * in_h * in_w;
+            const std::int64_t plane_base = (n * channels + c) * in_h * in_w;
+            for (std::int64_t oh = 0; oh < out_h; ++oh) {
+                for (std::int64_t ow = 0; ow < out_w; ++ow, ++out_index) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    std::int64_t best_index = 0;
+                    for (std::int64_t kh = 0; kh < kernel_; ++kh) {
+                        const std::int64_t ih = oh * stride_ + kh;
+                        for (std::int64_t kw = 0; kw < kernel_; ++kw) {
+                            const std::int64_t iw = ow * stride_ + kw;
+                            const float v = plane[ih * in_w + iw];
+                            if (v > best) {
+                                best = v;
+                                best_index = plane_base + ih * in_w + iw;
+                            }
+                        }
+                    }
+                    y[out_index] = best;
+                    cached_argmax_[static_cast<std::size_t>(out_index)] = best_index;
+                }
+            }
+        }
+    }
+    return output;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+    ENS_CHECK(cached_in_shape_.rank() == 4, "MaxPool2d::backward before forward");
+    ENS_REQUIRE(grad_output.numel() == static_cast<std::int64_t>(cached_argmax_.size()),
+                "MaxPool2d: grad shape mismatch");
+    Tensor grad_input(cached_in_shape_);
+    float* dx = grad_input.data();
+    const float* dy = grad_output.data();
+    for (std::size_t i = 0; i < cached_argmax_.size(); ++i) {
+        dx[cached_argmax_[i]] += dy[i];
+    }
+    return grad_input;
+}
+
+std::string MaxPool2d::name() const {
+    return "MaxPool2d(k" + std::to_string(kernel_) + " s" + std::to_string(stride_) + ")";
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input) {
+    ENS_REQUIRE(input.rank() == 4, "GlobalAvgPool expects NCHW input");
+    cached_in_shape_ = input.shape();
+    const std::int64_t batch = input.dim(0);
+    const std::int64_t channels = input.dim(1);
+    const std::int64_t plane = input.dim(2) * input.dim(3);
+    Tensor output(Shape{batch, channels});
+    const float* x = input.data();
+    float* y = output.data();
+    const float inv = 1.0f / static_cast<float>(plane);
+    for (std::int64_t n = 0; n < batch; ++n) {
+        for (std::int64_t c = 0; c < channels; ++c) {
+            const float* src = x + (n * channels + c) * plane;
+            double acc = 0.0;
+            for (std::int64_t i = 0; i < plane; ++i) {
+                acc += src[i];
+            }
+            y[n * channels + c] = static_cast<float>(acc) * inv;
+        }
+    }
+    return output;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+    ENS_CHECK(cached_in_shape_.rank() == 4, "GlobalAvgPool::backward before forward");
+    const std::int64_t batch = cached_in_shape_.dim(0);
+    const std::int64_t channels = cached_in_shape_.dim(1);
+    const std::int64_t plane = cached_in_shape_.dim(2) * cached_in_shape_.dim(3);
+    ENS_REQUIRE(grad_output.rank() == 2 && grad_output.dim(0) == batch &&
+                    grad_output.dim(1) == channels,
+                "GlobalAvgPool: grad shape mismatch");
+    Tensor grad_input(cached_in_shape_);
+    float* dx = grad_input.data();
+    const float* dy = grad_output.data();
+    const float inv = 1.0f / static_cast<float>(plane);
+    for (std::int64_t n = 0; n < batch; ++n) {
+        for (std::int64_t c = 0; c < channels; ++c) {
+            const float g = dy[n * channels + c] * inv;
+            float* dst = dx + (n * channels + c) * plane;
+            for (std::int64_t i = 0; i < plane; ++i) {
+                dst[i] = g;
+            }
+        }
+    }
+    return grad_input;
+}
+
+UpsampleNearest2d::UpsampleNearest2d(std::int64_t factor) : factor_(factor) {
+    ENS_REQUIRE(factor_ >= 1, "UpsampleNearest2d: factor must be >= 1");
+}
+
+Tensor UpsampleNearest2d::forward(const Tensor& input) {
+    ENS_REQUIRE(input.rank() == 4, "UpsampleNearest2d expects NCHW input");
+    cached_in_shape_ = input.shape();
+    const std::int64_t batch = input.dim(0);
+    const std::int64_t channels = input.dim(1);
+    const std::int64_t in_h = input.dim(2);
+    const std::int64_t in_w = input.dim(3);
+    const std::int64_t out_h = in_h * factor_;
+    const std::int64_t out_w = in_w * factor_;
+    Tensor output(Shape{batch, channels, out_h, out_w});
+    const float* x = input.data();
+    float* y = output.data();
+    for (std::int64_t nc = 0; nc < batch * channels; ++nc) {
+        const float* src = x + nc * in_h * in_w;
+        float* dst = y + nc * out_h * out_w;
+        for (std::int64_t oh = 0; oh < out_h; ++oh) {
+            const float* src_row = src + (oh / factor_) * in_w;
+            for (std::int64_t ow = 0; ow < out_w; ++ow) {
+                dst[oh * out_w + ow] = src_row[ow / factor_];
+            }
+        }
+    }
+    return output;
+}
+
+Tensor UpsampleNearest2d::backward(const Tensor& grad_output) {
+    ENS_CHECK(cached_in_shape_.rank() == 4, "UpsampleNearest2d::backward before forward");
+    const std::int64_t batch = cached_in_shape_.dim(0);
+    const std::int64_t channels = cached_in_shape_.dim(1);
+    const std::int64_t in_h = cached_in_shape_.dim(2);
+    const std::int64_t in_w = cached_in_shape_.dim(3);
+    const std::int64_t out_h = in_h * factor_;
+    const std::int64_t out_w = in_w * factor_;
+    ENS_REQUIRE(grad_output.rank() == 4 && grad_output.dim(2) == out_h &&
+                    grad_output.dim(3) == out_w,
+                "UpsampleNearest2d: grad shape mismatch");
+    Tensor grad_input(cached_in_shape_);
+    float* dx = grad_input.data();
+    const float* dy = grad_output.data();
+    for (std::int64_t nc = 0; nc < batch * channels; ++nc) {
+        const float* src = dy + nc * out_h * out_w;
+        float* dst = dx + nc * in_h * in_w;
+        for (std::int64_t oh = 0; oh < out_h; ++oh) {
+            float* dst_row = dst + (oh / factor_) * in_w;
+            for (std::int64_t ow = 0; ow < out_w; ++ow) {
+                dst_row[ow / factor_] += src[oh * out_w + ow];
+            }
+        }
+    }
+    return grad_input;
+}
+
+std::string UpsampleNearest2d::name() const {
+    return "UpsampleNearest2d(x" + std::to_string(factor_) + ")";
+}
+
+}  // namespace ens::nn

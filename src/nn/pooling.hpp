@@ -1,0 +1,52 @@
+#pragma once
+// Spatial pooling and upsampling layers (NCHW).
+
+#include "nn/layer.hpp"
+
+namespace ens::nn {
+
+/// Max pooling with square kernel; caches argmax indices for backward.
+class MaxPool2d final : public Layer {
+public:
+    explicit MaxPool2d(std::int64_t kernel, std::int64_t stride = 0 /* = kernel */);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string name() const override;
+
+    std::int64_t kernel() const { return kernel_; }
+    std::int64_t stride() const { return stride_; }
+
+private:
+    std::int64_t kernel_;
+    std::int64_t stride_;
+    Shape cached_in_shape_;
+    std::vector<std::int64_t> cached_argmax_;  // flat input index per output element
+};
+
+/// Global average pooling: [N, C, H, W] -> [N, C].
+class GlobalAvgPool final : public Layer {
+public:
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string name() const override { return "GlobalAvgPool"; }
+
+private:
+    Shape cached_in_shape_;
+};
+
+/// Nearest-neighbour upsampling by an integer factor (attack decoder).
+class UpsampleNearest2d final : public Layer {
+public:
+    explicit UpsampleNearest2d(std::int64_t factor);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string name() const override;
+
+private:
+    std::int64_t factor_;
+    Shape cached_in_shape_;
+};
+
+}  // namespace ens::nn

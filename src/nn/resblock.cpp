@@ -1,0 +1,103 @@
+#include "nn/resblock.hpp"
+
+#include "common/error.hpp"
+
+namespace ens::nn {
+
+BasicBlock::BasicBlock(std::int64_t in_channels, std::int64_t out_channels, std::int64_t stride,
+                       Rng& rng)
+    : conv1_(in_channels, out_channels, /*kernel=*/3, stride, /*padding=*/1, rng),
+      bn1_(out_channels),
+      conv2_(out_channels, out_channels, /*kernel=*/3, /*stride=*/1, /*padding=*/1, rng),
+      bn2_(out_channels) {
+    if (stride != 1 || in_channels != out_channels) {
+        proj_conv_ = std::make_unique<Conv2d>(in_channels, out_channels, /*kernel=*/1, stride,
+                                              /*padding=*/0, rng);
+        proj_bn_ = std::make_unique<BatchNorm2d>(out_channels);
+    }
+}
+
+Tensor BasicBlock::forward(const Tensor& input) {
+    Tensor main = conv1_.forward(input);
+    main = bn1_.forward(main);
+    main = relu1_.forward(main);
+    main = conv2_.forward(main);
+    main = bn2_.forward(main);
+
+    Tensor shortcut = input;
+    if (proj_conv_) {
+        shortcut = proj_bn_->forward(proj_conv_->forward(input));
+    }
+    main.add_(shortcut);  // `main` is block-local; safe to accumulate in place
+    return relu_out_.forward(main);
+}
+
+Tensor BasicBlock::backward(const Tensor& grad_output) {
+    const Tensor d_sum = relu_out_.backward(grad_output);
+
+    Tensor d_main = bn2_.backward(d_sum);
+    d_main = conv2_.backward(d_main);
+    d_main = relu1_.backward(d_main);
+    d_main = bn1_.backward(d_main);
+    Tensor grad_input = conv1_.backward(d_main);
+
+    if (proj_conv_) {
+        Tensor d_short = proj_bn_->backward(d_sum);
+        d_short = proj_conv_->backward(d_short);
+        grad_input.add_(d_short);
+    } else {
+        grad_input.add_(d_sum);
+    }
+    return grad_input;
+}
+
+std::vector<Parameter*> BasicBlock::parameters() {
+    std::vector<Parameter*> out;
+    for (Layer* l : std::initializer_list<Layer*>{&conv1_, &bn1_, &conv2_, &bn2_}) {
+        const auto p = l->parameters();
+        out.insert(out.end(), p.begin(), p.end());
+    }
+    if (proj_conv_) {
+        for (Layer* l : std::initializer_list<Layer*>{proj_conv_.get(), proj_bn_.get()}) {
+            const auto p = l->parameters();
+            out.insert(out.end(), p.begin(), p.end());
+        }
+    }
+    return out;
+}
+
+std::vector<Layer::NamedBuffer> BasicBlock::buffers() {
+    std::vector<NamedBuffer> out;
+    for (Layer* l : std::initializer_list<Layer*>{&conv1_, &bn1_, &conv2_, &bn2_}) {
+        const auto state = l->buffers();
+        out.insert(out.end(), state.begin(), state.end());
+    }
+    if (proj_conv_) {
+        for (Layer* l : std::initializer_list<Layer*>{proj_conv_.get(), proj_bn_.get()}) {
+            const auto state = l->buffers();
+            out.insert(out.end(), state.begin(), state.end());
+        }
+    }
+    return out;
+}
+
+std::string BasicBlock::name() const {
+    return "BasicBlock(" + std::to_string(conv1_.in_channels()) + "->" +
+           std::to_string(conv1_.out_channels()) + ", s" + std::to_string(conv1_.stride()) + ")";
+}
+
+void BasicBlock::set_training(bool training) {
+    Layer::set_training(training);
+    conv1_.set_training(training);
+    bn1_.set_training(training);
+    relu1_.set_training(training);
+    conv2_.set_training(training);
+    bn2_.set_training(training);
+    relu_out_.set_training(training);
+    if (proj_conv_) {
+        proj_conv_->set_training(training);
+        proj_bn_->set_training(training);
+    }
+}
+
+}  // namespace ens::nn

@@ -1,0 +1,44 @@
+#pragma once
+// ResNet BasicBlock:  out = ReLU( BN(conv3x3(ReLU(BN(conv3x3(x))))) + shortcut(x) )
+// with a projection shortcut (1x1 conv + BN) when stride != 1 or the channel
+// count changes — the standard He et al. (2016) topology.
+
+#include <memory>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+
+namespace ens::nn {
+
+class BasicBlock final : public Layer {
+public:
+    BasicBlock(std::int64_t in_channels, std::int64_t out_channels, std::int64_t stride, Rng& rng);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::vector<Parameter*> parameters() override;
+    std::vector<NamedBuffer> buffers() override;
+    std::string name() const override;
+    void set_training(bool training) override;
+
+    bool has_projection() const { return proj_conv_ != nullptr; }
+
+    /// Sub-layer access for analysis passes (FLOP counting, inspection).
+    const Conv2d& conv1() const { return conv1_; }
+    const Conv2d& conv2() const { return conv2_; }
+    const Conv2d* projection_conv() const { return proj_conv_.get(); }
+    const BatchNorm2d& bn1() const { return bn1_; }
+
+private:
+    Conv2d conv1_;
+    BatchNorm2d bn1_;
+    ReLU relu1_;
+    Conv2d conv2_;
+    BatchNorm2d bn2_;
+    std::unique_ptr<Conv2d> proj_conv_;
+    std::unique_ptr<BatchNorm2d> proj_bn_;
+    ReLU relu_out_;
+};
+
+}  // namespace ens::nn

@@ -1,0 +1,59 @@
+#include "nn/resnet.hpp"
+
+#include "common/error.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/resblock.hpp"
+
+namespace ens::nn {
+
+std::size_t resnet18_head_layer_count(const ResNetConfig& config) {
+    return config.include_maxpool ? 4 : 3;
+}
+
+std::int64_t resnet18_split_channels(const ResNetConfig& config) { return config.base_width; }
+
+std::int64_t resnet18_split_hw(const ResNetConfig& config) {
+    return config.include_maxpool ? config.image_size / 2 : config.image_size;
+}
+
+std::int64_t resnet18_feature_width(const ResNetConfig& config) { return 8 * config.base_width; }
+
+std::unique_ptr<Sequential> build_resnet18(const ResNetConfig& config, Rng& rng) {
+    ENS_REQUIRE(config.base_width > 0 && config.num_classes > 0 && config.image_size >= 8,
+                "ResNetConfig: bad dimensions");
+    ENS_REQUIRE(config.image_size % 8 == 0,
+                "ResNetConfig: image_size must be divisible by 8 for the stride schedule");
+
+    auto net = std::make_unique<Sequential>();
+    const std::int64_t w = config.base_width;
+
+    net->emplace<Conv2d>(config.in_channels, w, /*kernel=*/3, /*stride=*/1, /*padding=*/1, rng);
+    net->emplace<BatchNorm2d>(w);
+    net->emplace<ReLU>();
+    if (config.include_maxpool) {
+        net->emplace<MaxPool2d>(2);
+    }
+
+    // Stage 1: width w, stride 1.
+    net->emplace<BasicBlock>(w, w, 1, rng);
+    net->emplace<BasicBlock>(w, w, 1, rng);
+    // Stage 2: width 2w, first block stride 2.
+    net->emplace<BasicBlock>(w, 2 * w, 2, rng);
+    net->emplace<BasicBlock>(2 * w, 2 * w, 1, rng);
+    // Stage 3: width 4w.
+    net->emplace<BasicBlock>(2 * w, 4 * w, 2, rng);
+    net->emplace<BasicBlock>(4 * w, 4 * w, 1, rng);
+    // Stage 4: width 8w.
+    net->emplace<BasicBlock>(4 * w, 8 * w, 2, rng);
+    net->emplace<BasicBlock>(8 * w, 8 * w, 1, rng);
+
+    net->emplace<GlobalAvgPool>();
+    net->emplace<Linear>(8 * w, config.num_classes, rng);
+    return net;
+}
+
+}  // namespace ens::nn

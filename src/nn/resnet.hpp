@@ -1,0 +1,48 @@
+#pragma once
+// CIFAR-style ResNet-18 builder (He et al. 2016), the architecture used for
+// every experiment in the paper (§IV-A).
+//
+// Topology: conv3x3(w) - BN - ReLU - [MaxPool2] - 4 stages of 2 BasicBlocks
+// (widths w, 2w, 4w, 8w; first block of stages 2-4 has stride 2) -
+// GlobalAvgPool - Linear(8w -> classes).
+//
+// The paper's split is h=1, t=1: the client's head is the first convolution
+// (with its BN/ReLU and the optional MaxPool, which are parameter-light
+// pointwise/pool ops riding along), the tail is the final Linear. §IV-A's
+// feature-map sizes are reproduced exactly: with base_width=64 the head
+// output is [64, 16, 16] for CIFAR-10 (32px + MaxPool), [64, 32, 32] for
+// CIFAR-100 (MaxPool removed), [64, 64, 64] for the CelebA analogue (64px,
+// MaxPool removed). `base_width` scales channel count for CPU-budget runs.
+
+#include <memory>
+
+#include "nn/sequential.hpp"
+
+namespace ens::nn {
+
+struct ResNetConfig {
+    std::int64_t in_channels = 3;
+    std::int64_t image_size = 32;
+    std::int64_t base_width = 64;
+    std::int64_t num_classes = 10;
+    bool include_maxpool = true;
+};
+
+/// Number of Sequential entries forming the client head (h=1 split):
+/// conv1 + BN + ReLU (+ MaxPool when configured).
+std::size_t resnet18_head_layer_count(const ResNetConfig& config);
+
+/// Channels of the head output feature map (= base_width).
+std::int64_t resnet18_split_channels(const ResNetConfig& config);
+
+/// Spatial extent of the head output feature map.
+std::int64_t resnet18_split_hw(const ResNetConfig& config);
+
+/// Feature width entering the tail Linear (= 8 * base_width).
+std::int64_t resnet18_feature_width(const ResNetConfig& config);
+
+/// Builds the full network. Layer order matches the docs above; the final
+/// Linear is always the last layer, GlobalAvgPool the one before it.
+std::unique_ptr<Sequential> build_resnet18(const ResNetConfig& config, Rng& rng);
+
+}  // namespace ens::nn

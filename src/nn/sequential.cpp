@@ -1,0 +1,101 @@
+#include "nn/sequential.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ens::nn {
+
+Layer& Sequential::push_back(LayerPtr layer) {
+    ENS_REQUIRE(layer != nullptr, "Sequential: null layer");
+    layer->set_training(training());
+    layers_.push_back(std::move(layer));
+    return *layers_.back();
+}
+
+Layer& Sequential::insert(std::size_t index, LayerPtr layer) {
+    ENS_REQUIRE(layer != nullptr, "Sequential: null layer");
+    ENS_REQUIRE(index <= layers_.size(), "Sequential::insert: index out of range");
+    layer->set_training(training());
+    const auto it = layers_.insert(layers_.begin() + static_cast<std::ptrdiff_t>(index),
+                                   std::move(layer));
+    return **it;
+}
+
+Layer& Sequential::layer(std::size_t i) {
+    ENS_REQUIRE(i < layers_.size(), "Sequential: layer index out of range");
+    return *layers_[i];
+}
+
+const Layer& Sequential::layer(std::size_t i) const {
+    ENS_REQUIRE(i < layers_.size(), "Sequential: layer index out of range");
+    return *layers_[i];
+}
+
+std::vector<LayerPtr> Sequential::release_slice(std::size_t begin, std::size_t end) {
+    ENS_REQUIRE(begin <= end && end <= layers_.size(), "Sequential: bad slice range");
+    std::vector<LayerPtr> out;
+    out.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+        out.push_back(std::move(layers_[i]));
+    }
+    layers_.erase(layers_.begin() + static_cast<std::ptrdiff_t>(begin),
+                  layers_.begin() + static_cast<std::ptrdiff_t>(end));
+    return out;
+}
+
+Tensor Sequential::forward(const Tensor& input) {
+    Tensor x = input;
+    for (auto& layer : layers_) {
+        x = layer->forward(x);
+    }
+    return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+    Tensor g = grad_output;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+        g = (*it)->backward(g);
+    }
+    return g;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+    std::vector<Parameter*> out;
+    for (auto& layer : layers_) {
+        const auto params = layer->parameters();
+        out.insert(out.end(), params.begin(), params.end());
+    }
+    return out;
+}
+
+std::vector<Layer::NamedBuffer> Sequential::buffers() {
+    std::vector<NamedBuffer> out;
+    for (auto& layer : layers_) {
+        const auto state = layer->buffers();
+        out.insert(out.end(), state.begin(), state.end());
+    }
+    return out;
+}
+
+std::string Sequential::name() const {
+    std::ostringstream oss;
+    oss << "Sequential[";
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        if (i > 0) {
+            oss << ", ";
+        }
+        oss << layers_[i]->name();
+    }
+    oss << ']';
+    return oss.str();
+}
+
+void Sequential::set_training(bool training) {
+    Layer::set_training(training);
+    for (auto& layer : layers_) {
+        layer->set_training(training);
+    }
+}
+
+}  // namespace ens::nn

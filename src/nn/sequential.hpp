@@ -1,0 +1,55 @@
+#pragma once
+// Ordered container of layers with chained forward/backward.
+//
+// Sequential owns its layers (unique_ptr). It is itself a Layer, so blocks
+// nest (BasicBlock holds Sequentials; networks hold blocks). `slice` clones
+// nothing — it moves layers out to build split models (head/body/tail).
+
+#include <utility>
+
+#include "nn/layer.hpp"
+
+namespace ens::nn {
+
+class Sequential final : public Layer {
+public:
+    Sequential() = default;
+
+    /// Appends a layer; returns a reference to the stored layer for chaining.
+    Layer& push_back(LayerPtr layer);
+
+    /// Inserts a layer before position `index` (index == size() appends).
+    /// Used by the §IV-C extensions to splice perturbation layers (e.g.
+    /// always-on dropout ahead of the tail's Linear) into trained models.
+    Layer& insert(std::size_t index, LayerPtr layer);
+
+    /// Constructs a layer in place.
+    template <typename L, typename... Args>
+    L& emplace(Args&&... args) {
+        auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+        L& ref = *layer;
+        push_back(std::move(layer));
+        return ref;
+    }
+
+    std::size_t size() const { return layers_.size(); }
+    bool empty() const { return layers_.empty(); }
+    Layer& layer(std::size_t i);
+    const Layer& layer(std::size_t i) const;
+
+    /// Removes and returns the layers in [begin, end); used to carve a
+    /// trained network into head / body / tail for split inference.
+    std::vector<LayerPtr> release_slice(std::size_t begin, std::size_t end);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::vector<Parameter*> parameters() override;
+    std::vector<NamedBuffer> buffers() override;
+    std::string name() const override;
+    void set_training(bool training) override;
+
+private:
+    std::vector<LayerPtr> layers_;
+};
+
+}  // namespace ens::nn

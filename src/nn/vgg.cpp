@@ -1,0 +1,57 @@
+#include "nn/vgg.hpp"
+
+#include "common/error.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+
+namespace ens::nn {
+
+std::size_t vgg_head_layer_count(const VggConfig&) { return 3; }
+
+std::int64_t vgg_split_channels(const VggConfig& config) { return config.base_width; }
+
+std::int64_t vgg_split_hw(const VggConfig& config) { return config.image_size; }
+
+std::int64_t vgg_feature_width(const VggConfig& config) {
+    return config.base_width << (config.stages - 1);
+}
+
+std::unique_ptr<Sequential> build_vgg(const VggConfig& config, Rng& rng) {
+    ENS_REQUIRE(config.base_width > 0 && config.num_classes > 0 && config.stages >= 1,
+                "VggConfig: bad dimensions");
+    ENS_REQUIRE(config.image_size % (std::int64_t{1} << (config.stages - 1)) == 0,
+                "VggConfig: image_size must be divisible by 2^(stages-1)");
+
+    auto net = std::make_unique<Sequential>();
+    std::int64_t width = config.base_width;
+
+    // Stage 1 begins with the h=1 head: conv1 + BN + ReLU.
+    net->emplace<Conv2d>(config.in_channels, width, /*kernel=*/3, /*stride=*/1, /*padding=*/1,
+                         rng);
+    net->emplace<BatchNorm2d>(width);
+    net->emplace<ReLU>();
+    net->emplace<Conv2d>(width, width, 3, 1, 1, rng);
+    net->emplace<BatchNorm2d>(width);
+    net->emplace<ReLU>();
+
+    for (std::int64_t stage = 1; stage < config.stages; ++stage) {
+        net->emplace<MaxPool2d>(2);
+        const std::int64_t next_width = width * 2;
+        net->emplace<Conv2d>(width, next_width, 3, 1, 1, rng);
+        net->emplace<BatchNorm2d>(next_width);
+        net->emplace<ReLU>();
+        net->emplace<Conv2d>(next_width, next_width, 3, 1, 1, rng);
+        net->emplace<BatchNorm2d>(next_width);
+        net->emplace<ReLU>();
+        width = next_width;
+    }
+
+    net->emplace<GlobalAvgPool>();
+    net->emplace<Linear>(width, config.num_classes, rng);
+    return net;
+}
+
+}  // namespace ens::nn

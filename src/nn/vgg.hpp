@@ -1,0 +1,49 @@
+#pragma once
+// Plain VGG-style CNN builder (Simonyan & Zisserman style, CIFAR-scale).
+//
+// The paper's framework is architecture-agnostic: "each M^i: {M_c,h, M^i_s,
+// M_c,t} is a standard pipeline for the inference task" — nothing in the
+// Selector, the three-stage trainer, or the MIA requires residual bodies.
+// This builder provides a second backbone so the generality claim is
+// exercised end-to-end (tests train Ensembler over VGG bodies and attack
+// them with the same shadow/decoder machinery).
+//
+// Topology (width w, S stages): [conv3x3 - BN - ReLU] x2 per stage with
+// channel doubling and MaxPool2 between stages, then GlobalAvgPool and a
+// Linear classifier. The h=1 / t=1 split matches ResNet's: the head is the
+// first conv(+BN+ReLU) — same [w, H, W] transmit geometry as ResNet-18
+// without MaxPool — and the tail is the final Linear, so every attack and
+// latency component applies unchanged.
+
+#include <memory>
+
+#include "nn/sequential.hpp"
+
+namespace ens::nn {
+
+struct VggConfig {
+    std::int64_t in_channels = 3;
+    std::int64_t image_size = 32;
+    std::int64_t base_width = 64;
+    std::int64_t num_classes = 10;
+    /// Conv stages; each halves the spatial extent after the first.
+    /// image_size must be divisible by 2^(stages-1).
+    std::int64_t stages = 3;
+};
+
+/// Sequential entries forming the h=1 client head: conv1 + BN + ReLU.
+std::size_t vgg_head_layer_count(const VggConfig& config);
+
+/// Channels of the head output (= base_width).
+std::int64_t vgg_split_channels(const VggConfig& config);
+
+/// Spatial extent of the head output (= image_size; no pool in the head).
+std::int64_t vgg_split_hw(const VggConfig& config);
+
+/// Feature width entering the tail Linear (= base_width * 2^(stages-1)).
+std::int64_t vgg_feature_width(const VggConfig& config);
+
+/// Builds the full network; final Linear last, GlobalAvgPool before it.
+std::unique_ptr<Sequential> build_vgg(const VggConfig& config, Rng& rng);
+
+}  // namespace ens::nn

@@ -1,0 +1,49 @@
+#include "optim/adam.hpp"
+
+#include <cmath>
+
+namespace ens::optim {
+
+Adam::Adam(std::vector<nn::Parameter*> params, const AdamOptions& options)
+    : Optimizer(std::move(params)), options_(options) {
+    learning_rate_ = options.learning_rate;
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (const nn::Parameter* p : params_) {
+        m_.push_back(Tensor::zeros(p->value.shape()));
+        v_.push_back(Tensor::zeros(p->value.shape()));
+    }
+}
+
+void Adam::step() {
+    ++t_;
+    const float lr = static_cast<float>(learning_rate_);
+    const float beta1 = static_cast<float>(options_.beta1);
+    const float beta2 = static_cast<float>(options_.beta2);
+    const float eps = static_cast<float>(options_.eps);
+    const float decay = static_cast<float>(options_.weight_decay);
+    const float bias1 = 1.0f - std::pow(beta1, static_cast<float>(t_));
+    const float bias2 = 1.0f - std::pow(beta2, static_cast<float>(t_));
+
+    for (std::size_t k = 0; k < params_.size(); ++k) {
+        nn::Parameter* p = params_[k];
+        if (!p->requires_grad) {
+            continue;
+        }
+        float* w = p->value.data();
+        const float* g = p->grad.data();
+        float* m = m_[k].data();
+        float* v = v_[k].data();
+        const std::int64_t n = p->value.numel();
+        for (std::int64_t i = 0; i < n; ++i) {
+            const float grad = g[i] + decay * w[i];
+            m[i] = beta1 * m[i] + (1.0f - beta1) * grad;
+            v[i] = beta2 * v[i] + (1.0f - beta2) * grad * grad;
+            const float m_hat = m[i] / bias1;
+            const float v_hat = v[i] / bias2;
+            w[i] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+        }
+    }
+}
+
+}  // namespace ens::optim

@@ -1,0 +1,31 @@
+#pragma once
+// Adam (Kingma & Ba) with bias correction; the default optimizer for the
+// attack networks (shadow heads and decoders converge much faster under
+// Adam at the small scales used here).
+
+#include "optim/optimizer.hpp"
+
+namespace ens::optim {
+
+struct AdamOptions {
+    double learning_rate = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double weight_decay = 0.0;
+};
+
+class Adam final : public Optimizer {
+public:
+    Adam(std::vector<nn::Parameter*> params, const AdamOptions& options);
+
+    void step() override;
+
+private:
+    AdamOptions options_;
+    std::vector<Tensor> m_;
+    std::vector<Tensor> v_;
+    std::int64_t t_ = 0;
+};
+
+}  // namespace ens::optim

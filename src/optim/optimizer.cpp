@@ -1,0 +1,41 @@
+#include "optim/optimizer.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ens::optim {
+
+Optimizer::Optimizer(std::vector<nn::Parameter*> params) : params_(std::move(params)) {
+    for (const nn::Parameter* p : params_) {
+        ENS_REQUIRE(p != nullptr, "Optimizer: null parameter");
+    }
+}
+
+void Optimizer::zero_grad() {
+    for (nn::Parameter* p : params_) {
+        p->zero_grad();
+    }
+}
+
+double clip_grad_norm(const std::vector<nn::Parameter*>& params, double max_norm) {
+    ENS_REQUIRE(max_norm > 0.0, "clip_grad_norm: max_norm must be positive");
+    double total_sq = 0.0;
+    for (const nn::Parameter* p : params) {
+        const float* g = p->grad.data();
+        const std::int64_t n = p->grad.numel();
+        for (std::int64_t i = 0; i < n; ++i) {
+            total_sq += static_cast<double>(g[i]) * g[i];
+        }
+    }
+    const double norm = std::sqrt(total_sq);
+    if (norm > max_norm) {
+        const float scale = static_cast<float>(max_norm / (norm + 1e-12));
+        for (nn::Parameter* p : params) {
+            p->grad.scale_(scale);
+        }
+    }
+    return norm;
+}
+
+}  // namespace ens::optim

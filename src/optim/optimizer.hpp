@@ -1,0 +1,41 @@
+#pragma once
+// Optimizer interface. An optimizer owns nothing: it holds pointers to the
+// Parameters it updates (collected from layers at construction), plus its
+// own per-parameter state (momentum / moment buffers). step() applies one
+// update from the accumulated gradients and zero_grad() clears them.
+// Parameters with requires_grad == false are skipped even if registered,
+// so freezing a subnetwork mid-training (Stage 3) is safe.
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace ens::optim {
+
+class Optimizer {
+public:
+    explicit Optimizer(std::vector<nn::Parameter*> params);
+    virtual ~Optimizer() = default;
+
+    /// Applies one update step using the current gradients.
+    virtual void step() = 0;
+
+    /// Zeroes all registered gradients.
+    void zero_grad();
+
+    /// Current learning rate (schedulers mutate this).
+    double learning_rate() const { return learning_rate_; }
+    void set_learning_rate(double lr) { learning_rate_ = lr; }
+
+    const std::vector<nn::Parameter*>& parameters() const { return params_; }
+
+protected:
+    std::vector<nn::Parameter*> params_;
+    double learning_rate_ = 0.01;
+};
+
+/// Global L2-norm gradient clipping over the registered parameters; returns
+/// the pre-clip norm.
+double clip_grad_norm(const std::vector<nn::Parameter*>& params, double max_norm);
+
+}  // namespace ens::optim

@@ -1,0 +1,40 @@
+#include "optim/schedule.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace ens::optim {
+
+void LrSchedule::step_epoch() {
+    ++epoch_;
+    optimizer_.set_learning_rate(rate_for(epoch_));
+}
+
+StepDecay::StepDecay(Optimizer& optimizer, double base_lr, std::int64_t step_size, double gamma)
+    : LrSchedule(optimizer), base_lr_(base_lr), step_size_(step_size), gamma_(gamma) {
+    ENS_REQUIRE(step_size > 0, "StepDecay: step_size must be positive");
+    optimizer_.set_learning_rate(base_lr_);
+}
+
+double StepDecay::rate_for(std::int64_t epoch) const {
+    return base_lr_ * std::pow(gamma_, static_cast<double>(epoch / step_size_));
+}
+
+CosineAnnealing::CosineAnnealing(Optimizer& optimizer, double base_lr, std::int64_t total_epochs,
+                                 double min_lr)
+    : LrSchedule(optimizer), base_lr_(base_lr), total_epochs_(total_epochs), min_lr_(min_lr) {
+    ENS_REQUIRE(total_epochs > 0, "CosineAnnealing: total_epochs must be positive");
+    optimizer_.set_learning_rate(base_lr_);
+}
+
+double CosineAnnealing::rate_for(std::int64_t epoch) const {
+    const double clamped =
+        std::min(static_cast<double>(epoch), static_cast<double>(total_epochs_));
+    const double cosine = 0.5 * (1.0 + std::cos(std::numbers::pi * clamped /
+                                                static_cast<double>(total_epochs_)));
+    return min_lr_ + (base_lr_ - min_lr_) * cosine;
+}
+
+}  // namespace ens::optim

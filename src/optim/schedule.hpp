@@ -1,0 +1,54 @@
+#pragma once
+// Learning-rate schedules: step decay and cosine annealing. A schedule
+// wraps an optimizer and is ticked once per epoch.
+
+#include "optim/optimizer.hpp"
+
+namespace ens::optim {
+
+class LrSchedule {
+public:
+    explicit LrSchedule(Optimizer& optimizer) : optimizer_(optimizer) {}
+    virtual ~LrSchedule() = default;
+
+    /// Advances one epoch and updates the optimizer's learning rate.
+    void step_epoch();
+
+    std::int64_t epoch() const { return epoch_; }
+
+protected:
+    /// Returns the learning rate for `epoch` (0-based).
+    virtual double rate_for(std::int64_t epoch) const = 0;
+
+    Optimizer& optimizer_;
+    std::int64_t epoch_ = 0;
+};
+
+/// lr = base * gamma^(epoch / step_size)  (integer division).
+class StepDecay final : public LrSchedule {
+public:
+    StepDecay(Optimizer& optimizer, double base_lr, std::int64_t step_size, double gamma);
+
+private:
+    double rate_for(std::int64_t epoch) const override;
+
+    double base_lr_;
+    std::int64_t step_size_;
+    double gamma_;
+};
+
+/// Cosine annealing from base_lr to min_lr over total_epochs.
+class CosineAnnealing final : public LrSchedule {
+public:
+    CosineAnnealing(Optimizer& optimizer, double base_lr, std::int64_t total_epochs,
+                    double min_lr = 0.0);
+
+private:
+    double rate_for(std::int64_t epoch) const override;
+
+    double base_lr_;
+    std::int64_t total_epochs_;
+    double min_lr_;
+};
+
+}  // namespace ens::optim

@@ -1,0 +1,36 @@
+#include "optim/sgd.hpp"
+
+namespace ens::optim {
+
+Sgd::Sgd(std::vector<nn::Parameter*> params, const SgdOptions& options)
+    : Optimizer(std::move(params)), options_(options) {
+    learning_rate_ = options.learning_rate;
+    velocity_.reserve(params_.size());
+    for (const nn::Parameter* p : params_) {
+        velocity_.push_back(Tensor::zeros(p->value.shape()));
+    }
+}
+
+void Sgd::step() {
+    const float lr = static_cast<float>(learning_rate_);
+    const float momentum = static_cast<float>(options_.momentum);
+    const float decay = static_cast<float>(options_.weight_decay);
+
+    for (std::size_t k = 0; k < params_.size(); ++k) {
+        nn::Parameter* p = params_[k];
+        if (!p->requires_grad) {
+            continue;
+        }
+        float* w = p->value.data();
+        const float* g = p->grad.data();
+        float* v = velocity_[k].data();
+        const std::int64_t n = p->value.numel();
+        for (std::int64_t i = 0; i < n; ++i) {
+            const float grad = g[i] + decay * w[i];
+            v[i] = momentum * v[i] + grad;
+            w[i] -= lr * v[i];
+        }
+    }
+}
+
+}  // namespace ens::optim

@@ -1,0 +1,25 @@
+#pragma once
+// SGD with classical momentum and decoupled L2 weight decay.
+
+#include "optim/optimizer.hpp"
+
+namespace ens::optim {
+
+struct SgdOptions {
+    double learning_rate = 0.01;
+    double momentum = 0.9;
+    double weight_decay = 0.0;
+};
+
+class Sgd final : public Optimizer {
+public:
+    Sgd(std::vector<nn::Parameter*> params, const SgdOptions& options);
+
+    void step() override;
+
+private:
+    SgdOptions options_;
+    std::vector<Tensor> velocity_;  // one buffer per parameter
+};
+
+}  // namespace ens::optim

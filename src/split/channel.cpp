@@ -1,0 +1,19 @@
+#include "split/channel.hpp"
+
+#include "common/error.hpp"
+
+namespace ens::split {
+
+void InProcChannel::send(std::string message) {
+    stats_.record(message.size());
+    queue_.push_back(std::move(message));
+}
+
+std::string InProcChannel::recv() {
+    ENS_CHECK(!queue_.empty(), "InProcChannel::recv on empty queue");
+    std::string message = std::move(queue_.front());
+    queue_.pop_front();
+    return message;
+}
+
+}  // namespace ens::split

@@ -1,0 +1,53 @@
+#pragma once
+// Transport abstraction between client and server.
+//
+// InProcChannel is a FIFO byte-message queue with traffic accounting; it is
+// the "wire" for tests, experiments and the latency model (which converts
+// the counted bytes into time through a LinkProfile). A real deployment
+// would substitute a socket-backed Channel — the session logic only sees
+// this interface.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+namespace ens::split {
+
+struct TrafficStats {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+
+    void record(std::size_t message_size) {
+        ++messages;
+        bytes += message_size;
+    }
+    void reset() { *this = TrafficStats{}; }
+};
+
+class Channel {
+public:
+    virtual ~Channel() = default;
+
+    virtual void send(std::string message) = 0;
+    virtual std::string recv() = 0;
+    virtual bool has_pending() const = 0;
+
+    const TrafficStats& stats() const { return stats_; }
+    void reset_stats() { stats_.reset(); }
+
+protected:
+    TrafficStats stats_;
+};
+
+/// Same-process FIFO queue.
+class InProcChannel final : public Channel {
+public:
+    void send(std::string message) override;
+    std::string recv() override;
+    bool has_pending() const override { return !queue_.empty(); }
+
+private:
+    std::deque<std::string> queue_;
+};
+
+}  // namespace ens::split

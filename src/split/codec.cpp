@@ -1,0 +1,141 @@
+#include "split/codec.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace ens::split {
+
+namespace {
+constexpr std::uint32_t kMagicF32 = 0x464D4150;    // "FMAP": legacy lossless payload
+constexpr std::uint32_t kMagicQuant = 0x464D4151;  // "FMAQ": format byte + affine payload
+}  // namespace
+
+const char* wire_format_name(WireFormat format) {
+    switch (format) {
+        case WireFormat::f32:
+            return "f32";
+        case WireFormat::q16:
+            return "q16";
+        case WireFormat::q8:
+            return "q8";
+    }
+    ENS_FAIL("wire_format_name: unknown format");
+}
+
+std::size_t wire_format_element_size(WireFormat format) {
+    switch (format) {
+        case WireFormat::f32:
+            return 4;
+        case WireFormat::q16:
+            return 2;
+        case WireFormat::q8:
+            return 1;
+    }
+    ENS_FAIL("wire_format_element_size: unknown format");
+}
+
+std::uint32_t wire_format_levels(WireFormat format) {
+    switch (format) {
+        case WireFormat::f32:
+            return 0;
+        case WireFormat::q16:
+            return 65536;
+        case WireFormat::q8:
+            return 256;
+    }
+    ENS_FAIL("wire_format_levels: unknown format");
+}
+
+std::string encode_tensor(const Tensor& tensor) {
+    ENS_REQUIRE(tensor.defined(), "encode_tensor: undefined tensor");
+    std::ostringstream out(std::ios::binary);
+    BinaryWriter writer(out);
+    writer.write_u32(kMagicF32);
+    writer.write_i64_vector(tensor.shape().dims());
+    writer.write_f32_array(tensor.data(), static_cast<std::size_t>(tensor.numel()));
+    return out.str();
+}
+
+std::string encode_tensor(const Tensor& tensor, WireFormat format) {
+    if (format == WireFormat::f32) {
+        return encode_tensor(tensor);
+    }
+    ENS_REQUIRE(tensor.defined(), "encode_tensor: undefined tensor");
+    const std::uint32_t levels = wire_format_levels(format);
+    const AffineGrid grid = choose_affine_grid(tensor, levels);
+    const auto codes = quantize(tensor, grid, levels);
+
+    std::ostringstream out(std::ios::binary);
+    BinaryWriter writer(out);
+    writer.write_u32(kMagicQuant);
+    writer.write_u8(static_cast<std::uint8_t>(format));
+    writer.write_i64_vector(tensor.shape().dims());
+    writer.write_f32(grid.lo);
+    writer.write_f32(grid.step);
+    if (format == WireFormat::q8) {
+        for (const std::uint16_t code : codes) {
+            writer.write_u8(static_cast<std::uint8_t>(code));
+        }
+    } else {
+        for (const std::uint16_t code : codes) {
+            writer.write_u8(static_cast<std::uint8_t>(code & 0xFF));
+            writer.write_u8(static_cast<std::uint8_t>(code >> 8));
+        }
+    }
+    return out.str();
+}
+
+Tensor decode_tensor(const std::string& bytes) {
+    std::istringstream in(bytes, std::ios::binary);
+    BinaryReader reader(in);
+    const std::uint32_t magic = reader.read_u32();
+    if (magic == kMagicF32) {
+        const Shape shape{reader.read_i64_vector()};
+        Tensor tensor(shape);
+        reader.read_f32_array(tensor.data(), static_cast<std::size_t>(tensor.numel()));
+        return tensor;
+    }
+    ENS_CHECK(magic == kMagicQuant, "decode_tensor: bad magic");
+    const auto format = static_cast<WireFormat>(reader.read_u8());
+    ENS_CHECK(format == WireFormat::q16 || format == WireFormat::q8,
+              "decode_tensor: bad quantized format byte");
+    const Shape shape{reader.read_i64_vector()};
+    AffineGrid grid;
+    grid.lo = reader.read_f32();
+    grid.step = reader.read_f32();
+    const auto count = static_cast<std::size_t>(shape.numel());
+    std::vector<std::uint16_t> codes(count);
+    if (format == WireFormat::q8) {
+        for (std::size_t i = 0; i < count; ++i) {
+            codes[i] = reader.read_u8();
+        }
+    } else {
+        for (std::size_t i = 0; i < count; ++i) {
+            const std::uint16_t lo_byte = reader.read_u8();
+            const std::uint16_t hi_byte = reader.read_u8();
+            codes[i] = static_cast<std::uint16_t>(lo_byte | (hi_byte << 8));
+        }
+    }
+    return dequantize(codes, shape, grid);
+}
+
+std::uint64_t encoded_size(const Tensor& tensor) {
+    // magic + (count + dims) + (count + payload)
+    return sizeof(std::uint32_t) + sizeof(std::uint64_t) +
+           tensor.shape().rank() * sizeof(std::int64_t) + sizeof(std::uint64_t) +
+           static_cast<std::uint64_t>(tensor.numel()) * sizeof(float);
+}
+
+std::uint64_t encoded_size(const Tensor& tensor, WireFormat format) {
+    if (format == WireFormat::f32) {
+        return encoded_size(tensor);
+    }
+    // magic + format byte + (count + dims) + grid (lo, step) + payload
+    return sizeof(std::uint32_t) + 1 + sizeof(std::uint64_t) +
+           tensor.shape().rank() * sizeof(std::int64_t) + 2 * sizeof(float) +
+           static_cast<std::uint64_t>(tensor.numel()) * wire_format_element_size(format);
+}
+
+}  // namespace ens::split

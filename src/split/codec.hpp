@@ -1,0 +1,56 @@
+#pragma once
+// Wire format for feature tensors crossing the client/server boundary.
+//
+// Message layout: magic, shape vector, payload. Byte counts from this
+// codec feed the Table III communication model — the paper attributes
+// most of Ensembler's overhead to the extra downlink feature maps, so the
+// accounting must reflect real serialized sizes.
+//
+// Three payload encodings are supported (the paper's conclusion calls the
+// client-server link the part of CI most worth optimizing):
+//   f32 - lossless IEEE-754, 4 B/element (the paper's implicit wire)
+//   q16 - 16-bit affine quantization, 2 B/element (see split/quant.hpp)
+//   q8  -  8-bit affine quantization, 1 B/element
+// decode_tensor() is self-describing: it dispatches on the magic, so a
+// receiver needs no out-of-band format negotiation.
+
+#include <string>
+
+#include "split/quant.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ens::split {
+
+/// Payload encoding for feature messages.
+enum class WireFormat : std::uint8_t {
+    f32 = 0,  // lossless
+    q16 = 1,  // 16-bit affine
+    q8 = 2,   // 8-bit affine
+};
+
+/// "f32" / "q16" / "q8" (for logs and bench rows).
+const char* wire_format_name(WireFormat format);
+
+/// Bytes per feature element of a format's payload.
+std::size_t wire_format_element_size(WireFormat format);
+
+/// Quantization levels of a format (0 for lossless f32).
+std::uint32_t wire_format_levels(WireFormat format);
+
+/// Serializes a tensor into a self-describing byte string (lossless f32).
+std::string encode_tensor(const Tensor& tensor);
+
+/// Serializes with an explicit payload encoding.
+std::string encode_tensor(const Tensor& tensor, WireFormat format);
+
+/// Parses a byte string produced by either encode_tensor overload,
+/// dequantizing if needed.
+Tensor decode_tensor(const std::string& bytes);
+
+/// Exact wire size of a tensor message without serializing it (f32).
+std::uint64_t encoded_size(const Tensor& tensor);
+
+/// Exact wire size under an explicit payload encoding.
+std::uint64_t encoded_size(const Tensor& tensor, WireFormat format);
+
+}  // namespace ens::split

@@ -1,0 +1,30 @@
+#pragma once
+// Attacker-facing view of a deployed collaborative-inference pipeline.
+//
+// Per the threat model (§II-B), the semi-honest server sees (a) the weights
+// of every server-side body and (b) the intermediate features the client
+// transmits. It cannot query the client (query-free setting); `transmit`
+// exists in this struct because the *experiment harness* must feed victim
+// features to the attack for evaluation — the attack code itself only calls
+// it on the designated victim set, never for shadow training.
+
+#include <functional>
+#include <vector>
+
+#include "nn/sequential.hpp"
+
+namespace ens::split {
+
+struct DeployedPipeline {
+    /// Client-side computation as seen on the wire: perturb(head(x)), eval
+    /// mode. Harness-only (see above).
+    std::function<Tensor(const Tensor&)> transmit;
+
+    /// Server-side nets; the attacker has full white-box access to these.
+    std::vector<nn::Sequential*> bodies;
+
+    /// Full eval-mode pipeline, for accuracy bookkeeping.
+    std::function<Tensor(const Tensor&)> predict;
+};
+
+}  // namespace ens::split

@@ -1,0 +1,117 @@
+#pragma once
+// Multi-server ("multiparty") deployment of an ensembled pipeline, §III-D.
+//
+// Because each server net M^i_s is independent, the N bodies can be spread
+// across K non-colluding servers. This strengthens the defense in two ways
+// the paper points out:
+//   * a single adversarial server no longer even HOLDS all the bodies a
+//     brute-force subset attack needs — its search space shrinks to the
+//     subsets of its own shard, and if its shard contains no selected body
+//     its reconstruction target does not exist;
+//   * the K shards execute concurrently, so the O(N) server-compute term
+//     of Table III divides by the shard width.
+//
+// The deployment owns one uplink/downlink channel pair per server so the
+// per-server traffic is individually accountable (the latency model charges
+// the slowest shard, not the sum).
+//
+// This module is selector-agnostic: the client's secret is passed in as the
+// activated body indices plus a combiner over the N returned feature maps
+// (core::Selector::apply fits the Combiner signature directly), keeping the
+// split layer below the core library in the dependency order.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "split/channel.hpp"
+#include "split/codec.hpp"
+#include "split/session.hpp"
+
+namespace ens::split {
+
+/// Assignment of body indices to servers. Every body appears on exactly one
+/// server (validated by MultipartyDeployment).
+struct ShardPlan {
+    std::vector<std::vector<std::size_t>> server_bodies;
+
+    std::size_t server_count() const { return server_bodies.size(); }
+    std::size_t body_count() const;
+
+    /// Round-robin partition of n bodies over k servers (balanced shards).
+    static ShardPlan round_robin(std::size_t num_bodies, std::size_t num_servers);
+
+    /// Contiguous block partition of n bodies over k servers.
+    static ShardPlan blocks(std::size_t num_bodies, std::size_t num_servers);
+};
+
+/// Per-server traffic snapshot after inference rounds.
+struct ServerTraffic {
+    TrafficStats uplink;
+    TrafficStats downlink;
+};
+
+/// Drives one client against K servers, each holding a shard of the N
+/// bodies. Layers are non-owning (caller keeps them alive, in eval mode);
+/// the channels are owned here.
+class MultipartyDeployment {
+public:
+    /// `bodies[i]` is body index i in the plan's numbering. `selected`
+    /// lists the indices the client's secret Selector activates (used only
+    /// by the collusion analysis — the servers never see it). `combiner`
+    /// maps the N returned feature maps (in body order) to the tail input;
+    /// pass the Selector's Eq. 1 application for Ensembler.
+    MultipartyDeployment(nn::Layer& client_head, std::vector<nn::Layer*> bodies,
+                         nn::Layer& client_tail, std::vector<std::size_t> selected,
+                         Combiner combiner, ShardPlan plan,
+                         WireFormat wire_format = WireFormat::f32);
+
+    /// Full multiparty round trip: broadcast features to every server, run
+    /// each shard, return every body's feature map, combine with the secret
+    /// combiner, run the tail. Returns logits.
+    Tensor infer(const Tensor& images);
+
+    std::size_t server_count() const { return plan_.server_count(); }
+    const ShardPlan& plan() const { return plan_; }
+
+    /// Per-server byte/message counters (index = server).
+    std::vector<ServerTraffic> traffic() const;
+    void reset_traffic();
+
+    // --- Collusion analysis (§III-D's security argument) -----------------
+
+    /// Body indices held by the coalition of servers in `coalition`.
+    std::vector<std::size_t> coalition_bodies(const std::vector<std::size_t>& coalition) const;
+
+    /// True when the coalition holds at least one body the Selector
+    /// activates — the precondition for any Proposition-1-style attack.
+    bool coalition_holds_selected_body(const std::vector<std::size_t>& coalition) const;
+
+    /// True when the coalition holds EVERY activated body (it could, in
+    /// principle, brute-force its way to the exact deployed pipeline).
+    bool coalition_holds_full_selection(const std::vector<std::size_t>& coalition) const;
+
+    /// Number of non-empty subsets of the coalition's bodies — the size of
+    /// the shadow-network search space a brute-force MIA from this
+    /// coalition faces (2^held - 1, the §III-D cost restricted to a shard).
+    std::uint64_t coalition_subset_count(const std::vector<std::size_t>& coalition) const;
+
+    /// Smallest number of servers whose union covers the full selection —
+    /// the minimum coalition that could even attempt an exact-subset attack.
+    std::size_t min_covering_coalition() const;
+
+private:
+    nn::Layer& client_head_;
+    std::vector<nn::Layer*> bodies_;
+    nn::Layer& client_tail_;
+    std::vector<std::size_t> selected_;
+    Combiner combiner_;
+    ShardPlan plan_;
+    WireFormat wire_format_;
+    std::vector<std::unique_ptr<InProcChannel>> uplinks_;
+    std::vector<std::unique_ptr<InProcChannel>> downlinks_;
+};
+
+}  // namespace ens::split

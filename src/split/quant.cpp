@@ -1,0 +1,77 @@
+#include "split/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ens::split {
+
+AffineGrid choose_affine_grid(const Tensor& tensor, std::uint32_t levels) {
+    ENS_REQUIRE(tensor.defined() && tensor.numel() > 0, "choose_affine_grid: empty tensor");
+    ENS_REQUIRE(levels >= 2, "choose_affine_grid: need at least 2 levels");
+    const float* data = tensor.data();
+    float lo = data[0];
+    float hi = data[0];
+    for (std::int64_t i = 1; i < tensor.numel(); ++i) {
+        lo = std::min(lo, data[i]);
+        hi = std::max(hi, data[i]);
+    }
+    AffineGrid grid;
+    grid.lo = lo;
+    grid.step = (hi > lo) ? (hi - lo) / static_cast<float>(levels - 1) : 0.0f;
+    return grid;
+}
+
+std::vector<std::uint16_t> quantize(const Tensor& tensor, const AffineGrid& grid,
+                                    std::uint32_t levels) {
+    ENS_REQUIRE(tensor.defined(), "quantize: undefined tensor");
+    ENS_REQUIRE(levels >= 2 && levels <= 65536, "quantize: levels must be in [2, 65536]");
+    const auto count = static_cast<std::size_t>(tensor.numel());
+    std::vector<std::uint16_t> codes(count);
+    const float* data = tensor.data();
+    const std::uint32_t max_code = levels - 1;
+    if (grid.step == 0.0f) {
+        std::fill(codes.begin(), codes.end(), std::uint16_t{0});
+        return codes;
+    }
+    const float inv_step = 1.0f / grid.step;
+    for (std::size_t i = 0; i < count; ++i) {
+        const float scaled = (data[i] - grid.lo) * inv_step;
+        const long rounded = std::lround(scaled);
+        const long clamped = std::clamp(rounded, 0L, static_cast<long>(max_code));
+        codes[i] = static_cast<std::uint16_t>(clamped);
+    }
+    return codes;
+}
+
+Tensor dequantize(const std::vector<std::uint16_t>& codes, const Shape& shape,
+                  const AffineGrid& grid) {
+    Tensor tensor(shape);
+    ENS_REQUIRE(static_cast<std::size_t>(tensor.numel()) == codes.size(),
+                "dequantize: code count does not match shape");
+    float* data = tensor.data();
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+        data[i] = grid.value(codes[i]);
+    }
+    return tensor;
+}
+
+float max_roundtrip_error(const AffineGrid& grid) { return grid.step * 0.5f; }
+
+RoundTripError measure_roundtrip_error(const Tensor& tensor, std::uint32_t levels) {
+    const AffineGrid grid = choose_affine_grid(tensor, levels);
+    const auto codes = quantize(tensor, grid, levels);
+    RoundTripError error;
+    const float* data = tensor.data();
+    double sum_sq = 0.0;
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+        const float diff = std::abs(grid.value(codes[i]) - data[i]);
+        error.max_abs = std::max(error.max_abs, diff);
+        sum_sq += static_cast<double>(diff) * diff;
+    }
+    error.mse = static_cast<float>(sum_sq / static_cast<double>(codes.size()));
+    return error;
+}
+
+}  // namespace ens::split

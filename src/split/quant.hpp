@@ -1,0 +1,62 @@
+#pragma once
+// Affine feature-map quantization for the split-inference wire.
+//
+// Table III attributes most of Ensembler's overhead — and most of the total
+// CI latency — to communication, and the paper's conclusion calls improving
+// the client-server link "pivotal". The lossless f32 wire moves 4 bytes per
+// feature element; the intermediate activations, however, occupy a narrow,
+// heavily-peaked range (post-BN/ReLU), so uniform affine quantization to 8
+// or 16 bits cuts the downlink 4x/2x with reconstruction error far below
+// the N(0, 0.1) mask the defense injects anyway.
+//
+// Format: per-tensor affine grid  x ≈ lo + q * step,  q ∈ [0, levels-1],
+// with (lo, step) chosen from the tensor's min/max. Round-to-nearest,
+// saturating. A constant tensor degenerates to step = 0 and decodes
+// exactly.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ens::split {
+
+/// Per-tensor affine grid parameters.
+struct AffineGrid {
+    float lo = 0.0f;    // value of code 0
+    float step = 0.0f;  // value increment per code; 0 for constant tensors
+
+    /// Dequantized value of a code.
+    float value(std::uint32_t code) const { return lo + static_cast<float>(code) * step; }
+};
+
+/// Chooses the affine grid covering [min(t), max(t)] with `levels` codes
+/// (levels >= 2). For a constant tensor, returns step = 0 with lo = the
+/// constant, which round-trips exactly.
+AffineGrid choose_affine_grid(const Tensor& tensor, std::uint32_t levels);
+
+/// Quantizes to codes in [0, levels-1] (round-to-nearest, saturating).
+/// Code type is u16; 8-bit encoders narrow when writing the wire.
+std::vector<std::uint16_t> quantize(const Tensor& tensor, const AffineGrid& grid,
+                                    std::uint32_t levels);
+
+/// Rebuilds a float tensor of `shape` from codes.
+Tensor dequantize(const std::vector<std::uint16_t>& codes, const Shape& shape,
+                  const AffineGrid& grid);
+
+/// Worst-case absolute round-trip error of a grid: step / 2 (0 for
+/// constant tensors). Useful for asserting error bounds in tests and for
+/// the codec ablation.
+float max_roundtrip_error(const AffineGrid& grid);
+
+/// Measured round-trip error statistics (for the codec ablation bench).
+struct RoundTripError {
+    float max_abs = 0.0f;
+    float mse = 0.0f;
+};
+
+/// Quantizes + dequantizes `tensor` through `levels` codes and measures the
+/// reconstruction error.
+RoundTripError measure_roundtrip_error(const Tensor& tensor, std::uint32_t levels);
+
+}  // namespace ens::split

@@ -1,0 +1,59 @@
+#include "split/session.hpp"
+
+#include "common/error.hpp"
+#include "split/codec.hpp"
+
+namespace ens::split {
+
+Combiner single_body_combiner() {
+    return [](const std::vector<Tensor>& features) {
+        ENS_REQUIRE(features.size() == 1, "single_body_combiner expects exactly one feature map");
+        return features.front();
+    };
+}
+
+CollaborativeSession::CollaborativeSession(nn::Layer& client_head,
+                                           std::vector<nn::Layer*> server_bodies,
+                                           nn::Layer& client_tail, Combiner combiner,
+                                           Channel& uplink, Channel& downlink,
+                                           WireFormat wire_format)
+    : client_head_(client_head),
+      server_bodies_(std::move(server_bodies)),
+      client_tail_(client_tail),
+      combiner_(std::move(combiner)),
+      uplink_(uplink),
+      downlink_(downlink),
+      wire_format_(wire_format) {
+    ENS_REQUIRE(!server_bodies_.empty(), "CollaborativeSession: no server bodies");
+    for (const nn::Layer* body : server_bodies_) {
+        ENS_REQUIRE(body != nullptr, "CollaborativeSession: null body");
+    }
+    ENS_REQUIRE(combiner_ != nullptr, "CollaborativeSession: null combiner");
+}
+
+Tensor CollaborativeSession::infer(const Tensor& images) {
+    // (1) Client: head forward, ship intermediate features.
+    const Tensor intermediate = client_head_.forward(images);
+    uplink_.send(encode_tensor(intermediate, wire_format_));
+
+    // (2) Server: decode once, run every body, ship each result.
+    const Tensor server_input = decode_tensor(uplink_.recv());
+    for (nn::Layer* body : server_bodies_) {
+        downlink_.send(encode_tensor(body->forward(server_input), wire_format_));
+    }
+
+    // (3) Client: collect all feature maps, combine, run the tail.
+    std::vector<Tensor> features;
+    features.reserve(server_bodies_.size());
+    for (std::size_t i = 0; i < server_bodies_.size(); ++i) {
+        features.push_back(decode_tensor(downlink_.recv()));
+    }
+    return client_tail_.forward(combiner_(features));
+}
+
+void CollaborativeSession::reset_traffic() {
+    uplink_.reset_stats();
+    downlink_.reset_stats();
+}
+
+}  // namespace ens::split

@@ -1,0 +1,51 @@
+#include "split/split_model.hpp"
+
+#include "common/error.hpp"
+
+namespace ens::split {
+
+Tensor SplitModel::forward(const Tensor& images) const {
+    return tail->forward(body->forward(head->forward(images)));
+}
+
+void SplitModel::set_training(bool training) {
+    head->set_training(training);
+    body->set_training(training);
+    tail->set_training(training);
+}
+
+SplitModel split_sequential(std::unique_ptr<nn::Sequential> net, std::size_t head_layers,
+                            std::size_t tail_layers) {
+    ENS_REQUIRE(net != nullptr, "split_sequential: null network");
+    const std::size_t total = net->size();
+    ENS_REQUIRE(head_layers + tail_layers < total,
+                "split_sequential: nothing left for the server body");
+
+    SplitModel split;
+    split.head = std::make_unique<nn::Sequential>();
+    split.body = std::make_unique<nn::Sequential>();
+    split.tail = std::make_unique<nn::Sequential>();
+
+    auto head_slice = net->release_slice(0, head_layers);
+    for (auto& layer : head_slice) {
+        split.head->push_back(std::move(layer));
+    }
+    // After removing the head, the body is [0, total - head - tail).
+    auto body_slice = net->release_slice(0, total - head_layers - tail_layers);
+    for (auto& layer : body_slice) {
+        split.body->push_back(std::move(layer));
+    }
+    auto tail_slice = net->release_slice(0, net->size());
+    for (auto& layer : tail_slice) {
+        split.tail->push_back(std::move(layer));
+    }
+    return split;
+}
+
+SplitModel build_split_resnet18(const nn::ResNetConfig& config, Rng& rng) {
+    auto net = nn::build_resnet18(config, rng);
+    return split_sequential(std::move(net), nn::resnet18_head_layer_count(config),
+                            /*tail_layers=*/1);
+}
+
+}  // namespace ens::split

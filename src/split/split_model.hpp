@@ -1,0 +1,36 @@
+#pragma once
+// Splitting a trained network into client head / server body / client tail.
+//
+// The paper's threat model (§II-B): M = {M_c,h, M_s, M_c,t} with the head
+// and tail on the client and the body on the (adversarial) server. For
+// ResNet-18 the h=1/t=1 split puts conv1(+BN+ReLU[+MaxPool]) in the head
+// and the final Linear in the tail; the 8 residual blocks + GlobalAvgPool
+// form the body.
+
+#include <memory>
+
+#include "nn/resnet.hpp"
+#include "nn/sequential.hpp"
+
+namespace ens::split {
+
+struct SplitModel {
+    std::unique_ptr<nn::Sequential> head;
+    std::unique_ptr<nn::Sequential> body;
+    std::unique_ptr<nn::Sequential> tail;
+
+    /// Convenience full pipeline (head -> body -> tail).
+    Tensor forward(const Tensor& images) const;
+
+    void set_training(bool training);
+};
+
+/// Carves `net` into head = first `head_layers` layers, tail = last
+/// `tail_layers` layers, body = the middle. Consumes `net`.
+SplitModel split_sequential(std::unique_ptr<nn::Sequential> net, std::size_t head_layers,
+                            std::size_t tail_layers);
+
+/// Builds a ResNet-18 and splits it at the paper's h=1 / t=1 location.
+SplitModel build_split_resnet18(const nn::ResNetConfig& config, Rng& rng);
+
+}  // namespace ens::split

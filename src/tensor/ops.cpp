@@ -1,0 +1,316 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/threadpool.hpp"
+
+namespace ens {
+
+Tensor add(const Tensor& a, const Tensor& b) {
+    Tensor out = a.clone();
+    out.add_(b);
+    return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+    Tensor out = a.clone();
+    out.sub_(b);
+    return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+    Tensor out = a.clone();
+    out.mul_(b);
+    return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+    Tensor out = a.clone();
+    out.scale_(s);
+    return out;
+}
+
+float sum(const Tensor& a) {
+    const float* p = a.data();
+    const std::int64_t n = a.numel();
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        acc += p[i];
+    }
+    return static_cast<float>(acc);
+}
+
+float mean(const Tensor& a) {
+    ENS_REQUIRE(a.numel() > 0, "mean of empty tensor");
+    return sum(a) / static_cast<float>(a.numel());
+}
+
+float min_value(const Tensor& a) {
+    ENS_REQUIRE(a.numel() > 0, "min of empty tensor");
+    return *std::min_element(a.data(), a.data() + a.numel());
+}
+
+float max_value(const Tensor& a) {
+    ENS_REQUIRE(a.numel() > 0, "max of empty tensor");
+    return *std::max_element(a.data(), a.data() + a.numel());
+}
+
+float squared_norm(const Tensor& a) {
+    const float* p = a.data();
+    const std::int64_t n = a.numel();
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        acc += static_cast<double>(p[i]) * p[i];
+    }
+    return static_cast<float>(acc);
+}
+
+float dot(const Tensor& a, const Tensor& b) {
+    ENS_REQUIRE(a.numel() == b.numel(), "dot: size mismatch");
+    const float* pa = a.data();
+    const float* pb = b.data();
+    const std::int64_t n = a.numel();
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        acc += static_cast<double>(pa[i]) * pb[i];
+    }
+    return static_cast<float>(acc);
+}
+
+namespace {
+
+/// Row-major GEMM worker for C[m0..m1) with no transposition applied to the
+/// arguments: a_row(i) yields pointer to row i of op(A) etc. To keep the
+/// inner loop vectorizable we materialize nothing and use i-k-j ordering;
+/// op(B) row access is what matters for stride-1 inner loops, so the
+/// transposed cases pre-gather the needed column into a scratch row.
+void gemm_chunk(const float* a, std::int64_t lda, bool trans_a, const float* b, std::int64_t ldb,
+                bool trans_b, float* c, std::int64_t ldc, std::int64_t m0, std::int64_t m1,
+                std::int64_t n, std::int64_t k, float alpha, float beta) {
+    for (std::int64_t i = m0; i < m1; ++i) {
+        float* crow = c + i * ldc;
+        if (beta == 0.0f) {
+            std::fill(crow, crow + n, 0.0f);
+        } else if (beta != 1.0f) {
+            for (std::int64_t j = 0; j < n; ++j) {
+                crow[j] *= beta;
+            }
+        }
+        for (std::int64_t p = 0; p < k; ++p) {
+            const float aval = alpha * (trans_a ? a[p * lda + i] : a[i * lda + p]);
+            if (aval == 0.0f) {
+                continue;
+            }
+            if (!trans_b) {
+                const float* brow = b + p * ldb;
+                for (std::int64_t j = 0; j < n; ++j) {
+                    crow[j] += aval * brow[j];
+                }
+            } else {
+                // op(B)[p, j] = B[j, p]: stride-ldb access; acceptable since
+                // the transposed-B path is only used for small dW updates.
+                const float* bcol = b + p;
+                for (std::int64_t j = 0; j < n; ++j) {
+                    crow[j] += aval * bcol[j * ldb];
+                }
+            }
+        }
+    }
+}
+
+}  // namespace
+
+namespace {
+
+struct GemmDims {
+    std::int64_t m, n, k, lda, ldb, ldc;
+};
+
+GemmDims check_gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
+                    const Tensor& c) {
+    ENS_REQUIRE(a.rank() == 2 && b.rank() == 2 && c.rank() == 2, "gemm expects matrices");
+    const std::int64_t m = trans_a ? a.dim(1) : a.dim(0);
+    const std::int64_t k = trans_a ? a.dim(0) : a.dim(1);
+    const std::int64_t kb = trans_b ? b.dim(1) : b.dim(0);
+    const std::int64_t n = trans_b ? b.dim(0) : b.dim(1);
+    ENS_REQUIRE(k == kb, "gemm inner dimension mismatch");
+    ENS_REQUIRE(c.dim(0) == m && c.dim(1) == n, "gemm output shape mismatch");
+    return {m, n, k, a.dim(1), b.dim(1), n};
+}
+
+}  // namespace
+
+void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b, Tensor& c, float alpha,
+          float beta) {
+    const GemmDims d = check_gemm(a, trans_a, b, trans_b, c);
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = c.data();
+
+    // Parallelize across row chunks when there is enough work to amortize
+    // the fork/join (~1 MFLOP threshold).
+    const std::int64_t flops = 2 * d.m * d.n * d.k;
+    if (flops < (1 << 20) || d.m < 2) {
+        gemm_chunk(pa, d.lda, trans_a, pb, d.ldb, trans_b, pc, d.ldc, 0, d.m, d.n, d.k, alpha,
+                   beta);
+        return;
+    }
+    parallel_for(0, static_cast<std::size_t>(d.m), [&](std::size_t lo, std::size_t hi) {
+        gemm_chunk(pa, d.lda, trans_a, pb, d.ldb, trans_b, pc, d.ldc,
+                   static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi), d.n, d.k, alpha,
+                   beta);
+    });
+}
+
+void gemm_serial(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b, Tensor& c,
+                 float alpha, float beta) {
+    const GemmDims d = check_gemm(a, trans_a, b, trans_b, c);
+    gemm_chunk(a.data(), d.lda, trans_a, b.data(), d.ldb, trans_b, c.data(), d.ldc, 0, d.m, d.n,
+               d.k, alpha, beta);
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+    ENS_REQUIRE(a.rank() == 2 && b.rank() == 2, "matmul expects matrices");
+    Tensor c(Shape{a.dim(0), b.dim(1)});
+    gemm(a, false, b, false, c);
+    return c;
+}
+
+Tensor transpose(const Tensor& a) {
+    ENS_REQUIRE(a.rank() == 2, "transpose expects a matrix");
+    const std::int64_t rows = a.dim(0);
+    const std::int64_t cols = a.dim(1);
+    Tensor out(Shape{cols, rows});
+    const float* src = a.data();
+    float* dst = out.data();
+    for (std::int64_t i = 0; i < rows; ++i) {
+        for (std::int64_t j = 0; j < cols; ++j) {
+            dst[j * rows + i] = src[i * cols + j];
+        }
+    }
+    return out;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+    ENS_REQUIRE(logits.rank() == 2, "softmax_rows expects a matrix");
+    const std::int64_t rows = logits.dim(0);
+    const std::int64_t cols = logits.dim(1);
+    Tensor out(logits.shape());
+    const float* src = logits.data();
+    float* dst = out.data();
+    for (std::int64_t i = 0; i < rows; ++i) {
+        const float* in = src + i * cols;
+        float* o = dst + i * cols;
+        const float m = *std::max_element(in, in + cols);
+        double denom = 0.0;
+        for (std::int64_t j = 0; j < cols; ++j) {
+            o[j] = std::exp(in[j] - m);
+            denom += o[j];
+        }
+        const float inv = static_cast<float>(1.0 / denom);
+        for (std::int64_t j = 0; j < cols; ++j) {
+            o[j] *= inv;
+        }
+    }
+    return out;
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& m) {
+    ENS_REQUIRE(m.rank() == 2, "argmax_rows expects a matrix");
+    const std::int64_t rows = m.dim(0);
+    const std::int64_t cols = m.dim(1);
+    std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+    const float* p = m.data();
+    for (std::int64_t i = 0; i < rows; ++i) {
+        const float* row = p + i * cols;
+        out[static_cast<std::size_t>(i)] = std::max_element(row, row + cols) - row;
+    }
+    return out;
+}
+
+Tensor concat_cols(const std::vector<Tensor>& parts) {
+    ENS_REQUIRE(!parts.empty(), "concat_cols of nothing");
+    const std::int64_t rows = parts.front().dim(0);
+    std::int64_t total_cols = 0;
+    for (const Tensor& p : parts) {
+        ENS_REQUIRE(p.rank() == 2, "concat_cols expects matrices");
+        ENS_REQUIRE(p.dim(0) == rows, "concat_cols row mismatch");
+        total_cols += p.dim(1);
+    }
+    Tensor out(Shape{rows, total_cols});
+    float* dst = out.data();
+    std::int64_t col0 = 0;
+    for (const Tensor& p : parts) {
+        const std::int64_t cols = p.dim(1);
+        const float* src = p.data();
+        for (std::int64_t i = 0; i < rows; ++i) {
+            std::copy(src + i * cols, src + (i + 1) * cols, dst + i * total_cols + col0);
+        }
+        col0 += cols;
+    }
+    return out;
+}
+
+std::vector<Tensor> split_cols(const Tensor& m, const std::vector<std::int64_t>& widths) {
+    ENS_REQUIRE(m.rank() == 2, "split_cols expects a matrix");
+    std::int64_t total = 0;
+    for (const std::int64_t w : widths) {
+        total += w;
+    }
+    ENS_REQUIRE(total == m.dim(1), "split_cols widths must cover all columns");
+    std::vector<Tensor> parts;
+    parts.reserve(widths.size());
+    std::int64_t col0 = 0;
+    for (const std::int64_t w : widths) {
+        parts.push_back(slice_cols(m, col0, w));
+        col0 += w;
+    }
+    return parts;
+}
+
+Tensor concat_channels(const std::vector<Tensor>& parts) {
+    ENS_REQUIRE(!parts.empty(), "concat_channels of nothing");
+    const Tensor& first = parts.front();
+    ENS_REQUIRE(first.rank() == 4, "concat_channels expects NCHW tensors");
+    const std::int64_t n = first.dim(0);
+    const std::int64_t h = first.dim(2);
+    const std::int64_t w = first.dim(3);
+    std::int64_t total_c = 0;
+    for (const Tensor& p : parts) {
+        ENS_REQUIRE(p.rank() == 4 && p.dim(0) == n && p.dim(2) == h && p.dim(3) == w,
+                    "concat_channels geometry mismatch");
+        total_c += p.dim(1);
+    }
+    Tensor out(Shape{n, total_c, h, w});
+    const std::int64_t plane = h * w;
+    float* dst = out.data();
+    for (std::int64_t img = 0; img < n; ++img) {
+        std::int64_t c0 = 0;
+        for (const Tensor& p : parts) {
+            const std::int64_t c = p.dim(1);
+            const float* src = p.data() + img * c * plane;
+            std::copy(src, src + c * plane, dst + (img * total_c + c0) * plane);
+            c0 += c;
+        }
+    }
+    return out;
+}
+
+Tensor slice_cols(const Tensor& m, std::int64_t col0, std::int64_t cols) {
+    ENS_REQUIRE(m.rank() == 2, "slice_cols expects a matrix");
+    ENS_REQUIRE(col0 >= 0 && cols > 0 && col0 + cols <= m.dim(1), "slice_cols out of range");
+    const std::int64_t rows = m.dim(0);
+    const std::int64_t src_cols = m.dim(1);
+    Tensor out(Shape{rows, cols});
+    const float* src = m.data();
+    float* dst = out.data();
+    for (std::int64_t i = 0; i < rows; ++i) {
+        std::copy(src + i * src_cols + col0, src + i * src_cols + col0 + cols, dst + i * cols);
+    }
+    return out;
+}
+
+}  // namespace ens

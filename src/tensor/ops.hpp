@@ -1,0 +1,68 @@
+#pragma once
+// Free-function kernels over Tensor.
+//
+// Everything here is shape-checked and allocation-explicit: `gemm` writes
+// into a caller-provided output so training loops can reuse buffers. The
+// GEMM is a cache-blocked i-k-j kernel parallelized over row chunks; on the
+// 2-core reproduction host it reaches a few GFLOP/s, enough for the scaled
+// experiments (see DESIGN.md §4 scale note).
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace ens {
+
+/// Elementwise helpers (allocate the result).
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor scale(const Tensor& a, float s);
+
+/// Reductions.
+float sum(const Tensor& a);
+float mean(const Tensor& a);
+float min_value(const Tensor& a);
+float max_value(const Tensor& a);
+/// Sum of squares of all elements.
+float squared_norm(const Tensor& a);
+/// Dot product over flattened contents (shapes must match).
+float dot(const Tensor& a, const Tensor& b);
+
+/// C = alpha * op(A) @ op(B) + beta * C.
+/// A is [M, K] (or [K, M] when trans_a), B is [K, N] (or [N, K] when
+/// trans_b), C is [M, N]. Parallelized over rows of C.
+void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b, Tensor& c,
+          float alpha = 1.0f, float beta = 0.0f);
+
+/// Single-threaded gemm for callers already running inside a parallel_for
+/// (nested pool waits can deadlock a fixed-size pool).
+void gemm_serial(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b, Tensor& c,
+                 float alpha = 1.0f, float beta = 0.0f);
+
+/// Convenience allocating matmul: A[M,K] @ B[K,N].
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// Matrix transpose of a rank-2 tensor.
+Tensor transpose(const Tensor& a);
+
+/// Row-wise softmax of a [rows, cols] matrix (numerically stabilized).
+Tensor softmax_rows(const Tensor& logits);
+
+/// Row-wise argmax of a [rows, cols] matrix.
+std::vector<std::int64_t> argmax_rows(const Tensor& m);
+
+/// Concatenate rank-2 tensors along axis 1 ([n, c1] + [n, c2] -> [n, c1+c2]).
+Tensor concat_cols(const std::vector<Tensor>& parts);
+
+/// Inverse of concat_cols: splits [n, sum(cols)] into blocks of the given
+/// widths.
+std::vector<Tensor> split_cols(const Tensor& m, const std::vector<std::int64_t>& widths);
+
+/// Concatenate rank-4 tensors along the channel axis.
+Tensor concat_channels(const std::vector<Tensor>& parts);
+
+/// Returns a [rows, cols] slice copy of m's columns [col0, col0+cols).
+Tensor slice_cols(const Tensor& m, std::int64_t col0, std::int64_t cols);
+
+}  // namespace ens

@@ -1,0 +1,45 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ens {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) { validate(); }
+
+Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) { validate(); }
+
+void Shape::validate() const {
+    for (const std::int64_t d : dims_) {
+        ENS_REQUIRE(d > 0, "shape extents must be positive, got " + std::to_string(d));
+    }
+}
+
+std::int64_t Shape::dim(std::size_t i) const {
+    ENS_REQUIRE(i < dims_.size(), "shape axis out of range");
+    return dims_[i];
+}
+
+std::int64_t Shape::numel() const {
+    std::int64_t n = 1;
+    for (const std::int64_t d : dims_) {
+        n *= d;
+    }
+    return n;
+}
+
+std::string Shape::to_string() const {
+    std::ostringstream oss;
+    oss << '[';
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        if (i > 0) {
+            oss << ", ";
+        }
+        oss << dims_[i];
+    }
+    oss << ']';
+    return oss.str();
+}
+
+}  // namespace ens

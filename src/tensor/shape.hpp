@@ -1,0 +1,43 @@
+#pragma once
+// Dense row-major shape descriptor for Tensor.
+//
+// Ranks used in this library: 1 (bias/vector), 2 (matrix, [batch, features]),
+// 4 (NCHW feature maps). Shape is a small value type; all dimension
+// arithmetic checks for overflow-free positive extents.
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace ens {
+
+class Shape {
+public:
+    Shape() = default;
+    Shape(std::initializer_list<std::int64_t> dims);
+    explicit Shape(std::vector<std::int64_t> dims);
+
+    std::size_t rank() const { return dims_.size(); }
+
+    /// Extent of axis `i` (0-based). Negative axes are not supported.
+    std::int64_t dim(std::size_t i) const;
+
+    /// Product of all extents; 1 for rank-0.
+    std::int64_t numel() const;
+
+    const std::vector<std::int64_t>& dims() const { return dims_; }
+
+    bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+    bool operator!=(const Shape& other) const { return dims_ != other.dims_; }
+
+    /// "[2, 3, 16, 16]"
+    std::string to_string() const;
+
+private:
+    void validate() const;
+
+    std::vector<std::int64_t> dims_;
+};
+
+}  // namespace ens

@@ -1,0 +1,183 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ens {
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      storage_(std::make_shared<std::vector<float>>(static_cast<std::size_t>(shape_.numel()), 0.0f)) {}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.0f); }
+
+Tensor Tensor::full(Shape shape, float value) {
+    Tensor t(std::move(shape));
+    t.fill(value);
+    return t;
+}
+
+Tensor Tensor::from_vector(Shape shape, const std::vector<float>& values) {
+    ENS_REQUIRE(static_cast<std::int64_t>(values.size()) == shape.numel(),
+                "from_vector size mismatch");
+    Tensor t(std::move(shape));
+    std::copy(values.begin(), values.end(), t.data());
+    return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
+    Tensor t(std::move(shape));
+    float* p = t.data();
+    const std::int64_t n = t.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        p[i] = static_cast<float>(rng.normal(mean, stddev));
+    }
+    return t;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+    Tensor t(std::move(shape));
+    float* p = t.data();
+    const std::int64_t n = t.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        p[i] = static_cast<float>(rng.uniform(lo, hi));
+    }
+    return t;
+}
+
+float* Tensor::data() {
+    ENS_CHECK(storage_ != nullptr, "access to undefined tensor");
+    return storage_->data();
+}
+
+const float* Tensor::data() const {
+    ENS_CHECK(storage_ != nullptr, "access to undefined tensor");
+    return storage_->data();
+}
+
+float& Tensor::at(std::int64_t flat_index) {
+    ENS_REQUIRE(flat_index >= 0 && flat_index < numel(), "flat index out of range");
+    return data()[flat_index];
+}
+
+float Tensor::at(std::int64_t flat_index) const {
+    ENS_REQUIRE(flat_index >= 0 && flat_index < numel(), "flat index out of range");
+    return data()[flat_index];
+}
+
+float& Tensor::at(std::int64_t i, std::int64_t j) {
+    ENS_REQUIRE(rank() == 2, "2-d accessor on non-matrix tensor");
+    ENS_REQUIRE(i >= 0 && i < dim(0) && j >= 0 && j < dim(1), "matrix index out of range");
+    return data()[i * dim(1) + j];
+}
+
+float Tensor::at(std::int64_t i, std::int64_t j) const {
+    return const_cast<Tensor*>(this)->at(i, j);
+}
+
+float& Tensor::at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+    ENS_REQUIRE(rank() == 4, "4-d accessor on non-NCHW tensor");
+    ENS_REQUIRE(n >= 0 && n < dim(0) && c >= 0 && c < dim(1) && h >= 0 && h < dim(2) && w >= 0 &&
+                    w < dim(3),
+                "NCHW index out of range");
+    return data()[((n * dim(1) + c) * dim(2) + h) * dim(3) + w];
+}
+
+float Tensor::at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const {
+    return const_cast<Tensor*>(this)->at(n, c, h, w);
+}
+
+Tensor Tensor::clone() const {
+    ENS_CHECK(storage_ != nullptr, "clone of undefined tensor");
+    Tensor t(shape_);
+    std::copy(storage_->begin(), storage_->end(), t.data());
+    return t;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+    ENS_REQUIRE(new_shape.numel() == numel(), "reshape changes element count");
+    Tensor t;
+    t.shape_ = std::move(new_shape);
+    t.storage_ = storage_;
+    return t;
+}
+
+void Tensor::fill(float value) {
+    std::fill(data(), data() + numel(), value);
+}
+
+Tensor& Tensor::add_(const Tensor& other) {
+    ENS_REQUIRE(shape_ == other.shape_, "add_: shape mismatch");
+    float* a = data();
+    const float* b = other.data();
+    const std::int64_t n = numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        a[i] += b[i];
+    }
+    return *this;
+}
+
+Tensor& Tensor::sub_(const Tensor& other) {
+    ENS_REQUIRE(shape_ == other.shape_, "sub_: shape mismatch");
+    float* a = data();
+    const float* b = other.data();
+    const std::int64_t n = numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        a[i] -= b[i];
+    }
+    return *this;
+}
+
+Tensor& Tensor::mul_(const Tensor& other) {
+    ENS_REQUIRE(shape_ == other.shape_, "mul_: shape mismatch");
+    float* a = data();
+    const float* b = other.data();
+    const std::int64_t n = numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        a[i] *= b[i];
+    }
+    return *this;
+}
+
+Tensor& Tensor::add_scalar_(float value) {
+    float* a = data();
+    const std::int64_t n = numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        a[i] += value;
+    }
+    return *this;
+}
+
+Tensor& Tensor::scale_(float value) {
+    float* a = data();
+    const std::int64_t n = numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        a[i] *= value;
+    }
+    return *this;
+}
+
+Tensor& Tensor::axpy_(float alpha, const Tensor& other) {
+    ENS_REQUIRE(shape_ == other.shape_, "axpy_: shape mismatch");
+    float* a = data();
+    const float* b = other.data();
+    const std::int64_t n = numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        a[i] += alpha * b[i];
+    }
+    return *this;
+}
+
+void Tensor::copy_from(const Tensor& other) {
+    ENS_REQUIRE(shape_ == other.shape_, "copy_from: shape mismatch");
+    std::copy(other.data(), other.data() + numel(), data());
+}
+
+std::vector<float> Tensor::to_vector() const {
+    return std::vector<float>(data(), data() + numel());
+}
+
+}  // namespace ens

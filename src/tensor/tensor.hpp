@@ -1,0 +1,88 @@
+#pragma once
+// Tensor: contiguous row-major float32 n-d array.
+//
+// Semantics: a Tensor is a handle to a shared buffer (copying a Tensor
+// aliases the data, like torch); `clone()` deep-copies. All layout is
+// contiguous NCHW — there are no strided views, which keeps every kernel a
+// flat loop. Reshape shares storage and requires matching element counts.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/shape.hpp"
+
+namespace ens {
+
+class Tensor {
+public:
+    /// Empty tensor (rank 0, no storage). Valid only as a placeholder.
+    Tensor() = default;
+
+    /// Zero-initialized tensor of the given shape.
+    explicit Tensor(Shape shape);
+
+    static Tensor zeros(Shape shape);
+    static Tensor ones(Shape shape);
+    static Tensor full(Shape shape, float value);
+
+    /// Copies `values` (size must equal shape.numel()).
+    static Tensor from_vector(Shape shape, const std::vector<float>& values);
+
+    /// I.i.d. N(mean, stddev) entries.
+    static Tensor randn(Shape shape, Rng& rng, float mean = 0.0f, float stddev = 1.0f);
+
+    /// I.i.d. U[lo, hi) entries.
+    static Tensor uniform(Shape shape, Rng& rng, float lo = 0.0f, float hi = 1.0f);
+
+    bool defined() const { return storage_ != nullptr; }
+    const Shape& shape() const { return shape_; }
+    std::int64_t numel() const { return shape_.numel(); }
+    std::size_t rank() const { return shape_.rank(); }
+    std::int64_t dim(std::size_t i) const { return shape_.dim(i); }
+
+    float* data();
+    const float* data() const;
+
+    /// Element access with full index checking (slow path, for tests and
+    /// small loops). Linear index variant:
+    float& at(std::int64_t flat_index);
+    float at(std::int64_t flat_index) const;
+
+    /// 2-d and 4-d convenience accessors (checked).
+    float& at(std::int64_t i, std::int64_t j);
+    float at(std::int64_t i, std::int64_t j) const;
+    float& at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w);
+    float at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const;
+
+    /// Deep copy.
+    Tensor clone() const;
+
+    /// New handle over the same storage with a different shape
+    /// (numel must match).
+    Tensor reshaped(Shape new_shape) const;
+
+    void fill(float value);
+
+    /// In-place elementwise ops (shapes must match exactly).
+    Tensor& add_(const Tensor& other);
+    Tensor& sub_(const Tensor& other);
+    Tensor& mul_(const Tensor& other);
+    Tensor& add_scalar_(float value);
+    Tensor& scale_(float value);
+    /// this += alpha * other
+    Tensor& axpy_(float alpha, const Tensor& other);
+
+    /// Copies other's data into this tensor (shapes must match).
+    void copy_from(const Tensor& other);
+
+    /// Flat std::vector copy of the contents (for tests / serialization).
+    std::vector<float> to_vector() const;
+
+private:
+    Shape shape_;
+    std::shared_ptr<std::vector<float>> storage_;
+};
+
+}  // namespace ens

@@ -1,0 +1,85 @@
+#include "train/trainer.hpp"
+
+#include "common/logging.hpp"
+#include "metrics/accuracy.hpp"
+#include "nn/loss.hpp"
+#include "optim/schedule.hpp"
+
+namespace ens::train {
+
+TrainSummary train_classifier(const ForwardFn& forward, const BackwardFn& backward,
+                              std::vector<nn::Parameter*> params, const data::Dataset& dataset,
+                              const TrainOptions& options) {
+    optim::SgdOptions sgd_options;
+    sgd_options.learning_rate = options.learning_rate;
+    sgd_options.momentum = options.momentum;
+    sgd_options.weight_decay = options.weight_decay;
+    optim::Sgd optimizer(std::move(params), sgd_options);
+    optim::CosineAnnealing schedule(optimizer, options.learning_rate,
+                                    static_cast<std::int64_t>(options.epochs));
+
+    data::DataLoader loader(dataset, options.batch_size, Rng(options.seed), /*shuffle=*/true);
+
+    TrainSummary summary;
+    for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+        loader.start_epoch();
+        metrics::AccuracyAccumulator accuracy;
+        double epoch_loss = 0.0;
+        std::size_t batches = 0;
+        while (auto batch = loader.next()) {
+            const Tensor logits = forward(batch->images);
+            const nn::LossResult loss = nn::softmax_cross_entropy(logits, batch->labels);
+            optimizer.zero_grad();
+            backward(loss.grad);
+            if (options.clip_norm > 0.0) {
+                optim::clip_grad_norm(optimizer.parameters(), options.clip_norm);
+            }
+            optimizer.step();
+
+            accuracy.add(logits, batch->labels);
+            epoch_loss += loss.value;
+            ++batches;
+            ++summary.steps;
+        }
+        if (options.cosine_schedule) {
+            schedule.step_epoch();
+        }
+        summary.final_loss = static_cast<float>(epoch_loss / static_cast<double>(batches));
+        summary.final_train_accuracy = accuracy.value();
+        ENS_LOG_INFO << (options.tag.empty() ? "train" : options.tag) << " epoch " << (epoch + 1)
+                     << "/" << options.epochs << " loss=" << summary.final_loss
+                     << " acc=" << summary.final_train_accuracy;
+    }
+    return summary;
+}
+
+float evaluate_accuracy(const ForwardFn& forward, const data::Dataset& dataset,
+                        std::size_t batch_size) {
+    data::DataLoader loader(dataset, batch_size, Rng(0), /*shuffle=*/false);
+    loader.start_epoch();
+    metrics::AccuracyAccumulator accuracy;
+    while (auto batch = loader.next()) {
+        accuracy.add(forward(batch->images), batch->labels);
+    }
+    return accuracy.value();
+}
+
+void refresh_batchnorm_statistics(const ForwardFn& forward, const data::Dataset& dataset,
+                                  std::size_t batches, std::size_t batch_size,
+                                  std::uint64_t seed) {
+    data::DataLoader loader(dataset, batch_size, Rng(seed), /*shuffle=*/true);
+    std::size_t done = 0;
+    while (done < batches) {
+        loader.start_epoch();
+        while (done < batches) {
+            const auto batch = loader.next();
+            if (!batch.has_value()) {
+                break;
+            }
+            forward(batch->images);
+            ++done;
+        }
+    }
+}
+
+}  // namespace ens::train

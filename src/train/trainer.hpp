@@ -1,0 +1,67 @@
+#pragma once
+// Generic classifier training harness.
+//
+// Every training phase in the reproduction (Stage 1 per-net training, the
+// baseline defenses, attack shadow networks) is "cross-entropy over some
+// composed forward pipeline". The harness takes the composition as a pair
+// of closures so callers wire heads / noise layers / frozen bodies /
+// selectors however they need:
+//
+//   forward : images -> logits          (must cache for backward)
+//   backward: dLoss/dLogits -> void     (must traverse the same pipeline)
+//
+// Stage 3 (Eq. 3) adds a feature-level regularizer mid-pipeline and has its
+// own loop in src/core; decoder training (MSE) lives in src/attack.
+
+#include <functional>
+#include <string>
+
+#include "data/dataloader.hpp"
+#include "nn/layer.hpp"
+#include "optim/sgd.hpp"
+
+namespace ens::train {
+
+struct TrainOptions {
+    std::size_t epochs = 4;
+    std::size_t batch_size = 32;
+    double learning_rate = 0.05;
+    double momentum = 0.9;
+    double weight_decay = 5e-4;
+    double clip_norm = 5.0;  // 0 disables clipping
+    bool cosine_schedule = true;
+    std::uint64_t seed = 1;
+    std::string tag;  // progress-log label
+};
+
+using ForwardFn = std::function<Tensor(const Tensor&)>;
+using BackwardFn = std::function<void(const Tensor&)>;
+
+struct TrainSummary {
+    float final_loss = 0.0f;
+    float final_train_accuracy = 0.0f;
+    std::size_t steps = 0;
+};
+
+/// Runs SGD cross-entropy training of `params` over the dataset.
+/// The caller is responsible for set_training(true) on the trainable parts
+/// and set_training(false)/freezing on fixed parts before calling.
+TrainSummary train_classifier(const ForwardFn& forward, const BackwardFn& backward,
+                              std::vector<nn::Parameter*> params, const data::Dataset& dataset,
+                              const TrainOptions& options);
+
+/// Top-1 accuracy of `forward` over a dataset (caller sets eval mode).
+float evaluate_accuracy(const ForwardFn& forward, const data::Dataset& dataset,
+                        std::size_t batch_size = 64);
+
+/// Precise-BN style statistics refresh: runs `batches` forward passes of
+/// training data through `forward` with the network ALREADY set to training
+/// mode by the caller, so BatchNorm running means/variances re-converge to
+/// the final weights. Short training runs leave EMA statistics lagging the
+/// weights, which silently collapses eval-mode accuracy; every trainer in
+/// this repo calls this after its last optimizer step.
+void refresh_batchnorm_statistics(const ForwardFn& forward, const data::Dataset& dataset,
+                                  std::size_t batches = 16, std::size_t batch_size = 32,
+                                  std::uint64_t seed = 0xB17C0DE);
+
+}  // namespace ens::train

@@ -1,0 +1,165 @@
+#include "attack/mia.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attack/decoder.hpp"
+#include "attack/shadow.hpp"
+#include "defense/baselines.hpp"
+#include "data/synth_cifar10.hpp"
+
+namespace ens::attack {
+namespace {
+
+nn::ResNetConfig tiny_arch() {
+    nn::ResNetConfig arch;
+    arch.base_width = 4;
+    arch.image_size = 16;
+    arch.num_classes = 10;
+    return arch;
+}
+
+TEST(Shadow, HeadMatchesTransmitGeometry) {
+    const nn::ResNetConfig arch = tiny_arch();
+    Rng rng(1);
+    auto head = build_shadow_head(arch, rng);
+    const Tensor z = head->forward(Tensor::zeros(Shape{2, 3, 16, 16}));
+    EXPECT_EQ(z.shape(), Shape({2, nn::resnet18_split_channels(arch),
+                                nn::resnet18_split_hw(arch), nn::resnet18_split_hw(arch)}));
+}
+
+TEST(Shadow, HeadMatchesNoMaxpoolGeometry) {
+    nn::ResNetConfig arch = tiny_arch();
+    arch.include_maxpool = false;
+    Rng rng(2);
+    auto head = build_shadow_head(arch, rng);
+    const Tensor z = head->forward(Tensor::zeros(Shape{1, 3, 16, 16}));
+    EXPECT_EQ(z.dim(2), 16);
+}
+
+TEST(Shadow, HeadHasThreeConvs) {
+    const nn::ResNetConfig arch = tiny_arch();
+    Rng rng(3);
+    auto head = build_shadow_head(arch, rng);
+    // conv + bn + relu + conv + bn + relu + conv
+    EXPECT_EQ(head->size(), 7u);
+    // 3 x (weight + bias) + 2 x (gamma + beta)
+    EXPECT_EQ(head->parameters().size(), 10u);
+}
+
+TEST(Shadow, TailShape) {
+    Rng rng(4);
+    auto tail = build_shadow_tail(32, 10, rng);
+    EXPECT_EQ(tail->forward(Tensor::zeros(Shape{3, 32})).shape(), Shape({3, 10}));
+}
+
+TEST(Decoder, OutputIsImageShaped) {
+    const nn::ResNetConfig arch = tiny_arch();
+    Rng rng(5);
+    auto decoder = build_decoder(arch, rng);
+    const std::int64_t c = nn::resnet18_split_channels(arch);
+    const std::int64_t s = nn::resnet18_split_hw(arch);
+    const Tensor out = decoder->forward(Tensor::zeros(Shape{2, c, s, s}));
+    EXPECT_EQ(out.shape(), Shape({2, 3, 16, 16}));
+    // Sigmoid output in [0,1].
+    for (std::int64_t i = 0; i < out.numel(); ++i) {
+        EXPECT_GE(out.at(i), 0.0f);
+        EXPECT_LE(out.at(i), 1.0f);
+    }
+}
+
+TEST(Decoder, LearnsToInvertWeakEncoder) {
+    // Encoder = shadow head at init (a random conv stack). The decoder
+    // should still reduce MSE substantially within a few epochs.
+    const nn::ResNetConfig arch = tiny_arch();
+    Rng rng(6);
+    auto encoder = build_shadow_head(arch, rng);
+    encoder->set_training(false);
+    auto decoder = build_decoder(arch, rng);
+
+    const data::SynthCifar10 aux(128, 200, 16);
+    DecoderTrainOptions options;
+    options.epochs = 1;
+    options.batch_size = 32;
+    const float first = train_decoder(
+        *decoder, [&](const Tensor& x) { return encoder->forward(x); }, aux, options);
+    float last = first;
+    for (int i = 0; i < 3; ++i) {
+        last = train_decoder(*decoder, [&](const Tensor& x) { return encoder->forward(x); }, aux,
+                             options);
+    }
+    EXPECT_LT(last, first);
+}
+
+struct MiaFixture : public ::testing::Test {
+    data::SynthCifar10 train_set{160, 301, 16};
+    data::SynthCifar10 test_set{64, 302, 16};
+    data::SynthCifar10 aux_set{128, 303, 16};
+    nn::ResNetConfig arch = tiny_arch();
+    MiaOptions mia_options;
+
+    void SetUp() override {
+        mia_options.shadow_options.epochs = 1;
+        mia_options.shadow_options.batch_size = 32;
+        mia_options.decoder_options.epochs = 2;
+        mia_options.eval_samples = 32;
+    }
+
+    defense::ExperimentEnv env() const {
+        train::TrainOptions options;
+        options.epochs = 1;
+        options.batch_size = 32;
+        return {train_set, test_set, aux_set, arch, options, 99};
+    }
+};
+
+TEST_F(MiaFixture, SingleBodyAttackEndToEnd) {
+    defense::ProtectedModel victim = defense::train_unprotected(env());
+    ModelInversionAttack attack(arch, mia_options);
+    const split::DeployedPipeline view = victim.deployed();
+    const AttackOutcome outcome =
+        attack.attack_single_body(*view.bodies[0], aux_set, test_set, view.transmit);
+    EXPECT_GE(outcome.ssim, -1.0f);
+    EXPECT_LE(outcome.ssim, 1.0f);
+    EXPECT_GT(outcome.psnr, 0.0f);
+    EXPECT_LT(outcome.psnr, 100.0f);
+}
+
+TEST_F(MiaFixture, AdaptiveAttackOnMultiBodyVictim) {
+    defense::ProtectedModel victim = defense::train_dropout_ensemble(env(), 2, 0.1f);
+    ModelInversionAttack attack(arch, mia_options);
+    const split::DeployedPipeline view = victim.deployed();
+    const AttackOutcome outcome =
+        attack.attack_adaptive(view.bodies, aux_set, test_set, view.transmit);
+    EXPECT_GE(outcome.ssim, -1.0f);
+    EXPECT_LE(outcome.ssim, 1.0f);
+    EXPECT_GT(outcome.psnr, 0.0f);
+}
+
+TEST_F(MiaFixture, BestOfNPicksMaxima) {
+    defense::ProtectedModel victim = defense::train_dropout_ensemble(env(), 2, 0.1f);
+    ModelInversionAttack attack(arch, mia_options);
+    const BestOfN result = attack.attack_best_of_n(victim.deployed(), aux_set, test_set);
+    ASSERT_EQ(result.per_body.size(), 2u);
+    for (const AttackOutcome& outcome : result.per_body) {
+        EXPECT_LE(outcome.ssim, result.best_ssim.ssim);
+        EXPECT_LE(outcome.psnr, result.best_psnr.psnr);
+    }
+    EXPECT_GE(result.best_ssim.body_index, 0);
+    EXPECT_LT(result.best_ssim.body_index, 2);
+}
+
+TEST_F(MiaFixture, ReconstructionEvaluationRespectsSampleCap) {
+    defense::ProtectedModel victim = defense::train_unprotected(env());
+    Rng rng(7);
+    auto decoder = build_decoder(arch, rng);
+    ModelInversionAttack attack(arch, mia_options);
+    const split::DeployedPipeline view = victim.deployed();
+    // Untrained decoder: reconstruction should be poor but well-defined.
+    const AttackOutcome outcome =
+        attack.evaluate_reconstruction(*decoder, test_set, view.transmit);
+    EXPECT_LT(outcome.ssim, 0.5f);
+    EXPECT_GT(outcome.psnr, 0.0f);
+}
+
+}  // namespace
+}  // namespace ens::attack

@@ -1,0 +1,189 @@
+#include "attack/brute_force.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/ensembler.hpp"
+#include "data/synth_cifar10.hpp"
+
+namespace ens::attack {
+namespace {
+
+// ----------------------------------------------------- search-space algebra
+
+TEST(SubsetSearchSpace, MatchesPowerSetMinusEmpty) {
+    EXPECT_EQ(subset_search_space(1), 1u);
+    EXPECT_EQ(subset_search_space(4), 15u);
+    EXPECT_EQ(subset_search_space(10), 1023u);
+    EXPECT_EQ(subset_search_space(20), (1u << 20) - 1u);
+}
+
+TEST(SubsetSearchSpace, SizeBoundsSelectBinomialSlices) {
+    // n = 5: C(5,2) = 10, C(5,2)+C(5,3) = 20.
+    EXPECT_EQ(subset_search_space(5, 2, 2), 10u);
+    EXPECT_EQ(subset_search_space(5, 2, 3), 20u);
+    EXPECT_EQ(subset_search_space(5, 5, 5), 1u);
+    EXPECT_EQ(subset_search_space(5, 6, 9), 0u);
+}
+
+TEST(SubsetSearchSpace, DoublesPerExtraBody) {
+    // The §III-D exponential: each extra body doubles the space (+1).
+    for (std::size_t n = 2; n < 16; ++n) {
+        EXPECT_EQ(subset_search_space(n + 1), 2 * subset_search_space(n) + 1);
+    }
+}
+
+// -------------------------------------------------------- end-to-end search
+
+/// Tiny trained Ensembler victim shared by the search tests (stage costs
+/// seconds at width 4 / 16 px / N = 3).
+class BruteForceFixture : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        arch_ = new nn::ResNetConfig();
+        arch_->base_width = 4;
+        arch_->image_size = 16;
+        arch_->num_classes = 10;
+
+        train_ = new data::SynthCifar10(96, 101, 16);
+        aux_ = new data::SynthCifar10(96, 102, 16);
+        victim_inputs_ = new data::SynthCifar10(32, 103, 16);
+
+        core::EnsemblerConfig config;
+        config.num_networks = 3;
+        config.num_selected = 2;
+        config.stage1_options.epochs = 1;
+        config.stage3_options.epochs = 1;
+        config.seed = 11;
+        ensembler_ = new core::Ensembler(*arch_, config);
+        ensembler_->fit(*train_);
+    }
+
+    static void TearDownTestSuite() {
+        delete ensembler_;
+        delete victim_inputs_;
+        delete aux_;
+        delete train_;
+        delete arch_;
+        ensembler_ = nullptr;
+    }
+
+    static MiaOptions fast_mia() {
+        MiaOptions options;
+        options.shadow_options.epochs = 1;
+        options.decoder_options.epochs = 1;
+        options.eval_samples = 16;
+        options.seed = 5;
+        return options;
+    }
+
+    static nn::ResNetConfig* arch_;
+    static data::SynthCifar10* train_;
+    static data::SynthCifar10* aux_;
+    static data::SynthCifar10* victim_inputs_;
+    static core::Ensembler* ensembler_;
+};
+
+nn::ResNetConfig* BruteForceFixture::arch_ = nullptr;
+data::SynthCifar10* BruteForceFixture::train_ = nullptr;
+data::SynthCifar10* BruteForceFixture::aux_ = nullptr;
+data::SynthCifar10* BruteForceFixture::victim_inputs_ = nullptr;
+core::Ensembler* BruteForceFixture::ensembler_ = nullptr;
+
+TEST_F(BruteForceFixture, EnumeratesEveryNonEmptySubsetOnce) {
+    ModelInversionAttack mia(*arch_, fast_mia());
+    const split::DeployedPipeline victim = ensembler_->deployed();
+    const BruteForceReport report = brute_force_attack(
+        mia, victim, *aux_, *victim_inputs_, ensembler_->selector().indices());
+
+    EXPECT_EQ(report.search_space_size, 7u);  // 2^3 - 1
+    ASSERT_EQ(report.results.size(), 7u);
+    std::set<std::vector<std::size_t>> seen;
+    for (const auto& result : report.results) {
+        EXPECT_TRUE(seen.insert(result.subset).second) << "duplicate subset";
+    }
+    // Size-major order: three singletons first, the full set last.
+    EXPECT_EQ(report.results.front().subset.size(), 1u);
+    EXPECT_EQ(report.results.back().subset.size(), 3u);
+}
+
+TEST_F(BruteForceFixture, MarksExactlyTheTrueSelection) {
+    ModelInversionAttack mia(*arch_, fast_mia());
+    const split::DeployedPipeline victim = ensembler_->deployed();
+    const BruteForceReport report = brute_force_attack(
+        mia, victim, *aux_, *victim_inputs_, ensembler_->selector().indices());
+
+    std::size_t true_count = 0;
+    for (const auto& result : report.results) {
+        if (result.is_true_selection) {
+            ++true_count;
+            std::vector<std::size_t> sorted = ensembler_->selector().indices();
+            std::sort(sorted.begin(), sorted.end());
+            EXPECT_EQ(result.subset, sorted);
+        }
+    }
+    EXPECT_EQ(true_count, 1u);
+}
+
+TEST_F(BruteForceFixture, BudgetCapStopsEarlyButKeepsSearchSpace) {
+    ModelInversionAttack mia(*arch_, fast_mia());
+    const split::DeployedPipeline victim = ensembler_->deployed();
+    BruteForceOptions options;
+    options.max_subsets = 4;
+    const BruteForceReport report = brute_force_attack(
+        mia, victim, *aux_, *victim_inputs_, ensembler_->selector().indices(), options);
+    EXPECT_EQ(report.results.size(), 4u);
+    EXPECT_EQ(report.search_space_size, 7u);  // full cost still reported
+}
+
+TEST_F(BruteForceFixture, SizeBoundsRestrictCandidates) {
+    ModelInversionAttack mia(*arch_, fast_mia());
+    const split::DeployedPipeline victim = ensembler_->deployed();
+    BruteForceOptions options;
+    options.min_subset_size = 2;
+    options.max_subset_size = 2;
+    const BruteForceReport report = brute_force_attack(
+        mia, victim, *aux_, *victim_inputs_, ensembler_->selector().indices(), options);
+    EXPECT_EQ(report.search_space_size, 3u);  // C(3,2)
+    ASSERT_EQ(report.results.size(), 3u);
+    for (const auto& result : report.results) {
+        EXPECT_EQ(result.subset.size(), 2u);
+    }
+}
+
+TEST_F(BruteForceFixture, ReportsConsistentBestIndices) {
+    ModelInversionAttack mia(*arch_, fast_mia());
+    const split::DeployedPipeline victim = ensembler_->deployed();
+    const BruteForceReport report = brute_force_attack(
+        mia, victim, *aux_, *victim_inputs_, ensembler_->selector().indices());
+
+    ASSERT_LT(report.oracle_best_by_ssim, report.results.size());
+    ASSERT_LT(report.attacker_best_by_aux, report.results.size());
+    ASSERT_LT(report.attacker_best_by_mse, report.results.size());
+    for (const auto& result : report.results) {
+        EXPECT_LE(result.outcome.ssim, report.oracle_best().outcome.ssim);
+        EXPECT_LE(result.outcome.shadow_aux_accuracy,
+                  report.attacker_pick().outcome.shadow_aux_accuracy);
+    }
+    EXPECT_EQ(report.aux_pick_matches_oracle,
+              report.attacker_best_by_aux == report.oracle_best_by_ssim);
+}
+
+TEST(BruteForce, RejectsZeroMinSubsetSize) {
+    nn::ResNetConfig arch;
+    arch.base_width = 4;
+    arch.image_size = 16;
+    ModelInversionAttack mia(arch, MiaOptions{});
+    split::DeployedPipeline victim;
+    nn::Sequential dummy;
+    victim.bodies = {&dummy};
+    const data::SynthCifar10 aux(8, 1, 16);
+    BruteForceOptions options;
+    options.min_subset_size = 0;
+    EXPECT_THROW(brute_force_attack(mia, victim, aux, aux, {}, options),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ens::attack

@@ -1,0 +1,70 @@
+#include "common/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ens {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> argv) {
+    std::vector<const char*> v(argv);
+    return ArgParser(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Args, SubcommandAndFlags) {
+    const ArgParser args = parse({"prog", "train", "--n", "6", "--sigma", "0.25"});
+    EXPECT_EQ(args.command(), "train");
+    EXPECT_EQ(args.get_int("n", 0), 6);
+    EXPECT_DOUBLE_EQ(args.get_double("sigma", 0.0), 0.25);
+}
+
+TEST(Args, MissingFlagsFallBack) {
+    const ArgParser args = parse({"prog", "train"});
+    EXPECT_EQ(args.get_int("n", 10), 10);
+    EXPECT_EQ(args.get_string("save", "none"), "none");
+    EXPECT_FALSE(args.has("adaptive"));
+}
+
+TEST(Args, BooleanSwitches) {
+    const ArgParser args = parse({"prog", "attack", "--adaptive", "--n", "4"});
+    EXPECT_TRUE(args.has("adaptive"));
+    EXPECT_EQ(args.get_int("n", 0), 4);
+}
+
+TEST(Args, TrailingSwitch) {
+    const ArgParser args = parse({"prog", "attack", "--bruteforce"});
+    EXPECT_TRUE(args.has("bruteforce"));
+}
+
+TEST(Args, NoSubcommand) {
+    const ArgParser args = parse({"prog", "--n", "3"});
+    EXPECT_TRUE(args.command().empty());
+    EXPECT_EQ(args.get_int("n", 0), 3);
+}
+
+TEST(Args, RejectsMalformedNumbers) {
+    const ArgParser args = parse({"prog", "train", "--epochs", "banana"});
+    EXPECT_THROW(args.get_int("epochs", 1), std::invalid_argument);
+}
+
+TEST(Args, RejectsBareDashes) {
+    EXPECT_THROW(parse({"prog", "train", "-n", "3"}), std::invalid_argument);
+}
+
+TEST(Args, UnconsumedTracksTypos) {
+    const ArgParser args = parse({"prog", "train", "--n", "6", "--epochz", "3"});
+    (void)args.get_int("n", 0);
+    const auto unknown = args.unconsumed();
+    ASSERT_EQ(unknown.size(), 1u);
+    EXPECT_EQ(unknown[0], "epochz");
+}
+
+TEST(Args, NegativeNumbersAreValuesNotFlags) {
+    // "--offset -3" cannot be expressed (leading '-' reads as a flag); the
+    // parser treats the flag as a switch instead — documented behaviour.
+    const ArgParser args = parse({"prog", "cmd", "--offset", "--n", "5"});
+    EXPECT_TRUE(args.has("offset"));
+    EXPECT_EQ(args.get_int("n", 0), 5);
+}
+
+}  // namespace
+}  // namespace ens

@@ -1,0 +1,52 @@
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "common/env.hpp"
+#include "common/logging.hpp"
+
+namespace ens {
+namespace {
+
+TEST(Env, FallbackWhenUnset) {
+    ::unsetenv("ENS_TEST_VAR");
+    EXPECT_EQ(env_string("ENS_TEST_VAR", "dflt"), "dflt");
+    EXPECT_EQ(env_size("ENS_TEST_VAR", 9), 9u);
+    EXPECT_DOUBLE_EQ(env_double("ENS_TEST_VAR", 1.5), 1.5);
+}
+
+TEST(Env, ParsesValues) {
+    ::setenv("ENS_TEST_VAR", "42", 1);
+    EXPECT_EQ(env_string("ENS_TEST_VAR", "d"), "42");
+    EXPECT_EQ(env_size("ENS_TEST_VAR", 0), 42u);
+    EXPECT_DOUBLE_EQ(env_double("ENS_TEST_VAR", 0.0), 42.0);
+    ::unsetenv("ENS_TEST_VAR");
+}
+
+TEST(Env, MalformedFallsBack) {
+    ::setenv("ENS_TEST_VAR", "12abc", 1);
+    EXPECT_EQ(env_size("ENS_TEST_VAR", 5), 5u);
+    EXPECT_DOUBLE_EQ(env_double("ENS_TEST_VAR", 2.0), 2.0);
+    ::unsetenv("ENS_TEST_VAR");
+}
+
+TEST(Logging, ParseLevels) {
+    EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+    EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+    EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+    EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+    EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+    EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+    EXPECT_EQ(parse_log_level("bogus"), LogLevel::kInfo);
+}
+
+TEST(Logging, SetAndGetLevel) {
+    const LogLevel before = log_level();
+    set_log_level(LogLevel::kError);
+    EXPECT_EQ(log_level(), LogLevel::kError);
+    ENS_LOG_INFO << "this must be suppressed";
+    set_log_level(before);
+}
+
+}  // namespace
+}  // namespace ens

@@ -1,0 +1,183 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ens {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        same += a.next_u64() == b.next_u64() ? 1 : 0;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformRejectsBadBounds) {
+    Rng rng(7);
+    EXPECT_THROW(rng.uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+    Rng rng(11);
+    const int n = 50000;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sum_sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, NormalScaling) {
+    Rng rng(13);
+    const int n = 20000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        sum += rng.normal(5.0, 0.5);
+    }
+    EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+    Rng rng(17);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.next_below(7);
+        EXPECT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextBelowRejectsZero) {
+    Rng rng(17);
+    EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(Rng, RandintInclusiveBounds) {
+    Rng rng(19);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t v = rng.randint(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo = saw_lo || v == -2;
+        saw_hi = saw_hi || v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliExtremes) {
+    Rng rng(23);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, BernoulliRate) {
+    Rng rng(29);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+    Rng rng(31);
+    std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    std::vector<int> shuffled = v;
+    rng.shuffle(shuffled);
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+    const Rng parent(101);
+    Rng child_a = parent.fork(3);
+    Rng child_a2 = parent.fork(3);
+    Rng child_b = parent.fork(4);
+    EXPECT_EQ(child_a.next_u64(), child_a2.next_u64());
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        same += child_a.next_u64() == child_b.next_u64() ? 1 : 0;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkNamedDistinguishesLabels) {
+    const Rng parent(101);
+    Rng a = parent.fork_named("stage1");
+    Rng b = parent.fork_named("stage2");
+    Rng a2 = parent.fork_named("stage1");
+    EXPECT_EQ(a.next_u64(), a2.next_u64());
+    EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, RandomPermutationCoversRange) {
+    Rng rng(37);
+    const auto perm = random_permutation(20, rng);
+    std::set<std::size_t> seen(perm.begin(), perm.end());
+    EXPECT_EQ(seen.size(), 20u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 19u);
+}
+
+class RngRangeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngRangeSweep, NextBelowStaysInRange) {
+    Rng rng(GetParam() * 7919 + 1);
+    const std::uint64_t n = GetParam();
+    for (int i = 0; i < 500; ++i) {
+        EXPECT_LT(rng.next_below(n), n);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, RngRangeSweep,
+                         ::testing::Values(1, 2, 3, 10, 100, 1000, 1u << 20));
+
+}  // namespace
+}  // namespace ens

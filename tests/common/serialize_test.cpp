@@ -1,0 +1,84 @@
+#include "common/serialize.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace ens {
+namespace {
+
+TEST(Serialize, RoundTripScalars) {
+    std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+    BinaryWriter writer(stream);
+    writer.write_u8(0xAB);
+    writer.write_u32(0xDEADBEEF);
+    writer.write_u64(0x0123456789ABCDEFULL);
+    writer.write_i64(-42);
+    writer.write_f32(3.25f);
+    writer.write_f64(-2.5);
+
+    BinaryReader reader(stream);
+    EXPECT_EQ(reader.read_u8(), 0xAB);
+    EXPECT_EQ(reader.read_u32(), 0xDEADBEEFu);
+    EXPECT_EQ(reader.read_u64(), 0x0123456789ABCDEFULL);
+    EXPECT_EQ(reader.read_i64(), -42);
+    EXPECT_FLOAT_EQ(reader.read_f32(), 3.25f);
+    EXPECT_DOUBLE_EQ(reader.read_f64(), -2.5);
+}
+
+TEST(Serialize, RoundTripStrings) {
+    std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+    BinaryWriter writer(stream);
+    writer.write_string("");
+    writer.write_string("hello world");
+    writer.write_string(std::string("\0\x01\x02", 3));
+
+    BinaryReader reader(stream);
+    EXPECT_EQ(reader.read_string(), "");
+    EXPECT_EQ(reader.read_string(), "hello world");
+    EXPECT_EQ(reader.read_string(), std::string("\0\x01\x02", 3));
+}
+
+TEST(Serialize, RoundTripArrays) {
+    std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+    BinaryWriter writer(stream);
+    const std::vector<float> values{1.0f, -2.0f, 0.5f, 1e-8f};
+    writer.write_f32_array(values.data(), values.size());
+    writer.write_i64_vector({3, -1, 1 << 20});
+
+    BinaryReader reader(stream);
+    std::vector<float> restored(values.size());
+    reader.read_f32_array(restored.data(), restored.size());
+    EXPECT_EQ(restored, values);
+    EXPECT_EQ(reader.read_i64_vector(), (std::vector<std::int64_t>{3, -1, 1 << 20}));
+}
+
+TEST(Serialize, BytesWrittenAccounting) {
+    std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+    BinaryWriter writer(stream);
+    writer.write_u32(1);
+    writer.write_f64(2.0);
+    EXPECT_EQ(writer.bytes_written(), 12u);
+}
+
+TEST(Serialize, TruncatedReadThrows) {
+    std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+    BinaryWriter writer(stream);
+    writer.write_u32(7);
+    BinaryReader reader(stream);
+    EXPECT_EQ(reader.read_u32(), 7u);
+    EXPECT_THROW(reader.read_u64(), std::runtime_error);
+}
+
+TEST(Serialize, ArrayLengthMismatchThrows) {
+    std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+    BinaryWriter writer(stream);
+    const std::vector<float> values{1.0f, 2.0f};
+    writer.write_f32_array(values.data(), values.size());
+    BinaryReader reader(stream);
+    std::vector<float> restored(3);
+    EXPECT_THROW(reader.read_f32_array(restored.data(), 3), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ens

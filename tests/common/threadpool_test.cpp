@@ -1,0 +1,94 @@
+#include "common/threadpool.hpp"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ens {
+namespace {
+
+TEST(ThreadPool, RequiresAtLeastOneWorker) {
+    EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(0, hits.size(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            hits[i].fetch_add(1);
+        }
+    });
+    for (const auto& h : hits) {
+        EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+    ThreadPool pool(2);
+    bool called = false;
+    pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleElementRange) {
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    pool.parallel_for(7, 8, [&](std::size_t lo, std::size_t hi) {
+        EXPECT_EQ(lo, 7u);
+        EXPECT_EQ(hi, 8u);
+        count.fetch_add(1);
+    });
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallel_for(0, 100,
+                                   [&](std::size_t lo, std::size_t) {
+                                       if (lo == 0) {
+                                           throw std::runtime_error("boom");
+                                       }
+                                   }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, SumMatchesSerial) {
+    ThreadPool pool(2);
+    const std::size_t n = 100000;
+    std::atomic<long long> total{0};
+    pool.parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+        long long local = 0;
+        for (std::size_t i = lo; i < hi; ++i) {
+            local += static_cast<long long>(i);
+        }
+        total.fetch_add(local);
+    });
+    EXPECT_EQ(total.load(), static_cast<long long>(n) * (n - 1) / 2);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+    ThreadPool pool(2);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<int> count{0};
+        pool.parallel_for(0, 50, [&](std::size_t lo, std::size_t hi) {
+            count.fetch_add(static_cast<int>(hi - lo));
+        });
+        EXPECT_EQ(count.load(), 50);
+    }
+}
+
+TEST(ThreadPool, GlobalPoolWorks) {
+    std::atomic<int> count{0};
+    parallel_for(0, 10, [&](std::size_t lo, std::size_t hi) {
+        count.fetch_add(static_cast<int>(hi - lo));
+    });
+    EXPECT_EQ(count.load(), 10);
+    EXPECT_GE(global_pool().size(), 1u);
+}
+
+}  // namespace
+}  // namespace ens

@@ -1,0 +1,159 @@
+#include "core/ensembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synth_cifar10.hpp"
+#include "metrics/similarity.hpp"
+#include "nn/linear.hpp"
+#include "tensor/ops.hpp"
+
+namespace ens::core {
+namespace {
+
+nn::ResNetConfig tiny_arch() {
+    nn::ResNetConfig arch;
+    arch.base_width = 4;
+    arch.image_size = 16;
+    arch.num_classes = 10;
+    return arch;
+}
+
+EnsemblerConfig tiny_config(std::size_t n = 3, std::size_t p = 2) {
+    EnsemblerConfig config;
+    config.num_networks = n;
+    config.num_selected = p;
+    config.noise_stddev = 0.1f;
+    config.lambda = 0.5f;
+    config.stage1_options.epochs = 1;
+    config.stage1_options.batch_size = 32;
+    config.stage3_options.epochs = 1;
+    config.stage3_options.batch_size = 32;
+    config.seed = 77;
+    return config;
+}
+
+TEST(Ensembler, ValidatesConfig) {
+    EnsemblerConfig bad = tiny_config();
+    bad.num_networks = 1;
+    EXPECT_THROW(Ensembler(tiny_arch(), bad), std::invalid_argument);
+    bad = tiny_config();
+    bad.num_selected = 5;  // > N = 3
+    EXPECT_THROW(Ensembler(tiny_arch(), bad), std::invalid_argument);
+}
+
+TEST(Ensembler, StageGatingEnforced) {
+    Ensembler ensembler(tiny_arch(), tiny_config());
+    EXPECT_THROW(ensembler.run_stage2(), std::runtime_error);
+    EXPECT_THROW(ensembler.selector(), std::runtime_error);
+    EXPECT_THROW(ensembler.client_head(), std::runtime_error);
+    EXPECT_THROW(ensembler.predict(Tensor(Shape{1, 3, 16, 16})), std::runtime_error);
+}
+
+struct TrainedEnsemblerFixture : public ::testing::Test {
+    data::SynthCifar10 train_set{160, 501, 16};
+    data::SynthCifar10 test_set{64, 502, 16};
+    std::unique_ptr<Ensembler> ensembler;
+
+    void SetUp() override {
+        ensembler = std::make_unique<Ensembler>(tiny_arch(), tiny_config());
+        ensembler->run_stage1(train_set);
+    }
+};
+
+TEST_F(TrainedEnsemblerFixture, Stage1ProducesDistinctNoisesAndHeads) {
+    // Each member must carry a different fixed noise mask...
+    const float mask_cs = metrics::cosine_similarity(ensembler->member_noise(0).mask(),
+                                                     ensembler->member_noise(1).mask());
+    EXPECT_LT(std::abs(mask_cs), 0.2f);  // quasi-orthogonal random masks
+
+    // ...and distinct head weights (§III-C: noises force distinct heads).
+    Rng rng(1);
+    const Tensor x = Tensor::uniform(Shape{8, 3, 16, 16}, rng, 0.0f, 1.0f);
+    ensembler->member_head(0).set_training(false);
+    ensembler->member_head(1).set_training(false);
+    const Tensor z0 = ensembler->member_head(0).forward(x);
+    const Tensor z1 = ensembler->member_head(1).forward(x);
+    EXPECT_LT(metrics::cosine_similarity(z0, z1), 0.99f);
+}
+
+TEST_F(TrainedEnsemblerFixture, Stage2SelectionIsSeededAndSized) {
+    ensembler->run_stage2();
+    const Selector first = ensembler->selector();
+    EXPECT_EQ(first.n(), 3u);
+    EXPECT_EQ(first.p(), 2u);
+    ensembler->run_stage2();
+    EXPECT_EQ(ensembler->selector().indices(), first.indices());
+}
+
+TEST_F(TrainedEnsemblerFixture, ExplicitSelectionRespected) {
+    ensembler->run_stage2({0, 2});
+    EXPECT_EQ(ensembler->selector().indices(), (std::vector<std::size_t>{0, 2}));
+}
+
+TEST_F(TrainedEnsemblerFixture, Stage3BuildsDeployablePipeline) {
+    ensembler->run_stage2();
+    const Stage3Diagnostics diagnostics = ensembler->run_stage3(train_set);
+    EXPECT_GT(diagnostics.final_ce, 0.0f);
+    EXPECT_LE(diagnostics.final_max_cosine, 1.0f);
+
+    Rng rng(2);
+    const Tensor x = Tensor::uniform(Shape{4, 3, 16, 16}, rng, 0.0f, 1.0f);
+    const Tensor logits = ensembler->predict(x);
+    EXPECT_EQ(logits.shape(), Shape({4, 10}));
+
+    // Tail consumes the P * 8w concatenation.
+    const auto* tail_linear =
+        dynamic_cast<const nn::Linear*>(&ensembler->client_tail().layer(0));
+    ASSERT_NE(tail_linear, nullptr);
+    EXPECT_EQ(tail_linear->in_features(),
+              2 * nn::resnet18_feature_width(ensembler->architecture()));
+
+    const float accuracy = ensembler->evaluate_accuracy(test_set, 32);
+    EXPECT_GT(accuracy, 0.12f);  // above chance even at this tiny scale
+}
+
+TEST_F(TrainedEnsemblerFixture, DeployedViewExposesAllNBodies) {
+    ensembler->run_stage2();
+    ensembler->run_stage3(train_set);
+    split::DeployedPipeline view = ensembler->deployed();
+    EXPECT_EQ(view.bodies.size(), 3u);
+
+    Rng rng(3);
+    const Tensor x = Tensor::uniform(Shape{2, 3, 16, 16}, rng, 0.0f, 1.0f);
+    const Tensor z = view.transmit(x);
+    EXPECT_EQ(z.dim(1), nn::resnet18_split_channels(ensembler->architecture()));
+
+    // transmit must include the fixed stage-3 noise: subtracting the raw
+    // head output leaves exactly the mask.
+    ensembler->client_head().set_training(false);
+    const Tensor raw = ensembler->client_head().forward(x);
+    const Tensor difference = sub(z, raw);
+    for (std::int64_t n = 0; n < 2; ++n) {
+        for (std::int64_t i = 0; i < ensembler->client_noise().mask().numel(); ++i) {
+            EXPECT_NEAR(difference.at(n * ensembler->client_noise().mask().numel() + i),
+                        ensembler->client_noise().mask().at(i), 1e-5f);
+        }
+    }
+}
+
+TEST_F(TrainedEnsemblerFixture, Stage3HeadIsNotAStage1Head) {
+    ensembler->run_stage2();
+    ensembler->run_stage3(train_set);
+    Rng rng(4);
+    const Tensor x = Tensor::uniform(Shape{8, 3, 16, 16}, rng, 0.0f, 1.0f);
+    // The Eq. 3 regularizer pushes max cosine similarity well below 1.
+    EXPECT_LT(ensembler->max_head_cosine(x), 0.95f);
+}
+
+TEST(Ensembler, FitRunsAllStages) {
+    const data::SynthCifar10 train_set{96, 503, 16};
+    EnsemblerConfig config = tiny_config(2, 1);
+    Ensembler ensembler(tiny_arch(), config);
+    ensembler.fit(train_set);
+    Rng rng(5);
+    const Tensor logits = ensembler.predict(Tensor::uniform(Shape{1, 3, 16, 16}, rng, 0, 1));
+    EXPECT_EQ(logits.shape(), Shape({1, 10}));
+}
+
+}  // namespace
+}  // namespace ens::core

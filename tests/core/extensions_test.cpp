@@ -1,0 +1,159 @@
+#include "core/extensions.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synth_cifar10.hpp"
+#include "nn/dropout.hpp"
+
+namespace ens::core {
+namespace {
+
+/// One fit tiny Ensembler shared across the suite (fitting dominates cost).
+class ExtensionsFixture : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        train_ = new data::SynthCifar10(96, 301, 16);
+        test_ = new data::SynthCifar10(48, 302, 16);
+
+        arch_ = new nn::ResNetConfig();
+        arch_->base_width = 4;
+        arch_->image_size = 16;
+        arch_->num_classes = 10;
+
+        EnsemblerConfig config;
+        config.num_networks = 3;
+        config.num_selected = 2;
+        config.stage1_options.epochs = 2;
+        config.stage3_options.epochs = 2;
+        config.seed = 77;
+        reference_ = new Ensembler(*arch_, config);
+        reference_->fit(*train_);
+        reference_accuracy_ = reference_->evaluate_accuracy(*test_);
+    }
+
+    static void TearDownTestSuite() {
+        delete reference_;
+        delete arch_;
+        delete test_;
+        delete train_;
+    }
+
+    /// Fresh identically-trained Ensembler (same seed => same weights) so
+    /// each test mutates its own instance.
+    static Ensembler make_fit_copy() {
+        EnsemblerConfig config;
+        config.num_networks = 3;
+        config.num_selected = 2;
+        config.stage1_options.epochs = 2;
+        config.stage3_options.epochs = 2;
+        config.seed = 77;
+        Ensembler ensembler(*arch_, config);
+        ensembler.fit(*train_);
+        return ensembler;
+    }
+
+    static nn::ResNetConfig* arch_;
+    static data::SynthCifar10* train_;
+    static data::SynthCifar10* test_;
+    static Ensembler* reference_;
+    static float reference_accuracy_;
+};
+
+nn::ResNetConfig* ExtensionsFixture::arch_ = nullptr;
+data::SynthCifar10* ExtensionsFixture::train_ = nullptr;
+data::SynthCifar10* ExtensionsFixture::test_ = nullptr;
+Ensembler* ExtensionsFixture::reference_ = nullptr;
+float ExtensionsFixture::reference_accuracy_ = 0.0f;
+
+// ------------------------------------------------------- shredder-in-stage3
+
+TEST_F(ExtensionsFixture, ShredderNoiseGrowsMaskPower) {
+    Ensembler ensembler = make_fit_copy();
+    ShredderStage3Options options;
+    options.epochs = 2;
+    options.noise_reward = 0.1f;
+    const ShredderStage3Result result = attach_shredder_noise(ensembler, *train_, options);
+    EXPECT_GT(result.final_mask_power, result.initial_mask_power);
+}
+
+TEST_F(ExtensionsFixture, ShredderNoiseKeepsAccuracyUsable) {
+    Ensembler ensembler = make_fit_copy();
+    ShredderStage3Options options;
+    options.epochs = 2;
+    const ShredderStage3Result result = attach_shredder_noise(ensembler, *train_, options);
+    (void)result;
+    const float accuracy = ensembler.evaluate_accuracy(*test_);
+    // The CE term anchors the mask: the combined defense must not collapse
+    // the classifier (paper: Shredder's additive variant costs ~3%).
+    EXPECT_GT(accuracy, reference_accuracy_ - 0.15f);
+}
+
+TEST_F(ExtensionsFixture, ShredderNoiseChangesTheWire) {
+    Ensembler ensembler = make_fit_copy();
+    const Tensor probe = test_->get(0).image.reshaped(Shape{1, 3, 16, 16});
+    const Tensor wire_before = ensembler.deployed().transmit(probe);
+    attach_shredder_noise(ensembler, *train_, ShredderStage3Options{.epochs = 1});
+    const Tensor wire_after = ensembler.deployed().transmit(probe);
+    ASSERT_EQ(wire_before.shape(), wire_after.shape());
+    float max_diff = 0.0f;
+    const auto a = wire_before.to_vector();
+    const auto b = wire_after.to_vector();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        max_diff = std::max(max_diff, std::abs(a[i] - b[i]));
+    }
+    EXPECT_GT(max_diff, 1e-4f);
+}
+
+TEST_F(ExtensionsFixture, ReplaceClientNoiseValidatesShape) {
+    Ensembler ensembler = make_fit_copy();
+    Rng rng(1);
+    auto wrong_shape = std::make_unique<nn::FixedNoise>(Shape{1, 2, 2}, 0.1f, rng);
+    EXPECT_THROW(ensembler.replace_client_noise(std::move(wrong_shape)),
+                 std::invalid_argument);
+    EXPECT_THROW(ensembler.replace_client_noise(nullptr), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- tail dropout
+
+TEST_F(ExtensionsFixture, TailDropoutInsertsBeforeLinear) {
+    Ensembler ensembler = make_fit_copy();
+    const std::size_t tail_size = ensembler.client_tail().size();
+    const std::size_t position = attach_tail_dropout(ensembler, 0.3f);
+    EXPECT_EQ(position, tail_size - 1);
+    EXPECT_EQ(ensembler.client_tail().size(), tail_size + 1);
+    EXPECT_TRUE(ensembler.client_tail().layer(position).name().starts_with("Dropout"));
+}
+
+TEST_F(ExtensionsFixture, TailDropoutIsActiveOnTheDeployedPipeline) {
+    Ensembler ensembler = make_fit_copy();
+    attach_tail_dropout(ensembler, 0.5f);
+    const Tensor probe = test_->get(0).image.reshaped(Shape{1, 3, 16, 16});
+    // Two eval-mode predictions differ because the DR dropout stays live.
+    const Tensor first = ensembler.predict(probe);
+    const Tensor second = ensembler.predict(probe);
+    const auto a = first.to_vector();
+    const auto b = second.to_vector();
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        any_diff = any_diff || std::abs(a[i] - b[i]) > 1e-6f;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST_F(ExtensionsFixture, TailDropoutRejectsDegenerateProbability) {
+    Ensembler ensembler = make_fit_copy();
+    EXPECT_THROW(attach_tail_dropout(ensembler, 0.0f), std::invalid_argument);
+    EXPECT_THROW(attach_tail_dropout(ensembler, 1.0f), std::invalid_argument);
+}
+
+TEST_F(ExtensionsFixture, CombinedDefensesStackOnOnePipeline) {
+    // §IV-C's full composition: ensemble + Shredder mask + FC dropout.
+    Ensembler ensembler = make_fit_copy();
+    attach_shredder_noise(ensembler, *train_, ShredderStage3Options{.epochs = 1});
+    attach_tail_dropout(ensembler, 0.2f);
+    const float accuracy = ensembler.evaluate_accuracy(*test_);
+    EXPECT_GT(accuracy, 0.05f);  // still a functioning classifier
+}
+
+}  // namespace
+}  // namespace ens::core

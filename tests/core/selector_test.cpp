@@ -1,0 +1,111 @@
+#include "core/selector.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+
+namespace ens::core {
+namespace {
+
+TEST(Selector, ValidatesConstruction) {
+    EXPECT_NO_THROW(Selector(5, {0, 2, 4}));
+    EXPECT_THROW(Selector(5, {}), std::invalid_argument);
+    EXPECT_THROW(Selector(5, {0, 5}), std::invalid_argument);
+    EXPECT_THROW(Selector(5, {1, 1}), std::invalid_argument);
+    EXPECT_THROW(Selector(0, {0}), std::invalid_argument);
+}
+
+TEST(Selector, RandomDrawsDistinctIndices) {
+    Rng rng(1);
+    for (int round = 0; round < 20; ++round) {
+        const Selector s = Selector::random(10, 4, rng);
+        EXPECT_EQ(s.n(), 10u);
+        EXPECT_EQ(s.p(), 4u);
+        const std::set<std::size_t> unique(s.indices().begin(), s.indices().end());
+        EXPECT_EQ(unique.size(), 4u);
+        EXPECT_LT(*unique.rbegin(), 10u);
+    }
+}
+
+TEST(Selector, RandomIsSeedDeterministic) {
+    Rng a(7);
+    Rng b(7);
+    EXPECT_EQ(Selector::random(10, 3, a).indices(), Selector::random(10, 3, b).indices());
+}
+
+TEST(Selector, RandomCoversAllSubsetsEventually) {
+    Rng rng(2);
+    std::set<std::vector<std::size_t>> seen;
+    for (int i = 0; i < 400; ++i) {
+        auto idx = Selector::random(4, 2, rng).indices();
+        std::sort(idx.begin(), idx.end());
+        seen.insert(idx);
+    }
+    EXPECT_EQ(seen.size(), 6u);  // C(4,2)
+}
+
+TEST(Selector, Contains) {
+    const Selector s(6, {1, 3});
+    EXPECT_TRUE(s.contains(1));
+    EXPECT_TRUE(s.contains(3));
+    EXPECT_FALSE(s.contains(0));
+    EXPECT_FALSE(s.contains(5));
+}
+
+TEST(Selector, ApplyPicksScalesAndConcats) {
+    const Selector s(3, {2, 0});
+    const Tensor f0 = Tensor::from_vector(Shape{1, 2}, {2, 4});
+    const Tensor f1 = Tensor::from_vector(Shape{1, 2}, {100, 100});
+    const Tensor f2 = Tensor::from_vector(Shape{1, 2}, {6, 8});
+    const Tensor combined = s.apply({f0, f1, f2});
+    EXPECT_EQ(combined.shape(), Shape({1, 4}));
+    // Order follows the selector's index list (2 then 0), scaled by 1/2.
+    EXPECT_EQ(combined.to_vector(), (std::vector<float>{3, 4, 1, 2}));
+}
+
+TEST(Selector, ApplyRequiresAllN) {
+    const Selector s(3, {0});
+    EXPECT_THROW(s.apply({Tensor(Shape{1, 2})}), std::invalid_argument);
+}
+
+TEST(Selector, CombineSelectedMatchesApply) {
+    Rng rng(3);
+    const Selector s(4, {1, 3});
+    std::vector<Tensor> all;
+    for (int i = 0; i < 4; ++i) {
+        all.push_back(Tensor::randn(Shape{2, 3}, rng));
+    }
+    const Tensor via_apply = s.apply(all);
+    const Tensor via_selected = s.combine_selected({all[1], all[3]});
+    EXPECT_EQ(via_apply.to_vector(), via_selected.to_vector());
+}
+
+TEST(Selector, SplitGradientIsAdjointOfCombine) {
+    // <combine(f), g> must equal sum_i <f_i, split(g)_i>.
+    Rng rng(4);
+    const Selector s(5, {0, 2, 4});
+    std::vector<Tensor> features;
+    for (int i = 0; i < 3; ++i) {
+        features.push_back(Tensor::randn(Shape{2, 4}, rng));
+    }
+    const Tensor combined = s.combine_selected(features);
+    const Tensor g = Tensor::randn(combined.shape(), rng);
+    const auto grads = s.split_gradient(g);
+    ASSERT_EQ(grads.size(), 3u);
+
+    double lhs = dot(combined, g);
+    double rhs = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) {
+        rhs += dot(features[i], grads[i]);
+    }
+    EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Selector, ToString) {
+    EXPECT_EQ(Selector(10, {2, 5, 7}).to_string(), "{2,5,7}/10");
+}
+
+}  // namespace
+}  // namespace ens::core

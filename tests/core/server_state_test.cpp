@@ -1,0 +1,86 @@
+#include "core/server_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/synth_cifar10.hpp"
+#include "nn/resnet.hpp"
+
+namespace ens::core {
+namespace {
+
+nn::ResNetConfig tiny_arch() {
+    nn::ResNetConfig arch;
+    arch.base_width = 4;
+    arch.image_size = 16;
+    arch.num_classes = 10;
+    return arch;
+}
+
+EnsemblerConfig tiny_config(std::uint64_t seed) {
+    EnsemblerConfig config;
+    config.num_networks = 2;
+    config.num_selected = 1;
+    config.stage1_options.epochs = 1;
+    config.stage3_options.epochs = 1;
+    config.seed = seed;
+    return config;
+}
+
+TEST(ServerBundle, RoundTripReproducesBodyOutputsExactly) {
+    const data::SynthCifar10 train_set(64, 5, 16);
+    const nn::ResNetConfig arch = tiny_arch();
+
+    Ensembler source(arch, tiny_config(1));
+    source.fit(train_set);
+    std::stringstream bundle;
+    save_server_bundle(source, bundle);
+
+    // A server process with different init (seed) loads the bundle.
+    Ensembler target(arch, tiny_config(2));
+    target.fit(train_set);
+    load_server_bundle(target, bundle);
+
+    Rng rng(9);
+    const Tensor wire = Tensor::randn(
+        Shape{2, nn::resnet18_split_channels(arch), nn::resnet18_split_hw(arch),
+              nn::resnet18_split_hw(arch)},
+        rng);
+    for (std::size_t i = 0; i < source.num_networks(); ++i) {
+        source.member_body(i).set_training(false);
+        target.member_body(i).set_training(false);
+        const auto expected = source.member_body(i).forward(wire).to_vector();
+        const auto actual = target.member_body(i).forward(wire).to_vector();
+        ASSERT_EQ(expected.size(), actual.size());
+        for (std::size_t k = 0; k < expected.size(); ++k) {
+            ASSERT_FLOAT_EQ(expected[k], actual[k]) << "body " << i << " element " << k;
+        }
+    }
+}
+
+TEST(ServerBundle, RejectsMismatchedEnsembleSize) {
+    const data::SynthCifar10 train_set(64, 5, 16);
+    const nn::ResNetConfig arch = tiny_arch();
+    Ensembler source(arch, tiny_config(1));
+    source.fit(train_set);
+    std::stringstream bundle;
+    save_server_bundle(source, bundle);
+
+    EnsemblerConfig bigger = tiny_config(3);
+    bigger.num_networks = 3;
+    Ensembler target(arch, bigger);
+    target.fit(train_set);
+    EXPECT_THROW(load_server_bundle(target, bundle), std::invalid_argument);
+}
+
+TEST(ServerBundle, RejectsGarbageMagic) {
+    const data::SynthCifar10 train_set(64, 5, 16);
+    Ensembler target(tiny_arch(), tiny_config(1));
+    target.fit(train_set);
+    std::stringstream garbage("not a bundle at all");
+    EXPECT_THROW(load_server_bundle(target, garbage), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ens::core

@@ -1,0 +1,162 @@
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/canvas.hpp"
+#include "data/dataloader.hpp"
+#include "data/synth_cifar10.hpp"
+#include "data/synth_cifar100.hpp"
+#include "data/synth_faces.hpp"
+#include "metrics/psnr.hpp"
+#include "tensor/ops.hpp"
+
+namespace ens::data {
+namespace {
+
+TEST(Canvas, HsvPrimaries) {
+    const Rgb red = hsv_to_rgb(0.0f, 1.0f, 1.0f);
+    EXPECT_FLOAT_EQ(red.r, 1.0f);
+    EXPECT_FLOAT_EQ(red.g, 0.0f);
+    const Rgb green = hsv_to_rgb(1.0f / 3.0f, 1.0f, 1.0f);
+    EXPECT_FLOAT_EQ(green.g, 1.0f);
+    const Rgb blue = hsv_to_rgb(2.0f / 3.0f, 1.0f, 1.0f);
+    EXPECT_FLOAT_EQ(blue.b, 1.0f);
+    const Rgb gray = hsv_to_rgb(0.5f, 0.0f, 0.5f);
+    EXPECT_FLOAT_EQ(gray.r, gray.g);
+    EXPECT_FLOAT_EQ(gray.g, gray.b);
+}
+
+TEST(Canvas, FillAndDisc) {
+    Canvas canvas(16, 16);
+    canvas.fill({0.0f, 0.0f, 0.0f});
+    canvas.draw_disc(8.0f, 8.0f, 4.0f, {1.0f, 0.0f, 0.0f});
+    const Tensor img = canvas.tensor();
+    EXPECT_FLOAT_EQ(img.at(0 * 256 + 8 * 16 + 8), 1.0f);  // center red
+    EXPECT_FLOAT_EQ(img.at(0 * 256 + 0), 0.0f);           // corner untouched
+}
+
+TEST(Canvas, NoiseStaysInRange) {
+    Canvas canvas(8, 8);
+    canvas.fill({0.5f, 0.5f, 0.5f});
+    Rng rng(1);
+    canvas.add_noise(0.5f, rng);
+    const Tensor img = canvas.tensor();
+    EXPECT_GE(min_value(img), 0.0f);
+    EXPECT_LE(max_value(img), 1.0f);
+}
+
+template <typename DatasetT>
+void check_dataset_basics(const DatasetT& dataset, std::int64_t classes, std::int64_t size_px) {
+    EXPECT_EQ(dataset.num_classes(), classes);
+    EXPECT_EQ(dataset.channels(), 3);
+    EXPECT_EQ(dataset.height(), size_px);
+    EXPECT_EQ(dataset.width(), size_px);
+    const Example e = dataset.get(0);
+    EXPECT_EQ(e.image.shape(), Shape({3, size_px, size_px}));
+    EXPECT_GE(min_value(e.image), 0.0f);
+    EXPECT_LE(max_value(e.image), 1.0f);
+}
+
+TEST(SynthCifar10, BasicsAndDeterminism) {
+    const SynthCifar10 dataset(100, 42, 16);
+    check_dataset_basics(dataset, 10, 16);
+    const Example a = dataset.get(7);
+    const Example b = dataset.get(7);
+    EXPECT_EQ(a.image.to_vector(), b.image.to_vector());
+    EXPECT_EQ(a.label, b.label);
+
+    const SynthCifar10 other_seed(100, 43, 16);
+    EXPECT_NE(other_seed.get(7).image.to_vector(), a.image.to_vector());
+}
+
+TEST(SynthCifar10, LabelsAreBalancedAndCyclic) {
+    const SynthCifar10 dataset(50, 1, 16);
+    for (std::size_t i = 0; i < 50; ++i) {
+        EXPECT_EQ(dataset.get(i).label, static_cast<std::int64_t>(i % 10));
+    }
+}
+
+TEST(SynthCifar10, SamplesOfSameClassDiffer) {
+    const SynthCifar10 dataset(100, 5, 16);
+    const Example a = dataset.get(0);
+    const Example b = dataset.get(10);  // same class, different sample
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_LT(metrics::psnr(a.image, b.image), 30.0f);  // genuinely different images
+}
+
+TEST(SynthCifar100, BasicsAndClassStructure) {
+    const SynthCifar100 dataset(200, 9, 16);
+    check_dataset_basics(dataset, 100, 16);
+    EXPECT_EQ(dataset.get(123).label, 23);
+}
+
+TEST(SynthFaces, BasicsAndIdentities) {
+    const SynthFaces dataset(60, 11, 32, 6);
+    check_dataset_basics(dataset, 6, 32);
+    for (std::size_t i = 0; i < 60; ++i) {
+        EXPECT_LT(dataset.get(i).label, 6);
+    }
+}
+
+TEST(SynthFaces, SameIdentityDifferentJitter) {
+    const SynthFaces dataset(40, 11, 32, 4);
+    const Example a = dataset.get(0);
+    const Example b = dataset.get(4);  // same identity
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_NE(a.image.to_vector(), b.image.to_vector());
+}
+
+TEST(Subset, RemapsIndices) {
+    auto base = std::make_shared<SynthCifar10>(20, 3, 16);
+    const Subset subset(base, {5, 10, 15});
+    EXPECT_EQ(subset.size(), 3u);
+    EXPECT_EQ(subset.get(1).label, base->get(10).label);
+    EXPECT_EQ(subset.get(1).image.to_vector(), base->get(10).image.to_vector());
+    EXPECT_THROW(subset.get(3), std::invalid_argument);
+    EXPECT_THROW(Subset(base, {25}), std::invalid_argument);
+}
+
+TEST(Materialize, BuildsBatchTensor) {
+    const SynthCifar10 dataset(20, 3, 16);
+    const Batch batch = materialize(dataset, 4, 3);
+    EXPECT_EQ(batch.images.shape(), Shape({3, 3, 16, 16}));
+    EXPECT_EQ(batch.labels.size(), 3u);
+    EXPECT_EQ(batch.labels[0], dataset.get(4).label);
+    EXPECT_EQ(batch.size(), 3);
+}
+
+TEST(DataLoader, CoversEveryExampleOncePerEpoch) {
+    const SynthCifar10 dataset(37, 3, 16);
+    DataLoader loader(dataset, 8, Rng(1), /*shuffle=*/true);
+    std::size_t seen = 0;
+    std::size_t batches = 0;
+    while (auto batch = loader.next()) {
+        seen += batch->labels.size();
+        ++batches;
+    }
+    EXPECT_EQ(seen, 37u);
+    EXPECT_EQ(batches, 5u);  // 4 full + 1 partial
+    EXPECT_EQ(loader.batches_per_epoch(), 5u);
+}
+
+TEST(DataLoader, ShuffleChangesOrderAcrossEpochs) {
+    const SynthCifar10 dataset(64, 3, 16);
+    DataLoader loader(dataset, 64, Rng(1), /*shuffle=*/true);
+    const auto first = loader.next()->labels;
+    loader.start_epoch();
+    const auto second = loader.next()->labels;
+    EXPECT_NE(first, second);
+}
+
+TEST(DataLoader, NoShufflePreservesOrder) {
+    const SynthCifar10 dataset(10, 3, 16);
+    DataLoader loader(dataset, 10, Rng(1), /*shuffle=*/false);
+    const auto labels = loader.next()->labels;
+    for (std::size_t i = 0; i < 10; ++i) {
+        EXPECT_EQ(labels[i], static_cast<std::int64_t>(i % 10));
+    }
+}
+
+}  // namespace
+}  // namespace ens::data

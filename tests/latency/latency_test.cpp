@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "latency/estimator.hpp"
+#include "latency/flops.hpp"
+#include "latency/profiles.hpp"
+#include "latency/stamp.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "split/split_model.hpp"
+
+namespace ens::latency {
+namespace {
+
+TEST(Flops, ConvHandComputed) {
+    Rng rng(1);
+    nn::Sequential net;
+    net.emplace<nn::Conv2d>(3, 8, 3, 1, 1, rng);
+    const CostReport report = count_cost(net, Shape{2, 3, 16, 16});
+    // 2 * (3*3*3) * 8 * (2*16*16) = 221184
+    EXPECT_DOUBLE_EQ(report.total_flops, 221184.0);
+    EXPECT_EQ(report.output_shape, Shape({2, 8, 16, 16}));
+}
+
+TEST(Flops, LinearHandComputed) {
+    Rng rng(2);
+    nn::Sequential net;
+    net.emplace<nn::Linear>(128, 10, rng);
+    const CostReport report = count_cost(net, Shape{4, 128});
+    EXPECT_DOUBLE_EQ(report.total_flops, 2.0 * 4 * 128 * 10);
+}
+
+TEST(Flops, StridedConvShrinksOutput) {
+    Rng rng(3);
+    nn::Sequential net;
+    net.emplace<nn::Conv2d>(4, 4, 3, 2, 1, rng);
+    const CostReport report = count_cost(net, Shape{1, 4, 8, 8});
+    EXPECT_EQ(report.output_shape, Shape({1, 4, 4, 4}));
+}
+
+TEST(Flops, FullWidthResNet18MatchesKnownScale) {
+    // The CIFAR-style ResNet-18 at width 64 is ~0.56 GFLOP/image
+    // (multiply-add counted as 2) for 32x32 inputs with the MaxPool variant.
+    Rng rng(4);
+    nn::ResNetConfig config;
+    config.base_width = 64;
+    config.image_size = 32;
+    auto net = nn::build_resnet18(config, rng);
+    const CostReport report = count_cost(*net, Shape{1, 3, 32, 32});
+    EXPECT_GT(report.total_flops, 0.2e9);
+    EXPECT_LT(report.total_flops, 0.8e9);
+    EXPECT_EQ(report.output_shape, Shape({1, 10}));
+}
+
+TEST(Flops, UnsupportedLayerThrows) {
+    nn::Sequential net;
+    net.emplace<nn::UpsampleNearest2d>(2);
+    EXPECT_THROW(count_cost(net, Shape{1, 2, 4, 4}), std::runtime_error);
+}
+
+struct Table3Fixture : public ::testing::Test {
+    nn::ResNetConfig config;
+    std::unique_ptr<split::SplitModel> split;
+    PipelineSpec spec;
+
+    void SetUp() override {
+        // Paper's Table III setting: ResNet-18 width 64, CIFAR-10 geometry,
+        // batch 128. We only build the graph; no training is needed for
+        // FLOP counting.
+        config.base_width = 64;
+        config.image_size = 32;
+        config.num_classes = 10;
+        Rng rng(5);
+        split = std::make_unique<split::SplitModel>(split::build_split_resnet18(config, rng));
+        spec.client_head = split->head.get();
+        spec.server_body = split->body.get();
+        spec.client_tail = split->tail.get();
+        spec.num_server_nets = 1;
+        spec.input_shape = Shape{128, 3, 32, 32};
+        spec.tail_input_width = nn::resnet18_feature_width(config);
+    }
+};
+
+TEST_F(Table3Fixture, StandardCiCalibration) {
+    const LatencyBreakdown standard =
+        estimate_latency(spec, raspberry_pi_profile(), a6000_profile(), wired_lan_profile());
+    // Calibrated to the paper's 0.66 / 0.98 / 2.30 / 3.94 within ~25%.
+    EXPECT_NEAR(standard.client_s, 0.66, 0.20);
+    EXPECT_NEAR(standard.server_s, 0.98, 0.25);
+    EXPECT_NEAR(standard.communication_s, 2.30, 0.60);
+    EXPECT_NEAR(standard.total_s(), 3.94, 1.00);
+}
+
+TEST_F(Table3Fixture, EnsemblerOverheadIsSmallAndCommDominated) {
+    const LatencyBreakdown standard =
+        estimate_latency(spec, raspberry_pi_profile(), a6000_profile(), wired_lan_profile());
+
+    PipelineSpec ensembler_spec = spec;
+    ensembler_spec.num_server_nets = 10;
+    ensembler_spec.tail_input_width = 4 * nn::resnet18_feature_width(config);
+    const LatencyBreakdown ensembler = estimate_latency(ensembler_spec, raspberry_pi_profile(),
+                                                        a6000_profile(), wired_lan_profile());
+
+    // Client unchanged (the tail width change is negligible).
+    EXPECT_NEAR(ensembler.client_s, standard.client_s, 0.02);
+    // Server grows by only a few percent (concurrent streams).
+    EXPECT_GT(ensembler.server_s, standard.server_s);
+    EXPECT_LT(ensembler.server_s, standard.server_s * 1.15);
+    // Communication grows, and it is the dominant part of the overhead.
+    EXPECT_GT(ensembler.communication_s, standard.communication_s);
+    const double comm_delta = ensembler.communication_s - standard.communication_s;
+    const double server_delta = ensembler.server_s - standard.server_s;
+    EXPECT_GT(comm_delta, server_delta);
+    // Total overhead within ~15% (paper: 4.8%).
+    EXPECT_LT(ensembler.total_s(), standard.total_s() * 1.15);
+}
+
+TEST_F(Table3Fixture, MoreServerNetsNeverFaster) {
+    double previous = 0.0;
+    for (const std::size_t n : {1, 2, 5, 10, 20}) {
+        PipelineSpec s = spec;
+        s.num_server_nets = n;
+        const LatencyBreakdown b =
+            estimate_latency(s, raspberry_pi_profile(), a6000_profile(), wired_lan_profile());
+        EXPECT_GE(b.total_s(), previous);
+        previous = b.total_s();
+    }
+}
+
+TEST_F(Table3Fixture, StampIsOrdersOfMagnitudeSlower) {
+    const LatencyBreakdown standard =
+        estimate_latency(spec, raspberry_pi_profile(), a6000_profile(), wired_lan_profile());
+    const LatencyBreakdown stamp =
+        estimate_stamp(spec, raspberry_pi_profile(), a6000_profile(), wired_lan_profile());
+    EXPECT_GT(stamp.total_s(), standard.total_s() * 30.0);
+    // Paper reports 309.7 s; the model should land within a factor ~2.
+    EXPECT_GT(stamp.total_s(), 150.0);
+    EXPECT_LT(stamp.total_s(), 650.0);
+}
+
+TEST(LinearOps, ResNet18Count) {
+    Rng rng(6);
+    nn::ResNetConfig config;
+    config.base_width = 8;
+    config.image_size = 16;
+    auto net = nn::build_resnet18(config, rng);
+    // conv1 + 16 block convs + 3 projections + final linear = 21.
+    EXPECT_EQ(count_linear_ops(*net), 21u);
+}
+
+TEST(Estimator, RejectsIncompleteSpec) {
+    PipelineSpec spec;
+    EXPECT_THROW(
+        estimate_latency(spec, raspberry_pi_profile(), a6000_profile(), wired_lan_profile()),
+        std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ens::latency

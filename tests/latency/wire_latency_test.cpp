@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "latency/estimator.hpp"
+#include "latency/profiles.hpp"
+#include "split/split_model.hpp"
+
+namespace ens::latency {
+namespace {
+
+/// Shared paper-scale pipeline for the wire-width tests.
+struct Pipeline {
+    nn::ResNetConfig arch;
+    split::SplitModel parts;
+    PipelineSpec spec;
+
+    Pipeline() : parts(make_parts()) {
+        spec.client_head = parts.head.get();
+        spec.server_body = parts.body.get();
+        spec.client_tail = parts.tail.get();
+        spec.input_shape = Shape{128, 3, 32, 32};
+        spec.tail_input_width = nn::resnet18_feature_width(arch);
+        spec.num_server_nets = 10;
+    }
+
+    split::SplitModel make_parts() {
+        arch.base_width = 16;  // enough structure, fast FLOP counting
+        arch.image_size = 32;
+        arch.num_classes = 10;
+        Rng rng(3);
+        return split::build_split_resnet18(arch, rng);
+    }
+};
+
+TEST(WireLatency, NarrowerPayloadOnlyShrinksCommunication) {
+    Pipeline pipeline;
+    const auto edge = raspberry_pi_profile();
+    const auto cloud = a6000_profile();
+    const auto link = wired_lan_profile();
+
+    PipelineSpec f32 = pipeline.spec;
+    PipelineSpec q8 = pipeline.spec;
+    q8.bytes_per_element = 1.0;
+    const LatencyBreakdown wide = estimate_latency(f32, edge, cloud, link);
+    const LatencyBreakdown narrow = estimate_latency(q8, edge, cloud, link);
+
+    EXPECT_DOUBLE_EQ(narrow.client_s, wide.client_s);
+    EXPECT_DOUBLE_EQ(narrow.server_s, wide.server_s);
+    EXPECT_LT(narrow.communication_s, wide.communication_s);
+    // Payload dominates the message framing, so ~4x less data moves.
+    EXPECT_NEAR(wide.communication_s / narrow.communication_s, 4.0, 1.0);
+}
+
+TEST(WireLatency, CommunicationMonotoneInBytesPerElement) {
+    Pipeline pipeline;
+    const auto edge = raspberry_pi_profile();
+    const auto cloud = a6000_profile();
+    const auto link = wired_lan_profile();
+    double previous = 0.0;
+    for (const double width : {1.0, 2.0, 4.0}) {
+        PipelineSpec spec = pipeline.spec;
+        spec.bytes_per_element = width;
+        const double comm = estimate_latency(spec, edge, cloud, link).communication_s;
+        EXPECT_GT(comm, previous);
+        previous = comm;
+    }
+}
+
+TEST(WireLatency, RejectsNonPositiveWidth) {
+    Pipeline pipeline;
+    PipelineSpec spec = pipeline.spec;
+    spec.bytes_per_element = 0.0;
+    EXPECT_THROW(estimate_latency(spec, raspberry_pi_profile(), a6000_profile(),
+                                  wired_lan_profile()),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ens::latency

@@ -1,0 +1,156 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "metrics/accuracy.hpp"
+#include "metrics/psnr.hpp"
+#include "metrics/similarity.hpp"
+#include "metrics/ssim.hpp"
+#include "metrics/stats.hpp"
+#include "tensor/ops.hpp"
+
+namespace ens::metrics {
+namespace {
+
+Tensor random_image(std::uint64_t seed, std::int64_t size = 16) {
+    Rng rng(seed);
+    return Tensor::uniform(Shape{3, size, size}, rng, 0.0f, 1.0f);
+}
+
+TEST(Ssim, IdenticalImagesScoreOne) {
+    const Tensor img = random_image(1);
+    EXPECT_NEAR(ssim(img, img.clone()), 1.0f, 1e-5f);
+}
+
+TEST(Ssim, NoiseDegradesScoreMonotonically) {
+    const Tensor img = random_image(2);
+    Rng rng(3);
+    Tensor light = img.clone();
+    light.add_(Tensor::randn(img.shape(), rng, 0.0f, 0.05f));
+    Tensor heavy = img.clone();
+    heavy.add_(Tensor::randn(img.shape(), rng, 0.0f, 0.5f));
+    const float s_light = ssim(img, light);
+    const float s_heavy = ssim(img, heavy);
+    EXPECT_GT(s_light, s_heavy);
+    EXPECT_LT(s_heavy, 0.6f);
+    EXPECT_GT(s_light, 0.5f);
+}
+
+TEST(Ssim, UnrelatedImagesScoreLow) {
+    EXPECT_LT(ssim(random_image(4), random_image(5)), 0.2f);
+}
+
+TEST(Ssim, ConstantShiftPenalizedByLuminanceTerm) {
+    // A constant +0.3 shift keeps structure but hurts the luminance term:
+    // clearly below 1, clearly above the unrelated-image regime.
+    const Tensor img = random_image(6);
+    Tensor shifted = img.clone();
+    shifted.add_scalar_(0.3f);
+    const float s = ssim(img, shifted);
+    EXPECT_LT(s, 0.95f);
+    EXPECT_GT(s, 0.4f);
+}
+
+TEST(Ssim, BatchAveragesSamples) {
+    Rng rng(7);
+    const Tensor batch_a = Tensor::uniform(Shape{2, 3, 16, 16}, rng, 0.0f, 1.0f);
+    const float s = ssim(batch_a, batch_a.clone());
+    EXPECT_NEAR(s, 1.0f, 1e-5f);
+}
+
+TEST(Ssim, TinyImagesShrinkWindow) {
+    Rng rng(8);
+    const Tensor small = Tensor::uniform(Shape{3, 5, 5}, rng, 0.0f, 1.0f);
+    EXPECT_NEAR(ssim(small, small.clone()), 1.0f, 1e-5f);
+}
+
+TEST(Ssim, ShapeMismatchThrows) {
+    EXPECT_THROW(ssim(Tensor(Shape{3, 8, 8}), Tensor(Shape{3, 9, 9})), std::invalid_argument);
+}
+
+TEST(Psnr, KnownMse) {
+    const Tensor a = Tensor::zeros(Shape{1, 2, 2});
+    const Tensor b = Tensor::full(Shape{1, 2, 2}, 0.1f);
+    // MSE = 0.01 -> PSNR = 10*log10(1/0.01) = 20 dB.
+    EXPECT_NEAR(psnr(a, b), 20.0f, 1e-4f);
+}
+
+TEST(Psnr, IdenticalCapped) {
+    const Tensor a = Tensor::ones(Shape{4});
+    EXPECT_FLOAT_EQ(psnr(a, a.clone()), 100.0f);
+    EXPECT_FLOAT_EQ(psnr(a, a.clone(), 1.0f, 55.0f), 55.0f);
+}
+
+TEST(Psnr, MoreNoiseLowerPsnr) {
+    const Tensor img = random_image(9);
+    Rng rng(10);
+    Tensor light = img.clone();
+    light.add_(Tensor::randn(img.shape(), rng, 0.0f, 0.02f));
+    Tensor heavy = img.clone();
+    heavy.add_(Tensor::randn(img.shape(), rng, 0.0f, 0.3f));
+    EXPECT_GT(psnr(img, light), psnr(img, heavy));
+}
+
+TEST(Accuracy, Top1Known) {
+    const Tensor logits = Tensor::from_vector(Shape{3, 3},
+                                              {5, 1, 1,   // -> 0
+                                               0, 9, 2,   // -> 1
+                                               1, 2, 0});  // -> 1
+    EXPECT_NEAR(top1_accuracy(logits, {0, 1, 2}), 2.0f / 3.0f, 1e-6f);
+}
+
+TEST(Accuracy, AccumulatorAcrossBatches) {
+    AccuracyAccumulator acc;
+    acc.add(Tensor::from_vector(Shape{1, 2}, {1, 0}), {0});
+    acc.add(Tensor::from_vector(Shape{1, 2}, {1, 0}), {1});
+    EXPECT_FLOAT_EQ(acc.value(), 0.5f);
+    EXPECT_EQ(acc.count(), 2);
+}
+
+TEST(Accuracy, EmptyThrows) {
+    const AccuracyAccumulator acc;
+    EXPECT_THROW(acc.value(), std::invalid_argument);
+}
+
+TEST(CosineSimilarity, KnownValues) {
+    const Tensor a = Tensor::from_vector(Shape{2}, {1, 0});
+    const Tensor b = Tensor::from_vector(Shape{2}, {0, 1});
+    EXPECT_NEAR(cosine_similarity(a, b), 0.0f, 1e-6f);
+    EXPECT_NEAR(cosine_similarity(a, a.clone()), 1.0f, 1e-6f);
+    EXPECT_NEAR(cosine_similarity(a, scale(a, -3.0f)), -1.0f, 1e-6f);
+}
+
+TEST(CosineSimilarity, ZeroNormGivesZero) {
+    const Tensor a = Tensor::zeros(Shape{3});
+    const Tensor b = Tensor::ones(Shape{3});
+    EXPECT_FLOAT_EQ(cosine_similarity(a, b), 0.0f);
+}
+
+TEST(RelativeL2, Properties) {
+    const Tensor a = Tensor::from_vector(Shape{2}, {3, 4});
+    EXPECT_NEAR(relative_l2_distance(a, a.clone()), 0.0f, 1e-6f);
+    const Tensor b = scale(a, -1.0f);
+    EXPECT_NEAR(relative_l2_distance(a, b), 1.0f, 1e-5f);
+}
+
+TEST(RunningStat, WelfordMatchesDirect) {
+    RunningStat stat;
+    const std::vector<double> values{1.0, 2.0, 3.0, 4.0, 10.0};
+    for (const double v : values) {
+        stat.add(v);
+    }
+    EXPECT_EQ(stat.count(), 5);
+    EXPECT_NEAR(stat.mean(), 4.0, 1e-12);
+    EXPECT_NEAR(stat.variance(), 10.0, 1e-9);  // population variance
+    EXPECT_DOUBLE_EQ(stat.min(), 1.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 10.0);
+}
+
+TEST(RunningStat, EmptyThrows) {
+    const RunningStat stat;
+    EXPECT_THROW(stat.mean(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ens::metrics

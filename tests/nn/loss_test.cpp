@@ -1,0 +1,142 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace ens::nn {
+namespace {
+
+TEST(CrossEntropy, UniformLogitsGiveLogC) {
+    const Tensor logits = Tensor::zeros(Shape{2, 4});
+    const LossResult loss = softmax_cross_entropy(logits, {0, 3});
+    EXPECT_NEAR(loss.value, std::log(4.0f), 1e-5f);
+}
+
+TEST(CrossEntropy, GradientIsSoftmaxMinusOneHot) {
+    const Tensor logits = Tensor::from_vector(Shape{1, 3}, {1.0f, 2.0f, 3.0f});
+    const LossResult loss = softmax_cross_entropy(logits, {1});
+    const Tensor p = softmax_rows(logits);
+    EXPECT_NEAR(loss.grad.at(0, 0), p.at(0, 0), 1e-6f);
+    EXPECT_NEAR(loss.grad.at(0, 1), p.at(0, 1) - 1.0f, 1e-6f);
+    EXPECT_NEAR(loss.grad.at(0, 2), p.at(0, 2), 1e-6f);
+}
+
+TEST(CrossEntropy, GradRowsSumToZero) {
+    Rng rng(1);
+    const Tensor logits = Tensor::randn(Shape{5, 7}, rng);
+    const LossResult loss = softmax_cross_entropy(logits, {0, 1, 2, 3, 4});
+    for (std::int64_t r = 0; r < 5; ++r) {
+        float total = 0.0f;
+        for (std::int64_t c = 0; c < 7; ++c) {
+            total += loss.grad.at(r, c);
+        }
+        EXPECT_NEAR(total, 0.0f, 1e-5f);
+    }
+}
+
+TEST(CrossEntropy, MatchesFiniteDifference) {
+    Rng rng(2);
+    Tensor logits = Tensor::randn(Shape{3, 4}, rng);
+    const std::vector<std::int64_t> labels{2, 0, 3};
+    const LossResult loss = softmax_cross_entropy(logits, labels);
+    const float eps = 1e-3f;
+    for (std::int64_t i = 0; i < logits.numel(); ++i) {
+        const float original = logits.at(i);
+        logits.at(i) = original + eps;
+        const float plus = softmax_cross_entropy(logits, labels).value;
+        logits.at(i) = original - eps;
+        const float minus = softmax_cross_entropy(logits, labels).value;
+        logits.at(i) = original;
+        EXPECT_NEAR((plus - minus) / (2 * eps), loss.grad.at(i), 1e-3f);
+    }
+}
+
+TEST(CrossEntropy, ChecksLabels) {
+    const Tensor logits = Tensor::zeros(Shape{2, 3});
+    EXPECT_THROW(softmax_cross_entropy(logits, {0}), std::invalid_argument);
+    EXPECT_THROW(softmax_cross_entropy(logits, {0, 3}), std::invalid_argument);
+    EXPECT_THROW(softmax_cross_entropy(logits, {0, -1}), std::invalid_argument);
+}
+
+TEST(Mse, ValueAndGradient) {
+    const Tensor pred = Tensor::from_vector(Shape{2, 2}, {1, 2, 3, 4});
+    const Tensor target = Tensor::from_vector(Shape{2, 2}, {1, 0, 3, 8});
+    const LossResult loss = mse_loss(pred, target);
+    EXPECT_NEAR(loss.value, (0 + 4 + 0 + 16) / 4.0f, 1e-6f);
+    EXPECT_NEAR(loss.grad.at(1), 2.0f * 2.0f / 4.0f, 1e-6f);
+    EXPECT_NEAR(loss.grad.at(3), 2.0f * -4.0f / 4.0f, 1e-6f);
+}
+
+TEST(Mse, ZeroWhenEqual) {
+    Rng rng(3);
+    const Tensor x = Tensor::randn(Shape{4, 4}, rng);
+    const LossResult loss = mse_loss(x, x.clone());
+    EXPECT_FLOAT_EQ(loss.value, 0.0f);
+    EXPECT_FLOAT_EQ(squared_norm(loss.grad), 0.0f);
+}
+
+TEST(CosineSim, IdenticalIsOne) {
+    Rng rng(4);
+    const Tensor a = Tensor::randn(Shape{3, 8}, rng);
+    const LossResult cs = cosine_similarity_mean(a, a.clone());
+    EXPECT_NEAR(cs.value, 1.0f, 1e-5f);
+}
+
+TEST(CosineSim, OppositeIsMinusOne) {
+    Rng rng(5);
+    const Tensor a = Tensor::randn(Shape{2, 6}, rng);
+    const LossResult cs = cosine_similarity_mean(a, scale(a, -2.0f));
+    EXPECT_NEAR(cs.value, -1.0f, 1e-5f);
+}
+
+TEST(CosineSim, OrthogonalIsZero) {
+    const Tensor a = Tensor::from_vector(Shape{1, 2}, {1, 0});
+    const Tensor b = Tensor::from_vector(Shape{1, 2}, {0, 1});
+    EXPECT_NEAR(cosine_similarity_mean(a, b).value, 0.0f, 1e-6f);
+}
+
+TEST(CosineSim, GradientOrthogonalToA) {
+    // cs(a,b) is scale-invariant in a, so grad_a . a == 0 per sample.
+    Rng rng(6);
+    const Tensor a = Tensor::randn(Shape{4, 10}, rng);
+    const Tensor b = Tensor::randn(Shape{4, 10}, rng);
+    const LossResult cs = cosine_similarity_mean(a, b);
+    for (std::int64_t r = 0; r < 4; ++r) {
+        double acc = 0.0;
+        for (std::int64_t c = 0; c < 10; ++c) {
+            acc += static_cast<double>(cs.grad.at(r, c)) * a.at(r, c);
+        }
+        EXPECT_NEAR(acc, 0.0, 1e-6);
+    }
+}
+
+TEST(CosineSim, GradientMatchesFiniteDifference) {
+    Rng rng(7);
+    Tensor a = Tensor::randn(Shape{2, 5}, rng);
+    const Tensor b = Tensor::randn(Shape{2, 5}, rng);
+    const LossResult cs = cosine_similarity_mean(a, b);
+    const float eps = 1e-3f;
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+        const float original = a.at(i);
+        a.at(i) = original + eps;
+        const float plus = cosine_similarity_mean(a, b).value;
+        a.at(i) = original - eps;
+        const float minus = cosine_similarity_mean(a, b).value;
+        a.at(i) = original;
+        EXPECT_NEAR((plus - minus) / (2 * eps), cs.grad.at(i), 2e-3f);
+    }
+}
+
+TEST(CosineSim, BatchAveraging) {
+    // First sample aligned, second orthogonal -> mean 0.5.
+    const Tensor a = Tensor::from_vector(Shape{2, 2}, {1, 0, 1, 0});
+    const Tensor b = Tensor::from_vector(Shape{2, 2}, {2, 0, 0, 3});
+    EXPECT_NEAR(cosine_similarity_mean(a, b).value, 0.5f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace ens::nn

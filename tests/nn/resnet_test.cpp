@@ -1,0 +1,124 @@
+#include "nn/resnet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/resblock.hpp"
+
+namespace ens::nn {
+namespace {
+
+ResNetConfig small_config() {
+    ResNetConfig config;
+    config.base_width = 4;
+    config.image_size = 16;
+    config.num_classes = 10;
+    return config;
+}
+
+TEST(ResNet18, OutputShape) {
+    Rng rng(1);
+    auto net = build_resnet18(small_config(), rng);
+    const Tensor y = net->forward(Tensor::zeros(Shape{2, 3, 16, 16}));
+    EXPECT_EQ(y.shape(), Shape({2, 10}));
+}
+
+TEST(ResNet18, LayerCountAndOrdering) {
+    Rng rng(2);
+    const ResNetConfig config = small_config();
+    auto net = build_resnet18(config, rng);
+    // conv + bn + relu + maxpool + 8 blocks + gap + linear = 14
+    EXPECT_EQ(net->size(), 14u);
+    EXPECT_NE(dynamic_cast<const Linear*>(&net->layer(net->size() - 1)), nullptr);
+    EXPECT_NE(dynamic_cast<const GlobalAvgPool*>(&net->layer(net->size() - 2)), nullptr);
+    EXPECT_NE(dynamic_cast<const BasicBlock*>(&net->layer(4)), nullptr);
+}
+
+TEST(ResNet18, NoMaxpoolVariant) {
+    Rng rng(3);
+    ResNetConfig config = small_config();
+    config.include_maxpool = false;
+    auto net = build_resnet18(config, rng);
+    EXPECT_EQ(net->size(), 13u);
+    const Tensor y = net->forward(Tensor::zeros(Shape{1, 3, 16, 16}));
+    EXPECT_EQ(y.shape(), Shape({1, 10}));
+}
+
+TEST(ResNet18, SplitGeometryMatchesPaper) {
+    // §IV-A with base_width 64: CIFAR-10 (32px + maxpool) -> [64,16,16];
+    // CIFAR-100 (32px, no maxpool) -> [64,32,32]; CelebA (64px, no
+    // maxpool) -> [64,64,64].
+    ResNetConfig cifar10;
+    cifar10.image_size = 32;
+    cifar10.base_width = 64;
+    cifar10.include_maxpool = true;
+    EXPECT_EQ(resnet18_split_channels(cifar10), 64);
+    EXPECT_EQ(resnet18_split_hw(cifar10), 16);
+    EXPECT_EQ(resnet18_head_layer_count(cifar10), 4u);
+    EXPECT_EQ(resnet18_feature_width(cifar10), 512);
+
+    ResNetConfig cifar100 = cifar10;
+    cifar100.include_maxpool = false;
+    cifar100.num_classes = 100;
+    EXPECT_EQ(resnet18_split_hw(cifar100), 32);
+    EXPECT_EQ(resnet18_head_layer_count(cifar100), 3u);
+
+    ResNetConfig celeba = cifar100;
+    celeba.image_size = 64;
+    EXPECT_EQ(resnet18_split_hw(celeba), 64);
+}
+
+TEST(ResNet18, FullWidthParameterCount) {
+    // The canonical CIFAR ResNet-18 has ~11.17M parameters; our builder
+    // must land in that neighbourhood (exact value depends on the conv1
+    // variant and projection shortcuts).
+    Rng rng(4);
+    ResNetConfig config;
+    config.base_width = 64;
+    config.image_size = 32;
+    config.num_classes = 10;
+    auto net = build_resnet18(config, rng);
+    const std::int64_t params = parameter_count(*net);
+    EXPECT_GT(params, 10'500'000);
+    EXPECT_LT(params, 11'500'000);
+}
+
+TEST(ResNet18, BackwardProducesInputGradient) {
+    Rng rng(5);
+    auto net = build_resnet18(small_config(), rng);
+    const Tensor x = Tensor::randn(Shape{2, 3, 16, 16}, rng);
+    const Tensor y = net->forward(x);
+    const Tensor dx = net->backward(Tensor::ones(y.shape()));
+    EXPECT_EQ(dx.shape(), x.shape());
+}
+
+TEST(ResNet18, RejectsBadGeometry) {
+    Rng rng(6);
+    ResNetConfig config = small_config();
+    config.image_size = 20;  // not divisible by 8
+    EXPECT_THROW(build_resnet18(config, rng), std::invalid_argument);
+    config.image_size = 16;
+    config.base_width = 0;
+    EXPECT_THROW(build_resnet18(config, rng), std::invalid_argument);
+}
+
+TEST(BasicBlock, ProjectionAppearsWhenNeeded) {
+    Rng rng(7);
+    BasicBlock same(4, 4, 1, rng);
+    EXPECT_FALSE(same.has_projection());
+    BasicBlock widen(4, 8, 1, rng);
+    EXPECT_TRUE(widen.has_projection());
+    BasicBlock stride(4, 4, 2, rng);
+    EXPECT_TRUE(stride.has_projection());
+}
+
+TEST(BasicBlock, DownsamplesWithStride) {
+    Rng rng(8);
+    BasicBlock block(4, 8, 2, rng);
+    const Tensor y = block.forward(Tensor::zeros(Shape{2, 4, 8, 8}));
+    EXPECT_EQ(y.shape(), Shape({2, 8, 4, 4}));
+}
+
+}  // namespace
+}  // namespace ens::nn

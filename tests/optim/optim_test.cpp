@@ -1,0 +1,154 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "optim/adam.hpp"
+#include "optim/schedule.hpp"
+#include "optim/sgd.hpp"
+#include "tensor/ops.hpp"
+
+namespace ens::optim {
+namespace {
+
+/// Minimizes f(w) = 0.5 * ||w - target||^2 with the given optimizer.
+template <typename MakeOptimizer>
+float minimize_quadratic(MakeOptimizer make, int steps) {
+    nn::Parameter w("w", Tensor::from_vector(Shape{3}, {5.0f, -4.0f, 2.0f}));
+    const Tensor target = Tensor::from_vector(Shape{3}, {1.0f, 1.0f, 1.0f});
+    auto optimizer = make(std::vector<nn::Parameter*>{&w});
+    for (int i = 0; i < steps; ++i) {
+        optimizer->zero_grad();
+        Tensor grad = sub(w.value, target);
+        w.grad.copy_from(grad);
+        optimizer->step();
+    }
+    return squared_norm(sub(w.value, target));
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+    const float err = minimize_quadratic(
+        [](std::vector<nn::Parameter*> params) {
+            SgdOptions options;
+            options.learning_rate = 0.1;
+            options.momentum = 0.0;
+            return std::make_unique<Sgd>(std::move(params), options);
+        },
+        200);
+    EXPECT_LT(err, 1e-6f);
+}
+
+TEST(Sgd, MomentumConvergesFasterThanPlain) {
+    const auto run = [](double momentum) {
+        return minimize_quadratic(
+            [momentum](std::vector<nn::Parameter*> params) {
+                SgdOptions options;
+                options.learning_rate = 0.02;
+                options.momentum = momentum;
+                return std::make_unique<Sgd>(std::move(params), options);
+            },
+            60);
+    };
+    EXPECT_LT(run(0.9), run(0.0));
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+    nn::Parameter w("w", Tensor::from_vector(Shape{1}, {10.0f}));
+    SgdOptions options;
+    options.learning_rate = 0.1;
+    options.momentum = 0.0;
+    options.weight_decay = 0.5;
+    Sgd optimizer({&w}, options);
+    for (int i = 0; i < 50; ++i) {
+        optimizer.zero_grad();  // zero task gradient: only decay acts
+        optimizer.step();
+    }
+    EXPECT_LT(std::fabs(w.value.at(0)), 1.0f);
+}
+
+TEST(Sgd, FrozenParametersDoNotMove) {
+    nn::Parameter w("w", Tensor::from_vector(Shape{2}, {1.0f, 2.0f}));
+    w.requires_grad = false;
+    SgdOptions options;
+    options.learning_rate = 1.0;
+    Sgd optimizer({&w}, options);
+    w.grad.fill(1.0f);
+    optimizer.step();
+    EXPECT_FLOAT_EQ(w.value.at(0), 1.0f);
+    EXPECT_FLOAT_EQ(w.value.at(1), 2.0f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+    const float err = minimize_quadratic(
+        [](std::vector<nn::Parameter*> params) {
+            AdamOptions options;
+            options.learning_rate = 0.1;
+            return std::make_unique<Adam>(std::move(params), options);
+        },
+        300);
+    EXPECT_LT(err, 1e-4f);
+}
+
+TEST(Adam, HandlesSparseScaleDifferences) {
+    // One huge-gradient coordinate, one tiny: Adam normalizes per-coord.
+    nn::Parameter w("w", Tensor::from_vector(Shape{2}, {1.0f, 1.0f}));
+    AdamOptions options;
+    options.learning_rate = 0.05;
+    Adam optimizer({&w}, options);
+    for (int i = 0; i < 100; ++i) {
+        optimizer.zero_grad();
+        w.grad.at(0) = 1000.0f * w.value.at(0);
+        w.grad.at(1) = 0.001f * w.value.at(1);
+        optimizer.step();
+    }
+    EXPECT_LT(std::fabs(w.value.at(0)), 0.05f);
+    EXPECT_LT(std::fabs(w.value.at(1)), 1.0f);  // moves, slower
+}
+
+TEST(ClipGradNorm, ScalesDownLargeGradients) {
+    nn::Parameter w("w", Tensor::zeros(Shape{4}));
+    w.grad.fill(3.0f);  // norm = 6
+    const double before = clip_grad_norm({&w}, 1.0);
+    EXPECT_NEAR(before, 6.0, 1e-5);
+    EXPECT_NEAR(std::sqrt(squared_norm(w.grad)), 1.0, 1e-4);
+}
+
+TEST(ClipGradNorm, LeavesSmallGradientsAlone) {
+    nn::Parameter w("w", Tensor::zeros(Shape{4}));
+    w.grad.fill(0.1f);
+    clip_grad_norm({&w}, 10.0);
+    EXPECT_FLOAT_EQ(w.grad.at(0), 0.1f);
+}
+
+TEST(StepDecay, HalvesOnSchedule) {
+    nn::Parameter w("w", Tensor::zeros(Shape{1}));
+    SgdOptions options;
+    options.learning_rate = 1.0;
+    Sgd optimizer({&w}, options);
+    StepDecay schedule(optimizer, 1.0, 2, 0.5);
+    EXPECT_DOUBLE_EQ(optimizer.learning_rate(), 1.0);
+    schedule.step_epoch();  // epoch 1
+    EXPECT_DOUBLE_EQ(optimizer.learning_rate(), 1.0);
+    schedule.step_epoch();  // epoch 2
+    EXPECT_DOUBLE_EQ(optimizer.learning_rate(), 0.5);
+    schedule.step_epoch();
+    schedule.step_epoch();  // epoch 4
+    EXPECT_DOUBLE_EQ(optimizer.learning_rate(), 0.25);
+}
+
+TEST(CosineAnnealing, DecaysToMinimum) {
+    nn::Parameter w("w", Tensor::zeros(Shape{1}));
+    SgdOptions options;
+    Sgd optimizer({&w}, options);
+    CosineAnnealing schedule(optimizer, 1.0, 10, 0.1);
+    EXPECT_DOUBLE_EQ(optimizer.learning_rate(), 1.0);
+    double previous = 1.0;
+    for (int i = 0; i < 10; ++i) {
+        schedule.step_epoch();
+        EXPECT_LE(optimizer.learning_rate(), previous + 1e-12);
+        previous = optimizer.learning_rate();
+    }
+    EXPECT_NEAR(optimizer.learning_rate(), 0.1, 1e-9);
+}
+
+}  // namespace
+}  // namespace ens::optim

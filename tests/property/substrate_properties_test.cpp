@@ -1,0 +1,194 @@
+// Property-based tests of the numerical substrate: algebraic identities
+// that must hold for arbitrary shapes/seeds, swept with TEST_P. These
+// complement the example-based unit tests — a kernel change that keeps a
+// few hand-picked cases working but breaks linearity/adjointness gets
+// caught here.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "tensor/ops.hpp"
+
+namespace ens {
+namespace {
+
+using SeededShape = std::tuple<int, int, int>;  // seed, rows, cols
+
+class MatrixSweep : public ::testing::TestWithParam<SeededShape> {
+protected:
+    Rng rng_{static_cast<std::uint64_t>(std::get<0>(GetParam()))};
+    std::int64_t rows_ = std::get<1>(GetParam());
+    std::int64_t cols_ = std::get<2>(GetParam());
+};
+
+TEST_P(MatrixSweep, SoftmaxIsShiftInvariant) {
+    const Tensor logits = Tensor::randn(Shape{rows_, cols_}, rng_);
+    Tensor shifted = logits.clone();
+    shifted.add_scalar_(13.5f);
+    const Tensor p1 = softmax_rows(logits);
+    const Tensor p2 = softmax_rows(shifted);
+    for (std::int64_t i = 0; i < p1.numel(); ++i) {
+        EXPECT_NEAR(p1.at(i), p2.at(i), 1e-5f);
+    }
+}
+
+TEST_P(MatrixSweep, TransposeIsInvolution) {
+    const Tensor m = Tensor::randn(Shape{rows_, cols_}, rng_);
+    const Tensor back = transpose(transpose(m));
+    EXPECT_EQ(back.to_vector(), m.to_vector());
+}
+
+TEST_P(MatrixSweep, GemmIdentity) {
+    const Tensor m = Tensor::randn(Shape{rows_, cols_}, rng_);
+    Tensor identity(Shape{cols_, cols_});
+    for (std::int64_t i = 0; i < cols_; ++i) {
+        identity.at(i, i) = 1.0f;
+    }
+    const Tensor out = matmul(m, identity);
+    for (std::int64_t i = 0; i < m.numel(); ++i) {
+        EXPECT_NEAR(out.at(i), m.at(i), 1e-5f);
+    }
+}
+
+TEST_P(MatrixSweep, GemmDistributesOverAddition) {
+    const Tensor a = Tensor::randn(Shape{rows_, cols_}, rng_);
+    const Tensor b1 = Tensor::randn(Shape{cols_, rows_}, rng_);
+    const Tensor b2 = Tensor::randn(Shape{cols_, rows_}, rng_);
+    const Tensor lhs = matmul(a, add(b1, b2));
+    const Tensor rhs = add(matmul(a, b1), matmul(a, b2));
+    for (std::int64_t i = 0; i < lhs.numel(); ++i) {
+        EXPECT_NEAR(lhs.at(i), rhs.at(i), 2e-4f * (1.0f + std::fabs(rhs.at(i))));
+    }
+}
+
+TEST_P(MatrixSweep, TransposeMatchesTransFlag) {
+    const Tensor a = Tensor::randn(Shape{rows_, cols_}, rng_);
+    const Tensor b = Tensor::randn(Shape{rows_, cols_}, rng_);
+    // a^T b via flag == transpose(a) @ b
+    Tensor via_flag(Shape{cols_, cols_});
+    gemm(a, true, b, false, via_flag);
+    const Tensor via_transpose = matmul(transpose(a), b);
+    for (std::int64_t i = 0; i < via_flag.numel(); ++i) {
+        EXPECT_NEAR(via_flag.at(i), via_transpose.at(i), 1e-4f);
+    }
+}
+
+TEST_P(MatrixSweep, ConcatSplitIsIdentity) {
+    const Tensor a = Tensor::randn(Shape{rows_, cols_}, rng_);
+    const Tensor b = Tensor::randn(Shape{rows_, cols_ + 1}, rng_);
+    const auto parts = split_cols(concat_cols({a, b}), {cols_, cols_ + 1});
+    EXPECT_EQ(parts[0].to_vector(), a.to_vector());
+    EXPECT_EQ(parts[1].to_vector(), b.to_vector());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatrixSweep,
+                         ::testing::Values(SeededShape{1, 1, 1}, SeededShape{2, 3, 5},
+                                           SeededShape{3, 8, 8}, SeededShape{4, 16, 4},
+                                           SeededShape{5, 5, 33}, SeededShape{6, 32, 32}));
+
+using ConvCase = std::tuple<int, int, int, int>;  // seed, channels, size, stride
+
+class ConvSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvSweep, ConvolutionIsLinearInInput) {
+    const auto [seed, channels, size, stride] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(seed));
+    nn::Conv2d conv(channels, channels + 1, 3, stride, 1, rng);
+    const Shape in_shape{2, channels, size, size};
+    const Tensor x1 = Tensor::randn(in_shape, rng);
+    const Tensor x2 = Tensor::randn(in_shape, rng);
+
+    const Tensor y_sum = conv.forward(add(x1, x2));
+    const Tensor y1 = conv.forward(x1);
+    const Tensor y2 = conv.forward(x2);
+    for (std::int64_t i = 0; i < y_sum.numel(); ++i) {
+        EXPECT_NEAR(y_sum.at(i), y1.at(i) + y2.at(i), 1e-4f * (1.0f + std::fabs(y_sum.at(i))));
+    }
+}
+
+TEST_P(ConvSweep, ConvolutionIsHomogeneous) {
+    const auto [seed, channels, size, stride] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(seed) + 100);
+    nn::Conv2d conv(channels, channels, 3, stride, 1, rng);
+    const Tensor x = Tensor::randn(Shape{1, channels, size, size}, rng);
+    const Tensor y_scaled = conv.forward(scale(x, 2.5f));
+    const Tensor y = conv.forward(x);
+    for (std::int64_t i = 0; i < y.numel(); ++i) {
+        EXPECT_NEAR(y_scaled.at(i), 2.5f * y.at(i), 1e-4f * (1.0f + std::fabs(y.at(i))));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, ConvSweep,
+                         ::testing::Values(ConvCase{1, 1, 6, 1}, ConvCase{2, 3, 8, 1},
+                                           ConvCase{3, 2, 8, 2}, ConvCase{4, 4, 5, 1}));
+
+TEST(BatchNormProperty, OutputInvariantToInputAffineRescale) {
+    // BN(a*x + b) == BN(x) in training mode (per-channel affine inputs are
+    // normalized away).
+    Rng rng(7);
+    nn::BatchNorm2d bn(3);
+    bn.set_training(true);
+    const Tensor x = Tensor::randn(Shape{4, 3, 5, 5}, rng);
+    Tensor rescaled = x.clone();
+    rescaled.scale_(3.0f);
+    rescaled.add_scalar_(-1.25f);
+    const Tensor y1 = bn.forward(x);
+    const Tensor y2 = bn.forward(rescaled);
+    for (std::int64_t i = 0; i < y1.numel(); ++i) {
+        EXPECT_NEAR(y1.at(i), y2.at(i), 2e-3f);
+    }
+}
+
+TEST(PoolingProperty, MaxPoolCommutesWithMonotoneScale) {
+    // max-pool(c * x) == c * max-pool(x) for c > 0.
+    Rng rng(8);
+    nn::MaxPool2d pool(2);
+    const Tensor x = Tensor::randn(Shape{2, 3, 8, 8}, rng);
+    const Tensor lhs = pool.forward(scale(x, 4.0f));
+    nn::MaxPool2d pool2(2);
+    const Tensor rhs = scale(pool2.forward(x), 4.0f);
+    EXPECT_EQ(lhs.to_vector(), rhs.to_vector());
+}
+
+TEST(PoolingProperty, GlobalAvgPoolPreservesMass) {
+    Rng rng(9);
+    nn::GlobalAvgPool gap;
+    const Tensor x = Tensor::randn(Shape{3, 4, 6, 6}, rng);
+    const Tensor y = gap.forward(x);
+    EXPECT_NEAR(sum(y) * 36.0f, sum(x), 1e-2f);
+}
+
+TEST(ActivationProperty, ReluIsIdempotent) {
+    Rng rng(10);
+    nn::ReLU relu1;
+    nn::ReLU relu2;
+    const Tensor x = Tensor::randn(Shape{2, 20}, rng);
+    const Tensor once = relu1.forward(x);
+    const Tensor twice = relu2.forward(once);
+    EXPECT_EQ(once.to_vector(), twice.to_vector());
+}
+
+TEST(LinearProperty, ZeroWeightGivesBiasRows) {
+    Rng rng(11);
+    nn::Linear linear(7, 3, rng);
+    linear.weight().value.fill(0.0f);
+    linear.bias().value.at(0) = 1.0f;
+    linear.bias().value.at(1) = -2.0f;
+    linear.bias().value.at(2) = 0.5f;
+    const Tensor y = linear.forward(Tensor::randn(Shape{4, 7}, rng));
+    for (std::int64_t i = 0; i < 4; ++i) {
+        EXPECT_FLOAT_EQ(y.at(i, 0), 1.0f);
+        EXPECT_FLOAT_EQ(y.at(i, 1), -2.0f);
+        EXPECT_FLOAT_EQ(y.at(i, 2), 0.5f);
+    }
+}
+
+}  // namespace
+}  // namespace ens

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/rng.hpp"
+#include "split/codec.hpp"
+#include "split/quant.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ens::split {
+namespace {
+
+TEST(AffineGrid, CoversTensorRange) {
+    Rng rng(11);
+    const Tensor t = Tensor::uniform(Shape{64}, rng, -2.0f, 3.0f);
+    const AffineGrid grid = choose_affine_grid(t, 256);
+    // Code 0 maps to min, the top code to max.
+    const auto values = t.to_vector();
+    const float lo = *std::min_element(values.begin(), values.end());
+    const float hi = *std::max_element(values.begin(), values.end());
+    EXPECT_FLOAT_EQ(grid.lo, lo);
+    EXPECT_NEAR(grid.value(255), hi, 1e-5f);
+}
+
+TEST(AffineGrid, ConstantTensorHasZeroStep) {
+    const Tensor t = Tensor::full(Shape{10}, 1.25f);
+    const AffineGrid grid = choose_affine_grid(t, 256);
+    EXPECT_FLOAT_EQ(grid.step, 0.0f);
+    EXPECT_FLOAT_EQ(grid.lo, 1.25f);
+    EXPECT_FLOAT_EQ(max_roundtrip_error(grid), 0.0f);
+}
+
+TEST(AffineGrid, RejectsFewerThanTwoLevels) {
+    const Tensor t = Tensor::ones(Shape{4});
+    EXPECT_THROW(choose_affine_grid(t, 1), std::invalid_argument);
+}
+
+TEST(Quantize, ConstantTensorRoundTripsExactly) {
+    const Tensor t = Tensor::full(Shape{3, 5}, -0.75f);
+    const AffineGrid grid = choose_affine_grid(t, 256);
+    const auto codes = quantize(t, grid, 256);
+    const Tensor back = dequantize(codes, t.shape(), grid);
+    EXPECT_EQ(back.to_vector(), t.to_vector());
+}
+
+TEST(Quantize, ExtremesHitFirstAndLastCode) {
+    Tensor t = Tensor::zeros(Shape{4});
+    t.at(0) = -1.0f;
+    t.at(1) = 2.0f;
+    t.at(2) = -1.0f;
+    t.at(3) = 2.0f;
+    const AffineGrid grid = choose_affine_grid(t, 16);
+    const auto codes = quantize(t, grid, 16);
+    EXPECT_EQ(codes[0], 0);
+    EXPECT_EQ(codes[1], 15);
+}
+
+TEST(Quantize, DequantizeRejectsShapeMismatch) {
+    const Tensor t = Tensor::ones(Shape{4});
+    const AffineGrid grid = choose_affine_grid(t, 16);
+    const auto codes = quantize(t, grid, 16);
+    EXPECT_THROW(dequantize(codes, Shape{5}, grid), std::invalid_argument);
+}
+
+/// Round-trip error must respect the analytic step/2 bound across formats
+/// and value ranges.
+struct QuantCase {
+    std::uint32_t levels;
+    float lo, hi;
+};
+
+class QuantErrorBound : public ::testing::TestWithParam<QuantCase> {};
+
+TEST_P(QuantErrorBound, MaxErrorWithinHalfStep) {
+    const QuantCase param = GetParam();
+    Rng rng(17);
+    const Tensor t = Tensor::uniform(Shape{512}, rng, param.lo, param.hi);
+    const AffineGrid grid = choose_affine_grid(t, param.levels);
+    const RoundTripError error = measure_roundtrip_error(t, param.levels);
+    EXPECT_LE(error.max_abs, max_roundtrip_error(grid) + 1e-6f);
+    EXPECT_LE(error.mse, max_roundtrip_error(grid) * max_roundtrip_error(grid) + 1e-9f);
+}
+
+TEST_P(QuantErrorBound, MoreLevelsNeverWorse) {
+    const QuantCase param = GetParam();
+    Rng rng(23);
+    const Tensor t = Tensor::uniform(Shape{512}, rng, param.lo, param.hi);
+    const RoundTripError coarse = measure_roundtrip_error(t, param.levels);
+    const std::uint32_t finer = std::min<std::uint32_t>(param.levels * 4, 65536);
+    const RoundTripError fine = measure_roundtrip_error(t, finer);
+    EXPECT_LE(fine.mse, coarse.mse + 1e-9f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, QuantErrorBound,
+                         ::testing::Values(QuantCase{256, 0.0f, 1.0f},
+                                           QuantCase{256, -4.0f, 4.0f},
+                                           QuantCase{65536, -1.0f, 1.0f},
+                                           QuantCase{16, -0.1f, 0.1f},
+                                           QuantCase{256, 100.0f, 101.0f}));
+
+/// Wire-format coverage of the self-describing codec.
+class CodecFormats : public ::testing::TestWithParam<WireFormat> {};
+
+TEST_P(CodecFormats, RoundTripPreservesShape) {
+    Rng rng(31);
+    const Tensor t = Tensor::randn(Shape{2, 4, 8, 8}, rng);
+    const Tensor back = decode_tensor(encode_tensor(t, GetParam()));
+    EXPECT_EQ(back.shape(), t.shape());
+}
+
+TEST_P(CodecFormats, RoundTripErrorBounded) {
+    Rng rng(37);
+    const Tensor t = Tensor::randn(Shape{128}, rng);
+    const Tensor back = decode_tensor(encode_tensor(t, GetParam()));
+    const AffineGrid grid = choose_affine_grid(t, std::max<std::uint32_t>(wire_format_levels(GetParam()), 2));
+    const float bound =
+        GetParam() == WireFormat::f32 ? 0.0f : max_roundtrip_error(grid) + 1e-6f;
+    const auto original = t.to_vector();
+    const auto restored = back.to_vector();
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_LE(std::abs(original[i] - restored[i]), bound) << "element " << i;
+    }
+}
+
+TEST_P(CodecFormats, EncodedSizeMatchesActualBytes) {
+    Rng rng(41);
+    const Tensor t = Tensor::randn(Shape{3, 9, 5}, rng);
+    EXPECT_EQ(encode_tensor(t, GetParam()).size(), encoded_size(t, GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, CodecFormats,
+                         ::testing::Values(WireFormat::f32, WireFormat::q16, WireFormat::q8),
+                         [](const ::testing::TestParamInfo<WireFormat>& info) {
+                             return wire_format_name(info.param);
+                         });
+
+TEST(CodecFormats, QuantizedPayloadIsSmaller) {
+    Rng rng(43);
+    const Tensor t = Tensor::randn(Shape{1, 8, 16, 16}, rng);
+    const std::uint64_t f32 = encoded_size(t, WireFormat::f32);
+    const std::uint64_t q16 = encoded_size(t, WireFormat::q16);
+    const std::uint64_t q8 = encoded_size(t, WireFormat::q8);
+    EXPECT_LT(q16, f32);
+    EXPECT_LT(q8, q16);
+    // Payload dominates: q8 cuts ~4x vs f32 (headers add a few bytes).
+    EXPECT_NEAR(static_cast<double>(f32) / static_cast<double>(q8), 4.0, 0.25);
+}
+
+TEST(CodecFormats, LegacyF32MessagesStillDecode) {
+    Rng rng(47);
+    const Tensor t = Tensor::randn(Shape{6, 6}, rng);
+    // The one-argument encoder writes the legacy FMAP framing.
+    const Tensor back = decode_tensor(encode_tensor(t));
+    EXPECT_EQ(back.to_vector(), t.to_vector());
+}
+
+TEST(CodecFormats, RejectsTruncatedQuantizedMessage) {
+    Rng rng(53);
+    std::string bytes = encode_tensor(Tensor::randn(Shape{16}, rng), WireFormat::q8);
+    bytes.resize(bytes.size() / 2);
+    EXPECT_THROW(decode_tensor(bytes), std::exception);
+}
+
+}  // namespace
+}  // namespace ens::split

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "core/selector.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+#include "split/channel.hpp"
+#include "split/session.hpp"
+
+namespace ens::split {
+namespace {
+
+/// Tiny linear CI pipeline over real channels for wire-format coverage.
+struct SessionFixture {
+    Rng rng{13};
+    nn::Sequential head;
+    nn::Sequential body;
+    nn::Sequential tail;
+    InProcChannel uplink;
+    InProcChannel downlink;
+
+    SessionFixture() {
+        head.emplace<nn::Linear>(3, 4, rng);
+        body.emplace<nn::Linear>(4, 4, rng);
+        tail.emplace<nn::Linear>(4, 2, rng);
+        head.set_training(false);
+        body.set_training(false);
+        tail.set_training(false);
+    }
+};
+
+class SessionWire : public ::testing::TestWithParam<WireFormat> {};
+
+TEST_P(SessionWire, RoundTripProducesLogits) {
+    SessionFixture fx;
+    CollaborativeSession session(fx.head, {&fx.body}, fx.tail, single_body_combiner(),
+                                 fx.uplink, fx.downlink, GetParam());
+    Rng rng(7);
+    const Tensor logits = session.infer(Tensor::randn(Shape{5, 3}, rng));
+    EXPECT_EQ(logits.shape(), (Shape{5, 2}));
+    EXPECT_EQ(session.wire_format(), GetParam());
+}
+
+TEST_P(SessionWire, TrafficBytesMatchFormatWidth) {
+    SessionFixture fx;
+    CollaborativeSession session(fx.head, {&fx.body}, fx.tail, single_body_combiner(),
+                                 fx.uplink, fx.downlink, GetParam());
+    Rng rng(9);
+    const Tensor x = Tensor::randn(Shape{4, 3}, rng);
+    (void)session.infer(x);
+    const Tensor features = fx.head.forward(x);
+    EXPECT_EQ(session.uplink_stats().bytes, encoded_size(features, GetParam()));
+    EXPECT_EQ(session.uplink_stats().messages, 1u);
+    EXPECT_EQ(session.downlink_stats().messages, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, SessionWire,
+                         ::testing::Values(WireFormat::f32, WireFormat::q16, WireFormat::q8),
+                         [](const ::testing::TestParamInfo<WireFormat>& info) {
+                             return wire_format_name(info.param);
+                         });
+
+TEST(SessionWire, QuantizedLogitsStayCloseToLossless) {
+    SessionFixture fx_a;
+    CollaborativeSession lossless(fx_a.head, {&fx_a.body}, fx_a.tail, single_body_combiner(),
+                                  fx_a.uplink, fx_a.downlink, WireFormat::f32);
+    // Same weights (same seed), separate channels.
+    SessionFixture fx_b;
+    CollaborativeSession quantized(fx_b.head, {&fx_b.body}, fx_b.tail, single_body_combiner(),
+                                   fx_b.uplink, fx_b.downlink, WireFormat::q16);
+    Rng rng(11);
+    const Tensor x = Tensor::randn(Shape{8, 3}, rng);
+    const auto a = lossless.infer(x).to_vector();
+    const auto b = quantized.infer(x).to_vector();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NEAR(a[i], b[i], 5e-3f) << "logit " << i;
+    }
+}
+
+TEST(SessionWire, DefaultFormatIsLossless) {
+    SessionFixture fx;
+    CollaborativeSession session(fx.head, {&fx.body}, fx.tail, single_body_combiner(),
+                                 fx.uplink, fx.downlink);
+    EXPECT_EQ(session.wire_format(), WireFormat::f32);
+}
+
+}  // namespace
+}  // namespace ens::split

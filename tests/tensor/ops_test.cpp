@@ -1,0 +1,185 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace ens {
+namespace {
+
+TEST(Ops, ElementwiseAllocate) {
+    const Tensor a = Tensor::from_vector(Shape{3}, {1, 2, 3});
+    const Tensor b = Tensor::from_vector(Shape{3}, {4, 5, 6});
+    EXPECT_EQ(add(a, b).to_vector(), (std::vector<float>{5, 7, 9}));
+    EXPECT_EQ(sub(a, b).to_vector(), (std::vector<float>{-3, -3, -3}));
+    EXPECT_EQ(mul(a, b).to_vector(), (std::vector<float>{4, 10, 18}));
+    EXPECT_EQ(scale(a, 2.0f).to_vector(), (std::vector<float>{2, 4, 6}));
+    EXPECT_EQ(a.to_vector(), (std::vector<float>{1, 2, 3}));  // inputs untouched
+}
+
+TEST(Ops, Reductions) {
+    const Tensor a = Tensor::from_vector(Shape{4}, {1, -2, 3, -4});
+    EXPECT_FLOAT_EQ(sum(a), -2.0f);
+    EXPECT_FLOAT_EQ(mean(a), -0.5f);
+    EXPECT_FLOAT_EQ(min_value(a), -4.0f);
+    EXPECT_FLOAT_EQ(max_value(a), 3.0f);
+    EXPECT_FLOAT_EQ(squared_norm(a), 30.0f);
+}
+
+TEST(Ops, Dot) {
+    const Tensor a = Tensor::from_vector(Shape{3}, {1, 2, 3});
+    const Tensor b = Tensor::from_vector(Shape{3}, {4, -5, 6});
+    EXPECT_FLOAT_EQ(dot(a, b), 12.0f);
+}
+
+TEST(Ops, MatmulSmallKnown) {
+    const Tensor a = Tensor::from_vector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+    const Tensor b = Tensor::from_vector(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+    const Tensor c = matmul(a, b);
+    EXPECT_EQ(c.to_vector(), (std::vector<float>{58, 64, 139, 154}));
+}
+
+TEST(Ops, MatmulShapeChecks) {
+    const Tensor a(Shape{2, 3});
+    const Tensor b(Shape{4, 2});
+    EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(Ops, Transpose) {
+    const Tensor a = Tensor::from_vector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+    const Tensor t = transpose(a);
+    EXPECT_EQ(t.shape(), Shape({3, 2}));
+    EXPECT_EQ(t.to_vector(), (std::vector<float>{1, 4, 2, 5, 3, 6}));
+}
+
+/// Reference GEMM for property checks.
+Tensor reference_gemm(const Tensor& a, bool ta, const Tensor& b, bool tb, float alpha) {
+    const std::int64_t m = ta ? a.dim(1) : a.dim(0);
+    const std::int64_t k = ta ? a.dim(0) : a.dim(1);
+    const std::int64_t n = tb ? b.dim(0) : b.dim(1);
+    Tensor c(Shape{m, n});
+    for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (std::int64_t p = 0; p < k; ++p) {
+                const float av = ta ? a.at(p, i) : a.at(i, p);
+                const float bv = tb ? b.at(j, p) : b.at(p, j);
+                acc += static_cast<double>(av) * bv;
+            }
+            c.at(i, j) = alpha * static_cast<float>(acc);
+        }
+    }
+    return c;
+}
+
+using GemmCase = std::tuple<int, int, int, bool, bool>;
+
+class GemmSweep : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmSweep, MatchesReference) {
+    const auto [m, n, k, ta, tb] = GetParam();
+    Rng rng(m * 1000 + n * 100 + k * 10 + (ta ? 2 : 0) + (tb ? 1 : 0));
+    const Tensor a = ta ? Tensor::randn(Shape{k, m}, rng) : Tensor::randn(Shape{m, k}, rng);
+    const Tensor b = tb ? Tensor::randn(Shape{n, k}, rng) : Tensor::randn(Shape{k, n}, rng);
+    Tensor c(Shape{m, n});
+    gemm(a, ta, b, tb, c, 1.5f, 0.0f);
+    const Tensor expected = reference_gemm(a, ta, b, tb, 1.5f);
+    for (std::int64_t i = 0; i < c.numel(); ++i) {
+        EXPECT_NEAR(c.at(i), expected.at(i), 1e-3f) << "at " << i;
+    }
+
+    // Serial variant must agree exactly in structure.
+    Tensor c2(Shape{m, n});
+    gemm_serial(a, ta, b, tb, c2, 1.5f, 0.0f);
+    for (std::int64_t i = 0; i < c.numel(); ++i) {
+        EXPECT_NEAR(c2.at(i), expected.at(i), 1e-3f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSweep,
+    ::testing::Values(GemmCase{1, 1, 1, false, false}, GemmCase{2, 3, 4, false, false},
+                      GemmCase{5, 7, 3, true, false}, GemmCase{4, 2, 6, false, true},
+                      GemmCase{3, 3, 3, true, true}, GemmCase{16, 16, 16, false, false},
+                      GemmCase{33, 17, 9, false, false}, GemmCase{64, 64, 64, false, false},
+                      GemmCase{128, 96, 40, false, false}));
+
+TEST(Ops, GemmBetaAccumulates) {
+    Rng rng(3);
+    const Tensor a = Tensor::randn(Shape{3, 4}, rng);
+    const Tensor b = Tensor::randn(Shape{4, 2}, rng);
+    Tensor c = Tensor::ones(Shape{3, 2});
+    gemm(a, false, b, false, c, 1.0f, 1.0f);
+    const Tensor expected = reference_gemm(a, false, b, false, 1.0f);
+    for (std::int64_t i = 0; i < c.numel(); ++i) {
+        EXPECT_NEAR(c.at(i), expected.at(i) + 1.0f, 1e-4f);
+    }
+}
+
+TEST(Ops, SoftmaxRowsSumToOneAndOrderPreserved) {
+    const Tensor logits = Tensor::from_vector(Shape{2, 3}, {1, 2, 3, -1, 5, 0});
+    const Tensor p = softmax_rows(logits);
+    for (std::int64_t r = 0; r < 2; ++r) {
+        float total = 0.0f;
+        for (std::int64_t c = 0; c < 3; ++c) {
+            total += p.at(r, c);
+            EXPECT_GT(p.at(r, c), 0.0f);
+        }
+        EXPECT_NEAR(total, 1.0f, 1e-5f);
+    }
+    EXPECT_GT(p.at(0, 2), p.at(0, 1));
+    EXPECT_GT(p.at(1, 1), p.at(1, 2));
+}
+
+TEST(Ops, SoftmaxNumericallyStable) {
+    const Tensor logits = Tensor::from_vector(Shape{1, 2}, {1000.0f, 1002.0f});
+    const Tensor p = softmax_rows(logits);
+    EXPECT_TRUE(std::isfinite(p.at(0, 0)));
+    EXPECT_NEAR(p.at(0, 0) + p.at(0, 1), 1.0f, 1e-5f);
+}
+
+TEST(Ops, ArgmaxRows) {
+    const Tensor m = Tensor::from_vector(Shape{3, 3}, {9, 1, 2, 0, 5, 4, 1, 1, 8});
+    EXPECT_EQ(argmax_rows(m), (std::vector<std::int64_t>{0, 1, 2}));
+}
+
+TEST(Ops, ConcatSplitRoundTrip) {
+    Rng rng(9);
+    const Tensor a = Tensor::randn(Shape{4, 3}, rng);
+    const Tensor b = Tensor::randn(Shape{4, 5}, rng);
+    const Tensor c = Tensor::randn(Shape{4, 2}, rng);
+    const Tensor cat = concat_cols({a, b, c});
+    EXPECT_EQ(cat.shape(), Shape({4, 10}));
+    const auto parts = split_cols(cat, {3, 5, 2});
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0].to_vector(), a.to_vector());
+    EXPECT_EQ(parts[1].to_vector(), b.to_vector());
+    EXPECT_EQ(parts[2].to_vector(), c.to_vector());
+}
+
+TEST(Ops, ConcatColsRejectsRowMismatch) {
+    EXPECT_THROW(concat_cols({Tensor(Shape{2, 2}), Tensor(Shape{3, 2})}), std::invalid_argument);
+}
+
+TEST(Ops, SliceCols) {
+    const Tensor m = Tensor::from_vector(Shape{2, 4}, {1, 2, 3, 4, 5, 6, 7, 8});
+    const Tensor s = slice_cols(m, 1, 2);
+    EXPECT_EQ(s.to_vector(), (std::vector<float>{2, 3, 6, 7}));
+    EXPECT_THROW(slice_cols(m, 3, 2), std::invalid_argument);
+}
+
+TEST(Ops, ConcatChannels) {
+    Rng rng(4);
+    const Tensor a = Tensor::randn(Shape{2, 1, 2, 2}, rng);
+    const Tensor b = Tensor::randn(Shape{2, 2, 2, 2}, rng);
+    const Tensor cat = concat_channels({a, b});
+    EXPECT_EQ(cat.shape(), Shape({2, 3, 2, 2}));
+    EXPECT_EQ(cat.at(1, 0, 1, 1), a.at(1, 0, 1, 1));
+    EXPECT_EQ(cat.at(1, 2, 0, 1), b.at(1, 1, 0, 1));
+}
+
+}  // namespace
+}  // namespace ens

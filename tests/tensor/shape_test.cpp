@@ -1,0 +1,50 @@
+#include "tensor/shape.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ens {
+namespace {
+
+TEST(Shape, DefaultIsRankZero) {
+    const Shape s;
+    EXPECT_EQ(s.rank(), 0u);
+    EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, InitializerList) {
+    const Shape s{2, 3, 4};
+    EXPECT_EQ(s.rank(), 3u);
+    EXPECT_EQ(s.dim(0), 2);
+    EXPECT_EQ(s.dim(1), 3);
+    EXPECT_EQ(s.dim(2), 4);
+    EXPECT_EQ(s.numel(), 24);
+}
+
+TEST(Shape, VectorConstructor) {
+    const Shape s(std::vector<std::int64_t>{5, 7});
+    EXPECT_EQ(s.numel(), 35);
+}
+
+TEST(Shape, RejectsNonPositiveExtents) {
+    EXPECT_THROW(Shape({0}), std::invalid_argument);
+    EXPECT_THROW(Shape({2, -1}), std::invalid_argument);
+}
+
+TEST(Shape, AxisOutOfRangeThrows) {
+    const Shape s{2, 2};
+    EXPECT_THROW(s.dim(2), std::invalid_argument);
+}
+
+TEST(Shape, Equality) {
+    EXPECT_EQ(Shape({1, 2}), Shape({1, 2}));
+    EXPECT_NE(Shape({1, 2}), Shape({2, 1}));
+    EXPECT_NE(Shape({1, 2}), Shape({1, 2, 1}));
+}
+
+TEST(Shape, ToString) {
+    EXPECT_EQ(Shape({2, 3, 16, 16}).to_string(), "[2, 3, 16, 16]");
+    EXPECT_EQ(Shape{}.to_string(), "[]");
+}
+
+}  // namespace
+}  // namespace ens

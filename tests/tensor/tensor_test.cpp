@@ -1,0 +1,118 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ens {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+    const Tensor t(Shape{2, 3});
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        EXPECT_EQ(t.at(i), 0.0f);
+    }
+}
+
+TEST(Tensor, FullAndOnes) {
+    const Tensor ones = Tensor::ones(Shape{4});
+    const Tensor sevens = Tensor::full(Shape{4}, 7.0f);
+    for (std::int64_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(ones.at(i), 1.0f);
+        EXPECT_EQ(sevens.at(i), 7.0f);
+    }
+}
+
+TEST(Tensor, FromVectorChecksSize) {
+    EXPECT_NO_THROW(Tensor::from_vector(Shape{2, 2}, {1, 2, 3, 4}));
+    EXPECT_THROW(Tensor::from_vector(Shape{2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, CopyAliasesCloneDoesNot) {
+    Tensor a = Tensor::from_vector(Shape{2}, {1, 2});
+    Tensor alias = a;
+    Tensor deep = a.clone();
+    alias.at(0) = 42.0f;
+    EXPECT_EQ(a.at(0), 42.0f);
+    EXPECT_EQ(deep.at(0), 1.0f);
+}
+
+TEST(Tensor, ReshapeSharesStorage) {
+    Tensor a = Tensor::from_vector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+    Tensor r = a.reshaped(Shape{3, 2});
+    r.at(0, 0) = 99.0f;
+    EXPECT_EQ(a.at(0, 0), 99.0f);
+    EXPECT_THROW(a.reshaped(Shape{4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, RandnStatistics) {
+    Rng rng(5);
+    const Tensor t = Tensor::randn(Shape{10000}, rng, 2.0f, 3.0f);
+    double sum = 0.0;
+    double sq = 0.0;
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        sum += t.at(i);
+        sq += static_cast<double>(t.at(i)) * t.at(i);
+    }
+    const double mean = sum / t.numel();
+    EXPECT_NEAR(mean, 2.0, 0.1);
+    EXPECT_NEAR(sq / t.numel() - mean * mean, 9.0, 0.5);
+}
+
+TEST(Tensor, UniformRange) {
+    Rng rng(5);
+    const Tensor t = Tensor::uniform(Shape{1000}, rng, -1.0f, 1.0f);
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        EXPECT_GE(t.at(i), -1.0f);
+        EXPECT_LT(t.at(i), 1.0f);
+    }
+}
+
+TEST(Tensor, InPlaceArithmetic) {
+    Tensor a = Tensor::from_vector(Shape{3}, {1, 2, 3});
+    const Tensor b = Tensor::from_vector(Shape{3}, {10, 20, 30});
+    a.add_(b);
+    EXPECT_EQ(a.at(1), 22.0f);
+    a.sub_(b);
+    EXPECT_EQ(a.at(1), 2.0f);
+    a.mul_(b);
+    EXPECT_EQ(a.at(2), 90.0f);
+    a.scale_(0.5f);
+    EXPECT_EQ(a.at(0), 5.0f);
+    a.add_scalar_(1.0f);
+    EXPECT_EQ(a.at(0), 6.0f);
+    a.axpy_(2.0f, b);
+    EXPECT_EQ(a.at(0), 26.0f);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+    Tensor a(Shape{3});
+    const Tensor b(Shape{4});
+    EXPECT_THROW(a.add_(b), std::invalid_argument);
+    EXPECT_THROW(a.copy_from(b), std::invalid_argument);
+}
+
+TEST(Tensor, IndexedAccessors) {
+    Tensor m(Shape{2, 3});
+    m.at(1, 2) = 5.0f;
+    EXPECT_EQ(m.at(1, 2), 5.0f);
+    EXPECT_THROW(m.at(2, 0), std::invalid_argument);
+
+    Tensor t(Shape{1, 2, 3, 4});
+    t.at(0, 1, 2, 3) = 7.0f;
+    EXPECT_EQ(t.at(0, 1, 2, 3), 7.0f);
+    EXPECT_THROW(t.at(0, 2, 0, 0), std::invalid_argument);
+    EXPECT_THROW(m.at(0, 0, 0, 0), std::invalid_argument);
+}
+
+TEST(Tensor, UndefinedAccessThrows) {
+    const Tensor t;
+    EXPECT_FALSE(t.defined());
+    EXPECT_THROW(t.data(), std::runtime_error);
+}
+
+TEST(Tensor, ToVectorRoundTrip) {
+    const std::vector<float> v{3, 1, 4, 1, 5, 9};
+    EXPECT_EQ(Tensor::from_vector(Shape{6}, v).to_vector(), v);
+}
+
+}  // namespace
+}  // namespace ens

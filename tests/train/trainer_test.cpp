@@ -1,0 +1,102 @@
+#include "train/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synth_cifar10.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/sequential.hpp"
+
+namespace ens::train {
+namespace {
+
+std::unique_ptr<nn::Sequential> tiny_cnn(Rng& rng, std::int64_t classes) {
+    auto net = std::make_unique<nn::Sequential>();
+    net->emplace<nn::Conv2d>(3, 8, 3, 1, 1, rng);
+    net->emplace<nn::BatchNorm2d>(8);
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::MaxPool2d>(2);
+    net->emplace<nn::Conv2d>(8, 16, 3, 1, 1, rng);
+    net->emplace<nn::BatchNorm2d>(16);
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::GlobalAvgPool>();
+    net->emplace<nn::Linear>(16, classes, rng);
+    return net;
+}
+
+TEST(Trainer, LearnsSyntheticClasses) {
+    const data::SynthCifar10 train_set(256, 7, 16);
+    Rng rng(1);
+    auto net = tiny_cnn(rng, 10);
+    net->set_training(true);
+
+    TrainOptions options;
+    options.epochs = 6;
+    options.batch_size = 32;
+    options.learning_rate = 0.2;
+    options.seed = 3;
+
+    const TrainSummary summary = train_classifier(
+        [&net](const Tensor& x) { return net->forward(x); },
+        [&net](const Tensor& g) { net->backward(g); }, net->parameters(), train_set, options);
+
+    EXPECT_GT(summary.steps, 0u);
+    EXPECT_GT(summary.final_train_accuracy, 0.45f);  // >> 10% chance
+
+    net->set_training(false);
+    const data::SynthCifar10 test_set(128, 8, 16);
+    const float test_accuracy = evaluate_accuracy(
+        [&net](const Tensor& x) { return net->forward(x); }, test_set, 32);
+    EXPECT_GT(test_accuracy, 0.35f);
+}
+
+TEST(Trainer, LossDecreases) {
+    const data::SynthCifar10 train_set(128, 9, 16);
+    Rng rng(2);
+    auto net = tiny_cnn(rng, 10);
+    net->set_training(true);
+
+    TrainOptions one_epoch;
+    one_epoch.epochs = 1;
+    one_epoch.batch_size = 32;
+    one_epoch.learning_rate = 0.05;
+    one_epoch.cosine_schedule = false;
+
+    const auto run_epoch = [&] {
+        return train_classifier([&net](const Tensor& x) { return net->forward(x); },
+                                [&net](const Tensor& g) { net->backward(g); },
+                                net->parameters(), train_set, one_epoch)
+            .final_loss;
+    };
+    const float first = run_epoch();
+    float last = first;
+    for (int i = 0; i < 3; ++i) {
+        last = run_epoch();
+    }
+    EXPECT_LT(last, first);
+}
+
+TEST(Trainer, DeterministicGivenSeed) {
+    const data::SynthCifar10 train_set(64, 11, 16);
+    const auto run = [&train_set] {
+        Rng rng(5);
+        auto net = tiny_cnn(rng, 10);
+        net->set_training(true);
+        TrainOptions options;
+        options.epochs = 1;
+        options.batch_size = 16;
+        options.seed = 17;
+        train_classifier([&net](const Tensor& x) { return net->forward(x); },
+                         [&net](const Tensor& g) { net->backward(g); }, net->parameters(),
+                         train_set, options);
+        net->set_training(false);
+        return net->forward(Tensor::ones(Shape{1, 3, 16, 16})).to_vector();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace ens::train
