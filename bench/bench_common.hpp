@@ -22,7 +22,10 @@
 #include "data/synth_cifar100.hpp"
 #include "data/synth_faces.hpp"
 #include "attack/mia.hpp"
+#include "defense/protected_model.hpp"
+#include "nn/linear.hpp"
 #include "nn/resnet.hpp"
+#include "split/split_model.hpp"
 #include "train/trainer.hpp"
 
 namespace ens::bench {
@@ -226,6 +229,31 @@ inline attack::MiaOptions mia_options(Scale scale, std::uint64_t seed = 99) {
     // threat model with our extension.
     options.wire_stats_weight = 0.0f;
     return options;
+}
+
+/// Untrained serving pipeline with `num_bodies` independent ResNet-18
+/// bodies behind one head and a width-matched Linear tail — the Ensembler
+/// serving geometry for cost benches (weights are random: these pipelines
+/// measure serving machinery, not model quality). Hand to
+/// serve::InferenceService::from_baseline.
+inline defense::ProtectedModel make_serving_pipeline(const nn::ResNetConfig& arch,
+                                                     std::size_t num_bodies,
+                                                     std::uint64_t seed = 2000) {
+    defense::ProtectedModel model;
+    for (std::size_t k = 0; k < num_bodies; ++k) {
+        Rng rng(seed + k);
+        split::SplitModel parts = split::build_split_resnet18(arch, rng);
+        if (k == 0) {
+            model.head = std::move(parts.head);
+        }
+        model.bodies.push_back(std::move(parts.body));
+    }
+    Rng tail_rng(seed ^ 0x7A11);
+    model.tail = std::make_unique<nn::Sequential>();
+    model.tail->emplace<nn::Linear>(
+        static_cast<std::int64_t>(num_bodies) * nn::resnet18_feature_width(arch),
+        arch.num_classes, tail_rng);
+    return model;
 }
 
 /// Markdown-ish row printers so bench stdout pastes into EXPERIMENTS.md.

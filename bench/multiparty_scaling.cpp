@@ -19,6 +19,7 @@
 #include "core/ensembler.hpp"
 #include "latency/estimator.hpp"
 #include "latency/profiles.hpp"
+#include "serve/service.hpp"
 #include "split/multiparty.hpp"
 #include "split/split_model.hpp"
 
@@ -110,5 +111,20 @@ int main() {
     std::printf("\n(expected shape: more servers shrink both the slowest-shard server time and "
                 "every single server's 2^b-1 search space; with P=4 spread round-robin the "
                 "full selection is only covered by a multi-server coalition)\n");
+
+    // Single-service reference: the same N=10 deployment through the
+    // unified ens::serve surface (K=1 equivalent — one provider holds all
+    // bodies), for the traffic/latency baseline the shard rows divide up.
+    {
+        serve::InferenceService service = serve::InferenceService::from_ensembler(ensembler);
+        auto session = service.create_session();
+        const data::Batch batch = data::materialize(*scenario.test, 0, 16);
+        const serve::InferenceResult reference = session->infer(batch.images);
+        std::printf("\nens::serve single-service reference (K=1): %llu B up + %llu B down, "
+                    "%.1f ms end-to-end, %zu feature maps per request\n",
+                    static_cast<unsigned long long>(session->uplink_stats().bytes),
+                    static_cast<unsigned long long>(session->downlink_stats().bytes),
+                    reference.total_ms, service.body_count());
+    }
     return 0;
 }

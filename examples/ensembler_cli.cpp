@@ -2,10 +2,12 @@
 //
 // Subcommands:
 //   train    fit the three stages on the synthetic CIFAR-10 analogue,
-//            report accuracy, optionally save the client bundle
+//            report accuracy through an ens::serve session (real wire
+//            bytes + latency percentiles), optionally save the client
+//            bundle
 //              --n 6 --p 3 --sigma 0.1 --lambda 0.5 --epochs 2
 //              --width 4 --image 16 --train 384 --seed 11
-//              --save client.bin
+//              --wire f32|q16|q8 [--save client.bin]
 //   attack   train a pipeline, then mount the paper's MIA against it
 //              (same knobs) --adaptive | --best-of-n | --bruteforce
 //   latency  print the Table III cost model for a given N/P/width/batch
@@ -26,8 +28,10 @@
 #include "data/synth_cifar10.hpp"
 #include "latency/estimator.hpp"
 #include "latency/profiles.hpp"
+#include "serve/service.hpp"
 #include "split/codec.hpp"
 #include "split/split_model.hpp"
+#include "train/trainer.hpp"
 
 namespace {
 
@@ -37,7 +41,8 @@ int usage(const char* program) {
     std::printf(
         "usage: %s <train|attack|latency|help> [--flag value]...\n"
         "  train    --n 6 --p 3 --sigma 0.1 --lambda 0.5 --epochs 2 --width 4\n"
-        "           --image 16 --train 384 --seed 11 [--save client.bin]\n"
+        "           --image 16 --train 384 --seed 11 [--wire f32|q16|q8]\n"
+        "           [--save client.bin]\n"
         "  attack   same knobs, plus --adaptive | --best-of-n | --bruteforce\n"
         "  latency  --n 10 --p 4 --width 64 --image 32 --batch 128 [--wire f32|q16|q8]\n",
         program);
@@ -80,10 +85,24 @@ int reject_unknown(const ArgParser& args) {
     return 2;
 }
 
+int parse_wire_format(const std::string& name, split::WireFormat& format) {
+    if (name == "f32") format = split::WireFormat::f32;
+    else if (name == "q16") format = split::WireFormat::q16;
+    else if (name == "q8") format = split::WireFormat::q8;
+    else {
+        std::fprintf(stderr, "unknown wire format '%s'\n", name.c_str());
+        return 2;
+    }
+    return 0;
+}
+
 int cmd_train(const ArgParser& args) {
     const TrainSetup setup = read_setup(args);
     const std::string save_path = args.get_string("save", "");
+    const std::string wire = args.get_string("wire", "f32");
     if (const int rc = reject_unknown(args)) return rc;
+    split::WireFormat wire_format = split::WireFormat::f32;
+    if (const int rc = parse_wire_format(wire, wire_format)) return rc;
 
     const data::SynthCifar10 train_set(setup.train_size, setup.seed + 1,
                                        setup.arch.image_size);
@@ -98,7 +117,26 @@ int cmd_train(const ArgParser& args) {
     ensembler.fit(train_set);
     std::printf("selector (client secret, shown for demo): %s\n",
                 ensembler.selector().to_string().c_str());
-    std::printf("test accuracy: %.3f\n", ensembler.evaluate_accuracy(test_set));
+
+    // Deployment-style evaluation: all N bodies behind an InferenceService,
+    // this client's bundle in a session, every feature map crossing the
+    // wire codec.
+    {
+        serve::InferenceService service = serve::InferenceService::from_ensembler(ensembler);
+        auto session =
+            service.create_session(serve::SessionOptions{wire_format, std::nullopt});
+        const float accuracy = train::evaluate_accuracy(
+            [&](const Tensor& x) { return session->infer(x).logits; }, test_set, 32);
+        const serve::LatencySummary latency = session->stats().latency();
+        std::printf("test accuracy (served, wire=%s): %.3f\n",
+                    split::wire_format_name(wire_format), accuracy);
+        std::printf("served %llu requests: p50 %.1f ms  p99 %.1f ms  "
+                    "uplink %llu B  downlink %llu B\n",
+                    static_cast<unsigned long long>(latency.count), latency.p50_ms,
+                    latency.p99_ms,
+                    static_cast<unsigned long long>(session->uplink_stats().bytes),
+                    static_cast<unsigned long long>(session->downlink_stats().bytes));
+    }
 
     if (!save_path.empty()) {
         core::save_client_state_file(ensembler, save_path);
@@ -167,12 +205,7 @@ int cmd_latency(const ArgParser& args) {
     if (const int rc = reject_unknown(args)) return rc;
 
     split::WireFormat format = split::WireFormat::f32;
-    if (wire == "q16") format = split::WireFormat::q16;
-    else if (wire == "q8") format = split::WireFormat::q8;
-    else if (wire != "f32") {
-        std::fprintf(stderr, "unknown wire format '%s'\n", wire.c_str());
-        return 2;
-    }
+    if (const int rc = parse_wire_format(wire, format)) return rc;
 
     Rng rng(1);
     split::SplitModel parts = split::build_split_resnet18(arch, rng);

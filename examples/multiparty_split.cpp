@@ -14,6 +14,7 @@
 
 #include "core/ensembler.hpp"
 #include "data/synth_cifar10.hpp"
+#include "serve/service.hpp"
 #include "split/channel.hpp"
 #include "split/codec.hpp"
 
@@ -84,18 +85,26 @@ int main() {
     ensembler.client_tail().set_training(false);
     const Tensor logits = ensembler.client_tail().forward(combined);
 
-    // Verify the wire path agrees with local inference.
-    const Tensor local = ensembler.predict(batch.images);
+    // Verify the multiparty wire path agrees with the single-service
+    // deployment (ens::serve is the reference serving surface).
+    serve::InferenceService service = serve::InferenceService::from_ensembler(ensembler);
+    auto session = service.create_session();
+    const serve::InferenceResult reference = session->infer(batch.images);
     float max_abs_diff = 0.0f;
     for (std::int64_t i = 0; i < logits.numel(); ++i) {
-        max_abs_diff = std::max(max_abs_diff, std::abs(logits.at(i) - local.at(i)));
+        max_abs_diff = std::max(max_abs_diff, std::abs(logits.at(i) - reference.logits.at(i)));
     }
 
     std::printf("=== multiparty split inference (2 servers x %zu bodies) ===\n",
                 servers[0].bodies.size());
     std::printf("selector: %s  (secret; servers only see which bytes arrive)\n",
                 ensembler.selector().to_string().c_str());
-    std::printf("wire == local inference: max |delta logits| = %.2e\n", max_abs_diff);
+    std::printf("multiparty wire == single-service serve: max |delta logits| = %.2e\n",
+                max_abs_diff);
+    std::printf("single-service reference: %llu B up, %llu B down, %.1f ms end-to-end\n",
+                static_cast<unsigned long long>(session->uplink_stats().bytes),
+                static_cast<unsigned long long>(session->downlink_stats().bytes),
+                reference.total_ms);
     for (int s = 0; s < 2; ++s) {
         std::printf("server %d traffic: uplink %llu B in %llu msg, downlink %llu B in %llu msg\n",
                     s, static_cast<unsigned long long>(servers[s].uplink.stats().bytes),

@@ -5,6 +5,10 @@
 // Compares the Single (fixed Gaussian) defense against Ensembler on the
 // CelebA-HQ analogue: identity-classification accuracy stays comparable,
 // while the attacker's reconstruction quality collapses under Ensembler.
+// Both defenses are evaluated through the SAME ens::serve interface —
+// InferenceService::from_baseline for Single, ::from_ensembler for
+// Ensembler — so accuracy numbers reflect the real serving path (wire
+// codec and all).
 
 #include <cstdio>
 
@@ -12,6 +16,7 @@
 #include "core/ensembler.hpp"
 #include "data/synth_faces.hpp"
 #include "defense/baselines.hpp"
+#include "serve/service.hpp"
 
 int main() {
     using namespace ens;
@@ -40,13 +45,24 @@ int main() {
     mia_options.eval_samples = 40;
     attack::ModelInversionAttack attacker(arch, mia_options);
 
+    // Accuracy through the unified serving interface: one helper for every
+    // defense family.
+    const auto served_accuracy = [&test_set](serve::ClientSession& session) {
+        return train::evaluate_accuracy(
+            [&session](const Tensor& x) { return session.infer(x).logits; }, test_set, 32);
+    };
+
     // --- baseline: single net + fixed Gaussian mask ---
     const defense::ExperimentEnv env{train_set, test_set, attacker_aux, arch, options, 7};
     defense::ProtectedModel single = defense::train_single_gaussian(env, 0.1f);
-    const float single_acc = single.evaluate_accuracy(test_set);
+    // Attack first: deployed() views the model in place, and from_baseline
+    // takes ownership of its layers afterwards.
     const split::DeployedPipeline single_view = single.deployed();
     const attack::AttackOutcome single_attack = attacker.attack_single_body(
         *single_view.bodies[0], attacker_aux, test_set, single_view.transmit);
+    serve::InferenceService single_service =
+        serve::InferenceService::from_baseline(std::move(single));
+    const float single_acc = served_accuracy(*single_service.create_session());
 
     // --- Ensembler ---
     core::EnsemblerConfig config;
@@ -58,7 +74,8 @@ int main() {
 
     core::Ensembler ensembler(arch, config);
     ensembler.fit(train_set);
-    const float ens_acc = ensembler.evaluate_accuracy(test_set);
+    serve::InferenceService ens_service = serve::InferenceService::from_ensembler(ensembler);
+    const float ens_acc = served_accuracy(*ens_service.create_session());
     split::DeployedPipeline victim = ensembler.deployed();
     const attack::BestOfN ens_attack = attacker.attack_best_of_n(victim, attacker_aux, test_set);
 

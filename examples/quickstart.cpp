@@ -5,7 +5,8 @@
 //   1. build synthetic data (CIFAR-10 analogue),
 //   2. configure the ResNet-18 architecture and the Ensembler (N, P, σ, λ),
 //   3. run the three training stages,
-//   4. classify test images through the deployed pipeline,
+//   4. deploy through ens::serve and classify test images via a
+//      ClientSession (real wire messages, per-session traffic/latency),
 //   5. launch the single-body inversion attack and score it with SSIM/PSNR.
 
 #include <cstdio>
@@ -13,6 +14,8 @@
 #include "attack/mia.hpp"
 #include "core/ensembler.hpp"
 #include "data/synth_cifar10.hpp"
+#include "serve/service.hpp"
+#include "train/trainer.hpp"
 
 int main() {
     using namespace ens;
@@ -45,22 +48,39 @@ int main() {
     ensembler.fit(train_set);
     std::printf("secret selector: %s (never leaves the client)\n",
                 ensembler.selector().to_string().c_str());
-    std::printf("test accuracy through the deployed pipeline: %.3f\n",
-                ensembler.evaluate_accuracy(test_set));
 
-    // --- 4. inference on a batch ---
-    const data::Batch batch = data::materialize(test_set, 0, 4);
-    const Tensor logits = ensembler.predict(batch.images);
-    for (std::int64_t i = 0; i < batch.size(); ++i) {
-        std::int64_t best = 0;
-        for (std::int64_t c = 1; c < arch.num_classes; ++c) {
-            if (logits.at(i, c) > logits.at(i, best)) {
-                best = c;
+    // --- 4. deploy: all N bodies behind one InferenceService, this
+    //        client's head/noise/selector/tail in a ClientSession ---
+    {
+        serve::InferenceService service = serve::InferenceService::from_ensembler(ensembler);
+        auto session = service.create_session();
+
+        const float accuracy = train::evaluate_accuracy(
+            [&](const Tensor& x) { return session->infer(x).logits; }, test_set, 32);
+        std::printf("test accuracy through the serving path: %.3f\n", accuracy);
+
+        const data::Batch batch = data::materialize(test_set, 0, 4);
+        const serve::InferenceResult result = session->infer(batch.images);
+        for (std::int64_t i = 0; i < batch.size(); ++i) {
+            std::int64_t best = 0;
+            for (std::int64_t c = 1; c < arch.num_classes; ++c) {
+                if (result.logits.at(i, c) > result.logits.at(i, best)) {
+                    best = c;
+                }
             }
+            std::printf("image %lld: true class %lld, predicted %lld\n",
+                        static_cast<long long>(i), static_cast<long long>(batch.labels[i]),
+                        static_cast<long long>(best));
         }
-        std::printf("image %lld: true class %lld, predicted %lld\n",
-                    static_cast<long long>(i), static_cast<long long>(batch.labels[i]),
-                    static_cast<long long>(best));
+
+        const serve::LatencySummary latency = session->stats().latency();
+        std::printf("session served %llu requests: p50 %.1f ms, p99 %.1f ms; "
+                    "uplink %llu B, downlink %llu B (N=%zu feature maps back per request)\n",
+                    static_cast<unsigned long long>(latency.count), latency.p50_ms,
+                    latency.p99_ms,
+                    static_cast<unsigned long long>(session->uplink_stats().bytes),
+                    static_cast<unsigned long long>(session->downlink_stats().bytes),
+                    service.body_count());
     }
 
     // --- 5. what the adversarial server can reconstruct ---

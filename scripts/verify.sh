@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build (with -Wall -Wextra, see CMakeLists.txt)
+# and run every registered test. Mirrors the command in ROADMAP.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+cd build
+ctest --output-on-failure -j"$(nproc)"

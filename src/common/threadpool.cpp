@@ -9,6 +9,20 @@
 
 namespace ens {
 
+namespace {
+// Owning pool of the current thread, set for the lifetime of every worker.
+// A nested parallel_for on the SAME pool runs inline: a worker that blocks
+// waiting for queued sub-chunks can starve the very queue it is supposed
+// to drain (guaranteed deadlock on a pool of size 1). Nesting onto a
+// DIFFERENT pool still splits normally — that pool's workers are free to
+// drain it (and, inlining their own nested calls, never block), so e.g. a
+// dedicated serve fan-out pool keeps the global-pool tensor kernels
+// parallel.
+thread_local const ThreadPool* tl_worker_pool = nullptr;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() { return tl_worker_pool != nullptr; }
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
     ENS_REQUIRE(num_threads >= 1, "thread pool needs at least one worker");
     workers_.reserve(num_threads);
@@ -29,6 +43,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+    tl_worker_pool = this;
     for (;;) {
         std::function<void()> task;
         {
@@ -55,6 +70,10 @@ void ThreadPool::enqueue(std::function<void()> task) {
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t, std::size_t)>& fn) {
     if (begin >= end) {
+        return;
+    }
+    if (tl_worker_pool == this) {
+        fn(begin, end);
         return;
     }
     const std::size_t total = end - begin;

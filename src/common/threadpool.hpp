@@ -32,8 +32,18 @@ public:
     /// blocking until all chunks complete. The calling thread participates,
     /// so a pool of size 1 still gets 1 worker + caller. Exceptions from
     /// chunks are rethrown (first one wins).
+    ///
+    /// Re-entrancy: when called from one of THIS pool's worker threads
+    /// (e.g. a serve batch fan-out chunk whose body forward hits
+    /// parallel_for again inside matmul/im2col), the range runs inline on
+    /// that worker instead of being split — blocking a worker on sub-chunks
+    /// it is itself supposed to drain would deadlock the pool. Calls onto a
+    /// different pool split normally (its workers can drain them).
     void parallel_for(std::size_t begin, std::size_t end,
                       const std::function<void(std::size_t, std::size_t)>& fn);
+
+    /// True on threads owned by any ThreadPool (exposed for tests).
+    static bool on_worker_thread();
 
 private:
     void worker_loop();

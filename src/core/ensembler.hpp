@@ -54,7 +54,10 @@ public:
     Stage3Diagnostics run_stage3(const data::Dataset& train_set);
 
     /// Deployed-pipeline inference (eval mode): head -> +noise -> selected
-    /// bodies -> Selector concat -> tail.
+    /// bodies -> Selector concat -> tail. Training-side convenience; the
+    /// deployment surface is serve::InferenceService::from_ensembler, which
+    /// serves many concurrent client sessions over the wire codec and must
+    /// not run concurrently with direct calls into this object.
     Tensor predict(const Tensor& images);
 
     float evaluate_accuracy(const data::Dataset& test_set, std::size_t batch_size = 64);

@@ -6,6 +6,10 @@
 // Client: head -> perturb (noise / dropout / nothing) -> [wire]
 // Server: one or K bodies
 // Client: combiner (passthrough for K=1, 1/K-scaled concat for K>1) -> tail
+//
+// To deploy a trained ProtectedModel, hand it (by move) to
+// serve::InferenceService::from_baseline — every baseline then serves
+// through the same session/batching interface as Ensembler.
 
 #include <memory>
 #include <vector>

@@ -1,0 +1,354 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "core/ensembler.hpp"
+#include "defense/protected_model.hpp"
+#include "split/codec.hpp"
+#include "split/split_model.hpp"
+#include "tensor/ops.hpp"
+
+namespace ens::serve {
+
+// ---------------------------------------------------------------- session
+
+ClientSession::ClientSession(InferenceService& service, std::uint64_t id,
+                             split::WireFormat wire_format, core::Selector selector)
+    : service_(service), id_(id), wire_format_(wire_format), selector_(std::move(selector)) {}
+
+std::future<InferenceResult> ClientSession::submit(InferenceRequest request) {
+    ENS_REQUIRE(request.images.defined(), "submit: undefined image tensor");
+    Tensor images = request.images;
+    if (images.rank() == 3) {
+        // Single [C,H,W] image -> batch of one.
+        images = images.reshaped(Shape{1, images.dim(0), images.dim(1), images.dim(2)});
+    }
+
+    InferenceService::Pending pending;
+    if (request.id != 0) {
+        pending.request_id = request.id;
+        // Keep auto-assigned ids from ever colliding with explicit ones.
+        std::uint64_t expected = service_.next_request_id_.load(std::memory_order_relaxed);
+        while (expected <= request.id &&
+               !service_.next_request_id_.compare_exchange_weak(
+                   expected, request.id + 1, std::memory_order_relaxed)) {
+        }
+    } else {
+        pending.request_id = service_.next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    }
+    pending.images = images.dim(0);
+    pending.session = shared_from_this();
+
+    {
+        // One lock covers the whole client phase: the shared head/noise
+        // layers cache forward state (not thread-safe), and the uplink
+        // send/recv pair must not interleave with another submit on this
+        // session or the decoded features would swap between requests.
+        const std::lock_guard<std::mutex> lock(service_.client_mutex_);
+        Tensor features = service_.bundle_.head->forward(images);
+        if (service_.bundle_.noise != nullptr) {
+            features = service_.bundle_.noise->forward(features);
+        }
+        uplink_.send(split::encode_tensor(features, wire_format_));
+        pending.server_input = split::decode_tensor(uplink_.recv());
+    }
+
+    std::future<InferenceResult> future = pending.promise.get_future();
+    service_.enqueue(std::move(pending));
+    return future;
+}
+
+std::future<InferenceResult> ClientSession::submit(Tensor images) {
+    InferenceRequest request;
+    request.images = std::move(images);
+    return submit(std::move(request));
+}
+
+InferenceResult ClientSession::infer(Tensor images) { return submit(std::move(images)).get(); }
+
+void ClientSession::reset_stats() {
+    stats_.reset();
+    uplink_.reset_stats();
+    downlink_.reset_stats();
+}
+
+// ---------------------------------------------------------------- service
+
+InferenceService::InferenceService(std::vector<nn::Layer*> bodies, ClientBundle bundle,
+                                   ServeConfig config, std::vector<nn::LayerPtr> owned_layers,
+                                   std::shared_ptr<void> retained)
+    : bodies_(std::move(bodies)),
+      bundle_(std::move(bundle)),
+      config_(config),
+      owned_layers_(std::move(owned_layers)),
+      retained_(std::move(retained)) {
+    ENS_REQUIRE(!bodies_.empty(), "InferenceService: no server bodies");
+    for (const nn::Layer* body : bodies_) {
+        ENS_REQUIRE(body != nullptr, "InferenceService: null body");
+    }
+    ENS_REQUIRE(bundle_.head != nullptr && bundle_.tail != nullptr,
+                "InferenceService: incomplete client bundle");
+    ENS_REQUIRE(bundle_.selector.has_value() && bundle_.selector->n() == bodies_.size(),
+                "InferenceService: selector must cover the deployed bodies");
+    ENS_REQUIRE(config_.max_batch >= 1, "InferenceService: max_batch must be >= 1");
+    service_thread_ = std::thread([this] { drain_loop(); });
+}
+
+InferenceService::~InferenceService() {
+    {
+        const std::lock_guard<std::mutex> lock(queue_mutex_);
+        stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    service_thread_.join();
+}
+
+std::shared_ptr<ClientSession> InferenceService::create_session(SessionOptions options) {
+    const split::WireFormat wire_format =
+        options.wire_format.value_or(config_.default_wire_format);
+    core::Selector selector = options.selector.value_or(*bundle_.selector);
+    ENS_REQUIRE(selector.n() == bodies_.size(),
+                "create_session: selector must cover the deployed bodies");
+    const std::uint64_t id = sessions_created_.fetch_add(1, std::memory_order_relaxed) + 1;
+    return std::shared_ptr<ClientSession>(
+        new ClientSession(*this, id, wire_format, std::move(selector)));
+}
+
+std::size_t InferenceService::pending() const {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    return queue_.size();
+}
+
+void InferenceService::pause() {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    paused_ = true;
+}
+
+void InferenceService::resume() {
+    {
+        const std::lock_guard<std::mutex> lock(queue_mutex_);
+        paused_ = false;
+    }
+    queue_cv_.notify_all();
+}
+
+void InferenceService::enqueue(Pending pending) {
+    {
+        const std::lock_guard<std::mutex> lock(queue_mutex_);
+        ENS_CHECK(!stopping_, "InferenceService: submit after shutdown");
+        queue_.push_back(std::move(pending));
+    }
+    queue_cv_.notify_all();
+}
+
+ThreadPool& InferenceService::pool() const {
+    return config_.pool != nullptr ? *config_.pool : global_pool();
+}
+
+void InferenceService::drain_loop() {
+    for (;;) {
+        std::vector<Pending> batch;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock,
+                           [this] { return stopping_ || (!paused_ && !queue_.empty()); });
+            if (queue_.empty()) {
+                if (stopping_) {
+                    return;
+                }
+                continue;
+            }
+            const std::size_t take = std::min(config_.max_batch, queue_.size());
+            batch.reserve(take);
+            for (std::size_t i = 0; i < take; ++i) {
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+                batch.back().queue_ms = batch.back().submitted.elapsed_ms();
+            }
+        }
+        process_batch(std::move(batch));
+    }
+}
+
+void InferenceService::process_batch(std::vector<Pending> batch) {
+    // Requests only coalesce when their uplink feature geometry matches
+    // (sessions of one service normally share it; the guard keeps mixed
+    // workloads correct rather than fast).
+    std::vector<bool> grouped(batch.size(), false);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (grouped[i]) {
+            continue;
+        }
+        std::vector<Pending*> group{&batch[i]};
+        grouped[i] = true;
+        for (std::size_t j = i + 1; j < batch.size(); ++j) {
+            if (!grouped[j] && batch[j].server_input.shape().dims().size() ==
+                                   batch[i].server_input.shape().dims().size()) {
+                bool same = true;
+                for (std::size_t axis = 1; axis < batch[i].server_input.rank(); ++axis) {
+                    same = same &&
+                           batch[j].server_input.dim(axis) == batch[i].server_input.dim(axis);
+                }
+                if (same) {
+                    group.push_back(&batch[j]);
+                    grouped[j] = true;
+                }
+            }
+        }
+        process_group(group);
+    }
+}
+
+void InferenceService::process_group(std::vector<Pending*>& group) {
+    try {
+        const Stopwatch server_watch;
+
+        // Server phase: one merged batch through every deployed body,
+        // fanned out across the pool (each body is a distinct layer object,
+        // so the forwards are independent).
+        Tensor merged = group.size() == 1 ? group.front()->server_input : [&] {
+            std::vector<Tensor> inputs;
+            inputs.reserve(group.size());
+            for (const Pending* p : group) {
+                inputs.push_back(p->server_input);
+            }
+            return concat_batch(inputs);
+        }();
+
+        std::vector<Tensor> body_outputs(bodies_.size());
+        const auto run_bodies = [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t n = lo; n < hi; ++n) {
+                body_outputs[n] = bodies_[n]->forward(merged);
+            }
+        };
+        if (config_.parallel_bodies && bodies_.size() > 1) {
+            pool().parallel_for(0, bodies_.size(), run_bodies);
+        } else {
+            run_bodies(0, bodies_.size());
+        }
+
+        // Client phase, per request: downlink one message per body (the
+        // per-request slice, so quantization scales and byte accounting
+        // match the sequential transport), combine with the session's
+        // secret selector, run the tail.
+        const double server_ms = server_watch.elapsed_ms();
+        std::int64_t offset = 0;
+        for (Pending* p : group) {
+            const Stopwatch client_watch;
+            ClientSession& session = *p->session;
+            std::vector<Tensor> features;
+            features.reserve(bodies_.size());
+            for (const Tensor& out : body_outputs) {
+                const Tensor slice =
+                    group.size() == 1 ? out : slice_batch(out, offset, p->images);
+                session.downlink_.send(split::encode_tensor(slice, session.wire_format_));
+                features.push_back(split::decode_tensor(session.downlink_.recv()));
+            }
+            const Tensor combined = session.selector_.n() == 1
+                                        ? features.front()
+                                        : session.selector_.apply(features);
+            InferenceResult result;
+            result.logits = bundle_.tail->forward(combined);
+            result.request_id = p->request_id;
+            result.coalesced_images = merged.dim(0);
+            result.queue_ms = p->queue_ms;
+            result.total_ms = p->submitted.elapsed_ms();
+            // Shared server fan-out + this request's own client-side work
+            // (not the other group members' — they'd inflate with group
+            // position).
+            result.compute_ms = server_ms + client_watch.elapsed_ms();
+            session.stats_.record(result.total_ms, result.queue_ms, p->images,
+                                  result.coalesced_images);
+            offset += p->images;
+            p->fulfilled = true;
+            p->promise.set_value(std::move(result));
+        }
+    } catch (...) {
+        for (Pending* p : group) {
+            if (!p->fulfilled) {
+                p->fulfilled = true;
+                p->promise.set_exception(std::current_exception());
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------- factories
+
+InferenceService InferenceService::from_ensembler(core::Ensembler& ensembler,
+                                                  ServeConfig config) {
+    return from_ensembler(std::shared_ptr<core::Ensembler>(&ensembler, [](core::Ensembler*) {}),
+                          config);
+}
+
+InferenceService InferenceService::from_ensembler(std::shared_ptr<core::Ensembler> ensembler,
+                                                  ServeConfig config) {
+    ENS_REQUIRE(ensembler != nullptr, "from_ensembler: null ensembler");
+    std::vector<nn::Layer*> bodies;
+    bodies.reserve(ensembler->num_networks());
+    for (std::size_t i = 0; i < ensembler->num_networks(); ++i) {
+        nn::Sequential& body = ensembler->member_body(i);
+        body.set_training(false);
+        bodies.push_back(&body);
+    }
+    ClientBundle bundle;
+    bundle.head = &ensembler->client_head();
+    bundle.noise = &ensembler->client_noise();
+    bundle.tail = &ensembler->client_tail();
+    bundle.selector = ensembler->selector();
+    bundle.head->set_training(false);
+    bundle.noise->set_training(false);
+    bundle.tail->set_training(false);
+    return InferenceService(std::move(bodies), std::move(bundle), config, {},
+                            std::move(ensembler));
+}
+
+InferenceService InferenceService::from_split_model(split::SplitModel model, ServeConfig config) {
+    ENS_REQUIRE(model.head && model.body && model.tail, "from_split_model: incomplete model");
+    model.set_training(false);
+    ClientBundle bundle;
+    bundle.head = model.head.get();
+    bundle.tail = model.tail.get();
+    bundle.selector = core::Selector(1, {0});
+    std::vector<nn::Layer*> bodies{model.body.get()};
+    std::vector<nn::LayerPtr> owned;
+    owned.push_back(std::move(model.head));
+    owned.push_back(std::move(model.body));
+    owned.push_back(std::move(model.tail));
+    return InferenceService(std::move(bodies), std::move(bundle), config, std::move(owned),
+                            nullptr);
+}
+
+InferenceService InferenceService::from_baseline(defense::ProtectedModel model,
+                                                 ServeConfig config) {
+    ENS_REQUIRE(model.head && model.tail && !model.bodies.empty(),
+                "from_baseline: incomplete model");
+    model.set_training(false);
+    ClientBundle bundle;
+    bundle.head = model.head.get();
+    bundle.noise = model.perturb.get();
+    bundle.tail = model.tail.get();
+    std::vector<std::size_t> all(model.bodies.size());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        all[i] = i;
+    }
+    bundle.selector = core::Selector(model.bodies.size(), std::move(all));
+
+    std::vector<nn::Layer*> bodies;
+    std::vector<nn::LayerPtr> owned;
+    for (auto& body : model.bodies) {
+        bodies.push_back(body.get());
+        owned.push_back(std::move(body));
+    }
+    owned.push_back(std::move(model.head));
+    if (model.perturb) {
+        owned.push_back(std::move(model.perturb));
+    }
+    owned.push_back(std::move(model.tail));
+    return InferenceService(std::move(bodies), std::move(bundle), config, std::move(owned),
+                            nullptr);
+}
+
+}  // namespace ens::serve

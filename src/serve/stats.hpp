@@ -1,0 +1,54 @@
+#pragma once
+// Per-session serving statistics: request/image counters, queue and
+// end-to-end latency percentiles (wall clock via ens::Stopwatch), and the
+// average coalesced server-batch size. Wire traffic is NOT duplicated here
+// — each ClientSession owns its uplink/downlink Channel instances, whose
+// codec-level byte counters remain the source of truth.
+//
+// Thread-safe: the service thread records completions while client
+// threads read the accessors concurrently.
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace ens::serve {
+
+struct LatencySummary {
+    std::uint64_t count = 0;
+    double mean_ms = 0.0;
+    double p50_ms = 0.0;
+    double p90_ms = 0.0;
+    double p99_ms = 0.0;
+    double max_ms = 0.0;
+};
+
+class SessionStats {
+public:
+    /// Records one completed request.
+    void record(double total_ms, double queue_ms, std::int64_t images,
+                std::int64_t coalesced_images);
+
+    std::uint64_t requests() const;
+    std::uint64_t images() const;
+
+    /// Nearest-rank percentiles over end-to-end request latency.
+    LatencySummary latency() const;
+
+    double mean_queue_ms() const;
+
+    /// Average size of the server batches this session's requests rode in
+    /// (> own batch size means coalescing with other sessions happened).
+    double mean_coalesced_images() const;
+
+    void reset();
+
+private:
+    mutable std::mutex mutex_;
+    std::vector<double> total_ms_;
+    double queue_ms_sum_ = 0.0;
+    std::uint64_t images_ = 0;
+    std::int64_t coalesced_sum_ = 0;
+};
+
+}  // namespace ens::serve

@@ -1,0 +1,63 @@
+#pragma once
+// Value types of the ens::serve inference-service API.
+//
+// serve is the single deployment-facing surface of this repository: an
+// InferenceService owns the N deployed server bodies once and serves many
+// concurrent ClientSessions, each carrying its own secret Selector, wire
+// format, channels and traffic/latency accounting (the per-client state of
+// the Ensembler paper's deployment, §III). Requests submitted by any
+// session are coalesced into server batches of up to `max_batch` requests
+// (each possibly multi-image) and fanned out across the thread pool.
+
+#include <cstdint>
+
+#include "common/threadpool.hpp"
+#include "split/codec.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ens::serve {
+
+struct ServeConfig {
+    /// Coalescing cap: a drained server batch merges at most this many
+    /// queued requests (1 = no batching).
+    std::size_t max_batch = 8;
+
+    /// Wire format for sessions that do not pick their own.
+    split::WireFormat default_wire_format = split::WireFormat::f32;
+
+    /// Fan the N body forwards of a batch out across the pool. Disable to
+    /// run bodies sequentially on the service thread (deterministic
+    /// profiling).
+    bool parallel_bodies = true;
+
+    /// Pool for the body fan-out; nullptr uses ens::global_pool(). The
+    /// tensor kernels inside each body always use the global pool.
+    ThreadPool* pool = nullptr;
+};
+
+/// One client inference request: a [B,C,H,W] image batch (a single [C,H,W]
+/// image is promoted to B = 1).
+struct InferenceRequest {
+    Tensor images;
+
+    /// Request id; 0 (default) lets submit() assign a unique one.
+    /// Explicit ids advance the auto-assignment counter past them, so they
+    /// never collide with assigned ids (uniqueness among explicit ids is
+    /// the caller's business).
+    std::uint64_t id = 0;
+};
+
+struct InferenceResult {
+    Tensor logits;
+    std::uint64_t request_id = 0;
+
+    /// Images in the drained server batch this request shared (>= own
+    /// batch; larger means the batcher coalesced it with other requests).
+    std::int64_t coalesced_images = 0;
+
+    double queue_ms = 0.0;    // submit -> drained off the queue
+    double compute_ms = 0.0;  // server fan-out + client combine/tail
+    double total_ms = 0.0;    // submit -> result ready
+};
+
+}  // namespace ens::serve

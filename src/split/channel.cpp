@@ -5,15 +5,22 @@
 namespace ens::split {
 
 void InProcChannel::send(std::string message) {
-    stats_.record(message.size());
+    record_message(message.size());
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
     queue_.push_back(std::move(message));
 }
 
 std::string InProcChannel::recv() {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
     ENS_CHECK(!queue_.empty(), "InProcChannel::recv on empty queue");
     std::string message = std::move(queue_.front());
     queue_.pop_front();
     return message;
+}
+
+bool InProcChannel::has_pending() const {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    return !queue_.empty();
 }
 
 }  // namespace ens::split

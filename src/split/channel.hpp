@@ -6,9 +6,15 @@
 // the counted bytes into time through a LinkProfile). A real deployment
 // would substitute a socket-backed Channel — the session logic only sees
 // this interface.
+//
+// Channels are safe for concurrent use: the serve subsystem fans body
+// messages out across ens::ThreadPool workers while client threads submit,
+// so both the byte counters and the InProc queue are mutex-guarded.
+// stats() therefore returns a snapshot, not a reference into live state.
 
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <string>
 
 namespace ens::split {
@@ -32,21 +38,37 @@ public:
     virtual std::string recv() = 0;
     virtual bool has_pending() const = 0;
 
-    const TrafficStats& stats() const { return stats_; }
-    void reset_stats() { stats_.reset(); }
+    /// Snapshot of the accumulated traffic counters (thread-safe).
+    TrafficStats stats() const {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        return stats_;
+    }
+    void reset_stats() {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.reset();
+    }
 
 protected:
+    /// Counts one sent message (thread-safe; call from send()).
+    void record_message(std::size_t message_size) {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.record(message_size);
+    }
+
+private:
+    mutable std::mutex stats_mutex_;
     TrafficStats stats_;
 };
 
-/// Same-process FIFO queue.
+/// Same-process FIFO queue (thread-safe; recv on empty throws).
 class InProcChannel final : public Channel {
 public:
     void send(std::string message) override;
     std::string recv() override;
-    bool has_pending() const override { return !queue_.empty(); }
+    bool has_pending() const override;
 
 private:
+    mutable std::mutex queue_mutex_;
     std::deque<std::string> queue_;
 };
 

@@ -1,6 +1,12 @@
 #pragma once
 // Collaborative-inference session (Fig. 1a / Fig. 2 of the paper).
 //
+// NOTE: this is the INTERNAL single-round-trip transport. It is the
+// sequential reference implementation the serve batcher is tested against;
+// deployment-facing code should go through ens::serve (src/serve/), which
+// owns sessions, coalesces requests into server batches, and serves many
+// concurrent clients over this same wire protocol.
+//
 // One inference round trip:
 //   (1) client runs its head (which may embed the split-point noise layer)
 //       and sends the intermediate features up;
@@ -45,8 +51,8 @@ public:
 
     std::size_t body_count() const { return server_bodies_.size(); }
     WireFormat wire_format() const { return wire_format_; }
-    const TrafficStats& uplink_stats() const { return uplink_.stats(); }
-    const TrafficStats& downlink_stats() const { return downlink_.stats(); }
+    TrafficStats uplink_stats() const { return uplink_.stats(); }
+    TrafficStats downlink_stats() const { return downlink_.stats(); }
     void reset_traffic();
 
 private:

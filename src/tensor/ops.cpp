@@ -313,4 +313,39 @@ Tensor slice_cols(const Tensor& m, std::int64_t col0, std::int64_t cols) {
     return out;
 }
 
+Tensor concat_batch(const std::vector<Tensor>& parts) {
+    ENS_REQUIRE(!parts.empty(), "concat_batch of nothing");
+    const Tensor& first = parts.front();
+    ENS_REQUIRE(first.rank() >= 1, "concat_batch expects rank >= 1");
+    std::int64_t total_n = 0;
+    for (const Tensor& p : parts) {
+        ENS_REQUIRE(p.rank() == first.rank(), "concat_batch rank mismatch");
+        for (std::size_t axis = 1; axis < first.rank(); ++axis) {
+            ENS_REQUIRE(p.dim(axis) == first.dim(axis), "concat_batch trailing-dim mismatch");
+        }
+        total_n += p.dim(0);
+    }
+    std::vector<std::int64_t> dims = first.shape().dims();
+    dims[0] = total_n;
+    Tensor out{Shape{std::move(dims)}};
+    float* dst = out.data();
+    for (const Tensor& p : parts) {
+        dst = std::copy(p.data(), p.data() + p.numel(), dst);
+    }
+    return out;
+}
+
+Tensor slice_batch(const Tensor& t, std::int64_t begin, std::int64_t count) {
+    ENS_REQUIRE(t.rank() >= 1, "slice_batch expects rank >= 1");
+    ENS_REQUIRE(begin >= 0 && count > 0 && begin + count <= t.dim(0),
+                "slice_batch out of range");
+    std::vector<std::int64_t> dims = t.shape().dims();
+    dims[0] = count;
+    Tensor out{Shape{std::move(dims)}};
+    const std::int64_t sample = t.numel() / t.dim(0);
+    const float* src = t.data() + begin * sample;
+    std::copy(src, src + count * sample, out.data());
+    return out;
+}
+
 }  // namespace ens

@@ -65,4 +65,13 @@ Tensor concat_channels(const std::vector<Tensor>& parts);
 /// Returns a [rows, cols] slice copy of m's columns [col0, col0+cols).
 Tensor slice_cols(const Tensor& m, std::int64_t col0, std::int64_t cols);
 
+/// Concatenate same-rank tensors along axis 0 (the batch axis); all
+/// trailing dimensions must match. Used by the serve batcher to coalesce
+/// per-request inputs into one server batch.
+Tensor concat_batch(const std::vector<Tensor>& parts);
+
+/// Returns a copy of `count` samples [begin, begin+count) along axis 0 —
+/// the inverse of concat_batch for one request's slice.
+Tensor slice_batch(const Tensor& t, std::int64_t begin, std::int64_t count);
+
 }  // namespace ens

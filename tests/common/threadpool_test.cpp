@@ -81,6 +81,48 @@ TEST(ThreadPool, ReusableAcrossCalls) {
     }
 }
 
+// Nested parallel_for from a pool worker (serve body fan-out -> matmul
+// parallel_for) must run inline instead of blocking the worker on chunks
+// only it could drain — on a size-1 pool that block is a guaranteed
+// deadlock, so this test completing at all is the assertion.
+TEST(ThreadPool, NestedParallelForFromWorkerRunsInline) {
+    ThreadPool pool(1);
+    EXPECT_FALSE(ThreadPool::on_worker_thread());
+    std::atomic<int> inner_total{0};
+    std::atomic<int> on_worker_nested{0};
+    pool.parallel_for(0, 4, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            if (ThreadPool::on_worker_thread()) {
+                ++on_worker_nested;
+            }
+            pool.parallel_for(0, 8, [&](std::size_t l2, std::size_t h2) {
+                inner_total.fetch_add(static_cast<int>(h2 - l2));
+            });
+        }
+    });
+    EXPECT_EQ(inner_total.load(), 4 * 8);
+    // The pool worker ran at least one outer chunk and detected itself.
+    EXPECT_GE(on_worker_nested.load(), 1);
+    EXPECT_FALSE(ThreadPool::on_worker_thread());
+}
+
+// Nesting onto a DIFFERENT pool must still split (its workers are free to
+// drain the chunks), so a dedicated fan-out pool doesn't serialize the
+// global-pool kernels running inside its tasks.
+TEST(ThreadPool, CrossPoolNestingStillParallelizes) {
+    ThreadPool outer(1);
+    ThreadPool inner(1);
+    std::atomic<int> inner_total{0};
+    outer.parallel_for(0, 4, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            inner.parallel_for(0, 8, [&](std::size_t l2, std::size_t h2) {
+                inner_total.fetch_add(static_cast<int>(h2 - l2));
+            });
+        }
+    });
+    EXPECT_EQ(inner_total.load(), 4 * 8);
+}
+
 TEST(ThreadPool, GlobalPoolWorks) {
     std::atomic<int> count{0};
     parallel_for(0, 10, [&](std::size_t lo, std::size_t hi) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "nn/checkpoint.hpp"
 #include "nn/linear.hpp"
 #include "split/channel.hpp"
@@ -55,6 +58,33 @@ TEST(Channel, FifoOrderAndStats) {
     EXPECT_THROW(channel.recv(), std::runtime_error);
     channel.reset_stats();
     EXPECT_EQ(channel.stats().messages, 0u);
+}
+
+// Serve fans body messages out while client threads submit, so the shared
+// counters must hold up under concurrent senders.
+TEST(Channel, ConcurrentSendsKeepStatsConsistent) {
+    InProcChannel channel;
+    constexpr int kThreads = 4;
+    constexpr int kMessagesPerThread = 100;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&channel] {
+            for (int i = 0; i < kMessagesPerThread; ++i) {
+                channel.send("abcde");
+            }
+        });
+    }
+    for (std::thread& thread : threads) {
+        thread.join();
+    }
+    EXPECT_EQ(channel.stats().messages, static_cast<std::uint64_t>(kThreads * kMessagesPerThread));
+    EXPECT_EQ(channel.stats().bytes, static_cast<std::uint64_t>(kThreads * kMessagesPerThread * 5));
+    int received = 0;
+    while (channel.has_pending()) {
+        (void)channel.recv();
+        ++received;
+    }
+    EXPECT_EQ(received, kThreads * kMessagesPerThread);
 }
 
 TEST(SplitModel, SplitPreservesFunction) {

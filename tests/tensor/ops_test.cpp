@@ -181,5 +181,35 @@ TEST(Ops, ConcatChannels) {
     EXPECT_EQ(cat.at(1, 2, 0, 1), b.at(1, 1, 0, 1));
 }
 
+TEST(Ops, ConcatBatchAndSliceBatchRoundTrip) {
+    Rng rng(5);
+    const Tensor a = Tensor::randn(Shape{2, 3, 2, 2}, rng);
+    const Tensor b = Tensor::randn(Shape{1, 3, 2, 2}, rng);
+    const Tensor c = Tensor::randn(Shape{3, 3, 2, 2}, rng);
+    const Tensor merged = concat_batch({a, b, c});
+    EXPECT_EQ(merged.shape(), Shape({6, 3, 2, 2}));
+    EXPECT_EQ(slice_batch(merged, 0, 2).to_vector(), a.to_vector());
+    EXPECT_EQ(slice_batch(merged, 2, 1).to_vector(), b.to_vector());
+    EXPECT_EQ(slice_batch(merged, 3, 3).to_vector(), c.to_vector());
+}
+
+TEST(Ops, ConcatBatchMatrices) {
+    Rng rng(6);
+    const Tensor a = Tensor::randn(Shape{1, 4}, rng);
+    const Tensor b = Tensor::randn(Shape{2, 4}, rng);
+    const Tensor merged = concat_batch({a, b});
+    EXPECT_EQ(merged.shape(), Shape({3, 4}));
+    EXPECT_EQ(merged.at(0, 1), a.at(0, 1));
+    EXPECT_EQ(merged.at(2, 3), b.at(1, 3));
+}
+
+TEST(Ops, ConcatBatchRejectsMismatchedTrailingDims) {
+    Rng rng(7);
+    const Tensor a = Tensor::randn(Shape{1, 4}, rng);
+    const Tensor b = Tensor::randn(Shape{1, 5}, rng);
+    EXPECT_THROW((void)concat_batch({a, b}), std::invalid_argument);
+    EXPECT_THROW((void)slice_batch(a, 0, 2), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace ens
