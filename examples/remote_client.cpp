@@ -1,0 +1,122 @@
+// remote_client — the client half of cross-process collaborative
+// inference: connects to a running serve_daemon, keeps the head, secret
+// selector and tail local, and ships only split-point feature maps over
+// the TcpChannel wire.
+//
+//   ./serve_daemon --port 7070 --bodies 4 --width 4 --image 16 --seed 2000 &
+//   ./remote_client --port 7070 --bodies 4 --width 4 --image 16
+//       --seed 2000 --select 2 --wire q8 --requests 8   (one command line)
+//
+// --bodies/--width/--image/--classes/--seed must match the daemon (both
+// halves derive from the same seeds, standing in for a shared checkpoint).
+// --select P draws the secret P-of-N selector locally (--selector-seed);
+// the daemon always computes all N bodies and never learns which P the
+// tail actually used — the Ensembler privacy argument, now across a real
+// process boundary. Weights are untrained, so logits are arbitrary: this
+// demo exercises transport, latency and traffic accounting, not accuracy.
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/args.hpp"
+#include "nn/linear.hpp"
+#include "nn/resnet.hpp"
+#include "nn/sequential.hpp"
+#include "serve/remote.hpp"
+#include "split/split_model.hpp"
+#include "split/tcp_channel.hpp"
+
+namespace {
+
+using namespace ens;
+
+/// Must stay in lockstep with serve_daemon.cpp (see its build_part).
+split::SplitModel build_part(const nn::ResNetConfig& arch, std::uint64_t seed, std::size_t k) {
+    Rng rng(seed + k);
+    return split::build_split_resnet18(arch, rng);
+}
+
+split::WireFormat parse_wire(const std::string& name) {
+    if (name == "f32") return split::WireFormat::f32;
+    if (name == "q16") return split::WireFormat::q16;
+    if (name == "q8") return split::WireFormat::q8;
+    std::fprintf(stderr, "unknown --wire %s (want f32|q16|q8)\n", name.c_str());
+    std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    ArgParser args(argc, argv);
+    const std::string host = args.get_string("host", "127.0.0.1");
+    const auto port = static_cast<std::uint16_t>(args.get_int("port", 7070));
+    const auto num_bodies = static_cast<std::size_t>(args.get_int("bodies", 4));
+    const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 2000));
+    const auto num_selected =
+        static_cast<std::size_t>(args.get_int("select", static_cast<std::int64_t>(num_bodies)));
+    const std::uint64_t selector_seed =
+        static_cast<std::uint64_t>(args.get_int("selector-seed", 7));
+    const auto requests = static_cast<std::size_t>(args.get_int("requests", 4));
+    const split::WireFormat wire = parse_wire(args.get_string("wire", "f32"));
+
+    nn::ResNetConfig arch;
+    arch.base_width = args.get_int("width", 4);
+    arch.image_size = args.get_int("image", 16);
+    arch.num_classes = args.get_int("classes", 10);
+
+    for (const std::string& flag : args.unconsumed()) {
+        std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+        return 2;
+    }
+    if (num_selected == 0 || num_selected > num_bodies) {
+        std::fprintf(stderr, "--select must be in [1, --bodies]\n");
+        return 2;
+    }
+
+    // Private client bundle: head from the k=0 build, a tail sized for the
+    // P selected feature maps, and the secret selector itself.
+    std::unique_ptr<nn::Sequential> head = std::move(build_part(arch, seed, 0).head);
+    head->set_training(false);
+    Rng tail_rng(seed ^ 0x7A11);
+    nn::Sequential tail;
+    tail.emplace<nn::Linear>(
+        static_cast<std::int64_t>(num_selected) * nn::resnet18_feature_width(arch),
+        arch.num_classes, tail_rng);
+    tail.set_training(false);
+    Rng selector_rng(selector_seed);
+    core::Selector selector = core::Selector::random(num_bodies, num_selected, selector_rng);
+
+    std::printf("remote_client: connecting to %s:%u, secret selector %s (stays local)\n",
+                host.c_str(), port, selector.to_string().c_str());
+    serve::RemoteSession session(split::tcp_connect(host, port), *head, nullptr, tail,
+                                 std::move(selector), wire);
+    session.set_recv_timeout(std::chrono::seconds(60));  // no silent wedging
+    std::printf("handshake ok: host deploys %zu bodies, wire format %s\n",
+                session.body_count(), split::wire_format_name(wire));
+
+    Rng data_rng(99);
+    for (std::size_t r = 0; r < requests; ++r) {
+        const Tensor image =
+            Tensor::uniform(Shape{1, 3, arch.image_size, arch.image_size}, data_rng, 0.0f, 1.0f);
+        const serve::InferenceResult result = session.infer(image);
+        std::int64_t best = 0;
+        for (std::int64_t c = 1; c < arch.num_classes; ++c) {
+            if (result.logits.at(0, c) > result.logits.at(0, best)) {
+                best = c;
+            }
+        }
+        std::printf("request %zu: argmax class %lld, round trip %.2f ms\n", r,
+                    static_cast<long long>(best), result.total_ms);
+    }
+
+    const serve::LatencySummary latency = session.stats().latency();
+    const split::TrafficStats sent = session.traffic_stats();
+    std::printf("served %llu requests over the wire: p50 %.2f ms, p99 %.2f ms; "
+                "uplink %llu msgs / %llu B (downlink is billed daemon-side: "
+                "%zu feature maps per request)\n",
+                static_cast<unsigned long long>(latency.count), latency.p50_ms, latency.p99_ms,
+                static_cast<unsigned long long>(sent.messages),
+                static_cast<unsigned long long>(sent.bytes), session.body_count());
+    session.close();
+    return 0;
+}

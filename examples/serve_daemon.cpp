@@ -1,0 +1,76 @@
+// serve_daemon — host the N server bodies of a collaborative-inference
+// deployment as a standalone process, speaking the length-prefixed
+// TcpChannel protocol (serve/remote.hpp).
+//
+// The daemon owns ONLY the bodies: the client keeps its head, split-point
+// noise, secret selector and tail private (examples/remote_client.cpp is
+// the matching client). Both processes derive their halves of the
+// deployment deterministically from --seed, standing in for a shared
+// checkpoint.
+//
+//   ./serve_daemon --port 7070 --bodies 4 --width 4 --image 16 --seed 2000
+//   # then, possibly on another machine:
+//   ./remote_client --host 127.0.0.1 --port 7070 --bodies 4 ...
+//
+// Serves until killed (one thread per client connection). --port 0 picks
+// an ephemeral port and prints it, which is how the CI smoke run uses it.
+
+#include <cstdio>
+
+#include "common/args.hpp"
+#include "nn/resnet.hpp"
+#include "serve/remote.hpp"
+#include "split/split_model.hpp"
+#include "split/tcp_channel.hpp"
+
+namespace {
+
+using namespace ens;
+
+/// Body k of the deployment. Must stay in lockstep with remote_client.cpp:
+/// body k comes from the split ResNet-18 built with Rng(seed + k), and the
+/// k = 0 build also yields the client's head.
+split::SplitModel build_part(const nn::ResNetConfig& arch, std::uint64_t seed, std::size_t k) {
+    Rng rng(seed + k);
+    return split::build_split_resnet18(arch, rng);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    ArgParser args(argc, argv);
+    const auto port = static_cast<std::uint16_t>(args.get_int("port", 7070));
+    const std::string host = args.get_string("host", "127.0.0.1");
+    const auto num_bodies = static_cast<std::size_t>(args.get_int("bodies", 4));
+    const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 2000));
+
+    nn::ResNetConfig arch;
+    arch.base_width = args.get_int("width", 4);
+    arch.image_size = args.get_int("image", 16);
+    arch.num_classes = args.get_int("classes", 10);
+
+    for (const std::string& flag : args.unconsumed()) {
+        std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+        return 2;
+    }
+
+    std::vector<nn::LayerPtr> bodies;
+    bodies.reserve(num_bodies);
+    for (std::size_t k = 0; k < num_bodies; ++k) {
+        bodies.push_back(std::move(build_part(arch, seed, k).body));
+    }
+    serve::BodyHost bodyhost(std::move(bodies));
+
+    split::ChannelListener listener(port, host);
+    std::printf("serve_daemon: hosting %zu ResNet-18 bodies (width %lld, %lldpx, seed %llu) "
+                "on %s:%u\n",
+                bodyhost.body_count(), static_cast<long long>(arch.base_width),
+                static_cast<long long>(arch.image_size),
+                static_cast<unsigned long long>(seed), host.c_str(), listener.port());
+    std::printf("the client-side head/noise/selector/tail never reach this process — "
+                "only split-point feature maps do. Ctrl-C to stop.\n");
+    std::fflush(stdout);
+
+    bodyhost.serve_forever(listener);
+    return 0;
+}

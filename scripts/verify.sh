@@ -1,10 +1,34 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build (with -Wall -Wextra, see CMakeLists.txt)
-# and run every registered test. Mirrors the command in ROADMAP.md.
+# and run every registered test. Mirrors the command in ROADMAP.md and is
+# the single entrypoint CI uses (.github/workflows/ci.yml).
+#
+# Usage: scripts/verify.sh [BUILD_TYPE] [extra cmake configure args...]
+#   BUILD_TYPE  Release (default) | Debug | RelWithDebInfo | ...
+#   extra args  forwarded verbatim to the configure step, e.g.
+#               scripts/verify.sh Debug -DENS_SANITIZE=ON
+#
+# BUILD_DIR=<dir> overrides the build directory (default: build). Keep
+# sanitizer builds in their own directory — the flags poison object reuse.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -S .
-cmake --build build -j"$(nproc)"
-cd build
+# Only treat $1 as the build type when it is not a -D/-flag: this keeps
+# `verify.sh -DENS_SANITIZE=ON` meaning "Release + that flag" instead of
+# silently configuring with CMAKE_BUILD_TYPE=-DENS_SANITIZE=ON.
+BUILD_TYPE="Release"
+if [[ $# -gt 0 && "$1" != -* ]]; then
+    BUILD_TYPE="$1"
+    shift
+fi
+BUILD_DIR="${BUILD_DIR:-build}"
+
+# Fail fast and loud on configure errors: a broken configure must not be
+# mistaken for a build or test failure (CI triages on this message).
+if ! cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE="${BUILD_TYPE}" "$@"; then
+    echo "verify.sh: cmake configure FAILED (build type ${BUILD_TYPE}, dir ${BUILD_DIR})" >&2
+    exit 1
+fi
+cmake --build "${BUILD_DIR}" -j"$(nproc)"
+cd "${BUILD_DIR}"
 ctest --output-on-failure -j"$(nproc)"

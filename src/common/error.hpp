@@ -6,6 +6,7 @@
 // state errors), per I.10 of the C++ Core Guidelines. The macros below attach
 // file:line context so failures deep inside training loops are diagnosable.
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -18,6 +19,43 @@ inline std::string error_location(const char* file, int line, const std::string&
     oss << file << ':' << line << ": " << msg;
     return oss.str();
 }
+
+/// Machine-dispatchable failure classes for conditions a caller may want to
+/// handle rather than abort on: transport shutdown, wire timeouts, OS-level
+/// I/O faults, and service overload (bounded-admission rejection).
+enum class ErrorCode : std::uint8_t {
+    generic = 0,
+    channel_closed = 1,   // peer disconnected / close() called; no more messages
+    channel_timeout = 2,  // recv timed out waiting for a message
+    io_error = 3,         // unexpected OS-level socket failure
+    overloaded = 4,       // admission control rejected the request (queue full)
+};
+
+/// "channel_closed" etc., for logs and test diagnostics.
+inline const char* error_code_name(ErrorCode code) {
+    switch (code) {
+        case ErrorCode::generic: return "generic";
+        case ErrorCode::channel_closed: return "channel_closed";
+        case ErrorCode::channel_timeout: return "channel_timeout";
+        case ErrorCode::io_error: return "io_error";
+        case ErrorCode::overloaded: return "overloaded";
+    }
+    return "?";
+}
+
+/// Typed runtime error. Derives from std::runtime_error so existing catch
+/// sites keep working; code() lets transport and admission callers branch
+/// on the failure class (e.g. retry on timeout, drop session on close).
+class Error : public std::runtime_error {
+public:
+    Error(ErrorCode code, const std::string& msg)
+        : std::runtime_error(std::string(error_code_name(code)) + ": " + msg), code_(code) {}
+
+    ErrorCode code() const { return code_; }
+
+private:
+    ErrorCode code_;
+};
 
 }  // namespace ens
 

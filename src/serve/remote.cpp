@@ -1,0 +1,213 @@
+#include "serve/remote.hpp"
+
+#include <atomic>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/serialize.hpp"
+#include "common/stopwatch.hpp"
+#include "split/split_model.hpp"
+
+namespace ens::serve {
+
+namespace {
+
+constexpr std::uint32_t kHandshakeMagic = 0x42534E45;  // "ENSB"
+constexpr std::uint32_t kProtocolVersion = 1;
+
+std::string encode_handshake(std::size_t body_count) {
+    std::ostringstream out(std::ios::binary);
+    BinaryWriter writer(out);
+    writer.write_u32(kHandshakeMagic);
+    writer.write_u32(kProtocolVersion);
+    writer.write_u32(static_cast<std::uint32_t>(body_count));
+    return out.str();
+}
+
+std::size_t decode_handshake(const std::string& bytes) {
+    std::istringstream in(bytes, std::ios::binary);
+    BinaryReader reader(in);
+    ENS_CHECK(reader.read_u32() == kHandshakeMagic,
+              "RemoteSession: peer is not an ens body host (bad handshake magic)");
+    const std::uint32_t version = reader.read_u32();
+    ENS_CHECK(version == kProtocolVersion,
+              "RemoteSession: protocol version mismatch (host v" + std::to_string(version) +
+                  ", client v" + std::to_string(kProtocolVersion) + ")");
+    return reader.read_u32();
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ host
+
+BodyHost::BodyHost(std::vector<nn::Layer*> bodies) : bodies_(std::move(bodies)) {
+    ENS_REQUIRE(!bodies_.empty(), "BodyHost: no server bodies");
+    for (const nn::Layer* body : bodies_) {
+        ENS_REQUIRE(body != nullptr, "BodyHost: null body");
+    }
+    forward_mutexes_ = std::vector<std::mutex>(bodies_.size());
+}
+
+BodyHost::BodyHost(std::vector<nn::LayerPtr> bodies) : owned_(std::move(bodies)) {
+    ENS_REQUIRE(!owned_.empty(), "BodyHost: no server bodies");
+    bodies_.reserve(owned_.size());
+    for (const nn::LayerPtr& body : owned_) {
+        ENS_REQUIRE(body != nullptr, "BodyHost: null body");
+        body->set_training(false);
+        bodies_.push_back(body.get());
+    }
+    forward_mutexes_ = std::vector<std::mutex>(owned_.size());
+}
+
+BodyHost BodyHost::from_split_model(split::SplitModel model) {
+    ENS_REQUIRE(model.body != nullptr, "BodyHost::from_split_model: no body");
+    std::vector<nn::LayerPtr> owned;
+    owned.push_back(std::move(model.body));
+    return BodyHost(std::move(owned));
+}
+
+std::size_t BodyHost::connections_accepted() const {
+    const std::lock_guard<std::mutex> lock(accept_mutex_);
+    return accepted_;
+}
+
+void BodyHost::serve(split::Channel& channel) {
+    channel.send(encode_handshake(bodies_.size()));
+    for (;;) {
+        std::string request;
+        try {
+            request = channel.recv();
+        } catch (const Error& e) {
+            if (e.code() == ErrorCode::channel_closed) {
+                return;  // client done: normal teardown
+            }
+            throw;
+        }
+        // Mirror the client's payload encoding on the downlink so the
+        // round trip is byte-identical to the in-proc sequential transport.
+        const split::WireFormat wire = split::encoded_wire_format(request);
+        const Tensor features = split::decode_tensor(request);
+        for (std::size_t n = 0; n < bodies_.size(); ++n) {
+            Tensor output;
+            {
+                const std::lock_guard<std::mutex> lock(forward_mutexes_[n]);
+                output = bodies_[n]->forward(features);
+            }
+            channel.send(split::encode_tensor(output, wire));
+        }
+    }
+}
+
+void BodyHost::serve_forever(split::ChannelListener& listener) {
+    struct Connection {
+        std::thread thread;
+        std::shared_ptr<std::atomic<bool>> done;
+    };
+    std::vector<Connection> connections;
+    // A serve-until-killed daemon must not accumulate one zombie thread
+    // per finished connection: reap completed ones at every accept, so the
+    // vector only ever holds live connections plus those finished since
+    // the last accept.
+    const auto reap_finished = [&connections] {
+        std::erase_if(connections, [](Connection& connection) {
+            if (!connection.done->load()) {
+                return false;
+            }
+            connection.thread.join();
+            return true;
+        });
+    };
+    for (;;) {
+        std::unique_ptr<split::TcpChannel> channel;
+        try {
+            channel = listener.accept();
+        } catch (const Error& e) {
+            if (e.code() == ErrorCode::channel_closed) {
+                break;  // listener closed: shut down
+            }
+            throw;
+        }
+        reap_finished();
+        {
+            const std::lock_guard<std::mutex> lock(accept_mutex_);
+            ++accepted_;
+        }
+        auto done = std::make_shared<std::atomic<bool>>(false);
+        std::thread thread([this, ch = std::move(channel), done]() mutable {
+            try {
+                serve(*ch);
+            } catch (const std::exception& e) {
+                // One bad connection must not take the daemon down.
+                ENS_LOG(LogLevel::kWarn) << "BodyHost: connection ended with error: " << e.what();
+            }
+            done->store(true);
+        });
+        connections.push_back(Connection{std::move(thread), std::move(done)});
+    }
+    for (Connection& connection : connections) {
+        connection.thread.join();
+    }
+}
+
+// --------------------------------------------------------------- session
+
+RemoteSession::RemoteSession(std::unique_ptr<split::Channel> channel, nn::Layer& head,
+                             nn::Layer* noise, nn::Layer& tail, core::Selector selector,
+                             split::WireFormat wire_format,
+                             std::chrono::milliseconds handshake_timeout)
+    : channel_(std::move(channel)),
+      head_(head),
+      noise_(noise),
+      tail_(tail),
+      selector_(std::move(selector)),
+      wire_format_(wire_format) {
+    ENS_REQUIRE(channel_ != nullptr, "RemoteSession: null channel");
+    // A silent or wrong endpoint must fail typed (channel_timeout), not
+    // wedge construction forever. Reset afterwards; per-request bounds are
+    // the caller's via set_recv_timeout.
+    channel_->set_recv_timeout(handshake_timeout);
+    body_count_ = decode_handshake(channel_->recv());
+    channel_->set_recv_timeout(std::chrono::milliseconds(0));
+    ENS_REQUIRE(body_count_ > 0, "RemoteSession: host reports zero bodies");
+    ENS_REQUIRE(selector_.n() == body_count_,
+                "RemoteSession: selector must cover the host's " + std::to_string(body_count_) +
+                    " bodies");
+}
+
+InferenceResult RemoteSession::infer(Tensor images) {
+    ENS_REQUIRE(images.defined(), "RemoteSession::infer: undefined image tensor");
+    if (images.rank() == 3) {
+        images = images.reshaped(Shape{1, images.dim(0), images.dim(1), images.dim(2)});
+    }
+    const Stopwatch watch;
+
+    // Client phase: private head (+ split-point noise), features up.
+    Tensor features = head_.forward(images);
+    if (noise_ != nullptr) {
+        features = noise_->forward(features);
+    }
+    channel_->send(split::encode_tensor(features, wire_format_));
+
+    // N body maps back, in body order; combine with the secret selector.
+    std::vector<Tensor> returned;
+    returned.reserve(body_count_);
+    for (std::size_t n = 0; n < body_count_; ++n) {
+        returned.push_back(split::decode_tensor(channel_->recv()));
+    }
+    const Tensor combined = selector_.n() == 1 ? returned.front() : selector_.apply(returned);
+
+    InferenceResult result;
+    result.logits = tail_.forward(combined);
+    result.request_id = next_request_id_++;
+    result.coalesced_images = images.dim(0);  // no cross-client batching here
+    result.total_ms = watch.elapsed_ms();
+    result.compute_ms = result.total_ms;  // queue_ms stays 0: nothing queues
+    stats_.record(result.total_ms, /*queue_ms=*/0.0, images.dim(0), images.dim(0));
+    return result;
+}
+
+void RemoteSession::close() { channel_->close(); }
+
+}  // namespace ens::serve

@@ -1,0 +1,138 @@
+#pragma once
+// Cross-process serving: the daemon half (BodyHost) and the client half
+// (RemoteSession) of collaborative inference over a real wire.
+//
+// The paper's deployment puts the N server bodies and the client on
+// DIFFERENT machines; this is that boundary made real. A BodyHost process
+// owns the bodies and speaks the body-serving protocol over any Channel
+// (in production a TcpChannel accepted from a ChannelListener); a
+// RemoteSession in the client process runs the private head/noise/selector/
+// tail locally and only ever ships split-point feature maps — the secret
+// selector never crosses the wire, exactly as §III requires.
+//
+// Protocol (one Channel per connection, used bidirectionally):
+//   1. handshake: the host sends one message — magic "ENSB", u32 version,
+//      u32 body_count — so the client can validate its selector covers the
+//      deployment before any feature bytes flow.
+//   2. per request: client sends one encoded feature tensor; host replies
+//      with body_count encoded feature maps (one per body, in body order),
+//      each encoded with the SAME wire format as the request — byte-for-
+//      byte what the in-proc sequential CollaborativeSession would put on
+//      its downlink, so remote inference is bit-identical to local
+//      (tests/serve/remote_serve_test.cpp asserts this across processes).
+//   3. teardown: the client closes its channel; the host sees
+//      channel_closed and ends that connection's serve loop.
+//
+// BodyHost::serve_forever accepts concurrently (thread per connection) and
+// serializes forwards PER BODY — each layer's forward cache is not
+// thread-safe, but distinct bodies are independent objects — so concurrent
+// connections overlap their compute across different bodies.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/selector.hpp"
+#include "nn/layer.hpp"
+#include "serve/stats.hpp"
+#include "serve/types.hpp"
+#include "split/channel.hpp"
+#include "split/codec.hpp"
+#include "split/tcp_channel.hpp"
+
+namespace ens::split {
+struct SplitModel;
+}
+
+namespace ens::serve {
+
+/// Daemon-side host of the N server bodies.
+class BodyHost {
+public:
+    /// Non-owning: the caller keeps the bodies alive (already eval-mode).
+    explicit BodyHost(std::vector<nn::Layer*> bodies);
+
+    /// Owning: the host keeps the layers alive (set to eval mode here).
+    explicit BodyHost(std::vector<nn::LayerPtr> bodies);
+
+    /// Hosts the body of a plain split model (N = 1 standard CI).
+    static BodyHost from_split_model(split::SplitModel model);
+
+    std::size_t body_count() const { return bodies_.size(); }
+
+    /// Serves one connection: handshake, then request round trips until the
+    /// peer disconnects (returns) or a non-disconnect transport/model error
+    /// occurs (throws).
+    void serve(split::Channel& channel);
+
+    /// Accept loop: one serve() thread per connection. Blocks until the
+    /// listener is closed (from another thread or a signal handler), then
+    /// joins all connection threads. Per-connection errors are logged and
+    /// end only that connection.
+    void serve_forever(split::ChannelListener& listener);
+
+    /// Connections served to completion plus currently live (for tests).
+    std::size_t connections_accepted() const;
+
+private:
+    std::vector<nn::Layer*> bodies_;
+    std::vector<nn::LayerPtr> owned_;
+    // One mutex per body: a layer's forward cache is not thread-safe, but
+    // distinct bodies may run concurrently for different connections.
+    std::vector<std::mutex> forward_mutexes_;
+    mutable std::mutex accept_mutex_;
+    std::size_t accepted_ = 0;
+};
+
+/// Client-side handle on a BodyHost: the remote analogue of ClientSession.
+/// Owns the private client bundle references, the secret selector and the
+/// wire channel. Not thread-safe — one in-flight request per session, like
+/// a client device; open several sessions for concurrency.
+class RemoteSession {
+public:
+    /// Takes the connected channel; `noise` may be null (plain split CI).
+    /// Reads the host handshake under a bounded timeout (so pointing at a
+    /// silent endpoint fails typed instead of wedging construction) and
+    /// requires selector.n() == the host's body count. After construction
+    /// the channel waits without limit — use set_recv_timeout to bound
+    /// per-request waits.
+    RemoteSession(std::unique_ptr<split::Channel> channel, nn::Layer& head, nn::Layer* noise,
+                  nn::Layer& tail, core::Selector selector,
+                  split::WireFormat wire_format = split::WireFormat::f32,
+                  std::chrono::milliseconds handshake_timeout = std::chrono::seconds(30));
+
+    /// One blocking round trip over the wire; returns logits + timings.
+    InferenceResult infer(Tensor images);
+
+    /// Caps how long each wire recv of infer() waits (0 = forever).
+    void set_recv_timeout(std::chrono::milliseconds timeout) {
+        channel_->set_recv_timeout(timeout);
+    }
+
+    std::size_t body_count() const { return body_count_; }
+    split::WireFormat wire_format() const { return wire_format_; }
+    const core::Selector& selector() const { return selector_; }
+    const SessionStats& stats() const { return stats_; }
+
+    /// Combined both-direction traffic (one socket carries up and down).
+    split::TrafficStats traffic_stats() const { return channel_->stats(); }
+
+    /// Disconnects from the host (the host ends this connection's loop).
+    void close();
+
+private:
+    std::unique_ptr<split::Channel> channel_;
+    nn::Layer& head_;
+    nn::Layer* noise_;
+    nn::Layer& tail_;
+    core::Selector selector_;
+    split::WireFormat wire_format_;
+    std::size_t body_count_ = 0;
+    std::uint64_t next_request_id_ = 1;
+    SessionStats stats_;
+};
+
+}  // namespace ens::serve

@@ -98,10 +98,19 @@ InferenceService::InferenceService(std::vector<nn::Layer*> bodies, ClientBundle 
 
 InferenceService::~InferenceService() {
     {
-        const std::lock_guard<std::mutex> lock(queue_mutex_);
+        std::unique_lock<std::mutex> lock(queue_mutex_);
         stopping_ = true;
+        queue_cv_.notify_all();
+        space_cv_.notify_all();  // wake submitters parked on admission
+        // Those submitters throw and unwind out of enqueue(); they must be
+        // fully off queue_mutex_/space_cv_ before this object dies under
+        // them. This rendezvous only covers submitters ALREADY parked — a
+        // submit() still racing toward enqueue() when destruction starts is
+        // the caller's contract violation ("sessions must not be used after
+        // their service is destroyed"), same as it always was for the
+        // submit-after-shutdown check.
+        waiters_cv_.wait(lock, [this] { return admission_waiters_ == 0; });
     }
-    queue_cv_.notify_all();
     service_thread_.join();
 }
 
@@ -121,6 +130,11 @@ std::size_t InferenceService::pending() const {
     return queue_.size();
 }
 
+std::size_t InferenceService::admission_waiters() const {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    return admission_waiters_;
+}
+
 void InferenceService::pause() {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
     paused_ = true;
@@ -136,8 +150,32 @@ void InferenceService::resume() {
 
 void InferenceService::enqueue(Pending pending) {
     {
-        const std::lock_guard<std::mutex> lock(queue_mutex_);
-        ENS_CHECK(!stopping_, "InferenceService: submit after shutdown");
+        std::unique_lock<std::mutex> lock(queue_mutex_);
+        if (stopping_) {
+            throw Error(ErrorCode::channel_closed, "InferenceService: submit after shutdown");
+        }
+        const std::size_t cap = config_.max_queue_depth;
+        if (cap > 0 && queue_.size() >= cap) {
+            if (config_.admission == AdmissionPolicy::reject) {
+                pending.session->stats_.record_rejected();
+                throw Error(ErrorCode::overloaded,
+                            "InferenceService: queue full (" + std::to_string(queue_.size()) +
+                                "/" + std::to_string(cap) + " requests), submission rejected");
+            }
+            const Stopwatch blocked;
+            ++admission_waiters_;
+            space_cv_.wait(lock, [this, cap] { return stopping_ || queue_.size() < cap; });
+            if (--admission_waiters_ == 0) {
+                waiters_cv_.notify_all();  // a destructor may be waiting us out
+            }
+            if (stopping_) {
+                // A normal shutdown race, not an invariant failure: typed so
+                // callers branching on ens::Error codes see it.
+                throw Error(ErrorCode::channel_closed,
+                            "InferenceService: shut down while awaiting admission");
+            }
+            pending.session->stats_.record_blocked(blocked.elapsed_ms());
+        }
         queue_.push_back(std::move(pending));
     }
     queue_cv_.notify_all();
@@ -168,6 +206,7 @@ void InferenceService::drain_loop() {
                 batch.back().queue_ms = batch.back().submitted.elapsed_ms();
             }
         }
+        space_cv_.notify_all();  // admission slots freed
         process_batch(std::move(batch));
     }
 }

@@ -41,6 +41,18 @@
 // per distinct body at a time. Do not train, or run inference through, the
 // source model directly while a service built from it is live. Sessions
 // must not be used after their service is destroyed.
+//
+// Admission control: with ServeConfig::max_queue_depth > 0 the request
+// queue is bounded. A submit() that finds it full either parks until the
+// service drains a slot (AdmissionPolicy::block — backpressure) or throws
+// ens::Error{overloaded} (AdmissionPolicy::reject — load shedding; note
+// the client phase has already run, so the head compute is sunk, but no
+// server-side work is ever queued for a rejected request). Per-session
+// reject/block counters live in SessionStats. bench/serve_overload.cpp
+// measures the p99 effect under saturation.
+//
+// Cross-process serving (daemon hosting bodies for remote clients over
+// TcpChannel) lives in serve/remote.hpp.
 
 #include <atomic>
 #include <condition_variable>
@@ -155,6 +167,9 @@ public:
     /// Requests currently queued (drained batches no longer count).
     std::size_t pending() const;
 
+    /// Submitters currently parked on admission (exposed for tests).
+    std::size_t admission_waiters() const;
+
     /// Holds / releases the service thread. While paused, submissions
     /// accumulate on the queue — tests and benches use this to force a
     /// deterministic coalesced batch. Destruction drains regardless.
@@ -203,7 +218,10 @@ private:
 
     mutable std::mutex queue_mutex_;
     std::condition_variable queue_cv_;
+    std::condition_variable space_cv_;  // admission: queue dropped below cap
+    std::condition_variable waiters_cv_;  // destructor: parked submitters drained
     std::deque<Pending> queue_;
+    std::size_t admission_waiters_ = 0;
     bool stopping_ = false;
     bool paused_ = false;
 

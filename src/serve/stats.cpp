@@ -28,9 +28,35 @@ void SessionStats::record(double total_ms, double queue_ms, std::int64_t images,
     coalesced_sum_ += coalesced_images;
 }
 
+void SessionStats::record_rejected() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++rejected_;
+}
+
+void SessionStats::record_blocked(double blocked_ms) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++blocked_;
+    blocked_ms_sum_ += blocked_ms;
+}
+
 std::uint64_t SessionStats::requests() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     return total_ms_.size();
+}
+
+std::uint64_t SessionStats::rejected() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return rejected_;
+}
+
+std::uint64_t SessionStats::blocked() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return blocked_;
+}
+
+double SessionStats::total_blocked_ms() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return blocked_ms_sum_;
 }
 
 std::uint64_t SessionStats::images() const {
@@ -81,6 +107,9 @@ void SessionStats::reset() {
     queue_ms_sum_ = 0.0;
     images_ = 0;
     coalesced_sum_ = 0;
+    rejected_ = 0;
+    blocked_ = 0;
+    blocked_ms_sum_ = 0.0;
 }
 
 }  // namespace ens::serve

@@ -1,7 +1,9 @@
 #pragma once
 // Per-session serving statistics: request/image counters, queue and
-// end-to-end latency percentiles (wall clock via ens::Stopwatch), and the
-// average coalesced server-batch size. Wire traffic is NOT duplicated here
+// end-to-end latency percentiles (wall clock via ens::Stopwatch), the
+// average coalesced server-batch size, and admission backpressure
+// counters (requests shed or delayed by a bounded queue — see
+// ServeConfig::max_queue_depth). Wire traffic is NOT duplicated here
 // — each ClientSession owns its uplink/downlink Channel instances, whose
 // codec-level byte counters remain the source of truth.
 //
@@ -29,8 +31,24 @@ public:
     void record(double total_ms, double queue_ms, std::int64_t images,
                 std::int64_t coalesced_images);
 
+    /// Records a submit() rejected by admission control (queue full,
+    /// AdmissionPolicy::reject). Rejected requests never complete, so they
+    /// appear here and nowhere else.
+    void record_rejected();
+
+    /// Records a submit() that had to wait `blocked_ms` for queue space
+    /// (AdmissionPolicy::block). The request still completes and is counted
+    /// by record() as usual; blocked time is admission backpressure, not
+    /// queue_ms (which starts once the request is admitted).
+    void record_blocked(double blocked_ms);
+
     std::uint64_t requests() const;
     std::uint64_t images() const;
+
+    /// Backpressure counters (see record_rejected / record_blocked).
+    std::uint64_t rejected() const;
+    std::uint64_t blocked() const;
+    double total_blocked_ms() const;
 
     /// Nearest-rank percentiles over end-to-end request latency.
     LatencySummary latency() const;
@@ -49,6 +67,9 @@ private:
     double queue_ms_sum_ = 0.0;
     std::uint64_t images_ = 0;
     std::int64_t coalesced_sum_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::uint64_t blocked_ = 0;
+    double blocked_ms_sum_ = 0.0;
 };
 
 }  // namespace ens::serve

@@ -17,10 +17,32 @@
 
 namespace ens::serve {
 
+/// What happens to a submit() that finds the request queue at
+/// max_queue_depth.
+enum class AdmissionPolicy : std::uint8_t {
+    /// Park the submitting thread until the service drains a slot
+    /// (backpressure propagates to the caller; nothing is dropped).
+    block = 0,
+    /// Fail fast: submit() throws ens::Error{overloaded} and the request
+    /// never enters the queue (load shedding; the caller decides whether
+    /// to retry).
+    reject = 1,
+};
+
 struct ServeConfig {
     /// Coalescing cap: a drained server batch merges at most this many
     /// queued requests (1 = no batching).
     std::size_t max_batch = 8;
+
+    /// Admission bound: requests queued at once, on top of those already
+    /// draining. 0 = unbounded (the queue grows with offered load — fine
+    /// for tests, unsafe for a public endpoint).
+    std::size_t max_queue_depth = 0;
+
+    /// Policy applied when the queue is at max_queue_depth; irrelevant
+    /// while max_queue_depth == 0. Per-session reject/block counts are
+    /// surfaced through SessionStats.
+    AdmissionPolicy admission = AdmissionPolicy::block;
 
     /// Wire format for sessions that do not pick their own.
     split::WireFormat default_wire_format = split::WireFormat::f32;

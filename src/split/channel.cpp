@@ -1,18 +1,37 @@
 #include "split/channel.hpp"
 
+#include <utility>
+
 #include "common/error.hpp"
 
 namespace ens::split {
 
 void InProcChannel::send(std::string message) {
-    record_message(message.size());
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
-    queue_.push_back(std::move(message));
+    {
+        const std::lock_guard<std::mutex> lock(queue_mutex_);
+        if (closed_) {
+            throw Error(ErrorCode::channel_closed, "InProcChannel::send on closed channel");
+        }
+        record_message(message.size());
+        queue_.push_back(std::move(message));
+    }
+    queue_cv_.notify_one();
 }
 
 std::string InProcChannel::recv() {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
-    ENS_CHECK(!queue_.empty(), "InProcChannel::recv on empty queue");
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    const auto ready = [this] { return closed_ || !queue_.empty(); };
+    if (recv_timeout_.count() > 0) {
+        if (!queue_cv_.wait_for(lock, recv_timeout_, ready)) {
+            throw Error(ErrorCode::channel_timeout, "InProcChannel::recv timed out");
+        }
+    } else {
+        queue_cv_.wait(lock, ready);
+    }
+    if (queue_.empty()) {
+        // closed_ and drained: the peer is done, nothing more will arrive.
+        throw Error(ErrorCode::channel_closed, "InProcChannel::recv on closed channel");
+    }
     std::string message = std::move(queue_.front());
     queue_.pop_front();
     return message;
@@ -21,6 +40,19 @@ std::string InProcChannel::recv() {
 bool InProcChannel::has_pending() const {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
     return !queue_.empty();
+}
+
+void InProcChannel::close() {
+    {
+        const std::lock_guard<std::mutex> lock(queue_mutex_);
+        closed_ = true;
+    }
+    queue_cv_.notify_all();
+}
+
+void InProcChannel::set_recv_timeout(std::chrono::milliseconds timeout) {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    recv_timeout_ = timeout;
 }
 
 }  // namespace ens::split

@@ -3,15 +3,37 @@
 //
 // InProcChannel is a FIFO byte-message queue with traffic accounting; it is
 // the "wire" for tests, experiments and the latency model (which converts
-// the counted bytes into time through a LinkProfile). A real deployment
-// would substitute a socket-backed Channel — the session logic only sees
-// this interface.
+// the counted bytes into time through a LinkProfile). TcpChannel
+// (split/tcp_channel.hpp) is the socket-backed implementation for real
+// multi-process serving — the session logic only sees this interface.
+//
+// Message contract (all implementations):
+//   - send() delivers one complete byte message (zero-length allowed) or
+//     throws; messages arrive whole and in per-sender order. On a closed
+//     channel send() throws ens::Error{channel_closed}.
+//   - recv() blocks until the next complete message is available and
+//     returns it. If the channel is closed — close() called locally, or
+//     (TcpChannel) the peer disconnected — and no complete message remains
+//     deliverable, recv() throws ens::Error{channel_closed}. If a receive
+//     timeout is set (set_recv_timeout) and elapses first, recv() throws
+//     ens::Error{channel_timeout}.
+//   - close() is idempotent and wakes blocked receivers. For InProcChannel
+//     it means "no more sends": messages already queued remain receivable
+//     (the analogue of a TCP peer shutting down its write side — in-flight
+//     bytes still drain before EOF surfaces). For TcpChannel it tears the
+//     socket down locally, so both directions fail from then on.
+//   - set_recv_timeout(0ms) (the default) blocks indefinitely.
 //
 // Channels are safe for concurrent use: the serve subsystem fans body
 // messages out across ens::ThreadPool workers while client threads submit,
-// so both the byte counters and the InProc queue are mutex-guarded.
+// so both the byte counters and the message paths are mutex-guarded.
 // stats() therefore returns a snapshot, not a reference into live state.
+// Traffic counters record payload sizes only — transport framing (e.g. the
+// TcpChannel length prefix) is not billed, keeping byte accounting
+// identical across implementations.
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <mutex>
@@ -36,7 +58,16 @@ public:
 
     virtual void send(std::string message) = 0;
     virtual std::string recv() = 0;
+
+    /// True when data is immediately available to recv() (TcpChannel: bytes
+    /// readable on the socket, possibly a partial frame or pending EOF).
     virtual bool has_pending() const = 0;
+
+    /// Shuts the channel down (idempotent); see the contract above.
+    virtual void close() = 0;
+
+    /// Caps how long recv() waits for the next message; 0 = forever.
+    virtual void set_recv_timeout(std::chrono::milliseconds timeout) = 0;
 
     /// Snapshot of the accumulated traffic counters (thread-safe).
     TrafficStats stats() const {
@@ -60,16 +91,21 @@ private:
     TrafficStats stats_;
 };
 
-/// Same-process FIFO queue (thread-safe; recv on empty throws).
+/// Same-process FIFO queue implementing the contract above.
 class InProcChannel final : public Channel {
 public:
     void send(std::string message) override;
     std::string recv() override;
     bool has_pending() const override;
+    void close() override;
+    void set_recv_timeout(std::chrono::milliseconds timeout) override;
 
 private:
     mutable std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
     std::deque<std::string> queue_;
+    bool closed_ = false;
+    std::chrono::milliseconds recv_timeout_{0};
 };
 
 }  // namespace ens::split

@@ -1,5 +1,6 @@
 #include "split/codec.hpp"
 
+#include <cstring>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -119,6 +120,26 @@ Tensor decode_tensor(const std::string& bytes) {
         }
     }
     return dequantize(codes, shape, grid);
+}
+
+WireFormat encoded_wire_format(const std::string& bytes) {
+    // Per-request hot path on the serving daemon: read the header bytes in
+    // place instead of copying the whole payload into a stream. The magic
+    // must be read exactly how BinaryWriter wrote it (native byte order via
+    // write_raw), so memcpy — not an explicit-endian shift — keeps the two
+    // consistent on every host.
+    ENS_CHECK(bytes.size() >= sizeof(std::uint32_t), "encoded_wire_format: truncated message");
+    std::uint32_t magic = 0;
+    std::memcpy(&magic, bytes.data(), sizeof(magic));
+    if (magic == kMagicF32) {
+        return WireFormat::f32;
+    }
+    ENS_CHECK(magic == kMagicQuant, "encoded_wire_format: bad magic");
+    ENS_CHECK(bytes.size() > sizeof(magic), "encoded_wire_format: truncated message");
+    const auto format = static_cast<WireFormat>(static_cast<unsigned char>(bytes[sizeof(magic)]));
+    ENS_CHECK(format == WireFormat::q16 || format == WireFormat::q8,
+              "encoded_wire_format: bad quantized format byte");
+    return format;
 }
 
 std::uint64_t encoded_size(const Tensor& tensor) {

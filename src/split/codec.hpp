@@ -47,6 +47,10 @@ std::string encode_tensor(const Tensor& tensor, WireFormat format);
 /// dequantizing if needed.
 Tensor decode_tensor(const std::string& bytes);
 
+/// Reads the payload encoding of an encoded message without decoding it —
+/// lets a server mirror the client's wire format on the downlink.
+WireFormat encoded_wire_format(const std::string& bytes);
+
 /// Exact wire size of a tensor message without serializing it (f32).
 std::uint64_t encoded_size(const Tensor& tensor);
 

@@ -1,0 +1,385 @@
+#include "split/tcp_channel.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ens::split {
+
+namespace {
+
+// Frames larger than this are treated as stream desync / a corrupt peer
+// rather than a legitimate feature map (the largest bench tensors are MBs).
+constexpr std::uint64_t kMaxFrameBytes = std::uint64_t{1} << 30;
+
+std::string errno_text(const char* what) {
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+void encode_frame_header(std::uint64_t size, unsigned char out[8]) {
+    for (int i = 0; i < 8; ++i) {
+        out[i] = static_cast<unsigned char>((size >> (8 * i)) & 0xFF);
+    }
+}
+
+std::uint64_t decode_frame_header(const unsigned char in[8]) {
+    std::uint64_t size = 0;
+    for (int i = 0; i < 8; ++i) {
+        size |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+    }
+    return size;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- TcpChannel
+
+TcpChannel::TcpChannel(int fd) : fd_(fd) {
+    if (fd_ < 0) {
+        throw Error(ErrorCode::io_error, "TcpChannel: invalid socket fd");
+    }
+    const int one = 1;
+    // Feature messages are latency-sensitive round trips; never Nagle-delay
+    // them. Failure is non-fatal (e.g. socketpair in tests).
+    (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+TcpChannel::~TcpChannel() {
+    close();
+    (void)::close(fd_);
+}
+
+void TcpChannel::mark_closed() {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    closed_ = true;
+}
+
+void TcpChannel::close() {
+    {
+        const std::lock_guard<std::mutex> lock(state_mutex_);
+        if (closed_) {
+            return;
+        }
+        closed_ = true;
+    }
+    // shutdown (not ::close) so a thread blocked in ::recv/::send wakes
+    // immediately and the fd number cannot be recycled under it.
+    (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpChannel::set_recv_timeout(std::chrono::milliseconds timeout) {
+    // SO_RCVTIMEO bounds each ::recv syscall (idle waits); the whole-
+    // message deadline in recv()/read_all bounds a peer that trickles a
+    // frame byte by byte, which per-syscall timeouts alone cannot.
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+    if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+        throw Error(ErrorCode::io_error, errno_text("TcpChannel: setsockopt(SO_RCVTIMEO)"));
+    }
+    recv_timeout_ms_.store(timeout.count());
+}
+
+void TcpChannel::write_frame(const unsigned char* header, std::size_t header_size,
+                             const unsigned char* payload, std::size_t payload_size) {
+    // sendmsg with two iovecs: the header never rides in its own TCP
+    // segment (TCP_NODELAY would ship it immediately) and the payload is
+    // not copied into a staging buffer.
+    std::size_t sent = 0;
+    const std::size_t total = header_size + payload_size;
+    while (sent < total) {
+        iovec iov[2];
+        int iov_count = 0;
+        if (sent < header_size) {
+            iov[iov_count].iov_base = const_cast<unsigned char*>(header + sent);
+            iov[iov_count].iov_len = header_size - sent;
+            ++iov_count;
+        }
+        const std::size_t payload_sent = sent > header_size ? sent - header_size : 0;
+        if (payload_sent < payload_size) {
+            iov[iov_count].iov_base = const_cast<unsigned char*>(payload + payload_sent);
+            iov[iov_count].iov_len = payload_size - payload_sent;
+            ++iov_count;
+        }
+        msghdr msg{};
+        msg.msg_iov = iov;
+        msg.msg_iovlen = static_cast<std::size_t>(iov_count);
+        // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the
+        // process with SIGPIPE.
+        const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+        if (n >= 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (errno == EINTR) {
+            continue;
+        }
+        const bool peer_gone = errno == EPIPE || errno == ECONNRESET;
+        mark_closed();
+        if (peer_gone) {
+            throw Error(ErrorCode::channel_closed, "TcpChannel::send: peer disconnected");
+        }
+        throw Error(ErrorCode::io_error, errno_text("TcpChannel::send"));
+    }
+}
+
+void TcpChannel::send(std::string message) {
+    const std::lock_guard<std::mutex> lock(send_mutex_);
+    {
+        const std::lock_guard<std::mutex> state(state_mutex_);
+        if (closed_) {
+            throw Error(ErrorCode::channel_closed, "TcpChannel::send on closed channel");
+        }
+    }
+    unsigned char header[8];
+    encode_frame_header(message.size(), header);
+    write_frame(header, sizeof(header),
+                reinterpret_cast<const unsigned char*>(message.data()), message.size());
+    // Payload bytes only — framing overhead is a transport detail, and the
+    // counters must match InProcChannel for byte-parity tests.
+    record_message(message.size());
+}
+
+void TcpChannel::read_all(unsigned char* data, std::size_t size, std::size_t frame_offset,
+                          std::chrono::steady_clock::time_point deadline) {
+    std::size_t got = 0;
+    while (got < size) {
+        const ssize_t n = ::recv(fd_, data + got, size - got, 0);
+        if (n > 0) {
+            got += static_cast<std::size_t>(n);
+            // Whole-message deadline: a peer trickling bytes fast enough to
+            // renew SO_RCVTIMEO every syscall must still not stretch recv()
+            // past the configured cap. Any progress means we are mid-frame,
+            // so the stream is poisoned.
+            if (std::chrono::steady_clock::now() > deadline) {
+                close();
+                throw Error(ErrorCode::channel_timeout,
+                            "TcpChannel::recv exceeded the message deadline mid-message; "
+                            "channel closed (frame stream desynced)");
+            }
+            continue;
+        }
+        const bool mid_frame = frame_offset + got > 0;
+        if (n == 0) {
+            mark_closed();
+            throw Error(ErrorCode::channel_closed,
+                        mid_frame ? "TcpChannel::recv: peer closed mid-message"
+                                  : "TcpChannel::recv: peer closed the connection");
+        }
+        if (errno == EINTR) {
+            continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            if (!mid_frame) {
+                // Idle timeout between frames: retryable, stream intact.
+                throw Error(ErrorCode::channel_timeout, "TcpChannel::recv timed out");
+            }
+            // Part of a frame was consumed; a retry would read from the
+            // middle of it. Poison the channel.
+            close();
+            throw Error(ErrorCode::channel_timeout,
+                        "TcpChannel::recv timed out mid-message; channel closed "
+                        "(frame stream desynced)");
+        }
+        const bool was_closed = [this] {
+            const std::lock_guard<std::mutex> lock(state_mutex_);
+            return closed_;
+        }();
+        const bool peer_gone = errno == ECONNRESET || errno == EPIPE;
+        mark_closed();
+        if (was_closed || peer_gone) {
+            throw Error(ErrorCode::channel_closed,
+                        was_closed ? "TcpChannel::recv on closed channel"
+                                   : "TcpChannel::recv: connection reset by peer");
+        }
+        throw Error(ErrorCode::io_error, errno_text("TcpChannel::recv"));
+    }
+}
+
+std::string TcpChannel::recv() {
+    const std::lock_guard<std::mutex> lock(recv_mutex_);
+    {
+        const std::lock_guard<std::mutex> state(state_mutex_);
+        if (closed_) {
+            throw Error(ErrorCode::channel_closed, "TcpChannel::recv on closed channel");
+        }
+    }
+    const long long timeout_ms = recv_timeout_ms_.load();
+    const auto deadline = timeout_ms > 0
+                              ? std::chrono::steady_clock::now() +
+                                    std::chrono::milliseconds(timeout_ms)
+                              : std::chrono::steady_clock::time_point::max();
+    unsigned char header[8];
+    read_all(header, sizeof(header), 0, deadline);
+    const std::uint64_t payload_size = decode_frame_header(header);
+    if (payload_size > kMaxFrameBytes) {
+        close();
+        throw Error(ErrorCode::io_error,
+                    "TcpChannel::recv: implausible frame length " +
+                        std::to_string(payload_size) + " (stream desynced?)");
+    }
+    std::string message(static_cast<std::size_t>(payload_size), '\0');
+    if (payload_size > 0) {
+        read_all(reinterpret_cast<unsigned char*>(message.data()),
+                 static_cast<std::size_t>(payload_size), sizeof(header), deadline);
+    }
+    return message;
+}
+
+bool TcpChannel::has_pending() const {
+    {
+        const std::lock_guard<std::mutex> lock(state_mutex_);
+        if (closed_) {
+            return false;
+        }
+    }
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    return ::poll(&pfd, 1, 0) > 0 && (pfd.revents & (POLLIN | POLLHUP)) != 0;
+}
+
+// -------------------------------------------------------- ChannelListener
+
+ChannelListener::ChannelListener(std::uint16_t port, const std::string& host) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        throw Error(ErrorCode::io_error, errno_text("ChannelListener: socket"));
+    }
+    const int one = 1;
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        (void)::close(fd_);
+        throw Error(ErrorCode::io_error,
+                    "ChannelListener: not a numeric IPv4 address: " + host);
+    }
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        const std::string text = errno_text("ChannelListener: bind");
+        (void)::close(fd_);
+        throw Error(ErrorCode::io_error, text);
+    }
+    if (::listen(fd_, 16) != 0) {
+        const std::string text = errno_text("ChannelListener: listen");
+        (void)::close(fd_);
+        throw Error(ErrorCode::io_error, text);
+    }
+
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+        const std::string text = errno_text("ChannelListener: getsockname");
+        (void)::close(fd_);
+        throw Error(ErrorCode::io_error, text);
+    }
+    port_ = ntohs(bound.sin_port);
+}
+
+ChannelListener::~ChannelListener() {
+    close();
+    (void)::close(fd_);
+}
+
+void ChannelListener::close() {
+    {
+        const std::lock_guard<std::mutex> lock(state_mutex_);
+        if (closed_) {
+            return;
+        }
+        closed_ = true;
+    }
+    // Wakes a blocked accept() (returns EINVAL); the fd is released in the
+    // destructor only, so no concurrent call races a recycled descriptor.
+    (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+std::unique_ptr<TcpChannel> ChannelListener::accept() {
+    for (;;) {
+        {
+            const std::lock_guard<std::mutex> lock(state_mutex_);
+            if (closed_) {
+                throw Error(ErrorCode::channel_closed, "ChannelListener::accept: listener closed");
+            }
+        }
+        const int client = ::accept(fd_, nullptr, nullptr);
+        if (client >= 0) {
+            return std::make_unique<TcpChannel>(client);
+        }
+        if (errno == EINTR) {
+            continue;
+        }
+        // Per accept(2), an aborted handshake or an already-dead network
+        // path surfaces HERE as an error about the would-be connection —
+        // it must not take down a long-running accept loop.
+        if (errno == ECONNABORTED || errno == EPROTO || errno == ENETDOWN ||
+            errno == ENONET || errno == EHOSTDOWN || errno == EHOSTUNREACH ||
+            errno == ENETUNREACH || errno == EOPNOTSUPP) {
+            continue;
+        }
+        // Out of descriptors: back off instead of hot-looping; the
+        // condition clears when a live connection closes.
+        if (errno == EMFILE || errno == ENFILE) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+            continue;
+        }
+        {
+            const std::lock_guard<std::mutex> lock(state_mutex_);
+            if (closed_) {
+                throw Error(ErrorCode::channel_closed, "ChannelListener::accept: listener closed");
+            }
+        }
+        throw Error(ErrorCode::io_error, errno_text("ChannelListener::accept"));
+    }
+}
+
+// ------------------------------------------------------------ tcp_connect
+
+std::unique_ptr<TcpChannel> tcp_connect(const std::string& host, std::uint16_t port) {
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* results = nullptr;
+    const int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &results);
+    if (rc != 0) {
+        throw Error(ErrorCode::io_error, "tcp_connect: cannot resolve " + host + ": " +
+                                             ::gai_strerror(rc));
+    }
+    int last_errno = 0;
+    for (const addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+        const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            last_errno = errno;
+            continue;
+        }
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+            ::freeaddrinfo(results);
+            return std::make_unique<TcpChannel>(fd);
+        }
+        last_errno = errno;
+        (void)::close(fd);
+    }
+    ::freeaddrinfo(results);
+    errno = last_errno;
+    throw Error(ErrorCode::io_error,
+                errno_text(("tcp_connect: cannot connect to " + host + ":" +
+                            std::to_string(port))
+                               .c_str()));
+}
+
+}  // namespace ens::split

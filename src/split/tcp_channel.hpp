@@ -1,0 +1,115 @@
+#pragma once
+// Socket-backed Channel for real multi-process collaborative inference.
+//
+// TcpChannel implements the Channel byte-message contract over a connected
+// POSIX TCP socket with length-prefixed framing: each message is an 8-byte
+// little-endian payload length followed by the payload bytes (zero-length
+// messages are a header only). Partial reads and writes are handled
+// internally; failures surface as typed ens::Error:
+//   channel_closed  - peer disconnected (clean EOF between frames, reset,
+//                     or EOF mid-frame), or close() was called locally
+//   channel_timeout - set_recv_timeout elapsed with no complete next frame
+//   io_error        - any other OS-level socket failure, and oversized
+//                     frame headers (stream desync / corrupt peer)
+// A timeout that strikes after part of a frame was consumed poisons the
+// stream (the next read would start mid-frame), so the channel closes
+// itself; only an idle timeout — nothing of the next frame read yet — is
+// retryable. send() is atomic per message: concurrent senders (the serve
+// fan-out) never interleave frame bytes.
+//
+// ChannelListener + tcp_connect() make the endpoint pair: the daemon binds
+// (port 0 picks an ephemeral port, see port()), accept() yields one
+// TcpChannel per client, and close() from any thread wakes a blocked
+// accept() with ens::Error{channel_closed}.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "split/channel.hpp"
+
+namespace ens::split {
+
+class TcpChannel final : public Channel {
+public:
+    /// Adopts a connected socket fd (takes ownership; sets TCP_NODELAY).
+    explicit TcpChannel(int fd);
+    ~TcpChannel() override;
+
+    TcpChannel(const TcpChannel&) = delete;
+    TcpChannel& operator=(const TcpChannel&) = delete;
+
+    void send(std::string message) override;
+    std::string recv() override;
+    bool has_pending() const override;
+
+    /// Shuts both directions down and wakes blocked peers/receivers. The fd
+    /// stays reserved until destruction so no in-flight call can race a
+    /// recycled descriptor.
+    void close() override;
+
+    /// Caps the WHOLE-message wait: a peer trickling a frame byte by byte
+    /// cannot stretch recv() past the cap (enforced to within one socket-
+    /// timeout granularity, i.e. recv() returns or throws within at most
+    /// ~2x the configured timeout).
+    void set_recv_timeout(std::chrono::milliseconds timeout) override;
+
+private:
+    /// Writes header + payload as one frame without copying the payload,
+    /// looping over short writes (sendmsg + iovec). EPIPE/reset ->
+    /// channel_closed, other failures -> io_error.
+    void write_frame(const unsigned char* header, std::size_t header_size,
+                     const unsigned char* payload, std::size_t payload_size);
+
+    /// Reads exactly `size` bytes, honoring the whole-message `deadline`.
+    /// `frame_offset` is how much of the current frame was already consumed
+    /// — it decides whether EOF/timeout is a clean between-frames condition
+    /// or a mid-frame fault (which poisons the channel).
+    void read_all(unsigned char* data, std::size_t size, std::size_t frame_offset,
+                  std::chrono::steady_clock::time_point deadline);
+
+    void mark_closed();
+
+    const int fd_;
+    std::mutex send_mutex_;
+    std::mutex recv_mutex_;
+    mutable std::mutex state_mutex_;  // guards closed_
+    bool closed_ = false;
+    std::atomic<long long> recv_timeout_ms_{0};  // 0 = wait forever
+};
+
+/// Bound + listening TCP endpoint; accept() hands out connected channels.
+class ChannelListener {
+public:
+    /// Binds `host:port` and listens. port 0 = ephemeral (read port()).
+    explicit ChannelListener(std::uint16_t port = 0, const std::string& host = "127.0.0.1");
+    ~ChannelListener();
+
+    ChannelListener(const ChannelListener&) = delete;
+    ChannelListener& operator=(const ChannelListener&) = delete;
+
+    /// The bound port (resolved for ephemeral binds).
+    std::uint16_t port() const { return port_; }
+
+    /// Blocks for the next connection. Throws ens::Error{channel_closed}
+    /// once close() is called, ens::Error{io_error} on accept failure.
+    std::unique_ptr<TcpChannel> accept();
+
+    /// Stops accepting and wakes a blocked accept() (idempotent).
+    void close();
+
+private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+    mutable std::mutex state_mutex_;
+    bool closed_ = false;
+};
+
+/// Connects to a listening daemon; `host` is a numeric address or name
+/// resolvable by getaddrinfo. Throws ens::Error{io_error} on failure.
+std::unique_ptr<TcpChannel> tcp_connect(const std::string& host, std::uint16_t port);
+
+}  // namespace ens::split

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 #include <vector>
 
+#include "common/error.hpp"
 #include "nn/checkpoint.hpp"
 #include "nn/linear.hpp"
 #include "split/channel.hpp"
@@ -55,9 +57,58 @@ TEST(Channel, FifoOrderAndStats) {
     EXPECT_EQ(channel.recv(), "one");
     EXPECT_EQ(channel.recv(), "four");
     EXPECT_FALSE(channel.has_pending());
-    EXPECT_THROW(channel.recv(), std::runtime_error);
     channel.reset_stats();
     EXPECT_EQ(channel.stats().messages, 0u);
+}
+
+// The unified Channel contract: recv() on an open empty channel waits (and
+// times out as ens::Error{channel_timeout} when a timeout is set); close()
+// lets queued messages drain, then recv/send fail typed channel_closed.
+TEST(Channel, RecvTimeoutAndCloseContract) {
+    InProcChannel channel;
+    channel.set_recv_timeout(std::chrono::milliseconds(20));
+    try {
+        (void)channel.recv();
+        FAIL() << "recv on empty open channel should time out";
+    } catch (const Error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::channel_timeout);
+    }
+
+    channel.send("last words");
+    channel.send("");
+    channel.close();
+    channel.close();  // idempotent
+    // Queued messages (including zero-length ones) survive close.
+    EXPECT_EQ(channel.recv(), "last words");
+    EXPECT_EQ(channel.recv(), "");
+    try {
+        (void)channel.recv();
+        FAIL() << "recv on drained closed channel should fail";
+    } catch (const Error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::channel_closed);
+    }
+    try {
+        channel.send("late");
+        FAIL() << "send on closed channel should fail";
+    } catch (const Error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::channel_closed);
+    }
+}
+
+// close() must wake a receiver already blocked in recv().
+TEST(Channel, CloseWakesBlockedReceiver) {
+    InProcChannel channel;
+    std::thread receiver([&channel] {
+        try {
+            (void)channel.recv();
+            ADD_FAILURE() << "recv should have been woken by close";
+        } catch (const Error& e) {
+            EXPECT_EQ(e.code(), ErrorCode::channel_closed);
+        }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    channel.close();
+    receiver.join();
 }
 
 // Serve fans body messages out while client threads submit, so the shared
