@@ -11,17 +11,29 @@
 //   * the security ledger: the largest per-server brute-force search
 //     space (2^shard - 1), the minimum coalition that covers the client's
 //     secret selection, and whether any single server can mount even a
-//     Proposition-1 attack (holds >= 1 selected body).
+//     Proposition-1 attack (holds >= 1 selected body),
+//   * and a MEASURED serve::ShardRouter fan-out over real loopback TCP:
+//     K BodyHost shard endpoints (contiguous blocks of the 10 bodies),
+//     one socket per shard, concurrent request fan-out + global-order
+//     merge — the wire-level cost of the multiparty deployment as a
+//     function of K, including the per-shard straggler spread.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <memory>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "core/ensembler.hpp"
 #include "latency/estimator.hpp"
 #include "latency/profiles.hpp"
+#include "serve/remote.hpp"
 #include "serve/service.hpp"
+#include "serve/shard_router.hpp"
 #include "split/multiparty.hpp"
 #include "split/split_model.hpp"
+#include "split/tcp_channel.hpp"
 
 int main() {
     using namespace ens;
@@ -111,6 +123,87 @@ int main() {
     std::printf("\n(expected shape: more servers shrink both the slowest-shard server time and "
                 "every single server's 2^b-1 search space; with P=4 spread round-robin the "
                 "full selection is only covered by a multi-server coalition)\n");
+
+    // Measured ShardRouter fan-out over real loopback TCP: K in-process
+    // shard endpoints (contiguous blocks so the slices tile [0, 10)), each
+    // a BodyHost serving one connection on its own thread; the router fans
+    // every request out concurrently and merges in global body order. The
+    // slowest-shard column is the measured straggler the Table III model
+    // charges analytically above.
+    {
+        constexpr std::size_t kTotalBodies = 10;
+        const data::Batch batch = data::materialize(*scenario.test, 0, 8);
+        std::printf("\n| K shards | fan-out p50 ms | fan-out p99 ms | slowest shard p50 ms | "
+                    "per-shard downlink maps |\n");
+        bench::print_rule(5);
+        for (const std::size_t shard_count : {std::size_t{1}, std::size_t{2}, std::size_t{5},
+                                              std::size_t{10}}) {
+            const std::size_t width = (kTotalBodies + shard_count - 1) / shard_count;
+            std::vector<std::unique_ptr<split::ChannelListener>> listeners;
+            std::vector<std::unique_ptr<serve::BodyHost>> hosts;
+            std::vector<std::thread> serving;
+            // If anything below throws (connect, handshake, a timed-out
+            // request), the serving threads must be unblocked and joined
+            // before their std::thread destructors run — otherwise the
+            // typed error is masked by std::terminate.
+            struct JoinGuard {
+                std::vector<std::unique_ptr<split::ChannelListener>>& listeners;
+                std::vector<std::thread>& threads;
+                ~JoinGuard() {
+                    for (auto& listener : listeners) {
+                        listener->close();
+                    }
+                    for (std::thread& thread : threads) {
+                        if (thread.joinable()) {
+                            thread.join();
+                        }
+                    }
+                }
+            } guard{listeners, serving};
+            for (std::size_t s = 0; s < shard_count; ++s) {
+                const std::size_t begin = s * width;
+                const std::size_t end = std::min(kTotalBodies, begin + width);
+                std::vector<nn::Layer*> shard_bodies(bodies.begin() + begin,
+                                                     bodies.begin() + end);
+                hosts.push_back(std::make_unique<serve::BodyHost>(std::move(shard_bodies)));
+                hosts.back()->set_shard(begin, kTotalBodies);
+                listeners.push_back(std::make_unique<split::ChannelListener>(0));
+                serving.emplace_back(
+                    [host = hosts.back().get(), listener = listeners.back().get()] {
+                        try {
+                            auto channel = listener->accept();
+                            host->serve(*channel);
+                        } catch (...) {
+                            // Endpoint teardown races are the client's story.
+                        }
+                    });
+            }
+            std::vector<std::unique_ptr<split::Channel>> channels;
+            channels.reserve(shard_count);
+            for (const auto& listener : listeners) {
+                channels.push_back(split::tcp_connect("127.0.0.1", listener->port()));
+            }
+            serve::ShardRouter router(std::move(channels), transmit, nullptr,
+                                      ensembler.client_tail(), selector,
+                                      split::WireFormat::f32);
+            router.set_recv_timeout(std::chrono::seconds(120));
+            const std::size_t rounds = scale == bench::Scale::kFull ? 20 : 6;
+            for (std::size_t r = 0; r < rounds; ++r) {
+                (void)router.infer(batch.images);
+            }
+            const serve::LatencySummary latency = router.stats().latency();
+            double slowest_p50 = 0.0;
+            for (std::size_t s = 0; s < shard_count; ++s) {
+                slowest_p50 = std::max(slowest_p50, router.shard_stats(s).latency().p50_ms);
+            }
+            std::printf("| %2zu | %8.2f | %8.2f | %8.2f | %zu |\n", shard_count, latency.p50_ms,
+                        latency.p99_ms, slowest_p50, width);
+            router.close();  // serve() returns; the guard joins the threads
+        }
+        std::printf("\n(fan-out latency should stay roughly flat in K — the shards run "
+                    "concurrently — while each shard's downlink share, and with it every "
+                    "single provider's view of the ensemble, shrinks)\n");
+    }
 
     // Single-service reference: the same N=10 deployment through the
     // unified ens::serve surface (K=1 equivalent — one provider holds all

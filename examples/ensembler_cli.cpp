@@ -86,10 +86,7 @@ int reject_unknown(const ArgParser& args) {
 }
 
 int parse_wire_format(const std::string& name, split::WireFormat& format) {
-    if (name == "f32") format = split::WireFormat::f32;
-    else if (name == "q16") format = split::WireFormat::q16;
-    else if (name == "q8") format = split::WireFormat::q8;
-    else {
+    if (!split::wire_format_from_name(name, format)) {
         std::fprintf(stderr, "unknown wire format '%s'\n", name.c_str());
         return 2;
     }

@@ -37,11 +37,12 @@ split::SplitModel build_part(const nn::ResNetConfig& arch, std::uint64_t seed, s
 }
 
 split::WireFormat parse_wire(const std::string& name) {
-    if (name == "f32") return split::WireFormat::f32;
-    if (name == "q16") return split::WireFormat::q16;
-    if (name == "q8") return split::WireFormat::q8;
-    std::fprintf(stderr, "unknown --wire %s (want f32|q16|q8)\n", name.c_str());
-    std::exit(2);
+    split::WireFormat format = split::WireFormat::f32;
+    if (!split::wire_format_from_name(name, format)) {
+        std::fprintf(stderr, "unknown --wire %s (want f32|q16|q8)\n", name.c_str());
+        std::exit(2);
+    }
+    return format;
 }
 
 }  // namespace

@@ -1,21 +1,31 @@
-// serve_daemon — host the N server bodies of a collaborative-inference
+// serve_daemon — host server bodies of a collaborative-inference
 // deployment as a standalone process, speaking the length-prefixed
 // TcpChannel protocol (serve/remote.hpp).
 //
-// The daemon owns ONLY the bodies: the client keeps its head, split-point
-// noise, secret selector and tail private (examples/remote_client.cpp is
-// the matching client). Both processes derive their halves of the
-// deployment deterministically from --seed, standing in for a shared
-// checkpoint.
+// The daemon owns ONLY bodies: the client keeps its head, split-point
+// noise, secret selector and tail private (examples/remote_client.cpp and
+// examples/sharded_client.cpp are the matching clients). Both sides derive
+// their halves of the deployment deterministically from --seed, standing in
+// for a shared checkpoint.
 //
+// Whole deployment (single host, RemoteSession client):
 //   ./serve_daemon --port 7070 --bodies 4 --width 4 --image 16 --seed 2000
-//   # then, possibly on another machine:
-//   ./remote_client --host 127.0.0.1 --port 7070 --bodies 4 ...
+//
+// One shard of a §III-D multiparty deployment (ShardRouter client):
+// --bodies i..j hosts global bodies [i, j) of --total (default: j), e.g.
+// the 6-body deployment below is split 2/2/2 over three non-colluding
+// processes, so no single one ever holds all the bodies:
+//   ./serve_daemon --port 7070 --bodies 0..2 --total 6 --seed 2000 &
+//   ./serve_daemon --port 7071 --bodies 2..4 --total 6 --seed 2000 &
+//   ./serve_daemon --port 7072 --bodies 4..6 --total 6 --seed 2000 &
+//   ./sharded_client --shards 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072
+//       --total 6 --select 2 --seed 2000    (one command line)
 //
 // Serves until killed (one thread per client connection). --port 0 picks
 // an ephemeral port and prints it, which is how the CI smoke run uses it.
 
 #include <cstdio>
+#include <string>
 
 #include "common/args.hpp"
 #include "nn/resnet.hpp"
@@ -27,12 +37,42 @@ namespace {
 
 using namespace ens;
 
-/// Body k of the deployment. Must stay in lockstep with remote_client.cpp:
-/// body k comes from the split ResNet-18 built with Rng(seed + k), and the
-/// k = 0 build also yields the client's head.
+/// Body k of the deployment. Must stay in lockstep with remote_client.cpp
+/// and sharded_client.cpp: body k comes from the split ResNet-18 built with
+/// Rng(seed + k), and the k = 0 build also yields the client's head.
 split::SplitModel build_part(const nn::ResNetConfig& arch, std::uint64_t seed, std::size_t k) {
     Rng rng(seed + k);
     return split::build_split_resnet18(arch, rng);
+}
+
+/// Parses --bodies: a plain count "n" means the whole deployment [0, n);
+/// a range "i..j" means the shard of global bodies [i, j). Returns false on
+/// malformed input.
+bool parse_bodies(const std::string& spec, std::size_t& begin, std::size_t& end) {
+    // std::stoull silently wraps negative input ("-1" -> 2^64-1), so reject
+    // signs up front instead of exploding on a 2^64-body reserve later.
+    if (spec.find_first_of("-+") != std::string::npos) {
+        return false;
+    }
+    try {
+        const std::size_t dots = spec.find("..");
+        std::size_t parsed = 0;
+        if (dots == std::string::npos) {
+            begin = 0;
+            end = static_cast<std::size_t>(std::stoull(spec, &parsed));
+            // Full consumption: "2.4" must not silently parse as count 2.
+            return parsed == spec.size() && end > 0;
+        }
+        begin = static_cast<std::size_t>(std::stoull(spec.substr(0, dots), &parsed));
+        if (parsed != dots) {
+            return false;
+        }
+        const std::string tail = spec.substr(dots + 2);
+        end = static_cast<std::size_t>(std::stoull(tail, &parsed));
+        return parsed == tail.size() && end > begin;
+    } catch (const std::exception&) {
+        return false;
+    }
 }
 
 }  // namespace
@@ -41,8 +81,18 @@ int main(int argc, char** argv) {
     ArgParser args(argc, argv);
     const auto port = static_cast<std::uint16_t>(args.get_int("port", 7070));
     const std::string host = args.get_string("host", "127.0.0.1");
-    const auto num_bodies = static_cast<std::size_t>(args.get_int("bodies", 4));
+    const std::string bodies_spec = args.get_string("bodies", "4");
     const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 2000));
+
+    std::size_t body_begin = 0;
+    std::size_t body_end = 0;
+    if (!parse_bodies(bodies_spec, body_begin, body_end)) {
+        std::fprintf(stderr, "bad --bodies %s (want a count \"n\" or a range \"i..j\")\n",
+                     bodies_spec.c_str());
+        return 2;
+    }
+    const auto total =
+        static_cast<std::size_t>(args.get_int("total", static_cast<std::int64_t>(body_end)));
 
     nn::ResNetConfig arch;
     arch.base_width = args.get_int("width", 4);
@@ -53,18 +103,23 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
         return 2;
     }
+    if (body_end > total) {
+        std::fprintf(stderr, "--bodies %s exceeds --total %zu\n", bodies_spec.c_str(), total);
+        return 2;
+    }
 
     std::vector<nn::LayerPtr> bodies;
-    bodies.reserve(num_bodies);
-    for (std::size_t k = 0; k < num_bodies; ++k) {
+    bodies.reserve(body_end - body_begin);
+    for (std::size_t k = body_begin; k < body_end; ++k) {
         bodies.push_back(std::move(build_part(arch, seed, k).body));
     }
     serve::BodyHost bodyhost(std::move(bodies));
+    bodyhost.set_shard(body_begin, total);
 
     split::ChannelListener listener(port, host);
-    std::printf("serve_daemon: hosting %zu ResNet-18 bodies (width %lld, %lldpx, seed %llu) "
-                "on %s:%u\n",
-                bodyhost.body_count(), static_cast<long long>(arch.base_width),
+    const serve::HostInfo info = bodyhost.host_info();
+    std::printf("serve_daemon: hosting ResNet-18 %s (width %lld, %lldpx, seed %llu) on %s:%u\n",
+                info.to_string().c_str(), static_cast<long long>(arch.base_width),
                 static_cast<long long>(arch.image_size),
                 static_cast<unsigned long long>(seed), host.c_str(), listener.port());
     std::printf("the client-side head/noise/selector/tail never reach this process — "

@@ -1,0 +1,191 @@
+// sharded_client — the client half of the §III-D MULTIPARTY deployment:
+// connects to K serve_daemon shard processes (each hosting a disjoint slice
+// of the N server bodies), keeps the head, secret selector and tail local,
+// and routes every request through a serve::ShardRouter that fans the
+// split-point features out to all shards concurrently and merges the
+// returned feature maps in global body order.
+//
+//   ./serve_daemon --port 7070 --bodies 0..2 --total 6 --seed 2000 &
+//   ./serve_daemon --port 7071 --bodies 2..4 --total 6 --seed 2000 &
+//   ./serve_daemon --port 7072 --bodies 4..6 --total 6 --seed 2000 &
+//   ./sharded_client --shards 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072
+//       --total 6 --select 2 --wire q8 --requests 8    (one command line)
+//
+// --total/--width/--image/--classes/--seed must match the daemons (both
+// halves derive from the same seeds, standing in for a shared checkpoint);
+// the body slices come from each daemon's handshake, and the router refuses
+// to start unless they tile [0, N) exactly. No daemon ever learns which P
+// bodies the secret selector actually uses — and unlike the single-host
+// deployment, no daemon even HOLDS all N bodies, so a lone adversarial
+// provider cannot enumerate the full 2^N - 1 shadow-subset space. Weights
+// are untrained: this demo exercises transport, routing and accounting,
+// not accuracy.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/args.hpp"
+#include "nn/linear.hpp"
+#include "nn/resnet.hpp"
+#include "nn/sequential.hpp"
+#include "serve/shard_router.hpp"
+#include "split/split_model.hpp"
+#include "split/tcp_channel.hpp"
+
+namespace {
+
+using namespace ens;
+
+/// Must stay in lockstep with serve_daemon.cpp (see its build_part).
+split::SplitModel build_part(const nn::ResNetConfig& arch, std::uint64_t seed, std::size_t k) {
+    Rng rng(seed + k);
+    return split::build_split_resnet18(arch, rng);
+}
+
+split::WireFormat parse_wire(const std::string& name) {
+    split::WireFormat format = split::WireFormat::f32;
+    if (!split::wire_format_from_name(name, format)) {
+        std::fprintf(stderr, "unknown --wire %s (want f32|q16|q8)\n", name.c_str());
+        std::exit(2);
+    }
+    return format;
+}
+
+struct Endpoint {
+    std::string host;
+    std::uint16_t port = 0;
+};
+
+/// Parses "host:port,host:port,..." (the shard list).
+std::vector<Endpoint> parse_shards(const std::string& spec) {
+    std::vector<Endpoint> endpoints;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t comma = spec.find(',', start);
+        if (comma == std::string::npos) {
+            comma = spec.size();
+        }
+        const std::string entry = spec.substr(start, comma - start);
+        const std::size_t colon = entry.rfind(':');
+        if (entry.empty() || colon == std::string::npos || colon == 0 ||
+            colon + 1 == entry.size()) {
+            std::fprintf(stderr, "bad --shards entry \"%s\" (want host:port)\n", entry.c_str());
+            std::exit(2);
+        }
+        try {
+            // Full consumption + range check: "7070xyz" and 70707 must be
+            // loud flag errors, not silent connections to the wrong port.
+            const std::string port_text = entry.substr(colon + 1);
+            std::size_t parsed = 0;
+            const unsigned long port = std::stoul(port_text, &parsed);
+            if (parsed != port_text.size() || port == 0 || port > 65535) {
+                throw std::out_of_range("port");
+            }
+            endpoints.push_back(
+                Endpoint{entry.substr(0, colon), static_cast<std::uint16_t>(port)});
+        } catch (const std::exception&) {
+            std::fprintf(stderr, "bad --shards port in \"%s\" (want 1-65535)\n", entry.c_str());
+            std::exit(2);
+        }
+        start = comma + 1;
+    }
+    return endpoints;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    ArgParser args(argc, argv);
+    const std::string shards_spec =
+        args.get_string("shards", "127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072");
+    const auto total_bodies = static_cast<std::size_t>(args.get_int("total", 6));
+    const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 2000));
+    const auto num_selected = static_cast<std::size_t>(
+        args.get_int("select", static_cast<std::int64_t>(total_bodies)));
+    const std::uint64_t selector_seed =
+        static_cast<std::uint64_t>(args.get_int("selector-seed", 7));
+    const auto requests = static_cast<std::size_t>(args.get_int("requests", 4));
+    const split::WireFormat wire = parse_wire(args.get_string("wire", "f32"));
+
+    nn::ResNetConfig arch;
+    arch.base_width = args.get_int("width", 4);
+    arch.image_size = args.get_int("image", 16);
+    arch.num_classes = args.get_int("classes", 10);
+
+    for (const std::string& flag : args.unconsumed()) {
+        std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+        return 2;
+    }
+    if (num_selected == 0 || num_selected > total_bodies) {
+        std::fprintf(stderr, "--select must be in [1, --total]\n");
+        return 2;
+    }
+    const std::vector<Endpoint> endpoints = parse_shards(shards_spec);
+
+    // Private client bundle: head from the k=0 build, a tail sized for the
+    // P selected feature maps, and the secret selector itself.
+    std::unique_ptr<nn::Sequential> head = std::move(build_part(arch, seed, 0).head);
+    head->set_training(false);
+    Rng tail_rng(seed ^ 0x7A11);
+    nn::Sequential tail;
+    tail.emplace<nn::Linear>(
+        static_cast<std::int64_t>(num_selected) * nn::resnet18_feature_width(arch),
+        arch.num_classes, tail_rng);
+    tail.set_training(false);
+    Rng selector_rng(selector_seed);
+    core::Selector selector = core::Selector::random(total_bodies, num_selected, selector_rng);
+
+    std::printf("sharded_client: %zu shards, secret selector %s (stays local)\n",
+                endpoints.size(), selector.to_string().c_str());
+    std::vector<std::unique_ptr<split::Channel>> channels;
+    channels.reserve(endpoints.size());
+    for (const Endpoint& endpoint : endpoints) {
+        channels.push_back(split::tcp_connect(endpoint.host, endpoint.port));
+    }
+    serve::ShardRouter router(std::move(channels), *head, nullptr, tail, std::move(selector),
+                              wire);
+    router.set_recv_timeout(std::chrono::seconds(60));  // no silent wedging
+
+    std::printf("handshakes ok: %zu bodies tiled over %zu shards, wire format %s\n",
+                router.body_count(), router.shard_count(), split::wire_format_name(wire));
+    for (std::size_t s = 0; s < router.shard_count(); ++s) {
+        const serve::ShardRouter::ShardInfo& shard = router.shard_map()[s];
+        std::printf("  shard %zu at %s:%u hosts bodies [%zu, %zu)\n", s,
+                    endpoints[s].host.c_str(), endpoints[s].port, shard.body_begin,
+                    shard.body_end());
+    }
+
+    Rng data_rng(99);
+    for (std::size_t r = 0; r < requests; ++r) {
+        const Tensor image =
+            Tensor::uniform(Shape{1, 3, arch.image_size, arch.image_size}, data_rng, 0.0f, 1.0f);
+        const serve::InferenceResult result = router.infer(image);
+        std::int64_t best = 0;
+        for (std::int64_t c = 1; c < arch.num_classes; ++c) {
+            if (result.logits.at(0, c) > result.logits.at(0, best)) {
+                best = c;
+            }
+        }
+        std::printf("request %zu: argmax class %lld, fan-out round trip %.2f ms\n", r,
+                    static_cast<long long>(best), result.total_ms);
+    }
+
+    const serve::LatencySummary latency = router.stats().latency();
+    std::printf("served %llu requests across %zu shards: p50 %.2f ms, p99 %.2f ms\n",
+                static_cast<unsigned long long>(latency.count), router.shard_count(),
+                latency.p50_ms, latency.p99_ms);
+    for (std::size_t s = 0; s < router.shard_count(); ++s) {
+        const serve::LatencySummary shard = router.shard_stats(s).latency();
+        const split::TrafficStats sent = router.shard_traffic(s);
+        std::printf("  shard %zu: p50 %.2f ms, p99 %.2f ms, uplink %llu msgs / %llu B "
+                    "(%zu feature maps per request come back)\n",
+                    s, shard.p50_ms, shard.p99_ms,
+                    static_cast<unsigned long long>(sent.messages),
+                    static_cast<unsigned long long>(sent.bytes),
+                    router.shard_map()[s].body_count);
+    }
+    router.close();
+    return 0;
+}

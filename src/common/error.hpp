@@ -29,6 +29,9 @@ enum class ErrorCode : std::uint8_t {
     channel_timeout = 2,  // recv timed out waiting for a message
     io_error = 3,         // unexpected OS-level socket failure
     overloaded = 4,       // admission control rejected the request (queue full)
+    protocol_error = 5,   // malformed/incompatible peer bytes: bad handshake
+                          // magic or version, truncated or corrupt frame,
+                          // inconsistent shard body ranges
 };
 
 /// "channel_closed" etc., for logs and test diagnostics.
@@ -39,6 +42,7 @@ inline const char* error_code_name(ErrorCode code) {
         case ErrorCode::channel_timeout: return "channel_timeout";
         case ErrorCode::io_error: return "io_error";
         case ErrorCode::overloaded: return "overloaded";
+        case ErrorCode::protocol_error: return "protocol_error";
     }
     return "?";
 }

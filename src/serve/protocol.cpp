@@ -1,0 +1,90 @@
+#include "serve/protocol.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "split/channel.hpp"
+#include "split/codec.hpp"
+
+namespace ens::serve {
+
+namespace {
+
+[[noreturn]] void throw_handshake(const std::string& what) {
+    throw Error(ErrorCode::protocol_error, "handshake: " + what);
+}
+
+}  // namespace
+
+std::string HostInfo::to_string() const {
+    std::ostringstream out;
+    out << "bodies [" << body_begin << ", " << body_end() << ") of " << total_bodies;
+    return out.str();
+}
+
+std::string encode_handshake(const HostInfo& info) {
+    std::ostringstream out(std::ios::binary);
+    BinaryWriter writer(out);
+    writer.write_u32(kHandshakeMagic);
+    writer.write_u32(kProtocolVersion);
+    writer.write_u32(static_cast<std::uint32_t>(info.total_bodies));
+    writer.write_u32(static_cast<std::uint32_t>(info.body_begin));
+    writer.write_u32(static_cast<std::uint32_t>(info.body_count));
+    writer.write_u32(info.wire_mask);
+    return out.str();
+}
+
+HostInfo decode_handshake(const std::string& bytes) {
+    // Fixed-size message: reject wrong sizes up front so a peer speaking a
+    // different protocol cannot slip through field-by-field.
+    if (bytes.size() != 6 * sizeof(std::uint32_t)) {
+        throw_handshake("message is " + std::to_string(bytes.size()) +
+                        " B, expected 24 B (peer is not an ens body host?)");
+    }
+    std::istringstream in(bytes, std::ios::binary);
+    BinaryReader reader(in);
+    if (reader.read_u32() != kHandshakeMagic) {
+        throw_handshake("bad magic (peer is not an ens body host)");
+    }
+    const std::uint32_t version = reader.read_u32();
+    if (version != kProtocolVersion) {
+        throw_handshake("protocol version mismatch (host v" + std::to_string(version) +
+                        ", client v" + std::to_string(kProtocolVersion) + ")");
+    }
+    HostInfo info;
+    info.total_bodies = reader.read_u32();
+    info.body_begin = reader.read_u32();
+    info.body_count = reader.read_u32();
+    info.wire_mask = reader.read_u32();
+    if (info.total_bodies == 0) {
+        throw_handshake("host reports zero deployed bodies");
+    }
+    if (info.body_count == 0) {
+        throw_handshake("host reports an empty body slice");
+    }
+    if (info.body_end() > info.total_bodies) {
+        throw_handshake("host reports " + info.to_string() + " — slice exceeds the deployment");
+    }
+    if (info.wire_mask == 0 || (info.wire_mask & ~split::all_wire_formats_mask()) != 0) {
+        throw_handshake("host advertises unknown wire-format mask " +
+                        std::to_string(info.wire_mask));
+    }
+    return info;
+}
+
+HostInfo perform_handshake(split::Channel& channel, std::chrono::milliseconds handshake_timeout,
+                           std::chrono::milliseconds session_timeout,
+                           split::WireFormat wire_format, const char* who) {
+    channel.set_recv_timeout(handshake_timeout);
+    const HostInfo host = decode_handshake(channel.recv());
+    channel.set_recv_timeout(session_timeout);
+    if (!split::wire_format_supported(host.wire_mask, wire_format)) {
+        throw Error(ErrorCode::protocol_error,
+                    std::string(who) + ": host does not accept wire format " +
+                        split::wire_format_name(wire_format));
+    }
+    return host;
+}
+
+}  // namespace ens::serve

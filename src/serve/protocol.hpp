@@ -1,0 +1,72 @@
+#pragma once
+// Body-serving handshake protocol, shared by every host/client pairing:
+// BodyHost <-> RemoteSession (one host, all bodies) and the K shard hosts
+// behind a ShardRouter (§III-D multiparty).
+//
+// Version 2 makes the handshake shard-aware: a host no longer just states
+// how many bodies it serves, it states WHICH contiguous slice of the
+// deployment's N global bodies it serves, plus the wire formats it accepts,
+// so a client can (a) validate that its shard set tiles the full body range
+// with no overlap before any feature bytes flow, and (b) negotiate the
+// payload encoding per shard. A whole-deployment host is simply the shard
+// [0, N) of N.
+//
+// Handshake message (host -> client, first message on every connection):
+//   u32 magic "ENSB" | u32 version | u32 total_bodies | u32 body_begin |
+//   u32 body_count | u32 wire_mask
+// Every malformed or incompatible field decodes to a typed
+// ens::Error{protocol_error} — pointing a client at a non-ens endpoint, a
+// stale binary, or a misconfigured shard must fail loudly and immediately,
+// never hang or crash.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "split/codec.hpp"
+
+namespace ens::split {
+class Channel;
+}
+
+namespace ens::serve {
+
+inline constexpr std::uint32_t kHandshakeMagic = 0x42534E45;  // "ENSB"
+inline constexpr std::uint32_t kProtocolVersion = 2;
+
+/// What a body host declares about itself during the handshake.
+struct HostInfo {
+    std::size_t total_bodies = 0;  ///< N of the whole deployment
+    std::size_t body_begin = 0;    ///< first global body index hosted here
+    std::size_t body_count = 0;    ///< contiguous bodies hosted here
+    std::uint32_t wire_mask = 0;   ///< accepted split::WireFormat bits
+
+    /// Past-the-end global body index of this host's slice.
+    std::size_t body_end() const { return body_begin + body_count; }
+
+    /// True when this host serves the entire deployment (the single-host
+    /// layout RemoteSession requires).
+    bool hosts_all() const { return body_begin == 0 && body_count == total_bodies; }
+
+    /// "bodies [2, 4) of 6" — for errors and logs.
+    std::string to_string() const;
+};
+
+/// Serializes the version-2 handshake message.
+std::string encode_handshake(const HostInfo& info);
+
+/// Parses and validates a handshake message. Throws
+/// ens::Error{protocol_error} on bad magic, version mismatch, an empty or
+/// out-of-range body slice, or an empty/unknown wire mask.
+HostInfo decode_handshake(const std::string& bytes);
+
+/// Client side of the handshake, shared by RemoteSession and ShardRouter:
+/// receives and validates the host's announcement under `handshake_timeout`
+/// (a silent or wrong endpoint fails typed, never wedges), restores the
+/// channel's recv timeout to `session_timeout`, and checks the host accepts
+/// `wire_format` (typed protocol_error otherwise, prefixed with `who`).
+HostInfo perform_handshake(split::Channel& channel, std::chrono::milliseconds handshake_timeout,
+                           std::chrono::milliseconds session_timeout,
+                           split::WireFormat wire_format, const char* who);
+
+}  // namespace ens::serve

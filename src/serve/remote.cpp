@@ -1,44 +1,14 @@
 #include "serve/remote.hpp"
 
 #include <atomic>
-#include <sstream>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
-#include "common/serialize.hpp"
 #include "common/stopwatch.hpp"
 #include "split/split_model.hpp"
 
 namespace ens::serve {
-
-namespace {
-
-constexpr std::uint32_t kHandshakeMagic = 0x42534E45;  // "ENSB"
-constexpr std::uint32_t kProtocolVersion = 1;
-
-std::string encode_handshake(std::size_t body_count) {
-    std::ostringstream out(std::ios::binary);
-    BinaryWriter writer(out);
-    writer.write_u32(kHandshakeMagic);
-    writer.write_u32(kProtocolVersion);
-    writer.write_u32(static_cast<std::uint32_t>(body_count));
-    return out.str();
-}
-
-std::size_t decode_handshake(const std::string& bytes) {
-    std::istringstream in(bytes, std::ios::binary);
-    BinaryReader reader(in);
-    ENS_CHECK(reader.read_u32() == kHandshakeMagic,
-              "RemoteSession: peer is not an ens body host (bad handshake magic)");
-    const std::uint32_t version = reader.read_u32();
-    ENS_CHECK(version == kProtocolVersion,
-              "RemoteSession: protocol version mismatch (host v" + std::to_string(version) +
-                  ", client v" + std::to_string(kProtocolVersion) + ")");
-    return reader.read_u32();
-}
-
-}  // namespace
 
 // ------------------------------------------------------------------ host
 
@@ -68,13 +38,31 @@ BodyHost BodyHost::from_split_model(split::SplitModel model) {
     return BodyHost(std::move(owned));
 }
 
+void BodyHost::set_shard(std::size_t body_begin, std::size_t total_bodies) {
+    ENS_REQUIRE(body_begin + bodies_.size() <= total_bodies,
+                "BodyHost::set_shard: slice [" + std::to_string(body_begin) + ", " +
+                    std::to_string(body_begin + bodies_.size()) + ") exceeds total " +
+                    std::to_string(total_bodies));
+    shard_begin_ = body_begin;
+    shard_total_ = total_bodies;
+}
+
+HostInfo BodyHost::host_info() const {
+    HostInfo info;
+    info.total_bodies = shard_total_ == 0 ? bodies_.size() : shard_total_;
+    info.body_begin = shard_begin_;
+    info.body_count = bodies_.size();
+    info.wire_mask = split::all_wire_formats_mask();
+    return info;
+}
+
 std::size_t BodyHost::connections_accepted() const {
     const std::lock_guard<std::mutex> lock(accept_mutex_);
     return accepted_;
 }
 
 void BodyHost::serve(split::Channel& channel) {
-    channel.send(encode_handshake(bodies_.size()));
+    channel.send(encode_handshake(host_info()));
     for (;;) {
         std::string request;
         try {
@@ -165,12 +153,17 @@ RemoteSession::RemoteSession(std::unique_ptr<split::Channel> channel, nn::Layer&
       wire_format_(wire_format) {
     ENS_REQUIRE(channel_ != nullptr, "RemoteSession: null channel");
     // A silent or wrong endpoint must fail typed (channel_timeout), not
-    // wedge construction forever. Reset afterwards; per-request bounds are
-    // the caller's via set_recv_timeout.
-    channel_->set_recv_timeout(handshake_timeout);
-    body_count_ = decode_handshake(channel_->recv());
-    channel_->set_recv_timeout(std::chrono::milliseconds(0));
-    ENS_REQUIRE(body_count_ > 0, "RemoteSession: host reports zero bodies");
+    // wedge construction forever. The helper resets the timeout afterwards;
+    // per-request bounds are the caller's via set_recv_timeout.
+    const HostInfo host = perform_handshake(*channel_, handshake_timeout,
+                                            /*session_timeout=*/std::chrono::milliseconds(0),
+                                            wire_format_, "RemoteSession");
+    if (!host.hosts_all()) {
+        throw Error(ErrorCode::protocol_error,
+                    "RemoteSession: host serves only " + host.to_string() +
+                        " — a shard host needs a ShardRouter, not a RemoteSession");
+    }
+    body_count_ = host.total_bodies;
     ENS_REQUIRE(selector_.n() == body_count_,
                 "RemoteSession: selector must cover the host's " + std::to_string(body_count_) +
                     " bodies");

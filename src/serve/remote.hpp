@@ -11,9 +11,13 @@
 // selector never crosses the wire, exactly as §III requires.
 //
 // Protocol (one Channel per connection, used bidirectionally):
-//   1. handshake: the host sends one message — magic "ENSB", u32 version,
-//      u32 body_count — so the client can validate its selector covers the
-//      deployment before any feature bytes flow.
+//   1. handshake: the host sends one serve::HostInfo message (magic,
+//      version, total bodies, hosted body slice, accepted wire formats —
+//      serve/protocol.hpp) so the client can validate its selector covers
+//      the deployment and its wire format is accepted before any feature
+//      bytes flow. A BodyHost defaults to hosting the whole deployment;
+//      set_shard() turns it into one shard of a §III-D multiparty layout
+//      (the client side of that layout is serve::ShardRouter).
 //   2. per request: client sends one encoded feature tensor; host replies
 //      with body_count encoded feature maps (one per body, in body order),
 //      each encoded with the SAME wire format as the request — byte-for-
@@ -37,6 +41,7 @@
 
 #include "core/selector.hpp"
 #include "nn/layer.hpp"
+#include "serve/protocol.hpp"
 #include "serve/stats.hpp"
 #include "serve/types.hpp"
 #include "split/channel.hpp"
@@ -61,6 +66,17 @@ public:
     /// Hosts the body of a plain split model (N = 1 standard CI).
     static BodyHost from_split_model(split::SplitModel model);
 
+    /// Declares this host to be one shard of a larger deployment: it serves
+    /// global bodies [body_begin, body_begin + body_count()) of
+    /// `total_bodies`. Until called, the host claims the whole deployment
+    /// ([0, body_count()) of body_count()). The shard slice is advertised in
+    /// the handshake; a ShardRouter validates that its shards tile the full
+    /// range.
+    void set_shard(std::size_t body_begin, std::size_t total_bodies);
+
+    /// What the handshake advertises (slice + accepted wire formats).
+    HostInfo host_info() const;
+
     std::size_t body_count() const { return bodies_.size(); }
 
     /// Serves one connection: handshake, then request round trips until the
@@ -80,6 +96,10 @@ public:
 private:
     std::vector<nn::Layer*> bodies_;
     std::vector<nn::LayerPtr> owned_;
+    // Shard slice advertised in the handshake (set_shard overrides the
+    // whole-deployment default).
+    std::size_t shard_begin_ = 0;
+    std::size_t shard_total_ = 0;  // 0 = "all bodies" until set_shard
     // One mutex per body: a layer's forward cache is not thread-safe, but
     // distinct bodies may run concurrently for different connections.
     std::vector<std::mutex> forward_mutexes_;
@@ -96,9 +116,10 @@ public:
     /// Takes the connected channel; `noise` may be null (plain split CI).
     /// Reads the host handshake under a bounded timeout (so pointing at a
     /// silent endpoint fails typed instead of wedging construction) and
-    /// requires selector.n() == the host's body count. After construction
-    /// the channel waits without limit — use set_recv_timeout to bound
-    /// per-request waits.
+    /// requires the host to serve the WHOLE deployment (a shard host needs
+    /// a ShardRouter), selector.n() == the host's body count, and the host
+    /// to accept `wire_format`. After construction the channel waits
+    /// without limit — use set_recv_timeout to bound per-request waits.
     RemoteSession(std::unique_ptr<split::Channel> channel, nn::Layer& head, nn::Layer* noise,
                   nn::Layer& tail, core::Selector selector,
                   split::WireFormat wire_format = split::WireFormat::f32,

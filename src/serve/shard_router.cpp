@@ -1,0 +1,256 @@
+#include "serve/shard_router.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+
+namespace ens::serve {
+
+namespace {
+
+/// Tags a shard's transport/protocol failure with the shard it came from,
+/// preserving the error code callers dispatch on.
+[[noreturn]] void rethrow_tagged(std::size_t shard, const std::exception_ptr& error) {
+    try {
+        std::rethrow_exception(error);
+    } catch (const Error& e) {
+        // Error's constructor prepends the code name; drop the one already
+        // baked into e.what() so the tagged message carries it once.
+        std::string message = e.what();
+        const std::string prefix = std::string(error_code_name(e.code())) + ": ";
+        if (message.compare(0, prefix.size(), prefix) == 0) {
+            message.erase(0, prefix.size());
+        }
+        throw Error(e.code(), "shard " + std::to_string(shard) + ": " + message);
+    }
+    // Non-ens exceptions (tensor/shape contract violations, ...) propagate
+    // unchanged: they are client-side bugs, not shard failures.
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(std::vector<std::unique_ptr<split::Channel>> shards, nn::Layer& head,
+                         nn::Layer* noise, nn::Layer& tail, core::Selector selector,
+                         split::WireFormat wire_format,
+                         std::chrono::milliseconds handshake_timeout)
+    : channels_(std::move(shards)),
+      head_(head),
+      noise_(noise),
+      tail_(tail),
+      selector_(std::move(selector)),
+      wire_format_(wire_format),
+      handshake_timeout_(handshake_timeout) {
+    ENS_REQUIRE(!channels_.empty(), "ShardRouter: no shard channels");
+    for (const auto& channel : channels_) {
+        ENS_REQUIRE(channel != nullptr, "ShardRouter: null shard channel");
+    }
+    needs_reconnect_.assign(channels_.size(), 0);
+
+    shards_.reserve(channels_.size());
+    for (std::size_t s = 0; s < channels_.size(); ++s) {
+        HostInfo host;
+        try {
+            host = adopt(*channels_[s], handshake_timeout);
+        } catch (const Error&) {
+            rethrow_tagged(s, std::current_exception());
+        }
+        if (s == 0) {
+            total_bodies_ = host.total_bodies;
+        } else if (host.total_bodies != total_bodies_) {
+            throw Error(ErrorCode::protocol_error,
+                        "ShardRouter: shard " + std::to_string(s) + " reports " +
+                            std::to_string(host.total_bodies) + " total bodies, shard 0 reports " +
+                            std::to_string(total_bodies_));
+        }
+        shards_.push_back(ShardInfo{host.body_begin, host.body_count});
+        shard_stats_.push_back(std::make_unique<SessionStats>());
+    }
+
+    // The K slices must tile [0, N) exactly: sort by begin and walk. An
+    // overlap means two hosts both claim a body (their weights would
+    // silently diverge); a gap means nobody serves it. Both are deployment
+    // misconfigurations the handshake exists to catch.
+    std::vector<std::size_t> order(shards_.size());
+    for (std::size_t s = 0; s < order.size(); ++s) {
+        order[s] = s;
+    }
+    std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+        return shards_[a].body_begin < shards_[b].body_begin;
+    });
+    std::size_t covered = 0;
+    for (const std::size_t s : order) {
+        if (shards_[s].body_begin < covered) {
+            throw Error(ErrorCode::protocol_error,
+                        "ShardRouter: shard " + std::to_string(s) + " bodies [" +
+                            std::to_string(shards_[s].body_begin) + ", " +
+                            std::to_string(shards_[s].body_end()) +
+                            ") overlap another shard's slice");
+        }
+        if (shards_[s].body_begin > covered) {
+            throw Error(ErrorCode::protocol_error,
+                        "ShardRouter: no shard hosts bodies [" + std::to_string(covered) + ", " +
+                            std::to_string(shards_[s].body_begin) + ")");
+        }
+        covered = shards_[s].body_end();
+    }
+    if (covered != total_bodies_) {
+        throw Error(ErrorCode::protocol_error,
+                    "ShardRouter: shards cover only [0, " + std::to_string(covered) + ") of " +
+                        std::to_string(total_bodies_) + " bodies");
+    }
+    ENS_REQUIRE(selector_.n() == total_bodies_,
+                "ShardRouter: selector must cover the deployment's " +
+                    std::to_string(total_bodies_) + " bodies");
+}
+
+HostInfo ShardRouter::adopt(split::Channel& channel,
+                            std::chrono::milliseconds handshake_timeout) const {
+    return perform_handshake(channel, handshake_timeout, /*session_timeout=*/recv_timeout_,
+                             wire_format_, "ShardRouter");
+}
+
+std::size_t ShardRouter::shard_of_body(std::size_t body_index) const {
+    ENS_REQUIRE(body_index < total_bodies_, "ShardRouter::shard_of_body: index out of range");
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        if (body_index >= shards_[s].body_begin && body_index < shards_[s].body_end()) {
+            return s;
+        }
+    }
+    ENS_FAIL("ShardRouter: shard map does not cover body " + std::to_string(body_index));
+}
+
+const SessionStats& ShardRouter::shard_stats(std::size_t shard) const {
+    ENS_REQUIRE(shard < shard_stats_.size(), "ShardRouter::shard_stats: shard out of range");
+    return *shard_stats_[shard];
+}
+
+split::TrafficStats ShardRouter::shard_traffic(std::size_t shard) const {
+    ENS_REQUIRE(shard < channels_.size(), "ShardRouter::shard_traffic: shard out of range");
+    return channels_[shard]->stats();
+}
+
+void ShardRouter::set_recv_timeout(std::chrono::milliseconds timeout) {
+    recv_timeout_ = timeout;
+    for (const auto& channel : channels_) {
+        channel->set_recv_timeout(timeout);
+    }
+}
+
+void ShardRouter::reconnect_shard(std::size_t shard, std::unique_ptr<split::Channel> channel) {
+    ENS_REQUIRE(shard < channels_.size(), "ShardRouter::reconnect_shard: shard out of range");
+    ENS_REQUIRE(channel != nullptr, "ShardRouter::reconnect_shard: null channel");
+    const HostInfo host = adopt(*channel, handshake_timeout_);
+    if (host.total_bodies != total_bodies_ || host.body_begin != shards_[shard].body_begin ||
+        host.body_count != shards_[shard].body_count) {
+        throw Error(ErrorCode::protocol_error,
+                    "ShardRouter: replacement host serves " + host.to_string() +
+                        ", but shard " + std::to_string(shard) + " must serve bodies [" +
+                        std::to_string(shards_[shard].body_begin) + ", " +
+                        std::to_string(shards_[shard].body_end()) + ") of " +
+                        std::to_string(total_bodies_));
+    }
+    channels_[shard] = std::move(channel);
+    needs_reconnect_[shard] = 0;
+}
+
+bool ShardRouter::shard_needs_reconnect(std::size_t shard) const {
+    ENS_REQUIRE(shard < needs_reconnect_.size(),
+                "ShardRouter::shard_needs_reconnect: shard out of range");
+    return needs_reconnect_[shard] != 0;
+}
+
+InferenceResult ShardRouter::infer(Tensor images) {
+    ENS_REQUIRE(images.defined(), "ShardRouter::infer: undefined image tensor");
+    for (std::size_t s = 0; s < needs_reconnect_.size(); ++s) {
+        if (needs_reconnect_[s]) {
+            throw Error(ErrorCode::channel_closed,
+                        "ShardRouter: shard " + std::to_string(s) +
+                            " is desynchronized by an earlier failure; reconnect_shard() it "
+                            "before further inference");
+        }
+    }
+    if (images.rank() == 3) {
+        images = images.reshaped(Shape{1, images.dim(0), images.dim(1), images.dim(2)});
+    }
+    const Stopwatch watch;
+
+    // Client phase: private head (+ split-point noise), encoded ONCE — every
+    // shard receives the identical uplink bytes.
+    Tensor features = head_.forward(images);
+    if (noise_ != nullptr) {
+        features = noise_->forward(features);
+    }
+    const std::string payload = split::encode_tensor(features, wire_format_);
+
+    // Concurrent fan-out: each shard's send + recv loop runs on its own
+    // thread and deposits decoded maps directly into the GLOBAL body slots,
+    // so the merge is just "wait for everyone". Failures are captured per
+    // shard; every thread is joined before any rethrow, which keeps healthy
+    // shards' streams aligned for the next request. A FAILED shard's
+    // alignment is unknowable (an idle timeout's reply could arrive later
+    // and masquerade as the next request's maps), so its channel is closed
+    // and the shard marked for reconnect_shard — wrong-request features
+    // must never be merged silently.
+    std::vector<Tensor> returned(total_bodies_);
+    std::vector<std::exception_ptr> errors(channels_.size());
+    const auto run_shard = [&](std::size_t s) noexcept {
+        try {
+            const Stopwatch shard_watch;
+            channels_[s]->send(payload);
+            for (std::size_t k = 0; k < shards_[s].body_count; ++k) {
+                returned[shards_[s].body_begin + k] = split::decode_tensor(channels_[s]->recv());
+            }
+            shard_stats_[s]->record(shard_watch.elapsed_ms(), /*queue_ms=*/0.0, images.dim(0),
+                                    images.dim(0));
+        } catch (...) {
+            errors[s] = std::current_exception();
+            needs_reconnect_[s] = 1;
+            try {
+                channels_[s]->close();
+            } catch (...) {
+            }
+        }
+    };
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(channels_.size() - 1);
+        for (std::size_t s = 1; s < channels_.size(); ++s) {
+            threads.emplace_back(run_shard, s);
+        }
+        run_shard(0);
+        for (std::thread& thread : threads) {
+            thread.join();
+        }
+    }
+    for (std::size_t s = 0; s < errors.size(); ++s) {
+        if (errors[s]) {
+            rethrow_tagged(s, errors[s]);
+        }
+    }
+
+    // Merge is already in global body order; combine with the secret
+    // selector and finish with the private tail, exactly like the in-proc
+    // oracle.
+    const Tensor combined = selector_.n() == 1 ? returned.front() : selector_.apply(returned);
+
+    InferenceResult result;
+    result.logits = tail_.forward(combined);
+    result.request_id = next_request_id_++;
+    result.coalesced_images = images.dim(0);  // no cross-client batching here
+    result.total_ms = watch.elapsed_ms();
+    result.compute_ms = result.total_ms;  // queue_ms stays 0: nothing queues
+    stats_.record(result.total_ms, /*queue_ms=*/0.0, images.dim(0), images.dim(0));
+    return result;
+}
+
+void ShardRouter::close() {
+    for (const auto& channel : channels_) {
+        channel->close();
+    }
+}
+
+}  // namespace ens::serve

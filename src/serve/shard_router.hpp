@@ -1,0 +1,152 @@
+#pragma once
+// Client-side router over K shard hosts — the §III-D multiparty deployment
+// made real across process (and machine) boundaries.
+//
+// Each shard is a BodyHost process hosting a disjoint contiguous slice of
+// the deployment's N bodies (BodyHost::set_shard + serve_daemon
+// --bodies i..j). The router opens one Channel per shard, validates at
+// handshake time that the K advertised slices tile [0, N) exactly — any
+// overlap, gap or total-count disagreement is a typed
+// ens::Error{protocol_error} before a single feature byte flows — then per
+// request fans the head output to every shard concurrently, merges the
+// returned per-body feature maps in GLOBAL body order, and applies the
+// client-held secret selector + tail exactly as the in-proc
+// CollaborativeSession oracle does (tests assert bit-parity).
+//
+// Privacy: this is the paper's strongest deployment. No single host ever
+// holds all N bodies, so a lone adversarial shard cannot even enumerate the
+// full 2^N - 1 shadow-subset space, and the selector — the only secret —
+// still never leaves the client process.
+//
+// Failure isolation: each shard round trip runs on its own thread; a dead
+// or misbehaving shard surfaces as a typed ens::Error (channel_closed /
+// channel_timeout / io_error / protocol_error, tagged with the shard index)
+// within the configured recv timeout, while the other shards complete
+// their round trips and keep their streams aligned. After such a failure
+// the session stays usable: reconnect_shard() swaps in a fresh channel to a
+// replacement host (which must advertise the identical body slice).
+//
+// Threading: the fan-out deliberately uses short-lived dedicated threads,
+// not the global ThreadPool — shard round trips BLOCK on network I/O, and
+// parking pool workers on a socket would starve the tensor kernels the
+// bodies themselves need. K is small (a handful of non-colluding
+// providers), so thread spawn cost is noise against a network RTT.
+// Like RemoteSession, a ShardRouter is a client device: one in-flight
+// request at a time, not thread-safe.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/selector.hpp"
+#include "nn/layer.hpp"
+#include "serve/protocol.hpp"
+#include "serve/stats.hpp"
+#include "serve/types.hpp"
+#include "split/channel.hpp"
+#include "split/codec.hpp"
+
+namespace ens::serve {
+
+class ShardRouter {
+public:
+    /// One entry per connected shard, in construction order.
+    struct ShardInfo {
+        std::size_t body_begin = 0;  ///< first global body index on this shard
+        std::size_t body_count = 0;  ///< contiguous bodies on this shard
+
+        std::size_t body_end() const { return body_begin + body_count; }
+    };
+
+    /// Takes the K connected shard channels (any order — the handshake
+    /// carries each shard's body slice); `noise` may be null. Reads every
+    /// shard's handshake under `handshake_timeout`, validates that the
+    /// slices tile [0, N) exactly and that every shard accepts
+    /// `wire_format`, and requires selector.n() == N. After construction
+    /// the channels wait without limit — use set_recv_timeout to bound
+    /// per-request waits.
+    ShardRouter(std::vector<std::unique_ptr<split::Channel>> shards, nn::Layer& head,
+                nn::Layer* noise, nn::Layer& tail, core::Selector selector,
+                split::WireFormat wire_format = split::WireFormat::f32,
+                std::chrono::milliseconds handshake_timeout = std::chrono::seconds(30));
+
+    /// One blocking round trip: head (+noise) locally, concurrent fan-out
+    /// to all K shards, merge in global body order, secret selector + tail
+    /// locally. Returns logits + timings. On shard failure throws a typed
+    /// ens::Error naming the shard; healthy shards finish their round trip
+    /// first, so their streams stay request-aligned, while the failed shard
+    /// is closed and marked desynchronized (shard_needs_reconnect) — further
+    /// infer() calls fail typed until reconnect_shard().
+    InferenceResult infer(Tensor images);
+
+    /// Caps each shard's wire waits (applies to every current channel and
+    /// to channels adopted later by reconnect_shard; 0 = forever).
+    void set_recv_timeout(std::chrono::milliseconds timeout);
+
+    /// Replaces the channel of shard `shard` after a failure. Performs the
+    /// handshake on the new channel (under the router's construction-time
+    /// handshake timeout) and requires the replacement host to advertise
+    /// exactly the same body slice (and accept the session's wire format);
+    /// on mismatch throws typed, leaves the old (dead) channel in place and
+    /// the shard still desynchronized. Per-shard stats survive the
+    /// reconnect; the channel's traffic counters start from zero.
+    void reconnect_shard(std::size_t shard, std::unique_ptr<split::Channel> channel);
+
+    /// True when `shard` failed mid-request and must be reconnected before
+    /// the next infer(). A failed shard's request/response alignment is
+    /// unknowable (e.g. an idle timeout whose reply later arrives would be
+    /// decoded as the NEXT request's feature maps), so the router closes the
+    /// channel and refuses further inference — typed, never silently wrong —
+    /// until reconnect_shard() re-establishes a clean stream.
+    bool shard_needs_reconnect(std::size_t shard) const;
+
+    std::size_t shard_count() const { return channels_.size(); }
+    /// Total bodies N across all shards.
+    std::size_t body_count() const { return total_bodies_; }
+    /// Shard slices in construction order (the shard map).
+    const std::vector<ShardInfo>& shard_map() const { return shards_; }
+    /// Index of the shard hosting global body `body_index`.
+    std::size_t shard_of_body(std::size_t body_index) const;
+
+    split::WireFormat wire_format() const { return wire_format_; }
+    const core::Selector& selector() const { return selector_; }
+
+    /// Whole-request latency stats (same meaning as RemoteSession's).
+    const SessionStats& stats() const { return stats_; }
+    /// Round-trip stats of one shard (send -> last feature map decoded);
+    /// the spread across shards is the §III-D straggler picture.
+    const SessionStats& shard_stats(std::size_t shard) const;
+    /// Traffic of one shard's current channel (resets on reconnect).
+    split::TrafficStats shard_traffic(std::size_t shard) const;
+
+    /// Disconnects every shard (each host ends that connection's loop).
+    void close();
+
+private:
+    /// Handshakes `channel` and returns the advertised slice; used by both
+    /// construction and reconnect.
+    HostInfo adopt(split::Channel& channel, std::chrono::milliseconds handshake_timeout) const;
+
+    std::vector<std::unique_ptr<split::Channel>> channels_;
+    std::vector<ShardInfo> shards_;
+    std::size_t total_bodies_ = 0;
+    nn::Layer& head_;
+    nn::Layer* noise_;
+    nn::Layer& tail_;
+    core::Selector selector_;
+    split::WireFormat wire_format_;
+    std::chrono::milliseconds handshake_timeout_;
+    std::chrono::milliseconds recv_timeout_{0};
+    std::uint64_t next_request_id_ = 1;
+    SessionStats stats_;
+    // SessionStats owns a mutex (immovable), hence the indirection.
+    std::vector<std::unique_ptr<SessionStats>> shard_stats_;
+    // Shards whose stream alignment was lost by a mid-request failure (see
+    // shard_needs_reconnect). Byte-sized on purpose: shard threads set
+    // their own slot concurrently, which vector<bool>'s bit packing would
+    // turn into a data race.
+    std::vector<unsigned char> needs_reconnect_;
+};
+
+}  // namespace ens::serve

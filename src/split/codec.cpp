@@ -1,6 +1,7 @@
 #include "split/codec.hpp"
 
 #include <cstring>
+#include <limits>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -11,6 +12,50 @@ namespace ens::split {
 namespace {
 constexpr std::uint32_t kMagicF32 = 0x464D4150;    // "FMAP": legacy lossless payload
 constexpr std::uint32_t kMagicQuant = 0x464D4151;  // "FMAQ": format byte + affine payload
+
+// Decoding reads bytes from an untrusted peer, so every malformed input —
+// bad magic, truncated stream, absurd rank, a shape whose payload does not
+// match the message size — must surface as a typed protocol_error the
+// receiver can branch on, and must do so BEFORE the declared shape drives
+// any allocation.
+[[noreturn]] void throw_protocol(const std::string& what) {
+    throw Error(ErrorCode::protocol_error, "decode_tensor: " + what);
+}
+
+constexpr std::uint64_t kMaxDecodeRank = 8;
+
+// Reads and validates the shape vector: bounded rank, non-negative dims,
+// overflow-checked element count. `message_size` bounds numel — every
+// payload encoding spends at least one byte per element, so a shape
+// declaring more elements than the whole message has bytes is corrupt; the
+// early bound also keeps the caller's expected-size arithmetic (numel *
+// element size) far from uint64 wrap-around.
+Shape read_checked_shape(BinaryReader& reader, std::size_t message_size) {
+    const std::uint64_t rank = reader.read_u64();
+    if (rank > kMaxDecodeRank) {
+        throw_protocol("shape rank " + std::to_string(rank) + " exceeds limit " +
+                       std::to_string(kMaxDecodeRank) + " (corrupt message?)");
+    }
+    std::vector<std::int64_t> dims(rank);
+    std::uint64_t numel = 1;
+    for (std::uint64_t i = 0; i < rank; ++i) {
+        dims[i] = reader.read_i64();
+        if (dims[i] < 0) {
+            throw_protocol("negative dimension in shape");
+        }
+        const auto extent = static_cast<std::uint64_t>(dims[i]);
+        if (extent != 0 && numel > std::numeric_limits<std::uint64_t>::max() / extent) {
+            throw_protocol("shape element count overflows");
+        }
+        numel *= extent;
+    }
+    if (numel > message_size) {
+        throw_protocol("shape declares " + std::to_string(numel) +
+                       " elements but the whole message is only " +
+                       std::to_string(message_size) + " B (corrupt message?)");
+    }
+    return Shape{std::move(dims)};
+}
 }  // namespace
 
 const char* wire_format_name(WireFormat format) {
@@ -23,6 +68,19 @@ const char* wire_format_name(WireFormat format) {
             return "q8";
     }
     ENS_FAIL("wire_format_name: unknown format");
+}
+
+bool wire_format_from_name(const std::string& name, WireFormat& format) {
+    if (name == "f32") {
+        format = WireFormat::f32;
+    } else if (name == "q16") {
+        format = WireFormat::q16;
+    } else if (name == "q8") {
+        format = WireFormat::q8;
+    } else {
+        return false;
+    }
+    return true;
 }
 
 std::size_t wire_format_element_size(WireFormat format) {
@@ -89,37 +147,68 @@ std::string encode_tensor(const Tensor& tensor, WireFormat format) {
 }
 
 Tensor decode_tensor(const std::string& bytes) {
-    std::istringstream in(bytes, std::ios::binary);
-    BinaryReader reader(in);
-    const std::uint32_t magic = reader.read_u32();
-    if (magic == kMagicF32) {
-        const Shape shape{reader.read_i64_vector()};
-        Tensor tensor(shape);
-        reader.read_f32_array(tensor.data(), static_cast<std::size_t>(tensor.numel()));
-        return tensor;
-    }
-    ENS_CHECK(magic == kMagicQuant, "decode_tensor: bad magic");
-    const auto format = static_cast<WireFormat>(reader.read_u8());
-    ENS_CHECK(format == WireFormat::q16 || format == WireFormat::q8,
-              "decode_tensor: bad quantized format byte");
-    const Shape shape{reader.read_i64_vector()};
-    AffineGrid grid;
-    grid.lo = reader.read_f32();
-    grid.step = reader.read_f32();
-    const auto count = static_cast<std::size_t>(shape.numel());
-    std::vector<std::uint16_t> codes(count);
-    if (format == WireFormat::q8) {
-        for (std::size_t i = 0; i < count; ++i) {
-            codes[i] = reader.read_u8();
+    try {
+        std::istringstream in(bytes, std::ios::binary);
+        BinaryReader reader(in);
+        const std::uint32_t magic = reader.read_u32();
+        if (magic == kMagicF32) {
+            const Shape shape = read_checked_shape(reader, bytes.size());
+            // The full message size is implied by the shape; reject any
+            // mismatch before allocating numel floats.
+            const std::uint64_t expected = sizeof(std::uint32_t) + sizeof(std::uint64_t) +
+                                           shape.rank() * sizeof(std::int64_t) +
+                                           sizeof(std::uint64_t) +
+                                           static_cast<std::uint64_t>(shape.numel()) *
+                                               sizeof(float);
+            if (bytes.size() != expected) {
+                throw_protocol("message is " + std::to_string(bytes.size()) +
+                               " B but shape " + shape.to_string() + " demands " +
+                               std::to_string(expected) + " B (truncated or corrupt frame)");
+            }
+            Tensor tensor(shape);
+            reader.read_f32_array(tensor.data(), static_cast<std::size_t>(tensor.numel()));
+            return tensor;
         }
-    } else {
-        for (std::size_t i = 0; i < count; ++i) {
-            const std::uint16_t lo_byte = reader.read_u8();
-            const std::uint16_t hi_byte = reader.read_u8();
-            codes[i] = static_cast<std::uint16_t>(lo_byte | (hi_byte << 8));
+        if (magic != kMagicQuant) {
+            throw_protocol("bad magic (peer is not speaking the feature codec)");
         }
+        const auto format = static_cast<WireFormat>(reader.read_u8());
+        if (format != WireFormat::q16 && format != WireFormat::q8) {
+            throw_protocol("bad quantized format byte");
+        }
+        const Shape shape = read_checked_shape(reader, bytes.size());
+        const std::uint64_t expected =
+            sizeof(std::uint32_t) + 1 + sizeof(std::uint64_t) +
+            shape.rank() * sizeof(std::int64_t) + 2 * sizeof(float) +
+            static_cast<std::uint64_t>(shape.numel()) * wire_format_element_size(format);
+        if (bytes.size() != expected) {
+            throw_protocol("message is " + std::to_string(bytes.size()) + " B but shape " +
+                           shape.to_string() + " demands " + std::to_string(expected) +
+                           " B (truncated or corrupt frame)");
+        }
+        AffineGrid grid;
+        grid.lo = reader.read_f32();
+        grid.step = reader.read_f32();
+        const auto count = static_cast<std::size_t>(shape.numel());
+        std::vector<std::uint16_t> codes(count);
+        if (format == WireFormat::q8) {
+            for (std::size_t i = 0; i < count; ++i) {
+                codes[i] = reader.read_u8();
+            }
+        } else {
+            for (std::size_t i = 0; i < count; ++i) {
+                const std::uint16_t lo_byte = reader.read_u8();
+                const std::uint16_t hi_byte = reader.read_u8();
+                codes[i] = static_cast<std::uint16_t>(lo_byte | (hi_byte << 8));
+            }
+        }
+        return dequantize(codes, shape, grid);
+    } catch (const Error&) {
+        throw;
+    } catch (const std::exception& e) {
+        // Short reads and the like out of BinaryReader: same failure class.
+        throw Error(ErrorCode::protocol_error, std::string("decode_tensor: ") + e.what());
     }
-    return dequantize(codes, shape, grid);
 }
 
 WireFormat encoded_wire_format(const std::string& bytes) {
@@ -128,17 +217,24 @@ WireFormat encoded_wire_format(const std::string& bytes) {
     // must be read exactly how BinaryWriter wrote it (native byte order via
     // write_raw), so memcpy — not an explicit-endian shift — keeps the two
     // consistent on every host.
-    ENS_CHECK(bytes.size() >= sizeof(std::uint32_t), "encoded_wire_format: truncated message");
+    if (bytes.size() < sizeof(std::uint32_t)) {
+        throw Error(ErrorCode::protocol_error, "encoded_wire_format: truncated message");
+    }
     std::uint32_t magic = 0;
     std::memcpy(&magic, bytes.data(), sizeof(magic));
     if (magic == kMagicF32) {
         return WireFormat::f32;
     }
-    ENS_CHECK(magic == kMagicQuant, "encoded_wire_format: bad magic");
-    ENS_CHECK(bytes.size() > sizeof(magic), "encoded_wire_format: truncated message");
+    if (magic != kMagicQuant) {
+        throw Error(ErrorCode::protocol_error, "encoded_wire_format: bad magic");
+    }
+    if (bytes.size() <= sizeof(magic)) {
+        throw Error(ErrorCode::protocol_error, "encoded_wire_format: truncated message");
+    }
     const auto format = static_cast<WireFormat>(static_cast<unsigned char>(bytes[sizeof(magic)]));
-    ENS_CHECK(format == WireFormat::q16 || format == WireFormat::q8,
-              "encoded_wire_format: bad quantized format byte");
+    if (format != WireFormat::q16 && format != WireFormat::q8) {
+        throw Error(ErrorCode::protocol_error, "encoded_wire_format: bad quantized format byte");
+    }
     return format;
 }
 

@@ -31,6 +31,28 @@ enum class WireFormat : std::uint8_t {
 /// "f32" / "q16" / "q8" (for logs and bench rows).
 const char* wire_format_name(WireFormat format);
 
+/// Inverse of wire_format_name — parses a --wire flag value into `format`.
+/// Returns false on unknown names (the caller owns the error report).
+bool wire_format_from_name(const std::string& name, WireFormat& format);
+
+/// Bit representing `format` in a supported-formats mask. Hosts advertise
+/// such a mask during the serve handshake so each shard can negotiate the
+/// wire format independently of the others.
+constexpr std::uint32_t wire_format_bit(WireFormat format) {
+    return std::uint32_t{1} << static_cast<std::uint8_t>(format);
+}
+
+/// Mask of every payload encoding this build can encode and decode.
+constexpr std::uint32_t all_wire_formats_mask() {
+    return wire_format_bit(WireFormat::f32) | wire_format_bit(WireFormat::q16) |
+           wire_format_bit(WireFormat::q8);
+}
+
+/// True when `mask` (a peer's advertised support set) accepts `format`.
+constexpr bool wire_format_supported(std::uint32_t mask, WireFormat format) {
+    return (mask & wire_format_bit(format)) != 0;
+}
+
 /// Bytes per feature element of a format's payload.
 std::size_t wire_format_element_size(WireFormat format);
 
@@ -44,11 +66,15 @@ std::string encode_tensor(const Tensor& tensor);
 std::string encode_tensor(const Tensor& tensor, WireFormat format);
 
 /// Parses a byte string produced by either encode_tensor overload,
-/// dequantizing if needed.
+/// dequantizing if needed. Malformed input — bad magic, absurd shape,
+/// payload shorter or longer than the shape demands — throws
+/// ens::Error{protocol_error} before any large allocation happens, so a
+/// corrupt peer cannot crash or balloon the receiving process.
 Tensor decode_tensor(const std::string& bytes);
 
 /// Reads the payload encoding of an encoded message without decoding it —
-/// lets a server mirror the client's wire format on the downlink.
+/// lets a server mirror the client's wire format on the downlink. Throws
+/// ens::Error{protocol_error} on malformed input.
 WireFormat encoded_wire_format(const std::string& bytes);
 
 /// Exact wire size of a tensor message without serializing it (f32).

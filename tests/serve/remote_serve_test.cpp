@@ -1,21 +1,16 @@
 // Fork-based end-to-end proof that remote serving over TcpChannel is
-// BIT-IDENTICAL to the in-proc sequential oracle: a child process hosts
-// the server bodies behind a real listener, the parent drives a
-// RemoteSession across the process boundary, and every logit must match
-// the CollaborativeSession round trip exactly — for lossless and
-// quantized wire formats, for standard CI (N = 1) and for an N = 3
-// ensemble whose secret selector never leaves the parent.
+// BIT-IDENTICAL to the in-proc sequential oracle: a child process (via the
+// shared serve_harness fixture) hosts the server bodies behind a real
+// listener, the parent drives a RemoteSession across the process boundary,
+// and every logit must match the CollaborativeSession round trip exactly —
+// for lossless and quantized wire formats, for standard CI (N = 1) and for
+// an N = 3 ensemble whose secret selector never leaves the parent.
 //
-// Fork-safety: this file contains exactly ONE test, and it forks BEFORE
-// any tensor work happens in either process. The global ThreadPool is
-// created lazily on first use; forking first means parent and child each
-// construct their own fresh pool, instead of the child inheriting worker
-// threads that do not survive fork().
+// Fork-safety: the daemon is forked before any tensor work happens in this
+// process, and the harness marks the child fork-safe (inline parallel_for)
+// so inherited thread-pool state cannot deadlock it.
 
 #include <gtest/gtest.h>
-
-#include <sys/wait.h>
-#include <unistd.h>
 
 #include <chrono>
 #include <memory>
@@ -23,9 +18,7 @@
 
 #include "common/error.hpp"
 #include "core/selector.hpp"
-#include "nn/linear.hpp"
-#include "nn/sequential.hpp"
-#include "serve/remote.hpp"
+#include "serve_harness.hpp"
 #include "split/channel.hpp"
 #include "split/session.hpp"
 #include "split/split_model.hpp"
@@ -34,93 +27,9 @@
 namespace ens::serve {
 namespace {
 
-constexpr std::int64_t kIn = 3;
-constexpr std::int64_t kHidden = 4;
-constexpr std::int64_t kClasses = 2;
 constexpr std::size_t kEnsembleBodies = 3;
-
-/// Tiny linear split pipeline; same seed -> identical weights, so parent
-/// and child build bit-identical halves of the deployment.
-split::SplitModel make_linear_split(std::uint64_t seed) {
-    Rng rng(seed);
-    split::SplitModel model;
-    model.head = std::make_unique<nn::Sequential>();
-    model.head->emplace<nn::Linear>(kIn, kHidden, rng);
-    model.body = std::make_unique<nn::Sequential>();
-    model.body->emplace<nn::Linear>(kHidden, kHidden, rng);
-    model.tail = std::make_unique<nn::Sequential>();
-    model.tail->emplace<nn::Linear>(kHidden, kClasses, rng);
-    return model;
-}
-
-/// N = 3 ensemble geometry: shared head, per-body nets, a tail sized for
-/// the P = 2 selector concat. Deterministic per-part seeds.
-struct EnsembleParts {
-    std::unique_ptr<nn::Sequential> head;
-    std::vector<nn::LayerPtr> bodies;
-    std::unique_ptr<nn::Sequential> tail;
-};
-
-EnsembleParts make_ensemble(std::uint64_t seed) {
-    EnsembleParts parts;
-    Rng head_rng(seed);
-    parts.head = std::make_unique<nn::Sequential>();
-    parts.head->emplace<nn::Linear>(kIn, kHidden, head_rng);
-    for (std::size_t k = 0; k < kEnsembleBodies; ++k) {
-        Rng body_rng(seed + 1 + k);
-        auto body = std::make_unique<nn::Sequential>();
-        body->emplace<nn::Linear>(kHidden, kHidden, body_rng);
-        parts.bodies.push_back(std::move(body));
-    }
-    Rng tail_rng(seed + 100);
-    parts.tail = std::make_unique<nn::Sequential>();
-    // P = 2 selected maps, concatenated.
-    parts.tail->emplace<nn::Linear>(2 * kHidden, kClasses, tail_rng);
-    return parts;
-}
-
-void set_eval(EnsembleParts& parts) {
-    parts.head->set_training(false);
-    for (nn::LayerPtr& body : parts.bodies) {
-        body->set_training(false);
-    }
-    parts.tail->set_training(false);
-}
-
 constexpr std::uint64_t kSplitSeed = 17;
 constexpr std::uint64_t kEnsembleSeed = 700;
-
-/// Child process: host the bodies, serve exactly three connections
-/// (single-body f32, single-body q8, ensemble f32), then exit. Never
-/// returns; uses _exit so gtest teardown does not run twice.
-[[noreturn]] void run_daemon_child(int port_write_fd) {
-    int code = 0;
-    try {
-        split::ChannelListener listener(0);
-        const std::uint16_t port = listener.port();
-        if (::write(port_write_fd, &port, sizeof(port)) != sizeof(port)) {
-            _exit(2);
-        }
-        ::close(port_write_fd);
-
-        {
-            BodyHost single = BodyHost::from_split_model(make_linear_split(kSplitSeed));
-            for (int connection = 0; connection < 2; ++connection) {
-                auto channel = listener.accept();
-                single.serve(*channel);
-            }
-        }
-        {
-            EnsembleParts parts = make_ensemble(kEnsembleSeed);
-            BodyHost ensemble(std::move(parts.bodies));
-            auto channel = listener.accept();
-            ensemble.serve(*channel);
-        }
-    } catch (...) {
-        code = 1;
-    }
-    _exit(code);
-}
 
 // Generous per-request cap so a wedged child fails the test instead of
 // hanging CI (the constructor's own handshake timeout covers connection
@@ -128,32 +37,37 @@ constexpr std::uint64_t kEnsembleSeed = 700;
 constexpr std::chrono::milliseconds kRequestTimeout{120000};
 
 TEST(RemoteServe, ForkedDaemonIsBitIdenticalToInProcOracle) {
-    int port_pipe[2] = {-1, -1};
-    ASSERT_EQ(::pipe(port_pipe), 0);
-
-    const pid_t child = ::fork();
-    ASSERT_NE(child, -1);
-    if (child == 0) {
-        ::close(port_pipe[0]);
-        run_daemon_child(port_pipe[1]);
-    }
-    ::close(port_pipe[1]);
-    std::uint16_t port = 0;
-    ASSERT_EQ(::read(port_pipe[0], &port, sizeof(port)),
-              static_cast<ssize_t>(sizeof(port)));
-    ::close(port_pipe[0]);
-    ASSERT_GT(port, 0);
+    // Child: host the bodies, serve exactly three connections (single-body
+    // f32, single-body q8, ensemble f32), then exit. All model building
+    // happens post-fork, in the child.
+    harness::ForkedDaemon daemon([](split::ChannelListener& listener) {
+        {
+            BodyHost single = BodyHost::from_split_model(harness::make_linear_split(kSplitSeed));
+            for (int connection = 0; connection < 2; ++connection) {
+                auto channel = listener.accept();
+                single.serve(*channel);
+            }
+        }
+        {
+            harness::EnsembleParts parts =
+                harness::make_linear_ensemble(kEnsembleSeed, kEnsembleBodies, /*num_selected=*/2);
+            BodyHost ensemble(std::move(parts.bodies));
+            auto channel = listener.accept();
+            ensemble.serve(*channel);
+        }
+    });
+    ASSERT_GT(daemon.port(), 0);
 
     // Shared inputs: both the oracle and the remote path see these exact
     // tensors.
     Rng data_rng(23);
-    const std::vector<Tensor> inputs = {Tensor::randn(Shape{2, kIn}, data_rng),
-                                        Tensor::randn(Shape{1, kIn}, data_rng),
-                                        Tensor::randn(Shape{3, kIn}, data_rng)};
+    const std::vector<Tensor> inputs = {Tensor::randn(Shape{2, harness::kIn}, data_rng),
+                                        Tensor::randn(Shape{1, harness::kIn}, data_rng),
+                                        Tensor::randn(Shape{3, harness::kIn}, data_rng)};
 
     // --- connections 1+2: standard CI (N = 1), lossless then quantized ---
     for (const split::WireFormat wire : {split::WireFormat::f32, split::WireFormat::q8}) {
-        split::SplitModel oracle_model = make_linear_split(kSplitSeed);
+        split::SplitModel oracle_model = harness::make_linear_split(kSplitSeed);
         oracle_model.set_training(false);
         split::InProcChannel uplink;
         split::InProcChannel downlink;
@@ -161,10 +75,11 @@ TEST(RemoteServe, ForkedDaemonIsBitIdenticalToInProcOracle) {
                                            *oracle_model.tail, split::single_body_combiner(),
                                            uplink, downlink, wire);
 
-        split::SplitModel client_model = make_linear_split(kSplitSeed);
+        split::SplitModel client_model = harness::make_linear_split(kSplitSeed);
         client_model.set_training(false);
-        RemoteSession session(split::tcp_connect("127.0.0.1", port), *client_model.head,
-                              nullptr, *client_model.tail, core::Selector(1, {0}), wire);
+        RemoteSession session(split::tcp_connect("127.0.0.1", daemon.port()),
+                              *client_model.head, nullptr, *client_model.tail,
+                              core::Selector(1, {0}), wire);
         session.set_recv_timeout(kRequestTimeout);
         ASSERT_EQ(session.body_count(), 1u);
 
@@ -186,8 +101,9 @@ TEST(RemoteServe, ForkedDaemonIsBitIdenticalToInProcOracle) {
 
     // --- connection 3: N = 3 ensemble, secret P = 2 selector client-side ---
     {
-        EnsembleParts oracle_parts = make_ensemble(kEnsembleSeed);
-        set_eval(oracle_parts);
+        harness::EnsembleParts oracle_parts =
+            harness::make_linear_ensemble(kEnsembleSeed, kEnsembleBodies, /*num_selected=*/2);
+        harness::set_eval(oracle_parts);
         const core::Selector selector(kEnsembleBodies, {0, 2});
         std::vector<nn::Layer*> oracle_bodies;
         for (nn::LayerPtr& body : oracle_parts.bodies) {
@@ -200,10 +116,12 @@ TEST(RemoteServe, ForkedDaemonIsBitIdenticalToInProcOracle) {
             [&selector](const std::vector<Tensor>& features) { return selector.apply(features); },
             uplink, downlink, split::WireFormat::f32);
 
-        EnsembleParts client_parts = make_ensemble(kEnsembleSeed);
-        set_eval(client_parts);
-        RemoteSession session(split::tcp_connect("127.0.0.1", port), *client_parts.head,
-                              nullptr, *client_parts.tail, selector, split::WireFormat::f32);
+        harness::EnsembleParts client_parts =
+            harness::make_linear_ensemble(kEnsembleSeed, kEnsembleBodies, /*num_selected=*/2);
+        harness::set_eval(client_parts);
+        RemoteSession session(split::tcp_connect("127.0.0.1", daemon.port()),
+                              *client_parts.head, nullptr, *client_parts.tail, selector,
+                              split::WireFormat::f32);
         session.set_recv_timeout(kRequestTimeout);
         ASSERT_EQ(session.body_count(), kEnsembleBodies);
 
@@ -217,10 +135,7 @@ TEST(RemoteServe, ForkedDaemonIsBitIdenticalToInProcOracle) {
         session.close();
     }
 
-    int status = 0;
-    ASSERT_EQ(::waitpid(child, &status, 0), child);
-    ASSERT_TRUE(WIFEXITED(status)) << "daemon child did not exit cleanly";
-    EXPECT_EQ(WEXITSTATUS(status), 0);
+    EXPECT_EQ(daemon.wait_exit_code(), 0) << "daemon child did not exit cleanly";
 }
 
 }  // namespace

@@ -1,0 +1,240 @@
+#pragma once
+// Shared multi-process fixture for the serve tests: forks BodyHost daemon
+// processes behind real TCP listeners, hands the parent their ports, and
+// guarantees cleanup (SIGKILL + reap) even when a gtest ASSERT unwinds the
+// test early. Used by the remote-session, shard-router and shard-failure
+// suites — every test that needs "a body host in another process" goes
+// through ForkedDaemon instead of hand-rolling fork()/pipe()/waitpid().
+//
+// Fork-safety: the child calls ThreadPool::mark_forked_child() FIRST, so a
+// global pool lazily created by an earlier test in the same binary (whose
+// worker threads do not survive fork) degrades to inline parallel_for
+// execution instead of deadlocking. Children exit via _exit() only: gtest
+// teardown and static destructors (including inherited pools) must not run
+// twice. Inline execution is bit-identical to pooled execution — the
+// tensor kernels chunk over independent output rows/batch elements — which
+// is what lets the parity tests compare child-computed bytes against the
+// parent's oracle bit for bit.
+//
+// Also hosts the tiny deterministic split/ensemble model builders the
+// multi-process tests share: same seed -> identical weights, so parent and
+// child construct bit-identical halves of a deployment without shipping a
+// checkpoint.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/threadpool.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+#include "serve/remote.hpp"
+#include "split/split_model.hpp"
+#include "split/tcp_channel.hpp"
+
+namespace ens::serve::harness {
+
+/// One forked daemon process owning one ChannelListener. The child main
+/// runs entirely in the child (build models there, never before the fork in
+/// the parent) and the daemon dies with the object, so an assert-failure
+/// that unwinds the test cannot leak a child process or a bound port.
+class ForkedDaemon {
+public:
+    using ChildMain = std::function<void(split::ChannelListener&)>;
+
+    /// Forks. The child opens an ephemeral listener, reports its port
+    /// through a pipe, runs `child_main(listener)` and exits 0 (1 on any
+    /// exception). The parent blocks only for the port hand-off; a spawn
+    /// failure leaves port() == 0 for the test to assert on.
+    explicit ForkedDaemon(const ChildMain& child_main) {
+        int port_pipe[2] = {-1, -1};
+        if (::pipe(port_pipe) != 0) {
+            return;
+        }
+        const pid_t child = ::fork();
+        if (child == -1) {
+            ::close(port_pipe[0]);
+            ::close(port_pipe[1]);
+            return;
+        }
+        if (child == 0) {
+            ::close(port_pipe[0]);
+            ThreadPool::mark_forked_child();
+            int code = 0;
+            try {
+                split::ChannelListener listener(0);
+                const std::uint16_t port = listener.port();
+                if (::write(port_pipe[1], &port, sizeof(port)) !=
+                    static_cast<ssize_t>(sizeof(port))) {
+                    ::_exit(2);
+                }
+                ::close(port_pipe[1]);
+                child_main(listener);
+            } catch (...) {
+                code = 1;
+            }
+            ::_exit(code);
+        }
+        pid_ = child;
+        ::close(port_pipe[1]);
+        std::uint16_t port = 0;
+        if (::read(port_pipe[0], &port, sizeof(port)) == static_cast<ssize_t>(sizeof(port))) {
+            port_ = port;
+        }
+        ::close(port_pipe[0]);
+    }
+
+    ForkedDaemon(const ForkedDaemon&) = delete;
+    ForkedDaemon& operator=(const ForkedDaemon&) = delete;
+
+    ForkedDaemon(ForkedDaemon&& other) noexcept
+        : pid_(std::exchange(other.pid_, -1)), port_(std::exchange(other.port_, 0)) {}
+
+    ForkedDaemon& operator=(ForkedDaemon&& other) noexcept {
+        if (this != &other) {
+            terminate();
+            pid_ = std::exchange(other.pid_, -1);
+            port_ = std::exchange(other.port_, 0);
+        }
+        return *this;
+    }
+
+    ~ForkedDaemon() { terminate(); }
+
+    /// The child's listening port (0 when the spawn failed).
+    std::uint16_t port() const { return port_; }
+
+    pid_t pid() const { return pid_; }
+
+    /// Blocks until the child exits on its own; returns its exit code, or
+    /// -1 when it was signaled / already reaped / never spawned.
+    int wait_exit_code() {
+        if (pid_ == -1) {
+            return -1;
+        }
+        int status = 0;
+        const pid_t reaped = ::waitpid(pid_, &status, 0);
+        pid_ = -1;
+        if (reaped == -1 || !WIFEXITED(status)) {
+            return -1;
+        }
+        return WEXITSTATUS(status);
+    }
+
+    /// SIGKILLs and reaps the child — the "shard dies mid-request" lever of
+    /// the failure tests. Idempotent.
+    void kill_now() { terminate(); }
+
+private:
+    void terminate() {
+        if (pid_ == -1) {
+            return;
+        }
+        ::kill(pid_, SIGKILL);
+        int status = 0;
+        ::waitpid(pid_, &status, 0);
+        pid_ = -1;
+    }
+
+    pid_t pid_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+/// Spawns a daemon whose child builds a BodyHost via `make_host` (invoked
+/// in the child; by pointer — BodyHost owns mutexes and cannot move) and
+/// serves `connections` connections sequentially before exiting 0. The
+/// building block for K-shard deployments: call it K times with per-shard
+/// factories.
+inline ForkedDaemon spawn_body_host(std::function<std::unique_ptr<BodyHost>()> make_host,
+                                    int connections) {
+    return ForkedDaemon([make_host = std::move(make_host),
+                         connections](split::ChannelListener& listener) {
+        const std::unique_ptr<BodyHost> host = make_host();
+        for (int c = 0; c < connections; ++c) {
+            auto channel = listener.accept();
+            host->serve(*channel);
+        }
+    });
+}
+
+// ---------------------------------------------------------------- models
+// Tiny linear geometries, deterministic per seed. Small on purpose: these
+// tests prove protocol and routing behavior, not model quality.
+
+constexpr std::int64_t kIn = 3;
+constexpr std::int64_t kHidden = 4;
+constexpr std::int64_t kClasses = 2;
+
+/// Tiny linear split pipeline; same seed -> identical weights, so parent
+/// and child build bit-identical halves of the deployment.
+inline split::SplitModel make_linear_split(std::uint64_t seed) {
+    Rng rng(seed);
+    split::SplitModel model;
+    model.head = std::make_unique<nn::Sequential>();
+    model.head->emplace<nn::Linear>(kIn, kHidden, rng);
+    model.body = std::make_unique<nn::Sequential>();
+    model.body->emplace<nn::Linear>(kHidden, kHidden, rng);
+    model.tail = std::make_unique<nn::Sequential>();
+    model.tail->emplace<nn::Linear>(kHidden, kClasses, rng);
+    return model;
+}
+
+/// N-body ensemble geometry: shared head, per-body nets, a tail sized for
+/// the P-map selector concat. Deterministic per-part seeds, so a shard
+/// child building bodies [i, j) gets the same weights the parent's oracle
+/// holds at those indices.
+struct EnsembleParts {
+    std::unique_ptr<nn::Sequential> head;
+    std::vector<nn::LayerPtr> bodies;
+    std::unique_ptr<nn::Sequential> tail;
+};
+
+inline EnsembleParts make_linear_ensemble(std::uint64_t seed, std::size_t num_bodies,
+                                          std::size_t num_selected) {
+    EnsembleParts parts;
+    Rng head_rng(seed);
+    parts.head = std::make_unique<nn::Sequential>();
+    parts.head->emplace<nn::Linear>(kIn, kHidden, head_rng);
+    for (std::size_t k = 0; k < num_bodies; ++k) {
+        Rng body_rng(seed + 1 + k);
+        auto body = std::make_unique<nn::Sequential>();
+        body->emplace<nn::Linear>(kHidden, kHidden, body_rng);
+        parts.bodies.push_back(std::move(body));
+    }
+    Rng tail_rng(seed + 100);
+    parts.tail = std::make_unique<nn::Sequential>();
+    parts.tail->emplace<nn::Linear>(static_cast<std::int64_t>(num_selected) * kHidden, kClasses,
+                                    tail_rng);
+    return parts;
+}
+
+inline void set_eval(EnsembleParts& parts) {
+    parts.head->set_training(false);
+    for (nn::LayerPtr& body : parts.bodies) {
+        body->set_training(false);
+    }
+    parts.tail->set_training(false);
+}
+
+/// The bodies of `make_linear_ensemble(seed, num_bodies, ...)` restricted
+/// to global indices [begin, begin + count) — what one shard child hosts.
+inline std::vector<nn::LayerPtr> make_shard_bodies(std::uint64_t seed, std::size_t num_bodies,
+                                                   std::size_t begin, std::size_t count) {
+    EnsembleParts parts = make_linear_ensemble(seed, num_bodies, /*num_selected=*/1);
+    std::vector<nn::LayerPtr> shard;
+    shard.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+        shard.push_back(std::move(parts.bodies.at(begin + k)));
+    }
+    return shard;
+}
+
+}  // namespace ens::serve::harness

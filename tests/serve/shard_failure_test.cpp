@@ -1,0 +1,151 @@
+// Shard-failure semantics of the ShardRouter: SIGKILL one of three shard
+// hosts mid-session and the next request must surface a typed ens::Error
+// (channel_closed or io_error, tagged with the shard) within the configured
+// timeout — never a hang — while the surviving shards complete their round
+// trips and keep their streams aligned. The session must then be fully
+// usable again after reconnect_shard() to a replacement host: a replacement
+// advertising the WRONG body range is rejected typed, the right one
+// restores bit-parity with the in-proc oracle.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "core/selector.hpp"
+#include "serve/shard_router.hpp"
+#include "serve_harness.hpp"
+#include "split/channel.hpp"
+#include "split/session.hpp"
+#include "split/tcp_channel.hpp"
+
+namespace ens::serve {
+namespace {
+
+constexpr std::size_t kBodies = 6;
+constexpr std::size_t kShards = 3;
+constexpr std::size_t kPerShard = kBodies / kShards;
+constexpr std::size_t kSelected = 2;
+constexpr std::uint64_t kSeed = 5200;
+constexpr std::chrono::milliseconds kRequestTimeout{20000};
+
+harness::ForkedDaemon spawn_shard(std::size_t begin, std::size_t count) {
+    return harness::spawn_body_host(
+        [begin, count] {
+            auto host = std::make_unique<BodyHost>(
+                harness::make_shard_bodies(kSeed, kBodies, begin, count));
+            host->set_shard(begin, kBodies);
+            return host;
+        },
+        /*connections=*/1);
+}
+
+TEST(ShardFailure, KilledShardSurfacesTypedErrorAndSessionSurvivesReconnect) {
+    // Fork the initial three shard hosts before any parent-side tensor work.
+    std::vector<harness::ForkedDaemon> daemons;
+    for (std::size_t s = 0; s < kShards; ++s) {
+        daemons.push_back(spawn_shard(s * kPerShard, kPerShard));
+    }
+    for (const harness::ForkedDaemon& daemon : daemons) {
+        ASSERT_GT(daemon.port(), 0);
+    }
+
+    const core::Selector selector(kBodies, {1, 4});
+
+    // In-proc oracle for before/after parity.
+    harness::EnsembleParts oracle_parts = harness::make_linear_ensemble(kSeed, kBodies, kSelected);
+    harness::set_eval(oracle_parts);
+    std::vector<nn::Layer*> oracle_bodies;
+    for (nn::LayerPtr& body : oracle_parts.bodies) {
+        oracle_bodies.push_back(body.get());
+    }
+    split::InProcChannel uplink;
+    split::InProcChannel downlink;
+    split::CollaborativeSession oracle(
+        *oracle_parts.head, oracle_bodies, *oracle_parts.tail,
+        [&selector](const std::vector<Tensor>& features) { return selector.apply(features); },
+        uplink, downlink, split::WireFormat::f32);
+
+    harness::EnsembleParts client_parts = harness::make_linear_ensemble(kSeed, kBodies, kSelected);
+    harness::set_eval(client_parts);
+    std::vector<std::unique_ptr<split::Channel>> channels;
+    for (std::size_t s = 0; s < kShards; ++s) {
+        channels.push_back(split::tcp_connect("127.0.0.1", daemons[s].port()));
+    }
+    ShardRouter router(std::move(channels), *client_parts.head, nullptr, *client_parts.tail,
+                       selector, split::WireFormat::f32);
+    router.set_recv_timeout(kRequestTimeout);
+
+    Rng data_rng(47);
+    const Tensor input = Tensor::randn(Shape{2, harness::kIn}, data_rng);
+
+    // Healthy baseline.
+    EXPECT_EQ(router.infer(input).logits.to_vector(), oracle.infer(input).to_vector());
+
+    // Kill the middle shard (hosting bodies [2, 4)) and request again: the
+    // failure must be a typed transport error naming that shard, delivered
+    // well inside the recv timeout — not a hang, not a crash.
+    daemons[1].kill_now();
+    const Stopwatch fail_watch;
+    try {
+        (void)router.infer(input);
+        FAIL() << "infer over a killed shard did not throw";
+    } catch (const Error& e) {
+        EXPECT_TRUE(e.code() == ErrorCode::channel_closed || e.code() == ErrorCode::io_error ||
+                    e.code() == ErrorCode::channel_timeout)
+            << "unexpected code: " << error_code_name(e.code()) << " (" << e.what() << ")";
+        EXPECT_NE(std::string(e.what()).find("shard 1"), std::string::npos) << e.what();
+    }
+    // channel_closed/io_error arrive at EOF speed; channel_timeout is the
+    // backstop. Either way the wait is bounded by the configured timeout
+    // (2x slack covers the timeout's enforcement granularity).
+    EXPECT_LT(fail_watch.elapsed_ms(), 3.0 * kRequestTimeout.count());
+
+    // The failed shard is marked desynchronized (its request/response
+    // alignment is unknowable) and further inference is refused typed until
+    // it is reconnected — a retry must never silently merge stale maps.
+    EXPECT_TRUE(router.shard_needs_reconnect(1));
+    EXPECT_FALSE(router.shard_needs_reconnect(0));
+    EXPECT_FALSE(router.shard_needs_reconnect(2));
+    try {
+        (void)router.infer(input);
+        FAIL() << "infer with a desynchronized shard did not throw";
+    } catch (const Error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::channel_closed) << e.what();
+        EXPECT_NE(std::string(e.what()).find("reconnect"), std::string::npos) << e.what();
+    }
+
+    // A replacement host advertising the WRONG slice is refused typed and
+    // does not replace the channel.
+    {
+        harness::ForkedDaemon wrong = spawn_shard(0, kPerShard);  // bodies [0, 2), not [2, 4)
+        ASSERT_GT(wrong.port(), 0);
+        try {
+            router.reconnect_shard(1, split::tcp_connect("127.0.0.1", wrong.port()));
+            FAIL() << "reconnect to a wrong-range host did not throw";
+        } catch (const Error& e) {
+            EXPECT_EQ(e.code(), ErrorCode::protocol_error) << e.what();
+        }
+    }
+
+    // The right replacement restores the session: same slice, bit-parity
+    // with the oracle again, and the surviving shards' streams were never
+    // desynchronized.
+    harness::ForkedDaemon replacement = spawn_shard(1 * kPerShard, kPerShard);
+    ASSERT_GT(replacement.port(), 0);
+    router.reconnect_shard(1, split::tcp_connect("127.0.0.1", replacement.port()));
+    EXPECT_FALSE(router.shard_needs_reconnect(1));
+    EXPECT_EQ(router.infer(input).logits.to_vector(), oracle.infer(input).to_vector());
+    EXPECT_EQ(router.infer(input).logits.to_vector(), oracle.infer(input).to_vector());
+
+    router.close();
+    EXPECT_EQ(daemons[0].wait_exit_code(), 0);
+    EXPECT_EQ(daemons[2].wait_exit_code(), 0);
+    EXPECT_EQ(replacement.wait_exit_code(), 0);
+}
+
+}  // namespace
+}  // namespace ens::serve
