@@ -14,6 +14,8 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/env.hpp"
 #include "core/config.hpp"
@@ -263,5 +265,90 @@ inline void print_rule(int columns) {
     }
     std::printf("|\n");
 }
+
+/// Minimal machine-readable bench trajectory: one JSON object
+///   {"bench": "...", "scale": "...", <meta...>, "rows": [{...}, ...]}
+/// written next to the bench's stdout table so future PRs can diff perf
+/// numerically (the smoke test in CI asserts the file parses). Keys are
+/// plain identifiers and string values are escaped minimally (quote and
+/// backslash) — enough for the names and numbers benches emit.
+class JsonRows {
+public:
+    explicit JsonRows(std::string bench_name) {
+        meta("bench", std::move(bench_name));
+        meta("scale", scale_name(current_scale()));
+    }
+
+    void meta(const std::string& key, std::string value) {
+        meta_.emplace_back(key, quote(std::move(value)));
+    }
+    void meta(const std::string& key, double value) { meta_.emplace_back(key, number(value)); }
+
+    /// Starts a new row; subsequent field() calls land in it.
+    JsonRows& row() {
+        rows_.emplace_back();
+        return *this;
+    }
+    JsonRows& field(const std::string& key, double value) {
+        rows_.back().emplace_back(key, number(value));
+        return *this;
+    }
+    JsonRows& field(const std::string& key, std::size_t value) {
+        rows_.back().emplace_back(key, std::to_string(value));
+        return *this;
+    }
+    JsonRows& field(const std::string& key, std::string value) {
+        rows_.back().emplace_back(key, quote(std::move(value)));
+        return *this;
+    }
+
+    /// Writes the document; returns false (and warns on stderr) on I/O
+    /// failure so a read-only CWD degrades the trajectory, not the bench.
+    bool write(const std::string& path) const {
+        std::FILE* out = std::fopen(path.c_str(), "w");
+        if (out == nullptr) {
+            std::fprintf(stderr, "JsonRows: cannot write %s\n", path.c_str());
+            return false;
+        }
+        std::fprintf(out, "{");
+        for (const auto& [key, value] : meta_) {
+            std::fprintf(out, "\"%s\": %s, ", key.c_str(), value.c_str());
+        }
+        std::fprintf(out, "\"rows\": [");
+        for (std::size_t r = 0; r < rows_.size(); ++r) {
+            std::fprintf(out, r == 0 ? "\n  {" : ",\n  {");
+            for (std::size_t f = 0; f < rows_[r].size(); ++f) {
+                std::fprintf(out, "%s\"%s\": %s", f == 0 ? "" : ", ",
+                             rows_[r][f].first.c_str(), rows_[r][f].second.c_str());
+            }
+            std::fprintf(out, "}");
+        }
+        std::fprintf(out, "\n]}\n");
+        std::fclose(out);
+        std::printf("(wrote %s: %zu rows)\n", path.c_str(), rows_.size());
+        return true;
+    }
+
+private:
+    static std::string quote(std::string value) {
+        std::string quoted = "\"";
+        for (const char c : value) {
+            if (c == '"' || c == '\\') {
+                quoted.push_back('\\');
+            }
+            quoted.push_back(c);
+        }
+        quoted.push_back('"');
+        return quoted;
+    }
+    static std::string number(double value) {
+        char text[64];
+        std::snprintf(text, sizeof(text), "%.6g", value);
+        return text;
+    }
+
+    std::vector<std::pair<std::string, std::string>> meta_;
+    std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 }  // namespace ens::bench

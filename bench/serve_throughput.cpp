@@ -1,26 +1,50 @@
 // serve_throughput — requests/sec of the ens::serve pipeline vs. client
-// concurrency and micro-batch size.
+// concurrency and micro-batch size, plus the protocol-v3 PIPELINED remote
+// path vs. in-flight window depth.
 //
-// Geometry: the Ensembler serving shape (N = 10 independent ResNet-18
-// bodies behind one head) at bench width, untrained weights — this
-// measures the serving machinery (wire codec, batcher, body fan-out on
-// ens::ThreadPool), not model quality. Each client thread owns one
-// ClientSession and keeps `inflight` single-image requests outstanding.
+// Section 1 (in-proc service): the Ensembler serving shape (N = 10
+// independent ResNet-18 bodies behind one head) at bench width, untrained
+// weights — this measures the serving machinery (wire codec, batcher, body
+// fan-out on ens::ThreadPool), not model quality. Each client thread owns
+// one ClientSession and keeps a few single-image requests outstanding.
+//
+// Section 2 (pipelined remote serving): a BodyHost behind a real loopback
+// TCP listener, a RemoteSession client, and a sweep of the in-flight
+// request window (depth 1 = the old lockstep protocol, one RTT per
+// request; depth 2/4/8 = protocol-v3 pipelining). The geometry here is
+// deliberately SMALL — at the paper's split the wire cost, not the body
+// compute, dominates the regular-user path (§III-D / Table 3), so this is
+// the regime where hiding round trips matters: depth >= 4 should beat
+// depth 1 by >= 2x. Results also land in BENCH_serve.json (machine
+// readable: req/s, p50/p99 per depth) as the perf trajectory future PRs
+// regress against.
 //
 // Thread count comes from ENS_THREADS (the global pool is sized once per
 // process): rerun with ENS_THREADS=1,2,4,... to see requests/sec scale
-// with workers. Within a run, the table sweeps max_batch (coalescing cap)
-// x concurrent clients.
+// with workers.
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <deque>
 #include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "common/error.hpp"
 #include "common/stopwatch.hpp"
 #include "common/threadpool.hpp"
+#include "core/selector.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+#include "serve/remote.hpp"
 #include "serve/service.hpp"
+#include "split/tcp_channel.hpp"
 
 namespace {
 
@@ -63,17 +87,12 @@ Row run_config(const nn::ResNetConfig& arch, std::size_t max_batch, std::size_t 
         threads.emplace_back([&, c] {
             // Keep a small window of requests in flight so the batcher has
             // something to coalesce.
-            constexpr std::size_t kInflight = 4;
-            std::vector<std::future<serve::InferenceResult>> window;
+            serve::FutureWindow window(4);
             for (std::size_t r = 0; r < requests_per_client; ++r) {
-                window.push_back(sessions[c]->submit(inputs[c]));
-                if (window.size() >= kInflight) {
-                    (void)window.front().get();
-                    window.erase(window.begin());
-                }
+                (void)window.push(sessions[c]->submit(inputs[c]));
             }
-            for (auto& future : window) {
-                (void)future.get();
+            while (!window.empty()) {
+                (void)window.pop();
             }
         });
     }
@@ -94,6 +113,261 @@ Row run_config(const nn::ResNetConfig& arch, std::size_t max_batch, std::size_t 
     }
     row.mean_coalesced = coalesced_sum / static_cast<double>(clients);
     return row;
+}
+
+// ------------------------------------------------- pipelined remote path
+
+/// Channel decorator modeling LINK PROPAGATION DELAY: every frame (both
+/// directions) is delivered one-way-delay later than it was sent, with
+/// unlimited frames allowed in flight — a netem-style stand-in for the
+/// LAN/WAN hop between the client and the body hosts (cf. the analytic
+/// link profiles in src/latency/profiles.hpp; loopback TCP alone has ~0
+/// propagation delay, which hides exactly the cost §III-D's latency
+/// argument is about). Lockstep (depth 1) pays the full RTT per request;
+/// the pipelined window overlaps RTTs, which is the effect under test.
+class LinkDelayChannel final : public split::Channel {
+public:
+    LinkDelayChannel(std::unique_ptr<split::Channel> inner, std::chrono::microseconds one_way)
+        : inner_(std::move(inner)), delay_(one_way) {
+        shuttle_ = std::thread([this] { shuttle_loop(); });
+        pump_ = std::thread([this] { pump_loop(); });
+    }
+
+    ~LinkDelayChannel() override {
+        close();
+        shuttle_.join();
+        pump_.join();
+    }
+
+    // send_parts falls through to the Channel base default (assemble +
+    // send), which lands in enqueue_out below.
+    void send(std::string message) override { enqueue_out(std::move(message)); }
+
+    std::string recv() override {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            if (!in_.empty()) {
+                if (Clock::now() >= in_.front().release) {
+                    std::string message = std::move(in_.front().bytes);
+                    in_.pop_front();
+                    return message;
+                }
+                cv_.wait_until(lock, in_.front().release);
+                continue;
+            }
+            if (closed_ || in_eof_) {
+                throw Error(ErrorCode::channel_closed, "LinkDelayChannel: closed");
+            }
+            cv_.wait(lock);
+        }
+    }
+
+    bool has_pending() const override {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return !in_.empty() && Clock::now() >= in_.front().release;
+    }
+
+    void close() override {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        cv_.notify_all();
+        inner_->close();
+    }
+
+    void set_recv_timeout(std::chrono::milliseconds) override {
+        // Bench decorator: requests are bounded by the harness, not by
+        // per-recv timeouts.
+    }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    struct Frame {
+        Clock::time_point release;
+        std::string bytes;
+    };
+
+    void enqueue_out(std::string message) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_) {
+                throw Error(ErrorCode::channel_closed, "LinkDelayChannel: send on closed");
+            }
+            out_.push_back(Frame{Clock::now() + delay_, std::move(message)});
+        }
+        cv_.notify_all();
+    }
+
+    void shuttle_loop() {
+        for (;;) {
+            Frame frame;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                cv_.wait(lock, [this] { return closed_ || !out_.empty(); });
+                if (out_.empty()) {
+                    return;  // closed and drained
+                }
+                frame = std::move(out_.front());
+                out_.pop_front();
+            }
+            std::this_thread::sleep_until(frame.release);
+            try {
+                inner_->send(std::move(frame.bytes));
+            } catch (...) {
+                return;  // teardown race: the peer is gone
+            }
+        }
+    }
+
+    void pump_loop() {
+        for (;;) {
+            std::string message;
+            try {
+                message = inner_->recv();
+            } catch (...) {
+                {
+                    const std::lock_guard<std::mutex> lock(mutex_);
+                    in_eof_ = true;
+                }
+                cv_.notify_all();
+                return;
+            }
+            {
+                const std::lock_guard<std::mutex> lock(mutex_);
+                in_.push_back(Frame{Clock::now() + delay_, std::move(message)});
+            }
+            cv_.notify_all();
+        }
+    }
+
+    std::unique_ptr<split::Channel> inner_;
+    std::chrono::microseconds delay_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<Frame> out_;
+    std::deque<Frame> in_;
+    bool closed_ = false;
+    bool in_eof_ = false;
+    std::thread shuttle_;
+    std::thread pump_;
+};
+
+/// Wire-bound serving geometry: a private Linear head, `bodies` Linear
+/// bodies hosted remotely, a Linear tail over the selected maps. Tiny on
+/// purpose — the point is the transport, whose round trips dominate at the
+/// paper's split for the regular-user path.
+struct RemoteParts {
+    std::unique_ptr<nn::Sequential> head;
+    std::vector<nn::LayerPtr> bodies;
+    std::unique_ptr<nn::Sequential> tail;
+};
+
+constexpr std::int64_t kRemoteIn = 24;
+constexpr std::int64_t kRemoteFeature = 96;
+constexpr std::size_t kRemoteBodies = 2;
+
+RemoteParts make_remote_parts(std::uint64_t seed) {
+    RemoteParts parts;
+    Rng head_rng(seed);
+    parts.head = std::make_unique<nn::Sequential>();
+    parts.head->emplace<nn::Linear>(kRemoteIn, kRemoteFeature, head_rng);
+    parts.head->set_training(false);
+    for (std::size_t k = 0; k < kRemoteBodies; ++k) {
+        Rng body_rng(seed + 1 + k);
+        auto body = std::make_unique<nn::Sequential>();
+        body->emplace<nn::Linear>(kRemoteFeature, kRemoteFeature, body_rng);
+        body->set_training(false);
+        parts.bodies.push_back(std::move(body));
+    }
+    Rng tail_rng(seed + 100);
+    parts.tail = std::make_unique<nn::Sequential>();
+    parts.tail->emplace<nn::Linear>(static_cast<std::int64_t>(kRemoteBodies) * kRemoteFeature, 10,
+                                    tail_rng);
+    parts.tail->set_training(false);
+    return parts;
+}
+
+struct PipelinedRow {
+    std::size_t inflight = 0;
+    double requests_per_s = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+};
+
+PipelinedRow run_pipelined(std::size_t inflight, std::size_t requests,
+                           std::chrono::microseconds one_way_delay) {
+    constexpr std::uint64_t kSeed = 4242;
+
+    // Host side: bodies behind a loopback listener, one connection. The
+    // guard closes the listener and joins the serving thread on EVERY exit
+    // path — a client-side throw must surface as a diagnosable error, not
+    // as std::terminate from a joinable thread's destructor.
+    split::ChannelListener listener(0);
+    std::thread serving([&listener] {
+        try {
+            RemoteParts host_parts = make_remote_parts(kSeed);
+            serve::BodyHost host(std::move(host_parts.bodies));
+            auto channel = listener.accept();
+            host.serve(*channel);
+        } catch (...) {
+            // Teardown races are the client's story.
+        }
+    });
+    struct JoinGuard {
+        split::ChannelListener& listener;
+        std::thread& thread;
+        ~JoinGuard() {
+            listener.close();
+            if (thread.joinable()) {
+                thread.join();
+            }
+        }
+    } guard{listener, serving};
+
+    PipelinedRow row;
+    row.inflight = inflight;
+    {
+        RemoteParts client_parts = make_remote_parts(kSeed);
+        std::vector<std::size_t> all(kRemoteBodies);
+        for (std::size_t i = 0; i < all.size(); ++i) {
+            all[i] = i;
+        }
+        std::unique_ptr<split::Channel> channel =
+            split::tcp_connect("127.0.0.1", listener.port());
+        if (one_way_delay.count() > 0) {
+            channel = std::make_unique<LinkDelayChannel>(std::move(channel), one_way_delay);
+        }
+        serve::RemoteSession session(std::move(channel), *client_parts.head, nullptr,
+                                     *client_parts.tail,
+                                     core::Selector(kRemoteBodies, std::move(all)),
+                                     split::WireFormat::f32, std::chrono::seconds(30), inflight);
+        session.set_recv_timeout(std::chrono::seconds(120));
+
+        Rng data_rng(17);
+        const Tensor input = Tensor::uniform(Shape{1, kRemoteIn}, data_rng, 0.0f, 1.0f);
+        // Warm-up: first forwards allocate scratch, first frames size the
+        // buffer pools. (The percentile summary below includes these eight
+        // lockstep requests; the timed sweep dwarfs them.)
+        for (std::size_t r = 0; r < 8; ++r) {
+            (void)session.infer(input);
+        }
+        const Stopwatch wall;
+        serve::FutureWindow window(session.window());
+        for (std::size_t r = 0; r < requests; ++r) {
+            (void)window.push(session.submit(input));
+        }
+        while (!window.empty()) {
+            (void)window.pop();
+        }
+        const double seconds = wall.elapsed_seconds();
+        row.requests_per_s = static_cast<double>(requests) / (seconds > 0 ? seconds : 1e-9);
+        const serve::LatencySummary latency = session.stats().latency();
+        row.p50_ms = latency.p50_ms;
+        row.p99_ms = latency.p99_ms;
+        session.close();
+    }
+    return row;  // the guard closes the listener and joins the host thread
 }
 
 }  // namespace
@@ -126,5 +400,58 @@ int main() {
                 "concurrent requests — mean server batch rises above 1 and req/s improves "
                 "over the max_batch=1 rows; the Ensembler fan-out parallelizes across the "
                 "pool, so higher ENS_THREADS lifts all rows)\n");
+
+    // ---- pipelined remote serving: in-flight window sweep. Two link
+    // models: raw loopback (propagation delay ~0 — gains come only from
+    // overlapping client/host work and fewer wakeup stalls, so they scale
+    // with core count) and a modeled LAN hop (0.2 ms each way, the regime
+    // the paper's Table 3 cost model charges — here depth >= 4 must beat
+    // lockstep by >= 2x, because lockstep pays the full RTT per request
+    // while the window overlaps them).
+    const std::size_t pipelined_requests =
+        scale == bench::Scale::kTiny ? 200 : (scale == bench::Scale::kSmall ? 600 : 2000);
+    constexpr std::chrono::microseconds kLanOneWay{200};
+    std::printf("\n# pipelined remote serving (protocol v3, %zu tiny-linear bodies, %zu "
+                "requests per depth)\n\n",
+                kRemoteBodies, pipelined_requests);
+    std::printf("| link | inflight | req/s | p50 ms | p99 ms | vs depth 1 |\n");
+    bench::print_rule(6);
+    bench::JsonRows trajectory("serve_throughput");
+    trajectory.meta("section", "pipelined_remote");
+    trajectory.meta("bodies", static_cast<double>(kRemoteBodies));
+    trajectory.meta("requests_per_depth", static_cast<double>(pipelined_requests));
+    trajectory.meta("lan_one_way_us", static_cast<double>(kLanOneWay.count()));
+    struct LinkMode {
+        const char* name;
+        std::chrono::microseconds one_way;
+    };
+    for (const LinkMode link : {LinkMode{"loopback", std::chrono::microseconds{0}},
+                                LinkMode{"lan-0.2ms", kLanOneWay}}) {
+        double depth1_rps = 0.0;
+        for (const std::size_t inflight : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                           std::size_t{8}}) {
+            const PipelinedRow row = run_pipelined(inflight, pipelined_requests, link.one_way);
+            if (inflight == 1) {
+                depth1_rps = row.requests_per_s;
+            }
+            const double speedup = depth1_rps > 0 ? row.requests_per_s / depth1_rps : 0.0;
+            std::printf("| %s | %zu | %8.0f | %6.3f | %6.3f | %4.2fx |\n", link.name,
+                        row.inflight, row.requests_per_s, row.p50_ms, row.p99_ms, speedup);
+            trajectory.row()
+                .field("link", std::string(link.name))
+                .field("inflight", row.inflight)
+                .field("requests_per_s", row.requests_per_s)
+                .field("p50_ms", row.p50_ms)
+                .field("p99_ms", row.p99_ms)
+                .field("speedup_vs_lockstep", speedup);
+        }
+    }
+    std::printf("\n(expected shape: on the modeled LAN link, depth 1 — the old lockstep "
+                "protocol — pays one full RTT per request, so req/s sits near 1/RTT; depth >= "
+                "4 overlaps round trips and must clear 2x lockstep, approaching the raw "
+                "compute bound of the loopback rows. Raw-loopback gains are bounded by core "
+                "count: with client and host timesharing one core there is little idle to "
+                "reclaim.)\n");
+    trajectory.write("BENCH_serve.json");
     return 0;
 }

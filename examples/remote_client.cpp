@@ -17,6 +17,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <future>
+#include <vector>
 
 #include "common/args.hpp"
 #include "nn/linear.hpp"
@@ -58,6 +60,9 @@ int main(int argc, char** argv) {
     const std::uint64_t selector_seed =
         static_cast<std::uint64_t>(args.get_int("selector-seed", 7));
     const auto requests = static_cast<std::size_t>(args.get_int("requests", 4));
+    // In-flight window (protocol v3 pipelining): 1 = lockstep like the old
+    // client; >1 keeps the connection full and hides the per-request RTT.
+    const auto inflight = static_cast<std::size_t>(args.get_int("inflight", 4));
     const split::WireFormat wire = parse_wire(args.get_string("wire", "f32"));
 
     nn::ResNetConfig arch;
@@ -71,6 +76,10 @@ int main(int argc, char** argv) {
     }
     if (num_selected == 0 || num_selected > num_bodies) {
         std::fprintf(stderr, "--select must be in [1, --bodies]\n");
+        return 2;
+    }
+    if (inflight == 0) {
+        std::fprintf(stderr, "--inflight must be >= 1\n");
         return 2;
     }
 
@@ -90,24 +99,37 @@ int main(int argc, char** argv) {
     std::printf("remote_client: connecting to %s:%u, secret selector %s (stays local)\n",
                 host.c_str(), port, selector.to_string().c_str());
     serve::RemoteSession session(split::tcp_connect(host, port), *head, nullptr, tail,
-                                 std::move(selector), wire);
+                                 std::move(selector), wire, std::chrono::seconds(30), inflight);
     session.set_recv_timeout(std::chrono::seconds(60));  // no silent wedging
-    std::printf("handshake ok: host deploys %zu bodies, wire format %s\n",
-                session.body_count(), split::wire_format_name(wire));
+    std::printf("handshake ok: host deploys %zu bodies, wire format %s, in-flight window %zu "
+                "(min of --inflight and the host's advertised cap)\n",
+                session.body_count(), split::wire_format_name(wire), session.window());
 
+    // Pipelined request loop: keep window() submissions outstanding so the
+    // connection is never idle between round trips; futures may resolve
+    // out of order, so report them as they complete.
     Rng data_rng(99);
-    for (std::size_t r = 0; r < requests; ++r) {
-        const Tensor image =
-            Tensor::uniform(Shape{1, 3, arch.image_size, arch.image_size}, data_rng, 0.0f, 1.0f);
-        const serve::InferenceResult result = session.infer(image);
+    serve::FutureWindow window(session.window());
+    const auto report = [&arch](const serve::InferenceResult& result) {
         std::int64_t best = 0;
         for (std::int64_t c = 1; c < arch.num_classes; ++c) {
             if (result.logits.at(0, c) > result.logits.at(0, best)) {
                 best = c;
             }
         }
-        std::printf("request %zu: argmax class %lld, round trip %.2f ms\n", r,
+        std::printf("request %llu: argmax class %lld, round trip %.2f ms\n",
+                    static_cast<unsigned long long>(result.request_id),
                     static_cast<long long>(best), result.total_ms);
+    };
+    for (std::size_t r = 0; r < requests; ++r) {
+        const Tensor image =
+            Tensor::uniform(Shape{1, 3, arch.image_size, arch.image_size}, data_rng, 0.0f, 1.0f);
+        if (const auto done = window.push(session.submit(image))) {
+            report(*done);
+        }
+    }
+    while (!window.empty()) {
+        report(window.pop());
     }
 
     const serve::LatencySummary latency = session.stats().latency();

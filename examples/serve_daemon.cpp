@@ -83,6 +83,11 @@ int main(int argc, char** argv) {
     const std::string host = args.get_string("host", "127.0.0.1");
     const std::string bodies_spec = args.get_string("bodies", "4");
     const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 2000));
+    // Per-connection pipelining window (protocol v3): how many tagged
+    // requests one connection processes concurrently. Advertised in the
+    // handshake; clients window against min(their cap, this).
+    const auto max_inflight = static_cast<std::size_t>(
+        args.get_int("max-inflight", static_cast<std::int64_t>(serve::kDefaultMaxInflight)));
 
     std::size_t body_begin = 0;
     std::size_t body_end = 0;
@@ -107,6 +112,11 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--bodies %s exceeds --total %zu\n", bodies_spec.c_str(), total);
         return 2;
     }
+    if (max_inflight == 0 || max_inflight > serve::kMaxAdvertisedInflight) {
+        std::fprintf(stderr, "--max-inflight must be in [1, %u]\n",
+                     serve::kMaxAdvertisedInflight);
+        return 2;
+    }
 
     std::vector<nn::LayerPtr> bodies;
     bodies.reserve(body_end - body_begin);
@@ -115,13 +125,16 @@ int main(int argc, char** argv) {
     }
     serve::BodyHost bodyhost(std::move(bodies));
     bodyhost.set_shard(body_begin, total);
+    bodyhost.set_max_inflight(max_inflight);
 
     split::ChannelListener listener(port, host);
     const serve::HostInfo info = bodyhost.host_info();
-    std::printf("serve_daemon: hosting ResNet-18 %s (width %lld, %lldpx, seed %llu) on %s:%u\n",
+    std::printf("serve_daemon: hosting ResNet-18 %s (width %lld, %lldpx, seed %llu) on %s:%u, "
+                "pipelining up to %zu in-flight requests per connection\n",
                 info.to_string().c_str(), static_cast<long long>(arch.base_width),
                 static_cast<long long>(arch.image_size),
-                static_cast<unsigned long long>(seed), host.c_str(), listener.port());
+                static_cast<unsigned long long>(seed), host.c_str(), listener.port(),
+                bodyhost.max_inflight());
     std::printf("the client-side head/noise/selector/tail never reach this process — "
                 "only split-point feature maps do. Ctrl-C to stop.\n");
     std::fflush(stdout);

@@ -23,6 +23,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <future>
 #include <string>
 #include <vector>
 
@@ -107,6 +108,9 @@ int main(int argc, char** argv) {
     const std::uint64_t selector_seed =
         static_cast<std::uint64_t>(args.get_int("selector-seed", 7));
     const auto requests = static_cast<std::size_t>(args.get_int("requests", 4));
+    // In-flight window (protocol v3 pipelining): 1 = lockstep like the old
+    // client; >1 keeps every shard connection full across requests.
+    const auto inflight = static_cast<std::size_t>(args.get_int("inflight", 4));
     const split::WireFormat wire = parse_wire(args.get_string("wire", "f32"));
 
     nn::ResNetConfig arch;
@@ -120,6 +124,10 @@ int main(int argc, char** argv) {
     }
     if (num_selected == 0 || num_selected > total_bodies) {
         std::fprintf(stderr, "--select must be in [1, --total]\n");
+        return 2;
+    }
+    if (inflight == 0) {
+        std::fprintf(stderr, "--inflight must be >= 1\n");
         return 2;
     }
     const std::vector<Endpoint> endpoints = parse_shards(shards_spec);
@@ -145,11 +153,13 @@ int main(int argc, char** argv) {
         channels.push_back(split::tcp_connect(endpoint.host, endpoint.port));
     }
     serve::ShardRouter router(std::move(channels), *head, nullptr, tail, std::move(selector),
-                              wire);
+                              wire, std::chrono::seconds(30), inflight);
     router.set_recv_timeout(std::chrono::seconds(60));  // no silent wedging
 
-    std::printf("handshakes ok: %zu bodies tiled over %zu shards, wire format %s\n",
-                router.body_count(), router.shard_count(), split::wire_format_name(wire));
+    std::printf("handshakes ok: %zu bodies tiled over %zu shards, wire format %s, in-flight "
+                "window %zu (min of --inflight and every shard's advertised cap)\n",
+                router.body_count(), router.shard_count(), split::wire_format_name(wire),
+                router.window());
     for (std::size_t s = 0; s < router.shard_count(); ++s) {
         const serve::ShardRouter::ShardInfo& shard = router.shard_map()[s];
         std::printf("  shard %zu at %s:%u hosts bodies [%zu, %zu)\n", s,
@@ -157,19 +167,30 @@ int main(int argc, char** argv) {
                     shard.body_end());
     }
 
+    // Pipelined request loop: keep window() submissions outstanding across
+    // all shards; futures may resolve out of order.
     Rng data_rng(99);
-    for (std::size_t r = 0; r < requests; ++r) {
-        const Tensor image =
-            Tensor::uniform(Shape{1, 3, arch.image_size, arch.image_size}, data_rng, 0.0f, 1.0f);
-        const serve::InferenceResult result = router.infer(image);
+    serve::FutureWindow window(router.window());
+    const auto report = [&arch](const serve::InferenceResult& result) {
         std::int64_t best = 0;
         for (std::int64_t c = 1; c < arch.num_classes; ++c) {
             if (result.logits.at(0, c) > result.logits.at(0, best)) {
                 best = c;
             }
         }
-        std::printf("request %zu: argmax class %lld, fan-out round trip %.2f ms\n", r,
+        std::printf("request %llu: argmax class %lld, fan-out round trip %.2f ms\n",
+                    static_cast<unsigned long long>(result.request_id),
                     static_cast<long long>(best), result.total_ms);
+    };
+    for (std::size_t r = 0; r < requests; ++r) {
+        const Tensor image =
+            Tensor::uniform(Shape{1, 3, arch.image_size, arch.image_size}, data_rng, 0.0f, 1.0f);
+        if (const auto done = window.push(router.submit(image))) {
+            report(*done);
+        }
+    }
+    while (!window.empty()) {
+        report(window.pop());
     }
 
     const serve::LatencySummary latency = router.stats().latency();

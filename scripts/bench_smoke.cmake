@@ -1,0 +1,57 @@
+# Bench smoke check (ctest: bench_serve_smoke, Release only). Runs the
+# pipelined serve bench at whatever ENS_BENCH_SCALE the test environment
+# set (tiny in CI) and asserts the machine-readable perf trajectory
+# (BENCH_serve.json) is produced and structurally sound: valid-looking
+# JSON carrying the in-flight-window sweep with req/s and percentile
+# fields. Parsing is done with plain string checks so the smoke test needs
+# nothing beyond cmake itself.
+#
+# Usage: cmake -DBENCH_BIN=<path> -DWORK_DIR=<dir> -P bench_smoke.cmake
+
+if(NOT BENCH_BIN OR NOT WORK_DIR)
+    message(FATAL_ERROR "bench_smoke.cmake: BENCH_BIN and WORK_DIR are required")
+endif()
+
+set(json_path "${WORK_DIR}/BENCH_serve.json")
+file(REMOVE "${json_path}")
+
+execute_process(COMMAND "${BENCH_BIN}"
+                WORKING_DIRECTORY "${WORK_DIR}"
+                RESULT_VARIABLE bench_rc
+                OUTPUT_VARIABLE bench_out
+                ERROR_VARIABLE bench_err)
+if(NOT bench_rc EQUAL 0)
+    message(FATAL_ERROR "bench_serve_throughput exited ${bench_rc}:\n${bench_out}\n${bench_err}")
+endif()
+
+if(NOT EXISTS "${json_path}")
+    message(FATAL_ERROR "bench did not produce ${json_path}")
+endif()
+
+file(READ "${json_path}" json)
+string(STRIP "${json}" json)
+
+# Structural sanity: a JSON object wrapping a non-empty row array with the
+# fields future PRs regress against.
+if(NOT json MATCHES "^\\{.*\\}$")
+    message(FATAL_ERROR "BENCH_serve.json is not a JSON object:\n${json}")
+endif()
+foreach(needle "\"bench\"" "\"rows\"" "\"inflight\"" "\"requests_per_s\"" "\"p50_ms\"" "\"p99_ms\"")
+    if(NOT json MATCHES "${needle}")
+        message(FATAL_ERROR "BENCH_serve.json is missing ${needle}:\n${json}")
+    endif()
+endforeach()
+
+# cmake >= 3.19 has a real JSON parser; use it when available so malformed
+# escaping or truncation cannot sneak past the regex checks.
+if(NOT CMAKE_VERSION VERSION_LESS 3.19)
+    string(JSON row_count ERROR_VARIABLE json_error LENGTH "${json}" "rows")
+    if(json_error)
+        message(FATAL_ERROR "BENCH_serve.json does not parse: ${json_error}")
+    endif()
+    if(row_count LESS 1)
+        message(FATAL_ERROR "BENCH_serve.json has no bench rows")
+    endif()
+endif()
+
+message(STATUS "bench_serve_smoke ok: ${json_path}")

@@ -1,0 +1,527 @@
+#include "serve/pipeline.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ens::serve {
+
+// ------------------------------------------------------- error labeling
+
+[[noreturn]] void rethrow_labeled(const std::string& label, const std::exception_ptr& error) {
+    try {
+        std::rethrow_exception(error);
+    } catch (const Error& e) {
+        // Error's constructor prepends the code name; drop the one already
+        // baked into e.what() so the labeled message carries it once.
+        std::string message = e.what();
+        const std::string prefix = std::string(error_code_name(e.code())) + ": ";
+        if (message.compare(0, prefix.size(), prefix) == 0) {
+            message.erase(0, prefix.size());
+        }
+        throw Error(e.code(), label + ": " + message);
+    }
+    // Non-ens exceptions (tensor/shape contract violations, ...) propagate
+    // unchanged via the rethrow above: they are client-side bugs, not peer
+    // failures.
+}
+
+std::exception_ptr labeled_exception(const std::string& label, const std::exception_ptr& error) {
+    try {
+        rethrow_labeled(label, error);
+    } catch (...) {
+        return std::current_exception();
+    }
+}
+
+// ------------------------------------------------------------- finishing
+
+InferenceResult finish_request(InflightRequest& request, const core::Selector& selector,
+                               nn::Layer& tail, SessionStats& stats) {
+    // Merge is already in global body order; combine with the secret
+    // selector and finish with the private tail, exactly like the in-proc
+    // sequential oracle.
+    const Tensor combined =
+        selector.n() == 1 ? request.features.front() : selector.apply(request.features);
+    InferenceResult result;
+    result.logits = tail.forward(combined);
+    result.request_id = request.id;
+    result.coalesced_images = request.images;  // no cross-client batching here
+    result.queue_ms = request.queue_ms;        // window-backpressure wait
+    result.total_ms = request.submitted.elapsed_ms();
+    result.compute_ms = result.total_ms - result.queue_ms;
+    stats.record(result.total_ms, result.queue_ms, request.images, request.images);
+    return result;
+}
+
+// ------------------------------------------------------------- pipeline
+
+ShardPipeline::ShardPipeline(std::vector<Endpoint> endpoints, std::size_t total_bodies,
+                             std::size_t window, std::string owner, std::string reconnect_hint,
+                             Finisher finisher)
+    : total_bodies_(total_bodies),
+      window_(std::max<std::size_t>(1, window)),
+      owner_(std::move(owner)),
+      reconnect_hint_(std::move(reconnect_hint)),
+      finisher_(std::move(finisher)) {
+    ENS_REQUIRE(!endpoints.empty(), "ShardPipeline: no endpoints");
+    ENS_REQUIRE(finisher_ != nullptr, "ShardPipeline: null finisher");
+    links_.reserve(endpoints.size());
+    for (Endpoint& endpoint : endpoints) {
+        ENS_REQUIRE(endpoint.channel != nullptr, "ShardPipeline: null endpoint channel");
+        auto link = std::make_unique<Link>();
+        link->channel = std::move(endpoint.channel);
+        link->body_begin = endpoint.body_begin;
+        link->body_count = endpoint.body_count;
+        link->label = std::move(endpoint.label);
+        link->stats = endpoint.stats;
+        links_.push_back(std::move(link));
+    }
+    needs_reconnect_.assign(links_.size(), 0);
+    for (auto& link : links_) {
+        start_link(*link);
+    }
+}
+
+ShardPipeline::~ShardPipeline() { close(); }
+
+void ShardPipeline::start_link(Link& link) {
+    link.sender = std::thread([this, &link] { sender_loop(link); });
+    link.demux = std::thread([this, &link] { demux_loop(link); });
+}
+
+std::future<InferenceResult> ShardPipeline::submit(SharedPayload payload, std::int64_t images,
+                                                   Stopwatch submitted) {
+    ENS_REQUIRE(payload != nullptr && static_cast<bool>(*payload),
+                "ShardPipeline::submit: empty payload");
+    auto request = std::make_shared<InflightRequest>();
+    {
+        const Stopwatch parked;
+        std::unique_lock<std::mutex> lock(table_mutex_);
+        const auto check_usable = [this] {
+            if (closed_) {
+                throw Error(ErrorCode::channel_closed, owner_ + ": session closed");
+            }
+            for (std::size_t s = 0; s < needs_reconnect_.size(); ++s) {
+                if (needs_reconnect_[s]) {
+                    throw Error(ErrorCode::channel_closed,
+                                owner_ + ": " + links_[s]->label +
+                                    " is desynchronized by an earlier failure; " +
+                                    reconnect_hint_);
+                }
+            }
+        };
+        check_usable();
+        // Window backpressure: park until an in-flight slot retires. A link
+        // failure while parked also wakes us — re-check so the caller gets
+        // the desync refusal, not a hang.
+        window_cv_.wait(lock, [this] {
+            if (closed_ || table_.size() < window_) {
+                return true;
+            }
+            for (const unsigned char flag : needs_reconnect_) {
+                if (flag) {
+                    return true;
+                }
+            }
+            return false;
+        });
+        check_usable();
+        request->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+        request->images = images;
+        request->features.assign(total_bodies_, Tensor{});
+        request->frames_remaining.store(total_bodies_);
+        request->links_remaining.store(links_.size());
+        // total_ms keeps the owner's clock (spans the head phase too);
+        // time parked on the full window is this request's queue share.
+        request->submitted = submitted;
+        request->queue_ms = parked.elapsed_ms();
+        table_.emplace(request->id, request);
+    }
+    std::future<InferenceResult> future = request->promise.get_future();
+    for (std::size_t s = 0; s < links_.size(); ++s) {
+        Link& link = *links_[s];
+        bool link_dead = false;
+        {
+            const std::lock_guard<std::mutex> lock(link.mutex);
+            if (link.failed || link.stop) {
+                // Failed between the table check and here: this link will
+                // never deliver, so fault the request now instead of
+                // leaving its future hanging.
+                link_dead = true;
+            } else {
+                LinkPending pending;
+                pending.request = request;
+                pending.seen.assign(link.body_count, false);
+                link.pending.emplace(request->id, std::move(pending));
+                link.queue.push_back(SendItem{request->id, payload});
+            }
+        }
+        if (link_dead) {
+            // Publish the desync flag BEFORE faulting: the failing worker
+            // sets link.failed first and needs_reconnect_ second, so a
+            // caller observing this fault (and then polling
+            // needs_reconnect) must not race that second step.
+            {
+                const std::lock_guard<std::mutex> lock(table_mutex_);
+                needs_reconnect_[s] = 1;
+            }
+            window_cv_.notify_all();
+            const auto error = labeled_exception(
+                link.label, std::make_exception_ptr(Error(
+                                ErrorCode::channel_closed, "link failed before the request "
+                                                           "could be sent")));
+            if (!request->settled.exchange(true)) {
+                request->promise.set_exception(error);
+            }
+            link_done_with(request);
+        } else {
+            link.send_cv.notify_one();
+        }
+    }
+    return future;
+}
+
+std::size_t ShardPipeline::inflight() const {
+    const std::lock_guard<std::mutex> lock(table_mutex_);
+    return table_.size();
+}
+
+bool ShardPipeline::needs_reconnect(std::size_t link) const {
+    ENS_REQUIRE(link < links_.size(), "ShardPipeline::needs_reconnect: link out of range");
+    const std::lock_guard<std::mutex> lock(table_mutex_);
+    return needs_reconnect_[link] != 0;
+}
+
+void ShardPipeline::reconnect(std::size_t index, std::unique_ptr<split::Channel> channel) {
+    ENS_REQUIRE(index < links_.size(), "ShardPipeline::reconnect: link out of range");
+    ENS_REQUIRE(channel != nullptr, "ShardPipeline::reconnect: null channel");
+    Link& link = *links_[index];
+    {
+        const std::lock_guard<std::mutex> lock(table_mutex_);
+        ENS_REQUIRE(!closed_, "ShardPipeline::reconnect on a closed pipeline");
+        ENS_REQUIRE(needs_reconnect_[index] != 0,
+                    "ShardPipeline::reconnect: link is healthy; nothing to replace");
+    }
+    // The failed link's workers exited when fail_link closed the channel;
+    // join so the new workers never coexist with the old ones.
+    if (link.sender.joinable()) {
+        link.sender.join();
+    }
+    if (link.demux.joinable()) {
+        link.demux.join();
+    }
+    {
+        const std::lock_guard<std::mutex> lock(link.mutex);
+        link.channel = std::move(channel);
+        link.failed = false;
+        link.stop = false;
+        link.queue.clear();
+        link.pending.clear();
+        link.channel->set_recv_timeout(
+            std::chrono::milliseconds(recv_timeout_ms_.load()));
+    }
+    start_link(link);
+    {
+        const std::lock_guard<std::mutex> lock(table_mutex_);
+        needs_reconnect_[index] = 0;
+    }
+    window_cv_.notify_all();
+}
+
+void ShardPipeline::set_recv_timeout(std::chrono::milliseconds timeout) {
+    recv_timeout_ms_.store(timeout.count());
+    for (auto& link : links_) {
+        const std::lock_guard<std::mutex> lock(link->mutex);
+        if (!link->failed) {
+            link->channel->set_recv_timeout(timeout);
+        }
+    }
+}
+
+split::TrafficStats ShardPipeline::channel_traffic(std::size_t index) const {
+    ENS_REQUIRE(index < links_.size(), "ShardPipeline::channel_traffic: link out of range");
+    Link& link = *links_[index];
+    const std::lock_guard<std::mutex> lock(link.mutex);
+    return link.channel->stats();
+}
+
+void ShardPipeline::close() {
+    {
+        const std::lock_guard<std::mutex> lock(table_mutex_);
+        if (closed_) {
+            return;
+        }
+        closed_ = true;
+    }
+    window_cv_.notify_all();
+    for (auto& link : links_) {
+        {
+            const std::lock_guard<std::mutex> lock(link->mutex);
+            link->stop = true;
+        }
+        link->send_cv.notify_all();
+        try {
+            const std::lock_guard<std::mutex> lock(link->mutex);
+            link->channel->close();
+        } catch (...) {
+        }
+    }
+    for (auto& link : links_) {
+        if (link->sender.joinable()) {
+            link->sender.join();
+        }
+        if (link->demux.joinable()) {
+            link->demux.join();
+        }
+    }
+    // Workers are gone; fault whatever was still in flight so no future
+    // ever hangs past close().
+    for (auto& link : links_) {
+        std::unordered_map<std::uint64_t, LinkPending> orphans;
+        {
+            const std::lock_guard<std::mutex> lock(link->mutex);
+            orphans = std::move(link->pending);
+            link->pending.clear();
+            link->queue.clear();
+        }
+        const auto error = labeled_exception(
+            link->label, std::make_exception_ptr(Error(ErrorCode::channel_closed,
+                                                       "session closed with the request still "
+                                                       "in flight")));
+        for (auto& [id, pending] : orphans) {
+            if (!pending.request->settled.exchange(true)) {
+                pending.request->promise.set_exception(error);
+            }
+        }
+    }
+    {
+        const std::lock_guard<std::mutex> lock(table_mutex_);
+        table_.clear();
+    }
+    window_cv_.notify_all();
+}
+
+// ------------------------------------------------------------ I/O loops
+
+void ShardPipeline::sender_loop(Link& link) {
+    for (;;) {
+        SendItem item;
+        {
+            std::unique_lock<std::mutex> lock(link.mutex);
+            link.send_cv.wait(lock, [&link] { return link.stop || !link.queue.empty(); });
+            if (link.stop) {
+                return;
+            }
+            item = std::move(link.queue.front());
+            link.queue.pop_front();
+            const auto it = link.pending.find(item.id);
+            if (it != link.pending.end()) {
+                it->second.sent = true;
+                it->second.started.reset();  // shard stats: send -> last map
+            }
+        }
+        unsigned char tag[kRequestTagBytes];
+        encode_request_tag(item.id, tag);
+        try {
+            link.channel->send_parts(
+                std::string_view(reinterpret_cast<const char*>(tag), sizeof(tag)),
+                (**item.payload).view());
+        } catch (...) {
+            {
+                const std::lock_guard<std::mutex> lock(link.mutex);
+                if (link.stop) {
+                    return;
+                }
+            }
+            fail_link(link, std::current_exception());
+            return;
+        }
+    }
+}
+
+void ShardPipeline::demux_loop(Link& link) {
+    for (;;) {
+        std::string frame;
+        try {
+            frame = link.channel->recv();
+        } catch (const Error& e) {
+            {
+                const std::lock_guard<std::mutex> lock(link.mutex);
+                if (link.stop) {
+                    return;
+                }
+            }
+            if (e.code() == ErrorCode::channel_timeout) {
+                // The demux recv runs CONTINUOUSLY, so a recv timeout is
+                // only a failure when some pending request has actually
+                // waited that long — an idle connection (or one whose
+                // request was submitted moments before an old recv's clock
+                // ran out) just re-arms. A mid-frame timeout poisoned the
+                // channel already; the next recv surfaces channel_closed.
+                double oldest_wait_ms = 0.0;
+                bool idle = true;
+                {
+                    const std::lock_guard<std::mutex> lock(link.mutex);
+                    for (const auto& [id, pending] : link.pending) {
+                        if (pending.sent) {
+                            idle = false;
+                            oldest_wait_ms =
+                                std::max(oldest_wait_ms, pending.started.elapsed_ms());
+                        }
+                    }
+                }
+                const long long cap_ms = recv_timeout_ms_.load();
+                if (idle || cap_ms <= 0 || oldest_wait_ms < static_cast<double>(cap_ms)) {
+                    continue;
+                }
+            }
+            fail_link(link, std::current_exception());
+            return;
+        } catch (...) {
+            {
+                const std::lock_guard<std::mutex> lock(link.mutex);
+                if (link.stop) {
+                    return;
+                }
+            }
+            fail_link(link, std::current_exception());
+            return;
+        }
+        try {
+            handle_frame(link, frame);
+        } catch (...) {
+            fail_link(link, std::current_exception());
+            return;
+        }
+    }
+}
+
+void ShardPipeline::handle_frame(Link& link, const std::string& frame) {
+    std::string_view payload;
+    const ReplyTag tag = parse_reply_frame(frame, payload);
+    std::shared_ptr<InflightRequest> request;
+    {
+        // Validate the tag against this link's expectations BEFORE decoding
+        // (unknown id, out-of-range body, duplicate → typed protocol
+        // errors), but do not mark delivery yet: a decode failure below
+        // must leave the pending entry in place for fail_link to fault.
+        const std::lock_guard<std::mutex> lock(link.mutex);
+        const auto it = link.pending.find(tag.request_id);
+        if (it == link.pending.end()) {
+            throw Error(ErrorCode::protocol_error,
+                        "reply tagged with unknown request id " + std::to_string(tag.request_id) +
+                            " (hostile or desynchronized host)");
+        }
+        if (tag.body_seq >= link.body_count) {
+            throw Error(ErrorCode::protocol_error,
+                        "reply body index " + std::to_string(tag.body_seq) +
+                            " outside the host's " + std::to_string(link.body_count) +
+                            "-body slice");
+        }
+        if (it->second.seen[tag.body_seq]) {
+            throw Error(ErrorCode::protocol_error,
+                        "duplicate reply for request id " + std::to_string(tag.request_id) +
+                            ", body " + std::to_string(tag.body_seq));
+        }
+        request = it->second.request;
+    }
+
+    // Decode outside the lock — this is the demux thread's compute share.
+    Tensor decoded = split::decode_tensor(payload);
+
+    bool share_done = false;
+    {
+        const std::lock_guard<std::mutex> lock(link.mutex);
+        const auto it = link.pending.find(tag.request_id);
+        if (it == link.pending.end()) {
+            return;  // raced a concurrent failure; the request was faulted
+        }
+        LinkPending& pending = it->second;
+        pending.seen[tag.body_seq] = true;
+        ++pending.delivered;
+        if (pending.delivered == link.body_count) {
+            share_done = true;
+            if (link.stats != nullptr) {
+                link.stats->record(pending.started.elapsed_ms(), /*queue_ms=*/0.0,
+                                   request->images, request->images);
+            }
+            link.pending.erase(it);
+        }
+    }
+
+    // Each link writes only its own disjoint global slots, so the slot
+    // assignment needs no lock; the frames_remaining decrement publishes it
+    // to the completing thread.
+    request->features[link.body_begin + tag.body_seq] = std::move(decoded);
+    if (request->frames_remaining.fetch_sub(1) == 1) {
+        complete(request);
+    }
+    if (share_done) {
+        link_done_with(request);
+    }
+}
+
+void ShardPipeline::complete(const std::shared_ptr<InflightRequest>& request) {
+    // The finisher runs the shared selector/tail layers, whose forward
+    // caches are not thread-safe — one completion at a time.
+    const std::lock_guard<std::mutex> lock(finish_mutex_);
+    if (request->settled.exchange(true)) {
+        return;  // a link failure faulted this request first
+    }
+    try {
+        request->promise.set_value(finisher_(*request));
+    } catch (...) {
+        request->promise.set_exception(std::current_exception());
+    }
+}
+
+void ShardPipeline::link_done_with(const std::shared_ptr<InflightRequest>& request) {
+    if (request->links_remaining.fetch_sub(1) == 1) {
+        {
+            const std::lock_guard<std::mutex> lock(table_mutex_);
+            table_.erase(request->id);
+        }
+        window_cv_.notify_all();
+    }
+}
+
+void ShardPipeline::fail_link(Link& link, const std::exception_ptr& error) {
+    std::unordered_map<std::uint64_t, LinkPending> orphans;
+    {
+        const std::lock_guard<std::mutex> lock(link.mutex);
+        if (link.failed) {
+            return;  // the other worker of this link got here first
+        }
+        link.failed = true;
+        link.stop = true;
+        orphans = std::move(link.pending);
+        link.pending.clear();
+        link.queue.clear();
+    }
+    link.send_cv.notify_all();
+    try {
+        link.channel->close();  // wakes this link's other worker
+    } catch (...) {
+    }
+    {
+        const std::lock_guard<std::mutex> lock(table_mutex_);
+        for (std::size_t s = 0; s < links_.size(); ++s) {
+            if (links_[s].get() == &link) {
+                needs_reconnect_[s] = 1;
+                break;
+            }
+        }
+    }
+    window_cv_.notify_all();  // parked submitters must see the desync, not hang
+    const std::exception_ptr labeled = labeled_exception(link.label, error);
+    for (auto& [id, pending] : orphans) {
+        if (!pending.request->settled.exchange(true)) {
+            pending.request->promise.set_exception(labeled);
+        }
+        link_done_with(pending.request);
+    }
+}
+
+}  // namespace ens::serve

@@ -1,0 +1,280 @@
+#pragma once
+// Client-side pipelined transport over one or more body-host connections —
+// the engine behind RemoteSession (one link) and ShardRouter (K links).
+//
+// Protocol v2 ran strict lockstep: send one request, block for its
+// body_count replies, repeat — so measured latency scaled with ROUND TRIPS
+// (requests x shards x RTT), not with compute, exactly the cost §III-D's
+// latency argument says the regular user must not pay. Version 3 tags
+// every frame with a request id (serve/protocol.hpp), which lets a client
+// keep a WINDOW of requests in flight per connection and match replies to
+// futures by id instead of by stream position.
+//
+// Structure (all created at connect/reconnect time — NEVER per request):
+//   per link:  one SENDER thread draining a send queue (so submit() never
+//              blocks on a slow shard's socket), and one RECV-DEMUX thread
+//              that parses reply tags, decodes feature maps straight into
+//              the owning request's global body slots, and detects
+//              duplicate/unknown ids as typed protocol errors;
+//   shared:    an in-flight table (id -> request) bounded by the
+//              negotiated window — submit() blocks when the window is
+//              full, the backpressure analogue of ServeConfig's admission
+//              bound — and a finisher callback (secret selector + private
+//              tail + stats, serialized internally) run by whichever
+//              link's demux delivers a request's LAST frame. Completion is
+//              therefore OUT OF ORDER: a fast request's future resolves
+//              before an earlier slow one, ids never cross.
+//
+// Failure semantics (the PR-3 desync contract, kept): any transport or
+// protocol error on a link closes that link's channel, marks it
+// needs-reconnect, and faults every future still awaiting frames from it
+// with a typed ens::Error labeled with the link ("shard 2: ..."). Healthy
+// links are untouched — their tagged streams cannot desynchronize — and
+// the owner restores the failed link with reconnect() after re-validating
+// the replacement host's handshake.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <optional>
+
+#include "common/stopwatch.hpp"
+#include "core/selector.hpp"
+#include "nn/layer.hpp"
+#include "serve/protocol.hpp"
+#include "serve/stats.hpp"
+#include "serve/types.hpp"
+#include "split/channel.hpp"
+#include "split/codec.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ens::serve {
+
+/// Re-raises `error` with "label: " prefixed to its message when it is an
+/// ens::Error (the code is preserved — callers dispatch on it); other
+/// exception types propagate unchanged (client-side bugs, not peer
+/// failures).
+[[noreturn]] void rethrow_labeled(const std::string& label, const std::exception_ptr& error);
+
+/// rethrow_labeled captured as an exception_ptr (for promise faulting).
+std::exception_ptr labeled_exception(const std::string& label, const std::exception_ptr& error);
+
+/// The uplink payload of one request: encoded ONCE into a pooled buffer,
+/// shared read-only by every link's sender, returned to the pool when the
+/// last sender is done with it.
+using SharedPayload = std::shared_ptr<split::WireBufferPool::Lease>;
+
+/// One in-flight request, shared between the submitter (owns the future)
+/// and every link carrying a piece of it.
+struct InflightRequest {
+    std::uint64_t id = 0;
+    std::int64_t images = 0;
+    /// Started when the OWNER began the request (before the client head
+    /// phase), so total_ms keeps the PR-3 infer() meaning: everything from
+    /// submission to logits.
+    Stopwatch submitted;
+    /// Time submit() spent parked on window backpressure.
+    double queue_ms = 0.0;
+    /// Decoded feature maps in GLOBAL body order; each link's demux fills
+    /// its own disjoint slice, so no locking is needed on the slots.
+    std::vector<Tensor> features;
+    /// Frames still expected across all links; the demux that takes this
+    /// to zero runs the finisher.
+    std::atomic<std::size_t> frames_remaining{0};
+    /// Links that still have to finish (deliver or fail) their share; the
+    /// one that takes this to zero retires the table entry.
+    std::atomic<std::size_t> links_remaining{0};
+    /// Guards the promise against double fulfillment (completion racing a
+    /// link failure).
+    std::atomic<bool> settled{false};
+    std::promise<InferenceResult> promise;
+};
+
+/// The shared client-side finish of a completed request — secret selector
+/// over the merged global feature maps, private tail, stats — used as the
+/// ShardPipeline finisher by both RemoteSession and ShardRouter (their
+/// completion semantics are identical by design: one host is just K = 1).
+InferenceResult finish_request(InflightRequest& request, const core::Selector& selector,
+                               nn::Layer& tail, SessionStats& stats);
+
+/// FIFO convenience for windowed clients (examples, benches): holds at
+/// most `capacity` outstanding futures; push() returns the OLDEST result
+/// once the window is full, drain via pop()/empty(). A future that faults
+/// throws out of pop() while the rest of the window stays held, so the
+/// caller can keep draining.
+class FutureWindow {
+public:
+    explicit FutureWindow(std::size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity) {}
+
+    /// Adds a future; when that fills the window past capacity, resolves
+    /// and returns the oldest outstanding one (nullopt while filling up).
+    /// The new future is stored BEFORE the oldest is resolved, so a fault
+    /// thrown out of the resolve never drops the one just pushed.
+    std::optional<InferenceResult> push(std::future<InferenceResult> future) {
+        pending_.push_back(std::move(future));
+        if (pending_.size() > capacity_) {
+            return pop();
+        }
+        return std::nullopt;
+    }
+
+    /// Resolves the oldest outstanding future (undefined when empty()).
+    InferenceResult pop() {
+        std::future<InferenceResult> future = std::move(pending_.front());
+        pending_.pop_front();
+        return future.get();
+    }
+
+    bool empty() const { return pending_.empty(); }
+    std::size_t size() const { return pending_.size(); }
+
+private:
+    std::size_t capacity_;
+    std::deque<std::future<InferenceResult>> pending_;
+};
+
+class ShardPipeline {
+public:
+    /// One connected, already-handshaken link. `stats` (nullable) is owner
+    /// memory so per-shard stats survive reconnects.
+    struct Endpoint {
+        std::unique_ptr<split::Channel> channel;
+        std::size_t body_begin = 0;
+        std::size_t body_count = 0;
+        std::string label;  ///< "shard 0" / "host" — error tagging
+        SessionStats* stats = nullptr;
+    };
+
+    /// Runs the client-side finish of a completed request: secret selector
+    /// + private tail + stats, returning the result the future resolves
+    /// with. Called with an internal mutex held (the shared tail layer's
+    /// forward cache is not thread-safe), on the demux thread that
+    /// delivered the request's last frame.
+    using Finisher = std::function<InferenceResult(InflightRequest& request)>;
+
+    /// Spawns the per-link I/O workers. `owner` prefixes submit-refusal
+    /// messages; `reconnect_hint` finishes them ("reconnect_shard() it
+    /// before further inference" / "open a new session").
+    ShardPipeline(std::vector<Endpoint> endpoints, std::size_t total_bodies, std::size_t window,
+                  std::string owner, std::string reconnect_hint, Finisher finisher);
+
+    /// close()s and joins everything; outstanding futures fault typed.
+    ~ShardPipeline();
+
+    ShardPipeline(const ShardPipeline&) = delete;
+    ShardPipeline& operator=(const ShardPipeline&) = delete;
+
+    /// Registers one request and enqueues its payload on every link.
+    /// Blocks while the in-flight window is full (backpressure; the wait
+    /// is recorded as the request's queue_ms). Throws typed when the
+    /// pipeline is closed or any link needs reconnecting. The caller runs
+    /// the client phase (head/noise/encode) BEFORE this and passes
+    /// `submitted` — the stopwatch it started before that phase — so
+    /// total_ms spans the whole request; the returned future resolves
+    /// (out of order) with the finisher's result or faults with a labeled
+    /// transport/protocol error.
+    std::future<InferenceResult> submit(SharedPayload payload, std::int64_t images,
+                                        Stopwatch submitted);
+
+    /// In-flight window (min of the local cap and every host's cap).
+    std::size_t window() const { return window_; }
+
+    /// Requests currently in flight (for tests).
+    std::size_t inflight() const;
+
+    bool needs_reconnect(std::size_t link) const;
+
+    /// Swaps a FAILED link's channel for a fresh, already-handshaken one
+    /// and restarts its I/O workers. The owner has already validated the
+    /// replacement host's slice.
+    void reconnect(std::size_t link, std::unique_ptr<split::Channel> channel);
+
+    /// Bounds how long a pending request may wait on each link before the
+    /// link is declared failed (0 = forever). Applies to current and
+    /// reconnected channels.
+    void set_recv_timeout(std::chrono::milliseconds timeout);
+
+    /// Traffic counters of a link's current channel (reset on reconnect).
+    split::TrafficStats channel_traffic(std::size_t link) const;
+
+    std::size_t link_count() const { return links_.size(); }
+
+    /// Closes every link and faults outstanding futures (idempotent).
+    void close();
+
+private:
+    struct SendItem {
+        std::uint64_t id = 0;
+        SharedPayload payload;
+    };
+
+    /// A link's view of one in-flight request.
+    struct LinkPending {
+        std::shared_ptr<InflightRequest> request;
+        std::vector<bool> seen;        // per body_seq duplicate guard
+        std::size_t delivered = 0;
+        bool sent = false;
+        Stopwatch started;  // stamped at actual send time (shard stats)
+    };
+
+    struct Link {
+        std::unique_ptr<split::Channel> channel;
+        std::size_t body_begin = 0;
+        std::size_t body_count = 0;
+        std::string label;
+        SessionStats* stats = nullptr;
+
+        std::mutex mutex;  // guards queue, pending, stop, failed
+        std::condition_variable send_cv;
+        std::deque<SendItem> queue;
+        std::unordered_map<std::uint64_t, LinkPending> pending;
+        bool stop = false;
+        bool failed = false;
+
+        std::thread sender;
+        std::thread demux;
+    };
+
+    void start_link(Link& link);
+    void sender_loop(Link& link);
+    void demux_loop(Link& link);
+    /// Handles one reply frame; throws to fail the link.
+    void handle_frame(Link& link, const std::string& frame);
+    /// Marks the link failed, faults its pending requests (labeled), and
+    /// wakes everything. First caller wins; later calls are no-ops.
+    void fail_link(Link& link, const std::exception_ptr& error);
+    /// Completes `request` (finisher + promise) exactly once.
+    void complete(const std::shared_ptr<InflightRequest>& request);
+    /// A link finished (delivered or failed) its share of `request`.
+    void link_done_with(const std::shared_ptr<InflightRequest>& request);
+
+    std::vector<std::unique_ptr<Link>> links_;
+    std::size_t total_bodies_ = 0;
+    std::size_t window_ = kDefaultMaxInflight;
+    std::string owner_;
+    std::string reconnect_hint_;
+    Finisher finisher_;
+    std::mutex finish_mutex_;  // serializes the shared tail forward
+
+    mutable std::mutex table_mutex_;  // guards table_, needs_reconnect_, closed_
+    std::condition_variable window_cv_;
+    std::unordered_map<std::uint64_t, std::shared_ptr<InflightRequest>> table_;
+    std::vector<unsigned char> needs_reconnect_;
+    bool closed_ = false;
+
+    std::atomic<std::uint64_t> next_id_{1};
+    std::atomic<long long> recv_timeout_ms_{0};
+};
+
+}  // namespace ens::serve

@@ -1,5 +1,6 @@
 #include "serve/protocol.hpp"
 
+#include <cstring>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -13,6 +14,12 @@ namespace {
 
 [[noreturn]] void throw_handshake(const std::string& what) {
     throw Error(ErrorCode::protocol_error, "handshake: " + what);
+}
+
+std::uint32_t read_u32_at(const std::string& bytes, std::size_t offset) {
+    std::uint32_t v = 0;
+    std::memcpy(&v, bytes.data() + offset, sizeof(v));
+    return v;
 }
 
 }  // namespace
@@ -32,31 +39,38 @@ std::string encode_handshake(const HostInfo& info) {
     writer.write_u32(static_cast<std::uint32_t>(info.body_begin));
     writer.write_u32(static_cast<std::uint32_t>(info.body_count));
     writer.write_u32(info.wire_mask);
+    writer.write_u32(info.max_inflight);
     return out.str();
 }
 
 HostInfo decode_handshake(const std::string& bytes) {
-    // Fixed-size message: reject wrong sizes up front so a peer speaking a
-    // different protocol cannot slip through field-by-field.
-    if (bytes.size() != 6 * sizeof(std::uint32_t)) {
+    // Magic and version are validated FIRST, off the fixed 8-byte prefix:
+    // a v2 peer's message is a different length, and "your host speaks
+    // protocol v2" is a far more actionable failure than a bare size
+    // mismatch. Only then is the version-3 body length enforced.
+    if (bytes.size() < 2 * sizeof(std::uint32_t)) {
         throw_handshake("message is " + std::to_string(bytes.size()) +
-                        " B, expected 24 B (peer is not an ens body host?)");
+                        " B, too short for a handshake (peer is not an ens body host?)");
     }
-    std::istringstream in(bytes, std::ios::binary);
-    BinaryReader reader(in);
-    if (reader.read_u32() != kHandshakeMagic) {
+    if (read_u32_at(bytes, 0) != kHandshakeMagic) {
         throw_handshake("bad magic (peer is not an ens body host)");
     }
-    const std::uint32_t version = reader.read_u32();
+    const std::uint32_t version = read_u32_at(bytes, sizeof(std::uint32_t));
     if (version != kProtocolVersion) {
         throw_handshake("protocol version mismatch (host v" + std::to_string(version) +
-                        ", client v" + std::to_string(kProtocolVersion) + ")");
+                        ", client v" + std::to_string(kProtocolVersion) +
+                        ") — v2 lockstep and v3 pipelined framing do not interoperate");
+    }
+    if (bytes.size() != 7 * sizeof(std::uint32_t)) {
+        throw_handshake("message is " + std::to_string(bytes.size()) +
+                        " B, expected 28 B (corrupt v3 handshake)");
     }
     HostInfo info;
-    info.total_bodies = reader.read_u32();
-    info.body_begin = reader.read_u32();
-    info.body_count = reader.read_u32();
-    info.wire_mask = reader.read_u32();
+    info.total_bodies = read_u32_at(bytes, 2 * sizeof(std::uint32_t));
+    info.body_begin = read_u32_at(bytes, 3 * sizeof(std::uint32_t));
+    info.body_count = read_u32_at(bytes, 4 * sizeof(std::uint32_t));
+    info.wire_mask = read_u32_at(bytes, 5 * sizeof(std::uint32_t));
+    info.max_inflight = read_u32_at(bytes, 6 * sizeof(std::uint32_t));
     if (info.total_bodies == 0) {
         throw_handshake("host reports zero deployed bodies");
     }
@@ -69,6 +83,10 @@ HostInfo decode_handshake(const std::string& bytes) {
     if (info.wire_mask == 0 || (info.wire_mask & ~split::all_wire_formats_mask()) != 0) {
         throw_handshake("host advertises unknown wire-format mask " +
                         std::to_string(info.wire_mask));
+    }
+    if (info.max_inflight == 0 || info.max_inflight > kMaxAdvertisedInflight) {
+        throw_handshake("host advertises implausible in-flight window " +
+                        std::to_string(info.max_inflight));
     }
     return info;
 }
@@ -85,6 +103,74 @@ HostInfo perform_handshake(split::Channel& channel, std::chrono::milliseconds ha
                         split::wire_format_name(wire_format));
     }
     return host;
+}
+
+// ------------------------------------------------------- tagged frames
+
+namespace {
+
+void put_u64_le(std::uint64_t v, unsigned char* out) {
+    for (int i = 0; i < 8; ++i) {
+        out[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+    }
+}
+
+void put_u32_le(std::uint32_t v, unsigned char* out) {
+    for (int i = 0; i < 4; ++i) {
+        out[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+    }
+}
+
+std::uint64_t get_u64_le(const unsigned char* in) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+    }
+    return v;
+}
+
+std::uint32_t get_u32_le(const unsigned char* in) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+        v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+    }
+    return v;
+}
+
+}  // namespace
+
+void encode_request_tag(std::uint64_t request_id, unsigned char out[kRequestTagBytes]) {
+    put_u64_le(request_id, out);
+}
+
+void encode_reply_tag(std::uint64_t request_id, std::uint32_t body_seq,
+                      unsigned char out[kReplyTagBytes]) {
+    put_u64_le(request_id, out);
+    put_u32_le(body_seq, out + 8);
+}
+
+std::uint64_t parse_request_frame(std::string_view frame, std::string_view& payload) {
+    if (frame.size() < kRequestTagBytes) {
+        throw Error(ErrorCode::protocol_error,
+                    "request frame is " + std::to_string(frame.size()) +
+                        " B, too short for a v3 request tag (v2 lockstep client?)");
+    }
+    payload = frame.substr(kRequestTagBytes);
+    return get_u64_le(reinterpret_cast<const unsigned char*>(frame.data()));
+}
+
+ReplyTag parse_reply_frame(std::string_view frame, std::string_view& payload) {
+    if (frame.size() < kReplyTagBytes) {
+        throw Error(ErrorCode::protocol_error,
+                    "reply frame is " + std::to_string(frame.size()) +
+                        " B, too short for a v3 reply tag (v2 lockstep host?)");
+    }
+    ReplyTag tag;
+    const auto* data = reinterpret_cast<const unsigned char*>(frame.data());
+    tag.request_id = get_u64_le(data);
+    tag.body_seq = get_u32_le(data + 8);
+    payload = frame.substr(kReplyTagBytes);
+    return tag;
 }
 
 }  // namespace ens::serve

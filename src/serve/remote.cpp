@@ -1,6 +1,9 @@
 #include "serve/remote.hpp"
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <unordered_set>
 #include <utility>
 
 #include "common/error.hpp"
@@ -47,12 +50,20 @@ void BodyHost::set_shard(std::size_t body_begin, std::size_t total_bodies) {
     shard_total_ = total_bodies;
 }
 
+void BodyHost::set_max_inflight(std::size_t max_inflight) {
+    ENS_REQUIRE(max_inflight >= 1 && max_inflight <= kMaxAdvertisedInflight,
+                "BodyHost::set_max_inflight: window must be in [1, " +
+                    std::to_string(kMaxAdvertisedInflight) + "]");
+    max_inflight_ = max_inflight;
+}
+
 HostInfo BodyHost::host_info() const {
     HostInfo info;
     info.total_bodies = shard_total_ == 0 ? bodies_.size() : shard_total_;
     info.body_begin = shard_begin_;
     info.body_count = bodies_.size();
     info.wire_mask = split::all_wire_formats_mask();
+    info.max_inflight = static_cast<std::uint32_t>(max_inflight_);
     return info;
 }
 
@@ -63,29 +74,178 @@ std::size_t BodyHost::connections_accepted() const {
 
 void BodyHost::serve(split::Channel& channel) {
     channel.send(encode_handshake(host_info()));
-    for (;;) {
-        std::string request;
-        try {
-            request = channel.recv();
-        } catch (const Error& e) {
-            if (e.code() == ErrorCode::channel_closed) {
-                return;  // client done: normal teardown
+
+    // Per-connection pipelined state: the recv loop (this thread) admits up
+    // to max_inflight_ tagged requests at once and hands them to this
+    // connection's worker pool — workers are spawned as the client's
+    // observed depth grows and live until the connection ends, never one
+    // per request. Workers reply with tagged frames as each body finishes;
+    // Channel::send_parts serializes frames, so replies of different
+    // requests interleave at frame granularity without ever corrupting
+    // one.
+    struct Work {
+        std::uint64_t id = 0;
+        std::string frame;  // tagged request; payload at kRequestTagBytes
+    };
+    std::mutex mutex;
+    std::condition_variable work_cv;   // workers: queue non-empty or stop
+    std::condition_variable slot_cv;   // recv loop: in-flight window slot free
+    std::deque<Work> queue;
+    std::unordered_set<std::uint64_t> inflight;
+    std::size_t idle_workers = 0;  // parked in work_cv.wait (guarded by mutex)
+    bool stop = false;
+    bool peer_gone = false;               // clean client disconnect
+    std::exception_ptr failure;           // first worker/protocol failure
+    split::WireBufferPool reply_pool;
+
+    const auto shut_down = [&](std::exception_ptr error, bool disconnect) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex);
+            // First caller decides the outcome: a worker failure closes the
+            // channel, which surfaces to the OTHER loops as channel_closed
+            // — that echo must not relabel the failure a clean disconnect.
+            if (!stop) {
+                stop = true;
+                if (disconnect) {
+                    peer_gone = true;
+                } else {
+                    failure = error;
+                }
             }
-            throw;
         }
-        // Mirror the client's payload encoding on the downlink so the
-        // round trip is byte-identical to the in-proc sequential transport.
-        const split::WireFormat wire = split::encoded_wire_format(request);
-        const Tensor features = split::decode_tensor(request);
-        for (std::size_t n = 0; n < bodies_.size(); ++n) {
-            Tensor output;
+        work_cv.notify_all();
+        slot_cv.notify_all();
+        try {
+            channel.close();  // unblocks the recv loop and any mid-send worker
+        } catch (...) {
+        }
+    };
+
+    const auto worker_main = [&] {
+        for (;;) {
+            Work work;
             {
-                const std::lock_guard<std::mutex> lock(forward_mutexes_[n]);
-                output = bodies_[n]->forward(features);
+                std::unique_lock<std::mutex> lock(mutex);
+                ++idle_workers;
+                work_cv.wait(lock, [&] { return stop || !queue.empty(); });
+                --idle_workers;
+                if (stop) {
+                    return;  // replies for undrained requests are pointless now
+                }
+                work = std::move(queue.front());
+                queue.pop_front();
             }
-            channel.send(split::encode_tensor(output, wire));
+            try {
+                const std::string_view payload =
+                    std::string_view(work.frame).substr(kRequestTagBytes);
+                // Mirror the request's payload encoding on the downlink so
+                // each round trip stays byte-identical to the in-proc
+                // sequential transport.
+                const split::WireFormat wire = split::encoded_wire_format(payload);
+                const Tensor features = split::decode_tensor(payload);
+                for (std::size_t n = 0; n < bodies_.size(); ++n) {
+                    Tensor output;
+                    {
+                        const std::lock_guard<std::mutex> body_lock(forward_mutexes_[n]);
+                        output = bodies_[n]->forward(features);
+                    }
+                    auto lease = reply_pool.acquire();
+                    split::encode_into(output, wire, *lease);
+                    unsigned char tag[kReplyTagBytes];
+                    encode_reply_tag(work.id, static_cast<std::uint32_t>(n), tag);
+                    channel.send_parts(
+                        std::string_view(reinterpret_cast<const char*>(tag), sizeof(tag)),
+                        lease->view());
+                }
+            } catch (const Error& e) {
+                // A client tearing the connection down with replies still in
+                // flight is normal pipelined teardown, not a failure.
+                shut_down(std::current_exception(), e.code() == ErrorCode::channel_closed);
+                return;
+            } catch (...) {
+                shut_down(std::current_exception(), false);
+                return;
+            }
+            {
+                const std::lock_guard<std::mutex> lock(mutex);
+                inflight.erase(work.id);
+            }
+            slot_cv.notify_one();
+        }
+    };
+
+    // Worker threads are spawned LAZILY, up to max_inflight_, as observed
+    // concurrency demands: a lockstep (depth-1) client costs this
+    // connection exactly one worker, while a windowed client grows the
+    // pool until its in-flight depth is covered. Only the recv loop
+    // spawns, so the vector needs no lock of its own.
+    std::vector<std::thread> workers;
+    workers.reserve(max_inflight_);
+
+    // Recv loop. Every exit path drains the worker pool before leaving.
+    for (;;) {
+        std::string frame;
+        try {
+            frame = channel.recv();
+        } catch (const Error& e) {
+            shut_down(std::current_exception(), e.code() == ErrorCode::channel_closed);
+            break;
+        } catch (...) {
+            shut_down(std::current_exception(), false);
+            break;
+        }
+        try {
+            std::string_view payload;
+            const std::uint64_t id = parse_request_frame(frame, payload);
+            bool stopped = false;
+            bool spawn_worker = false;
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                // Window backpressure against a client overrunning the
+                // advertised max_inflight: stop reading until a slot frees,
+                // so TCP flow control pushes back instead of the queue
+                // growing without bound.
+                slot_cv.wait(lock, [&] { return stop || inflight.size() < max_inflight_; });
+                if (stop) {
+                    stopped = true;
+                } else {
+                    if (!inflight.insert(id).second) {
+                        throw Error(ErrorCode::protocol_error,
+                                    "duplicate in-flight request id " + std::to_string(id) +
+                                        " (hostile or desynchronized client)");
+                    }
+                    queue.push_back(Work{id, std::move(frame)});
+                    spawn_worker =
+                        queue.size() > idle_workers && workers.size() < max_inflight_;
+                }
+            }
+            if (stopped) {
+                break;
+            }
+            if (spawn_worker) {
+                workers.emplace_back(worker_main);
+            }
+            work_cv.notify_one();
+        } catch (...) {
+            shut_down(std::current_exception(), false);
+            break;
         }
     }
+
+    for (std::thread& worker : workers) {
+        worker.join();
+    }
+    std::exception_ptr final_failure;
+    bool disconnected = false;
+    {
+        const std::lock_guard<std::mutex> lock(mutex);
+        final_failure = failure;
+        disconnected = peer_gone;
+    }
+    if (final_failure != nullptr && !disconnected) {
+        std::rethrow_exception(final_failure);
+    }
+    // Client done (or a worker saw the disconnect first): normal teardown.
 }
 
 void BodyHost::serve_forever(split::ChannelListener& listener) {
@@ -144,18 +304,19 @@ void BodyHost::serve_forever(split::ChannelListener& listener) {
 RemoteSession::RemoteSession(std::unique_ptr<split::Channel> channel, nn::Layer& head,
                              nn::Layer* noise, nn::Layer& tail, core::Selector selector,
                              split::WireFormat wire_format,
-                             std::chrono::milliseconds handshake_timeout)
-    : channel_(std::move(channel)),
-      head_(head),
+                             std::chrono::milliseconds handshake_timeout,
+                             std::size_t max_inflight)
+    : head_(head),
       noise_(noise),
       tail_(tail),
       selector_(std::move(selector)),
       wire_format_(wire_format) {
-    ENS_REQUIRE(channel_ != nullptr, "RemoteSession: null channel");
+    ENS_REQUIRE(channel != nullptr, "RemoteSession: null channel");
+    ENS_REQUIRE(max_inflight >= 1, "RemoteSession: max_inflight must be >= 1");
     // A silent or wrong endpoint must fail typed (channel_timeout), not
     // wedge construction forever. The helper resets the timeout afterwards;
     // per-request bounds are the caller's via set_recv_timeout.
-    const HostInfo host = perform_handshake(*channel_, handshake_timeout,
+    const HostInfo host = perform_handshake(*channel, handshake_timeout,
                                             /*session_timeout=*/std::chrono::milliseconds(0),
                                             wire_format_, "RemoteSession");
     if (!host.hosts_all()) {
@@ -167,40 +328,40 @@ RemoteSession::RemoteSession(std::unique_ptr<split::Channel> channel, nn::Layer&
     ENS_REQUIRE(selector_.n() == body_count_,
                 "RemoteSession: selector must cover the host's " + std::to_string(body_count_) +
                     " bodies");
+
+    std::vector<ShardPipeline::Endpoint> endpoints;
+    ShardPipeline::Endpoint endpoint;
+    endpoint.channel = std::move(channel);
+    endpoint.body_begin = 0;
+    endpoint.body_count = body_count_;
+    endpoint.label = "host";
+    endpoints.push_back(std::move(endpoint));
+    const std::size_t window =
+        std::min(max_inflight, static_cast<std::size_t>(host.max_inflight));
+    pipeline_ = std::make_unique<ShardPipeline>(
+        std::move(endpoints), body_count_, window, "RemoteSession", "open a new session",
+        [this](InflightRequest& request) {
+            return finish_request(request, selector_, tail_, stats_);
+        });
 }
 
-InferenceResult RemoteSession::infer(Tensor images) {
-    ENS_REQUIRE(images.defined(), "RemoteSession::infer: undefined image tensor");
+std::future<InferenceResult> RemoteSession::submit(Tensor images) {
+    ENS_REQUIRE(images.defined(), "RemoteSession::submit: undefined image tensor");
+    const Stopwatch submitted;  // total_ms spans the whole request, head included
     if (images.rank() == 3) {
         images = images.reshaped(Shape{1, images.dim(0), images.dim(1), images.dim(2)});
     }
-    const Stopwatch watch;
-
-    // Client phase: private head (+ split-point noise), features up.
+    // Client phase on the calling thread: private head (+ split-point
+    // noise), encoded once into a pooled buffer the sender ships tagged.
     Tensor features = head_.forward(images);
     if (noise_ != nullptr) {
         features = noise_->forward(features);
     }
-    channel_->send(split::encode_tensor(features, wire_format_));
-
-    // N body maps back, in body order; combine with the secret selector.
-    std::vector<Tensor> returned;
-    returned.reserve(body_count_);
-    for (std::size_t n = 0; n < body_count_; ++n) {
-        returned.push_back(split::decode_tensor(channel_->recv()));
-    }
-    const Tensor combined = selector_.n() == 1 ? returned.front() : selector_.apply(returned);
-
-    InferenceResult result;
-    result.logits = tail_.forward(combined);
-    result.request_id = next_request_id_++;
-    result.coalesced_images = images.dim(0);  // no cross-client batching here
-    result.total_ms = watch.elapsed_ms();
-    result.compute_ms = result.total_ms;  // queue_ms stays 0: nothing queues
-    stats_.record(result.total_ms, /*queue_ms=*/0.0, images.dim(0), images.dim(0));
-    return result;
+    auto payload = std::make_shared<split::WireBufferPool::Lease>(uplink_pool_.acquire());
+    split::encode_into(features, wire_format_, **payload);
+    return pipeline_->submit(std::move(payload), images.dim(0), submitted);
 }
 
-void RemoteSession::close() { channel_->close(); }
+InferenceResult RemoteSession::infer(Tensor images) { return submit(std::move(images)).get(); }
 
 }  // namespace ens::serve

@@ -10,30 +10,41 @@
 // tail locally and only ever ships split-point feature maps — the secret
 // selector never crosses the wire, exactly as §III requires.
 //
-// Protocol (one Channel per connection, used bidirectionally):
+// Protocol v3 (one Channel per connection, used bidirectionally,
+// PIPELINED — see serve/protocol.hpp):
 //   1. handshake: the host sends one serve::HostInfo message (magic,
-//      version, total bodies, hosted body slice, accepted wire formats —
-//      serve/protocol.hpp) so the client can validate its selector covers
-//      the deployment and its wire format is accepted before any feature
-//      bytes flow. A BodyHost defaults to hosting the whole deployment;
-//      set_shard() turns it into one shard of a §III-D multiparty layout
-//      (the client side of that layout is serve::ShardRouter).
-//   2. per request: client sends one encoded feature tensor; host replies
-//      with body_count encoded feature maps (one per body, in body order),
-//      each encoded with the SAME wire format as the request — byte-for-
-//      byte what the in-proc sequential CollaborativeSession would put on
-//      its downlink, so remote inference is bit-identical to local
-//      (tests/serve/remote_serve_test.cpp asserts this across processes).
+//      version, total bodies, hosted body slice, accepted wire formats,
+//      per-connection in-flight window) so the client can validate its
+//      selector covers the deployment, negotiate the wire format and size
+//      its request window before any feature bytes flow. A BodyHost
+//      defaults to hosting the whole deployment; set_shard() turns it into
+//      one shard of a §III-D multiparty layout (the client side of that
+//      layout is serve::ShardRouter).
+//   2. per request: the client sends one request-id-tagged encoded feature
+//      tensor; the host replies with body_count tagged feature maps (one
+//      per body, each naming the request id and body index), each encoded
+//      with the SAME wire format as its request. Up to max_inflight
+//      requests ride the connection concurrently: the host's recv loop
+//      dispatches them to a per-connection worker pool and replies
+//      complete in whatever order the bodies finish — tags, not stream
+//      position, carry the correspondence. Per-request bytes are
+//      byte-for-byte what the in-proc sequential CollaborativeSession
+//      would put on its downlink, so pipelined remote inference stays
+//      bit-identical to local (tests/serve asserts this).
 //   3. teardown: the client closes its channel; the host sees
-//      channel_closed and ends that connection's serve loop.
+//      channel_closed, drains its workers and ends that connection's
+//      serve loop.
 //
 // BodyHost::serve_forever accepts concurrently (thread per connection) and
 // serializes forwards PER BODY — each layer's forward cache is not
-// thread-safe, but distinct bodies are independent objects — so concurrent
-// connections overlap their compute across different bodies.
+// thread-safe, but distinct bodies are independent objects — so both
+// concurrent connections and a single connection's in-flight window
+// overlap their compute across different bodies (the body array behaves
+// like a pipeline: request B runs body 0 while request A runs body 1).
 
 #include <chrono>
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -41,6 +52,7 @@
 
 #include "core/selector.hpp"
 #include "nn/layer.hpp"
+#include "serve/pipeline.hpp"
 #include "serve/protocol.hpp"
 #include "serve/stats.hpp"
 #include "serve/types.hpp"
@@ -74,14 +86,24 @@ public:
     /// range.
     void set_shard(std::size_t body_begin, std::size_t total_bodies);
 
-    /// What the handshake advertises (slice + accepted wire formats).
+    /// Caps how many requests one connection keeps in flight (also the size
+    /// of that connection's worker pool). Advertised in the handshake; a
+    /// client's effective window is min(its own cap, this). >= 1.
+    void set_max_inflight(std::size_t max_inflight);
+    std::size_t max_inflight() const { return max_inflight_; }
+
+    /// What the handshake advertises (slice + accepted wire formats +
+    /// in-flight window).
     HostInfo host_info() const;
 
     std::size_t body_count() const { return bodies_.size(); }
 
-    /// Serves one connection: handshake, then request round trips until the
-    /// peer disconnects (returns) or a non-disconnect transport/model error
-    /// occurs (throws).
+    /// Serves one connection: handshake, then PIPELINED request handling —
+    /// a recv loop feeding up to max_inflight() worker threads, tagged
+    /// replies interleaving freely — until the peer disconnects (returns)
+    /// or a non-disconnect transport/protocol/model error occurs (throws,
+    /// after draining the workers). Duplicate in-flight request ids and
+    /// untagged (v2 lockstep) frames are typed protocol_errors.
     void serve(split::Channel& channel);
 
     /// Accept loop: one serve() thread per connection. Blocks until the
@@ -100,17 +122,22 @@ private:
     // whole-deployment default).
     std::size_t shard_begin_ = 0;
     std::size_t shard_total_ = 0;  // 0 = "all bodies" until set_shard
+    std::size_t max_inflight_ = kDefaultMaxInflight;
     // One mutex per body: a layer's forward cache is not thread-safe, but
-    // distinct bodies may run concurrently for different connections.
+    // distinct bodies may run concurrently — for different connections AND
+    // for different in-flight requests of one connection.
     std::vector<std::mutex> forward_mutexes_;
     mutable std::mutex accept_mutex_;
     std::size_t accepted_ = 0;
 };
 
 /// Client-side handle on a BodyHost: the remote analogue of ClientSession.
-/// Owns the private client bundle references, the secret selector and the
-/// wire channel. Not thread-safe — one in-flight request per session, like
-/// a client device; open several sessions for concurrency.
+/// Owns the private client bundle references, the secret selector, the
+/// wire channel and its persistent I/O workers (created at connect time —
+/// never per request). submit() keeps up to window() requests in flight
+/// (futures may resolve out of order); infer() is submit + wait. submit()
+/// itself must be called from one thread at a time (the shared head
+/// layer's forward cache is not thread-safe), like a client device.
 class RemoteSession {
 public:
     /// Takes the connected channel; `noise` may be null (plain split CI).
@@ -118,42 +145,58 @@ public:
     /// silent endpoint fails typed instead of wedging construction) and
     /// requires the host to serve the WHOLE deployment (a shard host needs
     /// a ShardRouter), selector.n() == the host's body count, and the host
-    /// to accept `wire_format`. After construction the channel waits
-    /// without limit — use set_recv_timeout to bound per-request waits.
+    /// to accept `wire_format`. The in-flight window is
+    /// min(max_inflight, the host's advertised cap). After construction
+    /// the channel waits without limit — use set_recv_timeout to bound
+    /// per-request waits.
     RemoteSession(std::unique_ptr<split::Channel> channel, nn::Layer& head, nn::Layer* noise,
                   nn::Layer& tail, core::Selector selector,
                   split::WireFormat wire_format = split::WireFormat::f32,
-                  std::chrono::milliseconds handshake_timeout = std::chrono::seconds(30));
+                  std::chrono::milliseconds handshake_timeout = std::chrono::seconds(30),
+                  std::size_t max_inflight = kDefaultMaxInflight);
 
-    /// One blocking round trip over the wire; returns logits + timings.
+    /// Pipelined submission: runs the client phase (head + noise + encode)
+    /// on the calling thread, ships the tagged request, and returns a
+    /// future that resolves — possibly out of order with other in-flight
+    /// requests — once the host's body maps are back and the secret
+    /// selector + tail have run. Blocks while window() requests are
+    /// already in flight (backpressure). On transport/protocol failure the
+    /// future faults with a typed ens::Error.
+    std::future<InferenceResult> submit(Tensor images);
+
+    /// One blocking round trip over the wire (submit + wait).
     InferenceResult infer(Tensor images);
 
-    /// Caps how long each wire recv of infer() waits (0 = forever).
+    /// Caps how long each in-flight request waits for the host (0 =
+    /// forever).
     void set_recv_timeout(std::chrono::milliseconds timeout) {
-        channel_->set_recv_timeout(timeout);
+        pipeline_->set_recv_timeout(timeout);
     }
 
     std::size_t body_count() const { return body_count_; }
+    /// Effective in-flight window negotiated with the host.
+    std::size_t window() const { return pipeline_->window(); }
     split::WireFormat wire_format() const { return wire_format_; }
     const core::Selector& selector() const { return selector_; }
     const SessionStats& stats() const { return stats_; }
 
     /// Combined both-direction traffic (one socket carries up and down).
-    split::TrafficStats traffic_stats() const { return channel_->stats(); }
+    split::TrafficStats traffic_stats() const { return pipeline_->channel_traffic(0); }
 
     /// Disconnects from the host (the host ends this connection's loop).
-    void close();
+    /// Outstanding futures fault typed.
+    void close() { pipeline_->close(); }
 
 private:
-    std::unique_ptr<split::Channel> channel_;
     nn::Layer& head_;
     nn::Layer* noise_;
     nn::Layer& tail_;
     core::Selector selector_;
     split::WireFormat wire_format_;
     std::size_t body_count_ = 0;
-    std::uint64_t next_request_id_ = 1;
+    split::WireBufferPool uplink_pool_;
     SessionStats stats_;
+    std::unique_ptr<ShardPipeline> pipeline_;
 };
 
 }  // namespace ens::serve

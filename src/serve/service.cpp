@@ -51,7 +51,11 @@ std::future<InferenceResult> ClientSession::submit(InferenceRequest request) {
         if (service_.bundle_.noise != nullptr) {
             features = service_.bundle_.noise->forward(features);
         }
-        uplink_.send(split::encode_tensor(features, wire_format_));
+        // Pooled encode scratch: the serialization buffer is recycled
+        // across requests instead of being allocated per message.
+        auto payload = service_.codec_pool_.acquire();
+        split::encode_into(features, wire_format_, *payload);
+        uplink_.send_parts({}, payload->view());
         pending.server_input = split::decode_tensor(uplink_.recv());
     }
 
@@ -282,7 +286,13 @@ void InferenceService::process_group(std::vector<Pending*>& group) {
             for (const Tensor& out : body_outputs) {
                 const Tensor slice =
                     group.size() == 1 ? out : slice_batch(out, offset, p->images);
-                session.downlink_.send(split::encode_tensor(slice, session.wire_format_));
+                // Encode through the pooled buffer: per-request messages
+                // (so quantization scales and byte accounting match the
+                // sequential transport) without per-message allocation of
+                // the serialization scratch.
+                auto payload = codec_pool_.acquire();
+                split::encode_into(slice, session.wire_format_, *payload);
+                session.downlink_.send_parts({}, payload->view());
                 features.push_back(split::decode_tensor(session.downlink_.recv()));
             }
             const Tensor combined = session.selector_.n() == 1

@@ -216,6 +216,10 @@ private:
 
     std::mutex client_mutex_;  // serializes the shared client-side layers
 
+    // Recycled serialization scratch for the uplink/downlink codec round
+    // trips (thread-safe; shared by submitters and the service thread).
+    split::WireBufferPool codec_pool_;
+
     mutable std::mutex queue_mutex_;
     std::condition_variable queue_cv_;
     std::condition_variable space_cv_;  // admission: queue dropped below cap

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <exception>
-#include <thread>
 #include <utility>
 
 #include "common/error.hpp"
@@ -10,53 +9,30 @@
 
 namespace ens::serve {
 
-namespace {
-
-/// Tags a shard's transport/protocol failure with the shard it came from,
-/// preserving the error code callers dispatch on.
-[[noreturn]] void rethrow_tagged(std::size_t shard, const std::exception_ptr& error) {
-    try {
-        std::rethrow_exception(error);
-    } catch (const Error& e) {
-        // Error's constructor prepends the code name; drop the one already
-        // baked into e.what() so the tagged message carries it once.
-        std::string message = e.what();
-        const std::string prefix = std::string(error_code_name(e.code())) + ": ";
-        if (message.compare(0, prefix.size(), prefix) == 0) {
-            message.erase(0, prefix.size());
-        }
-        throw Error(e.code(), "shard " + std::to_string(shard) + ": " + message);
-    }
-    // Non-ens exceptions (tensor/shape contract violations, ...) propagate
-    // unchanged: they are client-side bugs, not shard failures.
-}
-
-}  // namespace
-
 ShardRouter::ShardRouter(std::vector<std::unique_ptr<split::Channel>> shards, nn::Layer& head,
                          nn::Layer* noise, nn::Layer& tail, core::Selector selector,
                          split::WireFormat wire_format,
-                         std::chrono::milliseconds handshake_timeout)
-    : channels_(std::move(shards)),
-      head_(head),
+                         std::chrono::milliseconds handshake_timeout, std::size_t max_inflight)
+    : head_(head),
       noise_(noise),
       tail_(tail),
       selector_(std::move(selector)),
       wire_format_(wire_format),
       handshake_timeout_(handshake_timeout) {
-    ENS_REQUIRE(!channels_.empty(), "ShardRouter: no shard channels");
-    for (const auto& channel : channels_) {
+    ENS_REQUIRE(!shards.empty(), "ShardRouter: no shard channels");
+    ENS_REQUIRE(max_inflight >= 1, "ShardRouter: max_inflight must be >= 1");
+    for (const auto& channel : shards) {
         ENS_REQUIRE(channel != nullptr, "ShardRouter: null shard channel");
     }
-    needs_reconnect_.assign(channels_.size(), 0);
 
-    shards_.reserve(channels_.size());
-    for (std::size_t s = 0; s < channels_.size(); ++s) {
+    std::size_t window = max_inflight;
+    shards_.reserve(shards.size());
+    for (std::size_t s = 0; s < shards.size(); ++s) {
         HostInfo host;
         try {
-            host = adopt(*channels_[s], handshake_timeout);
+            host = adopt(*shards[s], handshake_timeout);
         } catch (const Error&) {
-            rethrow_tagged(s, std::current_exception());
+            rethrow_labeled("shard " + std::to_string(s), std::current_exception());
         }
         if (s == 0) {
             total_bodies_ = host.total_bodies;
@@ -68,6 +44,10 @@ ShardRouter::ShardRouter(std::vector<std::unique_ptr<split::Channel>> shards, nn
         }
         shards_.push_back(ShardInfo{host.body_begin, host.body_count});
         shard_stats_.push_back(std::make_unique<SessionStats>());
+        // The connection window is capped by the slowest-willing host: a
+        // request is only complete when EVERY shard answered it, so one
+        // shard's smaller window bounds the whole router's.
+        window = std::min(window, static_cast<std::size_t>(host.max_inflight));
     }
 
     // The K slices must tile [0, N) exactly: sort by begin and walk. An
@@ -105,6 +85,27 @@ ShardRouter::ShardRouter(std::vector<std::unique_ptr<split::Channel>> shards, nn
     ENS_REQUIRE(selector_.n() == total_bodies_,
                 "ShardRouter: selector must cover the deployment's " +
                     std::to_string(total_bodies_) + " bodies");
+
+    // Handshakes done, shard map validated: bring up the persistent
+    // per-shard I/O workers (one sender + one recv-demux thread per
+    // channel, for the life of the connection).
+    std::vector<ShardPipeline::Endpoint> endpoints;
+    endpoints.reserve(shards.size());
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+        ShardPipeline::Endpoint endpoint;
+        endpoint.channel = std::move(shards[s]);
+        endpoint.body_begin = shards_[s].body_begin;
+        endpoint.body_count = shards_[s].body_count;
+        endpoint.label = "shard " + std::to_string(s);
+        endpoint.stats = shard_stats_[s].get();
+        endpoints.push_back(std::move(endpoint));
+    }
+    pipeline_ = std::make_unique<ShardPipeline>(
+        std::move(endpoints), total_bodies_, window, "ShardRouter",
+        "reconnect_shard() it before further inference",
+        [this](InflightRequest& request) {
+            return finish_request(request, selector_, tail_, stats_);
+        });
 }
 
 HostInfo ShardRouter::adopt(split::Channel& channel,
@@ -129,19 +130,17 @@ const SessionStats& ShardRouter::shard_stats(std::size_t shard) const {
 }
 
 split::TrafficStats ShardRouter::shard_traffic(std::size_t shard) const {
-    ENS_REQUIRE(shard < channels_.size(), "ShardRouter::shard_traffic: shard out of range");
-    return channels_[shard]->stats();
+    ENS_REQUIRE(shard < shards_.size(), "ShardRouter::shard_traffic: shard out of range");
+    return pipeline_->channel_traffic(shard);
 }
 
 void ShardRouter::set_recv_timeout(std::chrono::milliseconds timeout) {
     recv_timeout_ = timeout;
-    for (const auto& channel : channels_) {
-        channel->set_recv_timeout(timeout);
-    }
+    pipeline_->set_recv_timeout(timeout);
 }
 
 void ShardRouter::reconnect_shard(std::size_t shard, std::unique_ptr<split::Channel> channel) {
-    ENS_REQUIRE(shard < channels_.size(), "ShardRouter::reconnect_shard: shard out of range");
+    ENS_REQUIRE(shard < shards_.size(), "ShardRouter::reconnect_shard: shard out of range");
     ENS_REQUIRE(channel != nullptr, "ShardRouter::reconnect_shard: null channel");
     const HostInfo host = adopt(*channel, handshake_timeout_);
     if (host.total_bodies != total_bodies_ || host.body_begin != shards_[shard].body_begin ||
@@ -153,104 +152,35 @@ void ShardRouter::reconnect_shard(std::size_t shard, std::unique_ptr<split::Chan
                         std::to_string(shards_[shard].body_end()) + ") of " +
                         std::to_string(total_bodies_));
     }
-    channels_[shard] = std::move(channel);
-    needs_reconnect_[shard] = 0;
+    pipeline_->reconnect(shard, std::move(channel));
 }
 
 bool ShardRouter::shard_needs_reconnect(std::size_t shard) const {
-    ENS_REQUIRE(shard < needs_reconnect_.size(),
-                "ShardRouter::shard_needs_reconnect: shard out of range");
-    return needs_reconnect_[shard] != 0;
+    ENS_REQUIRE(shard < shards_.size(), "ShardRouter::shard_needs_reconnect: shard out of range");
+    return pipeline_->needs_reconnect(shard);
 }
 
-InferenceResult ShardRouter::infer(Tensor images) {
-    ENS_REQUIRE(images.defined(), "ShardRouter::infer: undefined image tensor");
-    for (std::size_t s = 0; s < needs_reconnect_.size(); ++s) {
-        if (needs_reconnect_[s]) {
-            throw Error(ErrorCode::channel_closed,
-                        "ShardRouter: shard " + std::to_string(s) +
-                            " is desynchronized by an earlier failure; reconnect_shard() it "
-                            "before further inference");
-        }
-    }
+std::future<InferenceResult> ShardRouter::submit(Tensor images) {
+    ENS_REQUIRE(images.defined(), "ShardRouter::submit: undefined image tensor");
+    const Stopwatch submitted;  // total_ms spans the whole request, head included
     if (images.rank() == 3) {
         images = images.reshaped(Shape{1, images.dim(0), images.dim(1), images.dim(2)});
     }
-    const Stopwatch watch;
-
-    // Client phase: private head (+ split-point noise), encoded ONCE — every
-    // shard receives the identical uplink bytes.
+    // Client phase: private head (+ split-point noise), encoded ONCE into a
+    // pooled buffer — every shard's sender ships the identical payload
+    // bytes (TcpChannel's scatter-gather path glues the request tag on
+    // without copying them again).
     Tensor features = head_.forward(images);
     if (noise_ != nullptr) {
         features = noise_->forward(features);
     }
-    const std::string payload = split::encode_tensor(features, wire_format_);
-
-    // Concurrent fan-out: each shard's send + recv loop runs on its own
-    // thread and deposits decoded maps directly into the GLOBAL body slots,
-    // so the merge is just "wait for everyone". Failures are captured per
-    // shard; every thread is joined before any rethrow, which keeps healthy
-    // shards' streams aligned for the next request. A FAILED shard's
-    // alignment is unknowable (an idle timeout's reply could arrive later
-    // and masquerade as the next request's maps), so its channel is closed
-    // and the shard marked for reconnect_shard — wrong-request features
-    // must never be merged silently.
-    std::vector<Tensor> returned(total_bodies_);
-    std::vector<std::exception_ptr> errors(channels_.size());
-    const auto run_shard = [&](std::size_t s) noexcept {
-        try {
-            const Stopwatch shard_watch;
-            channels_[s]->send(payload);
-            for (std::size_t k = 0; k < shards_[s].body_count; ++k) {
-                returned[shards_[s].body_begin + k] = split::decode_tensor(channels_[s]->recv());
-            }
-            shard_stats_[s]->record(shard_watch.elapsed_ms(), /*queue_ms=*/0.0, images.dim(0),
-                                    images.dim(0));
-        } catch (...) {
-            errors[s] = std::current_exception();
-            needs_reconnect_[s] = 1;
-            try {
-                channels_[s]->close();
-            } catch (...) {
-            }
-        }
-    };
-    {
-        std::vector<std::thread> threads;
-        threads.reserve(channels_.size() - 1);
-        for (std::size_t s = 1; s < channels_.size(); ++s) {
-            threads.emplace_back(run_shard, s);
-        }
-        run_shard(0);
-        for (std::thread& thread : threads) {
-            thread.join();
-        }
-    }
-    for (std::size_t s = 0; s < errors.size(); ++s) {
-        if (errors[s]) {
-            rethrow_tagged(s, errors[s]);
-        }
-    }
-
-    // Merge is already in global body order; combine with the secret
-    // selector and finish with the private tail, exactly like the in-proc
-    // oracle.
-    const Tensor combined = selector_.n() == 1 ? returned.front() : selector_.apply(returned);
-
-    InferenceResult result;
-    result.logits = tail_.forward(combined);
-    result.request_id = next_request_id_++;
-    result.coalesced_images = images.dim(0);  // no cross-client batching here
-    result.total_ms = watch.elapsed_ms();
-    result.compute_ms = result.total_ms;  // queue_ms stays 0: nothing queues
-    stats_.record(result.total_ms, /*queue_ms=*/0.0, images.dim(0), images.dim(0));
-    return result;
+    auto payload = std::make_shared<split::WireBufferPool::Lease>(uplink_pool_.acquire());
+    split::encode_into(features, wire_format_, **payload);
+    return pipeline_->submit(std::move(payload), images.dim(0), submitted);
 }
 
-void ShardRouter::close() {
-    for (const auto& channel : channels_) {
-        channel->close();
-    }
-}
+InferenceResult ShardRouter::infer(Tensor images) { return submit(std::move(images)).get(); }
+
+void ShardRouter::close() { pipeline_->close(); }
 
 }  // namespace ens::serve

@@ -18,29 +18,41 @@
 // full 2^N - 1 shadow-subset space, and the selector — the only secret —
 // still never leaves the client process.
 //
-// Failure isolation: each shard round trip runs on its own thread; a dead
-// or misbehaving shard surfaces as a typed ens::Error (channel_closed /
-// channel_timeout / io_error / protocol_error, tagged with the shard index)
-// within the configured recv timeout, while the other shards complete
-// their round trips and keep their streams aligned. After such a failure
-// the session stays usable: reconnect_shard() swaps in a fresh channel to a
-// replacement host (which must advertise the identical body slice).
+// Pipelining (protocol v3): the router keeps up to window() requests in
+// flight per shard connection. submit() runs the client phase, encodes the
+// feature map ONCE into a pooled buffer, enqueues it on every shard's
+// persistent sender thread, and returns a future; each shard's persistent
+// recv-demux thread matches tagged replies to requests by id and deposits
+// decoded maps straight into the request's global body slots. The demux
+// that delivers a request's LAST map runs selector + tail and resolves the
+// future — out of order when a later request finishes first. infer() is
+// submit + wait. All I/O threads are created at connect (and reconnect)
+// time — NEVER per request — so steady-state throughput scales with shard
+// compute, not with round-trip count (ISSUE 4 / ROADMAP pipelining item).
 //
-// Threading: the fan-out deliberately uses short-lived dedicated threads,
-// not the global ThreadPool — shard round trips BLOCK on network I/O, and
-// parking pool workers on a socket would starve the tensor kernels the
-// bodies themselves need. K is small (a handful of non-colluding
-// providers), so thread spawn cost is noise against a network RTT.
-// Like RemoteSession, a ShardRouter is a client device: one in-flight
-// request at a time, not thread-safe.
+// Failure isolation: a dead or misbehaving shard surfaces as a typed
+// ens::Error (channel_closed / channel_timeout / io_error /
+// protocol_error, tagged with the shard index) on every future awaiting it,
+// within the configured recv timeout, while the other shards' tagged
+// streams stay aligned by construction. After such a failure the session
+// stays usable: the failed shard's channel is closed, further submission is
+// refused typed (shard_needs_reconnect) and reconnect_shard() swaps in a
+// fresh channel to a replacement host (which must advertise the identical
+// body slice).
+//
+// Like RemoteSession, submit() must be called from one thread at a time
+// (the shared head layer's forward cache is not thread-safe) — but up to
+// window() submissions can be outstanding at once.
 
 #include <chrono>
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <vector>
 
 #include "core/selector.hpp"
 #include "nn/layer.hpp"
+#include "serve/pipeline.hpp"
 #include "serve/protocol.hpp"
 #include "serve/stats.hpp"
 #include "serve/types.hpp"
@@ -63,25 +75,32 @@ public:
     /// carries each shard's body slice); `noise` may be null. Reads every
     /// shard's handshake under `handshake_timeout`, validates that the
     /// slices tile [0, N) exactly and that every shard accepts
-    /// `wire_format`, and requires selector.n() == N. After construction
-    /// the channels wait without limit — use set_recv_timeout to bound
-    /// per-request waits.
+    /// `wire_format`, and requires selector.n() == N. The in-flight window
+    /// is min(max_inflight, every shard's advertised cap). After
+    /// construction the channels wait without limit — use set_recv_timeout
+    /// to bound per-request waits.
     ShardRouter(std::vector<std::unique_ptr<split::Channel>> shards, nn::Layer& head,
                 nn::Layer* noise, nn::Layer& tail, core::Selector selector,
                 split::WireFormat wire_format = split::WireFormat::f32,
-                std::chrono::milliseconds handshake_timeout = std::chrono::seconds(30));
+                std::chrono::milliseconds handshake_timeout = std::chrono::seconds(30),
+                std::size_t max_inflight = kDefaultMaxInflight);
 
-    /// One blocking round trip: head (+noise) locally, concurrent fan-out
-    /// to all K shards, merge in global body order, secret selector + tail
-    /// locally. Returns logits + timings. On shard failure throws a typed
-    /// ens::Error naming the shard; healthy shards finish their round trip
-    /// first, so their streams stay request-aligned, while the failed shard
-    /// is closed and marked desynchronized (shard_needs_reconnect) — further
-    /// infer() calls fail typed until reconnect_shard().
+    /// Pipelined submission: head (+noise) on the calling thread, encode
+    /// once, fan the tagged request out through the persistent per-shard
+    /// senders, return a future that resolves — possibly out of order —
+    /// with the merged + selected + tailed result. Blocks while window()
+    /// requests are in flight. On shard failure the future faults with a
+    /// typed ens::Error naming the shard, and that shard is marked
+    /// desynchronized (shard_needs_reconnect) — further submission fails
+    /// typed until reconnect_shard().
+    std::future<InferenceResult> submit(Tensor images);
+
+    /// One blocking round trip (submit + wait).
     InferenceResult infer(Tensor images);
 
-    /// Caps each shard's wire waits (applies to every current channel and
-    /// to channels adopted later by reconnect_shard; 0 = forever).
+    /// Caps how long a pending request may wait on each shard (applies to
+    /// every current channel and to channels adopted later by
+    /// reconnect_shard; 0 = forever).
     void set_recv_timeout(std::chrono::milliseconds timeout);
 
     /// Replaces the channel of shard `shard` after a failure. Performs the
@@ -94,16 +113,17 @@ public:
     void reconnect_shard(std::size_t shard, std::unique_ptr<split::Channel> channel);
 
     /// True when `shard` failed mid-request and must be reconnected before
-    /// the next infer(). A failed shard's request/response alignment is
-    /// unknowable (e.g. an idle timeout whose reply later arrives would be
-    /// decoded as the NEXT request's feature maps), so the router closes the
-    /// channel and refuses further inference — typed, never silently wrong —
-    /// until reconnect_shard() re-establishes a clean stream.
+    /// the next submission. A failed shard's stream state is unknowable
+    /// (e.g. a timeout whose reply later arrives), so the router closes the
+    /// channel and refuses further inference — typed, never silently wrong
+    /// — until reconnect_shard() re-establishes a clean stream.
     bool shard_needs_reconnect(std::size_t shard) const;
 
-    std::size_t shard_count() const { return channels_.size(); }
+    std::size_t shard_count() const { return shards_.size(); }
     /// Total bodies N across all shards.
     std::size_t body_count() const { return total_bodies_; }
+    /// Effective in-flight window negotiated across all shards.
+    std::size_t window() const { return pipeline_->window(); }
     /// Shard slices in construction order (the shard map).
     const std::vector<ShardInfo>& shard_map() const { return shards_; }
     /// Index of the shard hosting global body `body_index`.
@@ -121,6 +141,7 @@ public:
     split::TrafficStats shard_traffic(std::size_t shard) const;
 
     /// Disconnects every shard (each host ends that connection's loop).
+    /// Outstanding futures fault typed.
     void close();
 
 private:
@@ -128,7 +149,6 @@ private:
     /// construction and reconnect.
     HostInfo adopt(split::Channel& channel, std::chrono::milliseconds handshake_timeout) const;
 
-    std::vector<std::unique_ptr<split::Channel>> channels_;
     std::vector<ShardInfo> shards_;
     std::size_t total_bodies_ = 0;
     nn::Layer& head_;
@@ -138,15 +158,14 @@ private:
     split::WireFormat wire_format_;
     std::chrono::milliseconds handshake_timeout_;
     std::chrono::milliseconds recv_timeout_{0};
-    std::uint64_t next_request_id_ = 1;
+    split::WireBufferPool uplink_pool_;
     SessionStats stats_;
-    // SessionStats owns a mutex (immovable), hence the indirection.
+    // SessionStats owns a mutex (immovable), hence the indirection; held
+    // here (not in the pipeline) so per-shard stats survive reconnects.
     std::vector<std::unique_ptr<SessionStats>> shard_stats_;
-    // Shards whose stream alignment was lost by a mid-request failure (see
-    // shard_needs_reconnect). Byte-sized on purpose: shard threads set
-    // their own slot concurrently, which vector<bool>'s bit packing would
-    // turn into a data race.
-    std::vector<unsigned char> needs_reconnect_;
+    // Destroyed first (declared last): its I/O workers reference the
+    // members above.
+    std::unique_ptr<ShardPipeline> pipeline_;
 };
 
 }  // namespace ens::serve

@@ -6,16 +6,30 @@
 
 namespace ens::split {
 
-void InProcChannel::send(std::string message) {
+void InProcChannel::push(std::string message, std::size_t billed_size) {
     {
         const std::lock_guard<std::mutex> lock(queue_mutex_);
         if (closed_) {
             throw Error(ErrorCode::channel_closed, "InProcChannel::send on closed channel");
         }
-        record_message(message.size());
+        record_message(billed_size);
         queue_.push_back(std::move(message));
     }
     queue_cv_.notify_one();
+}
+
+void InProcChannel::send(std::string message) {
+    const std::size_t size = message.size();
+    push(std::move(message), size);
+}
+
+void InProcChannel::send_parts(std::string_view header, std::string_view payload) {
+    std::string message;
+    message.reserve(header.size() + payload.size());
+    message.append(header);
+    message.append(payload);
+    // Payload bytes only — the tag is protocol framing (see Channel).
+    push(std::move(message), payload.size());
 }
 
 std::string InProcChannel::recv() {
@@ -53,6 +67,60 @@ void InProcChannel::close() {
 void InProcChannel::set_recv_timeout(std::chrono::milliseconds timeout) {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
     recv_timeout_ = timeout;
+}
+
+namespace {
+
+/// One side of make_inproc_duplex: sends into the peer's queue, receives
+/// from its own. Traffic is billed on THIS endpoint (the sender), matching
+/// the TcpChannel convention that each end counts what it ships.
+class DuplexEndpoint final : public Channel {
+public:
+    DuplexEndpoint(std::shared_ptr<InProcChannel> rx, std::shared_ptr<InProcChannel> tx)
+        : rx_(std::move(rx)), tx_(std::move(tx)) {}
+
+    ~DuplexEndpoint() override { close(); }
+
+    void send(std::string message) override {
+        // Billed before delivery: once the peer can see the message, any
+        // observer of its reply must already see this send counted.
+        record_message(message.size());
+        tx_->send(std::move(message));
+    }
+
+    void send_parts(std::string_view header, std::string_view payload) override {
+        record_message(payload.size());
+        tx_->send_parts(header, payload);
+    }
+
+    std::string recv() override { return rx_->recv(); }
+
+    bool has_pending() const override { return rx_->has_pending(); }
+
+    void close() override {
+        // Socket semantics: tearing down either end stops both directions.
+        // The peer's pending queue still drains (InProcChannel close keeps
+        // queued messages receivable) before channel_closed surfaces there.
+        rx_->close();
+        tx_->close();
+    }
+
+    void set_recv_timeout(std::chrono::milliseconds timeout) override {
+        rx_->set_recv_timeout(timeout);
+    }
+
+private:
+    std::shared_ptr<InProcChannel> rx_;
+    std::shared_ptr<InProcChannel> tx_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> make_inproc_duplex() {
+    auto a_to_b = std::make_shared<InProcChannel>();
+    auto b_to_a = std::make_shared<InProcChannel>();
+    return {std::make_unique<DuplexEndpoint>(b_to_a, a_to_b),
+            std::make_unique<DuplexEndpoint>(a_to_b, b_to_a)};
 }
 
 }  // namespace ens::split

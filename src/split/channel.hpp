@@ -36,8 +36,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
 
 namespace ens::split {
 
@@ -58,6 +61,24 @@ public:
 
     virtual void send(std::string message) = 0;
     virtual std::string recv() = 0;
+
+    /// Sends ONE message whose bytes are `header` followed by `payload`,
+    /// without requiring the caller to concatenate them — the pipelined
+    /// serve protocol prepends a small request-id tag to every codec
+    /// message, and an encode-once payload fanned out to K shards must not
+    /// be copied K times just to glue the tag on. Traffic counters bill
+    /// `payload.size()` only: the tag is protocol framing, like the
+    /// TcpChannel length prefix, so byte accounting stays comparable across
+    /// transports and protocol versions. The base implementation assembles
+    /// and delegates to send() (which bills the full size); both library
+    /// transports override it with a copy-free, payload-billed path.
+    virtual void send_parts(std::string_view header, std::string_view payload) {
+        std::string message;
+        message.reserve(header.size() + payload.size());
+        message.append(header);
+        message.append(payload);
+        send(std::move(message));
+    }
 
     /// True when data is immediately available to recv() (TcpChannel: bytes
     /// readable on the socket, possibly a partial frame or pending EOF).
@@ -95,17 +116,30 @@ private:
 class InProcChannel final : public Channel {
 public:
     void send(std::string message) override;
+    void send_parts(std::string_view header, std::string_view payload) override;
     std::string recv() override;
     bool has_pending() const override;
     void close() override;
     void set_recv_timeout(std::chrono::milliseconds timeout) override;
 
 private:
+    void push(std::string message, std::size_t billed_size);
+
     mutable std::mutex queue_mutex_;
     std::condition_variable queue_cv_;
     std::deque<std::string> queue_;
     bool closed_ = false;
     std::chrono::milliseconds recv_timeout_{0};
 };
+
+/// Two cross-wired in-proc endpoints forming one bidirectional channel —
+/// the same-process stand-in for a connected TCP socket pair. Each
+/// endpoint's send() feeds the peer's recv() queue; close() on either side
+/// stops both directions (like a socket teardown), with already-queued
+/// messages still draining before channel_closed surfaces. This is what
+/// lets the pipelined serve protocol (BodyHost on one end, a session or
+/// router on the other) run transport-agnostic: bit-parity tests exercise
+/// the identical tagged-frame code path with no sockets or forks involved.
+std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> make_inproc_duplex();
 
 }  // namespace ens::split

@@ -2,10 +2,8 @@
 
 #include <cstring>
 #include <limits>
-#include <sstream>
 
 #include "common/error.hpp"
-#include "common/serialize.hpp"
 
 namespace ens::split {
 
@@ -24,13 +22,46 @@ constexpr std::uint32_t kMagicQuant = 0x464D4151;  // "FMAQ": format byte + affi
 
 constexpr std::uint64_t kMaxDecodeRank = 8;
 
+/// Bounds-checked cursor over an untrusted byte view. Replaces the old
+/// istringstream + BinaryReader pair on the per-message hot path: no stream
+/// construction, no payload copy — reads are memcpy's out of the view.
+class ViewReader {
+public:
+    explicit ViewReader(std::string_view bytes) : bytes_(bytes) {}
+
+    std::uint8_t read_u8() { return read_pod<std::uint8_t>(); }
+    std::uint32_t read_u32() { return read_pod<std::uint32_t>(); }
+    std::uint64_t read_u64() { return read_pod<std::uint64_t>(); }
+    std::int64_t read_i64() { return read_pod<std::int64_t>(); }
+    float read_f32() { return read_pod<float>(); }
+
+    void read_raw(void* out, std::size_t size) {
+        if (bytes_.size() - offset_ < size) {
+            throw_protocol("message truncated (truncated or corrupt frame)");
+        }
+        std::memcpy(out, bytes_.data() + offset_, size);
+        offset_ += size;
+    }
+
+private:
+    template <typename T>
+    T read_pod() {
+        T v{};
+        read_raw(&v, sizeof v);
+        return v;
+    }
+
+    std::string_view bytes_;
+    std::size_t offset_ = 0;
+};
+
 // Reads and validates the shape vector: bounded rank, non-negative dims,
 // overflow-checked element count. `message_size` bounds numel — every
 // payload encoding spends at least one byte per element, so a shape
 // declaring more elements than the whole message has bytes is corrupt; the
 // early bound also keeps the caller's expected-size arithmetic (numel *
 // element size) far from uint64 wrap-around.
-Shape read_checked_shape(BinaryReader& reader, std::size_t message_size) {
+Shape read_checked_shape(ViewReader& reader, std::size_t message_size) {
     const std::uint64_t rank = reader.read_u64();
     if (rank > kMaxDecodeRank) {
         throw_protocol("shape rank " + std::to_string(rank) + " exceeds limit " +
@@ -56,7 +87,51 @@ Shape read_checked_shape(BinaryReader& reader, std::size_t message_size) {
     }
     return Shape{std::move(dims)};
 }
+
+void append_shape(WireBuffer& out, const Shape& shape) {
+    const std::vector<std::int64_t>& dims = shape.dims();
+    out.append_u64(dims.size());
+    if (!dims.empty()) {
+        out.append_raw(dims.data(), dims.size() * sizeof(std::int64_t));
+    }
+}
+
 }  // namespace
+
+// ----------------------------------------------------------- buffer pool
+
+void WireBufferPool::Lease::release() {
+    if (pool_ != nullptr && buffer_ != nullptr) {
+        pool_->put_back(std::move(buffer_));
+    }
+    pool_ = nullptr;
+    buffer_.reset();
+}
+
+WireBufferPool::Lease WireBufferPool::acquire() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (!free_.empty()) {
+            std::unique_ptr<WireBuffer> buffer = std::move(free_.back());
+            free_.pop_back();
+            buffer->clear();
+            return Lease(this, std::move(buffer));
+        }
+    }
+    return Lease(this, std::make_unique<WireBuffer>());
+}
+
+std::size_t WireBufferPool::idle() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return free_.size();
+}
+
+void WireBufferPool::put_back(std::unique_ptr<WireBuffer> buffer) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(buffer));
+}
+
+// ----------------------------------------------------------------- names
 
 const char* wire_format_name(WireFormat format) {
     switch (format) {
@@ -107,115 +182,127 @@ std::uint32_t wire_format_levels(WireFormat format) {
     ENS_FAIL("wire_format_levels: unknown format");
 }
 
-std::string encode_tensor(const Tensor& tensor) {
-    ENS_REQUIRE(tensor.defined(), "encode_tensor: undefined tensor");
-    std::ostringstream out(std::ios::binary);
-    BinaryWriter writer(out);
-    writer.write_u32(kMagicF32);
-    writer.write_i64_vector(tensor.shape().dims());
-    writer.write_f32_array(tensor.data(), static_cast<std::size_t>(tensor.numel()));
-    return out.str();
-}
+// ---------------------------------------------------------------- encode
 
-std::string encode_tensor(const Tensor& tensor, WireFormat format) {
-    if (format == WireFormat::f32) {
-        return encode_tensor(tensor);
-    }
+void encode_into(const Tensor& tensor, WireFormat format, WireBuffer& out) {
     ENS_REQUIRE(tensor.defined(), "encode_tensor: undefined tensor");
+    out.clear();
+    out.reserve(static_cast<std::size_t>(encoded_size(tensor, format)));
+    if (format == WireFormat::f32) {
+        const auto count = static_cast<std::size_t>(tensor.numel());
+        out.append_u32(kMagicF32);
+        append_shape(out, tensor.shape());
+        out.append_u64(count);
+        if (count > 0) {
+            out.append_raw(tensor.data(), count * sizeof(float));
+        }
+        return;
+    }
     const std::uint32_t levels = wire_format_levels(format);
     const AffineGrid grid = choose_affine_grid(tensor, levels);
     const auto codes = quantize(tensor, grid, levels);
 
-    std::ostringstream out(std::ios::binary);
-    BinaryWriter writer(out);
-    writer.write_u32(kMagicQuant);
-    writer.write_u8(static_cast<std::uint8_t>(format));
-    writer.write_i64_vector(tensor.shape().dims());
-    writer.write_f32(grid.lo);
-    writer.write_f32(grid.step);
+    out.append_u32(kMagicQuant);
+    out.append_u8(static_cast<std::uint8_t>(format));
+    append_shape(out, tensor.shape());
+    out.append_f32(grid.lo);
+    out.append_f32(grid.step);
     if (format == WireFormat::q8) {
         for (const std::uint16_t code : codes) {
-            writer.write_u8(static_cast<std::uint8_t>(code));
+            out.append_u8(static_cast<std::uint8_t>(code));
         }
     } else {
+        // q16 codes are written little-endian byte pairs; on little-endian
+        // hosts (everything this repo targets) that is their memory layout.
         for (const std::uint16_t code : codes) {
-            writer.write_u8(static_cast<std::uint8_t>(code & 0xFF));
-            writer.write_u8(static_cast<std::uint8_t>(code >> 8));
+            out.append_u8(static_cast<std::uint8_t>(code & 0xFF));
+            out.append_u8(static_cast<std::uint8_t>(code >> 8));
         }
     }
-    return out.str();
 }
 
-Tensor decode_tensor(const std::string& bytes) {
-    try {
-        std::istringstream in(bytes, std::ios::binary);
-        BinaryReader reader(in);
-        const std::uint32_t magic = reader.read_u32();
-        if (magic == kMagicF32) {
-            const Shape shape = read_checked_shape(reader, bytes.size());
-            // The full message size is implied by the shape; reject any
-            // mismatch before allocating numel floats.
-            const std::uint64_t expected = sizeof(std::uint32_t) + sizeof(std::uint64_t) +
-                                           shape.rank() * sizeof(std::int64_t) +
-                                           sizeof(std::uint64_t) +
-                                           static_cast<std::uint64_t>(shape.numel()) *
-                                               sizeof(float);
-            if (bytes.size() != expected) {
-                throw_protocol("message is " + std::to_string(bytes.size()) +
-                               " B but shape " + shape.to_string() + " demands " +
-                               std::to_string(expected) + " B (truncated or corrupt frame)");
-            }
-            Tensor tensor(shape);
-            reader.read_f32_array(tensor.data(), static_cast<std::size_t>(tensor.numel()));
-            return tensor;
-        }
-        if (magic != kMagicQuant) {
-            throw_protocol("bad magic (peer is not speaking the feature codec)");
-        }
-        const auto format = static_cast<WireFormat>(reader.read_u8());
-        if (format != WireFormat::q16 && format != WireFormat::q8) {
-            throw_protocol("bad quantized format byte");
-        }
+std::string encode_tensor(const Tensor& tensor) { return encode_tensor(tensor, WireFormat::f32); }
+
+std::string encode_tensor(const Tensor& tensor, WireFormat format) {
+    WireBuffer buffer;
+    encode_into(tensor, format, buffer);
+    return std::move(buffer.bytes());
+}
+
+// ---------------------------------------------------------------- decode
+
+void decode_into(std::string_view bytes, Tensor& out) {
+    ViewReader reader(bytes);
+    const std::uint32_t magic = reader.read_u32();
+    if (magic == kMagicF32) {
         const Shape shape = read_checked_shape(reader, bytes.size());
+        // The full message size is implied by the shape; reject any
+        // mismatch before allocating numel floats.
         const std::uint64_t expected =
-            sizeof(std::uint32_t) + 1 + sizeof(std::uint64_t) +
-            shape.rank() * sizeof(std::int64_t) + 2 * sizeof(float) +
-            static_cast<std::uint64_t>(shape.numel()) * wire_format_element_size(format);
+            sizeof(std::uint32_t) + sizeof(std::uint64_t) + shape.rank() * sizeof(std::int64_t) +
+            sizeof(std::uint64_t) + static_cast<std::uint64_t>(shape.numel()) * sizeof(float);
         if (bytes.size() != expected) {
             throw_protocol("message is " + std::to_string(bytes.size()) + " B but shape " +
                            shape.to_string() + " demands " + std::to_string(expected) +
                            " B (truncated or corrupt frame)");
         }
-        AffineGrid grid;
-        grid.lo = reader.read_f32();
-        grid.step = reader.read_f32();
-        const auto count = static_cast<std::size_t>(shape.numel());
-        std::vector<std::uint16_t> codes(count);
-        if (format == WireFormat::q8) {
-            for (std::size_t i = 0; i < count; ++i) {
-                codes[i] = reader.read_u8();
-            }
-        } else {
-            for (std::size_t i = 0; i < count; ++i) {
-                const std::uint16_t lo_byte = reader.read_u8();
-                const std::uint16_t hi_byte = reader.read_u8();
-                codes[i] = static_cast<std::uint16_t>(lo_byte | (hi_byte << 8));
-            }
+        const std::uint64_t count = reader.read_u64();
+        if (count != static_cast<std::uint64_t>(shape.numel())) {
+            throw_protocol("payload count disagrees with shape (corrupt message?)");
         }
-        return dequantize(codes, shape, grid);
-    } catch (const Error&) {
-        throw;
-    } catch (const std::exception& e) {
-        // Short reads and the like out of BinaryReader: same failure class.
-        throw Error(ErrorCode::protocol_error, std::string("decode_tensor: ") + e.what());
+        if (!(out.defined() && out.shape() == shape)) {
+            out = Tensor(shape);
+        }
+        reader.read_raw(out.data(), static_cast<std::size_t>(count) * sizeof(float));
+        return;
     }
+    if (magic != kMagicQuant) {
+        throw_protocol("bad magic (peer is not speaking the feature codec)");
+    }
+    const auto format = static_cast<WireFormat>(reader.read_u8());
+    if (format != WireFormat::q16 && format != WireFormat::q8) {
+        throw_protocol("bad quantized format byte");
+    }
+    const Shape shape = read_checked_shape(reader, bytes.size());
+    const std::uint64_t expected =
+        sizeof(std::uint32_t) + 1 + sizeof(std::uint64_t) + shape.rank() * sizeof(std::int64_t) +
+        2 * sizeof(float) +
+        static_cast<std::uint64_t>(shape.numel()) * wire_format_element_size(format);
+    if (bytes.size() != expected) {
+        throw_protocol("message is " + std::to_string(bytes.size()) + " B but shape " +
+                       shape.to_string() + " demands " + std::to_string(expected) +
+                       " B (truncated or corrupt frame)");
+    }
+    AffineGrid grid;
+    grid.lo = reader.read_f32();
+    grid.step = reader.read_f32();
+    const auto count = static_cast<std::size_t>(shape.numel());
+    std::vector<std::uint16_t> codes(count);
+    if (format == WireFormat::q8) {
+        for (std::size_t i = 0; i < count; ++i) {
+            codes[i] = reader.read_u8();
+        }
+    } else {
+        for (std::size_t i = 0; i < count; ++i) {
+            const std::uint16_t lo_byte = reader.read_u8();
+            const std::uint16_t hi_byte = reader.read_u8();
+            codes[i] = static_cast<std::uint16_t>(lo_byte | (hi_byte << 8));
+        }
+    }
+    out = dequantize(codes, shape, grid);
 }
 
-WireFormat encoded_wire_format(const std::string& bytes) {
+Tensor decode_tensor(std::string_view bytes) {
+    Tensor tensor;
+    decode_into(bytes, tensor);
+    return tensor;
+}
+
+WireFormat encoded_wire_format(std::string_view bytes) {
     // Per-request hot path on the serving daemon: read the header bytes in
     // place instead of copying the whole payload into a stream. The magic
-    // must be read exactly how BinaryWriter wrote it (native byte order via
-    // write_raw), so memcpy — not an explicit-endian shift — keeps the two
+    // must be read exactly how the encoder wrote it (native byte order via
+    // append_raw), so memcpy — not an explicit-endian shift — keeps the two
     // consistent on every host.
     if (bytes.size() < sizeof(std::uint32_t)) {
         throw Error(ErrorCode::protocol_error, "encoded_wire_format: truncated message");

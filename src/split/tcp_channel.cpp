@@ -93,25 +93,29 @@ void TcpChannel::set_recv_timeout(std::chrono::milliseconds timeout) {
     recv_timeout_ms_.store(timeout.count());
 }
 
-void TcpChannel::write_frame(const unsigned char* header, std::size_t header_size,
-                             const unsigned char* payload, std::size_t payload_size) {
-    // sendmsg with two iovecs: the header never rides in its own TCP
-    // segment (TCP_NODELAY would ship it immediately) and the payload is
-    // not copied into a staging buffer.
+void TcpChannel::write_frame(const Span* spans, std::size_t span_count) {
+    // One sendmsg over all spans: the frame header (and a protocol tag)
+    // never rides in its own TCP segment (TCP_NODELAY would ship it
+    // immediately) and no span is copied into a staging buffer.
     std::size_t sent = 0;
-    const std::size_t total = header_size + payload_size;
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < span_count; ++i) {
+        total += spans[i].size;
+    }
     while (sent < total) {
-        iovec iov[2];
+        iovec iov[3];
         int iov_count = 0;
-        if (sent < header_size) {
-            iov[iov_count].iov_base = const_cast<unsigned char*>(header + sent);
-            iov[iov_count].iov_len = header_size - sent;
-            ++iov_count;
-        }
-        const std::size_t payload_sent = sent > header_size ? sent - header_size : 0;
-        if (payload_sent < payload_size) {
-            iov[iov_count].iov_base = const_cast<unsigned char*>(payload + payload_sent);
-            iov[iov_count].iov_len = payload_size - payload_sent;
+        // Skip fully-sent spans, then queue the partial remainder of the
+        // first incomplete one plus everything after it.
+        std::size_t skip = sent;
+        for (std::size_t i = 0; i < span_count && iov_count < 3; ++i) {
+            if (skip >= spans[i].size) {
+                skip -= spans[i].size;
+                continue;
+            }
+            iov[iov_count].iov_base = const_cast<unsigned char*>(spans[i].data + skip);
+            iov[iov_count].iov_len = spans[i].size - skip;
+            skip = 0;
             ++iov_count;
         }
         msghdr msg{};
@@ -136,7 +140,8 @@ void TcpChannel::write_frame(const unsigned char* header, std::size_t header_siz
     }
 }
 
-void TcpChannel::send(std::string message) {
+void TcpChannel::send_spans(std::string_view header, std::string_view payload,
+                            std::size_t billed) {
     const std::lock_guard<std::mutex> lock(send_mutex_);
     {
         const std::lock_guard<std::mutex> state(state_mutex_);
@@ -144,13 +149,29 @@ void TcpChannel::send(std::string message) {
             throw Error(ErrorCode::channel_closed, "TcpChannel::send on closed channel");
         }
     }
-    unsigned char header[8];
-    encode_frame_header(message.size(), header);
-    write_frame(header, sizeof(header),
-                reinterpret_cast<const unsigned char*>(message.data()), message.size());
-    // Payload bytes only — framing overhead is a transport detail, and the
-    // counters must match InProcChannel for byte-parity tests.
-    record_message(message.size());
+    unsigned char frame_header[8];
+    encode_frame_header(header.size() + payload.size(), frame_header);
+    const Span spans[3] = {
+        {frame_header, sizeof(frame_header)},
+        {reinterpret_cast<const unsigned char*>(header.data()), header.size()},
+        {reinterpret_cast<const unsigned char*>(payload.data()), payload.size()},
+    };
+    // Billed bytes only — framing overhead is a transport detail, and the
+    // counters must match InProcChannel for byte-parity tests. Billed
+    // BEFORE the write: once bytes hit the wire the peer's whole reply can
+    // race ahead of this thread, and a caller observing that reply must
+    // already see the send counted. (A send that fails mid-write still
+    // counts — the channel is poisoned at that point anyway.)
+    record_message(billed);
+    write_frame(spans, 3);
+}
+
+void TcpChannel::send(std::string message) {
+    send_spans({}, message, message.size());
+}
+
+void TcpChannel::send_parts(std::string_view header, std::string_view payload) {
+    send_spans(header, payload, payload.size());
 }
 
 void TcpChannel::read_all(unsigned char* data, std::size_t size, std::size_t frame_offset,

@@ -43,6 +43,14 @@ public:
     TcpChannel& operator=(const TcpChannel&) = delete;
 
     void send(std::string message) override;
+
+    /// Scatter-gather send: ships length prefix + header + payload as one
+    /// frame through a single sendmsg (three iovecs), so a pipelined tag
+    /// rides along with an encode-once payload with ZERO extra copies of
+    /// the payload bytes. Bills payload.size() only (the tag is protocol
+    /// framing, like the length prefix — see Channel::send_parts).
+    void send_parts(std::string_view header, std::string_view payload) override;
+
     std::string recv() override;
     bool has_pending() const override;
 
@@ -58,11 +66,18 @@ public:
     void set_recv_timeout(std::chrono::milliseconds timeout) override;
 
 private:
-    /// Writes header + payload as one frame without copying the payload,
-    /// looping over short writes (sendmsg + iovec). EPIPE/reset ->
+    /// Writes up to three byte spans as one frame without copying any of
+    /// them, looping over short writes (sendmsg + iovec). EPIPE/reset ->
     /// channel_closed, other failures -> io_error.
-    void write_frame(const unsigned char* header, std::size_t header_size,
-                     const unsigned char* payload, std::size_t payload_size);
+    struct Span {
+        const unsigned char* data = nullptr;
+        std::size_t size = 0;
+    };
+    void write_frame(const Span* spans, std::size_t span_count);
+
+    /// Shared body of send/send_parts: closed-check, frame header, write,
+    /// billing (`billed` bytes — payload only, framing excluded).
+    void send_spans(std::string_view header, std::string_view payload, std::size_t billed);
 
     /// Reads exactly `size` bytes, honoring the whole-message `deadline`.
     /// `frame_offset` is how much of the current frame was already consumed

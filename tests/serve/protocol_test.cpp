@@ -31,14 +31,32 @@ namespace {
 
 constexpr std::chrono::milliseconds kShortTimeout{5000};
 
-/// Arbitrary handshake bytes (including invalid ones the public encoder
+/// Arbitrary v3 handshake bytes (including invalid ones the public encoder
 /// refuses to produce).
 std::string raw_handshake(std::uint32_t magic, std::uint32_t version, std::uint32_t total,
-                          std::uint32_t begin, std::uint32_t count, std::uint32_t mask) {
+                          std::uint32_t begin, std::uint32_t count, std::uint32_t mask,
+                          std::uint32_t max_inflight = 8) {
     std::ostringstream out(std::ios::binary);
     BinaryWriter writer(out);
     writer.write_u32(magic);
     writer.write_u32(version);
+    writer.write_u32(total);
+    writer.write_u32(begin);
+    writer.write_u32(count);
+    writer.write_u32(mask);
+    writer.write_u32(max_inflight);
+    return out.str();
+}
+
+/// What a protocol-v2 (PR 3) host put on the wire: six fields, no
+/// max_inflight. Used to prove the v2 <-> v3 version mismatch fails BY
+/// NAME, not as a bare length error.
+std::string raw_v2_handshake(std::uint32_t total, std::uint32_t begin, std::uint32_t count,
+                             std::uint32_t mask) {
+    std::ostringstream out(std::ios::binary);
+    BinaryWriter writer(out);
+    writer.write_u32(kHandshakeMagic);
+    writer.write_u32(2);  // protocol v2
     writer.write_u32(total);
     writer.write_u32(begin);
     writer.write_u32(count);
@@ -138,6 +156,87 @@ TEST(ServeProtocol, VersionMismatchIsTyped) {
                                   client.selector, split::WireFormat::f32, kShortTimeout);
         },
         "RemoteSession vs stale protocol version");
+}
+
+TEST(ServeProtocol, V2HostIsRefusedByNameNotLength) {
+    // A v3 client pointed at a PR-3 (v2, lockstep) host: its 24-byte
+    // handshake must decode to a typed protocol_error that NAMES the
+    // version pair — there is no silent lockstep fallback, because v2
+    // untagged frames and v3 tagged frames would desynchronize bytewise.
+    const std::string v2 = raw_v2_handshake(1, 0, 1, split::all_wire_formats_mask());
+    try {
+        (void)decode_handshake(v2);
+        FAIL() << "v2 handshake decoded under a v3 client";
+    } catch (const Error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::protocol_error) << e.what();
+        const std::string what = e.what();
+        EXPECT_NE(what.find("host v2"), std::string::npos) << what;
+        EXPECT_NE(what.find("client v3"), std::string::npos) << what;
+    }
+
+    // End-to-end: both session kinds refuse the v2 host.
+    ClientParts client = make_client();
+    {
+        ScriptedHost host([&v2](split::Channel& channel) { channel.send(v2); });
+        expect_protocol_error(
+            [&] {
+                RemoteSession session(split::tcp_connect("127.0.0.1", host.port()),
+                                      *client.model.head, nullptr, *client.model.tail,
+                                      client.selector, split::WireFormat::f32, kShortTimeout);
+            },
+            "RemoteSession vs v2 host");
+    }
+    {
+        ScriptedHost host([&v2](split::Channel& channel) { channel.send(v2); });
+        std::vector<std::unique_ptr<split::Channel>> channels;
+        channels.push_back(split::tcp_connect("127.0.0.1", host.port()));
+        expect_protocol_error(
+            [&] {
+                ShardRouter router(std::move(channels), *client.model.head, nullptr,
+                                   *client.model.tail, client.selector, split::WireFormat::f32,
+                                   kShortTimeout);
+            },
+            "ShardRouter vs v2 host");
+    }
+}
+
+TEST(ServeProtocol, V2ClientFramesAreRefusedByV3Host) {
+    // The reverse direction: a v2 lockstep client that somehow got past
+    // the handshake would send UNTAGGED frames. A v3 host must refuse
+    // anything too short to carry a request tag as a typed protocol_error
+    // naming the lockstep suspicion — never interpret the first 8 payload
+    // bytes as an id and silently desynchronize.
+    std::string_view payload;
+    try {
+        (void)parse_request_frame(std::string_view("abc"), payload);
+        FAIL() << "short untagged frame parsed as a v3 request";
+    } catch (const Error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::protocol_error) << e.what();
+        EXPECT_NE(std::string(e.what()).find("v2"), std::string::npos) << e.what();
+    }
+    try {
+        (void)parse_reply_frame(std::string_view("short"), payload);
+        FAIL() << "short untagged frame parsed as a v3 reply";
+    } catch (const Error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::protocol_error) << e.what();
+    }
+
+    // Handshake hardening for the new window field: zero and absurd
+    // in-flight windows are corrupt peers, not configurations.
+    expect_protocol_error(
+        [&] {
+            (void)decode_handshake(raw_handshake(kHandshakeMagic, kProtocolVersion, 1, 0, 1,
+                                                 split::all_wire_formats_mask(),
+                                                 /*max_inflight=*/0));
+        },
+        "decode_handshake vs zero window");
+    expect_protocol_error(
+        [&] {
+            (void)decode_handshake(raw_handshake(kHandshakeMagic, kProtocolVersion, 1, 0, 1,
+                                                 split::all_wire_formats_mask(),
+                                                 /*max_inflight=*/1u << 30));
+        },
+        "decode_handshake vs absurd window");
 }
 
 TEST(ServeProtocol, RemoteSessionRefusesShardHostAndUnsupportedWire) {

@@ -1,0 +1,100 @@
+// The zero-copy codec path: encode_into must be byte-identical to the
+// encode_tensor string overloads for every wire format (the buffer pool is
+// a performance lever, never a format fork), the pool must actually
+// recycle buffers, decode must work on payload VIEWS at arbitrary offsets
+// (tagged frames decode in place), and decode_into must reuse matching
+// storage without changing results.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "split/codec.hpp"
+
+namespace ens::split {
+namespace {
+
+TEST(CodecBuffer, EncodeIntoMatchesStringOverloadForAllFormats) {
+    Rng rng(11);
+    const Tensor tensor = Tensor::randn(Shape{2, 3, 4}, rng);
+    WireBuffer buffer;
+    for (const WireFormat wire : {WireFormat::f32, WireFormat::q16, WireFormat::q8}) {
+        const std::string expected = encode_tensor(tensor, wire);
+        encode_into(tensor, wire, buffer);
+        EXPECT_EQ(buffer.view(), std::string_view(expected)) << wire_format_name(wire);
+        // Round trip through the buffer bytes too.
+        const Tensor decoded = decode_tensor(buffer.view());
+        EXPECT_EQ(decoded.to_vector(), decode_tensor(expected).to_vector())
+            << wire_format_name(wire);
+    }
+}
+
+TEST(CodecBuffer, EncodeIntoOverwritesPreviousContents) {
+    Rng rng(12);
+    const Tensor big = Tensor::randn(Shape{8, 8}, rng);
+    const Tensor small = Tensor::randn(Shape{2}, rng);
+    WireBuffer buffer;
+    encode_into(big, WireFormat::f32, buffer);
+    const std::size_t capacity_after_big = buffer.capacity();
+    encode_into(small, WireFormat::f32, buffer);
+    EXPECT_EQ(buffer.view(), std::string_view(encode_tensor(small)));
+    // clear() keeps capacity: re-encoding the small tensor must not have
+    // shrunk the allocation below the big message's.
+    EXPECT_GE(buffer.capacity(), capacity_after_big);
+}
+
+TEST(CodecBuffer, PoolRecyclesBuffers) {
+    WireBufferPool pool;
+    EXPECT_EQ(pool.idle(), 0u);
+    {
+        auto lease = pool.acquire();
+        lease->append_u32(42);
+        EXPECT_EQ(pool.idle(), 0u);
+    }
+    EXPECT_EQ(pool.idle(), 1u);  // returned on lease destruction
+    {
+        auto lease = pool.acquire();
+        EXPECT_TRUE(lease->empty());  // recycled buffers come back cleared
+        EXPECT_EQ(pool.idle(), 0u);   // ... and off the free list
+        auto second = pool.acquire();
+        EXPECT_EQ(pool.idle(), 0u);
+    }
+    EXPECT_EQ(pool.idle(), 2u);
+}
+
+TEST(CodecBuffer, DecodeWorksOnOffsetViews) {
+    // Tagged frames carry the codec bytes at an offset inside a larger
+    // message; decoding the view must equal decoding a copied string.
+    Rng rng(13);
+    const Tensor tensor = Tensor::randn(Shape{3, 2}, rng);
+    for (const WireFormat wire : {WireFormat::f32, WireFormat::q8}) {
+        const std::string encoded = encode_tensor(tensor, wire);
+        const std::string framed = std::string("\x01\x02\x03\x04\x05\x06\x07\x08", 8) + encoded;
+        const std::string_view payload = std::string_view(framed).substr(8);
+        EXPECT_EQ(encoded_wire_format(payload), wire);
+        EXPECT_EQ(decode_tensor(payload).to_vector(), decode_tensor(encoded).to_vector());
+    }
+}
+
+TEST(CodecBuffer, DecodeIntoReusesMatchingStorage) {
+    Rng rng(14);
+    const Tensor first = Tensor::randn(Shape{4, 4}, rng);
+    const Tensor second = Tensor::randn(Shape{4, 4}, rng);
+    Tensor out;
+    decode_into(encode_tensor(first), out);
+    EXPECT_EQ(out.to_vector(), first.to_vector());
+    const float* storage = out.data();
+    decode_into(encode_tensor(second), out);
+    EXPECT_EQ(out.to_vector(), second.to_vector());
+    // Same shape: the storage was reused, not reallocated.
+    EXPECT_EQ(out.data(), storage);
+    // Different shape: reallocates and adopts the message's shape.
+    const Tensor other = Tensor::randn(Shape{2, 3}, rng);
+    decode_into(encode_tensor(other), out);
+    EXPECT_EQ(out.shape(), other.shape());
+    EXPECT_EQ(out.to_vector(), other.to_vector());
+}
+
+}  // namespace
+}  // namespace ens::split
