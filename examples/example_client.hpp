@@ -1,0 +1,155 @@
+#pragma once
+// Shared client-half plumbing for the example clients (remote_client,
+// sharded_client). Both resolve the same private client artifacts — from
+// the bundle's secret CLIENT.ens with --bundle, or derived from the demo
+// seeds in lockstep with serve_daemon — and differ only in how they reach
+// the body hosts. Keeping the resolution here means a change to the bundle
+// flow or the demo derivation cannot silently desynchronize the two
+// drivers (or serve_daemon --save-bundle, which must write exactly what
+// the demo path derives).
+//
+// Error convention of the example drivers: exit 2 on flag misuse, exit 1
+// on an unloadable bundle.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/args.hpp"
+#include "core/selector.hpp"
+#include "nn/linear.hpp"
+#include "nn/resnet.hpp"
+#include "nn/sequential.hpp"
+#include "serve/bundle.hpp"
+#include "serve/types.hpp"
+#include "split/codec.hpp"
+#include "split/split_model.hpp"
+
+namespace ens::example_client {
+
+/// Body k of the demo deployment. Must stay in lockstep with
+/// serve_daemon.cpp (see its build_part): body k comes from the split
+/// ResNet-18 built with Rng(seed + k), and the k = 0 build also yields the
+/// client's head.
+inline split::SplitModel build_part(const nn::ResNetConfig& arch, std::uint64_t seed,
+                                    std::size_t k) {
+    Rng rng(seed + k);
+    return split::build_split_resnet18(arch, rng);
+}
+
+inline split::WireFormat parse_wire(const std::string& name) {
+    split::WireFormat format = split::WireFormat::f32;
+    if (!split::wire_format_from_name(name, format)) {
+        std::fprintf(stderr, "unknown --wire %s (want f32|q16|q8)\n", name.c_str());
+        std::exit(2);
+    }
+    return format;
+}
+
+/// The demo client half, derived from the seeds: head from the k = 0
+/// build, a tail sized for the P selected feature maps, and the secret
+/// P-of-N selector. serve_daemon --save-bundle writes EXACTLY this, so
+/// demo-mode clients and bundle-mode clients of a demo bundle agree.
+inline serve::ClientArtifacts derive_demo_client(const nn::ResNetConfig& arch,
+                                                 std::uint64_t seed, std::size_t num_bodies,
+                                                 std::size_t num_selected,
+                                                 std::uint64_t selector_seed) {
+    serve::ClientArtifacts client;
+    client.head = std::move(build_part(arch, seed, 0).head);
+    client.head->set_training(false);
+    Rng tail_rng(seed ^ 0x7A11);
+    auto tail = std::make_unique<nn::Sequential>();
+    tail->emplace<nn::Linear>(
+        static_cast<std::int64_t>(num_selected) * nn::resnet18_feature_width(arch),
+        arch.num_classes, tail_rng);
+    tail->set_training(false);
+    client.tail = std::move(tail);
+    Rng selector_rng(selector_seed);
+    client.selector = core::Selector::random(num_bodies, num_selected, selector_rng);
+    return client;
+}
+
+/// Resolves the private client half (head, optional noise, tail, secret
+/// selector) and the effective wire format. With --bundle: loads the
+/// secret CLIENT.ens, rejects the demo-model flags as contradictions, and
+/// lets the bundle's recorded default wire format apply unless --wire was
+/// given. Without: derives the demo halves from the seeds. `count_flag`
+/// is the driver's deployment-size flag ("bodies" for remote_client,
+/// "total" for sharded_client). Also performs the unknown-flag sweep, so
+/// call it after every other flag has been consumed.
+inline serve::ClientArtifacts resolve_client_artifacts(ArgParser& args,
+                                                       const std::string& bundle_dir,
+                                                       const char* count_flag,
+                                                       std::int64_t default_count,
+                                                       std::int64_t image_size,
+                                                       bool has_wire_flag,
+                                                       split::WireFormat& wire) {
+    serve::ClientArtifacts client;
+    if (!bundle_dir.empty()) {
+        for (const std::string flag : {std::string("seed"), std::string("width"),
+                                       std::string("classes"), std::string(count_flag),
+                                       std::string("select"), std::string("selector-seed")}) {
+            if (args.has(flag)) {
+                std::fprintf(stderr,
+                             "--%s conflicts with --bundle (the bundle fixes the deployment)\n",
+                             flag.c_str());
+                std::exit(2);
+            }
+        }
+        for (const std::string& flag : args.unconsumed()) {
+            std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+            std::exit(2);
+        }
+        try {
+            client = serve::load_bundle_client(bundle_dir);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "cannot load client bundle from %s: %s\n", bundle_dir.c_str(),
+                         e.what());
+            std::exit(1);
+        }
+        if (!has_wire_flag) {
+            wire = client.default_wire_format;
+        }
+        return client;
+    }
+
+    const auto num_bodies =
+        static_cast<std::size_t>(args.get_int(count_flag, default_count));
+    const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 2000));
+    const auto num_selected = static_cast<std::size_t>(
+        args.get_int("select", static_cast<std::int64_t>(num_bodies)));
+    const std::uint64_t selector_seed =
+        static_cast<std::uint64_t>(args.get_int("selector-seed", 7));
+    nn::ResNetConfig arch;
+    arch.base_width = args.get_int("width", 4);
+    arch.image_size = image_size;
+    arch.num_classes = args.get_int("classes", 10);
+    for (const std::string& flag : args.unconsumed()) {
+        std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+        std::exit(2);
+    }
+    if (num_selected == 0 || num_selected > num_bodies) {
+        std::fprintf(stderr, "--select must be in [1, --%s]\n", count_flag);
+        std::exit(2);
+    }
+    return derive_demo_client(arch, seed, num_bodies, num_selected, selector_seed);
+}
+
+/// Prints one completed pipelined result (classes derived from the logits,
+/// so it works for any deployment). `trip_label` distinguishes the
+/// single-host round trip from the sharded fan-out in the output.
+inline void report_result(const serve::InferenceResult& result, const char* trip_label) {
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < result.logits.dim(1); ++c) {
+        if (result.logits.at(0, c) > result.logits.at(0, best)) {
+            best = c;
+        }
+    }
+    std::printf("request %llu: argmax class %lld, %s %.2f ms\n",
+                static_cast<unsigned long long>(result.request_id),
+                static_cast<long long>(best), trip_label, result.total_ms);
+}
+
+}  // namespace ens::example_client

@@ -3,12 +3,22 @@
 // selector and tail local, and ships only split-point feature maps over
 // the TcpChannel wire.
 //
+// Bundle flow (production shape — both halves restored from disk, no
+// shared seeds):
+//   ./serve_daemon --save-bundle demo_bundle --bodies 4 --select 2
+//   ./serve_daemon --port 7070 --bundle demo_bundle &
+//   ./remote_client --port 7070 --bundle demo_bundle --requests 8
+// The client reads the bundle's SECRET half (CLIENT.ens: head, optional
+// noise, tail, selector) — the daemon never does. --wire overrides the
+// bundle's recorded default format.
+//
+// Demo flow (both halves derived from --seed, standing in for a shared
+// checkpoint):
 //   ./serve_daemon --port 7070 --bodies 4 --width 4 --image 16 --seed 2000 &
 //   ./remote_client --port 7070 --bodies 4 --width 4 --image 16
 //       --seed 2000 --select 2 --wire q8 --requests 8   (one command line)
 //
-// --bodies/--width/--image/--classes/--seed must match the daemon (both
-// halves derive from the same seeds, standing in for a shared checkpoint).
+// --bodies/--width/--image/--classes/--seed must match the daemon.
 // --select P draws the secret P-of-N selector locally (--selector-seed);
 // the daemon always computes all N bodies and never learns which P the
 // tail actually used — the Ensembler privacy argument, now across a real
@@ -21,85 +31,43 @@
 #include <vector>
 
 #include "common/args.hpp"
-#include "nn/linear.hpp"
-#include "nn/resnet.hpp"
-#include "nn/sequential.hpp"
+#include "example_client.hpp"
 #include "serve/remote.hpp"
-#include "split/split_model.hpp"
 #include "split/tcp_channel.hpp"
 
-namespace {
-
 using namespace ens;
-
-/// Must stay in lockstep with serve_daemon.cpp (see its build_part).
-split::SplitModel build_part(const nn::ResNetConfig& arch, std::uint64_t seed, std::size_t k) {
-    Rng rng(seed + k);
-    return split::build_split_resnet18(arch, rng);
-}
-
-split::WireFormat parse_wire(const std::string& name) {
-    split::WireFormat format = split::WireFormat::f32;
-    if (!split::wire_format_from_name(name, format)) {
-        std::fprintf(stderr, "unknown --wire %s (want f32|q16|q8)\n", name.c_str());
-        std::exit(2);
-    }
-    return format;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
     ArgParser args(argc, argv);
     const std::string host = args.get_string("host", "127.0.0.1");
     const auto port = static_cast<std::uint16_t>(args.get_int("port", 7070));
-    const auto num_bodies = static_cast<std::size_t>(args.get_int("bodies", 4));
-    const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 2000));
-    const auto num_selected =
-        static_cast<std::size_t>(args.get_int("select", static_cast<std::int64_t>(num_bodies)));
-    const std::uint64_t selector_seed =
-        static_cast<std::uint64_t>(args.get_int("selector-seed", 7));
+    const std::string bundle_dir = args.get_string("bundle", "");
     const auto requests = static_cast<std::size_t>(args.get_int("requests", 4));
     // In-flight window (protocol v3 pipelining): 1 = lockstep like the old
     // client; >1 keeps the connection full and hides the per-request RTT.
     const auto inflight = static_cast<std::size_t>(args.get_int("inflight", 4));
-    const split::WireFormat wire = parse_wire(args.get_string("wire", "f32"));
-
-    nn::ResNetConfig arch;
-    arch.base_width = args.get_int("width", 4);
-    arch.image_size = args.get_int("image", 16);
-    arch.num_classes = args.get_int("classes", 10);
-
-    for (const std::string& flag : args.unconsumed()) {
-        std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
-        return 2;
-    }
-    if (num_selected == 0 || num_selected > num_bodies) {
-        std::fprintf(stderr, "--select must be in [1, --bodies]\n");
-        return 2;
-    }
+    // Demo-image geometry. In bundle mode it must match what the bundled
+    // head was trained for (the bundle fixes the MODEL; the input shape is
+    // a property of the data this demo fabricates).
+    const auto image_size = args.get_int("image", 16);
+    const bool has_wire_flag = args.has("wire");
+    split::WireFormat wire = example_client::parse_wire(args.get_string("wire", "f32"));
     if (inflight == 0) {
         std::fprintf(stderr, "--inflight must be >= 1\n");
         return 2;
     }
 
-    // Private client bundle: head from the k=0 build, a tail sized for the
-    // P selected feature maps, and the secret selector itself.
-    std::unique_ptr<nn::Sequential> head = std::move(build_part(arch, seed, 0).head);
-    head->set_training(false);
-    Rng tail_rng(seed ^ 0x7A11);
-    nn::Sequential tail;
-    tail.emplace<nn::Linear>(
-        static_cast<std::int64_t>(num_selected) * nn::resnet18_feature_width(arch),
-        arch.num_classes, tail_rng);
-    tail.set_training(false);
-    Rng selector_rng(selector_seed);
-    core::Selector selector = core::Selector::random(num_bodies, num_selected, selector_rng);
+    // Private client half: restored from the bundle's secret CLIENT.ens,
+    // or derived from the demo seeds (examples/example_client.hpp — shared
+    // with sharded_client so the two drivers cannot drift apart).
+    serve::ClientArtifacts client = example_client::resolve_client_artifacts(
+        args, bundle_dir, "bodies", /*default_count=*/4, image_size, has_wire_flag, wire);
 
     std::printf("remote_client: connecting to %s:%u, secret selector %s (stays local)\n",
-                host.c_str(), port, selector.to_string().c_str());
-    serve::RemoteSession session(split::tcp_connect(host, port), *head, nullptr, tail,
-                                 std::move(selector), wire, std::chrono::seconds(30), inflight);
+                host.c_str(), port, client.selector.to_string().c_str());
+    serve::RemoteSession session(split::tcp_connect(host, port), *client.head,
+                                 client.noise.get(), *client.tail, client.selector, wire,
+                                 std::chrono::seconds(30), inflight);
     session.set_recv_timeout(std::chrono::seconds(60));  // no silent wedging
     std::printf("handshake ok: host deploys %zu bodies, wire format %s, in-flight window %zu "
                 "(min of --inflight and the host's advertised cap)\n",
@@ -110,26 +78,15 @@ int main(int argc, char** argv) {
     // out of order, so report them as they complete.
     Rng data_rng(99);
     serve::FutureWindow window(session.window());
-    const auto report = [&arch](const serve::InferenceResult& result) {
-        std::int64_t best = 0;
-        for (std::int64_t c = 1; c < arch.num_classes; ++c) {
-            if (result.logits.at(0, c) > result.logits.at(0, best)) {
-                best = c;
-            }
-        }
-        std::printf("request %llu: argmax class %lld, round trip %.2f ms\n",
-                    static_cast<unsigned long long>(result.request_id),
-                    static_cast<long long>(best), result.total_ms);
-    };
     for (std::size_t r = 0; r < requests; ++r) {
         const Tensor image =
-            Tensor::uniform(Shape{1, 3, arch.image_size, arch.image_size}, data_rng, 0.0f, 1.0f);
+            Tensor::uniform(Shape{1, 3, image_size, image_size}, data_rng, 0.0f, 1.0f);
         if (const auto done = window.push(session.submit(image))) {
-            report(*done);
+            example_client::report_result(*done, "round trip");
         }
     }
     while (!window.empty()) {
-        report(window.pop());
+        example_client::report_result(window.pop(), "round trip");
     }
 
     const serve::LatencySummary latency = session.stats().latency();

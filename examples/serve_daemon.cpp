@@ -4,9 +4,29 @@
 //
 // The daemon owns ONLY bodies: the client keeps its head, split-point
 // noise, secret selector and tail private (examples/remote_client.cpp and
-// examples/sharded_client.cpp are the matching clients). Both sides derive
-// their halves of the deployment deterministically from --seed, standing in
-// for a shared checkpoint.
+// examples/sharded_client.cpp are the matching clients).
+//
+// Two ways to get a deployment into the process:
+//
+//   --bundle <dir>   PRODUCTION SHAPE: boot purely from an on-disk
+//     deployment bundle (serve/bundle.hpp) — arch specs + save_state
+//     checkpoints; no trainer, no shared-seed discipline in the daemon.
+//     Only MANIFEST.ens and this shard's body_*.ckpt files are read; the
+//     secret CLIENT.ens (selector!) is never touched and need not even be
+//     present on a server machine. Mutually exclusive with the demo-model
+//     flags below.
+//       ./serve_daemon --save-bundle demo_bundle --bodies 4 --seed 2000
+//       ./serve_daemon --port 7070 --bundle demo_bundle
+//     One shard of a multiparty layout hosts a slice of the bundle:
+//       ./serve_daemon --port 7070 --bundle demo_bundle --bodies 0..2 &
+//       ./serve_daemon --port 7071 --bundle demo_bundle --bodies 2..4 &
+//
+//   demo model (no --bundle): both sides derive their halves of a split
+//     ResNet-18 deterministically from --seed, standing in for a shared
+//     checkpoint. --save-bundle <dir> writes that demo deployment (bodies
+//     + client half + a --select/--selector-seed secret selector) as a
+//     bundle and exits, which is how the bundle examples above get their
+//     input.
 //
 // Whole deployment (single host, RemoteSession client):
 //   ./serve_daemon --port 7070 --bodies 4 --width 4 --image 16 --seed 2000
@@ -25,24 +45,24 @@
 // an ephemeral port and prints it, which is how the CI smoke run uses it.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "common/args.hpp"
-#include "nn/resnet.hpp"
+#include "core/selector.hpp"
+#include "example_client.hpp"
+#include "serve/bundle.hpp"
 #include "serve/remote.hpp"
-#include "split/split_model.hpp"
 #include "split/tcp_channel.hpp"
 
 namespace {
 
 using namespace ens;
 
-/// Body k of the deployment. Must stay in lockstep with remote_client.cpp
-/// and sharded_client.cpp: body k comes from the split ResNet-18 built with
-/// Rng(seed + k), and the k = 0 build also yields the client's head.
+/// Body k of the deployment — the shared demo derivation
+/// (examples/example_client.hpp), so daemon and clients cannot drift.
 split::SplitModel build_part(const nn::ResNetConfig& arch, std::uint64_t seed, std::size_t k) {
-    Rng rng(seed + k);
-    return split::build_split_resnet18(arch, rng);
+    return example_client::build_part(arch, seed, k);
 }
 
 /// Parses --bodies: a plain count "n" means the whole deployment [0, n);
@@ -75,19 +95,116 @@ bool parse_bodies(const std::string& spec, std::size_t& begin, std::size_t& end)
     }
 }
 
+/// Builds the demo deployment (all bodies + the shared demo client half,
+/// example_client::derive_demo_client — the same derivation the clients
+/// use in demo mode) and writes it as a bundle.
+int write_demo_bundle(const std::string& dir, const nn::ResNetConfig& arch,
+                      std::uint64_t seed, std::size_t num_bodies, std::size_t num_selected,
+                      std::uint64_t selector_seed, std::size_t max_inflight) {
+    std::vector<nn::LayerPtr> bodies;
+    for (std::size_t k = 0; k < num_bodies; ++k) {
+        bodies.push_back(std::move(build_part(arch, seed, k).body));
+    }
+    serve::ClientArtifacts client = example_client::derive_demo_client(
+        arch, seed, num_bodies, num_selected, selector_seed);
+
+    serve::BundleArtifacts artifacts;
+    for (nn::LayerPtr& body : bodies) {
+        body->set_training(false);
+        artifacts.bodies.push_back(body.get());
+    }
+    artifacts.head = client.head.get();
+    artifacts.tail = client.tail.get();
+    artifacts.selector = &client.selector;
+    artifacts.max_inflight = max_inflight;
+    serve::save_bundle(dir, artifacts);
+    std::printf("serve_daemon: wrote deployment bundle (%zu bodies, secret selector %s) to %s\n",
+                artifacts.bodies.size(), client.selector.to_string().c_str(), dir.c_str());
+    std::printf("ship MANIFEST.ens + body_*.ckpt to the server(s); CLIENT.ens stays with the "
+                "client — it holds the selector.\n");
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     ArgParser args(argc, argv);
     const auto port = static_cast<std::uint16_t>(args.get_int("port", 7070));
     const std::string host = args.get_string("host", "127.0.0.1");
-    const std::string bodies_spec = args.get_string("bodies", "4");
-    const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 2000));
+    const std::string bundle_dir = args.get_string("bundle", "");
+    const std::string save_bundle_dir = args.get_string("save-bundle", "");
+    const bool has_inflight_flag = args.has("max-inflight");
     // Per-connection pipelining window (protocol v3): how many tagged
     // requests one connection processes concurrently. Advertised in the
-    // handshake; clients window against min(their cap, this).
+    // handshake; clients window against min(their cap, this). With
+    // --bundle, the bundle's suggested window applies unless overridden.
     const auto max_inflight = static_cast<std::size_t>(
         args.get_int("max-inflight", static_cast<std::int64_t>(serve::kDefaultMaxInflight)));
+    if ((max_inflight == 0 || max_inflight > serve::kMaxAdvertisedInflight) &&
+        has_inflight_flag) {
+        std::fprintf(stderr, "--max-inflight must be in [1, %u]\n",
+                     serve::kMaxAdvertisedInflight);
+        return 2;
+    }
+
+    if (!bundle_dir.empty()) {
+        // Bundle mode: the deployment is fixed by the bundle — every
+        // demo-model flag is a contradiction, not a default to ignore.
+        for (const char* flag :
+             {"seed", "width", "image", "classes", "total", "save-bundle", "select",
+              "selector-seed"}) {
+            if (args.has(flag)) {
+                std::fprintf(stderr,
+                             "--%s conflicts with --bundle (the bundle fixes the deployment)\n",
+                             flag);
+                return 2;
+            }
+        }
+        const std::string bodies_spec = args.get_string("bodies", "");
+        for (const std::string& flag : args.unconsumed()) {
+            std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+            return 2;
+        }
+
+        std::unique_ptr<serve::BodyHost> bodyhost;
+        try {
+            std::size_t begin = 0;
+            std::size_t count = static_cast<std::size_t>(-1);
+            if (!bodies_spec.empty()) {
+                std::size_t end = 0;
+                if (!parse_bodies(bodies_spec, begin, end)) {
+                    std::fprintf(stderr,
+                                 "bad --bodies %s (want a count \"n\" or a range \"i..j\")\n",
+                                 bodies_spec.c_str());
+                    return 2;
+                }
+                count = end - begin;
+            }
+            bodyhost = serve::BodyHost::from_bundle(bundle_dir, begin, count);
+            if (has_inflight_flag) {
+                bodyhost->set_max_inflight(max_inflight);
+            }
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "cannot boot from bundle %s: %s\n", bundle_dir.c_str(),
+                         e.what());
+            return 1;
+        }
+
+        split::ChannelListener listener(port, host);
+        const serve::HostInfo info = bodyhost->host_info();
+        std::printf("serve_daemon: hosting %s from bundle %s on %s:%u, pipelining up to %zu "
+                    "in-flight requests per connection\n",
+                    info.to_string().c_str(), bundle_dir.c_str(), host.c_str(),
+                    listener.port(), bodyhost->max_inflight());
+        std::printf("no trainer ran in this process, and the bundle's CLIENT.ens (the secret "
+                    "selector) was never read. Ctrl-C to stop.\n");
+        std::fflush(stdout);
+        bodyhost->serve_forever(listener);
+        return 0;
+    }
+
+    const std::string bodies_spec = args.get_string("bodies", "4");
+    const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 2000));
 
     std::size_t body_begin = 0;
     std::size_t body_end = 0;
@@ -104,6 +221,17 @@ int main(int argc, char** argv) {
     arch.image_size = args.get_int("image", 16);
     arch.num_classes = args.get_int("classes", 10);
 
+    // The selector flags belong to --save-bundle only; in serve mode they
+    // stay unconsumed and are rejected below (a serving daemon must never
+    // be handed the secret selection).
+    std::size_t num_selected = body_end - body_begin;
+    std::uint64_t selector_seed = 7;
+    if (!save_bundle_dir.empty()) {
+        num_selected = static_cast<std::size_t>(
+            args.get_int("select", static_cast<std::int64_t>(body_end - body_begin)));
+        selector_seed = static_cast<std::uint64_t>(args.get_int("selector-seed", 7));
+    }
+
     for (const std::string& flag : args.unconsumed()) {
         std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
         return 2;
@@ -116,6 +244,27 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--max-inflight must be in [1, %u]\n",
                      serve::kMaxAdvertisedInflight);
         return 2;
+    }
+
+    if (!save_bundle_dir.empty()) {
+        if (body_begin != 0 || body_end != total) {
+            std::fprintf(stderr,
+                         "--save-bundle writes the WHOLE deployment; use a plain --bodies "
+                         "count, not a shard range\n");
+            return 2;
+        }
+        if (num_selected == 0 || num_selected > body_end) {
+            std::fprintf(stderr, "--select must be in [1, --bodies]\n");
+            return 2;
+        }
+        try {
+            return write_demo_bundle(save_bundle_dir, arch, seed, body_end, num_selected,
+                                     selector_seed, max_inflight);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "cannot write bundle %s: %s\n", save_bundle_dir.c_str(),
+                         e.what());
+            return 1;
+        }
     }
 
     std::vector<nn::LayerPtr> bodies;

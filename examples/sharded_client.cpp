@@ -5,15 +5,25 @@
 // split-point features out to all shards concurrently and merges the
 // returned feature maps in global body order.
 //
+// Bundle flow (production shape — every process restores from disk, no
+// shared seeds; only the client reads the secret CLIENT.ens):
+//   ./serve_daemon --save-bundle demo_bundle --bodies 6 --select 2
+//   ./serve_daemon --port 7070 --bundle demo_bundle --bodies 0..2 &
+//   ./serve_daemon --port 7071 --bundle demo_bundle --bodies 2..4 &
+//   ./serve_daemon --port 7072 --bundle demo_bundle --bodies 4..6 &
+//   ./sharded_client --shards 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072
+//       --bundle demo_bundle --requests 8    (one command line)
+//
+// Demo flow (both halves derived from the same seeds, standing in for a
+// shared checkpoint):
 //   ./serve_daemon --port 7070 --bodies 0..2 --total 6 --seed 2000 &
 //   ./serve_daemon --port 7071 --bodies 2..4 --total 6 --seed 2000 &
 //   ./serve_daemon --port 7072 --bodies 4..6 --total 6 --seed 2000 &
 //   ./sharded_client --shards 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072
 //       --total 6 --select 2 --wire q8 --requests 8    (one command line)
 //
-// --total/--width/--image/--classes/--seed must match the daemons (both
-// halves derive from the same seeds, standing in for a shared checkpoint);
-// the body slices come from each daemon's handshake, and the router refuses
+// --total/--width/--image/--classes/--seed must match the daemons; the
+// body slices come from each daemon's handshake, and the router refuses
 // to start unless they tile [0, N) exactly. No daemon ever learns which P
 // bodies the secret selector actually uses — and unlike the single-host
 // deployment, no daemon even HOLDS all N bodies, so a lone adversarial
@@ -28,31 +38,13 @@
 #include <vector>
 
 #include "common/args.hpp"
-#include "nn/linear.hpp"
-#include "nn/resnet.hpp"
-#include "nn/sequential.hpp"
+#include "example_client.hpp"
 #include "serve/shard_router.hpp"
-#include "split/split_model.hpp"
 #include "split/tcp_channel.hpp"
 
 namespace {
 
 using namespace ens;
-
-/// Must stay in lockstep with serve_daemon.cpp (see its build_part).
-split::SplitModel build_part(const nn::ResNetConfig& arch, std::uint64_t seed, std::size_t k) {
-    Rng rng(seed + k);
-    return split::build_split_resnet18(arch, rng);
-}
-
-split::WireFormat parse_wire(const std::string& name) {
-    split::WireFormat format = split::WireFormat::f32;
-    if (!split::wire_format_from_name(name, format)) {
-        std::fprintf(stderr, "unknown --wire %s (want f32|q16|q8)\n", name.c_str());
-        std::exit(2);
-    }
-    return format;
-}
 
 struct Endpoint {
     std::string host;
@@ -101,59 +93,39 @@ int main(int argc, char** argv) {
     ArgParser args(argc, argv);
     const std::string shards_spec =
         args.get_string("shards", "127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072");
-    const auto total_bodies = static_cast<std::size_t>(args.get_int("total", 6));
-    const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 2000));
-    const auto num_selected = static_cast<std::size_t>(
-        args.get_int("select", static_cast<std::int64_t>(total_bodies)));
-    const std::uint64_t selector_seed =
-        static_cast<std::uint64_t>(args.get_int("selector-seed", 7));
+    const std::string bundle_dir = args.get_string("bundle", "");
     const auto requests = static_cast<std::size_t>(args.get_int("requests", 4));
     // In-flight window (protocol v3 pipelining): 1 = lockstep like the old
     // client; >1 keeps every shard connection full across requests.
     const auto inflight = static_cast<std::size_t>(args.get_int("inflight", 4));
-    const split::WireFormat wire = parse_wire(args.get_string("wire", "f32"));
-
-    nn::ResNetConfig arch;
-    arch.base_width = args.get_int("width", 4);
-    arch.image_size = args.get_int("image", 16);
-    arch.num_classes = args.get_int("classes", 10);
-
-    for (const std::string& flag : args.unconsumed()) {
-        std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
-        return 2;
-    }
-    if (num_selected == 0 || num_selected > total_bodies) {
-        std::fprintf(stderr, "--select must be in [1, --total]\n");
-        return 2;
-    }
+    // Demo-image geometry. In bundle mode it must match what the bundled
+    // head was trained for (the bundle fixes the MODEL; the input shape is
+    // a property of the data this demo fabricates).
+    const auto image_size = args.get_int("image", 16);
+    const bool has_wire_flag = args.has("wire");
+    split::WireFormat wire = example_client::parse_wire(args.get_string("wire", "f32"));
     if (inflight == 0) {
         std::fprintf(stderr, "--inflight must be >= 1\n");
         return 2;
     }
+
+    // Private client half: restored from the bundle's secret CLIENT.ens,
+    // or derived from the demo seeds (examples/example_client.hpp — shared
+    // with remote_client so the two drivers cannot drift apart).
+    serve::ClientArtifacts client = example_client::resolve_client_artifacts(
+        args, bundle_dir, "total", /*default_count=*/6, image_size, has_wire_flag, wire);
     const std::vector<Endpoint> endpoints = parse_shards(shards_spec);
 
-    // Private client bundle: head from the k=0 build, a tail sized for the
-    // P selected feature maps, and the secret selector itself.
-    std::unique_ptr<nn::Sequential> head = std::move(build_part(arch, seed, 0).head);
-    head->set_training(false);
-    Rng tail_rng(seed ^ 0x7A11);
-    nn::Sequential tail;
-    tail.emplace<nn::Linear>(
-        static_cast<std::int64_t>(num_selected) * nn::resnet18_feature_width(arch),
-        arch.num_classes, tail_rng);
-    tail.set_training(false);
-    Rng selector_rng(selector_seed);
-    core::Selector selector = core::Selector::random(total_bodies, num_selected, selector_rng);
-
     std::printf("sharded_client: %zu shards, secret selector %s (stays local)\n",
-                endpoints.size(), selector.to_string().c_str());
+                endpoints.size(), client.selector.to_string().c_str());
     std::vector<std::unique_ptr<split::Channel>> channels;
     channels.reserve(endpoints.size());
     for (const Endpoint& endpoint : endpoints) {
         channels.push_back(split::tcp_connect(endpoint.host, endpoint.port));
     }
-    serve::ShardRouter router(std::move(channels), *head, nullptr, tail, std::move(selector),
-                              wire, std::chrono::seconds(30), inflight);
+    serve::ShardRouter router(std::move(channels), *client.head, client.noise.get(),
+                              *client.tail, client.selector, wire, std::chrono::seconds(30),
+                              inflight);
     router.set_recv_timeout(std::chrono::seconds(60));  // no silent wedging
 
     std::printf("handshakes ok: %zu bodies tiled over %zu shards, wire format %s, in-flight "
@@ -171,26 +143,15 @@ int main(int argc, char** argv) {
     // all shards; futures may resolve out of order.
     Rng data_rng(99);
     serve::FutureWindow window(router.window());
-    const auto report = [&arch](const serve::InferenceResult& result) {
-        std::int64_t best = 0;
-        for (std::int64_t c = 1; c < arch.num_classes; ++c) {
-            if (result.logits.at(0, c) > result.logits.at(0, best)) {
-                best = c;
-            }
-        }
-        std::printf("request %llu: argmax class %lld, fan-out round trip %.2f ms\n",
-                    static_cast<unsigned long long>(result.request_id),
-                    static_cast<long long>(best), result.total_ms);
-    };
     for (std::size_t r = 0; r < requests; ++r) {
         const Tensor image =
-            Tensor::uniform(Shape{1, 3, arch.image_size, arch.image_size}, data_rng, 0.0f, 1.0f);
+            Tensor::uniform(Shape{1, 3, image_size, image_size}, data_rng, 0.0f, 1.0f);
         if (const auto done = window.push(router.submit(image))) {
-            report(*done);
+            example_client::report_result(*done, "fan-out round trip");
         }
     }
     while (!window.empty()) {
-        report(window.pop());
+        example_client::report_result(window.pop(), "fan-out round trip");
     }
 
     const serve::LatencySummary latency = router.stats().latency();

@@ -32,6 +32,10 @@ enum class ErrorCode : std::uint8_t {
     protocol_error = 5,   // malformed/incompatible peer bytes: bad handshake
                           // magic or version, truncated or corrupt frame,
                           // inconsistent shard body ranges
+    checkpoint_error = 6,  // unloadable checkpoint/bundle file: bad magic or
+                           // version, truncated stream, name/shape/count
+                           // mismatch against the target model (messages
+                           // name the offending file)
 };
 
 /// "channel_closed" etc., for logs and test diagnostics.
@@ -43,6 +47,7 @@ inline const char* error_code_name(ErrorCode code) {
         case ErrorCode::io_error: return "io_error";
         case ErrorCode::overloaded: return "overloaded";
         case ErrorCode::protocol_error: return "protocol_error";
+        case ErrorCode::checkpoint_error: return "checkpoint_error";
     }
     return "?";
 }

@@ -116,4 +116,26 @@ std::vector<std::int64_t> BinaryReader::read_i64_vector() {
     return v;
 }
 
+std::string BinaryReader::read_string_bounded(std::size_t max_size) {
+    const std::uint32_t size = read_u32();
+    ENS_CHECK(size <= max_size, "stored string length " + std::to_string(size) +
+                                    " exceeds bound " + std::to_string(max_size));
+    std::string s(size, '\0');
+    if (size > 0) {
+        read_raw(s.data(), size);
+    }
+    return s;
+}
+
+std::vector<std::int64_t> BinaryReader::read_i64_vector_bounded(std::size_t max_count) {
+    const std::uint64_t size = read_u64();
+    ENS_CHECK(size <= max_count, "stored vector length " + std::to_string(size) +
+                                     " exceeds bound " + std::to_string(max_count));
+    std::vector<std::int64_t> v(static_cast<std::size_t>(size));
+    if (size > 0) {
+        read_raw(v.data(), static_cast<std::size_t>(size) * sizeof(std::int64_t));
+    }
+    return v;
+}
+
 }  // namespace ens

@@ -50,6 +50,13 @@ public:
     void read_f32_array(float* data, std::size_t count);
     std::vector<std::int64_t> read_i64_vector();
 
+    // Hostile-input variants: the stored count is validated against `max`
+    // BEFORE any allocation, so a corrupted or adversarial length prefix
+    // fails with a clear message instead of a multi-gigabyte reserve.
+    // Used by checkpoint/bundle loaders, which read untrusted files.
+    std::string read_string_bounded(std::size_t max_size);
+    std::vector<std::int64_t> read_i64_vector_bounded(std::size_t max_count);
+
 private:
     void read_raw(void* data, std::size_t size);
 

@@ -1,0 +1,38 @@
+#pragma once
+// Shared error-typing helpers for loaders that treat on-disk bytes as
+// UNTRUSTED input (nn/checkpoint, nn/arch, serve/bundle). The convention
+// they enforce, in one place so it cannot drift per file: every failure
+// surfaces as ens::Error{checkpoint_error} whose message leads with the
+// context (the offending file path, for file-backed loads), and stray
+// low-level exceptions (BinaryReader truncation, stream faults) are
+// re-typed rather than leaking raw.
+
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ens {
+
+/// Throws a typed checkpoint_error reading "context: msg".
+[[noreturn]] inline void checkpoint_fail(const std::string& context, const std::string& msg) {
+    throw Error(ErrorCode::checkpoint_error, context + ": " + msg);
+}
+
+/// Runs `body`, passing typed ens::Errors through and converting anything
+/// else into checkpoint_fail(context, "<label>: <what>") — `label` names
+/// the artifact kind ("truncated or corrupt checkpoint" / "... bundle
+/// file" / "... arch spec").
+template <typename Body>
+auto with_checkpoint_typing(const std::string& context, const char* label, Body&& body)
+    -> decltype(body()) {
+    try {
+        return std::forward<Body>(body)();
+    } catch (const Error&) {
+        throw;
+    } catch (const std::exception& e) {
+        checkpoint_fail(context, std::string(label) + ": " + e.what());
+    }
+}
+
+}  // namespace ens

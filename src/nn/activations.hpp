@@ -25,6 +25,8 @@ public:
     Tensor backward(const Tensor& grad_output) override;
     std::string name() const override;
 
+    float slope() const { return slope_; }
+
 private:
     float slope_;
     Tensor cached_input_;

@@ -1,0 +1,342 @@
+#include "nn/arch.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "common/typed_error.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dropout.hpp"
+#include "nn/flatten.hpp"
+#include "nn/linear.hpp"
+#include "nn/noise.hpp"
+#include "nn/pooling.hpp"
+#include "nn/resblock.hpp"
+#include "nn/sequential.hpp"
+
+namespace ens::nn {
+
+namespace {
+
+// Geometry layouts (documented once, enforced by both codec directions):
+//   Sequential       children only
+//   Linear           ints = [in_features, out_features, with_bias]
+//   Conv2d           ints = [in_ch, out_ch, kernel, stride, padding, with_bias]
+//   BatchNorm2d      ints = [channels], floats = [eps, momentum]
+//   BasicBlock       ints = [in_ch, out_ch, stride]
+//   LeakyReLU        floats = [negative_slope]
+//   MaxPool2d        ints = [kernel, stride]
+//   UpsampleNearest2d ints = [factor]
+//   Reshape          ints = per-sample dims
+//   FixedNoise       ints = [trainable, mask dims...], floats = [stddev]
+//   Dropout          ints = [active_in_eval], floats = [p]
+//   ReLU / Sigmoid / Tanh / GlobalAvgPool / Flatten   no geometry
+
+// Decode bounds: a hostile bundle must never drive an allocation. Specs
+// describe hand-built networks, so the ceilings are generous, not tight.
+constexpr std::size_t kMaxTypeLength = 64;
+constexpr std::size_t kMaxInts = 64;
+constexpr std::size_t kMaxFloats = 16;
+constexpr std::size_t kMaxChildren = 4096;
+constexpr std::size_t kMaxDepth = 64;
+
+// Weight init of rebuilt layers is throwaway — the checkpoint that ships
+// with every spec overwrites it — but the constructors need an Rng.
+constexpr std::uint64_t kRebuildSeed = 0x524553544F5245ULL;  // "RESTORE"
+
+[[noreturn]] void fail(const std::string& context, const std::string& msg) {
+    checkpoint_fail(context, msg);
+}
+
+void require_geometry(bool ok, const std::string& context, const ArchSpec& spec) {
+    if (!ok) {
+        fail(context, "malformed geometry for layer type \"" + spec.type + "\"");
+    }
+}
+
+LayerPtr build_node(const ArchSpec& spec, const std::string& context, std::size_t depth,
+                    Rng& rng);
+
+LayerPtr build_known(const ArchSpec& spec, const std::string& context, std::size_t depth,
+                     Rng& rng) {
+    const auto& ints = spec.ints;
+    const auto& floats = spec.floats;
+    if (spec.type == "Sequential") {
+        require_geometry(ints.empty() && floats.empty(), context, spec);
+        auto seq = std::make_unique<Sequential>();
+        for (const ArchSpec& child : spec.children) {
+            seq->push_back(build_node(child, context, depth + 1, rng));
+        }
+        return seq;
+    }
+    // Leaf types below never carry children.
+    require_geometry(spec.children.empty(), context, spec);
+    if (spec.type == "Linear") {
+        require_geometry(ints.size() == 3 && floats.empty(), context, spec);
+        return std::make_unique<Linear>(ints[0], ints[1], rng, ints[2] != 0);
+    }
+    if (spec.type == "Conv2d") {
+        require_geometry(ints.size() == 6 && floats.empty(), context, spec);
+        return std::make_unique<Conv2d>(ints[0], ints[1], ints[2], ints[3], ints[4], rng,
+                                        ints[5] != 0);
+    }
+    if (spec.type == "BatchNorm2d") {
+        require_geometry(ints.size() == 1 && floats.size() == 2, context, spec);
+        return std::make_unique<BatchNorm2d>(ints[0], floats[0], floats[1]);
+    }
+    if (spec.type == "BasicBlock") {
+        require_geometry(ints.size() == 3 && floats.empty(), context, spec);
+        return std::make_unique<BasicBlock>(ints[0], ints[1], ints[2], rng);
+    }
+    if (spec.type == "ReLU") {
+        require_geometry(ints.empty() && floats.empty(), context, spec);
+        return std::make_unique<ReLU>();
+    }
+    if (spec.type == "LeakyReLU") {
+        require_geometry(ints.empty() && floats.size() == 1, context, spec);
+        return std::make_unique<LeakyReLU>(floats[0]);
+    }
+    if (spec.type == "Sigmoid") {
+        require_geometry(ints.empty() && floats.empty(), context, spec);
+        return std::make_unique<Sigmoid>();
+    }
+    if (spec.type == "Tanh") {
+        require_geometry(ints.empty() && floats.empty(), context, spec);
+        return std::make_unique<Tanh>();
+    }
+    if (spec.type == "MaxPool2d") {
+        require_geometry(ints.size() == 2 && floats.empty(), context, spec);
+        return std::make_unique<MaxPool2d>(ints[0], ints[1]);
+    }
+    if (spec.type == "GlobalAvgPool") {
+        require_geometry(ints.empty() && floats.empty(), context, spec);
+        return std::make_unique<GlobalAvgPool>();
+    }
+    if (spec.type == "UpsampleNearest2d") {
+        require_geometry(ints.size() == 1 && floats.empty(), context, spec);
+        return std::make_unique<UpsampleNearest2d>(ints[0]);
+    }
+    if (spec.type == "Flatten") {
+        require_geometry(ints.empty() && floats.empty(), context, spec);
+        return std::make_unique<Flatten>();
+    }
+    if (spec.type == "Reshape") {
+        require_geometry(!ints.empty() && floats.empty(), context, spec);
+        return std::make_unique<Reshape>(Shape{ints});
+    }
+    if (spec.type == "FixedNoise") {
+        require_geometry(ints.size() >= 2 && floats.size() == 1, context, spec);
+        const std::vector<std::int64_t> dims(ints.begin() + 1, ints.end());
+        return std::make_unique<FixedNoise>(Shape{dims}, floats[0], rng, ints[0] != 0);
+    }
+    if (spec.type == "Dropout") {
+        require_geometry(ints.size() == 1 && floats.size() == 1, context, spec);
+        // The live layer's rng stream position is not capturable; a rebuilt
+        // active-in-eval Dropout is stochastic at inference regardless.
+        return std::make_unique<Dropout>(floats[0], rng.fork_named("dropout"), ints[0] != 0);
+    }
+    fail(context, "unknown layer type \"" + spec.type + "\" in arch spec");
+}
+
+LayerPtr build_node(const ArchSpec& spec, const std::string& context, std::size_t depth,
+                    Rng& rng) {
+    if (depth > kMaxDepth) {
+        fail(context, "arch spec nests deeper than " + std::to_string(kMaxDepth));
+    }
+    try {
+        return build_known(spec, context, depth, rng);
+    } catch (const Error&) {
+        throw;
+    } catch (const std::exception& e) {
+        // A constructor precondition (negative channel count, bad kernel)
+        // on corrupted geometry: surface it typed, naming the source.
+        fail(context, "cannot rebuild \"" + spec.type + "\": " + e.what());
+    }
+}
+
+ArchSpec decode_node(BinaryReader& reader, const std::string& context, std::size_t depth) {
+    if (depth > kMaxDepth) {
+        fail(context, "arch spec nests deeper than " + std::to_string(kMaxDepth));
+    }
+    ArchSpec spec;
+    spec.type = reader.read_string_bounded(kMaxTypeLength);
+    const std::uint32_t num_ints = reader.read_u32();
+    if (num_ints > kMaxInts) {
+        fail(context, "arch spec int count " + std::to_string(num_ints) + " exceeds bound " +
+                          std::to_string(kMaxInts));
+    }
+    spec.ints.reserve(num_ints);
+    for (std::uint32_t i = 0; i < num_ints; ++i) {
+        spec.ints.push_back(reader.read_i64());
+    }
+    const std::uint32_t num_floats = reader.read_u32();
+    if (num_floats > kMaxFloats) {
+        fail(context, "arch spec float count " + std::to_string(num_floats) +
+                          " exceeds bound " + std::to_string(kMaxFloats));
+    }
+    spec.floats.reserve(num_floats);
+    for (std::uint32_t i = 0; i < num_floats; ++i) {
+        spec.floats.push_back(reader.read_f32());
+    }
+    const std::uint32_t num_children = reader.read_u32();
+    if (num_children > kMaxChildren) {
+        fail(context, "arch spec child count " + std::to_string(num_children) +
+                          " exceeds bound " + std::to_string(kMaxChildren));
+    }
+    spec.children.reserve(num_children);
+    for (std::uint32_t i = 0; i < num_children; ++i) {
+        spec.children.push_back(decode_node(reader, context, depth + 1));
+    }
+    return spec;
+}
+
+}  // namespace
+
+std::string ArchSpec::to_string() const {
+    std::ostringstream oss;
+    oss << type;
+    if (!ints.empty() || !floats.empty()) {
+        oss << '(';
+        for (std::size_t i = 0; i < ints.size(); ++i) {
+            oss << (i > 0 ? "," : "") << ints[i];
+        }
+        for (std::size_t i = 0; i < floats.size(); ++i) {
+            oss << (!ints.empty() || i > 0 ? "," : "") << floats[i];
+        }
+        oss << ')';
+    }
+    if (!children.empty()) {
+        oss << '[';
+        for (std::size_t i = 0; i < children.size(); ++i) {
+            oss << (i > 0 ? ", " : "") << children[i].to_string();
+        }
+        oss << ']';
+    }
+    return oss.str();
+}
+
+ArchSpec describe_layer(const Layer& layer) {
+    ArchSpec spec;
+    if (const auto* seq = dynamic_cast<const Sequential*>(&layer)) {
+        spec.type = "Sequential";
+        spec.children.reserve(seq->size());
+        for (std::size_t i = 0; i < seq->size(); ++i) {
+            spec.children.push_back(describe_layer(seq->layer(i)));
+        }
+        return spec;
+    }
+    if (const auto* linear = dynamic_cast<const Linear*>(&layer)) {
+        spec.type = "Linear";
+        spec.ints = {linear->in_features(), linear->out_features(),
+                     linear->has_bias() ? 1 : 0};
+        return spec;
+    }
+    if (const auto* conv = dynamic_cast<const Conv2d*>(&layer)) {
+        spec.type = "Conv2d";
+        spec.ints = {conv->in_channels(), conv->out_channels(), conv->kernel(), conv->stride(),
+                     conv->padding(), conv->has_bias() ? 1 : 0};
+        return spec;
+    }
+    if (const auto* bn = dynamic_cast<const BatchNorm2d*>(&layer)) {
+        spec.type = "BatchNorm2d";
+        spec.ints = {bn->channels()};
+        spec.floats = {bn->eps(), bn->momentum()};
+        return spec;
+    }
+    if (const auto* block = dynamic_cast<const BasicBlock*>(&layer)) {
+        spec.type = "BasicBlock";
+        spec.ints = {block->conv1().in_channels(), block->conv1().out_channels(),
+                     block->conv1().stride()};
+        return spec;
+    }
+    if (dynamic_cast<const ReLU*>(&layer) != nullptr) {
+        spec.type = "ReLU";
+        return spec;
+    }
+    if (const auto* leaky = dynamic_cast<const LeakyReLU*>(&layer)) {
+        spec.type = "LeakyReLU";
+        spec.floats = {leaky->slope()};
+        return spec;
+    }
+    if (dynamic_cast<const Sigmoid*>(&layer) != nullptr) {
+        spec.type = "Sigmoid";
+        return spec;
+    }
+    if (dynamic_cast<const Tanh*>(&layer) != nullptr) {
+        spec.type = "Tanh";
+        return spec;
+    }
+    if (const auto* pool = dynamic_cast<const MaxPool2d*>(&layer)) {
+        spec.type = "MaxPool2d";
+        spec.ints = {pool->kernel(), pool->stride()};
+        return spec;
+    }
+    if (dynamic_cast<const GlobalAvgPool*>(&layer) != nullptr) {
+        spec.type = "GlobalAvgPool";
+        return spec;
+    }
+    if (const auto* upsample = dynamic_cast<const UpsampleNearest2d*>(&layer)) {
+        spec.type = "UpsampleNearest2d";
+        spec.ints = {upsample->factor()};
+        return spec;
+    }
+    if (dynamic_cast<const Flatten*>(&layer) != nullptr) {
+        spec.type = "Flatten";
+        return spec;
+    }
+    if (const auto* reshape = dynamic_cast<const Reshape*>(&layer)) {
+        spec.type = "Reshape";
+        spec.ints = reshape->per_sample().dims();
+        return spec;
+    }
+    if (const auto* noise = dynamic_cast<const FixedNoise*>(&layer)) {
+        spec.type = "FixedNoise";
+        spec.ints.push_back(noise->trainable() ? 1 : 0);
+        for (const std::int64_t dim : noise->mask().shape().dims()) {
+            spec.ints.push_back(dim);
+        }
+        spec.floats = {noise->stddev()};
+        return spec;
+    }
+    if (const auto* dropout = dynamic_cast<const Dropout*>(&layer)) {
+        spec.type = "Dropout";
+        spec.ints = {dropout->active_in_eval() ? 1 : 0};
+        spec.floats = {dropout->drop_probability()};
+        return spec;
+    }
+    throw std::invalid_argument("describe_layer: no arch-spec codec for layer type \"" +
+                                layer.name() + "\"");
+}
+
+LayerPtr build_layer(const ArchSpec& spec, const std::string& context) {
+    Rng rng(kRebuildSeed);
+    return build_node(spec, context, 0, rng);
+}
+
+void encode_spec(const ArchSpec& spec, std::ostream& out) {
+    BinaryWriter writer(out);
+    writer.write_string(spec.type);
+    writer.write_u32(static_cast<std::uint32_t>(spec.ints.size()));
+    for (const std::int64_t v : spec.ints) {
+        writer.write_i64(v);
+    }
+    writer.write_u32(static_cast<std::uint32_t>(spec.floats.size()));
+    for (const float v : spec.floats) {
+        writer.write_f32(v);
+    }
+    writer.write_u32(static_cast<std::uint32_t>(spec.children.size()));
+    for (const ArchSpec& child : spec.children) {
+        encode_spec(child, out);
+    }
+}
+
+ArchSpec decode_spec(std::istream& in, const std::string& context) {
+    BinaryReader reader(in);
+    return with_checkpoint_typing(context, "truncated or corrupt arch spec",
+                                  [&] { return decode_node(reader, context, 0); });
+}
+
+}  // namespace ens::nn

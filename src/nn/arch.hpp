@@ -1,0 +1,72 @@
+#pragma once
+// Serializable architecture specs: the construction recipe of a layer tree,
+// separated from its weights.
+//
+// Checkpoints (nn/checkpoint.hpp) restore state INTO an identically
+// structured layer — they deliberately carry no topology, so a fresh
+// process must first rebuild the structure before it can load one. ArchSpec
+// closes that gap for deployment bundles (serve/bundle.hpp): describe() a
+// live layer into a small tree of (type, geometry) nodes, serialize the
+// tree next to the save_state payload, and build() an identical untrained
+// layer on the other side, ready for load_state. A daemon restored this
+// way never needs the trainer (or its seeds) in the process.
+//
+// Covered types: every concrete Layer of this repository (Sequential,
+// Linear, Conv2d, BatchNorm2d, BasicBlock, the activations, pooling,
+// Flatten/Reshape, FixedNoise, Dropout). Weight-bearing layers are built
+// with a fixed throwaway Rng — their values are ALWAYS overwritten by the
+// checkpoint that accompanies the spec. Two caveats hold for Dropout: its
+// rng stream position cannot be captured, so a rebuilt active-in-eval
+// Dropout draws a fresh (deterministic) stream — such a layer is stochastic
+// at inference anyway, so no restart-parity claim is possible for it.
+//
+// Loading is hostile-input hardened: decode_spec bounds every count before
+// allocating and surfaces typed ens::Error{checkpoint_error}, so a
+// truncated or corrupted bundle fails loudly instead of OOMing or
+// mis-building.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace ens::nn {
+
+/// One node of the recipe tree. `type` names the layer class; `ints` and
+/// `floats` carry its constructor geometry (per-type layout documented in
+/// arch.cpp next to each codec); `children` nest for containers.
+struct ArchSpec {
+    std::string type;
+    std::vector<std::int64_t> ints;
+    std::vector<float> floats;
+    std::vector<ArchSpec> children;
+
+    bool operator==(const ArchSpec& other) const {
+        return type == other.type && ints == other.ints && floats == other.floats &&
+               children == other.children;
+    }
+    bool operator!=(const ArchSpec& other) const { return !(*this == other); }
+
+    /// "Sequential[Linear(3->4), ReLU]" — for errors and logs.
+    std::string to_string() const;
+};
+
+/// Extracts the construction recipe of a live layer. Throws
+/// std::invalid_argument for layer types without a registered spec codec.
+ArchSpec describe_layer(const Layer& layer);
+
+/// Rebuilds an untrained layer from its recipe (weights are garbage until a
+/// checkpoint is loaded on top). Throws ens::Error{checkpoint_error} on an
+/// unknown type or malformed geometry, `context` names the offending
+/// source (e.g. the bundle file) in the message.
+LayerPtr build_layer(const ArchSpec& spec, const std::string& context = "arch spec");
+
+/// Binary spec codec (BinaryWriter framing, used inside bundle files).
+void encode_spec(const ArchSpec& spec, std::ostream& out);
+
+/// Bounded, typed decode: every count is validated before allocation.
+ArchSpec decode_spec(std::istream& in, const std::string& context = "arch spec");
+
+}  // namespace ens::nn

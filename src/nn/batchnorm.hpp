@@ -17,6 +17,8 @@ public:
     std::string name() const override;
 
     std::int64_t channels() const { return channels_; }
+    float eps() const { return eps_; }
+    float momentum() const { return momentum_; }
     Parameter& gamma() { return gamma_; }
     Parameter& beta() { return beta_; }
     Tensor& running_mean() { return running_mean_; }

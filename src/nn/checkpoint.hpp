@@ -6,9 +6,17 @@
 //     for weights that will be retrained or whose BN statistics are
 //     re-derived (the in-process experiment flows).
 //   save_state / load_state — Parameters PLUS the named non-parameter
-//     buffers from Layer::buffers() (BatchNorm running statistics). This is
-//     the deployment-grade format: a network restored with load_state
-//     reproduces eval-mode outputs bit-for-bit in a fresh process.
+//     buffers from Layer::buffers() (BatchNorm running statistics, fixed
+//     noise masks). This is the deployment-grade format: a network
+//     restored with load_state reproduces eval-mode outputs bit-for-bit
+//     in a fresh process (serve/bundle.hpp builds on exactly this).
+//
+// Loaders treat the stream as UNTRUSTED: every count and length is bounded
+// before allocation, and every failure — wrong magic, truncation, count/
+// name/shape mismatch against the target model — surfaces as a typed
+// ens::Error{ErrorCode::checkpoint_error} whose message names `context`
+// (the file path for the *_file entry points), never a raw read explosion
+// or an attacker-sized allocation.
 
 #include <iosfwd>
 #include <string>
@@ -20,15 +28,20 @@ namespace ens::nn {
 /// Binary format: magic, parameter count, then (name, shape, f32 data).
 void save_parameters(Layer& layer, std::ostream& out);
 
-/// Restores into an identically-structured layer; throws on any mismatch.
-void load_parameters(Layer& layer, std::istream& in);
+/// Restores into an identically-structured layer; throws
+/// ens::Error{checkpoint_error} (message prefixed with `context`) on any
+/// mismatch or corruption.
+void load_parameters(Layer& layer, std::istream& in,
+                     const std::string& context = "checkpoint stream");
 
 void save_parameters_file(Layer& layer, const std::string& path);
 void load_parameters_file(Layer& layer, const std::string& path);
 
-/// Full-fidelity checkpoint: parameters + buffers (BN running stats).
+/// Full-fidelity checkpoint: parameters + buffers (BN running stats,
+/// fixed noise masks).
 void save_state(Layer& layer, std::ostream& out);
-void load_state(Layer& layer, std::istream& in);
+void load_state(Layer& layer, std::istream& in,
+                const std::string& context = "checkpoint stream");
 
 void save_state_file(Layer& layer, const std::string& path);
 void load_state_file(Layer& layer, const std::string& path);

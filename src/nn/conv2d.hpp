@@ -24,6 +24,7 @@ public:
     std::int64_t kernel() const { return kernel_; }
     std::int64_t stride() const { return stride_; }
     std::int64_t padding() const { return padding_; }
+    bool has_bias() const { return with_bias_; }
 
     /// Weight stored as [out_channels, in_channels * k * k] for the GEMM.
     Parameter& weight() { return weight_; }

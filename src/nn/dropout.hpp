@@ -18,6 +18,9 @@ public:
     Tensor backward(const Tensor& grad_output) override;
     std::string name() const override;
 
+    float drop_probability() const { return p_; }
+    bool active_in_eval() const { return active_in_eval_; }
+
 private:
     bool active() const { return training() || active_in_eval_; }
 

@@ -25,6 +25,8 @@ public:
     Tensor backward(const Tensor& grad_output) override;
     std::string name() const override;
 
+    const Shape& per_sample() const { return per_sample_; }
+
 private:
     Shape per_sample_;
     Shape cached_in_shape_;

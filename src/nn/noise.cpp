@@ -55,6 +55,13 @@ std::vector<Parameter*> FixedNoise::parameters() {
     return {};
 }
 
+std::vector<Layer::NamedBuffer> FixedNoise::buffers() {
+    if (trainable_) {
+        return {};
+    }
+    return {NamedBuffer{"noise_mask", &mask_.value}};
+}
+
 std::string FixedNoise::name() const {
     return std::string(trainable_ ? "LearnedNoise" : "FixedNoise") + "(sigma=" +
            std::to_string(stddev_) + ")";

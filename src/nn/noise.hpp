@@ -22,11 +22,17 @@ public:
     Tensor forward(const Tensor& input) override;
     Tensor backward(const Tensor& grad_output) override;
     std::vector<Parameter*> parameters() override;
+    /// A non-trainable mask is not a Parameter, but it IS deployment state:
+    /// without it a checkpointed client bundle would draw a fresh mask on
+    /// restore and break restart bit-parity. Surface it as a named buffer
+    /// (trainable masks already travel via parameters()).
+    std::vector<NamedBuffer> buffers() override;
     std::string name() const override;
 
     const Tensor& mask() const { return mask_.value; }
     Parameter& mask_parameter() { return mask_; }
     float stddev() const { return stddev_; }
+    bool trainable() const { return trainable_; }
 
 private:
     float stddev_;

@@ -44,6 +44,8 @@ public:
     Tensor backward(const Tensor& grad_output) override;
     std::string name() const override;
 
+    std::int64_t factor() const { return factor_; }
+
 private:
     std::int64_t factor_;
     Shape cached_in_shape_;

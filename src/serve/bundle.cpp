@@ -1,0 +1,367 @@
+#include "serve/bundle.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "common/typed_error.hpp"
+#include "core/ensembler.hpp"
+#include "nn/checkpoint.hpp"
+
+namespace ens::serve {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint32_t kManifestMagic = 0x4D534E45;  // "ENSM"
+constexpr std::uint32_t kClientMagic = 0x43534E45;    // "ENSC"
+constexpr std::size_t kMaxFileNameLength = 256;
+
+[[noreturn]] void fail(const std::string& file, const std::string& msg) {
+    checkpoint_fail(file, msg);
+}
+
+std::string manifest_path(const std::string& dir) {
+    return (fs::path(dir) / kManifestFileName).string();
+}
+
+std::string client_path(const std::string& dir) {
+    return (fs::path(dir) / kClientFileName).string();
+}
+
+std::string body_file_name(std::size_t index) {
+    char name[32];
+    std::snprintf(name, sizeof name, "body_%03zu.ckpt", index);
+    return name;
+}
+
+/// File names from a manifest are attacker-influenced: confine them to
+/// plain names inside the bundle directory (no separators, no dot-dots) so
+/// a hostile manifest cannot point a loader at /etc or a sibling tree.
+void require_plain_file_name(const std::string& name, const std::string& manifest_file) {
+    if (name.empty() || name == "." || name == ".." ||
+        name.find('/') != std::string::npos || name.find('\\') != std::string::npos) {
+        fail(manifest_file, "body checkpoint file name \"" + name +
+                                "\" is not a plain file name inside the bundle directory");
+    }
+}
+
+void check_magic_and_version(BinaryReader& reader, std::uint32_t want_magic,
+                             const char* what, const std::string& file) {
+    const std::uint32_t magic = reader.read_u32();
+    if (magic != want_magic) {
+        char text[64];
+        std::snprintf(text, sizeof text, "bad %s magic 0x%08" PRIx32 " (want 0x%08" PRIx32 ")",
+                      what, magic, want_magic);
+        fail(file, text);
+    }
+    // Version is checked immediately after the magic and BEFORE the body of
+    // the message, mirroring the wire handshake rule: a future-layout
+    // bundle must fail on its version number, never on a confusing parse
+    // error halfway through.
+    const std::uint32_t version = reader.read_u32();
+    if (version != kBundleVersion) {
+        fail(file, "bundle version " + std::to_string(version) + ", this build supports only " +
+                       std::to_string(kBundleVersion));
+    }
+}
+
+/// Converts stray stream/reader failures into typed errors naming `file`.
+template <typename Body>
+auto run_typed(const std::string& file, Body&& body) -> decltype(body()) {
+    return with_checkpoint_typing(file, "truncated or corrupt bundle file",
+                                  std::forward<Body>(body));
+}
+
+core::Selector read_selector(BinaryReader& reader, const std::string& file) {
+    const std::uint32_t n = reader.read_u32();
+    const std::uint32_t p = reader.read_u32();
+    if (n == 0 || n > kMaxBundleBodies) {
+        fail(file, "selector body count " + std::to_string(n) + " out of range [1, " +
+                       std::to_string(kMaxBundleBodies) + "]");
+    }
+    if (p == 0 || p > n) {
+        fail(file, "selector selects " + std::to_string(p) + " of " + std::to_string(n) +
+                       " bodies — must be in [1, n]");
+    }
+    std::vector<std::size_t> indices;
+    indices.reserve(p);
+    for (std::uint32_t i = 0; i < p; ++i) {
+        indices.push_back(reader.read_u32());
+    }
+    try {
+        return core::Selector(n, std::move(indices));
+    } catch (const std::exception& e) {
+        fail(file, std::string("invalid selector: ") + e.what());
+    }
+}
+
+/// One spec + inline save_state payload (the CLIENT.ens layer records).
+nn::LayerPtr read_layer_record(std::istream& in, const std::string& file, const char* what) {
+    const std::string context = file + " (" + what + ")";
+    const nn::ArchSpec spec = nn::decode_spec(in, context);
+    nn::LayerPtr layer = nn::build_layer(spec, context);
+    nn::load_state(*layer, in, context);
+    layer->set_training(false);
+    return layer;
+}
+
+void write_layer_record(nn::Layer& layer, std::ostream& out) {
+    nn::encode_spec(nn::describe_layer(layer), out);
+    nn::save_state(layer, out);
+}
+
+void validate_shard_plan(const std::vector<BundleShardSlice>& plan, std::size_t total,
+                         const std::string& file) {
+    std::size_t next = 0;
+    for (const BundleShardSlice& slice : plan) {
+        if (slice.body_begin != next || slice.body_count == 0) {
+            fail(file, "shard plan does not tile [0, " + std::to_string(total) +
+                           ") contiguously: slice [" + std::to_string(slice.body_begin) + ", " +
+                           std::to_string(slice.body_begin + slice.body_count) +
+                           ") where body " + std::to_string(next) + " was expected");
+        }
+        next += slice.body_count;
+    }
+    if (next != total) {
+        fail(file, "shard plan covers " + std::to_string(next) + " of " +
+                       std::to_string(total) + " bodies");
+    }
+}
+
+}  // namespace
+
+void save_bundle(const std::string& dir, const BundleArtifacts& artifacts) {
+    ENS_REQUIRE(!artifacts.bodies.empty(), "save_bundle: no server bodies");
+    ENS_REQUIRE(artifacts.bodies.size() <= kMaxBundleBodies,
+                "save_bundle: deployment exceeds " + std::to_string(kMaxBundleBodies) +
+                    " bodies");
+    for (nn::Layer* body : artifacts.bodies) {
+        ENS_REQUIRE(body != nullptr, "save_bundle: null body");
+    }
+    ENS_REQUIRE(artifacts.head != nullptr && artifacts.tail != nullptr,
+                "save_bundle: incomplete client bundle (head and tail are required)");
+    ENS_REQUIRE(artifacts.selector != nullptr, "save_bundle: missing selector");
+    ENS_REQUIRE(artifacts.selector->n() == artifacts.bodies.size(),
+                "save_bundle: selector covers " + std::to_string(artifacts.selector->n()) +
+                    " bodies, deployment has " + std::to_string(artifacts.bodies.size()));
+    ENS_REQUIRE(artifacts.wire_mask != 0 &&
+                    (artifacts.wire_mask & ~split::all_wire_formats_mask()) == 0,
+                "save_bundle: invalid wire-format mask");
+    ENS_REQUIRE(split::wire_format_supported(artifacts.wire_mask, artifacts.default_wire_format),
+                "save_bundle: default wire format not in the accepted mask");
+    ENS_REQUIRE(artifacts.max_inflight >= 1 &&
+                    artifacts.max_inflight <= kMaxAdvertisedInflight,
+                "save_bundle: max_inflight out of range");
+    std::vector<BundleShardSlice> plan = artifacts.shard_plan;
+    if (plan.empty()) {
+        plan.push_back(BundleShardSlice{0, artifacts.bodies.size()});
+    }
+    validate_shard_plan(plan, artifacts.bodies.size(), "save_bundle shard plan");
+
+    fs::create_directories(dir);
+
+    // Per-body checkpoints first, then CLIENT.ens, the manifest LAST: a
+    // reader that finds a manifest finds every file it references.
+    for (std::size_t i = 0; i < artifacts.bodies.size(); ++i) {
+        nn::save_state_file(*artifacts.bodies[i], (fs::path(dir) / body_file_name(i)).string());
+    }
+
+    {
+        const std::string file = client_path(dir);
+        std::ofstream out(file, std::ios::binary);
+        if (!out.good()) {
+            fail(file, "cannot open for writing");
+        }
+        BinaryWriter writer(out);
+        writer.write_u32(kClientMagic);
+        writer.write_u32(kBundleVersion);
+        writer.write_u8(static_cast<std::uint8_t>(artifacts.default_wire_format));
+        writer.write_u32(static_cast<std::uint32_t>(artifacts.selector->n()));
+        writer.write_u32(static_cast<std::uint32_t>(artifacts.selector->p()));
+        for (const std::size_t index : artifacts.selector->indices()) {
+            writer.write_u32(static_cast<std::uint32_t>(index));
+        }
+        write_layer_record(*artifacts.head, out);
+        writer.write_u8(artifacts.noise != nullptr ? 1 : 0);
+        if (artifacts.noise != nullptr) {
+            write_layer_record(*artifacts.noise, out);
+        }
+        write_layer_record(*artifacts.tail, out);
+        // Flush before checking: the file is small enough to sit entirely
+        // in the stream buffer, so a full-disk failure would otherwise
+        // only surface in the unchecked destructor.
+        out.flush();
+        ENS_CHECK(out.good(), "save_bundle: write failed for " + file);
+    }
+
+    {
+        const std::string file = manifest_path(dir);
+        std::ofstream out(file, std::ios::binary);
+        if (!out.good()) {
+            fail(file, "cannot open for writing");
+        }
+        BinaryWriter writer(out);
+        writer.write_u32(kManifestMagic);
+        writer.write_u32(kBundleVersion);
+        writer.write_u32(static_cast<std::uint32_t>(artifacts.bodies.size()));
+        writer.write_u32(artifacts.wire_mask);
+        writer.write_u8(static_cast<std::uint8_t>(artifacts.default_wire_format));
+        writer.write_u32(static_cast<std::uint32_t>(artifacts.max_inflight));
+        for (std::size_t i = 0; i < artifacts.bodies.size(); ++i) {
+            writer.write_string(body_file_name(i));
+            nn::encode_spec(nn::describe_layer(*artifacts.bodies[i]), out);
+        }
+        writer.write_u32(static_cast<std::uint32_t>(plan.size()));
+        for (const BundleShardSlice& slice : plan) {
+            writer.write_u32(static_cast<std::uint32_t>(slice.body_begin));
+            writer.write_u32(static_cast<std::uint32_t>(slice.body_count));
+        }
+        out.flush();
+        ENS_CHECK(out.good(), "save_bundle: write failed for " + file);
+    }
+}
+
+void save_bundle(const std::string& dir, core::Ensembler& ensembler,
+                 std::vector<BundleShardSlice> shard_plan) {
+    BundleArtifacts artifacts;
+    artifacts.bodies.reserve(ensembler.num_networks());
+    for (std::size_t i = 0; i < ensembler.num_networks(); ++i) {
+        artifacts.bodies.push_back(&ensembler.member_body(i));
+    }
+    artifacts.head = &ensembler.client_head();
+    artifacts.noise = &ensembler.client_noise();
+    artifacts.tail = &ensembler.client_tail();
+    artifacts.selector = &ensembler.selector();
+    artifacts.shard_plan = std::move(shard_plan);
+    save_bundle(dir, artifacts);
+}
+
+BundleManifest load_bundle_manifest(const std::string& dir) {
+    const std::string file = manifest_path(dir);
+    std::ifstream in(file, std::ios::binary);
+    if (!in.good()) {
+        fail(file, "cannot open bundle manifest for reading");
+    }
+    BinaryReader reader(in);
+    return run_typed(file, [&] {
+        check_magic_and_version(reader, kManifestMagic, "bundle manifest", file);
+        BundleManifest manifest;
+        const std::uint32_t total = reader.read_u32();
+        if (total == 0 || total > kMaxBundleBodies) {
+            fail(file, "declared body count " + std::to_string(total) + " out of range [1, " +
+                           std::to_string(kMaxBundleBodies) + "]");
+        }
+        manifest.total_bodies = total;
+        manifest.wire_mask = reader.read_u32();
+        if (manifest.wire_mask == 0 ||
+            (manifest.wire_mask & ~split::all_wire_formats_mask()) != 0) {
+            fail(file, "invalid wire-format mask");
+        }
+        const std::uint8_t wire = reader.read_u8();
+        if (wire > static_cast<std::uint8_t>(split::WireFormat::q8)) {
+            fail(file, "unknown default wire format " + std::to_string(wire));
+        }
+        manifest.default_wire_format = static_cast<split::WireFormat>(wire);
+        if (!split::wire_format_supported(manifest.wire_mask, manifest.default_wire_format)) {
+            fail(file, "default wire format not covered by the accepted mask");
+        }
+        const std::uint32_t inflight = reader.read_u32();
+        if (inflight == 0 || inflight > kMaxAdvertisedInflight) {
+            fail(file, "suggested in-flight window " + std::to_string(inflight) +
+                           " out of range [1, " + std::to_string(kMaxAdvertisedInflight) + "]");
+        }
+        manifest.max_inflight = inflight;
+        manifest.bodies.reserve(total);
+        for (std::uint32_t i = 0; i < total; ++i) {
+            BundleBodyEntry entry;
+            entry.checkpoint_file = reader.read_string_bounded(kMaxFileNameLength);
+            require_plain_file_name(entry.checkpoint_file, file);
+            entry.arch = nn::decode_spec(in, file + " (body " + std::to_string(i) + " arch)");
+            manifest.bodies.push_back(std::move(entry));
+        }
+        const std::uint32_t shard_count = reader.read_u32();
+        if (shard_count == 0 || shard_count > total) {
+            fail(file, "shard plan size " + std::to_string(shard_count) + " out of range [1, " +
+                           std::to_string(total) + "]");
+        }
+        manifest.shard_plan.reserve(shard_count);
+        for (std::uint32_t s = 0; s < shard_count; ++s) {
+            BundleShardSlice slice;
+            slice.body_begin = reader.read_u32();
+            slice.body_count = reader.read_u32();
+            manifest.shard_plan.push_back(slice);
+        }
+        validate_shard_plan(manifest.shard_plan, total, file);
+        return manifest;
+    });
+}
+
+std::vector<nn::LayerPtr> load_bundle_bodies(const std::string& dir,
+                                             const BundleManifest& manifest,
+                                             std::size_t body_begin, std::size_t body_count) {
+    if (body_count == static_cast<std::size_t>(-1)) {
+        ENS_REQUIRE(body_begin <= manifest.total_bodies,
+                    "load_bundle_bodies: begin past the deployment");
+        body_count = manifest.total_bodies - body_begin;
+    }
+    ENS_REQUIRE(body_count >= 1, "load_bundle_bodies: empty body slice");
+    ENS_REQUIRE(body_begin + body_count <= manifest.total_bodies,
+                "load_bundle_bodies: slice [" + std::to_string(body_begin) + ", " +
+                    std::to_string(body_begin + body_count) + ") exceeds the deployment's " +
+                    std::to_string(manifest.total_bodies) + " bodies");
+    ENS_REQUIRE(manifest.bodies.size() == manifest.total_bodies,
+                "load_bundle_bodies: manifest body entries inconsistent with total");
+
+    std::vector<nn::LayerPtr> bodies;
+    bodies.reserve(body_count);
+    for (std::size_t i = body_begin; i < body_begin + body_count; ++i) {
+        const BundleBodyEntry& entry = manifest.bodies[i];
+        const std::string file = (fs::path(dir) / entry.checkpoint_file).string();
+        nn::LayerPtr body = nn::build_layer(entry.arch, file);
+        nn::load_state_file(*body, file);
+        body->set_training(false);
+        bodies.push_back(std::move(body));
+    }
+    return bodies;
+}
+
+ClientArtifacts load_bundle_client(const std::string& dir, std::size_t expected_bodies) {
+    const std::string file = client_path(dir);
+    std::ifstream in(file, std::ios::binary);
+    if (!in.good()) {
+        fail(file, "cannot open bundle client file for reading");
+    }
+    BinaryReader reader(in);
+    return run_typed(file, [&] {
+        check_magic_and_version(reader, kClientMagic, "bundle client", file);
+        ClientArtifacts client;
+        const std::uint8_t wire = reader.read_u8();
+        if (wire > static_cast<std::uint8_t>(split::WireFormat::q8)) {
+            fail(file, "unknown default wire format " + std::to_string(wire));
+        }
+        client.default_wire_format = static_cast<split::WireFormat>(wire);
+        client.selector = read_selector(reader, file);
+        if (expected_bodies != 0 && client.selector.n() != expected_bodies) {
+            fail(file, "selector covers " + std::to_string(client.selector.n()) +
+                           " bodies, the deployment has " + std::to_string(expected_bodies));
+        }
+        client.head = read_layer_record(in, file, "head");
+        const std::uint8_t has_noise = reader.read_u8();
+        if (has_noise > 1) {
+            fail(file, "corrupt noise-presence flag " + std::to_string(has_noise));
+        }
+        if (has_noise == 1) {
+            client.noise = read_layer_record(in, file, "noise");
+        }
+        client.tail = read_layer_record(in, file, "tail");
+        return client;
+    });
+}
+
+}  // namespace ens::serve

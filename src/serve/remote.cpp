@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/stopwatch.hpp"
+#include "serve/bundle.hpp"
 #include "split/split_model.hpp"
 
 namespace ens::serve {
@@ -41,6 +42,18 @@ BodyHost BodyHost::from_split_model(split::SplitModel model) {
     return BodyHost(std::move(owned));
 }
 
+std::unique_ptr<BodyHost> BodyHost::from_bundle(const std::string& bundle_dir,
+                                                std::size_t shard_begin,
+                                                std::size_t shard_count) {
+    const BundleManifest manifest = load_bundle_manifest(bundle_dir);
+    auto host = std::make_unique<BodyHost>(
+        load_bundle_bodies(bundle_dir, manifest, shard_begin, shard_count));
+    host->set_shard(shard_begin, manifest.total_bodies);
+    host->set_max_inflight(manifest.max_inflight);
+    host->set_wire_mask(manifest.wire_mask);
+    return host;
+}
+
 void BodyHost::set_shard(std::size_t body_begin, std::size_t total_bodies) {
     ENS_REQUIRE(body_begin + bodies_.size() <= total_bodies,
                 "BodyHost::set_shard: slice [" + std::to_string(body_begin) + ", " +
@@ -57,12 +70,19 @@ void BodyHost::set_max_inflight(std::size_t max_inflight) {
     max_inflight_ = max_inflight;
 }
 
+void BodyHost::set_wire_mask(std::uint32_t wire_mask) {
+    ENS_REQUIRE(wire_mask != 0 && (wire_mask & ~split::all_wire_formats_mask()) == 0,
+                "BodyHost::set_wire_mask: mask must be a non-empty subset of the supported "
+                "wire formats");
+    wire_mask_ = wire_mask;
+}
+
 HostInfo BodyHost::host_info() const {
     HostInfo info;
     info.total_bodies = shard_total_ == 0 ? bodies_.size() : shard_total_;
     info.body_begin = shard_begin_;
     info.body_count = bodies_.size();
-    info.wire_mask = split::all_wire_formats_mask();
+    info.wire_mask = wire_mask_;
     info.max_inflight = static_cast<std::uint32_t>(max_inflight_);
     return info;
 }

@@ -78,6 +78,21 @@ public:
     /// Hosts the body of a plain split model (N = 1 standard CI).
     static BodyHost from_split_model(split::SplitModel model);
 
+    /// Boots a host purely from an on-disk deployment bundle
+    /// (serve/bundle.hpp): rebuilds bodies [shard_begin, shard_begin +
+    /// shard_count) from their arch specs + save_state checkpoints, with
+    /// NO trainer in the process, declares the shard slice and adopts the
+    /// bundle's suggested in-flight window. shard_count == npos hosts
+    /// [shard_begin, N). The secret CLIENT.ens file is never read — a
+    /// body-host machine only ever needs MANIFEST.ens plus its own slice's
+    /// body_*.ckpt files on disk. Typed ens::Error{checkpoint_error}
+    /// naming the offending file on corrupt/missing/mismatched bundle
+    /// content. (unique_ptr because BodyHost owns mutexes and cannot
+    /// move through a configuring factory.)
+    static std::unique_ptr<BodyHost> from_bundle(
+        const std::string& bundle_dir, std::size_t shard_begin = 0,
+        std::size_t shard_count = static_cast<std::size_t>(-1));
+
     /// Declares this host to be one shard of a larger deployment: it serves
     /// global bodies [body_begin, body_begin + body_count()) of
     /// `total_bodies`. Until called, the host claims the whole deployment
@@ -91,6 +106,13 @@ public:
     /// client's effective window is min(its own cap, this). >= 1.
     void set_max_inflight(std::size_t max_inflight);
     std::size_t max_inflight() const { return max_inflight_; }
+
+    /// Restricts which payload encodings this host advertises (and clients
+    /// may negotiate). Defaults to everything the build supports; a bundle
+    /// restore adopts the mask its author recorded. Must be a non-empty
+    /// subset of split::all_wire_formats_mask().
+    void set_wire_mask(std::uint32_t wire_mask);
+    std::uint32_t wire_mask() const { return wire_mask_; }
 
     /// What the handshake advertises (slice + accepted wire formats +
     /// in-flight window).
@@ -123,6 +145,7 @@ private:
     std::size_t shard_begin_ = 0;
     std::size_t shard_total_ = 0;  // 0 = "all bodies" until set_shard
     std::size_t max_inflight_ = kDefaultMaxInflight;
+    std::uint32_t wire_mask_ = split::all_wire_formats_mask();
     // One mutex per body: a layer's forward cache is not thread-safe, but
     // distinct bodies may run concurrently — for different connections AND
     // for different in-flight requests of one connection.

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "core/ensembler.hpp"
 #include "defense/protected_model.hpp"
+#include "serve/bundle.hpp"
 #include "split/codec.hpp"
 #include "split/split_model.hpp"
 #include "tensor/ops.hpp"
@@ -82,12 +83,16 @@ void ClientSession::reset_stats() {
 
 InferenceService::InferenceService(std::vector<nn::Layer*> bodies, ClientBundle bundle,
                                    ServeConfig config, std::vector<nn::LayerPtr> owned_layers,
-                                   std::shared_ptr<void> retained)
+                                   std::shared_ptr<void> retained,
+                                   std::uint32_t export_wire_mask,
+                                   std::size_t export_max_inflight)
     : bodies_(std::move(bodies)),
       bundle_(std::move(bundle)),
       config_(config),
       owned_layers_(std::move(owned_layers)),
-      retained_(std::move(retained)) {
+      retained_(std::move(retained)),
+      export_wire_mask_(export_wire_mask),
+      export_max_inflight_(export_max_inflight) {
     ENS_REQUIRE(!bodies_.empty(), "InferenceService: no server bodies");
     for (const nn::Layer* body : bodies_) {
         ENS_REQUIRE(body != nullptr, "InferenceService: null body");
@@ -398,6 +403,54 @@ InferenceService InferenceService::from_baseline(defense::ProtectedModel model,
     owned.push_back(std::move(model.tail));
     return InferenceService(std::move(bodies), std::move(bundle), config, std::move(owned),
                             nullptr);
+}
+
+InferenceService InferenceService::from_bundle(const std::string& bundle_dir,
+                                               ServeConfig config) {
+    const BundleManifest manifest = load_bundle_manifest(bundle_dir);
+    ClientArtifacts client = load_bundle_client(bundle_dir, manifest.total_bodies);
+    std::vector<nn::LayerPtr> owned = load_bundle_bodies(bundle_dir, manifest);
+
+    std::vector<nn::Layer*> bodies;
+    bodies.reserve(owned.size());
+    for (const nn::LayerPtr& body : owned) {
+        bodies.push_back(body.get());
+    }
+    ClientBundle bundle;
+    bundle.head = client.head.get();
+    bundle.noise = client.noise.get();  // may be null
+    bundle.tail = client.tail.get();
+    bundle.selector = client.selector;
+    config.default_wire_format = client.default_wire_format;
+
+    owned.push_back(std::move(client.head));
+    if (client.noise != nullptr) {
+        owned.push_back(std::move(client.noise));
+    }
+    owned.push_back(std::move(client.tail));
+    return InferenceService(std::move(bodies), std::move(bundle), config, std::move(owned),
+                            nullptr, manifest.wire_mask, manifest.max_inflight);
+}
+
+void InferenceService::save_bundle(const std::string& bundle_dir) {
+    BundleArtifacts artifacts;
+    artifacts.bodies = bodies_;
+    artifacts.head = bundle_.head;
+    artifacts.noise = bundle_.noise;
+    artifacts.tail = bundle_.tail;
+    artifacts.selector = &*bundle_.selector;
+    artifacts.default_wire_format = config_.default_wire_format;
+    // Re-export the recorded bundle policy, not this build's defaults: a
+    // from_bundle -> save_bundle round trip must preserve what the
+    // original author restricted.
+    artifacts.wire_mask = export_wire_mask_;
+    if (export_max_inflight_ != 0) {
+        artifacts.max_inflight = export_max_inflight_;
+    }
+    // The client-side layers are shared with submitters' client phases;
+    // hold the same mutex so a snapshot never interleaves with a forward.
+    const std::lock_guard<std::mutex> lock(client_mutex_);
+    serve::save_bundle(bundle_dir, artifacts);
 }
 
 }  // namespace ens::serve

@@ -153,6 +153,23 @@ public:
     /// perturbation). Takes ownership.
     static InferenceService from_baseline(defense::ProtectedModel model, ServeConfig config = {});
 
+    /// Boots a service purely from an on-disk deployment bundle
+    /// (serve/bundle.hpp) — bodies, client head/noise/tail and the secret
+    /// selector are rebuilt from arch specs and save_state checkpoints, so
+    /// no trainer (and no shared seed discipline) lives in the process.
+    /// The bundle's recorded default wire format overrides
+    /// `config.default_wire_format`. Typed ens::Error{checkpoint_error}
+    /// naming the offending file on any corrupt/missing/mismatched bundle
+    /// content.
+    static InferenceService from_bundle(const std::string& bundle_dir, ServeConfig config = {});
+
+    /// Writes this deployment as a bundle (serve/bundle.hpp): every body,
+    /// the client bundle and the service's default selector. Serialized
+    /// against concurrent submit() client phases; call it when the service
+    /// is idle for a crisp snapshot (body weights are immutable in eval
+    /// mode, so in-flight server batches do not change what is written).
+    void save_bundle(const std::string& bundle_dir);
+
     ~InferenceService();
 
     InferenceService(const InferenceService&) = delete;
@@ -199,8 +216,14 @@ private:
         bool fulfilled = false;
     };
 
+    /// `export_wire_mask` / `export_max_inflight` record bundle policy to
+    /// carry through save_bundle (0 = the serve/protocol default window);
+    /// from_bundle passes the manifest's values so a re-export never
+    /// silently widens what the original bundle author restricted.
     InferenceService(std::vector<nn::Layer*> bodies, ClientBundle bundle, ServeConfig config,
-                     std::vector<nn::LayerPtr> owned_layers, std::shared_ptr<void> retained);
+                     std::vector<nn::LayerPtr> owned_layers, std::shared_ptr<void> retained,
+                     std::uint32_t export_wire_mask = split::all_wire_formats_mask(),
+                     std::size_t export_max_inflight = 0);
 
     void enqueue(Pending pending);
     void drain_loop();
@@ -213,6 +236,8 @@ private:
     ServeConfig config_;
     std::vector<nn::LayerPtr> owned_layers_;
     std::shared_ptr<void> retained_;
+    std::uint32_t export_wire_mask_;
+    std::size_t export_max_inflight_;  // 0 = serve/protocol default
 
     std::mutex client_mutex_;  // serializes the shared client-side layers
 

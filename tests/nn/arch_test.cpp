@@ -1,0 +1,128 @@
+// nn/arch: architecture specs — the topology half of a deployment bundle.
+// describe -> build must reproduce identical structure (so a load_state on
+// top restores bit-identical behavior), encode -> decode must round-trip
+// the tree, and decoding is hostile-input hardened.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/arch.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/flatten.hpp"
+#include "nn/linear.hpp"
+#include "nn/noise.hpp"
+#include "nn/resnet.hpp"
+#include "nn/sequential.hpp"
+#include "split/split_model.hpp"
+
+namespace ens::nn {
+namespace {
+
+/// describe(build(describe(x))) == describe(x): the spec is a fixed point,
+/// which is what makes a rebuilt layer structurally identical.
+void expect_spec_fixed_point(Layer& layer) {
+    const ArchSpec spec = describe_layer(layer);
+    const LayerPtr rebuilt = build_layer(spec);
+    EXPECT_EQ(describe_layer(*rebuilt), spec) << spec.to_string();
+}
+
+TEST(ArchSpec, SplitResNet18PartsRoundTripStructurally) {
+    // The demo-bundle architecture: conv/BN/ReLU/MaxPool head, BasicBlock
+    // body with projection shortcuts, GlobalAvgPool, Linear tail.
+    nn::ResNetConfig config;
+    config.base_width = 4;
+    config.image_size = 16;
+    Rng rng(1);
+    split::SplitModel model = split::build_split_resnet18(config, rng);
+    expect_spec_fixed_point(*model.head);
+    expect_spec_fixed_point(*model.body);
+    expect_spec_fixed_point(*model.tail);
+}
+
+TEST(ArchSpec, RebuiltLayerAcceptsTheOriginalsStateCheckpoint) {
+    // Structure parity is exactly "load_state succeeds": the checkpoint
+    // validates every parameter and buffer by name and shape.
+    nn::ResNetConfig config;
+    config.base_width = 2;
+    config.image_size = 8;
+    Rng rng(2);
+    split::SplitModel model = split::build_split_resnet18(config, rng);
+    std::stringstream stream;
+    save_state(*model.body, stream);
+    const LayerPtr rebuilt = build_layer(describe_layer(*model.body));
+    ASSERT_NO_THROW(load_state(*rebuilt, stream));
+    EXPECT_EQ(parameter_count(*rebuilt), parameter_count(*model.body));
+}
+
+TEST(ArchSpec, EncodeDecodeRoundTripsTheTree) {
+    Rng rng(3);
+    Sequential net;
+    net.emplace<FixedNoise>(Shape{2, 4, 4}, 0.25f, rng);
+    net.emplace<Flatten>();
+    net.emplace<Linear>(32, 4, rng, /*with_bias=*/false);
+
+    const ArchSpec spec = describe_layer(net);
+    std::stringstream stream;
+    encode_spec(spec, stream);
+    EXPECT_EQ(decode_spec(stream), spec);
+}
+
+TEST(ArchSpec, UnknownTypeAndMalformedGeometryFailTyped) {
+    ArchSpec unknown;
+    unknown.type = "Transformer";
+    try {
+        build_layer(unknown, "some_bundle_file");
+        FAIL();
+    } catch (const Error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::checkpoint_error);
+        EXPECT_NE(std::string(e.what()).find("some_bundle_file"), std::string::npos) << e.what();
+        EXPECT_NE(std::string(e.what()).find("Transformer"), std::string::npos) << e.what();
+    }
+
+    ArchSpec bad_linear;
+    bad_linear.type = "Linear";
+    bad_linear.ints = {3};  // needs [in, out, with_bias]
+    EXPECT_THROW(build_layer(bad_linear), Error);
+
+    ArchSpec negative_conv;
+    negative_conv.type = "Conv2d";
+    negative_conv.ints = {-3, 4, 3, 1, 1, 0};  // corrupt channel count
+    try {
+        build_layer(negative_conv, "corrupt_spec");
+        FAIL();
+    } catch (const Error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::checkpoint_error) << e.what();
+    }
+}
+
+TEST(ArchSpec, HostileDecodeIsBoundedAndTyped) {
+    // type string with an absurd length prefix must be refused before any
+    // allocation happens.
+    std::string bytes;
+    const std::uint32_t absurd = 0xFFFFFFFFu;
+    bytes.append(reinterpret_cast<const char*>(&absurd), 4);
+    std::stringstream stream(bytes);
+    try {
+        decode_spec(stream, "hostile_spec");
+        FAIL();
+    } catch (const Error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::checkpoint_error);
+        EXPECT_NE(std::string(e.what()).find("hostile_spec"), std::string::npos) << e.what();
+    }
+
+    // Truncated mid-tree: typed, naming the context.
+    Rng rng(4);
+    Sequential net;
+    net.emplace<Linear>(2, 2, rng);
+    std::stringstream encoded;
+    encode_spec(describe_layer(net), encoded);
+    const std::string full = encoded.str();
+    std::stringstream truncated(full.substr(0, full.size() / 2));
+    EXPECT_THROW(decode_spec(truncated, "truncated_spec"), Error);
+}
+
+}  // namespace
+}  // namespace ens::nn

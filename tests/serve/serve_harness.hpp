@@ -29,12 +29,18 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/threadpool.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
 #include "nn/linear.hpp"
+#include "nn/noise.hpp"
+#include "nn/pooling.hpp"
 #include "nn/sequential.hpp"
 #include "serve/remote.hpp"
 #include "split/split_model.hpp"
@@ -236,5 +242,107 @@ inline std::vector<nn::LayerPtr> make_shard_bodies(std::uint64_t seed, std::size
     }
     return shard;
 }
+
+// ----------------------------------------------------- conv + BN ensemble
+// A tiny convolutional ensemble with BatchNorm on BOTH sides of the split
+// and a fixed split-point noise mask — the state that ONLY full-fidelity
+// checkpoints (nn::save_state: parameters + running statistics + noise
+// buffer) carry across a process boundary. The bundle restart-parity tests
+// use it so a restored daemon that silently dropped any of that state
+// would diverge from the oracle bit-for-bit. warm_batchnorm() stands in
+// for training: it drives the running statistics away from their init so
+// eval-mode outputs actually depend on checkpointed buffer state.
+
+constexpr std::int64_t kConvImage = 4;     // input images are [1, 4, 4]
+constexpr std::int64_t kConvHeadCh = 3;    // split-point feature channels
+constexpr std::int64_t kConvBodyCh = 4;    // per-body feature width after pool
+
+struct ConvEnsembleParts {
+    std::unique_ptr<nn::Sequential> head;   // Conv -> BN -> ReLU
+    std::unique_ptr<nn::FixedNoise> noise;  // fixed split-point mask
+    std::vector<nn::LayerPtr> bodies;       // Conv -> BN -> ReLU -> GAP, [B, kConvBodyCh]
+    std::unique_ptr<nn::Sequential> tail;   // Linear(P * kConvBodyCh -> kClasses)
+};
+
+inline nn::LayerPtr make_conv_body(std::uint64_t seed, std::size_t body_index) {
+    Rng rng(seed + 1 + body_index);
+    auto body = std::make_unique<nn::Sequential>();
+    body->emplace<nn::Conv2d>(kConvHeadCh, kConvBodyCh, /*kernel=*/3, /*stride=*/1,
+                              /*padding=*/1, rng);
+    body->emplace<nn::BatchNorm2d>(kConvBodyCh);
+    body->emplace<nn::ReLU>();
+    body->emplace<nn::GlobalAvgPool>();
+    return body;
+}
+
+inline ConvEnsembleParts make_conv_ensemble(std::uint64_t seed, std::size_t num_bodies,
+                                            std::size_t num_selected) {
+    ConvEnsembleParts parts;
+    Rng head_rng(seed);
+    parts.head = std::make_unique<nn::Sequential>();
+    parts.head->emplace<nn::Conv2d>(1, kConvHeadCh, /*kernel=*/3, /*stride=*/1, /*padding=*/1,
+                                    head_rng);
+    parts.head->emplace<nn::BatchNorm2d>(kConvHeadCh);
+    parts.head->emplace<nn::ReLU>();
+    Rng noise_rng(seed + 50);
+    parts.noise = std::make_unique<nn::FixedNoise>(Shape{kConvHeadCh, kConvImage, kConvImage},
+                                                   0.1f, noise_rng);
+    for (std::size_t k = 0; k < num_bodies; ++k) {
+        parts.bodies.push_back(make_conv_body(seed, k));
+    }
+    Rng tail_rng(seed + 100);
+    parts.tail = std::make_unique<nn::Sequential>();
+    parts.tail->emplace<nn::Linear>(static_cast<std::int64_t>(num_selected) * kConvBodyCh,
+                                    kClasses, tail_rng);
+    return parts;
+}
+
+/// Drives the BatchNorm running statistics of every part away from their
+/// initialization (training-mode forwards, the "training" of these tiny
+/// deployments). Must run BEFORE set_eval/save.
+inline void warm_batchnorm(ConvEnsembleParts& parts, std::uint64_t data_seed,
+                           int batches = 3) {
+    Rng rng(data_seed);
+    for (int i = 0; i < batches; ++i) {
+        const Tensor images = Tensor::randn(Shape{5, 1, kConvImage, kConvImage}, rng);
+        const Tensor features = parts.noise->forward(parts.head->forward(images));
+        for (nn::LayerPtr& body : parts.bodies) {
+            body->forward(features);
+        }
+    }
+}
+
+inline void set_eval(ConvEnsembleParts& parts) {
+    parts.head->set_training(false);
+    parts.noise->set_training(false);
+    for (nn::LayerPtr& body : parts.bodies) {
+        body->set_training(false);
+    }
+    parts.tail->set_training(false);
+}
+
+/// Non-owning forward-only chain — lets an oracle treat head + separate
+/// noise as the single "client head" a CollaborativeSession expects.
+class ChainLayer final : public nn::Layer {
+public:
+    explicit ChainLayer(std::vector<nn::Layer*> parts) : parts_(std::move(parts)) {}
+
+    Tensor forward(const Tensor& input) override {
+        Tensor value = input;
+        for (nn::Layer* part : parts_) {
+            value = part->forward(value);
+        }
+        return value;
+    }
+
+    Tensor backward(const Tensor&) override {
+        throw std::logic_error("ChainLayer is forward-only (oracle helper)");
+    }
+
+    std::string name() const override { return "Chain"; }
+
+private:
+    std::vector<nn::Layer*> parts_;
+};
 
 }  // namespace ens::serve::harness
