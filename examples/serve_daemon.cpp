@@ -41,17 +41,37 @@
 //   ./sharded_client --shards 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072
 //       --total 6 --select 2 --seed 2000    (one command line)
 //
-// Serves until killed (one thread per client connection). --port 0 picks
-// an ephemeral port and prints it, which is how the CI smoke run uses it.
+// Serving modes:
+//
+//   default: BodyHost::serve_forever, one thread per client connection.
+//     Serves until killed.
+//
+//   --reactor: the event-driven host (serve/reactor.hpp) — one epoll/poll
+//     reactor thread owns every connection, --workers N (default 4) fixed
+//     compute threads serve them all, so connections-held no longer costs
+//     threads. Reactor mode is also the LIFECYCLE-MANAGED mode:
+//       SIGHUP          hot-swaps the bundle named by --swap-bundle (or
+//                       --bundle) in live: existing sessions keep their
+//                       pinned generation, new connections get the new
+//                       one, zero requests dropped.
+//       SIGTERM/SIGINT  graceful shutdown: stop accepting, drain every
+//                       in-flight window, exit 0 — no torn replies.
+//
+// --port 0 picks an ephemeral port and prints it, which is how the CI
+// smoke run and the fork tests use it.
 
+#include <csignal>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "common/args.hpp"
 #include "core/selector.hpp"
 #include "example_client.hpp"
 #include "serve/bundle.hpp"
+#include "serve/deployment.hpp"
+#include "serve/reactor.hpp"
 #include "serve/remote.hpp"
 #include "split/tcp_channel.hpp"
 
@@ -125,6 +145,60 @@ int write_demo_bundle(const std::string& dir, const nn::ResNetConfig& arch,
     return 0;
 }
 
+/// Reactor-mode serving loop: runs the event loop on its own thread and
+/// turns the main thread into the signal loop (SIGHUP = live bundle
+/// swap, SIGTERM/SIGINT = graceful drain). `swap_dir` may be empty (a
+/// demo-mode daemon with nothing on disk to reload).
+int run_reactor(std::unique_ptr<serve::BodyHost> host, split::ChannelListener& listener,
+                std::size_t workers, const std::string& swap_dir) {
+    // Constructed BEFORE the reactor spawns anything: the signal mask is
+    // inherited, so no worker ever takes a delivery meant for this loop.
+    serve::SignalSet signals{SIGHUP, SIGTERM, SIGINT};
+    auto manager =
+        std::make_shared<serve::DeploymentManager>(std::shared_ptr<serve::BodyHost>(std::move(host)));
+    serve::ReactorConfig config;
+    config.worker_threads = workers;
+    serve::ReactorHost reactor(manager, config);
+    std::thread reactor_thread([&] { reactor.run(listener); });
+
+    for (;;) {
+        const int signo = signals.wait();
+        if (signo == SIGHUP) {
+            if (swap_dir.empty()) {
+                std::fprintf(stderr, "serve_daemon: SIGHUP ignored — no --swap-bundle (or "
+                                     "--bundle) directory to reload from\n");
+                continue;
+            }
+            try {
+                const std::uint32_t version = manager->swap_from_bundle(swap_dir);
+                std::printf("serve_daemon: hot-swapped bundle %s in as deployment v%u; live "
+                            "sessions keep their pinned generation\n",
+                            swap_dir.c_str(), version);
+                std::fflush(stdout);
+            } catch (const std::exception& e) {
+                // A bad bundle must never take the live generation down.
+                std::fprintf(stderr, "serve_daemon: hot swap from %s FAILED (still serving "
+                                     "v%u): %s\n",
+                             swap_dir.c_str(), manager->version(), e.what());
+            }
+            continue;
+        }
+        std::printf("serve_daemon: %s — draining in-flight windows...\n",
+                    signo == SIGTERM ? "SIGTERM" : "SIGINT");
+        std::fflush(stdout);
+        reactor.shutdown();
+        break;
+    }
+    reactor_thread.join();
+    const serve::GaugeSnapshot gauges = reactor.gauges();
+    std::printf("serve_daemon: drained; served %llu requests over %llu connections "
+                "(%llu hot swaps)\n",
+                static_cast<unsigned long long>(gauges.requests_served),
+                static_cast<unsigned long long>(gauges.connections_total),
+                static_cast<unsigned long long>(gauges.swaps_completed));
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -144,6 +218,19 @@ int main(int argc, char** argv) {
         has_inflight_flag) {
         std::fprintf(stderr, "--max-inflight must be in [1, %u]\n",
                      serve::kMaxAdvertisedInflight);
+        return 2;
+    }
+
+    const bool use_reactor = args.has("reactor");
+    const bool has_workers_flag = args.has("workers");
+    const auto workers = static_cast<std::size_t>(args.get_int("workers", 4));
+    const std::string swap_bundle_dir = args.get_string("swap-bundle", "");
+    if (!use_reactor && (has_workers_flag || !swap_bundle_dir.empty())) {
+        std::fprintf(stderr, "--workers / --swap-bundle need --reactor\n");
+        return 2;
+    }
+    if (use_reactor && workers == 0) {
+        std::fprintf(stderr, "--workers must be >= 1\n");
         return 2;
     }
 
@@ -199,6 +286,10 @@ int main(int argc, char** argv) {
         std::printf("no trainer ran in this process, and the bundle's CLIENT.ens (the secret "
                     "selector) was never read. Ctrl-C to stop.\n");
         std::fflush(stdout);
+        if (use_reactor) {
+            return run_reactor(std::move(bodyhost), listener, workers,
+                               swap_bundle_dir.empty() ? bundle_dir : swap_bundle_dir);
+        }
         bodyhost->serve_forever(listener);
         return 0;
     }
@@ -272,22 +363,25 @@ int main(int argc, char** argv) {
     for (std::size_t k = body_begin; k < body_end; ++k) {
         bodies.push_back(std::move(build_part(arch, seed, k).body));
     }
-    serve::BodyHost bodyhost(std::move(bodies));
-    bodyhost.set_shard(body_begin, total);
-    bodyhost.set_max_inflight(max_inflight);
+    auto bodyhost = std::make_unique<serve::BodyHost>(std::move(bodies));
+    bodyhost->set_shard(body_begin, total);
+    bodyhost->set_max_inflight(max_inflight);
 
     split::ChannelListener listener(port, host);
-    const serve::HostInfo info = bodyhost.host_info();
+    const serve::HostInfo info = bodyhost->host_info();
     std::printf("serve_daemon: hosting ResNet-18 %s (width %lld, %lldpx, seed %llu) on %s:%u, "
                 "pipelining up to %zu in-flight requests per connection\n",
                 info.to_string().c_str(), static_cast<long long>(arch.base_width),
                 static_cast<long long>(arch.image_size),
                 static_cast<unsigned long long>(seed), host.c_str(), listener.port(),
-                bodyhost.max_inflight());
+                bodyhost->max_inflight());
     std::printf("the client-side head/noise/selector/tail never reach this process — "
                 "only split-point feature maps do. Ctrl-C to stop.\n");
     std::fflush(stdout);
 
-    bodyhost.serve_forever(listener);
+    if (use_reactor) {
+        return run_reactor(std::move(bodyhost), listener, workers, swap_bundle_dir);
+    }
+    bodyhost->serve_forever(listener);
     return 0;
 }

@@ -1,18 +1,28 @@
-# Bench smoke check (ctest: bench_serve_smoke, Release only). Runs the
-# pipelined serve bench at whatever ENS_BENCH_SCALE the test environment
-# set (tiny in CI) and asserts the machine-readable perf trajectory
-# (BENCH_serve.json) is produced and structurally sound: valid-looking
-# JSON carrying the in-flight-window sweep with req/s and percentile
-# fields. Parsing is done with plain string checks so the smoke test needs
-# nothing beyond cmake itself.
+# Bench smoke check (ctest: bench_*_smoke, Release only). Runs a bench at
+# whatever ENS_BENCH_SCALE the test environment set (tiny in CI) and
+# asserts the machine-readable perf trajectory it writes is produced and
+# structurally sound: valid-looking JSON carrying a non-empty row array
+# with the fields future PRs regress against. Parsing is done with plain
+# string checks so the smoke test needs nothing beyond cmake itself.
 #
-# Usage: cmake -DBENCH_BIN=<path> -DWORK_DIR=<dir> -P bench_smoke.cmake
+# Usage: cmake -DBENCH_BIN=<path> -DWORK_DIR=<dir>
+#              [-DJSON_NAME=BENCH_serve.json]
+#              [-DREQUIRED_FIELDS=inflight,requests_per_s,p50_ms,p99_ms]
+#              -P bench_smoke.cmake
+#
+# Defaults preserve the original bench_serve_smoke behavior.
 
 if(NOT BENCH_BIN OR NOT WORK_DIR)
     message(FATAL_ERROR "bench_smoke.cmake: BENCH_BIN and WORK_DIR are required")
 endif()
+if(NOT JSON_NAME)
+    set(JSON_NAME "BENCH_serve.json")
+endif()
+if(NOT REQUIRED_FIELDS)
+    set(REQUIRED_FIELDS "inflight,requests_per_s,p50_ms,p99_ms")
+endif()
 
-set(json_path "${WORK_DIR}/BENCH_serve.json")
+set(json_path "${WORK_DIR}/${JSON_NAME}")
 file(REMOVE "${json_path}")
 
 execute_process(COMMAND "${BENCH_BIN}"
@@ -21,7 +31,7 @@ execute_process(COMMAND "${BENCH_BIN}"
                 OUTPUT_VARIABLE bench_out
                 ERROR_VARIABLE bench_err)
 if(NOT bench_rc EQUAL 0)
-    message(FATAL_ERROR "bench_serve_throughput exited ${bench_rc}:\n${bench_out}\n${bench_err}")
+    message(FATAL_ERROR "${BENCH_BIN} exited ${bench_rc}:\n${bench_out}\n${bench_err}")
 endif()
 
 if(NOT EXISTS "${json_path}")
@@ -34,11 +44,13 @@ string(STRIP "${json}" json)
 # Structural sanity: a JSON object wrapping a non-empty row array with the
 # fields future PRs regress against.
 if(NOT json MATCHES "^\\{.*\\}$")
-    message(FATAL_ERROR "BENCH_serve.json is not a JSON object:\n${json}")
+    message(FATAL_ERROR "${JSON_NAME} is not a JSON object:\n${json}")
 endif()
-foreach(needle "\"bench\"" "\"rows\"" "\"inflight\"" "\"requests_per_s\"" "\"p50_ms\"" "\"p99_ms\"")
-    if(NOT json MATCHES "${needle}")
-        message(FATAL_ERROR "BENCH_serve.json is missing ${needle}:\n${json}")
+string(REPLACE "," ";" required_fields "${REQUIRED_FIELDS}")
+list(PREPEND required_fields "bench" "rows")
+foreach(field ${required_fields})
+    if(NOT json MATCHES "\"${field}\"")
+        message(FATAL_ERROR "${JSON_NAME} is missing \"${field}\":\n${json}")
     endif()
 endforeach()
 
@@ -47,11 +59,11 @@ endforeach()
 if(NOT CMAKE_VERSION VERSION_LESS 3.19)
     string(JSON row_count ERROR_VARIABLE json_error LENGTH "${json}" "rows")
     if(json_error)
-        message(FATAL_ERROR "BENCH_serve.json does not parse: ${json_error}")
+        message(FATAL_ERROR "${JSON_NAME} does not parse: ${json_error}")
     endif()
     if(row_count LESS 1)
-        message(FATAL_ERROR "BENCH_serve.json has no bench rows")
+        message(FATAL_ERROR "${JSON_NAME} has no bench rows")
     endif()
 endif()
 
-message(STATUS "bench_serve_smoke ok: ${json_path}")
+message(STATUS "bench smoke ok: ${json_path}")

@@ -1,0 +1,89 @@
+#include "serve/deployment.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ens::serve {
+
+DeploymentManager::DeploymentManager(std::shared_ptr<BodyHost> initial)
+    : current_(std::move(initial)) {
+    ENS_REQUIRE(current_ != nullptr, "DeploymentManager: null initial host");
+    version_ = 1;
+    current_->set_deployment_version(version_);
+    generations_.push_back(Generation{version_, current_});
+}
+
+std::unique_ptr<DeploymentManager> DeploymentManager::from_bundle(const std::string& bundle_dir,
+                                                                  std::size_t shard_begin,
+                                                                  std::size_t shard_count) {
+    return std::make_unique<DeploymentManager>(
+        std::shared_ptr<BodyHost>(BodyHost::from_bundle(bundle_dir, shard_begin, shard_count)));
+}
+
+DeploymentManager::Pinned DeploymentManager::pin() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return Pinned{current_, version_};
+}
+
+std::uint32_t DeploymentManager::swap(std::shared_ptr<BodyHost> next) {
+    ENS_REQUIRE(next != nullptr, "DeploymentManager::swap: null next host");
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const HostInfo now = current_->host_info();
+    const HostInfo incoming = next->host_info();
+    // A hot swap replaces WEIGHTS, never the deployment's shape: clients
+    // and shard routers sized their selectors and tiling against the
+    // current slice, and a swap must not invalidate them.
+    if (incoming.total_bodies != now.total_bodies || incoming.body_begin != now.body_begin ||
+        incoming.body_count != now.body_count) {
+        throw Error(ErrorCode::protocol_error,
+                    "DeploymentManager::swap: incoming generation serves " +
+                        incoming.to_string() + " but the live deployment serves " +
+                        now.to_string() + " — a hot swap may not change the shard slice");
+    }
+    ++version_;
+    ++swaps_;
+    next->set_deployment_version(version_);
+    current_ = std::move(next);
+    std::erase_if(generations_, [](const Generation& g) { return g.host.expired(); });
+    generations_.push_back(Generation{version_, current_});
+    return version_;
+}
+
+std::uint32_t DeploymentManager::swap_from_bundle(const std::string& bundle_dir) {
+    HostInfo now;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        now = current_->host_info();
+    }
+    // Load OUTSIDE the lock — rebuilding bodies from checkpoints is the
+    // slow part, and pin() must stay responsive while it runs.
+    auto next = std::shared_ptr<BodyHost>(
+        BodyHost::from_bundle(bundle_dir, now.body_begin, now.body_count));
+    return swap(std::move(next));
+}
+
+std::uint32_t DeploymentManager::version() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return version_;
+}
+
+std::uint64_t DeploymentManager::swaps_completed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return swaps_;
+}
+
+std::vector<std::uint32_t> DeploymentManager::live_versions() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::uint32_t> versions;
+    for (const Generation& g : generations_) {
+        if (!g.host.expired()) {
+            versions.push_back(g.version);
+        }
+    }
+    std::sort(versions.begin(), versions.end());
+    return versions;
+}
+
+}  // namespace ens::serve

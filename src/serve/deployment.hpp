@@ -1,0 +1,112 @@
+#pragma once
+// Zero-downtime live bundle hot-swap: the version-pinned deployment layer
+// the reactor host (serve/reactor.hpp) serves from.
+//
+// The problem: a daemon that "runs for months under traffic" (ROADMAP)
+// must roll out a retrained bundle (PR 5, serve/bundle.hpp) WITHOUT
+// dropping live sessions — but a session's correctness depends on every
+// one of its requests being answered by the same body weights it
+// handshook against (the client's secret selector and tail were trained
+// with those bodies; mixing generations mid-session would silently break
+// bit-parity, the repo's core invariant).
+//
+// The solution is generation pinning, not in-place mutation:
+//
+//   - DeploymentManager owns the CURRENT BodyHost behind a shared_ptr and
+//     stamps it with a monotonically increasing deployment version
+//     (1, 2, ...), which the v4 handshake advertises
+//     (HostInfo::deployment_version).
+//   - Every new connection pins the current generation via pin(): the
+//     returned shared_ptr keeps that generation's bodies alive for as
+//     long as the session does, no matter how many swaps happen
+//     meanwhile.
+//   - swap()/swap_from_bundle() loads v(n+1) BESIDE v(n), validates it
+//     serves the identical shard slice, stamps it, and atomically makes
+//     it the default for NEW connections. Nothing about existing
+//     connections changes — their in-flight windows drain against the
+//     generation they pinned.
+//   - v(n) retires automatically when its last pinned session closes:
+//     the manager holds only a weak_ptr to past generations, so the final
+//     shared_ptr release (a connection teardown, never the swap) frees
+//     the old bodies. live_versions() exposes which generations are still
+//     referenced, so tests can ASSERT retirement instead of trusting it.
+//
+// Thread-safe: pin() races freely with swap() (the reactor thread pins
+// while a signal-handling thread swaps); the swap itself is a pointer
+// exchange under a mutex — no request ever observes a half-swapped state.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/remote.hpp"
+
+namespace ens::serve {
+
+class DeploymentManager {
+public:
+    /// Takes ownership of the initial generation and stamps it version 1.
+    /// The host must already be configured (shard slice, wire mask,
+    /// window); its advertised slice becomes the contract every later
+    /// swap must match.
+    explicit DeploymentManager(std::shared_ptr<BodyHost> initial);
+
+    /// Boots generation 1 straight from an on-disk bundle (the daemon
+    /// path): BodyHost::from_bundle(bundle_dir, shard_begin, shard_count).
+    static std::unique_ptr<DeploymentManager> from_bundle(
+        const std::string& bundle_dir, std::size_t shard_begin = 0,
+        std::size_t shard_count = static_cast<std::size_t>(-1));
+
+    DeploymentManager(const DeploymentManager&) = delete;
+    DeploymentManager& operator=(const DeploymentManager&) = delete;
+
+    /// What a new connection binds to: the current generation and its
+    /// version. The shared_ptr IS the pin — hold it for the connection's
+    /// lifetime and the generation cannot retire underneath it.
+    struct Pinned {
+        std::shared_ptr<BodyHost> host;
+        std::uint32_t version = 0;
+    };
+    Pinned pin() const;
+
+    /// Swaps in the next generation: validates `next` serves the same
+    /// shard slice as the current generation (typed
+    /// ens::Error{protocol_error} otherwise — a swap must never silently
+    /// change the deployment's shape under routed clients), stamps it
+    /// version()+1, and publishes it for new connections. Returns the new
+    /// version. Existing pins are untouched.
+    std::uint32_t swap(std::shared_ptr<BodyHost> next);
+
+    /// swap() from an on-disk bundle, loading the SAME shard slice the
+    /// current generation serves (so a SIGHUP reload can never widen or
+    /// narrow a shard by accident).
+    std::uint32_t swap_from_bundle(const std::string& bundle_dir);
+
+    /// Version new connections currently handshake.
+    std::uint32_t version() const;
+
+    /// Completed swaps (gauge for serve/stats + the bench).
+    std::uint64_t swaps_completed() const;
+
+    /// Versions whose bodies are still alive — the current one plus every
+    /// past generation some session still pins. Ascending order. A
+    /// drained daemon reports exactly {version()}.
+    std::vector<std::uint32_t> live_versions() const;
+
+private:
+    mutable std::mutex mutex_;
+    std::shared_ptr<BodyHost> current_;
+    std::uint32_t version_ = 0;
+    std::uint64_t swaps_ = 0;
+    /// Every generation ever published, weakly — expired entries are
+    /// pruned lazily by live_versions()/swap().
+    struct Generation {
+        std::uint32_t version = 0;
+        std::weak_ptr<BodyHost> host;
+    };
+    std::vector<Generation> generations_;
+};
+
+}  // namespace ens::serve

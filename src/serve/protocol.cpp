@@ -40,14 +40,15 @@ std::string encode_handshake(const HostInfo& info) {
     writer.write_u32(static_cast<std::uint32_t>(info.body_count));
     writer.write_u32(info.wire_mask);
     writer.write_u32(info.max_inflight);
+    writer.write_u32(info.deployment_version);
     return out.str();
 }
 
 HostInfo decode_handshake(const std::string& bytes) {
     // Magic and version are validated FIRST, off the fixed 8-byte prefix:
-    // a v2 peer's message is a different length, and "your host speaks
+    // an older peer's message is a different length, and "your host speaks
     // protocol v2" is a far more actionable failure than a bare size
-    // mismatch. Only then is the version-3 body length enforced.
+    // mismatch. Only then is the version-4 body length enforced.
     if (bytes.size() < 2 * sizeof(std::uint32_t)) {
         throw_handshake("message is " + std::to_string(bytes.size()) +
                         " B, too short for a handshake (peer is not an ens body host?)");
@@ -59,11 +60,12 @@ HostInfo decode_handshake(const std::string& bytes) {
     if (version != kProtocolVersion) {
         throw_handshake("protocol version mismatch (host v" + std::to_string(version) +
                         ", client v" + std::to_string(kProtocolVersion) +
-                        ") — v2 lockstep and v3 pipelined framing do not interoperate");
+                        ") — lockstep (v2), unpinned-pipelined (v3) and version-pinned (v4) "
+                        "framings do not interoperate");
     }
-    if (bytes.size() != 7 * sizeof(std::uint32_t)) {
+    if (bytes.size() != 8 * sizeof(std::uint32_t)) {
         throw_handshake("message is " + std::to_string(bytes.size()) +
-                        " B, expected 28 B (corrupt v3 handshake)");
+                        " B, expected 32 B (corrupt v4 handshake)");
     }
     HostInfo info;
     info.total_bodies = read_u32_at(bytes, 2 * sizeof(std::uint32_t));
@@ -71,6 +73,7 @@ HostInfo decode_handshake(const std::string& bytes) {
     info.body_count = read_u32_at(bytes, 4 * sizeof(std::uint32_t));
     info.wire_mask = read_u32_at(bytes, 5 * sizeof(std::uint32_t));
     info.max_inflight = read_u32_at(bytes, 6 * sizeof(std::uint32_t));
+    info.deployment_version = read_u32_at(bytes, 7 * sizeof(std::uint32_t));
     if (info.total_bodies == 0) {
         throw_handshake("host reports zero deployed bodies");
     }
@@ -153,7 +156,7 @@ std::uint64_t parse_request_frame(std::string_view frame, std::string_view& payl
     if (frame.size() < kRequestTagBytes) {
         throw Error(ErrorCode::protocol_error,
                     "request frame is " + std::to_string(frame.size()) +
-                        " B, too short for a v3 request tag (v2 lockstep client?)");
+                        " B, too short for a v4 request tag (v2 lockstep client?)");
     }
     payload = frame.substr(kRequestTagBytes);
     return get_u64_le(reinterpret_cast<const unsigned char*>(frame.data()));
@@ -163,7 +166,7 @@ ReplyTag parse_reply_frame(std::string_view frame, std::string_view& payload) {
     if (frame.size() < kReplyTagBytes) {
         throw Error(ErrorCode::protocol_error,
                     "reply frame is " + std::to_string(frame.size()) +
-                        " B, too short for a v3 reply tag (v2 lockstep host?)");
+                        " B, too short for a v4 reply tag (v2 lockstep host?)");
     }
     ReplyTag tag;
     const auto* data = reinterpret_cast<const unsigned char*>(frame.data());

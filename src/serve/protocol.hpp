@@ -15,17 +15,25 @@
 // receiver demultiplexes by id instead of trusting stream position. A
 // whole-deployment host is simply the shard [0, N) of N; body_seq indexes
 // the host's OWN slice (global index = slice begin + body_seq).
+// Version 4 adds DEPLOYMENT-VERSION PINNING for zero-downtime hot swaps
+// (serve/deployment.hpp): the handshake carries the monotonically
+// increasing version of the bundle this connection is pinned to, so a
+// session knows which deployment generation will answer every one of its
+// requests — a live bundle swap changes what NEW connections handshake,
+// never what an existing session observes. 0 means "unversioned" (a host
+// serving a fixed in-memory deployment with no swap machinery).
 //
 // Handshake message (host -> client, first message on every connection):
 //   u32 magic "ENSB" | u32 version | u32 total_bodies | u32 body_begin |
-//   u32 body_count | u32 wire_mask | u32 max_inflight
+//   u32 body_count | u32 wire_mask | u32 max_inflight |
+//   u32 deployment_version
 // Every malformed or incompatible field decodes to a typed
 // ens::Error{protocol_error} — pointing a client at a non-ens endpoint, a
 // stale binary, or a misconfigured shard must fail loudly and immediately,
 // never hang, crash, or fall back to lockstep framing against a pipelined
-// peer (the frames would silently desynchronize). In particular a v2 peer
-// is rejected BY NAME ("host v2, client v3") on both sides: the version
-// field is checked before anything else in the message body.
+// peer (the frames would silently desynchronize). In particular an older
+// peer is rejected BY NAME ("host v2, client v4") on both sides: the
+// version field is checked before anything else in the message body.
 
 #include <chrono>
 #include <cstdint>
@@ -41,7 +49,7 @@ class Channel;
 namespace ens::serve {
 
 inline constexpr std::uint32_t kHandshakeMagic = 0x42534E45;  // "ENSB"
-inline constexpr std::uint32_t kProtocolVersion = 3;
+inline constexpr std::uint32_t kProtocolVersion = 4;
 
 /// Default per-connection in-flight request window (both the host cap a
 /// BodyHost advertises and the client cap sessions start from; the
@@ -60,6 +68,9 @@ struct HostInfo {
     std::uint32_t wire_mask = 0;   ///< accepted split::WireFormat bits
     /// Requests this host keeps in flight per connection (>= 1).
     std::uint32_t max_inflight = static_cast<std::uint32_t>(kDefaultMaxInflight);
+    /// Deployment generation this connection is pinned to (hot-swap
+    /// version pinning; 0 = unversioned static host).
+    std::uint32_t deployment_version = 0;
 
     /// Past-the-end global body index of this host's slice.
     std::size_t body_end() const { return body_begin + body_count; }
@@ -72,14 +83,15 @@ struct HostInfo {
     std::string to_string() const;
 };
 
-/// Serializes the version-3 handshake message.
+/// Serializes the version-4 handshake message.
 std::string encode_handshake(const HostInfo& info);
 
 /// Parses and validates a handshake message. Throws
 /// ens::Error{protocol_error} on bad magic, version mismatch (named:
-/// "host vX, client v3" — checked before the body so a v2 host fails on
-/// its version, not on its message length), an empty or out-of-range body
-/// slice, an empty/unknown wire mask, or a zero/absurd in-flight window.
+/// "host vX, client v4" — checked before the body so an older host fails
+/// on its version, not on its message length), an empty or out-of-range
+/// body slice, an empty/unknown wire mask, or a zero/absurd in-flight
+/// window.
 HostInfo decode_handshake(const std::string& bytes);
 
 /// Client side of the handshake, shared by RemoteSession and ShardRouter:

@@ -1,0 +1,589 @@
+#include "serve/reactor.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "serve/protocol.hpp"
+#include "split/codec.hpp"
+
+namespace ens::serve {
+
+namespace {
+
+// Same stream-desync bound as TcpChannel: a frame header this large is a
+// corrupt or hostile peer, not a feature map.
+constexpr std::uint64_t kMaxFrameBytes = std::uint64_t{1} << 30;
+
+constexpr std::size_t kFrameHeaderBytes = 8;
+
+std::uint64_t decode_frame_header(const unsigned char* in) {
+    std::uint64_t size = 0;
+    for (int i = 0; i < 8; ++i) {
+        size |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+    }
+    return size;
+}
+
+void set_nonblocking_fd(int fd) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) {
+        (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- Poller
+// Readiness backend: identical semantics over epoll (Linux) and poll()
+// (everywhere). Level-triggered; hangup/error conditions are ALWAYS
+// reported, even for fds whose read interest was dropped — a paused
+// (window-full) connection whose peer dies must still tear down instead
+// of sitting in the map forever.
+
+class ReactorHost::Poller {
+public:
+    explicit Poller(bool force_poll) {
+#ifdef __linux__
+        if (!force_poll) {
+            epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+            if (epfd_ < 0) {
+                throw Error(ErrorCode::io_error,
+                            std::string("ReactorHost: epoll_create1: ") + std::strerror(errno));
+            }
+        }
+#else
+        (void)force_poll;
+#endif
+    }
+
+    ~Poller() {
+#ifdef __linux__
+        if (epfd_ >= 0) {
+            (void)::close(epfd_);
+        }
+#endif
+    }
+
+    Poller(const Poller&) = delete;
+    Poller& operator=(const Poller&) = delete;
+
+    void add(int fd) {
+        interest_[fd] = true;
+#ifdef __linux__
+        if (epfd_ >= 0) {
+            epoll_event ev{};
+            ev.events = EPOLLIN;
+            ev.data.fd = fd;
+            if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+                interest_.erase(fd);
+                throw Error(ErrorCode::io_error,
+                            std::string("ReactorHost: epoll_ctl(ADD): ") + std::strerror(errno));
+            }
+        }
+#endif
+    }
+
+    void set_read(int fd, bool enabled) {
+        const auto it = interest_.find(fd);
+        if (it == interest_.end() || it->second == enabled) {
+            return;
+        }
+        it->second = enabled;
+#ifdef __linux__
+        if (epfd_ >= 0) {
+            // events = 0 keeps the fd registered: EPOLLHUP/EPOLLERR are
+            // reported unconditionally, which is exactly the "paused but
+            // still supervised" state a window-full connection needs.
+            epoll_event ev{};
+            ev.events = enabled ? EPOLLIN : 0;
+            ev.data.fd = fd;
+            (void)::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev);
+        }
+#endif
+    }
+
+    void remove(int fd) {
+        if (interest_.erase(fd) == 0) {
+            return;
+        }
+#ifdef __linux__
+        if (epfd_ >= 0) {
+            (void)::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+        }
+#endif
+    }
+
+    struct Event {
+        int fd = -1;
+        bool readable = false;
+        bool hangup = false;
+    };
+
+    void wait(std::vector<Event>& out, int timeout_ms) {
+        out.clear();
+#ifdef __linux__
+        if (epfd_ >= 0) {
+            epoll_events_.resize(std::max<std::size_t>(interest_.size(), 64));
+            const int n = ::epoll_wait(epfd_, epoll_events_.data(),
+                                       static_cast<int>(epoll_events_.size()), timeout_ms);
+            if (n < 0) {
+                if (errno == EINTR) {
+                    return;
+                }
+                throw Error(ErrorCode::io_error,
+                            std::string("ReactorHost: epoll_wait: ") + std::strerror(errno));
+            }
+            for (int i = 0; i < n; ++i) {
+                Event event;
+                event.fd = epoll_events_[static_cast<std::size_t>(i)].data.fd;
+                const std::uint32_t bits = epoll_events_[static_cast<std::size_t>(i)].events;
+                event.readable = (bits & EPOLLIN) != 0;
+                event.hangup = (bits & (EPOLLHUP | EPOLLERR)) != 0;
+                out.push_back(event);
+            }
+            return;
+        }
+#endif
+        pollfds_.clear();
+        pollfds_.reserve(interest_.size());
+        for (const auto& [fd, read_enabled] : interest_) {
+            pollfd pfd{};
+            pfd.fd = fd;
+            pfd.events = read_enabled ? POLLIN : 0;  // HUP/ERR always reported
+            pollfds_.push_back(pfd);
+        }
+        const int n = ::poll(pollfds_.data(), pollfds_.size(), timeout_ms);
+        if (n < 0) {
+            if (errno == EINTR) {
+                return;
+            }
+            throw Error(ErrorCode::io_error,
+                        std::string("ReactorHost: poll: ") + std::strerror(errno));
+        }
+        for (const pollfd& pfd : pollfds_) {
+            if (pfd.revents == 0) {
+                continue;
+            }
+            Event event;
+            event.fd = pfd.fd;
+            event.readable = (pfd.revents & POLLIN) != 0;
+            event.hangup = (pfd.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+            out.push_back(event);
+        }
+    }
+
+private:
+    std::unordered_map<int, bool> interest_;  // fd -> read interest
+#ifdef __linux__
+    int epfd_ = -1;
+    std::vector<epoll_event> epoll_events_;
+#endif
+    std::vector<pollfd> pollfds_;
+};
+
+// --------------------------------------------------------- ReactorHost
+
+ReactorHost::ReactorHost(std::shared_ptr<DeploymentManager> deployments, ReactorConfig config)
+    : deployments_(std::move(deployments)), config_(config) {
+    ENS_REQUIRE(deployments_ != nullptr, "ReactorHost: null deployment manager");
+    ENS_REQUIRE(config_.worker_threads >= 1, "ReactorHost: need at least one worker thread");
+    int fds[2] = {-1, -1};
+    if (::pipe(fds) != 0) {
+        throw Error(ErrorCode::io_error,
+                    std::string("ReactorHost: pipe: ") + std::strerror(errno));
+    }
+    wake_read_fd_ = fds[0];
+    wake_write_fd_ = fds[1];
+    // Non-blocking both ways: a full pipe means a wake-up is already
+    // pending, so dropping the byte is correct, not lossy.
+    set_nonblocking_fd(wake_read_fd_);
+    set_nonblocking_fd(wake_write_fd_);
+}
+
+ReactorHost::~ReactorHost() {
+    (void)::close(wake_read_fd_);
+    (void)::close(wake_write_fd_);
+}
+
+void ReactorHost::shutdown() {
+    stop_requested_.store(true);
+    const unsigned char byte = 0;
+    (void)::write(wake_write_fd_, &byte, 1);
+}
+
+GaugeSnapshot ReactorHost::gauges() const {
+    GaugeSnapshot snap = gauges_.snapshot();
+    snap.swaps_completed = deployments_->swaps_completed();
+    snap.worker_threads = config_.worker_threads;
+    return snap;
+}
+
+void ReactorHost::notify(std::shared_ptr<Conn> conn, std::uint64_t id, bool completed) {
+    {
+        const std::lock_guard<std::mutex> lock(notice_mutex_);
+        notices_.push_back(Notice{std::move(conn), id, completed});
+    }
+    const unsigned char byte = 0;
+    (void)::write(wake_write_fd_, &byte, 1);
+}
+
+void ReactorHost::worker_main() {
+    // Each worker owns its reply pool: leases never cross threads, so the
+    // pool needs no sharing discipline and hot buffers stay warm per
+    // worker (same layout PR 4 gave the per-connection serve() workers).
+    split::WireBufferPool reply_pool;
+    for (;;) {
+        WorkItem item;
+        {
+            std::unique_lock<std::mutex> lock(work_mutex_);
+            work_cv_.wait(lock, [&] { return workers_stop_ || !work_queue_.empty(); });
+            if (work_queue_.empty()) {
+                return;  // stop + drained
+            }
+            item = std::move(work_queue_.front());
+            work_queue_.pop_front();
+        }
+        bool completed = false;
+        if (!item.conn->dead.load()) {
+            try {
+                item.conn->pinned.host->process_request(
+                    item.request_id, std::string_view(item.frame).substr(kRequestTagBytes),
+                    reply_pool, *item.conn->channel);
+                completed = true;
+            } catch (const Error& e) {
+                // channel_closed here is the reactor (or the peer) tearing
+                // the connection down with requests still admitted —
+                // normal pipelined teardown, not worth a log line.
+                if (e.code() != ErrorCode::channel_closed) {
+                    ENS_LOG(LogLevel::kWarn)
+                        << "ReactorHost: request failed, dropping connection: " << e.what();
+                }
+                item.conn->dead.store(true);
+            } catch (const std::exception& e) {
+                ENS_LOG(LogLevel::kWarn)
+                    << "ReactorHost: request failed, dropping connection: " << e.what();
+                item.conn->dead.store(true);
+            }
+        }
+        item.conn->inflight.fetch_sub(1);
+        gauges_.active_requests.fetch_sub(1);
+        if (completed) {
+            gauges_.requests_served.fetch_add(1);
+        }
+        notify(std::move(item.conn), item.request_id, true);
+    }
+}
+
+void ReactorHost::dispatch(const std::shared_ptr<Conn>& conn, std::uint64_t id,
+                           std::string frame) {
+    conn->inflight.fetch_add(1);
+    gauges_.active_requests.fetch_add(1);
+    {
+        const std::lock_guard<std::mutex> lock(work_mutex_);
+        work_queue_.push_back(WorkItem{conn, id, std::move(frame)});
+    }
+    work_cv_.notify_one();
+}
+
+bool ReactorHost::parse_and_dispatch(const std::shared_ptr<Conn>& conn, Poller& poller) {
+    while (!conn->dead.load() && conn->inflight.load() < conn->window) {
+        if (conn->buffer.size() < kFrameHeaderBytes) {
+            break;
+        }
+        const std::uint64_t payload_size = decode_frame_header(
+            reinterpret_cast<const unsigned char*>(conn->buffer.data()));
+        if (payload_size > kMaxFrameBytes) {
+            ENS_LOG(LogLevel::kWarn) << "ReactorHost: implausible frame length " << payload_size
+                                     << " (stream desynced?), dropping connection";
+            return false;
+        }
+        const std::size_t total = kFrameHeaderBytes + static_cast<std::size_t>(payload_size);
+        if (conn->buffer.size() < total) {
+            break;
+        }
+        std::string frame = conn->buffer.substr(kFrameHeaderBytes, total - kFrameHeaderBytes);
+        conn->buffer.erase(0, total);
+        std::uint64_t id = 0;
+        try {
+            std::string_view payload;
+            id = parse_request_frame(frame, payload);
+        } catch (const Error& e) {
+            ENS_LOG(LogLevel::kWarn) << "ReactorHost: " << e.what() << ", dropping connection";
+            return false;
+        }
+        if (std::find(conn->pending_ids.begin(), conn->pending_ids.end(), id) !=
+            conn->pending_ids.end()) {
+            ENS_LOG(LogLevel::kWarn)
+                << "ReactorHost: duplicate in-flight request id " << id
+                << " (hostile or desynchronized client), dropping connection";
+            return false;
+        }
+        conn->pending_ids.push_back(id);
+        last_activity_ = std::chrono::steady_clock::now();
+        dispatch(conn, id, std::move(frame));
+    }
+    // Window full (or a failure pending): drop read interest so TCP flow
+    // control backpressures the client; completions re-arm via notices.
+    const bool should_pause = conn->inflight.load() >= conn->window;
+    if (should_pause != conn->paused) {
+        conn->paused = should_pause;
+        poller.set_read(conn->fd, !should_pause);
+    }
+    return true;
+}
+
+void ReactorHost::conn_readable(const std::shared_ptr<Conn>& conn, Poller& poller) {
+    // Read until EAGAIN (level-triggered, so a capped read would re-report
+    // — but draining the socket now saves wake-ups). The fd stays
+    // blocking; MSG_DONTWAIT makes just these reads non-blocking.
+    char chunk[64 * 1024];
+    for (;;) {
+        const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+        if (n > 0) {
+            conn->buffer.append(chunk, static_cast<std::size_t>(n));
+            last_activity_ = std::chrono::steady_clock::now();
+            // Parse as we go: a window-full connection must stop reading
+            // even with more bytes pending in the socket.
+            if (!parse_and_dispatch(conn, poller)) {
+                teardown(conn, poller);
+                return;
+            }
+            if (conn->paused) {
+                return;
+            }
+            continue;
+        }
+        if (n == 0) {
+            // Clean EOF: the client is done with this connection.
+            teardown(conn, poller);
+            return;
+        }
+        if (errno == EINTR) {
+            continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            return;
+        }
+        if (errno != ECONNRESET) {
+            ENS_LOG(LogLevel::kWarn)
+                << "ReactorHost: recv failed: " << std::strerror(errno)
+                << ", dropping connection";
+        }
+        teardown(conn, poller);
+        return;
+    }
+}
+
+void ReactorHost::accept_ready(split::ChannelListener& listener, Poller& poller) {
+    for (;;) {
+        std::unique_ptr<split::TcpChannel> channel;
+        try {
+            channel = listener.try_accept();
+        } catch (const Error&) {
+            // Listener closed (or hard accept failure) underneath us.
+            // Trigger the drain ourselves: a dead listener fd stays
+            // readable forever, and without a stop this loop would spin on
+            // it instead of ever blocking again.
+            stop_requested_.store(true);
+            return;
+        }
+        if (channel == nullptr) {
+            return;
+        }
+        auto conn = std::make_shared<Conn>();
+        conn->pinned = deployments_->pin();
+        conn->window = static_cast<std::uint32_t>(conn->pinned.host->max_inflight());
+        conn->fd = channel->fd();
+        conn->channel = std::move(channel);
+        try {
+            // Blocking send is fine here: the socket buffer of a fresh
+            // connection trivially holds a 32 B handshake.
+            conn->channel->send(encode_handshake(conn->pinned.host->host_info()));
+        } catch (const std::exception& e) {
+            ENS_LOG(LogLevel::kWarn) << "ReactorHost: handshake send failed: " << e.what();
+            continue;  // conn (and its channel) die here
+        }
+        conns_[conn->fd] = conn;
+        poller.add(conn->fd);
+        gauges_.connections_held.fetch_add(1);
+        gauges_.connections_total.fetch_add(1);
+        last_activity_ = std::chrono::steady_clock::now();
+    }
+}
+
+void ReactorHost::teardown(const std::shared_ptr<Conn>& conn, Poller& poller) {
+    if (conns_.erase(conn->fd) == 0) {
+        return;  // already torn down (e.g. dead notice after a read error)
+    }
+    poller.remove(conn->fd);
+    conn->dead.store(true);
+    try {
+        conn->channel->close();  // wakes any worker blocked mid-send
+    } catch (...) {
+    }
+    gauges_.connections_held.fetch_sub(1);
+    // The Conn object itself (and the fd it reserves) lives until the
+    // last queued WorkItem / Notice referencing it is processed.
+}
+
+void ReactorHost::drain_notices(Poller& poller) {
+    std::vector<Notice> batch;
+    {
+        const std::lock_guard<std::mutex> lock(notice_mutex_);
+        batch.swap(notices_);
+    }
+    for (Notice& notice : batch) {
+        last_activity_ = std::chrono::steady_clock::now();
+        if (notice.completed) {
+            auto& ids = notice.conn->pending_ids;
+            ids.erase(std::remove(ids.begin(), ids.end(), notice.request_id), ids.end());
+        }
+        if (conns_.find(notice.conn->fd) == conns_.end() ||
+            conns_[notice.conn->fd] != notice.conn) {
+            continue;  // already gone (or the fd was recycled by a new conn)
+        }
+        if (notice.conn->dead.load()) {
+            teardown(notice.conn, poller);
+            continue;
+        }
+        // A freed window slot may unblock frames already buffered, and
+        // re-arms read interest if the connection was paused.
+        if (!parse_and_dispatch(notice.conn, poller)) {
+            teardown(notice.conn, poller);
+        }
+    }
+}
+
+void ReactorHost::run(split::ChannelListener& listener) {
+    listener.set_nonblocking(true);
+    Poller poller(config_.force_poll);
+    poller.add(wake_read_fd_);
+    poller.add(listener.fd());
+
+    {
+        const std::lock_guard<std::mutex> lock(work_mutex_);
+        workers_stop_ = false;
+    }
+    std::vector<std::thread> workers;
+    workers.reserve(config_.worker_threads);
+    for (std::size_t i = 0; i < config_.worker_threads; ++i) {
+        workers.emplace_back([this] { worker_main(); });
+    }
+
+    last_activity_ = std::chrono::steady_clock::now();
+    bool draining = false;
+    std::chrono::steady_clock::time_point drain_deadline{};
+    std::vector<Poller::Event> events;
+
+    for (;;) {
+        // While draining, poll on a short tick so the quiet-period check
+        // below runs even with no events arriving.
+        poller.wait(events, draining ? 20 : -1);
+        for (const Poller::Event& event : events) {
+            if (event.fd == wake_read_fd_) {
+                char sink[256];
+                while (::read(wake_read_fd_, sink, sizeof(sink)) > 0) {
+                }
+                continue;
+            }
+            if (event.fd == listener.fd()) {
+                if (!draining && event.readable) {
+                    accept_ready(listener, poller);
+                }
+                continue;
+            }
+            const auto it = conns_.find(event.fd);
+            if (it == conns_.end()) {
+                continue;  // torn down earlier in this same batch
+            }
+            const std::shared_ptr<Conn> conn = it->second;
+            if (event.readable) {
+                conn_readable(conn, poller);
+            } else if (event.hangup) {
+                // Hangup-only: the peer died while this connection was
+                // paused (read interest off). Without this branch a
+                // window-full dead peer would sit in the map forever.
+                teardown(conn, poller);
+            }
+        }
+        drain_notices(poller);
+
+        if (!draining && stop_requested_.load()) {
+            draining = true;
+            drain_deadline = std::chrono::steady_clock::now() + config_.drain_timeout;
+            poller.remove(listener.fd());  // stop accepting; keep serving
+            last_activity_ = std::chrono::steady_clock::now();
+        }
+        if (draining) {
+            const auto now = std::chrono::steady_clock::now();
+            const bool idle = gauges_.active_requests.load() == 0;
+            if ((idle && now - last_activity_ >= config_.drain_grace) || now >= drain_deadline) {
+                break;
+            }
+        }
+    }
+
+    // Drain complete (or deadline hit): close every connection — which
+    // also unblocks any worker stuck sending to a wedged peer — then stop
+    // and join the fixed pool.
+    std::vector<std::shared_ptr<Conn>> remaining;
+    remaining.reserve(conns_.size());
+    for (const auto& [fd, conn] : conns_) {
+        remaining.push_back(conn);
+    }
+    for (const std::shared_ptr<Conn>& conn : remaining) {
+        teardown(conn, poller);
+    }
+    {
+        const std::lock_guard<std::mutex> lock(work_mutex_);
+        workers_stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& worker : workers) {
+        worker.join();
+    }
+}
+
+// ------------------------------------------------------------ SignalSet
+
+SignalSet::SignalSet(std::initializer_list<int> signals) {
+    sigemptyset(&set_);
+    for (const int signo : signals) {
+        sigaddset(&set_, signo);
+    }
+    // Block (don't handle): the signals become fetchable by wait() and
+    // are inherited as blocked by every thread spawned AFTER this — which
+    // is why daemons must construct the SignalSet before the reactor.
+    if (::pthread_sigmask(SIG_BLOCK, &set_, nullptr) != 0) {
+        throw Error(ErrorCode::io_error, "SignalSet: pthread_sigmask failed");
+    }
+}
+
+int SignalSet::wait() {
+    for (;;) {
+        int signo = 0;
+        const int rc = ::sigwait(&set_, &signo);
+        if (rc == 0) {
+            return signo;
+        }
+        if (rc != EINTR) {
+            throw Error(ErrorCode::io_error,
+                        std::string("SignalSet: sigwait: ") + std::strerror(rc));
+        }
+    }
+}
+
+}  // namespace ens::serve

@@ -1,0 +1,198 @@
+#pragma once
+// Event-driven serving core: one reactor thread owns EVERY connection fd
+// (epoll on Linux, poll() portable fallback), so connections-held and
+// threads-spawned are finally decoupled — BodyHost::serve_forever costs
+// one OS thread per connection, while a ReactorHost sustains 1024+
+// concurrent pipelined sessions on a FIXED thread budget:
+//
+//   reactor thread   accepts (non-blocking, ChannelListener::try_accept),
+//                    sends the v4 handshake, does MSG_DONTWAIT framed
+//                    reads into per-connection buffers, parses complete
+//                    tagged requests and dispatches them to the workers.
+//   worker pool      config.worker_threads compute threads, shared by ALL
+//                    connections. Each worker runs
+//                    BodyHost::process_request (decode -> per-body
+//                    forward -> encode into its own WireBufferPool ->
+//                    tagged replies), so the wire bytes are byte-identical
+//                    to serve()'s — the reactor changes WHO runs the
+//                    request, never WHAT it computes.
+//
+// Per-connection windows are enforced by READ INTEREST, not queues: once a
+// connection has max_inflight requests admitted, the reactor stops
+// reading its fd (interest drops to hangup-only) and TCP flow control
+// pushes back on the client — the same backpressure serve() gets from
+// pausing its recv loop, without a blocked thread. The aggregate work
+// queue is therefore bounded by sum-of-windows, never by client behavior.
+//
+// Connection fds stay in BLOCKING mode: the reactor reads with
+// MSG_DONTWAIT (per-call non-blocking), while workers reply through the
+// ordinary blocking TcpChannel::send_parts — frame assembly, billing and
+// the send mutex stay in ONE implementation instead of growing a second,
+// nonblocking-write state machine. A worker blocked on a slow client is
+// bounded by that client's window and wakes on teardown (close() shuts
+// the socket down).
+//
+// Deployments are version-pinned (serve/deployment.hpp): every accepted
+// connection pins the DeploymentManager's current generation and is
+// served by those bodies until it closes, so a live bundle hot-swap
+// (SIGHUP in serve_daemon) changes what NEW connections handshake and
+// nothing else.
+//
+// Shutdown is a DRAIN, not an abort: shutdown() stops accepting, lets
+// every admitted request finish and its reply reach the wire, waits
+// `drain_grace` of quiet for requests still in transit on loopback, then
+// closes all connections and joins the workers — no client ever sees a
+// torn reply (config.drain_timeout bounds a wedged peer).
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdint>
+#include <deque>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/deployment.hpp"
+#include "serve/stats.hpp"
+#include "split/tcp_channel.hpp"
+
+namespace ens::serve {
+
+struct ReactorConfig {
+    /// Fixed compute-thread budget shared by every connection. This is
+    /// the ONLY thread count that scales with load — and it doesn't
+    /// scale with connections.
+    std::size_t worker_threads = 4;
+    /// Use the portable poll() backend even where epoll is available
+    /// (tests exercise both; semantics are identical).
+    bool force_poll = false;
+    /// Quiet period a drain waits after the last request completes, so
+    /// requests already on the wire (sent before the client could learn
+    /// of the shutdown) are admitted and answered rather than torn.
+    std::chrono::milliseconds drain_grace{200};
+    /// Hard bound on the whole drain; a wedged peer cannot hold the
+    /// process hostage past this.
+    std::chrono::milliseconds drain_timeout{10000};
+};
+
+/// The event-driven host. One instance == one reactor thread (the caller
+/// of run()) + config.worker_threads workers, serving every connection of
+/// one listener from the pinned generations of one DeploymentManager.
+class ReactorHost {
+public:
+    explicit ReactorHost(std::shared_ptr<DeploymentManager> deployments,
+                         ReactorConfig config = {});
+    ~ReactorHost();
+
+    ReactorHost(const ReactorHost&) = delete;
+    ReactorHost& operator=(const ReactorHost&) = delete;
+
+    /// The event loop. Puts the listener in non-blocking mode, spawns the
+    /// worker pool, and blocks serving connections until shutdown() (or
+    /// the listener being closed externally) triggers a drain; returns
+    /// once the drain completes and all workers are joined. Call once.
+    void run(split::ChannelListener& listener);
+
+    /// Requests a graceful drain-and-stop of run() (thread-safe,
+    /// idempotent, callable before run() — run() then drains
+    /// immediately). Returns without waiting; run() returning is the
+    /// completion signal.
+    void shutdown();
+
+    /// Operational gauges (connections_held / active_requests / ... plus
+    /// the manager's swaps_completed and the fixed worker count).
+    GaugeSnapshot gauges() const;
+
+    DeploymentManager& deployments() const { return *deployments_; }
+
+private:
+    /// One live connection. The reactor thread owns buffer/pending_ids/
+    /// paused; workers touch only the atomics and the (internally
+    /// synchronized) channel. Held by shared_ptr so queued work and
+    /// completion notices can never dangle across a teardown or an fd
+    /// recycle.
+    struct Conn {
+        std::unique_ptr<split::TcpChannel> channel;
+        DeploymentManager::Pinned pinned;
+        std::uint32_t window = 1;
+        int fd = -1;
+        std::string buffer;  // bytes read, not yet parsed into frames
+        std::vector<std::uint64_t> pending_ids;  // admitted, not completed
+        bool paused = false;  // read interest dropped (window full)
+        std::atomic<std::uint32_t> inflight{0};
+        std::atomic<bool> dead{false};  // worker saw a failure; tear down
+    };
+
+    struct WorkItem {
+        std::shared_ptr<Conn> conn;
+        std::uint64_t request_id = 0;
+        std::string frame;  // payload at serve::kRequestTagBytes
+    };
+
+    /// Completion/failure notice from a worker back to the reactor.
+    struct Notice {
+        std::shared_ptr<Conn> conn;
+        std::uint64_t request_id = 0;
+        bool completed = false;  // false = failure-only notice
+    };
+
+    class Poller;
+
+    void worker_main();
+    void accept_ready(split::ChannelListener& listener, Poller& poller);
+    void conn_readable(const std::shared_ptr<Conn>& conn, Poller& poller);
+    /// Parses buffered frames and dispatches while the window allows;
+    /// updates read interest / paused. Returns false on protocol error
+    /// (caller tears the connection down).
+    bool parse_and_dispatch(const std::shared_ptr<Conn>& conn, Poller& poller);
+    void dispatch(const std::shared_ptr<Conn>& conn, std::uint64_t id, std::string frame);
+    void teardown(const std::shared_ptr<Conn>& conn, Poller& poller);
+    void notify(std::shared_ptr<Conn> conn, std::uint64_t id, bool completed);
+    void drain_notices(Poller& poller);
+
+    std::shared_ptr<DeploymentManager> deployments_;
+    ReactorConfig config_;
+    HostGauges gauges_;
+
+    int wake_read_fd_ = -1;
+    int wake_write_fd_ = -1;
+    std::atomic<bool> stop_requested_{false};
+
+    std::unordered_map<int, std::shared_ptr<Conn>> conns_;  // reactor thread only
+    std::chrono::steady_clock::time_point last_activity_;   // reactor thread only
+
+    std::mutex work_mutex_;
+    std::condition_variable work_cv_;
+    std::deque<WorkItem> work_queue_;
+    bool workers_stop_ = false;
+
+    std::mutex notice_mutex_;
+    std::vector<Notice> notices_;
+};
+
+/// Signal plumbing for daemons and fork tests: blocks `signals` in the
+/// CONSTRUCTOR (construct before spawning any thread — reactor workers
+/// inherit the mask, so no signal is ever delivered to a compute thread)
+/// and hands them out synchronously from wait(). This is the supported
+/// way to drive ReactorHost from signals: a plain handler could only set
+/// a flag, while a sigwait thread may call shutdown()/swap_from_bundle()
+/// directly — they are ordinary thread-safe calls, and nothing here runs
+/// in async-signal context.
+class SignalSet {
+public:
+    explicit SignalSet(std::initializer_list<int> signals);
+
+    /// Blocks until one of the set's signals arrives and returns its
+    /// number (sigwait; never a handler).
+    int wait();
+
+private:
+    sigset_t set_;
+};
+
+}  // namespace ens::serve

@@ -84,7 +84,29 @@ HostInfo BodyHost::host_info() const {
     info.body_count = bodies_.size();
     info.wire_mask = wire_mask_;
     info.max_inflight = static_cast<std::uint32_t>(max_inflight_);
+    info.deployment_version = deployment_version_;
     return info;
+}
+
+void BodyHost::process_request(std::uint64_t request_id, std::string_view payload,
+                               split::WireBufferPool& reply_pool, split::Channel& out) {
+    // Mirror the request's payload encoding on the downlink so each round
+    // trip stays byte-identical to the in-proc sequential transport.
+    const split::WireFormat wire = split::encoded_wire_format(payload);
+    const Tensor features = split::decode_tensor(payload);
+    for (std::size_t n = 0; n < bodies_.size(); ++n) {
+        Tensor output;
+        {
+            const std::lock_guard<std::mutex> body_lock(forward_mutexes_[n]);
+            output = bodies_[n]->forward(features);
+        }
+        auto lease = reply_pool.acquire();
+        split::encode_into(output, wire, *lease);
+        unsigned char tag[kReplyTagBytes];
+        encode_reply_tag(request_id, static_cast<std::uint32_t>(n), tag);
+        out.send_parts(std::string_view(reinterpret_cast<const char*>(tag), sizeof(tag)),
+                       lease->view());
+    }
 }
 
 std::size_t BodyHost::connections_accepted() const {
@@ -156,27 +178,8 @@ void BodyHost::serve(split::Channel& channel) {
                 queue.pop_front();
             }
             try {
-                const std::string_view payload =
-                    std::string_view(work.frame).substr(kRequestTagBytes);
-                // Mirror the request's payload encoding on the downlink so
-                // each round trip stays byte-identical to the in-proc
-                // sequential transport.
-                const split::WireFormat wire = split::encoded_wire_format(payload);
-                const Tensor features = split::decode_tensor(payload);
-                for (std::size_t n = 0; n < bodies_.size(); ++n) {
-                    Tensor output;
-                    {
-                        const std::lock_guard<std::mutex> body_lock(forward_mutexes_[n]);
-                        output = bodies_[n]->forward(features);
-                    }
-                    auto lease = reply_pool.acquire();
-                    split::encode_into(output, wire, *lease);
-                    unsigned char tag[kReplyTagBytes];
-                    encode_reply_tag(work.id, static_cast<std::uint32_t>(n), tag);
-                    channel.send_parts(
-                        std::string_view(reinterpret_cast<const char*>(tag), sizeof(tag)),
-                        lease->view());
-                }
+                process_request(work.id, std::string_view(work.frame).substr(kRequestTagBytes),
+                                reply_pool, channel);
             } catch (const Error& e) {
                 // A client tearing the connection down with replies still in
                 // flight is normal pipelined teardown, not a failure.
@@ -345,6 +348,7 @@ RemoteSession::RemoteSession(std::unique_ptr<split::Channel> channel, nn::Layer&
                         " — a shard host needs a ShardRouter, not a RemoteSession");
     }
     body_count_ = host.total_bodies;
+    deployment_version_ = host.deployment_version;
     ENS_REQUIRE(selector_.n() == body_count_,
                 "RemoteSession: selector must cover the host's " + std::to_string(body_count_) +
                     " bodies");

@@ -114,6 +114,13 @@ public:
     void set_wire_mask(std::uint32_t wire_mask);
     std::uint32_t wire_mask() const { return wire_mask_; }
 
+    /// Stamps the deployment generation this host's handshakes advertise
+    /// (serve/deployment.hpp hot-swap version pinning). Defaults to 0 =
+    /// "unversioned static host"; a DeploymentManager assigns 1, 2, ... as
+    /// bundles are swapped in.
+    void set_deployment_version(std::uint32_t version) { deployment_version_ = version; }
+    std::uint32_t deployment_version() const { return deployment_version_; }
+
     /// What the handshake advertises (slice + accepted wire formats +
     /// in-flight window).
     HostInfo host_info() const;
@@ -127,6 +134,20 @@ public:
     /// after draining the workers). Duplicate in-flight request ids and
     /// untagged (v2 lockstep) frames are typed protocol_errors.
     void serve(split::Channel& channel);
+
+    /// Computes and ships the replies for ONE tagged request: decodes
+    /// `payload` (the codec bytes after the request tag), runs every
+    /// hosted body (serialized per body via the forward mutexes, so any
+    /// number of callers may overlap on distinct bodies), and sends
+    /// body_count() tagged reply frames through `out`, each encoded into a
+    /// buffer leased from `reply_pool` with the request's own wire format
+    /// mirrored. This is the whole compute path of serve()'s workers,
+    /// exposed so an event-driven host (serve/reactor.hpp) can dispatch
+    /// parsed frames from ANY connection onto a shared bounded worker
+    /// pool. Thread-safe; throws typed ens::Error on decode/transport
+    /// failure (the caller owns teardown policy).
+    void process_request(std::uint64_t request_id, std::string_view payload,
+                         split::WireBufferPool& reply_pool, split::Channel& out);
 
     /// Accept loop: one serve() thread per connection. Blocks until the
     /// listener is closed (from another thread or a signal handler), then
@@ -146,6 +167,7 @@ private:
     std::size_t shard_total_ = 0;  // 0 = "all bodies" until set_shard
     std::size_t max_inflight_ = kDefaultMaxInflight;
     std::uint32_t wire_mask_ = split::all_wire_formats_mask();
+    std::uint32_t deployment_version_ = 0;
     // One mutex per body: a layer's forward cache is not thread-safe, but
     // distinct bodies may run concurrently — for different connections AND
     // for different in-flight requests of one connection.
@@ -197,6 +219,10 @@ public:
     }
 
     std::size_t body_count() const { return body_count_; }
+    /// Deployment generation this session is pinned to (from the v4
+    /// handshake; 0 = unversioned host). A live hot-swap never changes
+    /// this — only connections opened after the swap see the new version.
+    std::uint32_t deployment_version() const { return deployment_version_; }
     /// Effective in-flight window negotiated with the host.
     std::size_t window() const { return pipeline_->window(); }
     split::WireFormat wire_format() const { return wire_format_; }
@@ -217,6 +243,7 @@ private:
     core::Selector selector_;
     split::WireFormat wire_format_;
     std::size_t body_count_ = 0;
+    std::uint32_t deployment_version_ = 0;
     split::WireBufferPool uplink_pool_;
     SessionStats stats_;
     std::unique_ptr<ShardPipeline> pipeline_;

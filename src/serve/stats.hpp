@@ -10,6 +10,7 @@
 // Thread-safe: the service thread records completions while client
 // threads read the accessors concurrently.
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <vector>
@@ -23,6 +24,40 @@ struct LatencySummary {
     double p90_ms = 0.0;
     double p99_ms = 0.0;
     double max_ms = 0.0;
+};
+
+/// Point-in-time copy of a host's operational gauges (plain integers —
+/// safe to store, print, or serialize into a bench row).
+struct GaugeSnapshot {
+    std::uint64_t connections_held = 0;   ///< live connections right now
+    std::uint64_t connections_total = 0;  ///< accepted since start
+    std::uint64_t active_requests = 0;    ///< admitted, reply not yet sent
+    std::uint64_t requests_served = 0;    ///< completed (all body replies sent)
+    std::uint64_t swaps_completed = 0;    ///< live bundle hot-swaps applied
+    std::uint64_t worker_threads = 0;     ///< fixed compute-thread budget
+};
+
+/// Host-side operational gauges, updated lock-free from the reactor and
+/// its workers and readable concurrently by benches/tests — the
+/// observability surface that lets "the reactor holds N connections on W
+/// threads" be ASSERTED instead of inferred. Counters only; latency
+/// percentiles stay client-side in SessionStats, where the end-to-end
+/// clock lives.
+class HostGauges {
+public:
+    std::atomic<std::uint64_t> connections_held{0};
+    std::atomic<std::uint64_t> connections_total{0};
+    std::atomic<std::uint64_t> active_requests{0};
+    std::atomic<std::uint64_t> requests_served{0};
+
+    GaugeSnapshot snapshot() const {
+        GaugeSnapshot snap;
+        snap.connections_held = connections_held.load(std::memory_order_relaxed);
+        snap.connections_total = connections_total.load(std::memory_order_relaxed);
+        snap.active_requests = active_requests.load(std::memory_order_relaxed);
+        snap.requests_served = requests_served.load(std::memory_order_relaxed);
+        return snap;
+    }
 };
 
 class SessionStats {

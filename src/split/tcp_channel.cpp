@@ -1,6 +1,7 @@
 #include "split/tcp_channel.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -275,7 +276,7 @@ bool TcpChannel::has_pending() const {
 
 // -------------------------------------------------------- ChannelListener
 
-ChannelListener::ChannelListener(std::uint16_t port, const std::string& host) {
+ChannelListener::ChannelListener(std::uint16_t port, const std::string& host, int backlog) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) {
         throw Error(ErrorCode::io_error, errno_text("ChannelListener: socket"));
@@ -296,7 +297,7 @@ ChannelListener::ChannelListener(std::uint16_t port, const std::string& host) {
         (void)::close(fd_);
         throw Error(ErrorCode::io_error, text);
     }
-    if (::listen(fd_, 16) != 0) {
+    if (::listen(fd_, backlog > 0 ? backlog : SOMAXCONN) != 0) {
         const std::string text = errno_text("ChannelListener: listen");
         (void)::close(fd_);
         throw Error(ErrorCode::io_error, text);
@@ -330,6 +331,41 @@ void ChannelListener::close() {
     (void)::shutdown(fd_, SHUT_RDWR);
 }
 
+void ChannelListener::set_nonblocking(bool enabled) {
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags < 0) {
+        throw Error(ErrorCode::io_error, errno_text("ChannelListener: fcntl(F_GETFL)"));
+    }
+    const int want = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+    if (want != flags && ::fcntl(fd_, F_SETFL, want) != 0) {
+        throw Error(ErrorCode::io_error, errno_text("ChannelListener: fcntl(F_SETFL)"));
+    }
+}
+
+bool ChannelListener::should_retry_accept(int err) {
+    if (err == EINTR) {
+        return true;
+    }
+    // Per accept(2), an aborted handshake or an already-dead network
+    // path surfaces HERE as an error about the would-be connection —
+    // it must not take down a long-running accept loop.
+    if (err == ECONNABORTED || err == EPROTO || err == ENETDOWN || err == ENONET ||
+        err == EHOSTDOWN || err == EHOSTUNREACH || err == ENETUNREACH || err == EOPNOTSUPP) {
+        return true;
+    }
+    if (err == EAGAIN || err == EWOULDBLOCK || err == EMFILE || err == ENFILE) {
+        return false;  // caller-specific: block/sleep (accept) or yield (try_accept)
+    }
+    {
+        const std::lock_guard<std::mutex> lock(state_mutex_);
+        if (closed_) {
+            throw Error(ErrorCode::channel_closed, "ChannelListener::accept: listener closed");
+        }
+    }
+    errno = err;
+    throw Error(ErrorCode::io_error, errno_text("ChannelListener::accept"));
+}
+
 std::unique_ptr<TcpChannel> ChannelListener::accept() {
     for (;;) {
         {
@@ -342,30 +378,37 @@ std::unique_ptr<TcpChannel> ChannelListener::accept() {
         if (client >= 0) {
             return std::make_unique<TcpChannel>(client);
         }
-        if (errno == EINTR) {
-            continue;
-        }
-        // Per accept(2), an aborted handshake or an already-dead network
-        // path surfaces HERE as an error about the would-be connection —
-        // it must not take down a long-running accept loop.
-        if (errno == ECONNABORTED || errno == EPROTO || errno == ENETDOWN ||
-            errno == ENONET || errno == EHOSTDOWN || errno == EHOSTUNREACH ||
-            errno == ENETUNREACH || errno == EOPNOTSUPP) {
+        if (should_retry_accept(errno)) {
             continue;
         }
         // Out of descriptors: back off instead of hot-looping; the
-        // condition clears when a live connection closes.
-        if (errno == EMFILE || errno == ENFILE) {
-            std::this_thread::sleep_for(std::chrono::milliseconds(10));
-            continue;
-        }
+        // condition clears when a live connection closes. (EAGAIN can
+        // only mean the listener was put in non-blocking mode — treat it
+        // the same way rather than spin.)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+}
+
+std::unique_ptr<TcpChannel> ChannelListener::try_accept() {
+    for (;;) {
         {
             const std::lock_guard<std::mutex> lock(state_mutex_);
             if (closed_) {
-                throw Error(ErrorCode::channel_closed, "ChannelListener::accept: listener closed");
+                throw Error(ErrorCode::channel_closed,
+                            "ChannelListener::try_accept: listener closed");
             }
         }
-        throw Error(ErrorCode::io_error, errno_text("ChannelListener::accept"));
+        const int client = ::accept(fd_, nullptr, nullptr);
+        if (client >= 0) {
+            return std::make_unique<TcpChannel>(client);
+        }
+        if (should_retry_accept(errno)) {
+            continue;
+        }
+        // Backlog empty (EAGAIN) or out of descriptors (EMFILE/ENFILE):
+        // hand control back to the event loop — it must keep servicing
+        // live connections so the fd pressure can actually clear.
+        return nullptr;
     }
 }
 

@@ -65,6 +65,14 @@ public:
     /// ~2x the configured timeout).
     void set_recv_timeout(std::chrono::milliseconds timeout) override;
 
+    /// The underlying socket descriptor, for readiness registration
+    /// (epoll/poll) by an event-driven host. The reactor watches this fd
+    /// but all actual I/O still goes through the channel, so framing,
+    /// billing and close semantics stay in one place. Valid for the
+    /// channel's lifetime (close() shuts the socket down but keeps the fd
+    /// reserved).
+    int fd() const { return fd_; }
+
 private:
     /// Writes up to three byte spans as one frame without copying any of
     /// them, looping over short writes (sendmsg + iovec). EPIPE/reset ->
@@ -99,8 +107,12 @@ private:
 /// Bound + listening TCP endpoint; accept() hands out connected channels.
 class ChannelListener {
 public:
-    /// Binds `host:port` and listens. port 0 = ephemeral (read port()).
-    explicit ChannelListener(std::uint16_t port = 0, const std::string& host = "127.0.0.1");
+    /// Binds `host:port` (SO_REUSEADDR) and listens. port 0 = ephemeral
+    /// (read port()). backlog 0 = SOMAXCONN — a reactor host expects
+    /// accept bursts far deeper than the old fixed 16; pass a small
+    /// explicit backlog only to deliberately provoke connection refusal.
+    explicit ChannelListener(std::uint16_t port = 0, const std::string& host = "127.0.0.1",
+                             int backlog = 0);
     ~ChannelListener();
 
     ChannelListener(const ChannelListener&) = delete;
@@ -109,14 +121,40 @@ public:
     /// The bound port (resolved for ephemeral binds).
     std::uint16_t port() const { return port_; }
 
+    /// The listening descriptor, for readiness registration (epoll/poll).
+    /// The reactor watches it and calls try_accept() on POLLIN.
+    int fd() const { return fd_; }
+
+    /// Toggles O_NONBLOCK on the LISTENING socket (accepted connections
+    /// are unaffected — they come up blocking either way). In
+    /// non-blocking mode use try_accept(); accept() would throw io_error
+    /// on an empty backlog.
+    void set_nonblocking(bool enabled);
+
     /// Blocks for the next connection. Throws ens::Error{channel_closed}
     /// once close() is called, ens::Error{io_error} on accept failure.
     std::unique_ptr<TcpChannel> accept();
+
+    /// Non-blocking accept for reactor loops: returns the next pending
+    /// connection, or nullptr when the backlog is empty (EAGAIN) or the
+    /// process is out of descriptors (EMFILE/ENFILE — the caller's event
+    /// loop must keep running so existing connections can close and clear
+    /// the condition; no sleeping here). Transient per-connection errnos
+    /// are swallowed exactly like accept(). Throws
+    /// ens::Error{channel_closed} once close() is called.
+    std::unique_ptr<TcpChannel> try_accept();
 
     /// Stops accepting and wakes a blocked accept() (idempotent).
     void close();
 
 private:
+    /// Shared accept-loop body: classifies `err` after a failed
+    /// ::accept. Returns true when the errno is a transient
+    /// per-connection fault the loop should skip; throws channel_closed /
+    /// io_error for terminal conditions; returns false for EAGAIN and
+    /// EMFILE/ENFILE (caller-specific handling).
+    bool should_retry_accept(int err);
+
     int fd_ = -1;
     std::uint16_t port_ = 0;
     mutable std::mutex state_mutex_;

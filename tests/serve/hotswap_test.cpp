@@ -1,0 +1,279 @@
+// Zero-downtime live bundle hot-swap, end to end across a process
+// boundary: a forked reactor daemon boots generation 1 from an on-disk
+// bundle, receives SIGHUP MID-WINDOW (requests in flight), loads
+// generation 2 beside it, and
+//
+//   - the already-connected session loses NOTHING: every request — before,
+//     during and after the swap — resolves and bit-matches the generation
+//     1 oracle (version pinning; the swap never touches a live session);
+//   - connections opened after the swap handshake deployment_version 2 and
+//     bit-match the generation 2 oracle;
+//   - generation 1's bodies actually retire once its last session closes
+//     (the child asserts live_versions() == {2} before exiting 0).
+//
+// The two bundles share the client half (head/tail/selector from the same
+// seed) and differ ONLY in body weights — exactly a retrain-and-roll —
+// so one client legitimately talks to both generations and any
+// cross-generation bleed shows up as a bit mismatch.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/selector.hpp"
+#include "serve/bundle.hpp"
+#include "serve/deployment.hpp"
+#include "serve/protocol.hpp"
+#include "serve/reactor.hpp"
+#include "serve/remote.hpp"
+#include "serve_harness.hpp"
+#include "split/channel.hpp"
+#include "split/session.hpp"
+#include "split/tcp_channel.hpp"
+
+namespace ens::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kBodies = 3;
+constexpr std::uint64_t kSeedV1 = 7100;
+constexpr std::uint64_t kSeedV2 = 7200;
+constexpr std::chrono::milliseconds kRequestTimeout{120000};
+
+std::string bundle_dir_for(const std::string& name) {
+    const fs::path dir = fs::path("bundle_artifacts") / name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+/// Writes a bundle whose BODIES come from `body_parts` but whose client
+/// half (head/tail/selector) comes from `client_parts` — the
+/// retrain-and-roll shape: generation 2 replaces body weights only, so
+/// the deployed clients keep working.
+void save_generation(const std::string& dir, harness::EnsembleParts& client_parts,
+                     harness::EnsembleParts& body_parts, const core::Selector& selector) {
+    BundleArtifacts artifacts;
+    for (nn::LayerPtr& body : body_parts.bodies) {
+        artifacts.bodies.push_back(body.get());
+    }
+    artifacts.head = client_parts.head.get();
+    artifacts.tail = client_parts.tail.get();
+    artifacts.selector = &selector;
+    save_bundle(dir, artifacts);
+}
+
+/// Sequential in-proc oracle: client half from `client_parts`, bodies from
+/// `body_parts` (pass the same parts twice for generation 1).
+class Oracle {
+public:
+    Oracle(harness::EnsembleParts& client_parts, harness::EnsembleParts& body_parts,
+           const core::Selector& selector, split::WireFormat wire) {
+        for (nn::LayerPtr& body : body_parts.bodies) {
+            bodies_.push_back(body.get());
+        }
+        session_ = std::make_unique<split::CollaborativeSession>(
+            *client_parts.head, bodies_, *client_parts.tail,
+            [&selector](const std::vector<Tensor>& features) { return selector.apply(features); },
+            uplink_, downlink_, wire);
+    }
+
+    Tensor infer(const Tensor& images) { return session_->infer(images); }
+
+private:
+    std::vector<nn::Layer*> bodies_;
+    split::InProcChannel uplink_;
+    split::InProcChannel downlink_;
+    std::unique_ptr<split::CollaborativeSession> session_;
+};
+
+/// Handshakes a throwaway probe connection and reports the deployment
+/// version the host is currently advertising to NEW connections.
+std::uint32_t probe_version(std::uint16_t port) {
+    auto channel = split::tcp_connect("127.0.0.1", port);
+    channel->set_recv_timeout(std::chrono::seconds(30));
+    return decode_handshake(channel->recv()).deployment_version;
+}
+
+TEST(HotSwap, SighupMidWindowLosesNothingAndRetiresOldGeneration) {
+    // Generation 1 and the retrained generation 2: same client half, same
+    // geometry, different body weights.
+    harness::EnsembleParts parts_v1 = harness::make_linear_ensemble(kSeedV1, kBodies,
+                                                                    /*num_selected=*/2);
+    harness::EnsembleParts parts_v2 = harness::make_linear_ensemble(kSeedV2, kBodies,
+                                                                    /*num_selected=*/2);
+    harness::set_eval(parts_v1);
+    harness::set_eval(parts_v2);
+    const core::Selector selector(kBodies, {0, 2});
+
+    const std::string dir_v1 = bundle_dir_for("hotswap_v1");
+    const std::string dir_v2 = bundle_dir_for("hotswap_v2");
+    save_generation(dir_v1, parts_v1, parts_v1, selector);
+    save_generation(dir_v2, parts_v1, parts_v2, selector);
+
+    // The daemon: the exact serve_daemon --reactor --swap-bundle layout.
+    // Exit codes: 0 clean, 3 = old generation failed to retire, 4 = the
+    // swap itself failed.
+    harness::ForkedDaemon daemon([dir_v1, dir_v2](split::ChannelListener& listener) {
+        SignalSet signals{SIGHUP, SIGTERM};  // before ANY thread spawns
+        std::shared_ptr<DeploymentManager> manager = DeploymentManager::from_bundle(dir_v1);
+        ReactorConfig config;
+        config.worker_threads = 2;
+        config.drain_grace = std::chrono::milliseconds(100);
+        ReactorHost reactor(manager, config);
+        std::thread loop([&] { reactor.run(listener); });
+        for (;;) {
+            const int sig = signals.wait();
+            if (sig == SIGHUP) {
+                try {
+                    manager->swap_from_bundle(dir_v2);
+                } catch (const std::exception&) {
+                    reactor.shutdown();
+                    loop.join();
+                    ::_exit(4);
+                }
+            } else {
+                break;  // SIGTERM: drain and leave
+            }
+        }
+        reactor.shutdown();
+        loop.join();
+        if (manager->live_versions() != std::vector<std::uint32_t>{2}) {
+            ::_exit(3);
+        }
+    });
+    ASSERT_GT(daemon.port(), 0);
+
+    // Session pinned to generation 1. Its completed handshake also proves
+    // the child's SignalSet is constructed — safe to signal from here on.
+    RemoteSession old_session(split::tcp_connect("127.0.0.1", daemon.port()), *parts_v1.head,
+                              nullptr, *parts_v1.tail, selector, split::WireFormat::f32,
+                              std::chrono::seconds(30), /*max_inflight=*/4);
+    old_session.set_recv_timeout(kRequestTimeout);
+    ASSERT_EQ(old_session.deployment_version(), 1u);
+
+    Oracle oracle_v1(parts_v1, parts_v1, selector, split::WireFormat::f32);
+    Rng data_rng(kSeedV1 ^ 0xD00D);
+    std::vector<Tensor> inputs;
+    std::vector<std::future<InferenceResult>> futures;
+
+    // Fill the window, then swap MID-WINDOW.
+    for (std::size_t r = 0; r < 4; ++r) {
+        inputs.push_back(Tensor::randn(Shape{2, harness::kIn}, data_rng));
+        futures.push_back(old_session.submit(inputs.back()));
+    }
+    ASSERT_EQ(::kill(daemon.pid(), SIGHUP), 0);
+
+    // The pinned session keeps flowing THROUGH and AFTER the swap.
+    for (std::size_t r = 0; r < 8; ++r) {
+        inputs.push_back(Tensor::randn(Shape{1 + static_cast<std::int64_t>(r % 3), harness::kIn},
+                                       data_rng));
+        futures.push_back(old_session.submit(inputs.back()));
+    }
+
+    // Zero failed requests, every reply bit-matched against generation 1 —
+    // the swap is invisible to the pinned session.
+    for (std::size_t r = 0; r < futures.size(); ++r) {
+        InferenceResult result = futures[r].get();
+        const Tensor expected = oracle_v1.infer(inputs[r]);
+        EXPECT_EQ(result.logits.to_vector(), expected.to_vector())
+            << "pinned-session request " << r << " diverged across the swap";
+    }
+
+    // New connections see generation 2 (the swap loads a bundle from disk
+    // in the child's signal thread — poll until it lands).
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    std::uint32_t advertised = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+        advertised = probe_version(daemon.port());
+        if (advertised == 2) {
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ASSERT_EQ(advertised, 2u) << "host never advertised the swapped generation";
+
+    // ...and bit-match the generation 2 oracle (same client half, new
+    // bodies), while the old session is still open.
+    RemoteSession new_session(split::tcp_connect("127.0.0.1", daemon.port()), *parts_v1.head,
+                              nullptr, *parts_v1.tail, selector, split::WireFormat::f32,
+                              std::chrono::seconds(30), /*max_inflight=*/4);
+    new_session.set_recv_timeout(kRequestTimeout);
+    ASSERT_EQ(new_session.deployment_version(), 2u);
+
+    Oracle oracle_v2(parts_v1, parts_v2, selector, split::WireFormat::f32);
+    for (std::size_t r = 0; r < 6; ++r) {
+        const Tensor input = Tensor::randn(Shape{2, harness::kIn}, data_rng);
+        const InferenceResult result = new_session.infer(input);
+        const Tensor expected = oracle_v2.infer(input);
+        EXPECT_EQ(result.logits.to_vector(), expected.to_vector())
+            << "new-generation request " << r;
+        // A v1 reply passed off as v2 would match the OTHER oracle; make
+        // the bleed explicit rather than relying on luck.
+        EXPECT_NE(expected.to_vector(), oracle_v1.infer(input).to_vector())
+            << "generations are indistinguishable — test cannot detect bleed";
+    }
+
+    // Closing both sessions lets generation 1 retire; the child asserts
+    // live_versions() == {2} on its way out (exit 3 otherwise).
+    old_session.close();
+    new_session.close();
+    ASSERT_EQ(::kill(daemon.pid(), SIGTERM), 0);
+    EXPECT_EQ(daemon.wait_exit_code(), 0)
+        << "daemon exited dirty (3 = generation 1 never retired, 4 = swap failed)";
+}
+
+TEST(HotSwap, SwapFromBundleRefusesACorruptBundleAndKeepsServing) {
+    // A failed SIGHUP reload must leave the daemon on the OLD generation,
+    // still serving — operator error cannot take the host down. In-process
+    // variant (the failure path needs no fork to be real).
+    harness::EnsembleParts parts = harness::make_linear_ensemble(kSeedV1, kBodies,
+                                                                 /*num_selected=*/2);
+    harness::set_eval(parts);
+    const core::Selector selector(kBodies, {0, 2});
+    const std::string dir = bundle_dir_for("hotswap_good");
+    save_generation(dir, parts, parts, selector);
+
+    const std::string broken = bundle_dir_for("hotswap_broken");  // no MANIFEST.ens
+
+    std::shared_ptr<DeploymentManager> manager = DeploymentManager::from_bundle(dir);
+    EXPECT_EQ(manager->version(), 1u);
+    EXPECT_THROW(manager->swap_from_bundle(broken), Error);
+    EXPECT_EQ(manager->version(), 1u) << "failed swap bumped the version";
+    EXPECT_EQ(manager->swaps_completed(), 0u);
+    EXPECT_EQ(manager->live_versions(), std::vector<std::uint32_t>{1});
+
+    // The surviving generation still serves bit-exact.
+    ReactorConfig config;
+    config.worker_threads = 1;
+    config.drain_grace = std::chrono::milliseconds(50);
+    ReactorHost reactor(manager, config);
+    split::ChannelListener listener(0);
+    std::thread loop([&] { reactor.run(listener); });
+    {
+        RemoteSession session(split::tcp_connect("127.0.0.1", listener.port()), *parts.head,
+                              nullptr, *parts.tail, selector, split::WireFormat::f32,
+                              std::chrono::seconds(30), /*max_inflight=*/2);
+        session.set_recv_timeout(kRequestTimeout);
+        ASSERT_EQ(session.deployment_version(), 1u);
+        Oracle oracle(parts, parts, selector, split::WireFormat::f32);
+        Rng rng(99);
+        const Tensor input = Tensor::randn(Shape{2, harness::kIn}, rng);
+        EXPECT_EQ(session.infer(input).logits.to_vector(), oracle.infer(input).to_vector());
+        session.close();
+    }
+    reactor.shutdown();
+    loop.join();
+}
+
+}  // namespace
+}  // namespace ens::serve

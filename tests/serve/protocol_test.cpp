@@ -31,11 +31,12 @@ namespace {
 
 constexpr std::chrono::milliseconds kShortTimeout{5000};
 
-/// Arbitrary v3 handshake bytes (including invalid ones the public encoder
+/// Arbitrary v4 handshake bytes (including invalid ones the public encoder
 /// refuses to produce).
 std::string raw_handshake(std::uint32_t magic, std::uint32_t version, std::uint32_t total,
                           std::uint32_t begin, std::uint32_t count, std::uint32_t mask,
-                          std::uint32_t max_inflight = 8) {
+                          std::uint32_t max_inflight = 8,
+                          std::uint32_t deployment_version = 0) {
     std::ostringstream out(std::ios::binary);
     BinaryWriter writer(out);
     writer.write_u32(magic);
@@ -45,11 +46,12 @@ std::string raw_handshake(std::uint32_t magic, std::uint32_t version, std::uint3
     writer.write_u32(count);
     writer.write_u32(mask);
     writer.write_u32(max_inflight);
+    writer.write_u32(deployment_version);
     return out.str();
 }
 
 /// What a protocol-v2 (PR 3) host put on the wire: six fields, no
-/// max_inflight. Used to prove the v2 <-> v3 version mismatch fails BY
+/// max_inflight. Used to prove the v2 <-> v4 version mismatch fails BY
 /// NAME, not as a bare length error.
 std::string raw_v2_handshake(std::uint32_t total, std::uint32_t begin, std::uint32_t count,
                              std::uint32_t mask) {
@@ -159,19 +161,19 @@ TEST(ServeProtocol, VersionMismatchIsTyped) {
 }
 
 TEST(ServeProtocol, V2HostIsRefusedByNameNotLength) {
-    // A v3 client pointed at a PR-3 (v2, lockstep) host: its 24-byte
+    // A v4 client pointed at a PR-3 (v2, lockstep) host: its 24-byte
     // handshake must decode to a typed protocol_error that NAMES the
     // version pair — there is no silent lockstep fallback, because v2
-    // untagged frames and v3 tagged frames would desynchronize bytewise.
+    // untagged frames and v4 tagged frames would desynchronize bytewise.
     const std::string v2 = raw_v2_handshake(1, 0, 1, split::all_wire_formats_mask());
     try {
         (void)decode_handshake(v2);
-        FAIL() << "v2 handshake decoded under a v3 client";
+        FAIL() << "v2 handshake decoded under a v4 client";
     } catch (const Error& e) {
         EXPECT_EQ(e.code(), ErrorCode::protocol_error) << e.what();
         const std::string what = e.what();
         EXPECT_NE(what.find("host v2"), std::string::npos) << what;
-        EXPECT_NE(what.find("client v3"), std::string::npos) << what;
+        EXPECT_NE(what.find("client v4"), std::string::npos) << what;
     }
 
     // End-to-end: both session kinds refuse the v2 host.
@@ -200,23 +202,23 @@ TEST(ServeProtocol, V2HostIsRefusedByNameNotLength) {
     }
 }
 
-TEST(ServeProtocol, V2ClientFramesAreRefusedByV3Host) {
+TEST(ServeProtocol, V2ClientFramesAreRefusedByV4Host) {
     // The reverse direction: a v2 lockstep client that somehow got past
-    // the handshake would send UNTAGGED frames. A v3 host must refuse
+    // the handshake would send UNTAGGED frames. A v4 host must refuse
     // anything too short to carry a request tag as a typed protocol_error
     // naming the lockstep suspicion — never interpret the first 8 payload
     // bytes as an id and silently desynchronize.
     std::string_view payload;
     try {
         (void)parse_request_frame(std::string_view("abc"), payload);
-        FAIL() << "short untagged frame parsed as a v3 request";
+        FAIL() << "short untagged frame parsed as a v4 request";
     } catch (const Error& e) {
         EXPECT_EQ(e.code(), ErrorCode::protocol_error) << e.what();
         EXPECT_NE(std::string(e.what()).find("v2"), std::string::npos) << e.what();
     }
     try {
         (void)parse_reply_frame(std::string_view("short"), payload);
-        FAIL() << "short untagged frame parsed as a v3 reply";
+        FAIL() << "short untagged frame parsed as a v4 reply";
     } catch (const Error& e) {
         EXPECT_EQ(e.code(), ErrorCode::protocol_error) << e.what();
     }
@@ -237,6 +239,36 @@ TEST(ServeProtocol, V2ClientFramesAreRefusedByV3Host) {
                                                  /*max_inflight=*/1u << 30));
         },
         "decode_handshake vs absurd window");
+}
+
+TEST(ServeProtocol, DeploymentVersionRoundTripsAndV3IsRefusedByName) {
+    // v4's new field: the deployment generation a connection pins. It
+    // must survive the encode/decode round trip (the hot-swap fork test
+    // detects swap completion through it) and default to 0 (unversioned).
+    HostInfo info;
+    info.total_bodies = 3;
+    info.body_begin = 0;
+    info.body_count = 3;
+    info.wire_mask = split::all_wire_formats_mask();
+    info.deployment_version = 42;
+    const HostInfo decoded = decode_handshake(encode_handshake(info));
+    EXPECT_EQ(decoded.deployment_version, 42u);
+    info.deployment_version = 0;
+    EXPECT_EQ(decode_handshake(encode_handshake(info)).deployment_version, 0u);
+
+    // A PR-4 (v3, unpinned-pipelined) host is refused BY NAME even when
+    // its message happens to be padded to the v4 length — the version
+    // field is checked before the body.
+    try {
+        (void)decode_handshake(raw_handshake(kHandshakeMagic, 3, 1, 0, 1,
+                                             split::all_wire_formats_mask()));
+        FAIL() << "v3 handshake decoded under a v4 client";
+    } catch (const Error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::protocol_error) << e.what();
+        const std::string what = e.what();
+        EXPECT_NE(what.find("host v3"), std::string::npos) << what;
+        EXPECT_NE(what.find("client v4"), std::string::npos) << what;
+    }
 }
 
 TEST(ServeProtocol, RemoteSessionRefusesShardHostAndUnsupportedWire) {
