@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_attack_test.dir/tests/attack/attack_test.cpp.o"
+  "CMakeFiles/attack_attack_test.dir/tests/attack/attack_test.cpp.o.d"
+  "attack_attack_test"
+  "attack_attack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

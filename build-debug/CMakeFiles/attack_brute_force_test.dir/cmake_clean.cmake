@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_brute_force_test.dir/tests/attack/brute_force_test.cpp.o"
+  "CMakeFiles/attack_brute_force_test.dir/tests/attack/brute_force_test.cpp.o.d"
+  "attack_brute_force_test"
+  "attack_brute_force_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_brute_force_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

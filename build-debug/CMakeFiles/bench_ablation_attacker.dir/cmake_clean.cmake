@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_attacker.dir/bench/ablation_attacker.cpp.o"
+  "CMakeFiles/bench_ablation_attacker.dir/bench/ablation_attacker.cpp.o.d"
+  "bench_ablation_attacker"
+  "bench_ablation_attacker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_attacker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bruteforce.dir/bench/ablation_bruteforce.cpp.o"
+  "CMakeFiles/bench_ablation_bruteforce.dir/bench/ablation_bruteforce.cpp.o.d"
+  "bench_ablation_bruteforce"
+  "bench_ablation_bruteforce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bruteforce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_codec.dir/bench/ablation_codec.cpp.o"
+  "CMakeFiles/bench_ablation_codec.dir/bench/ablation_codec.cpp.o.d"
+  "bench_ablation_codec"
+  "bench_ablation_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lambda.dir/bench/ablation_lambda.cpp.o"
+  "CMakeFiles/bench_ablation_lambda.dir/bench/ablation_lambda.cpp.o.d"
+  "bench_ablation_lambda"
+  "bench_ablation_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

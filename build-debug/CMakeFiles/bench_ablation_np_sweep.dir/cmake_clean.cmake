@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_np_sweep.dir/bench/ablation_np_sweep.cpp.o"
+  "CMakeFiles/bench_ablation_np_sweep.dir/bench/ablation_np_sweep.cpp.o.d"
+  "bench_ablation_np_sweep"
+  "bench_ablation_np_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_np_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

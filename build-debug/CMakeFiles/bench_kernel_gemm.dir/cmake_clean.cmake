@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernel_gemm.dir/bench/kernel_gemm.cpp.o"
+  "CMakeFiles/bench_kernel_gemm.dir/bench/kernel_gemm.cpp.o.d"
+  "bench_kernel_gemm"
+  "bench_kernel_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernel_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

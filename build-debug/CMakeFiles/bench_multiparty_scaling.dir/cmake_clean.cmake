@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiparty_scaling.dir/bench/multiparty_scaling.cpp.o"
+  "CMakeFiles/bench_multiparty_scaling.dir/bench/multiparty_scaling.cpp.o.d"
+  "bench_multiparty_scaling"
+  "bench_multiparty_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiparty_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serve_overload.dir/bench/serve_overload.cpp.o"
+  "CMakeFiles/bench_serve_overload.dir/bench/serve_overload.cpp.o.d"
+  "bench_serve_overload"
+  "bench_serve_overload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serve_overload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

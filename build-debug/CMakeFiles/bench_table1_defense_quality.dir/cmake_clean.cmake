@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_defense_quality.dir/bench/table1_defense_quality.cpp.o"
+  "CMakeFiles/bench_table1_defense_quality.dir/bench/table1_defense_quality.cpp.o.d"
+  "bench_table1_defense_quality"
+  "bench_table1_defense_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_defense_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_args_test.dir/tests/common/args_test.cpp.o"
+  "CMakeFiles/common_args_test.dir/tests/common/args_test.cpp.o.d"
+  "common_args_test"
+  "common_args_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_args_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_env_logging_test.dir/tests/common/env_logging_test.cpp.o"
+  "CMakeFiles/common_env_logging_test.dir/tests/common/env_logging_test.cpp.o.d"
+  "common_env_logging_test"
+  "common_env_logging_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_env_logging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

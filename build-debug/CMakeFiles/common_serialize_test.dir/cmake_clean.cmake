@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_serialize_test.dir/tests/common/serialize_test.cpp.o"
+  "CMakeFiles/common_serialize_test.dir/tests/common/serialize_test.cpp.o.d"
+  "common_serialize_test"
+  "common_serialize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

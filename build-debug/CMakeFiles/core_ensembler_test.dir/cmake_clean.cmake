@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ensembler_test.dir/tests/core/ensembler_test.cpp.o"
+  "CMakeFiles/core_ensembler_test.dir/tests/core/ensembler_test.cpp.o.d"
+  "core_ensembler_test"
+  "core_ensembler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ensembler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_extensions_test.dir/tests/core/extensions_test.cpp.o"
+  "CMakeFiles/core_extensions_test.dir/tests/core/extensions_test.cpp.o.d"
+  "core_extensions_test"
+  "core_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

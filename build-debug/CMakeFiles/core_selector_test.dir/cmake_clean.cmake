@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_selector_test.dir/tests/core/selector_test.cpp.o"
+  "CMakeFiles/core_selector_test.dir/tests/core/selector_test.cpp.o.d"
+  "core_selector_test"
+  "core_selector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_selector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_server_state_test.dir/tests/core/server_state_test.cpp.o"
+  "CMakeFiles/core_server_state_test.dir/tests/core/server_state_test.cpp.o.d"
+  "core_server_state_test"
+  "core_server_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_server_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

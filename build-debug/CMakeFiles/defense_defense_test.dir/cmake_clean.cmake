@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_defense_test.dir/tests/defense/defense_test.cpp.o"
+  "CMakeFiles/defense_defense_test.dir/tests/defense/defense_test.cpp.o.d"
+  "defense_defense_test"
+  "defense_defense_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_defense_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

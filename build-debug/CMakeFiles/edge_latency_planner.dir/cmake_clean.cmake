@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_latency_planner.dir/examples/edge_latency_planner.cpp.o"
+  "CMakeFiles/edge_latency_planner.dir/examples/edge_latency_planner.cpp.o.d"
+  "edge_latency_planner"
+  "edge_latency_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_latency_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

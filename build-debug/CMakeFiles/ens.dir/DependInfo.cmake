@@ -1,0 +1,93 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/brute_force.cpp" "CMakeFiles/ens.dir/src/attack/brute_force.cpp.o" "gcc" "CMakeFiles/ens.dir/src/attack/brute_force.cpp.o.d"
+  "/root/repo/src/attack/decoder.cpp" "CMakeFiles/ens.dir/src/attack/decoder.cpp.o" "gcc" "CMakeFiles/ens.dir/src/attack/decoder.cpp.o.d"
+  "/root/repo/src/attack/mia.cpp" "CMakeFiles/ens.dir/src/attack/mia.cpp.o" "gcc" "CMakeFiles/ens.dir/src/attack/mia.cpp.o.d"
+  "/root/repo/src/attack/shadow.cpp" "CMakeFiles/ens.dir/src/attack/shadow.cpp.o" "gcc" "CMakeFiles/ens.dir/src/attack/shadow.cpp.o.d"
+  "/root/repo/src/common/args.cpp" "CMakeFiles/ens.dir/src/common/args.cpp.o" "gcc" "CMakeFiles/ens.dir/src/common/args.cpp.o.d"
+  "/root/repo/src/common/env.cpp" "CMakeFiles/ens.dir/src/common/env.cpp.o" "gcc" "CMakeFiles/ens.dir/src/common/env.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "CMakeFiles/ens.dir/src/common/logging.cpp.o" "gcc" "CMakeFiles/ens.dir/src/common/logging.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/ens.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/ens.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/common/serialize.cpp" "CMakeFiles/ens.dir/src/common/serialize.cpp.o" "gcc" "CMakeFiles/ens.dir/src/common/serialize.cpp.o.d"
+  "/root/repo/src/common/threadpool.cpp" "CMakeFiles/ens.dir/src/common/threadpool.cpp.o" "gcc" "CMakeFiles/ens.dir/src/common/threadpool.cpp.o.d"
+  "/root/repo/src/core/client_state.cpp" "CMakeFiles/ens.dir/src/core/client_state.cpp.o" "gcc" "CMakeFiles/ens.dir/src/core/client_state.cpp.o.d"
+  "/root/repo/src/core/ensembler.cpp" "CMakeFiles/ens.dir/src/core/ensembler.cpp.o" "gcc" "CMakeFiles/ens.dir/src/core/ensembler.cpp.o.d"
+  "/root/repo/src/core/extensions.cpp" "CMakeFiles/ens.dir/src/core/extensions.cpp.o" "gcc" "CMakeFiles/ens.dir/src/core/extensions.cpp.o.d"
+  "/root/repo/src/core/selector.cpp" "CMakeFiles/ens.dir/src/core/selector.cpp.o" "gcc" "CMakeFiles/ens.dir/src/core/selector.cpp.o.d"
+  "/root/repo/src/core/server_state.cpp" "CMakeFiles/ens.dir/src/core/server_state.cpp.o" "gcc" "CMakeFiles/ens.dir/src/core/server_state.cpp.o.d"
+  "/root/repo/src/data/canvas.cpp" "CMakeFiles/ens.dir/src/data/canvas.cpp.o" "gcc" "CMakeFiles/ens.dir/src/data/canvas.cpp.o.d"
+  "/root/repo/src/data/dataloader.cpp" "CMakeFiles/ens.dir/src/data/dataloader.cpp.o" "gcc" "CMakeFiles/ens.dir/src/data/dataloader.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "CMakeFiles/ens.dir/src/data/dataset.cpp.o" "gcc" "CMakeFiles/ens.dir/src/data/dataset.cpp.o.d"
+  "/root/repo/src/data/image_io.cpp" "CMakeFiles/ens.dir/src/data/image_io.cpp.o" "gcc" "CMakeFiles/ens.dir/src/data/image_io.cpp.o.d"
+  "/root/repo/src/data/synth_cifar10.cpp" "CMakeFiles/ens.dir/src/data/synth_cifar10.cpp.o" "gcc" "CMakeFiles/ens.dir/src/data/synth_cifar10.cpp.o.d"
+  "/root/repo/src/data/synth_cifar100.cpp" "CMakeFiles/ens.dir/src/data/synth_cifar100.cpp.o" "gcc" "CMakeFiles/ens.dir/src/data/synth_cifar100.cpp.o.d"
+  "/root/repo/src/data/synth_faces.cpp" "CMakeFiles/ens.dir/src/data/synth_faces.cpp.o" "gcc" "CMakeFiles/ens.dir/src/data/synth_faces.cpp.o.d"
+  "/root/repo/src/defense/baselines.cpp" "CMakeFiles/ens.dir/src/defense/baselines.cpp.o" "gcc" "CMakeFiles/ens.dir/src/defense/baselines.cpp.o.d"
+  "/root/repo/src/defense/protected_model.cpp" "CMakeFiles/ens.dir/src/defense/protected_model.cpp.o" "gcc" "CMakeFiles/ens.dir/src/defense/protected_model.cpp.o.d"
+  "/root/repo/src/latency/estimator.cpp" "CMakeFiles/ens.dir/src/latency/estimator.cpp.o" "gcc" "CMakeFiles/ens.dir/src/latency/estimator.cpp.o.d"
+  "/root/repo/src/latency/flops.cpp" "CMakeFiles/ens.dir/src/latency/flops.cpp.o" "gcc" "CMakeFiles/ens.dir/src/latency/flops.cpp.o.d"
+  "/root/repo/src/latency/profiles.cpp" "CMakeFiles/ens.dir/src/latency/profiles.cpp.o" "gcc" "CMakeFiles/ens.dir/src/latency/profiles.cpp.o.d"
+  "/root/repo/src/latency/stamp.cpp" "CMakeFiles/ens.dir/src/latency/stamp.cpp.o" "gcc" "CMakeFiles/ens.dir/src/latency/stamp.cpp.o.d"
+  "/root/repo/src/metrics/accuracy.cpp" "CMakeFiles/ens.dir/src/metrics/accuracy.cpp.o" "gcc" "CMakeFiles/ens.dir/src/metrics/accuracy.cpp.o.d"
+  "/root/repo/src/metrics/psnr.cpp" "CMakeFiles/ens.dir/src/metrics/psnr.cpp.o" "gcc" "CMakeFiles/ens.dir/src/metrics/psnr.cpp.o.d"
+  "/root/repo/src/metrics/similarity.cpp" "CMakeFiles/ens.dir/src/metrics/similarity.cpp.o" "gcc" "CMakeFiles/ens.dir/src/metrics/similarity.cpp.o.d"
+  "/root/repo/src/metrics/ssim.cpp" "CMakeFiles/ens.dir/src/metrics/ssim.cpp.o" "gcc" "CMakeFiles/ens.dir/src/metrics/ssim.cpp.o.d"
+  "/root/repo/src/metrics/stats.cpp" "CMakeFiles/ens.dir/src/metrics/stats.cpp.o" "gcc" "CMakeFiles/ens.dir/src/metrics/stats.cpp.o.d"
+  "/root/repo/src/nn/activations.cpp" "CMakeFiles/ens.dir/src/nn/activations.cpp.o" "gcc" "CMakeFiles/ens.dir/src/nn/activations.cpp.o.d"
+  "/root/repo/src/nn/arch.cpp" "CMakeFiles/ens.dir/src/nn/arch.cpp.o" "gcc" "CMakeFiles/ens.dir/src/nn/arch.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "CMakeFiles/ens.dir/src/nn/batchnorm.cpp.o" "gcc" "CMakeFiles/ens.dir/src/nn/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/checkpoint.cpp" "CMakeFiles/ens.dir/src/nn/checkpoint.cpp.o" "gcc" "CMakeFiles/ens.dir/src/nn/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "CMakeFiles/ens.dir/src/nn/conv2d.cpp.o" "gcc" "CMakeFiles/ens.dir/src/nn/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "CMakeFiles/ens.dir/src/nn/dropout.cpp.o" "gcc" "CMakeFiles/ens.dir/src/nn/dropout.cpp.o.d"
+  "/root/repo/src/nn/flatten.cpp" "CMakeFiles/ens.dir/src/nn/flatten.cpp.o" "gcc" "CMakeFiles/ens.dir/src/nn/flatten.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "CMakeFiles/ens.dir/src/nn/layer.cpp.o" "gcc" "CMakeFiles/ens.dir/src/nn/layer.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "CMakeFiles/ens.dir/src/nn/linear.cpp.o" "gcc" "CMakeFiles/ens.dir/src/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "CMakeFiles/ens.dir/src/nn/loss.cpp.o" "gcc" "CMakeFiles/ens.dir/src/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/noise.cpp" "CMakeFiles/ens.dir/src/nn/noise.cpp.o" "gcc" "CMakeFiles/ens.dir/src/nn/noise.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "CMakeFiles/ens.dir/src/nn/pooling.cpp.o" "gcc" "CMakeFiles/ens.dir/src/nn/pooling.cpp.o.d"
+  "/root/repo/src/nn/resblock.cpp" "CMakeFiles/ens.dir/src/nn/resblock.cpp.o" "gcc" "CMakeFiles/ens.dir/src/nn/resblock.cpp.o.d"
+  "/root/repo/src/nn/resnet.cpp" "CMakeFiles/ens.dir/src/nn/resnet.cpp.o" "gcc" "CMakeFiles/ens.dir/src/nn/resnet.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "CMakeFiles/ens.dir/src/nn/sequential.cpp.o" "gcc" "CMakeFiles/ens.dir/src/nn/sequential.cpp.o.d"
+  "/root/repo/src/nn/vgg.cpp" "CMakeFiles/ens.dir/src/nn/vgg.cpp.o" "gcc" "CMakeFiles/ens.dir/src/nn/vgg.cpp.o.d"
+  "/root/repo/src/optim/adam.cpp" "CMakeFiles/ens.dir/src/optim/adam.cpp.o" "gcc" "CMakeFiles/ens.dir/src/optim/adam.cpp.o.d"
+  "/root/repo/src/optim/optimizer.cpp" "CMakeFiles/ens.dir/src/optim/optimizer.cpp.o" "gcc" "CMakeFiles/ens.dir/src/optim/optimizer.cpp.o.d"
+  "/root/repo/src/optim/schedule.cpp" "CMakeFiles/ens.dir/src/optim/schedule.cpp.o" "gcc" "CMakeFiles/ens.dir/src/optim/schedule.cpp.o.d"
+  "/root/repo/src/optim/sgd.cpp" "CMakeFiles/ens.dir/src/optim/sgd.cpp.o" "gcc" "CMakeFiles/ens.dir/src/optim/sgd.cpp.o.d"
+  "/root/repo/src/serve/bundle.cpp" "CMakeFiles/ens.dir/src/serve/bundle.cpp.o" "gcc" "CMakeFiles/ens.dir/src/serve/bundle.cpp.o.d"
+  "/root/repo/src/serve/deployment.cpp" "CMakeFiles/ens.dir/src/serve/deployment.cpp.o" "gcc" "CMakeFiles/ens.dir/src/serve/deployment.cpp.o.d"
+  "/root/repo/src/serve/pipeline.cpp" "CMakeFiles/ens.dir/src/serve/pipeline.cpp.o" "gcc" "CMakeFiles/ens.dir/src/serve/pipeline.cpp.o.d"
+  "/root/repo/src/serve/protocol.cpp" "CMakeFiles/ens.dir/src/serve/protocol.cpp.o" "gcc" "CMakeFiles/ens.dir/src/serve/protocol.cpp.o.d"
+  "/root/repo/src/serve/reactor.cpp" "CMakeFiles/ens.dir/src/serve/reactor.cpp.o" "gcc" "CMakeFiles/ens.dir/src/serve/reactor.cpp.o.d"
+  "/root/repo/src/serve/remote.cpp" "CMakeFiles/ens.dir/src/serve/remote.cpp.o" "gcc" "CMakeFiles/ens.dir/src/serve/remote.cpp.o.d"
+  "/root/repo/src/serve/service.cpp" "CMakeFiles/ens.dir/src/serve/service.cpp.o" "gcc" "CMakeFiles/ens.dir/src/serve/service.cpp.o.d"
+  "/root/repo/src/serve/shard_router.cpp" "CMakeFiles/ens.dir/src/serve/shard_router.cpp.o" "gcc" "CMakeFiles/ens.dir/src/serve/shard_router.cpp.o.d"
+  "/root/repo/src/serve/stats.cpp" "CMakeFiles/ens.dir/src/serve/stats.cpp.o" "gcc" "CMakeFiles/ens.dir/src/serve/stats.cpp.o.d"
+  "/root/repo/src/split/channel.cpp" "CMakeFiles/ens.dir/src/split/channel.cpp.o" "gcc" "CMakeFiles/ens.dir/src/split/channel.cpp.o.d"
+  "/root/repo/src/split/codec.cpp" "CMakeFiles/ens.dir/src/split/codec.cpp.o" "gcc" "CMakeFiles/ens.dir/src/split/codec.cpp.o.d"
+  "/root/repo/src/split/multiparty.cpp" "CMakeFiles/ens.dir/src/split/multiparty.cpp.o" "gcc" "CMakeFiles/ens.dir/src/split/multiparty.cpp.o.d"
+  "/root/repo/src/split/quant.cpp" "CMakeFiles/ens.dir/src/split/quant.cpp.o" "gcc" "CMakeFiles/ens.dir/src/split/quant.cpp.o.d"
+  "/root/repo/src/split/session.cpp" "CMakeFiles/ens.dir/src/split/session.cpp.o" "gcc" "CMakeFiles/ens.dir/src/split/session.cpp.o.d"
+  "/root/repo/src/split/split_model.cpp" "CMakeFiles/ens.dir/src/split/split_model.cpp.o" "gcc" "CMakeFiles/ens.dir/src/split/split_model.cpp.o.d"
+  "/root/repo/src/split/tcp_channel.cpp" "CMakeFiles/ens.dir/src/split/tcp_channel.cpp.o" "gcc" "CMakeFiles/ens.dir/src/split/tcp_channel.cpp.o.d"
+  "/root/repo/src/tensor/gemm_kernel.cpp" "CMakeFiles/ens.dir/src/tensor/gemm_kernel.cpp.o" "gcc" "CMakeFiles/ens.dir/src/tensor/gemm_kernel.cpp.o.d"
+  "/root/repo/src/tensor/im2col.cpp" "CMakeFiles/ens.dir/src/tensor/im2col.cpp.o" "gcc" "CMakeFiles/ens.dir/src/tensor/im2col.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "CMakeFiles/ens.dir/src/tensor/ops.cpp.o" "gcc" "CMakeFiles/ens.dir/src/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/shape.cpp" "CMakeFiles/ens.dir/src/tensor/shape.cpp.o" "gcc" "CMakeFiles/ens.dir/src/tensor/shape.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "CMakeFiles/ens.dir/src/tensor/tensor.cpp.o" "gcc" "CMakeFiles/ens.dir/src/tensor/tensor.cpp.o.d"
+  "/root/repo/src/train/trainer.cpp" "CMakeFiles/ens.dir/src/train/trainer.cpp.o" "gcc" "CMakeFiles/ens.dir/src/train/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

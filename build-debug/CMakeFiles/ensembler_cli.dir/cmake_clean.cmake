@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensembler_cli.dir/examples/ensembler_cli.cpp.o"
+  "CMakeFiles/ensembler_cli.dir/examples/ensembler_cli.cpp.o.d"
+  "ensembler_cli"
+  "ensembler_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensembler_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

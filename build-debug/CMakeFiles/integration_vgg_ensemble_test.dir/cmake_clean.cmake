@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_vgg_ensemble_test.dir/tests/integration/vgg_ensemble_test.cpp.o"
+  "CMakeFiles/integration_vgg_ensemble_test.dir/tests/integration/vgg_ensemble_test.cpp.o.d"
+  "integration_vgg_ensemble_test"
+  "integration_vgg_ensemble_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_vgg_ensemble_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_wire_latency_test.dir/tests/latency/wire_latency_test.cpp.o"
+  "CMakeFiles/latency_wire_latency_test.dir/tests/latency/wire_latency_test.cpp.o.d"
+  "latency_wire_latency_test"
+  "latency_wire_latency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_wire_latency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

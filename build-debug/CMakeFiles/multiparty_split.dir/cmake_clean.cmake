@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiparty_split.dir/examples/multiparty_split.cpp.o"
+  "CMakeFiles/multiparty_split.dir/examples/multiparty_split.cpp.o.d"
+  "multiparty_split"
+  "multiparty_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiparty_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_arch_test.dir/tests/nn/arch_test.cpp.o"
+  "CMakeFiles/nn_arch_test.dir/tests/nn/arch_test.cpp.o.d"
+  "nn_arch_test"
+  "nn_arch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_arch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

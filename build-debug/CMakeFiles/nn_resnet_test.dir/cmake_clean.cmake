@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_resnet_test.dir/tests/nn/resnet_test.cpp.o"
+  "CMakeFiles/nn_resnet_test.dir/tests/nn/resnet_test.cpp.o.d"
+  "nn_resnet_test"
+  "nn_resnet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_resnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

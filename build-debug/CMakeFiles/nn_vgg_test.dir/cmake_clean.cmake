@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_vgg_test.dir/tests/nn/vgg_test.cpp.o"
+  "CMakeFiles/nn_vgg_test.dir/tests/nn/vgg_test.cpp.o.d"
+  "nn_vgg_test"
+  "nn_vgg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_vgg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_face_inference.dir/examples/private_face_inference.cpp.o"
+  "CMakeFiles/private_face_inference.dir/examples/private_face_inference.cpp.o.d"
+  "private_face_inference"
+  "private_face_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_face_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

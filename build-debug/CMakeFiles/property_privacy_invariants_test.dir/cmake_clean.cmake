@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_privacy_invariants_test.dir/tests/property/privacy_invariants_test.cpp.o"
+  "CMakeFiles/property_privacy_invariants_test.dir/tests/property/privacy_invariants_test.cpp.o.d"
+  "property_privacy_invariants_test"
+  "property_privacy_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_privacy_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

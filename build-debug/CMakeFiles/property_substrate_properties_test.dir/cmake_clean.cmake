@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_substrate_properties_test.dir/tests/property/substrate_properties_test.cpp.o"
+  "CMakeFiles/property_substrate_properties_test.dir/tests/property/substrate_properties_test.cpp.o.d"
+  "property_substrate_properties_test"
+  "property_substrate_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_substrate_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

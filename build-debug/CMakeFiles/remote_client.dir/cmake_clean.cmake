@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_client.dir/examples/remote_client.cpp.o"
+  "CMakeFiles/remote_client.dir/examples/remote_client.cpp.o.d"
+  "remote_client"
+  "remote_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

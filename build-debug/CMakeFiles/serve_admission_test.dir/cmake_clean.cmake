@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_admission_test.dir/tests/serve/admission_test.cpp.o"
+  "CMakeFiles/serve_admission_test.dir/tests/serve/admission_test.cpp.o.d"
+  "serve_admission_test"
+  "serve_admission_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_admission_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_bundle_restart_test.dir/tests/serve/bundle_restart_test.cpp.o"
+  "CMakeFiles/serve_bundle_restart_test.dir/tests/serve/bundle_restart_test.cpp.o.d"
+  "serve_bundle_restart_test"
+  "serve_bundle_restart_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_bundle_restart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for serve_bundle_restart_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_daemon.dir/examples/serve_daemon.cpp.o"
+  "CMakeFiles/serve_daemon.dir/examples/serve_daemon.cpp.o.d"
+  "serve_daemon"
+  "serve_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_pipeline_test.dir/tests/serve/pipeline_test.cpp.o"
+  "CMakeFiles/serve_pipeline_test.dir/tests/serve/pipeline_test.cpp.o.d"
+  "serve_pipeline_test"
+  "serve_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_reactor_test.dir/tests/serve/reactor_test.cpp.o"
+  "CMakeFiles/serve_reactor_test.dir/tests/serve/reactor_test.cpp.o.d"
+  "serve_reactor_test"
+  "serve_reactor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_reactor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_serve_test.dir/tests/serve/serve_test.cpp.o"
+  "CMakeFiles/serve_serve_test.dir/tests/serve/serve_test.cpp.o.d"
+  "serve_serve_test"
+  "serve_serve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_serve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_shard_failure_test.dir/tests/serve/shard_failure_test.cpp.o"
+  "CMakeFiles/serve_shard_failure_test.dir/tests/serve/shard_failure_test.cpp.o.d"
+  "serve_shard_failure_test"
+  "serve_shard_failure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_shard_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

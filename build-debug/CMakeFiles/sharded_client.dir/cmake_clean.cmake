@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_client.dir/examples/sharded_client.cpp.o"
+  "CMakeFiles/sharded_client.dir/examples/sharded_client.cpp.o.d"
+  "sharded_client"
+  "sharded_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

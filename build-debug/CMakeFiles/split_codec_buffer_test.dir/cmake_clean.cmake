@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_codec_buffer_test.dir/tests/split/codec_buffer_test.cpp.o"
+  "CMakeFiles/split_codec_buffer_test.dir/tests/split/codec_buffer_test.cpp.o.d"
+  "split_codec_buffer_test"
+  "split_codec_buffer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_codec_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_multiparty_test.dir/tests/split/multiparty_test.cpp.o"
+  "CMakeFiles/split_multiparty_test.dir/tests/split/multiparty_test.cpp.o.d"
+  "split_multiparty_test"
+  "split_multiparty_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_multiparty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_quant_test.dir/tests/split/quant_test.cpp.o"
+  "CMakeFiles/split_quant_test.dir/tests/split/quant_test.cpp.o.d"
+  "split_quant_test"
+  "split_quant_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_quant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

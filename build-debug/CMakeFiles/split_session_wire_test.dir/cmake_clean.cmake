@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_session_wire_test.dir/tests/split/session_wire_test.cpp.o"
+  "CMakeFiles/split_session_wire_test.dir/tests/split/session_wire_test.cpp.o.d"
+  "split_session_wire_test"
+  "split_session_wire_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_session_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

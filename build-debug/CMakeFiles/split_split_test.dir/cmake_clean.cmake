@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_split_test.dir/tests/split/split_test.cpp.o"
+  "CMakeFiles/split_split_test.dir/tests/split/split_test.cpp.o.d"
+  "split_split_test"
+  "split_split_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

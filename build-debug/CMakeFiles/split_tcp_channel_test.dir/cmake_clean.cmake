@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_tcp_channel_test.dir/tests/split/tcp_channel_test.cpp.o"
+  "CMakeFiles/split_tcp_channel_test.dir/tests/split/tcp_channel_test.cpp.o.d"
+  "split_tcp_channel_test"
+  "split_tcp_channel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_tcp_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_im2col_test.dir/tests/tensor/im2col_test.cpp.o"
+  "CMakeFiles/tensor_im2col_test.dir/tests/tensor/im2col_test.cpp.o.d"
+  "tensor_im2col_test"
+  "tensor_im2col_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_im2col_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

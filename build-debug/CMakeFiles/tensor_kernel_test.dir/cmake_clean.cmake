@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_kernel_test.dir/tests/tensor/kernel_test.cpp.o"
+  "CMakeFiles/tensor_kernel_test.dir/tests/tensor/kernel_test.cpp.o.d"
+  "tensor_kernel_test"
+  "tensor_kernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_trainer_test.dir/tests/train/trainer_test.cpp.o"
+  "CMakeFiles/train_trainer_test.dir/tests/train/trainer_test.cpp.o.d"
+  "train_trainer_test"
+  "train_trainer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -77,6 +77,8 @@ void load_parameters_impl(Layer& layer, BinaryReader& reader, const std::string&
     for (Parameter* p : params) {
         load_named_tensor(reader, "parameter", p->name, p->value, context);
     }
+    // Restored values invalidate any derived state (packed GEMM panels).
+    layer.on_parameters_changed();
 }
 
 void load_state_impl(Layer& layer, BinaryReader& reader, const std::string& context) {

@@ -54,12 +54,28 @@ Tensor Conv2d::forward(const Tensor& input) {
     const std::int64_t in_plane = in_channels_ * geom.in_h * geom.in_w;
     const std::int64_t out_plane = out_channels_ * positions;
 
+    // Eval mode reuses a packed copy of the weight across every image (and
+    // every request — the pack survives between forwards). The packed and
+    // unpacked paths are bit-identical (see gemm_kernel.hpp), so toggling
+    // modes never changes outputs.
+    const bool use_packed = !training_;
+    if (use_packed && !packed_weight_.defined()) {
+        kernel::pack_a_into(packed_weight_, weight_.value.data(), weight_.value.dim(1),
+                            /*trans_a=*/false, out_channels_, weight_.value.dim(1));
+    }
+
     parallel_for(0, static_cast<std::size_t>(batch), [&](std::size_t lo, std::size_t hi) {
         Tensor col(Shape{geom.patch_size(), positions});
         Tensor out_mat(Shape{out_channels_, positions});
         for (std::size_t n = lo; n < hi; ++n) {
             im2col(input.data() + static_cast<std::int64_t>(n) * in_plane, geom, col.data());
-            gemm_serial(weight_.value, false, col, false, out_mat);
+            if (use_packed) {
+                kernel::gemm_packed_a(packed_weight_, col.data(), positions, /*trans_b=*/false,
+                                      positions, out_mat.data(), positions, 1.0f, 0.0f,
+                                      /*parallel=*/false);
+            } else {
+                gemm_serial(weight_.value, false, col, false, out_mat);
+            }
             float* dst = output.data() + static_cast<std::int64_t>(n) * out_plane;
             const float* src = out_mat.data();
             if (with_bias_) {
@@ -153,6 +169,21 @@ std::vector<Parameter*> Conv2d::parameters() {
         return {&weight_, &bias_};
     }
     return {&weight_};
+}
+
+void Conv2d::set_training(bool training) {
+    Layer::set_training(training);
+    if (training) {
+        packed_weight_.clear();
+    }
+}
+
+void Conv2d::on_parameters_changed() { packed_weight_.clear(); }
+
+void Conv2d::prepare_inference() {
+    set_training(false);
+    kernel::pack_a_into(packed_weight_, weight_.value.data(), weight_.value.dim(1),
+                        /*trans_a=*/false, out_channels_, weight_.value.dim(1));
 }
 
 std::string Conv2d::name() const {

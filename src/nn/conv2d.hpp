@@ -2,6 +2,7 @@
 // 2-d convolution (NCHW) via im2col + GEMM, batch-parallel.
 
 #include "nn/layer.hpp"
+#include "tensor/gemm_kernel.hpp"
 #include "tensor/im2col.hpp"
 
 namespace ens::nn {
@@ -18,6 +19,15 @@ public:
     Tensor backward(const Tensor& grad_output) override;
     std::vector<Parameter*> parameters() override;
     std::string name() const override;
+
+    /// Eval-mode forwards run the GEMM against a per-instance packed copy
+    /// of the weight (A-operand panels, packed lazily on first eval forward
+    /// or eagerly by prepare_inference). Training mode, checkpoint loads
+    /// and copy_parameters drop the pack so it can never go stale.
+    void set_training(bool training) override;
+    void on_parameters_changed() override;
+    void prepare_inference() override;
+    bool weights_packed() const { return packed_weight_.defined(); }
 
     std::int64_t in_channels() const { return in_channels_; }
     std::int64_t out_channels() const { return out_channels_; }
@@ -41,6 +51,10 @@ private:
     Parameter weight_;
     Parameter bias_;
     Tensor cached_input_;
+    // Weight repacked for the blocked kernel ([out_channels, patch] as the
+    // GEMM's A operand). Per-instance, so hot-swapped deployment
+    // generations can never alias another generation's pack.
+    kernel::PackedMatrix packed_weight_;
 };
 
 }  // namespace ens::nn

@@ -33,6 +33,7 @@ void copy_parameters(Layer& src, Layer& dst) {
                     "copy_parameters: parameter name mismatch at " + src_params[i]->name);
         dst_params[i]->value.copy_from(src_params[i]->value);
     }
+    dst.on_parameters_changed();
 }
 
 }  // namespace ens::nn

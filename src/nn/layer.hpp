@@ -64,9 +64,22 @@ public:
     /// Human-readable layer type + geometry, e.g. "Conv2d(3->8, k3 s1 p1)".
     virtual std::string name() const = 0;
 
-    /// Train/eval mode (BatchNorm statistics, Dropout masks).
+    /// Train/eval mode (BatchNorm statistics, Dropout masks). Switching to
+    /// training mode also drops any derived inference state (packed-weight
+    /// panels) so stale layouts can never shadow updated parameters.
     virtual void set_training(bool training) { training_ = training; }
     bool training() const { return training_; }
+
+    /// Notifies the layer that parameter VALUES were overwritten behind its
+    /// back (checkpoint restore, copy_parameters) so derived state — e.g.
+    /// the packed GEMM panels Conv2d/Linear cache in eval mode — must be
+    /// rebuilt before the next forward. Containers recurse to children.
+    virtual void on_parameters_changed() {}
+
+    /// Puts the layer in eval mode AND eagerly builds derived inference
+    /// state (packed-weight panels), so a bundle pays the packing cost once
+    /// at load instead of on the first request. Containers recurse.
+    virtual void prepare_inference() { set_training(false); }
 
 protected:
     bool training_ = true;

@@ -22,7 +22,19 @@ Tensor Linear::forward(const Tensor& input) {
                 "Linear: input shape mismatch, got " + input.shape().to_string());
     cached_input_ = input;
     Tensor out(Shape{input.dim(0), out_features_});
-    gemm(input, false, weight_.value, true, out);
+    if (!training_) {
+        // Packed eval path — bit-identical to the gemm() below (same
+        // blocked kernel), but skips re-packing W^T on every forward.
+        if (!packed_weight_.defined()) {
+            kernel::pack_b_into(packed_weight_, weight_.value.data(), in_features_,
+                                /*trans_b=*/true, in_features_, out_features_);
+        }
+        kernel::gemm_packed_b(input.data(), in_features_, /*trans_a=*/false, input.dim(0),
+                              packed_weight_, out.data(), out_features_, 1.0f, 0.0f,
+                              /*parallel=*/true);
+    } else {
+        gemm(input, false, weight_.value, true, out);
+    }
     if (with_bias_) {
         float* o = out.data();
         const float* b = bias_.value.data();
@@ -68,6 +80,21 @@ std::vector<Parameter*> Linear::parameters() {
         return {&weight_, &bias_};
     }
     return {&weight_};
+}
+
+void Linear::set_training(bool training) {
+    Layer::set_training(training);
+    if (training) {
+        packed_weight_.clear();
+    }
+}
+
+void Linear::on_parameters_changed() { packed_weight_.clear(); }
+
+void Linear::prepare_inference() {
+    set_training(false);
+    kernel::pack_b_into(packed_weight_, weight_.value.data(), in_features_, /*trans_b=*/true,
+                        in_features_, out_features_);
 }
 
 std::string Linear::name() const {

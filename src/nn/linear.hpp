@@ -2,6 +2,7 @@
 // Fully-connected layer: y = x W^T + b over [batch, features] matrices.
 
 #include "nn/layer.hpp"
+#include "tensor/gemm_kernel.hpp"
 
 namespace ens::nn {
 
@@ -14,6 +15,14 @@ public:
     Tensor backward(const Tensor& grad_output) override;
     std::vector<Parameter*> parameters() override;
     std::string name() const override;
+
+    /// Eval-mode forwards use a per-instance packed copy of W^T (B-operand
+    /// panels) — lazily on first eval forward, eagerly via
+    /// prepare_inference; invalidated exactly like Conv2d's pack.
+    void set_training(bool training) override;
+    void on_parameters_changed() override;
+    void prepare_inference() override;
+    bool weights_packed() const { return packed_weight_.defined(); }
 
     std::int64_t in_features() const { return in_features_; }
     std::int64_t out_features() const { return out_features_; }
@@ -29,6 +38,8 @@ private:
     Parameter weight_;  // [out, in]
     Parameter bias_;    // [out]
     Tensor cached_input_;
+    // W^T packed as the GEMM's B operand for the eval path.
+    kernel::PackedMatrix packed_weight_;
 };
 
 }  // namespace ens::nn

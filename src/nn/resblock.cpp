@@ -100,4 +100,29 @@ void BasicBlock::set_training(bool training) {
     }
 }
 
+void BasicBlock::on_parameters_changed() {
+    conv1_.on_parameters_changed();
+    bn1_.on_parameters_changed();
+    conv2_.on_parameters_changed();
+    bn2_.on_parameters_changed();
+    if (proj_conv_) {
+        proj_conv_->on_parameters_changed();
+        proj_bn_->on_parameters_changed();
+    }
+}
+
+void BasicBlock::prepare_inference() {
+    Layer::set_training(false);
+    conv1_.prepare_inference();
+    bn1_.prepare_inference();
+    relu1_.prepare_inference();
+    conv2_.prepare_inference();
+    bn2_.prepare_inference();
+    relu_out_.prepare_inference();
+    if (proj_conv_) {
+        proj_conv_->prepare_inference();
+        proj_bn_->prepare_inference();
+    }
+}
+
 }  // namespace ens::nn

@@ -21,6 +21,8 @@ public:
     std::vector<NamedBuffer> buffers() override;
     std::string name() const override;
     void set_training(bool training) override;
+    void on_parameters_changed() override;
+    void prepare_inference() override;
 
     bool has_projection() const { return proj_conv_ != nullptr; }
 

@@ -98,4 +98,17 @@ void Sequential::set_training(bool training) {
     }
 }
 
+void Sequential::on_parameters_changed() {
+    for (auto& layer : layers_) {
+        layer->on_parameters_changed();
+    }
+}
+
+void Sequential::prepare_inference() {
+    Layer::set_training(false);
+    for (auto& layer : layers_) {
+        layer->prepare_inference();
+    }
+}
+
 }  // namespace ens::nn

@@ -47,6 +47,8 @@ public:
     std::vector<NamedBuffer> buffers() override;
     std::string name() const override;
     void set_training(bool training) override;
+    void on_parameters_changed() override;
+    void prepare_inference() override;
 
 private:
     std::vector<LayerPtr> layers_;

@@ -107,7 +107,9 @@ nn::LayerPtr read_layer_record(std::istream& in, const std::string& file, const 
     const nn::ArchSpec spec = nn::decode_spec(in, context);
     nn::LayerPtr layer = nn::build_layer(spec, context);
     nn::load_state(*layer, in, context);
-    layer->set_training(false);
+    // Eval mode + eager weight packing: bundles are inference-only, so pay
+    // the pack at load instead of on the first request.
+    layer->prepare_inference();
     return layer;
 }
 
@@ -325,7 +327,7 @@ std::vector<nn::LayerPtr> load_bundle_bodies(const std::string& dir,
         const std::string file = (fs::path(dir) / entry.checkpoint_file).string();
         nn::LayerPtr body = nn::build_layer(entry.arch, file);
         nn::load_state_file(*body, file);
-        body->set_training(false);
+        body->prepare_inference();
         bodies.push_back(std::move(body));
     }
     return bodies;

@@ -1,10 +1,14 @@
 #include "tensor/im2col.hpp"
 
 #include "common/error.hpp"
+#include "tensor/gemm_kernel.hpp"  // ENS_RESTRICT
 
 namespace ens {
 
-void im2col(const float* src, const ConvGeometry& geom, float* col) {
+// src/col (and col/dst below) are disjoint by contract (see im2col.hpp);
+// the restrict qualification is what lets the compiler vectorize the
+// stride-1 gather/scatter rows.
+void im2col(const float* ENS_RESTRICT src, const ConvGeometry& geom, float* ENS_RESTRICT col) {
     const std::int64_t out_h = geom.out_h();
     const std::int64_t out_w = geom.out_w();
     ENS_REQUIRE(out_h > 0 && out_w > 0, "im2col produces empty output");
@@ -36,7 +40,7 @@ void im2col(const float* src, const ConvGeometry& geom, float* col) {
     }
 }
 
-void col2im(const float* col, const ConvGeometry& geom, float* dst) {
+void col2im(const float* ENS_RESTRICT col, const ConvGeometry& geom, float* ENS_RESTRICT dst) {
     const std::int64_t out_h = geom.out_h();
     const std::int64_t out_w = geom.out_w();
     const std::int64_t positions = out_h * out_w;

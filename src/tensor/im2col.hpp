@@ -5,6 +5,15 @@
 // convolution becomes a single GEMM with the [Cout, C*kh*kw] weight matrix;
 // col2im scatters gradients back. Padding is zero-padding; dilation is not
 // needed by any network in this repository.
+//
+// Contracts with the GEMM kernel (src/tensor/gemm_kernel.hpp): the `col`
+// matrix is produced fully contiguous and row-major, exactly the B-operand
+// layout gemm/gemm_serial expect — the kernel's packing stage handles
+// alignment, so `col` needs none. `src` and `col` must not alias (both
+// functions are annotated ENS_RESTRICT and write/read assuming disjoint
+// buffers). Conv2d calls im2col + a serial GEMM per image from inside its
+// batch parallel_for, which is the intended composition: one pool, outer
+// parallelism over images, stride-1 inner loops here.
 
 #include <cstdint>
 

@@ -5,7 +5,7 @@
 #include <limits>
 
 #include "common/error.hpp"
-#include "common/threadpool.hpp"
+#include "tensor/gemm_kernel.hpp"
 
 namespace ens {
 
@@ -82,11 +82,9 @@ float dot(const Tensor& a, const Tensor& b) {
 
 namespace {
 
-/// Row-major GEMM worker for C[m0..m1) with no transposition applied to the
-/// arguments: a_row(i) yields pointer to row i of op(A) etc. To keep the
-/// inner loop vectorizable we materialize nothing and use i-k-j ordering;
-/// op(B) row access is what matters for stride-1 inner loops, so the
-/// transposed cases pre-gather the needed column into a scratch row.
+/// Naive i-k-j GEMM worker, retained as the reference implementation behind
+/// `gemm_naive`: parity tests and the kernel micro-bench compare the blocked
+/// micro-kernel (gemm_kernel.hpp) against this triple loop.
 void gemm_chunk(const float* a, std::int64_t lda, bool trans_a, const float* b, std::int64_t ldb,
                 bool trans_b, float* c, std::int64_t ldc, std::int64_t m0, std::int64_t m1,
                 std::int64_t n, std::int64_t k, float alpha, float beta) {
@@ -146,27 +144,19 @@ GemmDims check_gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b
 void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b, Tensor& c, float alpha,
           float beta) {
     const GemmDims d = check_gemm(a, trans_a, b, trans_b, c);
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* pc = c.data();
-
-    // Parallelize across row chunks when there is enough work to amortize
-    // the fork/join (~1 MFLOP threshold).
-    const std::int64_t flops = 2 * d.m * d.n * d.k;
-    if (flops < (1 << 20) || d.m < 2) {
-        gemm_chunk(pa, d.lda, trans_a, pb, d.ldb, trans_b, pc, d.ldc, 0, d.m, d.n, d.k, alpha,
-                   beta);
-        return;
-    }
-    parallel_for(0, static_cast<std::size_t>(d.m), [&](std::size_t lo, std::size_t hi) {
-        gemm_chunk(pa, d.lda, trans_a, pb, d.ldb, trans_b, pc, d.ldc,
-                   static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi), d.n, d.k, alpha,
-                   beta);
-    });
+    kernel::gemm_blocked(d.m, d.n, d.k, a.data(), d.lda, trans_a, b.data(), d.ldb, trans_b,
+                         c.data(), d.ldc, alpha, beta, /*parallel=*/true);
 }
 
 void gemm_serial(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b, Tensor& c,
                  float alpha, float beta) {
+    const GemmDims d = check_gemm(a, trans_a, b, trans_b, c);
+    kernel::gemm_blocked(d.m, d.n, d.k, a.data(), d.lda, trans_a, b.data(), d.ldb, trans_b,
+                         c.data(), d.ldc, alpha, beta, /*parallel=*/false);
+}
+
+void gemm_naive(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b, Tensor& c,
+                float alpha, float beta) {
     const GemmDims d = check_gemm(a, trans_a, b, trans_b, c);
     gemm_chunk(a.data(), d.lda, trans_a, b.data(), d.ldb, trans_b, c.data(), d.ldc, 0, d.m, d.n,
                d.k, alpha, beta);

@@ -2,10 +2,28 @@
 // Free-function kernels over Tensor.
 //
 // Everything here is shape-checked and allocation-explicit: `gemm` writes
-// into a caller-provided output so training loops can reuse buffers. The
-// GEMM is a cache-blocked i-k-j kernel parallelized over row chunks; on the
-// 2-core reproduction host it reaches a few GFLOP/s, enough for the scaled
-// experiments (see DESIGN.md §4 scale note).
+// into a caller-provided output so training loops can reuse buffers.
+//
+// GEMM contracts (see src/tensor/gemm_kernel.hpp for the kernel itself):
+//
+//   - `gemm` and `gemm_serial` both route through the blocked,
+//     register-tiled micro-kernel and produce BIT-IDENTICAL results; they
+//     differ only in whether the i-strip tiling may fan out over
+//     ens::parallel_for. Inside a `parallel_for` body, prefer
+//     `gemm_serial`: the pool is re-entrant (nested parallel_for runs
+//     inline, so `gemm` cannot deadlock), but per-row-of-work serial GEMMs
+//     keep the outer fan-out the unit of parallelism instead of splitting
+//     each small GEMM again.
+//   - Aliasing: C must not overlap A or B. A and B may alias each other
+//     (both are repacked into private panels before the multiply).
+//   - Alignment: no caller-side requirements. Tensor buffers may have any
+//     alignment; the kernel's packing stage copies operands into 64-byte-
+//     aligned panels, which is where the SIMD paths get their aligned,
+//     `restrict`-qualified, stride-1 reads.
+//   - `gemm_naive` is the retained triple-loop reference used by parity
+//     tests and micro-benchmarks. It is NOT bit-identical to `gemm`
+//     (different summation order, no FMA); tests compare with a bounded
+//     relative error.
 
 #include <cstdint>
 
@@ -31,14 +49,20 @@ float dot(const Tensor& a, const Tensor& b);
 
 /// C = alpha * op(A) @ op(B) + beta * C.
 /// A is [M, K] (or [K, M] when trans_a), B is [K, N] (or [N, K] when
-/// trans_b), C is [M, N]. Parallelized over rows of C.
+/// trans_b), C is [M, N]. Runs the blocked micro-kernel with parallel
+/// i-strip tiling (large problems only; small ones stay serial).
 void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b, Tensor& c,
           float alpha = 1.0f, float beta = 0.0f);
 
-/// Single-threaded gemm for callers already running inside a parallel_for
-/// (nested pool waits can deadlock a fixed-size pool).
+/// Same kernel, never fans out — bit-identical to `gemm`. Use from inside
+/// a parallel_for body so the outer fan-out stays the unit of parallelism.
 void gemm_serial(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b, Tensor& c,
                  float alpha = 1.0f, float beta = 0.0f);
+
+/// Retained naive i-k-j reference kernel (serial). Parity baseline for
+/// tests and benchmarks; not bit-identical to `gemm` (see header comment).
+void gemm_naive(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b, Tensor& c,
+                float alpha = 1.0f, float beta = 0.0f);
 
 /// Convenience allocating matmul: A[M,K] @ B[K,N].
 Tensor matmul(const Tensor& a, const Tensor& b);

@@ -1,0 +1,390 @@
+// Parity and lifecycle suite for the blocked GEMM micro-kernel
+// (src/tensor/gemm_kernel.hpp) and the packed-weight caches built on it.
+//
+// Two distinct equality notions, per the kernel's determinism contract:
+//
+//   - BOUNDED ERROR vs the naive reference (gemm_naive) and a
+//     double-accumulating oracle: blocking + FMA reorder the summation, so
+//     cross-kernel comparisons use EXPECT_NEAR with a 1e-3 tolerance
+//     (inputs are O(1) randn, K <= a few hundred — the same bound
+//     ops_test.cpp has always used for GEMM).
+//   - BIT-EXACT across the kernel's own axes: packed vs unpacked operands,
+//     parallel vs serial, train-mode vs eval-mode layer forwards, and
+//     bundle loads. These use EXPECT_EQ on to_vector()/raw floats — any
+//     reordering is a bug, because serving bit-parity rests on it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/selector.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+#include "serve/bundle.hpp"
+#include "tensor/gemm_kernel.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+#include "../serve/serve_harness.hpp"
+
+namespace ens {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Double-accumulating oracle, independent of both kernels.
+Tensor reference_gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b, float alpha,
+                      float beta, const Tensor& c_in) {
+    const std::int64_t m = trans_a ? a.dim(1) : a.dim(0);
+    const std::int64_t k = trans_a ? a.dim(0) : a.dim(1);
+    const std::int64_t n = trans_b ? b.dim(0) : b.dim(1);
+    Tensor out(Shape{m, n});
+    for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (std::int64_t p = 0; p < k; ++p) {
+                const float av = trans_a ? a.data()[p * a.dim(1) + i] : a.data()[i * a.dim(1) + p];
+                const float bv = trans_b ? b.data()[j * b.dim(1) + p] : b.data()[p * b.dim(1) + j];
+                acc += static_cast<double>(av) * bv;
+            }
+            out.data()[i * n + j] = static_cast<float>(
+                alpha * acc + (beta == 0.0f ? 0.0 : beta * c_in.data()[i * n + j]));
+        }
+    }
+    return out;
+}
+
+struct GemmCase {
+    std::int64_t m, n, k;
+    bool trans_a, trans_b;
+};
+
+class KernelSweep : public ::testing::TestWithParam<GemmCase> {};
+
+// Shapes chosen to stress every ragged edge: below one tile, exact tile
+// multiples, one-past-a-tile, K crossing the kKC slab boundary, and the
+// degenerate M=1 / N=1 / K=1 rows.
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KernelSweep,
+    ::testing::Values(GemmCase{1, 1, 1, false, false}, GemmCase{1, 7, 3, false, false},
+                      GemmCase{5, 3, 2, false, true}, GemmCase{3, 129, 7, true, false},
+                      GemmCase{6, 16, 256, false, false},   // exact MR/NR/KC tiles
+                      GemmCase{7, 17, 257, false, false},   // one past every tile
+                      GemmCase{12, 32, 512, true, true},    // tile multiples, both trans
+                      GemmCase{13, 31, 57, false, false}, GemmCase{65, 33, 300, false, true},
+                      GemmCase{97, 5, 301, true, false},    // K crosses the kKC slab
+                      GemmCase{1, 64, 19, false, false},    // M=1
+                      GemmCase{64, 1, 19, true, true},      // N=1
+                      GemmCase{23, 29, 1, false, false}));  // K=1
+
+TEST_P(KernelSweep, MatchesReferenceAllTransCombos) {
+    const GemmCase p = GetParam();
+    Rng rng(0x5EED + static_cast<std::uint64_t>(p.m * 1000 + p.n * 10 + p.k));
+    const Tensor a = Tensor::randn(p.trans_a ? Shape{p.k, p.m} : Shape{p.m, p.k}, rng);
+    const Tensor b = Tensor::randn(p.trans_b ? Shape{p.n, p.k} : Shape{p.k, p.n}, rng);
+    const float alpha = 1.25f;
+
+    // beta == 0 must fully overwrite C: poison it with NaN so a
+    // read-modify-write (0 * NaN = NaN) cannot hide.
+    Tensor c(Shape{p.m, p.n});
+    c.fill(std::nanf(""));
+    kernel::gemm_blocked(p.m, p.n, p.k, a.data(), a.dim(1), p.trans_a, b.data(), b.dim(1),
+                         p.trans_b, c.data(), p.n, alpha, 0.0f, /*parallel=*/false);
+    const Tensor expected0 = reference_gemm(a, p.trans_a, b, p.trans_b, alpha, 0.0f, c);
+    for (std::int64_t i = 0; i < c.numel(); ++i) {
+        ASSERT_NEAR(c.data()[i], expected0.data()[i], 1e-3f) << "beta=0 element " << i;
+    }
+
+    // beta != 0 accumulates into existing C.
+    Tensor c1 = Tensor::randn(Shape{p.m, p.n}, rng);
+    const Tensor c1_before = c1.clone();
+    kernel::gemm_blocked(p.m, p.n, p.k, a.data(), a.dim(1), p.trans_a, b.data(), b.dim(1),
+                         p.trans_b, c1.data(), p.n, alpha, 0.5f, /*parallel=*/true);
+    const Tensor expected1 = reference_gemm(a, p.trans_a, b, p.trans_b, alpha, 0.5f, c1_before);
+    for (std::int64_t i = 0; i < c1.numel(); ++i) {
+        ASSERT_NEAR(c1.data()[i], expected1.data()[i], 1e-3f) << "beta=0.5 element " << i;
+    }
+}
+
+TEST_P(KernelSweep, AgreesWithNaiveKernel) {
+    const GemmCase p = GetParam();
+    Rng rng(0xA11CE);
+    const Tensor a = Tensor::randn(p.trans_a ? Shape{p.k, p.m} : Shape{p.m, p.k}, rng);
+    const Tensor b = Tensor::randn(p.trans_b ? Shape{p.n, p.k} : Shape{p.k, p.n}, rng);
+    Tensor c_blocked(Shape{p.m, p.n});
+    Tensor c_naive(Shape{p.m, p.n});
+    gemm(a, p.trans_a, b, p.trans_b, c_blocked);
+    gemm_naive(a, p.trans_a, b, p.trans_b, c_naive);
+    for (std::int64_t i = 0; i < c_blocked.numel(); ++i) {
+        ASSERT_NEAR(c_blocked.data()[i], c_naive.data()[i], 1e-3f) << "element " << i;
+    }
+}
+
+TEST(Kernel, PackedUnpackedAndParallelAreBitIdentical) {
+    // One C, five ways: unpacked serial, unpacked parallel, pre-packed A,
+    // pre-packed B, both pre-packed. All five must agree to the bit.
+    const std::int64_t m = 97, n = 65, k = 300;
+    Rng rng(0xB17);
+    const Tensor a = Tensor::randn(Shape{m, k}, rng);
+    const Tensor bt = Tensor::randn(Shape{n, k}, rng);  // used as op(B) via trans_b
+
+    const auto run = [&](auto&& fn) {
+        Tensor c(Shape{m, n});
+        c.fill(std::nanf(""));
+        fn(c);
+        return c.to_vector();
+    };
+    const std::vector<float> serial = run([&](Tensor& c) {
+        kernel::gemm_blocked(m, n, k, a.data(), k, false, bt.data(), k, true, c.data(), n, 1.0f,
+                             0.0f, false);
+    });
+    const std::vector<float> parallel = run([&](Tensor& c) {
+        kernel::gemm_blocked(m, n, k, a.data(), k, false, bt.data(), k, true, c.data(), n, 1.0f,
+                             0.0f, true);
+    });
+    const kernel::PackedMatrix pa = kernel::pack_a(a.data(), k, false, m, k);
+    const kernel::PackedMatrix pb = kernel::pack_b(bt.data(), k, true, k, n);
+    const std::vector<float> packed_a = run([&](Tensor& c) {
+        kernel::gemm_packed_a(pa, bt.data(), k, true, n, c.data(), n, 1.0f, 0.0f, true);
+    });
+    const std::vector<float> packed_b = run([&](Tensor& c) {
+        kernel::gemm_packed_b(a.data(), k, false, m, pb, c.data(), n, 1.0f, 0.0f, false);
+    });
+    const std::vector<float> packed_both = run(
+        [&](Tensor& c) { kernel::gemm_packed(pa, pb, c.data(), n, 1.0f, 0.0f, true); });
+
+    EXPECT_EQ(serial, parallel);
+    EXPECT_EQ(serial, packed_a);
+    EXPECT_EQ(serial, packed_b);
+    EXPECT_EQ(serial, packed_both);
+}
+
+TEST(Kernel, TensorGemmAndGemmSerialAreBitIdentical) {
+    Rng rng(0x90D);
+    const Tensor a = Tensor::randn(Shape{70, 130}, rng);
+    const Tensor b = Tensor::randn(Shape{130, 40}, rng);
+    Tensor c_par(Shape{70, 40});
+    Tensor c_ser(Shape{70, 40});
+    gemm(a, false, b, false, c_par, 0.7f);
+    gemm_serial(a, false, b, false, c_ser, 0.7f);
+    EXPECT_EQ(c_par.to_vector(), c_ser.to_vector());
+}
+
+TEST(Kernel, IsaIsDispatched) {
+    const std::string isa = kernel::kernel_isa();
+    EXPECT_TRUE(isa == "avx2" || isa == "neon" || isa == "portable") << isa;
+}
+
+TEST(Kernel, RejectsWrongSidePacksAndGeometryMismatch) {
+    Rng rng(7);
+    const Tensor a = Tensor::randn(Shape{8, 12}, rng);
+    const Tensor b = Tensor::randn(Shape{12, 10}, rng);
+    const kernel::PackedMatrix pa = kernel::pack_a(a.data(), 12, false, 8, 12);
+    const kernel::PackedMatrix pb = kernel::pack_b(b.data(), 10, false, 12, 10);
+    Tensor c(Shape{8, 10});
+    EXPECT_THROW(kernel::gemm_packed(pb, pb, c.data(), 10, 1.0f, 0.0f, false),
+                 std::invalid_argument);
+    EXPECT_THROW(kernel::gemm_packed(pa, pa, c.data(), 10, 1.0f, 0.0f, false),
+                 std::invalid_argument);
+    // Inner-dimension mismatch: A pack is [8, 12], a [13, 10] B pack.
+    const Tensor b_bad = Tensor::randn(Shape{13, 10}, rng);
+    const kernel::PackedMatrix pb_bad = kernel::pack_b(b_bad.data(), 10, false, 13, 10);
+    EXPECT_THROW(kernel::gemm_packed(pa, pb_bad, c.data(), 10, 1.0f, 0.0f, false),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- layers
+
+TEST(PackedWeights, LinearEvalForwardIsBitIdenticalToTrainAndPacksLazily) {
+    Rng rng(0x11EA);
+    nn::Linear layer(23, 17, rng);
+    const Tensor x = Tensor::randn(Shape{5, 23}, rng);
+
+    ASSERT_TRUE(layer.training());
+    const Tensor out_train = layer.forward(x);
+    EXPECT_FALSE(layer.weights_packed()) << "training forward must not pack";
+
+    layer.set_training(false);
+    EXPECT_FALSE(layer.weights_packed()) << "pack is lazy, not built on mode switch";
+    const Tensor out_eval = layer.forward(x);
+    EXPECT_TRUE(layer.weights_packed());
+    EXPECT_EQ(out_train.to_vector(), out_eval.to_vector())
+        << "packed eval path diverged from the unpacked train path";
+}
+
+TEST(PackedWeights, Conv2dEvalForwardIsBitIdenticalToTrain) {
+    Rng rng(0xC0DE);
+    nn::Conv2d layer(3, 5, /*kernel=*/3, /*stride=*/1, /*padding=*/1, rng, /*with_bias=*/true);
+    const Tensor x = Tensor::randn(Shape{2, 3, 8, 8}, rng);
+
+    const Tensor out_train = layer.forward(x);
+    EXPECT_FALSE(layer.weights_packed());
+    layer.set_training(false);
+    const Tensor out_eval = layer.forward(x);
+    EXPECT_TRUE(layer.weights_packed());
+    EXPECT_EQ(out_train.to_vector(), out_eval.to_vector());
+}
+
+TEST(PackedWeights, SetTrainingDropsThePackAndRepackReflectsNewWeights) {
+    Rng rng(0x7EA1);
+    nn::Linear layer(9, 4, rng);
+    const Tensor x = Tensor::randn(Shape{3, 9}, rng);
+    layer.set_training(false);
+    (void)layer.forward(x);
+    ASSERT_TRUE(layer.weights_packed());
+
+    // Back to training: the pack dies with the mode.
+    layer.set_training(true);
+    EXPECT_FALSE(layer.weights_packed());
+
+    // Mutate the weight in training mode (an optimizer step), return to
+    // eval: the fresh pack must see the new values.
+    layer.weight().value.scale_(2.0f);
+    layer.set_training(false);
+    const Tensor out = layer.forward(x);
+    Tensor expected(Shape{3, 4});
+    gemm(x, false, layer.weight().value, true, expected);
+    const float* b = layer.bias().value.data();
+    for (std::int64_t i = 0; i < 3; ++i) {
+        for (std::int64_t j = 0; j < 4; ++j) {
+            expected.data()[i * 4 + j] += b[j];
+        }
+    }
+    EXPECT_EQ(out.to_vector(), expected.to_vector());
+}
+
+TEST(PackedWeights, LoadStateInvalidatesThePack) {
+    Rng rng_a(1), rng_b(2);
+    nn::Linear live(11, 6, rng_a);
+    nn::Linear donor(11, 6, rng_b);
+    donor.set_training(false);
+    live.set_training(false);
+    const Tensor x = Tensor::randn(Shape{4, 11}, rng_a);
+    (void)live.forward(x);
+    ASSERT_TRUE(live.weights_packed());
+
+    std::stringstream buffer;
+    nn::save_state(donor, buffer);
+    nn::load_state(live, buffer, "kernel_test");
+    EXPECT_FALSE(live.weights_packed()) << "checkpoint restore left a stale pack";
+    EXPECT_EQ(live.forward(x).to_vector(), donor.forward(x).to_vector())
+        << "post-restore forward does not match the donor weights";
+}
+
+TEST(PackedWeights, CopyParametersInvalidatesThePack) {
+    Rng rng_a(3), rng_b(4);
+    nn::Conv2d live(2, 3, 3, 1, 1, rng_a);
+    nn::Conv2d donor(2, 3, 3, 1, 1, rng_b);
+    live.set_training(false);
+    donor.set_training(false);
+    const Tensor x = Tensor::randn(Shape{1, 2, 6, 6}, rng_a);
+    (void)live.forward(x);
+    ASSERT_TRUE(live.weights_packed());
+
+    nn::copy_parameters(donor, live);
+    EXPECT_FALSE(live.weights_packed()) << "copy_parameters left a stale pack";
+    EXPECT_EQ(live.forward(x).to_vector(), donor.forward(x).to_vector());
+}
+
+TEST(PackedWeights, PrepareInferencePacksEagerlyThroughContainers) {
+    Rng rng(0x5E9);
+    nn::Sequential net;
+    auto& lin1 = net.emplace<nn::Linear>(8, 8, rng);
+    auto& lin2 = net.emplace<nn::Linear>(8, 2, rng);
+    EXPECT_FALSE(lin1.weights_packed());
+    net.prepare_inference();
+    EXPECT_FALSE(net.training());
+    EXPECT_TRUE(lin1.weights_packed()) << "prepare_inference must pack before any forward";
+    EXPECT_TRUE(lin2.weights_packed());
+}
+
+// ------------------------------------------------------- bundle hot-swap
+
+/// Packed-weight lifecycle across a bundle hot-swap, at the exact layer
+/// the reactor's DeploymentManager uses (load_bundle_bodies backs both
+/// BodyHost::from_bundle boot and swap_from_bundle): generation 2 loading
+/// beside generation 1 must neither inherit nor disturb generation 1's
+/// packs, and an in-place reload of a body from the new bundle must drop
+/// the old pack rather than serve stale weights.
+TEST(PackedWeights, BundleHotSwapGetsFreshPacksAndLeavesPinnedGenerationIntact) {
+    constexpr std::size_t kBodies = 2;
+    serve::harness::EnsembleParts v1 =
+        serve::harness::make_linear_ensemble(0xA1, kBodies, /*num_selected=*/1);
+    serve::harness::EnsembleParts v2 =
+        serve::harness::make_linear_ensemble(0xB2, kBodies, /*num_selected=*/1);
+    serve::harness::set_eval(v1);
+    serve::harness::set_eval(v2);
+    const core::Selector selector(kBodies, {0});
+
+    const auto save_generation = [&](const std::string& name,
+                                     serve::harness::EnsembleParts& bodies) {
+        const fs::path dir = fs::path("bundle_artifacts") / name;
+        fs::remove_all(dir);
+        fs::create_directories(dir);
+        serve::BundleArtifacts artifacts;
+        for (nn::LayerPtr& body : bodies.bodies) {
+            artifacts.bodies.push_back(body.get());
+        }
+        artifacts.head = v1.head.get();
+        artifacts.tail = v1.tail.get();
+        artifacts.selector = &selector;
+        serve::save_bundle(dir.string(), artifacts);
+        return dir.string();
+    };
+    const std::string dir_v1 = save_generation("kernel_swap_v1", v1);
+    const std::string dir_v2 = save_generation("kernel_swap_v2", v2);
+
+    const auto inner_linear = [](nn::Layer& body) -> nn::Linear& {
+        auto& seq = dynamic_cast<nn::Sequential&>(body);
+        return dynamic_cast<nn::Linear&>(seq.layer(0));
+    };
+
+    // Generation 1 boots: bodies come back eval-mode with weights ALREADY
+    // packed (prepare_inference at load — no first-request packing cost).
+    std::vector<nn::LayerPtr> gen1 =
+        serve::load_bundle_bodies(dir_v1, serve::load_bundle_manifest(dir_v1));
+    ASSERT_EQ(gen1.size(), kBodies);
+    for (const nn::LayerPtr& body : gen1) {
+        EXPECT_FALSE(body->training());
+        EXPECT_TRUE(inner_linear(*body).weights_packed())
+            << "bundle load must pack weights eagerly";
+    }
+
+    Rng rng(0xDA7A);
+    const Tensor x = Tensor::randn(Shape{4, serve::harness::kHidden}, rng);
+    const Tensor out1_before = gen1[0]->forward(x);
+    // Oracle: the very ensemble the bundle snapshotted.
+    EXPECT_EQ(out1_before.to_vector(), v1.bodies[0]->forward(x).to_vector());
+
+    // The hot-swap: generation 2 loads BESIDE generation 1.
+    std::vector<nn::LayerPtr> gen2 =
+        serve::load_bundle_bodies(dir_v2, serve::load_bundle_manifest(dir_v2));
+    const Tensor out2 = gen2[0]->forward(x);
+    EXPECT_EQ(out2.to_vector(), v2.bodies[0]->forward(x).to_vector())
+        << "generation 2 serves wrong weights";
+    EXPECT_NE(out2.to_vector(), out1_before.to_vector())
+        << "generations indistinguishable — test cannot detect pack aliasing";
+
+    // The pinned generation is untouched by the swap: bit-exact replay.
+    const Tensor out1_after = gen1[0]->forward(x);
+    EXPECT_EQ(out1_before.to_vector(), out1_after.to_vector())
+        << "loading generation 2 disturbed generation 1's packed weights";
+
+    // In-place reload (roll a body to the new checkpoint): the pack from
+    // the old weights must die with them.
+    nn::load_state_file(*gen1[0], (fs::path(dir_v2) / "body_000.ckpt").string());
+    EXPECT_FALSE(inner_linear(*gen1[0]).weights_packed())
+        << "reload kept the generation 1 pack";
+    EXPECT_EQ(gen1[0]->forward(x).to_vector(), out2.to_vector())
+        << "reloaded body still serves generation 1 outputs — stale pack";
+}
+
+}  // namespace
+}  // namespace ens
