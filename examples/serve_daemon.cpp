@@ -14,9 +14,12 @@
 //     Only MANIFEST.ens and this shard's body_*.ckpt files are read; the
 //     secret CLIENT.ens (selector!) is never touched and need not even be
 //     present on a server machine. Mutually exclusive with the demo-model
-//     flags below.
+//     flags below. --optimize runs the graph compiler (nn/compile.hpp:
+//     BN folding, activation fusion, noise baking) over the restored
+//     bodies at boot — and, in reactor mode, over every hot-swapped
+//     generation — for a faster serving path at unchanged wire parity.
 //       ./serve_daemon --save-bundle demo_bundle --bodies 4 --seed 2000
-//       ./serve_daemon --port 7070 --bundle demo_bundle
+//       ./serve_daemon --port 7070 --bundle demo_bundle --optimize
 //     One shard of a multiparty layout hosts a slice of the bundle:
 //       ./serve_daemon --port 7070 --bundle demo_bundle --bodies 0..2 &
 //       ./serve_daemon --port 7071 --bundle demo_bundle --bodies 2..4 &
@@ -150,12 +153,15 @@ int write_demo_bundle(const std::string& dir, const nn::ResNetConfig& arch,
 /// swap, SIGTERM/SIGINT = graceful drain). `swap_dir` may be empty (a
 /// demo-mode daemon with nothing on disk to reload).
 int run_reactor(std::unique_ptr<serve::BodyHost> host, split::ChannelListener& listener,
-                std::size_t workers, const std::string& swap_dir) {
+                std::size_t workers, const std::string& swap_dir, bool optimize) {
     // Constructed BEFORE the reactor spawns anything: the signal mask is
     // inherited, so no worker ever takes a delivery meant for this loop.
     serve::SignalSet signals{SIGHUP, SIGTERM, SIGINT};
-    auto manager =
-        std::make_shared<serve::DeploymentManager>(std::shared_ptr<serve::BodyHost>(std::move(host)));
+    // `optimize` is sticky: the initial host was already graph-compiled by
+    // from_bundle, and the manager re-applies the flag to every SIGHUP
+    // swap so hot-swapped generations boot compiled too.
+    auto manager = std::make_shared<serve::DeploymentManager>(
+        std::shared_ptr<serve::BodyHost>(std::move(host)), optimize);
     serve::ReactorConfig config;
     config.worker_threads = workers;
     serve::ReactorHost reactor(manager, config);
@@ -222,6 +228,7 @@ int main(int argc, char** argv) {
     }
 
     const bool use_reactor = args.has("reactor");
+    const bool optimize = args.has("optimize");
     const bool has_workers_flag = args.has("workers");
     const auto workers = static_cast<std::size_t>(args.get_int("workers", 4));
     const std::string swap_bundle_dir = args.get_string("swap-bundle", "");
@@ -231,6 +238,11 @@ int main(int argc, char** argv) {
     }
     if (use_reactor && workers == 0) {
         std::fprintf(stderr, "--workers must be >= 1\n");
+        return 2;
+    }
+    if (optimize && bundle_dir.empty()) {
+        std::fprintf(stderr, "--optimize needs --bundle (the graph compiler runs at bundle "
+                             "boot, and sticks to every hot swap)\n");
         return 2;
     }
 
@@ -267,7 +279,7 @@ int main(int argc, char** argv) {
                 }
                 count = end - begin;
             }
-            bodyhost = serve::BodyHost::from_bundle(bundle_dir, begin, count);
+            bodyhost = serve::BodyHost::from_bundle(bundle_dir, begin, count, optimize);
             if (has_inflight_flag) {
                 bodyhost->set_max_inflight(max_inflight);
             }
@@ -283,12 +295,16 @@ int main(int argc, char** argv) {
                     "in-flight requests per connection\n",
                     info.to_string().c_str(), bundle_dir.c_str(), host.c_str(),
                     listener.port(), bodyhost->max_inflight());
+        if (optimize) {
+            std::printf("bodies were graph-compiled at boot (BN folds, fused epilogues); "
+                        "hot-swapped generations will be compiled too\n");
+        }
         std::printf("no trainer ran in this process, and the bundle's CLIENT.ens (the secret "
                     "selector) was never read. Ctrl-C to stop.\n");
         std::fflush(stdout);
         if (use_reactor) {
             return run_reactor(std::move(bodyhost), listener, workers,
-                               swap_bundle_dir.empty() ? bundle_dir : swap_bundle_dir);
+                               swap_bundle_dir.empty() ? bundle_dir : swap_bundle_dir, optimize);
         }
         bodyhost->serve_forever(listener);
         return 0;
@@ -380,7 +396,7 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
 
     if (use_reactor) {
-        return run_reactor(std::move(bodyhost), listener, workers, swap_bundle_dir);
+        return run_reactor(std::move(bodyhost), listener, workers, swap_bundle_dir, false);
     }
     bodyhost->serve_forever(listener);
     return 0;

@@ -36,6 +36,10 @@ enum class ErrorCode : std::uint8_t {
                            // version, truncated stream, name/shape/count
                            // mismatch against the target model (messages
                            // name the offending file)
+    compile_error = 7,     // graph-compiler contract violation: a required
+                           // rewrite (e.g. strict noise baking) is illegal
+                           // on this graph, or a compiled (inference-only)
+                           // artifact was asked to train/export
 };
 
 /// "channel_closed" etc., for logs and test diagnostics.
@@ -48,6 +52,7 @@ inline const char* error_code_name(ErrorCode code) {
         case ErrorCode::overloaded: return "overloaded";
         case ErrorCode::protocol_error: return "protocol_error";
         case ErrorCode::checkpoint_error: return "checkpoint_error";
+        case ErrorCode::compile_error: return "compile_error";
     }
     return "?";
 }

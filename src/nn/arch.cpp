@@ -57,6 +57,18 @@ void require_geometry(bool ok, const std::string& context, const ArchSpec& spec)
     }
 }
 
+// Boolean geometry ints are recorded as exactly 0/1 by describe_layer; a
+// spec carrying any other value is corrupt or hostile, not a "truthy" hint
+// to coerce (PR-5 hostile-input contract — reject, never repair).
+bool decode_bool(std::int64_t value, const std::string& context, const ArchSpec& spec,
+                 const char* field) {
+    if (value != 0 && value != 1) {
+        fail(context, "layer type \"" + spec.type + "\": boolean field " + field +
+                          " must be 0 or 1, got " + std::to_string(value));
+    }
+    return value == 1;
+}
+
 LayerPtr build_node(const ArchSpec& spec, const std::string& context, std::size_t depth,
                     Rng& rng);
 
@@ -76,12 +88,13 @@ LayerPtr build_known(const ArchSpec& spec, const std::string& context, std::size
     require_geometry(spec.children.empty(), context, spec);
     if (spec.type == "Linear") {
         require_geometry(ints.size() == 3 && floats.empty(), context, spec);
-        return std::make_unique<Linear>(ints[0], ints[1], rng, ints[2] != 0);
+        return std::make_unique<Linear>(ints[0], ints[1], rng,
+                                        decode_bool(ints[2], context, spec, "with_bias"));
     }
     if (spec.type == "Conv2d") {
         require_geometry(ints.size() == 6 && floats.empty(), context, spec);
         return std::make_unique<Conv2d>(ints[0], ints[1], ints[2], ints[3], ints[4], rng,
-                                        ints[5] != 0);
+                                        decode_bool(ints[5], context, spec, "with_bias"));
     }
     if (spec.type == "BatchNorm2d") {
         require_geometry(ints.size() == 1 && floats.size() == 2, context, spec);
@@ -130,13 +143,15 @@ LayerPtr build_known(const ArchSpec& spec, const std::string& context, std::size
     if (spec.type == "FixedNoise") {
         require_geometry(ints.size() >= 2 && floats.size() == 1, context, spec);
         const std::vector<std::int64_t> dims(ints.begin() + 1, ints.end());
-        return std::make_unique<FixedNoise>(Shape{dims}, floats[0], rng, ints[0] != 0);
+        return std::make_unique<FixedNoise>(Shape{dims}, floats[0], rng,
+                                            decode_bool(ints[0], context, spec, "trainable"));
     }
     if (spec.type == "Dropout") {
         require_geometry(ints.size() == 1 && floats.size() == 1, context, spec);
         // The live layer's rng stream position is not capturable; a rebuilt
         // active-in-eval Dropout is stochastic at inference regardless.
-        return std::make_unique<Dropout>(floats[0], rng.fork_named("dropout"), ints[0] != 0);
+        return std::make_unique<Dropout>(floats[0], rng.fork_named("dropout"),
+                                         decode_bool(ints[0], context, spec, "active_in_eval"));
     }
     fail(context, "unknown layer type \"" + spec.type + "\" in arch spec");
 }
@@ -229,12 +244,23 @@ ArchSpec describe_layer(const Layer& layer) {
         return spec;
     }
     if (const auto* linear = dynamic_cast<const Linear*>(&layer)) {
+        // A fused epilogue has no spec representation; describing it as a
+        // plain Linear would silently drop the activation from the export.
+        // Compiled graphs are a runtime artifact, never a bundle.
+        if (linear->epilogue() != Epilogue::none) {
+            throw std::invalid_argument("describe_layer: compiled layer \"" + layer.name() +
+                                        "\" (fused epilogue) cannot be exported as a spec");
+        }
         spec.type = "Linear";
         spec.ints = {linear->in_features(), linear->out_features(),
                      linear->has_bias() ? 1 : 0};
         return spec;
     }
     if (const auto* conv = dynamic_cast<const Conv2d*>(&layer)) {
+        if (conv->epilogue() != Epilogue::none) {
+            throw std::invalid_argument("describe_layer: compiled layer \"" + layer.name() +
+                                        "\" (fused epilogue) cannot be exported as a spec");
+        }
         spec.type = "Conv2d";
         spec.ints = {conv->in_channels(), conv->out_channels(), conv->kernel(), conv->stride(),
                      conv->padding(), conv->has_bias() ? 1 : 0};

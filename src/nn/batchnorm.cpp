@@ -56,8 +56,17 @@ Tensor BatchNorm2d::forward(const Tensor& input) {
             const double var = sq_sum / static_cast<double>(per_channel) - mean * mean;
             const float istd = static_cast<float>(1.0 / std::sqrt(var + eps_));
             invstd[c] = istd;
+            // Normalization uses the biased batch variance, but the running
+            // estimate gets Bessel's correction (n / (n - 1)) — PyTorch
+            // semantics, and what the eval path / BN-fold compiler pass
+            // then consume. A single-element batch keeps the biased value
+            // (the correction would divide by zero).
+            const double running_var =
+                per_channel > 1
+                    ? var * (static_cast<double>(per_channel) / static_cast<double>(per_channel - 1))
+                    : var;
             rmean[c] = (1.0f - momentum_) * rmean[c] + momentum_ * static_cast<float>(mean);
-            rvar[c] = (1.0f - momentum_) * rvar[c] + momentum_ * static_cast<float>(var);
+            rvar[c] = (1.0f - momentum_) * rvar[c] + momentum_ * static_cast<float>(running_var);
 
             for (std::int64_t n = 0; n < batch; ++n) {
                 const float* src = x + (n * channels_ + c) * plane;

@@ -20,9 +20,13 @@ public:
     float eps() const { return eps_; }
     float momentum() const { return momentum_; }
     Parameter& gamma() { return gamma_; }
+    const Parameter& gamma() const { return gamma_; }
     Parameter& beta() { return beta_; }
+    const Parameter& beta() const { return beta_; }
     Tensor& running_mean() { return running_mean_; }
+    const Tensor& running_mean() const { return running_mean_; }
     Tensor& running_var() { return running_var_; }
+    const Tensor& running_var() const { return running_var_; }
 
 private:
     std::int64_t channels_;

@@ -11,6 +11,32 @@
 
 namespace ens::nn {
 
+void apply_epilogue(Epilogue epilogue, float slope, float* data, std::int64_t n) {
+    switch (epilogue) {
+        case Epilogue::none:
+            return;
+        case Epilogue::relu:
+            for (std::int64_t i = 0; i < n; ++i) {
+                data[i] = data[i] > 0.0f ? data[i] : 0.0f;
+            }
+            return;
+        case Epilogue::leaky_relu:
+            for (std::int64_t i = 0; i < n; ++i) {
+                data[i] = data[i] > 0.0f ? data[i] : slope * data[i];
+            }
+            return;
+    }
+}
+
+std::string epilogue_suffix(Epilogue epilogue, float slope) {
+    switch (epilogue) {
+        case Epilogue::none: return "";
+        case Epilogue::relu: return "+relu";
+        case Epilogue::leaky_relu: return "+leaky_relu(" + std::to_string(slope) + ")";
+    }
+    return "";
+}
+
 Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t kernel,
                std::int64_t stride, std::int64_t padding, Rng& rng, bool with_bias)
     : in_channels_(in_channels),
@@ -88,12 +114,16 @@ Tensor Conv2d::forward(const Tensor& input) {
             } else {
                 std::copy(src, src + out_plane, dst);
             }
+            apply_epilogue(epilogue_, epilogue_slope_, dst, out_plane);
         }
     });
     return output;
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
+    ENS_CHECK(epilogue_ == Epilogue::none,
+              "Conv2d::backward: layer has a fused activation epilogue (compiled, "
+              "inference-only)");
     ENS_CHECK(cached_input_.defined(), "Conv2d::backward before forward");
     const ConvGeometry geom = geometry_for(cached_input_);
     const std::int64_t batch = cached_input_.dim(0);
@@ -180,6 +210,26 @@ void Conv2d::set_training(bool training) {
 
 void Conv2d::on_parameters_changed() { packed_weight_.clear(); }
 
+void Conv2d::assign_parameters(const Tensor& weight, const Tensor* bias) {
+    ENS_REQUIRE(weight.shape() == weight_.value.shape(),
+                "Conv2d::assign_parameters: weight shape " + weight.shape().to_string() +
+                    " != " + weight_.value.shape().to_string());
+    ENS_REQUIRE((bias != nullptr) == with_bias_,
+                "Conv2d::assign_parameters: bias presence must match with_bias");
+    weight_.value.copy_from(weight);
+    if (bias != nullptr) {
+        ENS_REQUIRE(bias->shape() == bias_.value.shape(),
+                    "Conv2d::assign_parameters: bias shape mismatch");
+        bias_.value.copy_from(*bias);
+    }
+    on_parameters_changed();
+}
+
+void Conv2d::set_epilogue(Epilogue epilogue, float slope) {
+    epilogue_ = epilogue;
+    epilogue_slope_ = slope;
+}
+
 void Conv2d::prepare_inference() {
     set_training(false);
     kernel::pack_a_into(packed_weight_, weight_.value.data(), weight_.value.dim(1),
@@ -189,7 +239,7 @@ void Conv2d::prepare_inference() {
 std::string Conv2d::name() const {
     return "Conv2d(" + std::to_string(in_channels_) + "->" + std::to_string(out_channels_) +
            ", k" + std::to_string(kernel_) + " s" + std::to_string(stride_) + " p" +
-           std::to_string(padding_) + ")";
+           std::to_string(padding_) + ")" + epilogue_suffix(epilogue_, epilogue_slope_);
 }
 
 }  // namespace ens::nn

@@ -7,6 +7,19 @@
 
 namespace ens::nn {
 
+/// Activation fused into a Conv2d/Linear output loop by the graph compiler
+/// (nn/compile.hpp). Fusion is bit-exact: the fused loop applies the same
+/// scalar max(0,x) / leaky expression a separate ReLU/LeakyReLU layer
+/// would, just without materializing the intermediate tensor. A layer with
+/// an epilogue is inference-only (backward refuses).
+enum class Epilogue : std::uint8_t { none = 0, relu = 1, leaky_relu = 2 };
+
+/// Applies `epilogue` in place over `n` contiguous floats.
+void apply_epilogue(Epilogue epilogue, float slope, float* data, std::int64_t n);
+
+/// "relu" / "leaky_relu(0.2)" suffix for compiled-layer names.
+std::string epilogue_suffix(Epilogue epilogue, float slope);
+
 class Conv2d final : public Layer {
 public:
     /// Square kernels only (all nets in this repo use 1x1/3x3/7x7).
@@ -38,6 +51,22 @@ public:
 
     /// Weight stored as [out_channels, in_channels * k * k] for the GEMM.
     Parameter& weight() { return weight_; }
+    const Parameter& weight() const { return weight_; }
+    Parameter& bias() { return bias_; }
+    const Parameter& bias() const { return bias_; }
+
+    /// Overwrites weight (and bias, when present) values in one shot,
+    /// shape-checked, and invalidates the packed-weight cache. Compiler
+    /// passes MUST rewrite parameters through this (not via weight().value
+    /// writes) — a direct tensor write would leave a stale pack serving
+    /// the old weights.
+    void assign_parameters(const Tensor& weight, const Tensor* bias = nullptr);
+
+    /// Fuses an activation into the output loop (graph compiler only).
+    /// The layer becomes inference-only: backward() refuses.
+    void set_epilogue(Epilogue epilogue, float slope = 0.0f);
+    Epilogue epilogue() const { return epilogue_; }
+    float epilogue_slope() const { return epilogue_slope_; }
 
 private:
     ConvGeometry geometry_for(const Tensor& input) const;
@@ -48,6 +77,8 @@ private:
     std::int64_t stride_;
     std::int64_t padding_;
     bool with_bias_;
+    Epilogue epilogue_ = Epilogue::none;
+    float epilogue_slope_ = 0.0f;
     Parameter weight_;
     Parameter bias_;
     Tensor cached_input_;

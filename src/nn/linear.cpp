@@ -45,10 +45,14 @@ Tensor Linear::forward(const Tensor& input) {
             }
         }
     }
+    apply_epilogue(epilogue_, epilogue_slope_, out.data(), out.numel());
     return out;
 }
 
 Tensor Linear::backward(const Tensor& grad_output) {
+    ENS_CHECK(epilogue_ == Epilogue::none,
+              "Linear::backward: layer has a fused activation epilogue (compiled, "
+              "inference-only)");
     ENS_CHECK(cached_input_.defined(), "Linear::backward before forward");
     ENS_REQUIRE(grad_output.rank() == 2 && grad_output.dim(1) == out_features_ &&
                     grad_output.dim(0) == cached_input_.dim(0),
@@ -91,6 +95,26 @@ void Linear::set_training(bool training) {
 
 void Linear::on_parameters_changed() { packed_weight_.clear(); }
 
+void Linear::assign_parameters(const Tensor& weight, const Tensor* bias) {
+    ENS_REQUIRE(weight.shape() == weight_.value.shape(),
+                "Linear::assign_parameters: weight shape " + weight.shape().to_string() +
+                    " != " + weight_.value.shape().to_string());
+    ENS_REQUIRE((bias != nullptr) == with_bias_,
+                "Linear::assign_parameters: bias presence must match with_bias");
+    weight_.value.copy_from(weight);
+    if (bias != nullptr) {
+        ENS_REQUIRE(bias->shape() == bias_.value.shape(),
+                    "Linear::assign_parameters: bias shape mismatch");
+        bias_.value.copy_from(*bias);
+    }
+    on_parameters_changed();
+}
+
+void Linear::set_epilogue(Epilogue epilogue, float slope) {
+    epilogue_ = epilogue;
+    epilogue_slope_ = slope;
+}
+
 void Linear::prepare_inference() {
     set_training(false);
     kernel::pack_b_into(packed_weight_, weight_.value.data(), in_features_, /*trans_b=*/true,
@@ -98,7 +122,8 @@ void Linear::prepare_inference() {
 }
 
 std::string Linear::name() const {
-    return "Linear(" + std::to_string(in_features_) + "->" + std::to_string(out_features_) + ")";
+    return "Linear(" + std::to_string(in_features_) + "->" + std::to_string(out_features_) +
+           ")" + epilogue_suffix(epilogue_, epilogue_slope_);
 }
 
 }  // namespace ens::nn

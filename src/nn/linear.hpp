@@ -1,6 +1,7 @@
 #pragma once
 // Fully-connected layer: y = x W^T + b over [batch, features] matrices.
 
+#include "nn/conv2d.hpp"  // Epilogue (shared conv/linear fused-activation enum)
 #include "nn/layer.hpp"
 #include "tensor/gemm_kernel.hpp"
 
@@ -28,13 +29,27 @@ public:
     std::int64_t out_features() const { return out_features_; }
 
     Parameter& weight() { return weight_; }
+    const Parameter& weight() const { return weight_; }
     Parameter& bias() { return bias_; }
+    const Parameter& bias() const { return bias_; }
     bool has_bias() const { return with_bias_; }
+
+    /// Overwrites weight/bias values in one shot, shape-checked, and
+    /// invalidates the packed-weight cache (see Conv2d::assign_parameters).
+    void assign_parameters(const Tensor& weight, const Tensor* bias = nullptr);
+
+    /// Fuses an activation into the output loop (graph compiler only).
+    /// The layer becomes inference-only: backward() refuses.
+    void set_epilogue(Epilogue epilogue, float slope = 0.0f);
+    Epilogue epilogue() const { return epilogue_; }
+    float epilogue_slope() const { return epilogue_slope_; }
 
 private:
     std::int64_t in_features_;
     std::int64_t out_features_;
     bool with_bias_;
+    Epilogue epilogue_ = Epilogue::none;
+    float epilogue_slope_ = 0.0f;
     Parameter weight_;  // [out, in]
     Parameter bias_;    // [out]
     Tensor cached_input_;

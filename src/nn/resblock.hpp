@@ -26,11 +26,14 @@ public:
 
     bool has_projection() const { return proj_conv_ != nullptr; }
 
-    /// Sub-layer access for analysis passes (FLOP counting, inspection).
+    /// Sub-layer access for analysis passes (FLOP counting, inspection)
+    /// and the BN-fold compiler pass (nn/compile.cpp).
     const Conv2d& conv1() const { return conv1_; }
     const Conv2d& conv2() const { return conv2_; }
     const Conv2d* projection_conv() const { return proj_conv_.get(); }
     const BatchNorm2d& bn1() const { return bn1_; }
+    const BatchNorm2d& bn2() const { return bn2_; }
+    const BatchNorm2d* projection_bn() const { return proj_bn_.get(); }
 
 private:
     Conv2d conv1_;

@@ -7,8 +7,8 @@
 
 namespace ens::serve {
 
-DeploymentManager::DeploymentManager(std::shared_ptr<BodyHost> initial)
-    : current_(std::move(initial)) {
+DeploymentManager::DeploymentManager(std::shared_ptr<BodyHost> initial, bool optimize_swaps)
+    : current_(std::move(initial)), optimize_(optimize_swaps) {
     ENS_REQUIRE(current_ != nullptr, "DeploymentManager: null initial host");
     version_ = 1;
     current_->set_deployment_version(version_);
@@ -17,9 +17,12 @@ DeploymentManager::DeploymentManager(std::shared_ptr<BodyHost> initial)
 
 std::unique_ptr<DeploymentManager> DeploymentManager::from_bundle(const std::string& bundle_dir,
                                                                   std::size_t shard_begin,
-                                                                  std::size_t shard_count) {
+                                                                  std::size_t shard_count,
+                                                                  bool optimize) {
     return std::make_unique<DeploymentManager>(
-        std::shared_ptr<BodyHost>(BodyHost::from_bundle(bundle_dir, shard_begin, shard_count)));
+        std::shared_ptr<BodyHost>(
+            BodyHost::from_bundle(bundle_dir, shard_begin, shard_count, optimize)),
+        optimize);
 }
 
 DeploymentManager::Pinned DeploymentManager::pin() const {
@@ -53,14 +56,17 @@ std::uint32_t DeploymentManager::swap(std::shared_ptr<BodyHost> next) {
 
 std::uint32_t DeploymentManager::swap_from_bundle(const std::string& bundle_dir) {
     HostInfo now;
+    bool optimize = false;
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         now = current_->host_info();
+        optimize = optimize_;
     }
-    // Load OUTSIDE the lock — rebuilding bodies from checkpoints is the
-    // slow part, and pin() must stay responsive while it runs.
+    // Load OUTSIDE the lock — rebuilding bodies from checkpoints (and
+    // graph-compiling them, when optimize is sticky) is the slow part, and
+    // pin() must stay responsive while it runs.
     auto next = std::shared_ptr<BodyHost>(
-        BodyHost::from_bundle(bundle_dir, now.body_begin, now.body_count));
+        BodyHost::from_bundle(bundle_dir, now.body_begin, now.body_count, optimize));
     return swap(std::move(next));
 }
 

@@ -50,14 +50,20 @@ public:
     /// Takes ownership of the initial generation and stamps it version 1.
     /// The host must already be configured (shard slice, wire mask,
     /// window); its advertised slice becomes the contract every later
-    /// swap must match.
-    explicit DeploymentManager(std::shared_ptr<BodyHost> initial);
+    /// swap must match. `optimize_swaps` makes every swap_from_bundle
+    /// graph-compile the incoming generation's bodies (the caller is
+    /// responsible for having compiled `initial` the same way, or versions
+    /// would differ in latency class).
+    explicit DeploymentManager(std::shared_ptr<BodyHost> initial, bool optimize_swaps = false);
 
     /// Boots generation 1 straight from an on-disk bundle (the daemon
-    /// path): BodyHost::from_bundle(bundle_dir, shard_begin, shard_count).
+    /// path): BodyHost::from_bundle(bundle_dir, shard_begin, shard_count,
+    /// optimize). The optimize flag is STICKY: it is remembered and applied
+    /// to every later swap_from_bundle, so hot-swapped generations boot
+    /// graph-compiled exactly like generation 1 did.
     static std::unique_ptr<DeploymentManager> from_bundle(
         const std::string& bundle_dir, std::size_t shard_begin = 0,
-        std::size_t shard_count = static_cast<std::size_t>(-1));
+        std::size_t shard_count = static_cast<std::size_t>(-1), bool optimize = false);
 
     DeploymentManager(const DeploymentManager&) = delete;
     DeploymentManager& operator=(const DeploymentManager&) = delete;
@@ -81,7 +87,8 @@ public:
 
     /// swap() from an on-disk bundle, loading the SAME shard slice the
     /// current generation serves (so a SIGHUP reload can never widen or
-    /// narrow a shard by accident).
+    /// narrow a shard by accident). Bodies are graph-compiled iff this
+    /// manager was created via from_bundle(..., optimize = true).
     std::uint32_t swap_from_bundle(const std::string& bundle_dir);
 
     /// Version new connections currently handshake.
@@ -98,6 +105,7 @@ public:
 private:
     mutable std::mutex mutex_;
     std::shared_ptr<BodyHost> current_;
+    bool optimize_ = false;  // from_bundle's flag, reapplied on every swap
     std::uint32_t version_ = 0;
     std::uint64_t swaps_ = 0;
     /// Every generation ever published, weakly — expired entries are

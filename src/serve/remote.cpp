@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/stopwatch.hpp"
+#include "nn/compile.hpp"
 #include "serve/bundle.hpp"
 #include "split/split_model.hpp"
 
@@ -43,11 +44,17 @@ BodyHost BodyHost::from_split_model(split::SplitModel model) {
 }
 
 std::unique_ptr<BodyHost> BodyHost::from_bundle(const std::string& bundle_dir,
-                                                std::size_t shard_begin,
-                                                std::size_t shard_count) {
+                                                std::size_t shard_begin, std::size_t shard_count,
+                                                bool optimize) {
     const BundleManifest manifest = load_bundle_manifest(bundle_dir);
-    auto host = std::make_unique<BodyHost>(
-        load_bundle_bodies(bundle_dir, manifest, shard_begin, shard_count));
+    std::vector<nn::LayerPtr> bodies =
+        load_bundle_bodies(bundle_dir, manifest, shard_begin, shard_count);
+    if (optimize) {
+        for (nn::LayerPtr& body : bodies) {
+            body = nn::compile_for_inference(std::move(body));
+        }
+    }
+    auto host = std::make_unique<BodyHost>(std::move(bodies));
     host->set_shard(shard_begin, manifest.total_bodies);
     host->set_max_inflight(manifest.max_inflight);
     host->set_wire_mask(manifest.wire_mask);

@@ -87,11 +87,15 @@ public:
     /// body-host machine only ever needs MANIFEST.ens plus its own slice's
     /// body_*.ckpt files on disk. Typed ens::Error{checkpoint_error}
     /// naming the offending file on corrupt/missing/mismatched bundle
-    /// content. (unique_ptr because BodyHost owns mutexes and cannot
-    /// move through a configuring factory.)
+    /// content. With `optimize`, every restored body is run through the
+    /// graph compiler (nn/compile.hpp: BN folding, activation fusion,
+    /// noise baking, repack) before hosting — outputs stay within the
+    /// per-wire-format parity tolerance of an unoptimized boot.
+    /// (unique_ptr because BodyHost owns mutexes and cannot move through
+    /// a configuring factory.)
     static std::unique_ptr<BodyHost> from_bundle(
         const std::string& bundle_dir, std::size_t shard_begin = 0,
-        std::size_t shard_count = static_cast<std::size_t>(-1));
+        std::size_t shard_count = static_cast<std::size_t>(-1), bool optimize = false);
 
     /// Declares this host to be one shard of a larger deployment: it serves
     /// global bodies [body_begin, body_begin + body_count()) of
@@ -126,6 +130,12 @@ public:
     HostInfo host_info() const;
 
     std::size_t body_count() const { return bodies_.size(); }
+
+    /// The k-th hosted body (structural inspection — tests assert a
+    /// graph-compiled boot actually rewrote the tree). Do not forward
+    /// through it while the host is serving; that bypasses the per-body
+    /// forward mutexes.
+    const nn::Layer& body(std::size_t k) const { return *bodies_.at(k); }
 
     /// Serves one connection: handshake, then PIPELINED request handling —
     /// a recv loop feeding up to max_inflight() worker threads, tagged

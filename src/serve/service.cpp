@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "core/ensembler.hpp"
 #include "defense/protected_model.hpp"
+#include "nn/compile.hpp"
 #include "serve/bundle.hpp"
 #include "split/codec.hpp"
 #include "split/split_model.hpp"
@@ -85,14 +86,15 @@ InferenceService::InferenceService(std::vector<nn::Layer*> bodies, ClientBundle 
                                    ServeConfig config, std::vector<nn::LayerPtr> owned_layers,
                                    std::shared_ptr<void> retained,
                                    std::uint32_t export_wire_mask,
-                                   std::size_t export_max_inflight)
+                                   std::size_t export_max_inflight, bool optimized)
     : bodies_(std::move(bodies)),
       bundle_(std::move(bundle)),
       config_(config),
       owned_layers_(std::move(owned_layers)),
       retained_(std::move(retained)),
       export_wire_mask_(export_wire_mask),
-      export_max_inflight_(export_max_inflight) {
+      export_max_inflight_(export_max_inflight),
+      optimized_(optimized) {
     ENS_REQUIRE(!bodies_.empty(), "InferenceService: no server bodies");
     for (const nn::Layer* body : bodies_) {
         ENS_REQUIRE(body != nullptr, "InferenceService: null body");
@@ -411,6 +413,15 @@ InferenceService InferenceService::from_bundle(const std::string& bundle_dir,
     ClientArtifacts client = load_bundle_client(bundle_dir, manifest.total_bodies);
     std::vector<nn::LayerPtr> owned = load_bundle_bodies(bundle_dir, manifest);
 
+    if (config.optimize) {
+        // Bodies only: the client head/tail stay uncompiled so the bytes a
+        // session puts on the wire are identical to an unoptimized boot,
+        // and the split-point noise (the defense) is never touched.
+        for (nn::LayerPtr& body : owned) {
+            body = nn::compile_for_inference(std::move(body));
+        }
+    }
+
     std::vector<nn::Layer*> bodies;
     bodies.reserve(owned.size());
     for (const nn::LayerPtr& body : owned) {
@@ -429,10 +440,18 @@ InferenceService InferenceService::from_bundle(const std::string& bundle_dir,
     }
     owned.push_back(std::move(client.tail));
     return InferenceService(std::move(bodies), std::move(bundle), config, std::move(owned),
-                            nullptr, manifest.wire_mask, manifest.max_inflight);
+                            nullptr, manifest.wire_mask, manifest.max_inflight,
+                            config.optimize);
 }
 
 void InferenceService::save_bundle(const std::string& bundle_dir) {
+    if (optimized_) {
+        throw Error(ErrorCode::compile_error,
+                    "InferenceService::save_bundle: this service was booted with "
+                    "config.optimize — compiled bodies (folded BN, fused epilogues) have no "
+                    "spec representation; re-export from an unoptimized boot of the source "
+                    "bundle instead");
+    }
     BundleArtifacts artifacts;
     artifacts.bodies = bodies_;
     artifacts.head = bundle_.head;

@@ -160,7 +160,8 @@ public:
     /// The bundle's recorded default wire format overrides
     /// `config.default_wire_format`. Typed ens::Error{checkpoint_error}
     /// naming the offending file on any corrupt/missing/mismatched bundle
-    /// content.
+    /// content. With config.optimize, every body is run through the graph
+    /// compiler (nn/compile.hpp) after restore.
     static InferenceService from_bundle(const std::string& bundle_dir, ServeConfig config = {});
 
     /// Writes this deployment as a bundle (serve/bundle.hpp): every body,
@@ -168,6 +169,10 @@ public:
     /// against concurrent submit() client phases; call it when the service
     /// is idle for a crisp snapshot (body weights are immutable in eval
     /// mode, so in-flight server batches do not change what is written).
+    /// Refuses (typed ens::Error{compile_error}) on a service booted with
+    /// config.optimize — compiled bodies (folded BN, fused epilogues) have
+    /// no spec representation, and exporting them would corrupt the
+    /// bundle; re-export from the unoptimized source instead.
     void save_bundle(const std::string& bundle_dir);
 
     ~InferenceService();
@@ -223,7 +228,7 @@ private:
     InferenceService(std::vector<nn::Layer*> bodies, ClientBundle bundle, ServeConfig config,
                      std::vector<nn::LayerPtr> owned_layers, std::shared_ptr<void> retained,
                      std::uint32_t export_wire_mask = split::all_wire_formats_mask(),
-                     std::size_t export_max_inflight = 0);
+                     std::size_t export_max_inflight = 0, bool optimized = false);
 
     void enqueue(Pending pending);
     void drain_loop();
@@ -238,6 +243,7 @@ private:
     std::shared_ptr<void> retained_;
     std::uint32_t export_wire_mask_;
     std::size_t export_max_inflight_;  // 0 = serve/protocol default
+    bool optimized_ = false;           // bodies were graph-compiled at boot
 
     std::mutex client_mutex_;  // serializes the shared client-side layers
 

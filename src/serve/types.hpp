@@ -55,6 +55,14 @@ struct ServeConfig {
     /// Pool for the body fan-out; nullptr uses ens::global_pool(). The
     /// tensor kernels inside each body always use the global pool.
     ThreadPool* pool = nullptr;
+
+    /// from_bundle only: run the graph compiler (nn/compile.hpp — BN
+    /// folding, activation fusion, noise baking, repack) over every loaded
+    /// server BODY. Outputs stay within the per-wire-format parity
+    /// tolerance (bit-exact when no fold applies); the client-side
+    /// head/noise/tail are never compiled — the split-point noise is the
+    /// wire-observable defense. An optimized service refuses save_bundle.
+    bool optimize = false;
 };
 
 /// One client inference request: a [B,C,H,W] image batch (a single [C,H,W]

@@ -98,6 +98,33 @@ TEST(ArchSpec, UnknownTypeAndMalformedGeometryFailTyped) {
     }
 }
 
+TEST(ArchSpec, NonBinaryBooleanFieldsAreRefusedNotCoerced) {
+    // A with_bias of 2 is corrupt spec data, not "truthy": silently
+    // coercing it would accept a bit-flipped bundle as valid.
+    ArchSpec linear;
+    linear.type = "Linear";
+    linear.ints = {3, 4, 2};
+    try {
+        build_layer(linear, "flipped_bundle");
+        FAIL() << "expected ens::Error{checkpoint_error}";
+    } catch (const Error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::checkpoint_error);
+        EXPECT_NE(std::string(e.what()).find("with_bias"), std::string::npos) << e.what();
+        EXPECT_NE(std::string(e.what()).find("flipped_bundle"), std::string::npos) << e.what();
+    }
+
+    ArchSpec conv;
+    conv.type = "Conv2d";
+    conv.ints = {3, 4, 3, 1, 1, -1};
+    EXPECT_THROW(build_layer(conv), Error);
+
+    ArchSpec noise;
+    noise.type = "FixedNoise";
+    noise.ints = {7, 2, 4, 4};  // trainable must be 0 or 1
+    noise.floats = {0.1f};
+    EXPECT_THROW(build_layer(noise), Error);
+}
+
 TEST(ArchSpec, HostileDecodeIsBoundedAndTyped) {
     // type string with an absurd length prefix must be refused before any
     // allocation happens.

@@ -105,6 +105,32 @@ TEST(BatchNorm2d, EvalUsesRunningStats) {
     EXPECT_NEAR(y.at(0), 0.0f, 0.2f);  // mean input -> ~0 output
 }
 
+TEST(BatchNorm2d, RunningVarUsesBesselCorrection) {
+    // PyTorch semantics: normalization uses the BIASED batch variance, but
+    // the running estimate accumulates the UNBIASED one (n/(n-1)). With
+    // momentum 1 the running stats equal the last batch's exactly, so the
+    // hand-computed reference pins both at once.
+    BatchNorm2d bn(1, 1e-5f, /*momentum=*/1.0f);
+    bn.set_training(true);
+    const Tensor x = Tensor::from_vector(Shape{4, 1, 1, 1}, {1.0f, 2.0f, 3.0f, 6.0f});
+    bn.forward(x);
+
+    const double mean = 3.0;                             // (1+2+3+6)/4
+    const double biased_var = (4.0 + 1.0 + 0.0 + 9.0) / 4.0;
+    const double unbiased_var = biased_var * 4.0 / 3.0;  // Bessel: n/(n-1)
+    EXPECT_NEAR(bn.running_mean().at(0), mean, 1e-6);
+    EXPECT_NEAR(bn.running_var().at(0), unbiased_var, 1e-6);
+
+    // Eval-mode parity against the running stats the layer just wrote:
+    // y = gamma * (x - rmean) / sqrt(rvar + eps) + beta.
+    bn.set_training(false);
+    const Tensor y = bn.forward(x);
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+        const double expected = (x.at(i) - mean) / std::sqrt(unbiased_var + 1e-5);
+        EXPECT_NEAR(y.at(i), expected, 1e-6);
+    }
+}
+
 TEST(BatchNorm2d, EvalBackwardIsScale) {
     BatchNorm2d bn(1);
     bn.set_training(false);

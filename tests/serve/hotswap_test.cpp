@@ -232,6 +232,124 @@ TEST(HotSwap, SighupMidWindowLosesNothingAndRetiresOldGeneration) {
         << "daemon exited dirty (3 = generation 1 never retired, 4 = swap failed)";
 }
 
+// ------------------------------------------------- optimized generations
+
+/// Conv-bundle analogue of save_generation: bodies from `body_parts`,
+/// client half (head/noise/tail/selector) from `client_parts`.
+void save_conv_generation(const std::string& dir, harness::ConvEnsembleParts& client_parts,
+                          harness::ConvEnsembleParts& body_parts,
+                          const core::Selector& selector) {
+    BundleArtifacts artifacts;
+    for (nn::LayerPtr& body : body_parts.bodies) {
+        artifacts.bodies.push_back(body.get());
+    }
+    artifacts.head = client_parts.head.get();
+    artifacts.noise = client_parts.noise.get();
+    artifacts.tail = client_parts.tail.get();
+    artifacts.selector = &selector;
+    save_bundle(dir, artifacts);
+}
+
+/// Sequential in-proc oracle over conv parts (head + noise chained into
+/// the single client head a CollaborativeSession expects).
+class ConvOracle {
+public:
+    ConvOracle(harness::ConvEnsembleParts& client_parts, harness::ConvEnsembleParts& body_parts,
+               const core::Selector& selector)
+        : chain_({client_parts.head.get(), client_parts.noise.get()}) {
+        for (nn::LayerPtr& body : body_parts.bodies) {
+            bodies_.push_back(body.get());
+        }
+        session_ = std::make_unique<split::CollaborativeSession>(
+            chain_, bodies_, *client_parts.tail,
+            [&selector](const std::vector<Tensor>& features) { return selector.apply(features); },
+            uplink_, downlink_, split::WireFormat::f32);
+    }
+
+    Tensor infer(const Tensor& images) { return session_->infer(images); }
+
+private:
+    harness::ChainLayer chain_;
+    std::vector<nn::Layer*> bodies_;
+    split::InProcChannel uplink_;
+    split::InProcChannel downlink_;
+    std::unique_ptr<split::CollaborativeSession> session_;
+};
+
+TEST(HotSwap, StickyOptimizeCompilesEverySwappedGeneration) {
+    // A manager booted with optimize = true must graph-compile generation
+    // 1 AND every generation a later swap_from_bundle loads — a hot swap
+    // that silently dropped the flag would regress the serving latency
+    // class without any visible failure. Conv bodies (Conv -> BN -> ReLU
+    // -> GAP) give the compiler a real fold; parity vs the uncompiled
+    // oracle is tolerance-class (BN folding re-associates floats).
+    constexpr float kFoldTolerance = 1e-4f;
+    harness::ConvEnsembleParts v1 = harness::make_conv_ensemble(kSeedV1, kBodies, 2);
+    harness::ConvEnsembleParts v2 = harness::make_conv_ensemble(kSeedV2, kBodies, 2);
+    harness::warm_batchnorm(v1, kSeedV1 + 7);
+    harness::warm_batchnorm(v2, kSeedV2 + 7);
+    harness::set_eval(v1);
+    harness::set_eval(v2);
+    const core::Selector selector(kBodies, {0, 2});
+
+    const std::string dir_v1 = bundle_dir_for("hotswap_opt_v1");
+    const std::string dir_v2 = bundle_dir_for("hotswap_opt_v2");
+    save_conv_generation(dir_v1, v1, v1, selector);
+    save_conv_generation(dir_v2, v1, v2, selector);
+
+    std::shared_ptr<DeploymentManager> manager = DeploymentManager::from_bundle(
+        dir_v1, 0, static_cast<std::size_t>(-1), /*optimize=*/true);
+    // Structural proof of compilation: Conv folded its BN (gaining a
+    // bias) and fused the ReLU, leaving Conv -> GAP.
+    const auto expect_compiled = [](const DeploymentManager::Pinned& pinned) {
+        const auto& body = dynamic_cast<const nn::Sequential&>(pinned.host->body(0));
+        ASSERT_EQ(body.size(), 2u);
+        const auto& conv = dynamic_cast<const nn::Conv2d&>(body.layer(0));
+        EXPECT_EQ(conv.epilogue(), nn::Epilogue::relu);
+        EXPECT_TRUE(conv.has_bias());
+    };
+    expect_compiled(manager->pin());
+
+    ReactorConfig config;
+    config.worker_threads = 2;
+    config.drain_grace = std::chrono::milliseconds(50);
+    ReactorHost reactor(manager, config);
+    split::ChannelListener listener(0);
+    std::thread loop([&] { reactor.run(listener); });
+
+    Rng data_rng(kSeedV1 ^ 0xBEEF);
+    const auto expect_parity = [&](harness::ConvEnsembleParts& body_parts, const char* what) {
+        RemoteSession session(split::tcp_connect("127.0.0.1", listener.port()), *v1.head,
+                              v1.noise.get(), *v1.tail, selector, split::WireFormat::f32,
+                              std::chrono::seconds(30), /*max_inflight=*/2);
+        session.set_recv_timeout(kRequestTimeout);
+        ConvOracle oracle(v1, body_parts, selector);
+        for (int r = 0; r < 3; ++r) {
+            const Tensor input =
+                Tensor::randn(Shape{2, 1, harness::kConvImage, harness::kConvImage}, data_rng);
+            const Tensor expected = oracle.infer(input);
+            const Tensor actual = session.infer(input).logits;
+            ASSERT_EQ(actual.shape(), expected.shape());
+            for (std::int64_t i = 0; i < actual.numel(); ++i) {
+                EXPECT_NEAR(actual.at(i), expected.at(i), kFoldTolerance)
+                    << what << " request " << r << " flat index " << i;
+            }
+        }
+        session.close();
+    };
+
+    expect_parity(v1, "generation 1 (compiled at boot)");
+
+    EXPECT_EQ(manager->swap_from_bundle(dir_v2), 2u);
+    // The flag stuck: the swapped-in generation is compiled too, and its
+    // answers track the generation 2 oracle.
+    expect_compiled(manager->pin());
+    expect_parity(v2, "generation 2 (compiled by sticky swap)");
+
+    reactor.shutdown();
+    loop.join();
+}
+
 TEST(HotSwap, SwapFromBundleRefusesACorruptBundleAndKeepsServing) {
     // A failed SIGHUP reload must leave the daemon on the OLD generation,
     // still serving — operator error cannot take the host down. In-process
