@@ -44,6 +44,7 @@
 #include "nn/sequential.hpp"
 #include "serve/remote.hpp"
 #include "serve/service.hpp"
+#include "split/fault_channel.hpp"
 #include "split/tcp_channel.hpp"
 
 namespace {
@@ -117,141 +118,9 @@ Row run_config(const nn::ResNetConfig& arch, std::size_t max_batch, std::size_t 
 
 // ------------------------------------------------- pipelined remote path
 
-/// Channel decorator modeling LINK PROPAGATION DELAY: every frame (both
-/// directions) is delivered one-way-delay later than it was sent, with
-/// unlimited frames allowed in flight — a netem-style stand-in for the
-/// LAN/WAN hop between the client and the body hosts (cf. the analytic
-/// link profiles in src/latency/profiles.hpp; loopback TCP alone has ~0
-/// propagation delay, which hides exactly the cost §III-D's latency
-/// argument is about). Lockstep (depth 1) pays the full RTT per request;
-/// the pipelined window overlaps RTTs, which is the effect under test.
-class LinkDelayChannel final : public split::Channel {
-public:
-    LinkDelayChannel(std::unique_ptr<split::Channel> inner, std::chrono::microseconds one_way)
-        : inner_(std::move(inner)), delay_(one_way) {
-        shuttle_ = std::thread([this] { shuttle_loop(); });
-        pump_ = std::thread([this] { pump_loop(); });
-    }
-
-    ~LinkDelayChannel() override {
-        close();
-        shuttle_.join();
-        pump_.join();
-    }
-
-    // send_parts falls through to the Channel base default (assemble +
-    // send), which lands in enqueue_out below.
-    void send(std::string message) override { enqueue_out(std::move(message)); }
-
-    std::string recv() override {
-        std::unique_lock<std::mutex> lock(mutex_);
-        for (;;) {
-            if (!in_.empty()) {
-                if (Clock::now() >= in_.front().release) {
-                    std::string message = std::move(in_.front().bytes);
-                    in_.pop_front();
-                    return message;
-                }
-                cv_.wait_until(lock, in_.front().release);
-                continue;
-            }
-            if (closed_ || in_eof_) {
-                throw Error(ErrorCode::channel_closed, "LinkDelayChannel: closed");
-            }
-            cv_.wait(lock);
-        }
-    }
-
-    bool has_pending() const override {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        return !in_.empty() && Clock::now() >= in_.front().release;
-    }
-
-    void close() override {
-        {
-            const std::lock_guard<std::mutex> lock(mutex_);
-            closed_ = true;
-        }
-        cv_.notify_all();
-        inner_->close();
-    }
-
-    void set_recv_timeout(std::chrono::milliseconds) override {
-        // Bench decorator: requests are bounded by the harness, not by
-        // per-recv timeouts.
-    }
-
-private:
-    using Clock = std::chrono::steady_clock;
-    struct Frame {
-        Clock::time_point release;
-        std::string bytes;
-    };
-
-    void enqueue_out(std::string message) {
-        {
-            const std::lock_guard<std::mutex> lock(mutex_);
-            if (closed_) {
-                throw Error(ErrorCode::channel_closed, "LinkDelayChannel: send on closed");
-            }
-            out_.push_back(Frame{Clock::now() + delay_, std::move(message)});
-        }
-        cv_.notify_all();
-    }
-
-    void shuttle_loop() {
-        for (;;) {
-            Frame frame;
-            {
-                std::unique_lock<std::mutex> lock(mutex_);
-                cv_.wait(lock, [this] { return closed_ || !out_.empty(); });
-                if (out_.empty()) {
-                    return;  // closed and drained
-                }
-                frame = std::move(out_.front());
-                out_.pop_front();
-            }
-            std::this_thread::sleep_until(frame.release);
-            try {
-                inner_->send(std::move(frame.bytes));
-            } catch (...) {
-                return;  // teardown race: the peer is gone
-            }
-        }
-    }
-
-    void pump_loop() {
-        for (;;) {
-            std::string message;
-            try {
-                message = inner_->recv();
-            } catch (...) {
-                {
-                    const std::lock_guard<std::mutex> lock(mutex_);
-                    in_eof_ = true;
-                }
-                cv_.notify_all();
-                return;
-            }
-            {
-                const std::lock_guard<std::mutex> lock(mutex_);
-                in_.push_back(Frame{Clock::now() + delay_, std::move(message)});
-            }
-            cv_.notify_all();
-        }
-    }
-
-    std::unique_ptr<split::Channel> inner_;
-    std::chrono::microseconds delay_;
-    mutable std::mutex mutex_;
-    std::condition_variable cv_;
-    std::deque<Frame> out_;
-    std::deque<Frame> in_;
-    bool closed_ = false;
-    bool in_eof_ = false;
-    std::thread shuttle_;
-    std::thread pump_;
-};
+/// The link-propagation-delay decorator lives in the library now
+/// (split/fault_channel.hpp) — the bench keeps its original name.
+using LinkDelayChannel = split::DelayChannel;
 
 /// Wire-bound serving geometry: a private Linear head, `bodies` Linear
 /// bodies hosted remotely, a Linear tail over the selected maps. Tiny on

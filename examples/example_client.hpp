@@ -11,11 +11,13 @@
 // Error convention of the example drivers: exit 2 on flag misuse, exit 1
 // on an unloadable bundle.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/args.hpp"
 #include "core/selector.hpp"
@@ -23,6 +25,7 @@
 #include "nn/resnet.hpp"
 #include "nn/sequential.hpp"
 #include "serve/bundle.hpp"
+#include "serve/retry.hpp"
 #include "serve/types.hpp"
 #include "split/codec.hpp"
 #include "split/split_model.hpp"
@@ -46,6 +49,86 @@ inline split::WireFormat parse_wire(const std::string& name) {
         std::exit(2);
     }
     return format;
+}
+
+/// Parses a replicated shard list: ','-separated shards, '|'-separated
+/// replicas within one shard, each entry "host:port". A plain
+/// "h:1,h:2,h:3" is three single-replica shards, so the pre-replication
+/// --shards syntax still means what it always did. Exits 2 (flag-misuse
+/// convention) on any malformed entry, naming `flag` in the message.
+inline std::vector<std::vector<serve::BundleReplicaEndpoint>> parse_replicated_shards(
+    const std::string& spec, const char* flag) {
+    std::vector<std::vector<serve::BundleReplicaEndpoint>> shards;
+    std::size_t shard_start = 0;
+    while (shard_start <= spec.size()) {
+        std::size_t comma = spec.find(',', shard_start);
+        if (comma == std::string::npos) {
+            comma = spec.size();
+        }
+        const std::string group = spec.substr(shard_start, comma - shard_start);
+        std::vector<serve::BundleReplicaEndpoint> replicas;
+        std::size_t start = 0;
+        while (start <= group.size()) {
+            std::size_t bar = group.find('|', start);
+            if (bar == std::string::npos) {
+                bar = group.size();
+            }
+            const std::string entry = group.substr(start, bar - start);
+            const std::size_t colon = entry.rfind(':');
+            if (entry.empty() || colon == std::string::npos || colon == 0 ||
+                colon + 1 == entry.size()) {
+                std::fprintf(stderr, "bad --%s entry \"%s\" (want host:port)\n", flag,
+                             entry.c_str());
+                std::exit(2);
+            }
+            try {
+                // Full consumption + range check: "7070xyz" and 70707 must
+                // be loud flag errors, not silent connections to the wrong
+                // port.
+                const std::string port_text = entry.substr(colon + 1);
+                std::size_t parsed = 0;
+                const unsigned long port = std::stoul(port_text, &parsed);
+                if (parsed != port_text.size() || port == 0 || port > 65535) {
+                    throw std::out_of_range("port");
+                }
+                replicas.push_back(serve::BundleReplicaEndpoint{
+                    entry.substr(0, colon), static_cast<std::uint16_t>(port)});
+            } catch (const std::exception&) {
+                std::fprintf(stderr, "bad --%s port in \"%s\" (want 1-65535)\n", flag,
+                             entry.c_str());
+                std::exit(2);
+            }
+            start = bar + 1;
+        }
+        shards.push_back(std::move(replicas));
+        shard_start = comma + 1;
+    }
+    return shards;
+}
+
+/// Applies the shared retry flags (--retry-max, --retry-backoff-ms) on top
+/// of `retry` (which starts from defaults or from a bundle's recorded
+/// policy). Exits 2 on out-of-range values.
+inline void apply_retry_flags(ArgParser& args, serve::RetryPolicy& retry) {
+    if (args.has("retry-max")) {
+        const std::int64_t value = args.get_int("retry-max", 0);
+        if (value < 1 || value > 1000) {
+            std::fprintf(stderr, "--retry-max must be in [1, 1000]\n");
+            std::exit(2);
+        }
+        retry.max_attempts = static_cast<std::size_t>(value);
+    }
+    if (args.has("retry-backoff-ms")) {
+        const std::int64_t value = args.get_int("retry-backoff-ms", 0);
+        if (value < 0 || value > 3600 * 1000) {
+            std::fprintf(stderr, "--retry-backoff-ms must be in [0, 3600000]\n");
+            std::exit(2);
+        }
+        retry.base_backoff = std::chrono::milliseconds(value);
+        if (retry.max_backoff < retry.base_backoff) {
+            retry.max_backoff = retry.base_backoff;
+        }
+    }
 }
 
 /// The demo client half, derived from the seeds: head from the k = 0

@@ -120,10 +120,16 @@ bool parse_bodies(const std::string& spec, std::size_t& begin, std::size_t& end)
 
 /// Builds the demo deployment (all bodies + the shared demo client half,
 /// example_client::derive_demo_client — the same derivation the clients
-/// use in demo mode) and writes it as a bundle.
+/// use in demo mode) and writes it as a bundle. A non-empty
+/// `shard_endpoints` (from --replicas) records the replica topology in the
+/// manifest: the shard plan becomes one contiguous slice per endpoint
+/// group, bodies divided as evenly as possible, and --bundle clients can
+/// then dial the whole replicated deployment with no --shards flag.
 int write_demo_bundle(const std::string& dir, const nn::ResNetConfig& arch,
                       std::uint64_t seed, std::size_t num_bodies, std::size_t num_selected,
-                      std::uint64_t selector_seed, std::size_t max_inflight) {
+                      std::uint64_t selector_seed, std::size_t max_inflight,
+                      std::vector<std::vector<serve::BundleReplicaEndpoint>> shard_endpoints,
+                      const serve::RetryPolicy& retry) {
     std::vector<nn::LayerPtr> bodies;
     for (std::size_t k = 0; k < num_bodies; ++k) {
         bodies.push_back(std::move(build_part(arch, seed, k).body));
@@ -140,9 +146,35 @@ int write_demo_bundle(const std::string& dir, const nn::ResNetConfig& arch,
     artifacts.tail = client.tail.get();
     artifacts.selector = &client.selector;
     artifacts.max_inflight = max_inflight;
+    if (!shard_endpoints.empty()) {
+        const std::size_t shards = shard_endpoints.size();
+        if (shards > num_bodies) {
+            std::fprintf(stderr, "--replicas names %zu shards for %zu bodies\n", shards,
+                         num_bodies);
+            return 2;
+        }
+        std::size_t next = 0;
+        for (std::size_t s = 0; s < shards; ++s) {
+            const std::size_t count = num_bodies / shards + (s < num_bodies % shards ? 1 : 0);
+            artifacts.shard_plan.push_back(serve::BundleShardSlice{next, count});
+            next += count;
+        }
+        artifacts.shard_endpoints = std::move(shard_endpoints);
+    }
+    artifacts.retry.max_attempts = static_cast<std::uint32_t>(retry.max_attempts);
+    artifacts.retry.backoff_ms = static_cast<std::uint32_t>(retry.base_backoff.count());
+    artifacts.retry.backoff_cap_ms = static_cast<std::uint32_t>(retry.max_backoff.count());
     serve::save_bundle(dir, artifacts);
     std::printf("serve_daemon: wrote deployment bundle (%zu bodies, secret selector %s) to %s\n",
                 artifacts.bodies.size(), client.selector.to_string().c_str(), dir.c_str());
+    if (!artifacts.shard_endpoints.empty()) {
+        std::printf("manifest records %zu shards with replica endpoints + the retry policy "
+                    "(max %zu attempts, backoff %lld..%lld ms); --bundle clients dial them "
+                    "directly\n",
+                    artifacts.shard_plan.size(), retry.max_attempts,
+                    static_cast<long long>(retry.base_backoff.count()),
+                    static_cast<long long>(retry.max_backoff.count()));
+    }
     std::printf("ship MANIFEST.ens + body_*.ckpt to the server(s); CLIENT.ens stays with the "
                 "client — it holds the selector.\n");
     return 0;
@@ -198,9 +230,10 @@ int run_reactor(std::unique_ptr<serve::BodyHost> host, split::ChannelListener& l
     reactor_thread.join();
     const serve::GaugeSnapshot gauges = reactor.gauges();
     std::printf("serve_daemon: drained; served %llu requests over %llu connections "
-                "(%llu hot swaps)\n",
+                "(%llu dropped, %llu hot swaps)\n",
                 static_cast<unsigned long long>(gauges.requests_served),
                 static_cast<unsigned long long>(gauges.connections_total),
+                static_cast<unsigned long long>(gauges.connections_dropped),
                 static_cast<unsigned long long>(gauges.swaps_completed));
     return 0;
 }
@@ -333,10 +366,21 @@ int main(int argc, char** argv) {
     // be handed the secret selection).
     std::size_t num_selected = body_end - body_begin;
     std::uint64_t selector_seed = 7;
+    std::vector<std::vector<serve::BundleReplicaEndpoint>> shard_endpoints;
+    serve::RetryPolicy bundle_retry;
     if (!save_bundle_dir.empty()) {
         num_selected = static_cast<std::size_t>(
             args.get_int("select", static_cast<std::int64_t>(body_end - body_begin)));
         selector_seed = static_cast<std::uint64_t>(args.get_int("selector-seed", 7));
+        // --replicas records the deployment's replica topology (same
+        // '|'/',' syntax as sharded_client --shards) in the manifest;
+        // --retry-max / --retry-backoff-ms record the suggested client
+        // retry policy alongside it.
+        if (args.has("replicas")) {
+            shard_endpoints = example_client::parse_replicated_shards(
+                args.get_string("replicas", ""), "replicas");
+        }
+        example_client::apply_retry_flags(args, bundle_retry);
     }
 
     for (const std::string& flag : args.unconsumed()) {
@@ -366,7 +410,8 @@ int main(int argc, char** argv) {
         }
         try {
             return write_demo_bundle(save_bundle_dir, arch, seed, body_end, num_selected,
-                                     selector_seed, max_inflight);
+                                     selector_seed, max_inflight, std::move(shard_endpoints),
+                                     bundle_retry);
         } catch (const std::exception& e) {
             std::fprintf(stderr, "cannot write bundle %s: %s\n", save_bundle_dir.c_str(),
                          e.what());

@@ -1,9 +1,12 @@
 // sharded_client — the client half of the §III-D MULTIPARTY deployment:
 // connects to K serve_daemon shard processes (each hosting a disjoint slice
-// of the N server bodies), keeps the head, secret selector and tail local,
-// and routes every request through a serve::ShardRouter that fans the
-// split-point features out to all shards concurrently and merges the
-// returned feature maps in global body order.
+// of the N server bodies, optionally behind R replicas), keeps the head,
+// secret selector and tail local, and routes every request through a
+// serve::ShardRouter that fans the split-point features out to one healthy
+// replica of every shard concurrently and merges the returned feature maps
+// in global body order. A replica that dies mid-request is failed over
+// transparently (the request replays on a surviving replica); the
+// background redialer re-admits it once it comes back.
 //
 // Bundle flow (production shape — every process restores from disk, no
 // shared seeds; only the client reads the secret CLIENT.ens):
@@ -13,6 +16,14 @@
 //   ./serve_daemon --port 7072 --bundle demo_bundle --bodies 4..6 &
 //   ./sharded_client --shards 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072
 //       --bundle demo_bundle --requests 8    (one command line)
+// When the bundle was saved with --replicas, the manifest records the full
+// replica topology and the suggested retry policy: --bundle alone (no
+// --shards) dials exactly that deployment.
+//
+// Replicated flow (R = 2 per shard; '|' separates replicas of one shard):
+//   ./sharded_client
+//       --shards 127.0.0.1:7070|127.0.0.1:7170,127.0.0.1:7071|127.0.0.1:7171
+//       --bundle demo_bundle --retry-max 4 --retry-backoff-ms 50 --stats
 //
 // Demo flow (both halves derived from the same seeds, standing in for a
 // shared checkpoint):
@@ -24,12 +35,12 @@
 //
 // --total/--width/--image/--classes/--seed must match the daemons; the
 // body slices come from each daemon's handshake, and the router refuses
-// to start unless they tile [0, N) exactly. No daemon ever learns which P
-// bodies the secret selector actually uses — and unlike the single-host
-// deployment, no daemon even HOLDS all N bodies, so a lone adversarial
-// provider cannot enumerate the full 2^N - 1 shadow-subset space. Weights
-// are untrained: this demo exercises transport, routing and accounting,
-// not accuracy.
+// to start unless they tile [0, N) exactly (and every replica of a shard
+// agrees on its slice). No daemon ever learns which P bodies the secret
+// selector actually uses — and unlike the single-host deployment, no
+// daemon even HOLDS all N bodies, so a lone adversarial provider cannot
+// enumerate the full 2^N - 1 shadow-subset space. Weights are untrained:
+// this demo exercises transport, routing and accounting, not accuracy.
 
 #include <chrono>
 #include <cstdio>
@@ -42,55 +53,10 @@
 #include "serve/shard_router.hpp"
 #include "split/tcp_channel.hpp"
 
-namespace {
-
-using namespace ens;
-
-struct Endpoint {
-    std::string host;
-    std::uint16_t port = 0;
-};
-
-/// Parses "host:port,host:port,..." (the shard list).
-std::vector<Endpoint> parse_shards(const std::string& spec) {
-    std::vector<Endpoint> endpoints;
-    std::size_t start = 0;
-    while (start <= spec.size()) {
-        std::size_t comma = spec.find(',', start);
-        if (comma == std::string::npos) {
-            comma = spec.size();
-        }
-        const std::string entry = spec.substr(start, comma - start);
-        const std::size_t colon = entry.rfind(':');
-        if (entry.empty() || colon == std::string::npos || colon == 0 ||
-            colon + 1 == entry.size()) {
-            std::fprintf(stderr, "bad --shards entry \"%s\" (want host:port)\n", entry.c_str());
-            std::exit(2);
-        }
-        try {
-            // Full consumption + range check: "7070xyz" and 70707 must be
-            // loud flag errors, not silent connections to the wrong port.
-            const std::string port_text = entry.substr(colon + 1);
-            std::size_t parsed = 0;
-            const unsigned long port = std::stoul(port_text, &parsed);
-            if (parsed != port_text.size() || port == 0 || port > 65535) {
-                throw std::out_of_range("port");
-            }
-            endpoints.push_back(
-                Endpoint{entry.substr(0, colon), static_cast<std::uint16_t>(port)});
-        } catch (const std::exception&) {
-            std::fprintf(stderr, "bad --shards port in \"%s\" (want 1-65535)\n", entry.c_str());
-            std::exit(2);
-        }
-        start = comma + 1;
-    }
-    return endpoints;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+    using namespace ens;
     ArgParser args(argc, argv);
+    const bool has_shards_flag = args.has("shards");
     const std::string shards_spec =
         args.get_string("shards", "127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072");
     const std::string bundle_dir = args.get_string("bundle", "");
@@ -104,28 +70,88 @@ int main(int argc, char** argv) {
     const auto image_size = args.get_int("image", 16);
     const bool has_wire_flag = args.has("wire");
     split::WireFormat wire = example_client::parse_wire(args.get_string("wire", "f32"));
+    // --replicas R asserts the resolved topology has exactly R replicas on
+    // every shard — a deployment-shape typo detector, not a dial.
+    const bool has_replicas_flag = args.has("replicas");
+    const auto replicas_expected = static_cast<std::size_t>(args.get_int("replicas", 0));
+    const bool want_stats = args.has("stats");
+    serve::RetryPolicy retry;
+    const bool has_retry_max = args.has("retry-max");
+    const bool has_retry_backoff = args.has("retry-backoff-ms");
     if (inflight == 0) {
         std::fprintf(stderr, "--inflight must be >= 1\n");
         return 2;
     }
+    if (has_replicas_flag && replicas_expected == 0) {
+        std::fprintf(stderr, "--replicas must be >= 1\n");
+        return 2;
+    }
 
-    // Private client half: restored from the bundle's secret CLIENT.ens,
-    // or derived from the demo seeds (examples/example_client.hpp — shared
-    // with remote_client so the two drivers cannot drift apart).
+    // In bundle mode the manifest's recorded retry policy is the default;
+    // the flags override it either way (apply_retry_flags runs after the
+    // manifest is read, below — here we only consume the flags so the
+    // unknown-flag sweep inside resolve_client_artifacts stays clean).
     serve::ClientArtifacts client = example_client::resolve_client_artifacts(
         args, bundle_dir, "total", /*default_count=*/6, image_size, has_wire_flag, wire);
-    const std::vector<Endpoint> endpoints = parse_shards(shards_spec);
+
+    std::vector<std::vector<serve::ReplicaEndpoint>> shards;
+    {
+        std::vector<std::vector<serve::BundleReplicaEndpoint>> parsed;
+        if (!bundle_dir.empty() && !has_shards_flag) {
+            // No --shards: the manifest's recorded replica topology IS the
+            // deployment (bundles saved with --replicas).
+            serve::BundleManifest manifest;
+            try {
+                manifest = serve::load_bundle_manifest(bundle_dir);
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "cannot load bundle manifest from %s: %s\n",
+                             bundle_dir.c_str(), e.what());
+                return 1;
+            }
+            if (manifest.shard_endpoints.empty()) {
+                std::fprintf(stderr,
+                             "bundle %s records no replica endpoints — pass --shards (the "
+                             "bundle was saved without --replicas)\n",
+                             bundle_dir.c_str());
+                return 2;
+            }
+            parsed = manifest.shard_endpoints;
+            retry.max_attempts = manifest.retry.max_attempts;
+            retry.base_backoff = std::chrono::milliseconds(manifest.retry.backoff_ms);
+            retry.max_backoff = std::chrono::milliseconds(manifest.retry.backoff_cap_ms);
+            if (retry.max_backoff < retry.base_backoff) {
+                retry.max_backoff = retry.base_backoff;
+            }
+        } else {
+            parsed = example_client::parse_replicated_shards(shards_spec, "shards");
+        }
+        shards.reserve(parsed.size());
+        for (const auto& group : parsed) {
+            std::vector<serve::ReplicaEndpoint> replicas;
+            replicas.reserve(group.size());
+            for (const serve::BundleReplicaEndpoint& endpoint : group) {
+                replicas.push_back(serve::ReplicaEndpoint{endpoint.host, endpoint.port});
+            }
+            shards.push_back(std::move(replicas));
+        }
+    }
+    if (has_retry_max || has_retry_backoff) {
+        example_client::apply_retry_flags(args, retry);
+    }
+    if (has_replicas_flag) {
+        for (std::size_t s = 0; s < shards.size(); ++s) {
+            if (shards[s].size() != replicas_expected) {
+                std::fprintf(stderr, "shard %zu has %zu replicas, --replicas promised %zu\n",
+                             s, shards[s].size(), replicas_expected);
+                return 2;
+            }
+        }
+    }
 
     std::printf("sharded_client: %zu shards, secret selector %s (stays local)\n",
-                endpoints.size(), client.selector.to_string().c_str());
-    std::vector<std::unique_ptr<split::Channel>> channels;
-    channels.reserve(endpoints.size());
-    for (const Endpoint& endpoint : endpoints) {
-        channels.push_back(split::tcp_connect(endpoint.host, endpoint.port));
-    }
-    serve::ShardRouter router(std::move(channels), *client.head, client.noise.get(),
-                              *client.tail, client.selector, wire, std::chrono::seconds(30),
-                              inflight);
+                shards.size(), client.selector.to_string().c_str());
+    serve::ShardRouter router(shards, *client.head, client.noise.get(), *client.tail,
+                              client.selector, wire, retry, inflight);
     router.set_recv_timeout(std::chrono::seconds(60));  // no silent wedging
 
     std::printf("handshakes ok: %zu bodies tiled over %zu shards, wire format %s, in-flight "
@@ -134,9 +160,12 @@ int main(int argc, char** argv) {
                 router.window());
     for (std::size_t s = 0; s < router.shard_count(); ++s) {
         const serve::ShardRouter::ShardInfo& shard = router.shard_map()[s];
-        std::printf("  shard %zu at %s:%u hosts bodies [%zu, %zu)\n", s,
-                    endpoints[s].host.c_str(), endpoints[s].port, shard.body_begin,
-                    shard.body_end());
+        std::printf("  shard %zu hosts bodies [%zu, %zu) on %zu replica(s):", s,
+                    shard.body_begin, shard.body_end(), shards[s].size());
+        for (const serve::ReplicaEndpoint& replica : shards[s]) {
+            std::printf(" %s:%u", replica.host.c_str(), replica.port);
+        }
+        std::printf("\n");
     }
 
     // Pipelined request loop: keep window() submissions outstanding across
@@ -167,6 +196,22 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(sent.messages),
                     static_cast<unsigned long long>(sent.bytes),
                     router.shard_map()[s].body_count);
+    }
+    if (want_stats) {
+        std::printf("failover: %llu in-flight failovers, %llu reconnect retries (retry-max "
+                    "%zu, backoff %lld..%lld ms)\n",
+                    static_cast<unsigned long long>(router.failovers_total()),
+                    static_cast<unsigned long long>(router.stats().retries()),
+                    retry.max_attempts, static_cast<long long>(retry.base_backoff.count()),
+                    static_cast<long long>(retry.max_backoff.count()));
+        for (std::size_t s = 0; s < router.shard_count(); ++s) {
+            const serve::ShardRouter::ReplicaStatus status = router.replica_status(s);
+            std::printf("  shard %zu replicas: %zu/%zu healthy, %llu failovers, %llu "
+                        "retries\n",
+                        s, status.healthy, status.configured,
+                        static_cast<unsigned long long>(router.shard_stats(s).failovers()),
+                        static_cast<unsigned long long>(router.shard_stats(s).retries()));
+        }
     }
     router.close();
     return 0;

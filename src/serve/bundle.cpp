@@ -21,6 +21,9 @@ namespace fs = std::filesystem;
 constexpr std::uint32_t kManifestMagic = 0x4D534E45;  // "ENSM"
 constexpr std::uint32_t kClientMagic = 0x43534E45;    // "ENSC"
 constexpr std::size_t kMaxFileNameLength = 256;
+constexpr std::size_t kMaxHostLength = 256;          // RFC 1035 name ceiling
+constexpr std::uint32_t kMaxRetryAttempts = 1000;    // hostile-input bound
+constexpr std::uint32_t kMaxBackoffMs = 3600 * 1000;  // one hour
 
 [[noreturn]] void fail(const std::string& file, const std::string& msg) {
     checkpoint_fail(file, msg);
@@ -136,6 +139,46 @@ void validate_shard_plan(const std::vector<BundleShardSlice>& plan, std::size_t 
     }
 }
 
+void validate_shard_endpoints(const std::vector<std::vector<BundleReplicaEndpoint>>& endpoints,
+                              std::size_t shard_count, const std::string& file) {
+    if (endpoints.empty()) {
+        return;
+    }
+    if (endpoints.size() != shard_count) {
+        fail(file, "replica endpoints cover " + std::to_string(endpoints.size()) + " of " +
+                       std::to_string(shard_count) + " shards");
+    }
+    for (std::size_t s = 0; s < endpoints.size(); ++s) {
+        const auto& replicas = endpoints[s];
+        if (replicas.empty() || replicas.size() > kMaxBundleReplicas) {
+            fail(file, "shard " + std::to_string(s) + " declares " +
+                           std::to_string(replicas.size()) + " replicas — must be in [1, " +
+                           std::to_string(kMaxBundleReplicas) + "]");
+        }
+        for (const BundleReplicaEndpoint& replica : replicas) {
+            if (replica.host.empty() || replica.host.size() > kMaxHostLength) {
+                fail(file, "shard " + std::to_string(s) +
+                               " replica host is empty or longer than " +
+                               std::to_string(kMaxHostLength) + " bytes");
+            }
+            if (replica.port == 0) {
+                fail(file, "shard " + std::to_string(s) + " replica " + replica.host +
+                               " has port 0");
+            }
+        }
+    }
+}
+
+void validate_retry(const BundleRetryConfig& retry, const std::string& file) {
+    if (retry.max_attempts == 0 || retry.max_attempts > kMaxRetryAttempts) {
+        fail(file, "retry max attempts " + std::to_string(retry.max_attempts) +
+                       " out of range [1, " + std::to_string(kMaxRetryAttempts) + "]");
+    }
+    if (retry.backoff_ms > kMaxBackoffMs || retry.backoff_cap_ms > kMaxBackoffMs) {
+        fail(file, "retry backoff exceeds " + std::to_string(kMaxBackoffMs) + " ms");
+    }
+}
+
 }  // namespace
 
 void save_bundle(const std::string& dir, const BundleArtifacts& artifacts) {
@@ -165,6 +208,9 @@ void save_bundle(const std::string& dir, const BundleArtifacts& artifacts) {
         plan.push_back(BundleShardSlice{0, artifacts.bodies.size()});
     }
     validate_shard_plan(plan, artifacts.bodies.size(), "save_bundle shard plan");
+    validate_shard_endpoints(artifacts.shard_endpoints, plan.size(),
+                             "save_bundle replica endpoints");
+    validate_retry(artifacts.retry, "save_bundle retry policy");
 
     fs::create_directories(dir);
 
@@ -224,6 +270,20 @@ void save_bundle(const std::string& dir, const BundleArtifacts& artifacts) {
             writer.write_u32(static_cast<std::uint32_t>(slice.body_begin));
             writer.write_u32(static_cast<std::uint32_t>(slice.body_count));
         }
+        // v2 trailer: optional replica topology, then the retry policy.
+        writer.write_u8(artifacts.shard_endpoints.empty() ? 0 : 1);
+        if (!artifacts.shard_endpoints.empty()) {
+            for (const auto& replicas : artifacts.shard_endpoints) {
+                writer.write_u32(static_cast<std::uint32_t>(replicas.size()));
+                for (const BundleReplicaEndpoint& replica : replicas) {
+                    writer.write_string(replica.host);
+                    writer.write_u32(replica.port);
+                }
+            }
+        }
+        writer.write_u32(artifacts.retry.max_attempts);
+        writer.write_u32(artifacts.retry.backoff_ms);
+        writer.write_u32(artifacts.retry.backoff_cap_ms);
         out.flush();
         ENS_CHECK(out.good(), "save_bundle: write failed for " + file);
     }
@@ -300,6 +360,42 @@ BundleManifest load_bundle_manifest(const std::string& dir) {
             manifest.shard_plan.push_back(slice);
         }
         validate_shard_plan(manifest.shard_plan, total, file);
+        const std::uint8_t has_endpoints = reader.read_u8();
+        if (has_endpoints > 1) {
+            fail(file, "corrupt replica-endpoints flag " + std::to_string(has_endpoints));
+        }
+        if (has_endpoints == 1) {
+            manifest.shard_endpoints.reserve(shard_count);
+            for (std::uint32_t s = 0; s < shard_count; ++s) {
+                const std::uint32_t replica_count = reader.read_u32();
+                if (replica_count == 0 || replica_count > kMaxBundleReplicas) {
+                    fail(file, "shard " + std::to_string(s) + " declares " +
+                                   std::to_string(replica_count) +
+                                   " replicas — must be in [1, " +
+                                   std::to_string(kMaxBundleReplicas) + "]");
+                }
+                std::vector<BundleReplicaEndpoint> replicas;
+                replicas.reserve(replica_count);
+                for (std::uint32_t r = 0; r < replica_count; ++r) {
+                    BundleReplicaEndpoint replica;
+                    replica.host = reader.read_string_bounded(kMaxHostLength);
+                    const std::uint32_t port = reader.read_u32();
+                    if (port == 0 || port > 65535) {
+                        fail(file, "shard " + std::to_string(s) + " replica " + replica.host +
+                                       " port " + std::to_string(port) +
+                                       " out of range [1, 65535]");
+                    }
+                    replica.port = static_cast<std::uint16_t>(port);
+                    replicas.push_back(std::move(replica));
+                }
+                manifest.shard_endpoints.push_back(std::move(replicas));
+            }
+        }
+        manifest.retry.max_attempts = reader.read_u32();
+        manifest.retry.backoff_ms = reader.read_u32();
+        manifest.retry.backoff_cap_ms = reader.read_u32();
+        validate_shard_endpoints(manifest.shard_endpoints, shard_count, file);
+        validate_retry(manifest.retry, file);
         return manifest;
     });
 }

@@ -8,9 +8,12 @@
 //   dir/
 //     MANIFEST.ens    server-shareable: bundle version, deployment size N,
 //                     accepted wire formats, suggested in-flight window,
-//                     per-body arch spec + checkpoint file name, and a
+//                     per-body arch spec + checkpoint file name, a
 //                     suggested shard plan (contiguous slices tiling
-//                     [0, N)).
+//                     [0, N)), and — since v2 — optional per-shard replica
+//                     endpoints plus the suggested retry/failover policy,
+//                     so a --bundle client can dial the whole replicated
+//                     deployment from the manifest alone.
 //     body_000.ckpt   one nn::save_state checkpoint per server body. A
 //     ...             shard host materializes ONLY its slice's files, so
 //     body_N-1.ckpt   no §III-D shard provider needs the other bodies on
@@ -51,8 +54,9 @@ namespace ens::serve {
 
 /// Bundle format version. The rule: a loader refuses any other version by
 /// name (no silent best-effort parse of newer layouts); bump it whenever
-/// the on-disk layout changes incompatibly.
-inline constexpr std::uint32_t kBundleVersion = 1;
+/// the on-disk layout changes incompatibly. v2 appended the optional
+/// per-shard replica endpoint lists and the retry policy to the manifest.
+inline constexpr std::uint32_t kBundleVersion = 2;
 
 inline constexpr const char* kManifestFileName = "MANIFEST.ens";
 inline constexpr const char* kClientFileName = "CLIENT.ens";
@@ -60,6 +64,9 @@ inline constexpr const char* kClientFileName = "CLIENT.ens";
 /// Hard ceiling on deployment size a manifest may declare (hostile-input
 /// bound, far above any plausible ensemble).
 inline constexpr std::size_t kMaxBundleBodies = 4096;
+
+/// Hard ceiling on replicas a manifest may declare per shard slice.
+inline constexpr std::size_t kMaxBundleReplicas = 64;
 
 /// One contiguous slice of the deployment's bodies (a §III-D shard).
 struct BundleShardSlice {
@@ -73,6 +80,23 @@ struct BundleBodyEntry {
     nn::ArchSpec arch;
 };
 
+/// One dialable replica address of a shard slice, as recorded in the
+/// manifest. Mirrors serve::ReplicaEndpoint without pulling the router
+/// headers into the bundle layer.
+struct BundleReplicaEndpoint {
+    std::string host;
+    std::uint16_t port = 0;
+};
+
+/// Retry/failover policy knobs recorded in the manifest (v2+), so clients
+/// booting from a bundle inherit the deployment's tuned policy. Values
+/// mirror serve::RetryPolicy; zero backoff is legal (immediate retry).
+struct BundleRetryConfig {
+    std::uint32_t max_attempts = 4;
+    std::uint32_t backoff_ms = 50;
+    std::uint32_t backoff_cap_ms = 2000;
+};
+
 /// Parsed MANIFEST.ens (the server-shareable part).
 struct BundleManifest {
     std::size_t total_bodies = 0;
@@ -81,6 +105,10 @@ struct BundleManifest {
     std::size_t max_inflight = kDefaultMaxInflight;  ///< suggested host window
     std::vector<BundleBodyEntry> bodies;             ///< size == total_bodies
     std::vector<BundleShardSlice> shard_plan;        ///< tiles [0, total)
+    /// Replica addresses per shard slice: empty (no recorded deployment
+    /// topology) or parallel to shard_plan with >= 1 endpoint each.
+    std::vector<std::vector<BundleReplicaEndpoint>> shard_endpoints;
+    BundleRetryConfig retry;  ///< suggested client retry/failover policy
 };
 
 /// Parsed CLIENT.ens (the secret client half), layers restored and in eval
@@ -108,6 +136,10 @@ struct BundleArtifacts {
     split::WireFormat default_wire_format = split::WireFormat::f32;
     std::size_t max_inflight = kDefaultMaxInflight;
     std::vector<BundleShardSlice> shard_plan;
+    /// Empty, or parallel to the effective shard plan with >= 1 replica
+    /// address per shard (each host non-empty, each port nonzero).
+    std::vector<std::vector<BundleReplicaEndpoint>> shard_endpoints;
+    BundleRetryConfig retry;
 };
 
 /// Writes a complete bundle (manifest + per-body checkpoints + client

@@ -59,28 +59,78 @@ InferenceResult finish_request(InflightRequest& request, const core::Selector& s
 
 ShardPipeline::ShardPipeline(std::vector<Endpoint> endpoints, std::size_t total_bodies,
                              std::size_t window, std::string owner, std::string reconnect_hint,
-                             Finisher finisher)
+                             Finisher finisher, RetryPolicy retry, SessionStats* session_stats)
     : total_bodies_(total_bodies),
       window_(std::max<std::size_t>(1, window)),
       owner_(std::move(owner)),
       reconnect_hint_(std::move(reconnect_hint)),
-      finisher_(std::move(finisher)) {
+      finisher_(std::move(finisher)),
+      retry_(retry),
+      session_stats_(session_stats) {
     ENS_REQUIRE(!endpoints.empty(), "ShardPipeline: no endpoints");
     ENS_REQUIRE(finisher_ != nullptr, "ShardPipeline: null finisher");
     links_.reserve(endpoints.size());
+    // Explicit group ids map to groups in first-appearance order; the
+    // kOwnGroup default keeps a link un-replicated (its own 1-member
+    // group) — exactly the pre-replica behavior for RemoteSession and the
+    // channel-per-shard ShardRouter constructor.
+    std::unordered_map<std::size_t, std::size_t> explicit_groups;
     for (Endpoint& endpoint : endpoints) {
-        ENS_REQUIRE(endpoint.channel != nullptr, "ShardPipeline: null endpoint channel");
+        // A null channel is a BORN-FAILED replica: its endpoint could not
+        // be dialed at construction time. The link starts in the failed
+        // state (no I/O workers) and joins the rotation through the same
+        // reconnect() path a mid-session death uses — so a deployment
+        // boots degraded instead of refusing while a sibling is healthy.
         auto link = std::make_unique<Link>();
         link->channel = std::move(endpoint.channel);
+        link->failed = link->channel == nullptr;
         link->body_begin = endpoint.body_begin;
         link->body_count = endpoint.body_count;
         link->label = std::move(endpoint.label);
         link->stats = endpoint.stats;
+        link->index = links_.size();
+
+        std::size_t group_index;
+        const std::string group_label =
+            endpoint.group_label.empty() ? link->label : endpoint.group_label;
+        if (endpoint.group == kOwnGroup) {
+            group_index = groups_.size();
+            groups_.push_back(Group{link->body_begin, link->body_count, group_label, {}, 0});
+        } else {
+            const auto it = explicit_groups.find(endpoint.group);
+            if (it == explicit_groups.end()) {
+                group_index = groups_.size();
+                explicit_groups.emplace(endpoint.group, group_index);
+                groups_.push_back(Group{link->body_begin, link->body_count, group_label, {}, 0});
+            } else {
+                group_index = it->second;
+                // Replicas of one group must agree on the slice, or a
+                // failover would silently swap which bodies answer.
+                ENS_REQUIRE(groups_[group_index].body_begin == link->body_begin &&
+                                groups_[group_index].body_count == link->body_count,
+                            "ShardPipeline: replica '" + link->label +
+                                "' disagrees with its group's body slice");
+            }
+        }
+        link->group = group_index;
+        groups_[group_index].members.push_back(link->index);
         links_.push_back(std::move(link));
     }
     needs_reconnect_.assign(links_.size(), 0);
+    group_down_.assign(groups_.size(), 0);
     for (auto& link : links_) {
+        if (link->failed) {
+            needs_reconnect_[link->index] = 1;
+            continue;
+        }
         start_link(*link);
+    }
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        // Every group needs one live member at birth; an all-dead group
+        // would otherwise refuse submissions with a reconnect hint the
+        // caller never saw a failure for.
+        ENS_REQUIRE(replicas_healthy(g) > 0,
+                    owner_ + ": group '" + groups_[g].label + "' has no reachable replica");
     }
 }
 
@@ -89,6 +139,44 @@ ShardPipeline::~ShardPipeline() { close(); }
 void ShardPipeline::start_link(Link& link) {
     link.sender = std::thread([this, &link] { sender_loop(link); });
     link.demux = std::thread([this, &link] { demux_loop(link); });
+}
+
+bool ShardPipeline::assign(const std::shared_ptr<InflightRequest>& request,
+                           std::size_t group_index, std::uint64_t wire_id) {
+    Group& group = groups_[group_index];
+    std::size_t start;
+    {
+        const std::lock_guard<std::mutex> lock(table_mutex_);
+        start = group.rr++;
+    }
+    for (std::size_t k = 0; k < group.members.size(); ++k) {
+        Link& link = *links_[group.members[(start + k) % group.members.size()]];
+        {
+            const std::lock_guard<std::mutex> lock(link.mutex);
+            if (link.failed || link.stop) {
+                continue;
+            }
+            // Inserted while the link is healthy: if it fails an instant
+            // later, fail_link drains this pending and the request fails
+            // over again (bounded by retry_.max_attempts).
+            LinkPending pending;
+            pending.request = request;
+            pending.seen.assign(link.body_count, false);
+            link.pending.emplace(wire_id, std::move(pending));
+            link.queue.push_back(SendItem{wire_id, request->payload});
+        }
+        link.send_cv.notify_one();
+        return true;
+    }
+    return false;
+}
+
+void ShardPipeline::mark_group_down(std::size_t group_index) {
+    {
+        const std::lock_guard<std::mutex> lock(table_mutex_);
+        group_down_[group_index] = 1;
+    }
+    window_cv_.notify_all();
 }
 
 std::future<InferenceResult> ShardPipeline::submit(SharedPayload payload, std::int64_t images,
@@ -103,24 +191,24 @@ std::future<InferenceResult> ShardPipeline::submit(SharedPayload payload, std::i
             if (closed_) {
                 throw Error(ErrorCode::channel_closed, owner_ + ": session closed");
             }
-            for (std::size_t s = 0; s < needs_reconnect_.size(); ++s) {
-                if (needs_reconnect_[s]) {
+            for (std::size_t g = 0; g < group_down_.size(); ++g) {
+                if (group_down_[g]) {
                     throw Error(ErrorCode::channel_closed,
-                                owner_ + ": " + links_[s]->label +
+                                owner_ + ": " + groups_[g].label +
                                     " is desynchronized by an earlier failure; " +
                                     reconnect_hint_);
                 }
             }
         };
         check_usable();
-        // Window backpressure: park until an in-flight slot retires. A link
-        // failure while parked also wakes us — re-check so the caller gets
-        // the desync refusal, not a hang.
+        // Window backpressure: park until an in-flight slot retires. A
+        // group going down while parked also wakes us — re-check so the
+        // caller gets the desync refusal, not a hang.
         window_cv_.wait(lock, [this] {
             if (closed_ || table_.size() < window_) {
                 return true;
             }
-            for (const unsigned char flag : needs_reconnect_) {
+            for (const unsigned char flag : group_down_) {
                 if (flag) {
                     return true;
                 }
@@ -130,9 +218,10 @@ std::future<InferenceResult> ShardPipeline::submit(SharedPayload payload, std::i
         check_usable();
         request->id = next_id_.fetch_add(1, std::memory_order_relaxed);
         request->images = images;
+        request->payload = payload;
         request->features.assign(total_bodies_, Tensor{});
         request->frames_remaining.store(total_bodies_);
-        request->links_remaining.store(links_.size());
+        request->groups_remaining.store(groups_.size());
         // total_ms keeps the owner's clock (spans the head phase too);
         // time parked on the full window is this request's queue share.
         request->submitted = submitted;
@@ -140,45 +229,24 @@ std::future<InferenceResult> ShardPipeline::submit(SharedPayload payload, std::i
         table_.emplace(request->id, request);
     }
     std::future<InferenceResult> future = request->promise.get_future();
-    for (std::size_t s = 0; s < links_.size(); ++s) {
-        Link& link = *links_[s];
-        bool link_dead = false;
-        {
-            const std::lock_guard<std::mutex> lock(link.mutex);
-            if (link.failed || link.stop) {
-                // Failed between the table check and here: this link will
-                // never deliver, so fault the request now instead of
-                // leaving its future hanging.
-                link_dead = true;
-            } else {
-                LinkPending pending;
-                pending.request = request;
-                pending.seen.assign(link.body_count, false);
-                link.pending.emplace(request->id, std::move(pending));
-                link.queue.push_back(SendItem{request->id, payload});
-            }
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        if (assign(request, g, request->id)) {
+            continue;
         }
-        if (link_dead) {
-            // Publish the desync flag BEFORE faulting: the failing worker
-            // sets link.failed first and needs_reconnect_ second, so a
-            // caller observing this fault (and then polling
-            // needs_reconnect) must not race that second step.
-            {
-                const std::lock_guard<std::mutex> lock(table_mutex_);
-                needs_reconnect_[s] = 1;
-            }
-            window_cv_.notify_all();
-            const auto error = labeled_exception(
-                link.label, std::make_exception_ptr(Error(
-                                ErrorCode::channel_closed, "link failed before the request "
-                                                           "could be sent")));
-            if (!request->settled.exchange(true)) {
-                request->promise.set_exception(error);
-            }
-            link_done_with(request);
-        } else {
-            link.send_cv.notify_one();
+        // Every replica of this group failed between the usability check
+        // and here: this group will never deliver, so fault the request
+        // now instead of leaving its future hanging — and publish the
+        // desync BEFORE faulting, so a caller observing this fault (and
+        // then polling group_down/needs_reconnect) must not race it.
+        mark_group_down(g);
+        const auto error = labeled_exception(
+            groups_[g].label, std::make_exception_ptr(Error(
+                                  ErrorCode::channel_closed, "link failed before the request "
+                                                             "could be sent")));
+        if (!request->settled.exchange(true)) {
+            request->promise.set_exception(error);
         }
+        group_done_with(request);
     }
     return future;
 }
@@ -192,6 +260,34 @@ bool ShardPipeline::needs_reconnect(std::size_t link) const {
     ENS_REQUIRE(link < links_.size(), "ShardPipeline::needs_reconnect: link out of range");
     const std::lock_guard<std::mutex> lock(table_mutex_);
     return needs_reconnect_[link] != 0;
+}
+
+std::size_t ShardPipeline::group_of_link(std::size_t link) const {
+    ENS_REQUIRE(link < links_.size(), "ShardPipeline::group_of_link: link out of range");
+    return links_[link]->group;
+}
+
+bool ShardPipeline::group_down(std::size_t group) const {
+    ENS_REQUIRE(group < groups_.size(), "ShardPipeline::group_down: group out of range");
+    const std::lock_guard<std::mutex> lock(table_mutex_);
+    return group_down_[group] != 0;
+}
+
+std::size_t ShardPipeline::replicas_configured(std::size_t group) const {
+    ENS_REQUIRE(group < groups_.size(), "ShardPipeline::replicas_configured: group out of range");
+    return groups_[group].members.size();
+}
+
+std::size_t ShardPipeline::replicas_healthy(std::size_t group) const {
+    ENS_REQUIRE(group < groups_.size(), "ShardPipeline::replicas_healthy: group out of range");
+    const std::lock_guard<std::mutex> lock(table_mutex_);
+    std::size_t healthy = 0;
+    for (const std::size_t member : groups_[group].members) {
+        if (!needs_reconnect_[member]) {
+            ++healthy;
+        }
+    }
+    return healthy;
 }
 
 void ShardPipeline::reconnect(std::size_t index, std::unique_ptr<split::Channel> channel) {
@@ -226,6 +322,7 @@ void ShardPipeline::reconnect(std::size_t index, std::unique_ptr<split::Channel>
     {
         const std::lock_guard<std::mutex> lock(table_mutex_);
         needs_reconnect_[index] = 0;
+        group_down_[link.group] = 0;  // the group has a healthy member again
     }
     window_cv_.notify_all();
 }
@@ -244,7 +341,8 @@ split::TrafficStats ShardPipeline::channel_traffic(std::size_t index) const {
     ENS_REQUIRE(index < links_.size(), "ShardPipeline::channel_traffic: link out of range");
     Link& link = *links_[index];
     const std::lock_guard<std::mutex> lock(link.mutex);
-    return link.channel->stats();
+    // A born-failed replica has no channel (and so no traffic) yet.
+    return link.channel ? link.channel->stats() : split::TrafficStats{};
 }
 
 void ShardPipeline::close() {
@@ -264,7 +362,9 @@ void ShardPipeline::close() {
         link->send_cv.notify_all();
         try {
             const std::lock_guard<std::mutex> lock(link->mutex);
-            link->channel->close();
+            if (link->channel) {
+                link->channel->close();
+            }
         } catch (...) {
         }
     }
@@ -441,6 +541,12 @@ void ShardPipeline::handle_frame(Link& link, const std::string& frame) {
         LinkPending& pending = it->second;
         pending.seen[tag.body_seq] = true;
         ++pending.delivered;
+        // Groups write disjoint global slots, so cross-group writes need no
+        // lock — but a failover replay re-delivers THIS group's slots, so
+        // the write stays under the link mutex: fail_link drains pending
+        // under the same mutex before it replays, which strictly orders a
+        // dying link's last write before the sibling's rewrite.
+        request->features[link.body_begin + tag.body_seq] = std::move(decoded);
         if (pending.delivered == link.body_count) {
             share_done = true;
             if (link.stats != nullptr) {
@@ -451,15 +557,13 @@ void ShardPipeline::handle_frame(Link& link, const std::string& frame) {
         }
     }
 
-    // Each link writes only its own disjoint global slots, so the slot
-    // assignment needs no lock; the frames_remaining decrement publishes it
-    // to the completing thread.
-    request->features[link.body_begin + tag.body_seq] = std::move(decoded);
+    // The frames_remaining decrement publishes the slot write to the
+    // completing thread.
     if (request->frames_remaining.fetch_sub(1) == 1) {
         complete(request);
     }
     if (share_done) {
-        link_done_with(request);
+        group_done_with(request);
     }
 }
 
@@ -477,12 +581,15 @@ void ShardPipeline::complete(const std::shared_ptr<InflightRequest>& request) {
     }
 }
 
-void ShardPipeline::link_done_with(const std::shared_ptr<InflightRequest>& request) {
-    if (request->links_remaining.fetch_sub(1) == 1) {
+void ShardPipeline::group_done_with(const std::shared_ptr<InflightRequest>& request) {
+    if (request->groups_remaining.fetch_sub(1) == 1) {
         {
             const std::lock_guard<std::mutex> lock(table_mutex_);
             table_.erase(request->id);
         }
+        // The payload's pool lease is only needed while a failover replay
+        // is still possible; drop it with the table entry.
+        request->payload.reset();
         window_cv_.notify_all();
     }
 }
@@ -505,22 +612,58 @@ void ShardPipeline::fail_link(Link& link, const std::exception_ptr& error) {
         link.channel->close();  // wakes this link's other worker
     } catch (...) {
     }
+    bool last_replica = true;
     {
         const std::lock_guard<std::mutex> lock(table_mutex_);
-        for (std::size_t s = 0; s < links_.size(); ++s) {
-            if (links_[s].get() == &link) {
-                needs_reconnect_[s] = 1;
+        needs_reconnect_[link.index] = 1;
+        for (const std::size_t member : groups_[link.group].members) {
+            if (!needs_reconnect_[member]) {
+                last_replica = false;
                 break;
             }
+        }
+        if (last_replica) {
+            group_down_[link.group] = 1;
         }
     }
     window_cv_.notify_all();  // parked submitters must see the desync, not hang
     const std::exception_ptr labeled = labeled_exception(link.label, error);
-    for (auto& [id, pending] : orphans) {
-        if (!pending.request->settled.exchange(true)) {
-            pending.request->promise.set_exception(labeled);
+    for (auto& [wire_id, pending] : orphans) {
+        const std::shared_ptr<InflightRequest> request = pending.request;
+        if (!request->settled.load()) {
+            // Failover: replay the retained payload onto a surviving
+            // sibling under a FRESH wire id (the dead stream's ids are
+            // unknowable; a stale reply must never match the replay).
+            // Frames the dead link already delivered are re-owed — the
+            // replacement replica re-sends its whole share, and slot
+            // rewrites are idempotent (same bytes, disjoint slots).
+            const std::size_t attempt = request->failovers.fetch_add(1) + 1;
+            if (attempt <= retry_.max_attempts) {
+                if (pending.delivered > 0) {
+                    request->frames_remaining.fetch_add(pending.delivered);
+                }
+                const std::uint64_t fresh = next_id_.fetch_add(1, std::memory_order_relaxed);
+                if (assign(request, link.group, fresh)) {
+                    failovers_total_.fetch_add(1);
+                    if (session_stats_ != nullptr) {
+                        session_stats_->record_failover();
+                    }
+                    if (link.stats != nullptr) {
+                        link.stats->record_failover();
+                    }
+                    continue;  // the group still owes its share, via the sibling
+                }
+                // No healthy sibling: the group is down for good (until a
+                // reconnect). frames_remaining was re-credited above, which
+                // only keeps the (about to be faulted) request from
+                // completing — complete() checks settled anyway.
+                mark_group_down(link.group);
+            }
         }
-        link_done_with(pending.request);
+        if (!request->settled.exchange(true)) {
+            request->promise.set_exception(labeled);
+        }
+        group_done_with(request);
     }
 }
 

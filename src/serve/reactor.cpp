@@ -435,6 +435,7 @@ void ReactorHost::teardown(const std::shared_ptr<Conn>& conn, Poller& poller) {
     } catch (...) {
     }
     gauges_.connections_held.fetch_sub(1);
+    gauges_.connections_dropped.fetch_add(1);
     // The Conn object itself (and the fd it reserves) lives until the
     // last queued WorkItem / Notice referencing it is processed.
 }

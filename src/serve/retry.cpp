@@ -1,0 +1,29 @@
+#include "serve/retry.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace ens::serve {
+
+std::chrono::milliseconds RetryPolicy::backoff_for(std::size_t attempt) const {
+    const auto cap = std::max<std::chrono::milliseconds>(max_backoff, base_backoff);
+    // base * 2^attempt, saturating well before overflow.
+    long long wait = base_backoff.count();
+    for (std::size_t k = 0; k < attempt && wait < cap.count(); ++k) {
+        wait *= 2;
+    }
+    wait = std::min(wait, static_cast<long long>(cap.count()));
+    if (wait > 1) {
+        // Deterministic jitter in [0, wait/2]: splitmix64 over the seed and
+        // the attempt index, so concurrent redialers spread out but the
+        // schedule is replayable.
+        std::uint64_t state = jitter_seed ^ (0x9E3779B97F4A7C15ULL * (attempt + 1));
+        const std::uint64_t jitter = splitmix64(state) % static_cast<std::uint64_t>(wait / 2 + 1);
+        wait += static_cast<long long>(jitter);
+    }
+    wait = std::min(wait, static_cast<long long>(cap.count()));
+    return std::chrono::milliseconds(wait);
+}
+
+}  // namespace ens::serve

@@ -6,8 +6,21 @@
 
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
+#include "split/tcp_channel.hpp"
 
 namespace ens::serve {
+
+namespace {
+
+std::string replica_label(std::size_t shard, std::size_t replica, std::size_t replicas) {
+    std::string label = "shard " + std::to_string(shard);
+    if (replicas > 1) {
+        label += " replica " + std::to_string(replica);
+    }
+    return label;
+}
+
+}  // namespace
 
 ShardRouter::ShardRouter(std::vector<std::unique_ptr<split::Channel>> shards, nn::Layer& head,
                          nn::Layer* noise, nn::Layer& tail, core::Selector selector,
@@ -20,34 +33,157 @@ ShardRouter::ShardRouter(std::vector<std::unique_ptr<split::Channel>> shards, nn
       wire_format_(wire_format),
       handshake_timeout_(handshake_timeout) {
     ENS_REQUIRE(!shards.empty(), "ShardRouter: no shard channels");
+    std::vector<std::vector<std::unique_ptr<split::Channel>>> groups;
+    groups.reserve(shards.size());
+    for (auto& channel : shards) {
+        groups.emplace_back();
+        groups.back().push_back(std::move(channel));
+    }
+    init(std::move(groups), max_inflight);
+}
+
+ShardRouter::ShardRouter(std::vector<std::vector<std::unique_ptr<split::Channel>>> shard_replicas,
+                         nn::Layer& head, nn::Layer* noise, nn::Layer& tail,
+                         core::Selector selector, split::WireFormat wire_format,
+                         RetryPolicy retry, std::size_t max_inflight)
+    : head_(head),
+      noise_(noise),
+      tail_(tail),
+      selector_(std::move(selector)),
+      wire_format_(wire_format),
+      retry_(retry),
+      handshake_timeout_(retry.handshake_timeout) {
+    init(std::move(shard_replicas), max_inflight);
+}
+
+ShardRouter::ShardRouter(const std::vector<std::vector<ReplicaEndpoint>>& shard_endpoints,
+                         nn::Layer& head, nn::Layer* noise, nn::Layer& tail,
+                         core::Selector selector, split::WireFormat wire_format,
+                         RetryPolicy retry, std::size_t max_inflight)
+    : head_(head),
+      noise_(noise),
+      tail_(tail),
+      selector_(std::move(selector)),
+      wire_format_(wire_format),
+      retry_(retry),
+      handshake_timeout_(retry.handshake_timeout) {
+    // Dial every replica up front, each attempt bounded by the policy's
+    // connect timeout so a black-holed endpoint cannot stall construction
+    // past max_attempts * (connect_timeout + backoff). A replica that
+    // stays unreachable does NOT fail construction while a sibling
+    // connects: it becomes a born-failed link the background redialer
+    // keeps re-admitting — a deployment with a crashed replica must still
+    // accept new clients, or replication buys nothing at boot time. Only
+    // a shard with NO reachable replica is fatal (labeled with the last
+    // replica's dial error).
+    std::vector<std::vector<std::unique_ptr<split::Channel>>> groups;
+    std::vector<ReplicaEndpoint> flat;
+    groups.reserve(shard_endpoints.size());
+    for (std::size_t s = 0; s < shard_endpoints.size(); ++s) {
+        ENS_REQUIRE(!shard_endpoints[s].empty(),
+                    "ShardRouter: shard " + std::to_string(s) + " has no replica endpoints");
+        groups.emplace_back();
+        std::size_t reachable = 0;
+        std::exception_ptr last_dial_error;
+        for (std::size_t r = 0; r < shard_endpoints[s].size(); ++r) {
+            const ReplicaEndpoint& endpoint = shard_endpoints[s][r];
+            const std::size_t tries = std::max<std::size_t>(1, retry_.max_attempts);
+            std::unique_ptr<split::Channel> channel;
+            for (std::size_t attempt = 0; attempt < tries; ++attempt) {
+                try {
+                    channel = split::tcp_connect(endpoint.host, endpoint.port,
+                                                 retry_.connect_timeout);
+                    break;
+                } catch (const Error&) {
+                    if (attempt + 1 == tries) {
+                        last_dial_error = labeled_exception(
+                            replica_label(s, r, shard_endpoints[s].size()) + " (" +
+                                endpoint.host + ":" + std::to_string(endpoint.port) + ")",
+                            std::current_exception());
+                    } else {
+                        std::this_thread::sleep_for(retry_.backoff_for(attempt));
+                    }
+                }
+            }
+            reachable += channel != nullptr;
+            groups.back().push_back(std::move(channel));
+            flat.push_back(endpoint);
+        }
+        if (reachable == 0) {
+            std::rethrow_exception(last_dial_error);
+        }
+    }
+    init(std::move(groups), max_inflight);
+    // The background redialer needs addresses; it only exists for this
+    // constructor.
+    link_endpoints_ = std::move(flat);
+    maintenance_ = std::thread([this] { maintenance_loop(); });
+}
+
+ShardRouter::~ShardRouter() { close(); }
+
+void ShardRouter::init(std::vector<std::vector<std::unique_ptr<split::Channel>>> shard_replicas,
+                       std::size_t max_inflight) {
+    ENS_REQUIRE(!shard_replicas.empty(), "ShardRouter: no shard channels");
     ENS_REQUIRE(max_inflight >= 1, "ShardRouter: max_inflight must be >= 1");
-    for (const auto& channel : shards) {
-        ENS_REQUIRE(channel != nullptr, "ShardRouter: null shard channel");
+    for (std::size_t s = 0; s < shard_replicas.size(); ++s) {
+        ENS_REQUIRE(!shard_replicas[s].empty(),
+                    "ShardRouter: shard " + std::to_string(s) + " has no replica channels");
     }
 
+    // A null replica channel marks a replica that could not be dialed
+    // (endpoint constructor): it is skipped here and enters the pipeline
+    // born-failed, taking its slice from a live sibling's handshake. At
+    // least one live replica per shard is required — the shard map cannot
+    // be learned from nobody.
     std::size_t window = max_inflight;
-    shards_.reserve(shards.size());
-    for (std::size_t s = 0; s < shards.size(); ++s) {
-        HostInfo host;
-        try {
-            host = adopt(*shards[s], handshake_timeout);
-        } catch (const Error&) {
-            rethrow_labeled("shard " + std::to_string(s), std::current_exception());
+    bool have_total = false;
+    shards_.reserve(shard_replicas.size());
+    for (std::size_t s = 0; s < shard_replicas.size(); ++s) {
+        const std::size_t replicas = shard_replicas[s].size();
+        bool have_slice = false;
+        for (std::size_t r = 0; r < replicas; ++r) {
+            if (!shard_replicas[s][r]) {
+                continue;
+            }
+            HostInfo host;
+            try {
+                host = adopt(*shard_replicas[s][r], handshake_timeout_);
+            } catch (const Error&) {
+                rethrow_labeled(replica_label(s, r, replicas), std::current_exception());
+            }
+            if (!have_total) {
+                total_bodies_ = host.total_bodies;
+                have_total = true;
+            } else if (host.total_bodies != total_bodies_) {
+                throw Error(ErrorCode::protocol_error,
+                            "ShardRouter: " + replica_label(s, r, replicas) + " reports " +
+                                std::to_string(host.total_bodies) +
+                                " total bodies, shard 0 reports " +
+                                std::to_string(total_bodies_));
+            }
+            if (!have_slice) {
+                shards_.push_back(ShardInfo{host.body_begin, host.body_count});
+                have_slice = true;
+            } else if (host.body_begin != shards_[s].body_begin ||
+                       host.body_count != shards_[s].body_count) {
+                // A replica must be a drop-in for its siblings: the failover
+                // replay depends on every member answering the same slice.
+                throw Error(ErrorCode::protocol_error,
+                            "ShardRouter: " + replica_label(s, r, replicas) + " serves " +
+                                host.to_string() + ", but shard " + std::to_string(s) +
+                                " replicas must serve bodies [" +
+                                std::to_string(shards_[s].body_begin) + ", " +
+                                std::to_string(shards_[s].body_end()) + ")");
+            }
+            // The connection window is capped by the slowest-willing host: a
+            // request is only complete when EVERY shard answered it, so one
+            // host's smaller window bounds the whole router's.
+            window = std::min(window, static_cast<std::size_t>(host.max_inflight));
         }
-        if (s == 0) {
-            total_bodies_ = host.total_bodies;
-        } else if (host.total_bodies != total_bodies_) {
-            throw Error(ErrorCode::protocol_error,
-                        "ShardRouter: shard " + std::to_string(s) + " reports " +
-                            std::to_string(host.total_bodies) + " total bodies, shard 0 reports " +
-                            std::to_string(total_bodies_));
-        }
-        shards_.push_back(ShardInfo{host.body_begin, host.body_count});
+        ENS_REQUIRE(have_slice,
+                    "ShardRouter: shard " + std::to_string(s) + " has no usable replica channel");
         shard_stats_.push_back(std::make_unique<SessionStats>());
-        // The connection window is capped by the slowest-willing host: a
-        // request is only complete when EVERY shard answered it, so one
-        // shard's smaller window bounds the whole router's.
-        window = std::min(window, static_cast<std::size_t>(host.max_inflight));
     }
 
     // The K slices must tile [0, N) exactly: sort by begin and walk. An
@@ -87,25 +223,34 @@ ShardRouter::ShardRouter(std::vector<std::unique_ptr<split::Channel>> shards, nn
                     std::to_string(total_bodies_) + " bodies");
 
     // Handshakes done, shard map validated: bring up the persistent
-    // per-shard I/O workers (one sender + one recv-demux thread per
-    // channel, for the life of the connection).
+    // per-link I/O workers (one sender + one recv-demux thread per
+    // channel, for the life of the connection). Replicas of shard s share
+    // pipeline group s, so each request rides exactly one of them.
     std::vector<ShardPipeline::Endpoint> endpoints;
-    endpoints.reserve(shards.size());
-    for (std::size_t s = 0; s < shards.size(); ++s) {
-        ShardPipeline::Endpoint endpoint;
-        endpoint.channel = std::move(shards[s]);
-        endpoint.body_begin = shards_[s].body_begin;
-        endpoint.body_count = shards_[s].body_count;
-        endpoint.label = "shard " + std::to_string(s);
-        endpoint.stats = shard_stats_[s].get();
-        endpoints.push_back(std::move(endpoint));
+    link_of_.assign(shard_replicas.size(), {});
+    std::size_t link = 0;
+    for (std::size_t s = 0; s < shard_replicas.size(); ++s) {
+        const std::size_t replicas = shard_replicas[s].size();
+        for (std::size_t r = 0; r < replicas; ++r) {
+            ShardPipeline::Endpoint endpoint;
+            endpoint.channel = std::move(shard_replicas[s][r]);
+            endpoint.body_begin = shards_[s].body_begin;
+            endpoint.body_count = shards_[s].body_count;
+            endpoint.label = replica_label(s, r, replicas);
+            endpoint.group_label = "shard " + std::to_string(s);
+            endpoint.group = s;
+            endpoint.stats = shard_stats_[s].get();
+            endpoints.push_back(std::move(endpoint));
+            link_of_[s].push_back(link++);
+        }
     }
     pipeline_ = std::make_unique<ShardPipeline>(
         std::move(endpoints), total_bodies_, window, "ShardRouter",
         "reconnect_shard() it before further inference",
         [this](InflightRequest& request) {
             return finish_request(request, selector_, tail_, stats_);
-        });
+        },
+        retry_, &stats_);
 }
 
 HostInfo ShardRouter::adopt(split::Channel& channel,
@@ -131,7 +276,13 @@ const SessionStats& ShardRouter::shard_stats(std::size_t shard) const {
 
 split::TrafficStats ShardRouter::shard_traffic(std::size_t shard) const {
     ENS_REQUIRE(shard < shards_.size(), "ShardRouter::shard_traffic: shard out of range");
-    return pipeline_->channel_traffic(shard);
+    split::TrafficStats total;
+    for (const std::size_t link : link_of_[shard]) {
+        const split::TrafficStats traffic = pipeline_->channel_traffic(link);
+        total.messages += traffic.messages;
+        total.bytes += traffic.bytes;
+    }
+    return total;
 }
 
 void ShardRouter::set_recv_timeout(std::chrono::milliseconds timeout) {
@@ -139,10 +290,7 @@ void ShardRouter::set_recv_timeout(std::chrono::milliseconds timeout) {
     pipeline_->set_recv_timeout(timeout);
 }
 
-void ShardRouter::reconnect_shard(std::size_t shard, std::unique_ptr<split::Channel> channel) {
-    ENS_REQUIRE(shard < shards_.size(), "ShardRouter::reconnect_shard: shard out of range");
-    ENS_REQUIRE(channel != nullptr, "ShardRouter::reconnect_shard: null channel");
-    const HostInfo host = adopt(*channel, handshake_timeout_);
+void ShardRouter::require_slice(std::size_t shard, const HostInfo& host) const {
     if (host.total_bodies != total_bodies_ || host.body_begin != shards_[shard].body_begin ||
         host.body_count != shards_[shard].body_count) {
         throw Error(ErrorCode::protocol_error,
@@ -152,12 +300,55 @@ void ShardRouter::reconnect_shard(std::size_t shard, std::unique_ptr<split::Chan
                         std::to_string(shards_[shard].body_end()) + ") of " +
                         std::to_string(total_bodies_));
     }
-    pipeline_->reconnect(shard, std::move(channel));
+}
+
+void ShardRouter::admit(std::size_t link, std::unique_ptr<split::Channel> channel) {
+    const std::lock_guard<std::mutex> lock(reconnect_mutex_);
+    if (!pipeline_->needs_reconnect(link)) {
+        return;  // someone else re-admitted it first; drop the spare channel
+    }
+    pipeline_->reconnect(link, std::move(channel));
+}
+
+void ShardRouter::reconnect_shard(std::size_t shard, std::unique_ptr<split::Channel> channel) {
+    ENS_REQUIRE(shard < shards_.size(), "ShardRouter::reconnect_shard: shard out of range");
+    ENS_REQUIRE(channel != nullptr, "ShardRouter::reconnect_shard: null channel");
+    const HostInfo host = adopt(*channel, handshake_timeout_);
+    require_slice(shard, host);
+    const std::lock_guard<std::mutex> lock(reconnect_mutex_);
+    for (const std::size_t link : link_of_[shard]) {
+        if (pipeline_->needs_reconnect(link)) {
+            pipeline_->reconnect(link, std::move(channel));
+            return;
+        }
+    }
+    ENS_FAIL("ShardRouter::reconnect_shard: no failed replica on shard " +
+             std::to_string(shard) + "; nothing to replace");
+}
+
+void ShardRouter::reconnect_replica(std::size_t shard, std::size_t replica,
+                                    std::unique_ptr<split::Channel> channel) {
+    ENS_REQUIRE(shard < shards_.size(), "ShardRouter::reconnect_replica: shard out of range");
+    ENS_REQUIRE(replica < link_of_[shard].size(),
+                "ShardRouter::reconnect_replica: replica out of range");
+    ENS_REQUIRE(channel != nullptr, "ShardRouter::reconnect_replica: null channel");
+    const HostInfo host = adopt(*channel, handshake_timeout_);
+    require_slice(shard, host);
+    const std::lock_guard<std::mutex> lock(reconnect_mutex_);
+    pipeline_->reconnect(link_of_[shard][replica], std::move(channel));
 }
 
 bool ShardRouter::shard_needs_reconnect(std::size_t shard) const {
     ENS_REQUIRE(shard < shards_.size(), "ShardRouter::shard_needs_reconnect: shard out of range");
-    return pipeline_->needs_reconnect(shard);
+    return pipeline_->group_down(shard);
+}
+
+ShardRouter::ReplicaStatus ShardRouter::replica_status(std::size_t shard) const {
+    ENS_REQUIRE(shard < shards_.size(), "ShardRouter::replica_status: shard out of range");
+    ReplicaStatus status;
+    status.configured = pipeline_->replicas_configured(shard);
+    status.healthy = pipeline_->replicas_healthy(shard);
+    return status;
 }
 
 std::future<InferenceResult> ShardRouter::submit(Tensor images) {
@@ -169,7 +360,8 @@ std::future<InferenceResult> ShardRouter::submit(Tensor images) {
     // Client phase: private head (+ split-point noise), encoded ONCE into a
     // pooled buffer — every shard's sender ships the identical payload
     // bytes (TcpChannel's scatter-gather path glues the request tag on
-    // without copying them again).
+    // without copying them again). The pipeline retains the lease until
+    // the request settles, so a replica failover replays the same bytes.
     Tensor features = head_.forward(images);
     if (noise_ != nullptr) {
         features = noise_->forward(features);
@@ -181,6 +373,75 @@ std::future<InferenceResult> ShardRouter::submit(Tensor images) {
 
 InferenceResult ShardRouter::infer(Tensor images) { return submit(std::move(images)).get(); }
 
-void ShardRouter::close() { pipeline_->close(); }
+void ShardRouter::maintenance_loop() {
+    using Clock = std::chrono::steady_clock;
+    const std::size_t links = link_endpoints_.size();
+    std::vector<std::size_t> attempts(links, 0);
+    std::vector<Clock::time_point> due(links, Clock::time_point{});
+    std::vector<bool> down(links, false);
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(maint_mutex_);
+            // Poll tick: failures have no push notification into this
+            // thread, and a tick is cheap next to a redial.
+            maint_cv_.wait_for(lock, std::chrono::milliseconds(20));
+            if (maint_stop_) {
+                return;
+            }
+        }
+        const Clock::time_point now = Clock::now();
+        for (std::size_t link = 0; link < links; ++link) {
+            bool failed = false;
+            try {
+                failed = pipeline_->needs_reconnect(link);
+            } catch (...) {
+                return;  // closing underneath us
+            }
+            if (!failed) {
+                down[link] = false;
+                continue;
+            }
+            if (!down[link]) {
+                // Transition healthy -> failed: start the backoff clock.
+                down[link] = true;
+                attempts[link] = 0;
+                due[link] = now + retry_.backoff_for(0);
+            }
+            if (now < due[link]) {
+                continue;
+            }
+            // One redial attempt, bounded by the policy's per-attempt
+            // connect + handshake budgets.
+            const std::size_t shard = pipeline_->group_of_link(link);
+            stats_.record_retry();
+            shard_stats_[shard]->record_retry();
+            try {
+                auto channel = split::tcp_connect(link_endpoints_[link].host,
+                                                  link_endpoints_[link].port,
+                                                  retry_.connect_timeout);
+                const HostInfo host = adopt(*channel, retry_.handshake_timeout);
+                require_slice(shard, host);
+                admit(link, std::move(channel));
+                down[link] = false;
+                attempts[link] = 0;
+            } catch (...) {
+                ++attempts[link];
+                due[link] = Clock::now() + retry_.backoff_for(attempts[link]);
+            }
+        }
+    }
+}
+
+void ShardRouter::close() {
+    if (maintenance_.joinable()) {
+        {
+            const std::lock_guard<std::mutex> lock(maint_mutex_);
+            maint_stop_ = true;
+        }
+        maint_cv_.notify_all();
+        maintenance_.join();
+    }
+    pipeline_->close();
+}
 
 }  // namespace ens::serve

@@ -4,62 +4,81 @@
 //
 // Each shard is a BodyHost process hosting a disjoint contiguous slice of
 // the deployment's N bodies (BodyHost::set_shard + serve_daemon
-// --bodies i..j). The router opens one Channel per shard, validates at
-// handshake time that the K advertised slices tile [0, N) exactly — any
-// overlap, gap or total-count disagreement is a typed
-// ens::Error{protocol_error} before a single feature byte flows — then per
-// request fans the head output to every shard concurrently, merges the
-// returned per-body feature maps in GLOBAL body order, and applies the
-// client-held secret selector + tail exactly as the in-proc
-// CollaborativeSession oracle does (tests assert bit-parity).
+// --bodies i..j), optionally served by R > 1 REPLICA processes advertising
+// the identical slice. The router opens one Channel per replica, validates
+// at handshake time that the K advertised slices tile [0, N) exactly and
+// that every replica of a shard agrees on its slice — any overlap, gap or
+// total-count disagreement is a typed ens::Error{protocol_error} before a
+// single feature byte flows — then per request fans the head output to one
+// healthy replica of every shard concurrently (round-robin load balancing
+// within a shard), merges the returned per-body feature maps in GLOBAL
+// body order, and applies the client-held secret selector + tail exactly
+// as the in-proc CollaborativeSession oracle does (tests assert
+// bit-parity).
 //
 // Privacy: this is the paper's strongest deployment. No single host ever
 // holds all N bodies, so a lone adversarial shard cannot even enumerate the
 // full 2^N - 1 shadow-subset space, and the selector — the only secret —
-// still never leaves the client process.
+// still never leaves the client process. Replication preserves the
+// property: replicas duplicate a slice, they never concentrate more of the
+// ensemble on one box (see docs/ARCHITECTURE.md "Replication & failover").
 //
 // Pipelining (protocol v3): the router keeps up to window() requests in
 // flight per shard connection. submit() runs the client phase, encodes the
-// feature map ONCE into a pooled buffer, enqueues it on every shard's
-// persistent sender thread, and returns a future; each shard's persistent
-// recv-demux thread matches tagged replies to requests by id and deposits
-// decoded maps straight into the request's global body slots. The demux
-// that delivers a request's LAST map runs selector + tail and resolves the
-// future — out of order when a later request finishes first. infer() is
-// submit + wait. All I/O threads are created at connect (and reconnect)
-// time — NEVER per request — so steady-state throughput scales with shard
-// compute, not with round-trip count (ISSUE 4 / ROADMAP pipelining item).
+// feature map ONCE into a pooled buffer, enqueues it on the chosen
+// replicas' persistent sender threads, and returns a future; each
+// replica's persistent recv-demux thread matches tagged replies to
+// requests by id and deposits decoded maps straight into the request's
+// global body slots. The demux that delivers a request's LAST map runs
+// selector + tail and resolves the future — out of order when a later
+// request finishes first. infer() is submit + wait. All I/O threads are
+// created at connect (and reconnect) time — NEVER per request — so
+// steady-state throughput scales with shard compute, not with round-trip
+// count (ISSUE 4 / ROADMAP pipelining item).
 //
-// Failure isolation: a dead or misbehaving shard surfaces as a typed
-// ens::Error (channel_closed / channel_timeout / io_error /
-// protocol_error, tagged with the shard index) on every future awaiting it,
-// within the configured recv timeout, while the other shards' tagged
-// streams stay aligned by construction. After such a failure the session
-// stays usable: the failed shard's channel is closed, further submission is
+// Failure isolation and failover: a dead or misbehaving replica surfaces
+// as a typed ens::Error on ITS link only; requests in flight on it are
+// replayed onto a surviving replica of the same shard (fresh wire ids,
+// identical retained payload bytes, bounded by RetryPolicy::max_attempts)
+// — the client future never notices. Only when a shard's LAST replica is
+// gone do futures fault typed (channel_closed / channel_timeout /
+// io_error / protocol_error, tagged with the replica), submission is
 // refused typed (shard_needs_reconnect) and reconnect_shard() swaps in a
 // fresh channel to a replacement host (which must advertise the identical
-// body slice).
+// body slice). When the router was constructed from ENDPOINTS (not bare
+// channels), a background maintenance thread also redials failed replicas
+// on the RetryPolicy backoff schedule and re-admits them automatically.
 //
 // Like RemoteSession, submit() must be called from one thread at a time
 // (the shared head layer's forward cache is not thread-safe) — but up to
 // window() submissions can be outstanding at once.
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "core/selector.hpp"
 #include "nn/layer.hpp"
 #include "serve/pipeline.hpp"
 #include "serve/protocol.hpp"
+#include "serve/retry.hpp"
 #include "serve/stats.hpp"
 #include "serve/types.hpp"
 #include "split/channel.hpp"
 #include "split/codec.hpp"
 
 namespace ens::serve {
+
+/// A dialable replica address (numeric or resolvable host).
+struct ReplicaEndpoint {
+    std::string host;
+    std::uint16_t port = 0;
+};
 
 class ShardRouter {
 public:
@@ -71,6 +90,12 @@ public:
         std::size_t body_end() const { return body_begin + body_count; }
     };
 
+    /// Replica health of one shard (for --stats output and tests).
+    struct ReplicaStatus {
+        std::size_t configured = 0;
+        std::size_t healthy = 0;
+    };
+
     /// Takes the K connected shard channels (any order — the handshake
     /// carries each shard's body slice); `noise` may be null. Reads every
     /// shard's handshake under `handshake_timeout`, validates that the
@@ -78,21 +103,56 @@ public:
     /// `wire_format`, and requires selector.n() == N. The in-flight window
     /// is min(max_inflight, every shard's advertised cap). After
     /// construction the channels wait without limit — use set_recv_timeout
-    /// to bound per-request waits.
+    /// to bound per-request waits. One channel per shard means R = 1: no
+    /// failover, the PR-3 desync contract verbatim.
     ShardRouter(std::vector<std::unique_ptr<split::Channel>> shards, nn::Layer& head,
                 nn::Layer* noise, nn::Layer& tail, core::Selector selector,
                 split::WireFormat wire_format = split::WireFormat::f32,
                 std::chrono::milliseconds handshake_timeout = std::chrono::seconds(30),
                 std::size_t max_inflight = kDefaultMaxInflight);
 
+    /// Replicated construction from already-connected channels:
+    /// `shard_replicas[s]` holds the R_s >= 1 replica channels of shard s.
+    /// Every replica of a shard must advertise the identical body slice.
+    /// `retry` governs in-flight failover and (handshake_timeout,
+    /// max_attempts aside) reconnect validation. No background redial —
+    /// the router has no addresses to dial.
+    ShardRouter(std::vector<std::vector<std::unique_ptr<split::Channel>>> shard_replicas,
+                nn::Layer& head, nn::Layer* noise, nn::Layer& tail, core::Selector selector,
+                split::WireFormat wire_format = split::WireFormat::f32, RetryPolicy retry = {},
+                std::size_t max_inflight = kDefaultMaxInflight);
+
+    /// Replicated construction from addresses: dials every replica of
+    /// every shard (bounded per attempt by retry.connect_timeout, up to
+    /// retry.max_attempts attempts with deterministic backoff), then
+    /// behaves like the channel-based replicated constructor — plus a
+    /// background maintenance thread that redials failed replicas on the
+    /// retry backoff schedule and re-admits them (same slice validation as
+    /// reconnect_shard) without any client involvement.
+    ///
+    /// Degraded boot: a replica that stays unreachable through every dial
+    /// attempt does NOT fail construction as long as a sibling replica of
+    /// its shard connects — it joins as a born-failed link the background
+    /// redialer keeps retrying, exactly as if it had died mid-session.
+    /// Only a shard whose EVERY replica is unreachable throws (the last
+    /// dial error, tagged with the replica address).
+    ShardRouter(const std::vector<std::vector<ReplicaEndpoint>>& shard_endpoints,
+                nn::Layer& head, nn::Layer* noise, nn::Layer& tail, core::Selector selector,
+                split::WireFormat wire_format = split::WireFormat::f32, RetryPolicy retry = {},
+                std::size_t max_inflight = kDefaultMaxInflight);
+
+    ~ShardRouter();
+
     /// Pipelined submission: head (+noise) on the calling thread, encode
-    /// once, fan the tagged request out through the persistent per-shard
-    /// senders, return a future that resolves — possibly out of order —
+    /// once, fan the tagged request out through one healthy replica per
+    /// shard, return a future that resolves — possibly out of order —
     /// with the merged + selected + tailed result. Blocks while window()
-    /// requests are in flight. On shard failure the future faults with a
-    /// typed ens::Error naming the shard, and that shard is marked
-    /// desynchronized (shard_needs_reconnect) — further submission fails
-    /// typed until reconnect_shard().
+    /// requests are in flight. On replica failure the request fails over
+    /// to a surviving replica; only when a shard has none left does the
+    /// future fault with a typed ens::Error naming the replica, and that
+    /// shard is marked desynchronized (shard_needs_reconnect) — further
+    /// submission fails typed until reconnect_shard() or the background
+    /// redial restores a replica.
     std::future<InferenceResult> submit(Tensor images);
 
     /// One blocking round trip (submit + wait).
@@ -103,21 +163,32 @@ public:
     /// reconnect_shard; 0 = forever).
     void set_recv_timeout(std::chrono::milliseconds timeout);
 
-    /// Replaces the channel of shard `shard` after a failure. Performs the
-    /// handshake on the new channel (under the router's construction-time
-    /// handshake timeout) and requires the replacement host to advertise
-    /// exactly the same body slice (and accept the session's wire format);
-    /// on mismatch throws typed, leaves the old (dead) channel in place and
-    /// the shard still desynchronized. Per-shard stats survive the
-    /// reconnect; the channel's traffic counters start from zero.
+    /// Replaces the channel of a FAILED replica of shard `shard` after a
+    /// failure (the first failed replica, when several are down). Performs
+    /// the handshake on the new channel (under the router's
+    /// construction-time handshake timeout) and requires the replacement
+    /// host to advertise exactly the same body slice (and accept the
+    /// session's wire format); on mismatch throws typed, leaves the old
+    /// (dead) channel in place and the replica still desynchronized.
+    /// Per-shard stats survive the reconnect; the channel's traffic
+    /// counters start from zero.
     void reconnect_shard(std::size_t shard, std::unique_ptr<split::Channel> channel);
 
-    /// True when `shard` failed mid-request and must be reconnected before
-    /// the next submission. A failed shard's stream state is unknowable
-    /// (e.g. a timeout whose reply later arrives), so the router closes the
-    /// channel and refuses further inference — typed, never silently wrong
-    /// — until reconnect_shard() re-establishes a clean stream.
+    /// Replaces the channel of one specific failed replica.
+    void reconnect_replica(std::size_t shard, std::size_t replica,
+                           std::unique_ptr<split::Channel> channel);
+
+    /// True when `shard` has NO healthy replica left and must be
+    /// reconnected before the next submission. A failed replica's stream
+    /// state is unknowable (e.g. a timeout whose reply later arrives), so
+    /// the router closes its channel and — once none survives — refuses
+    /// further inference typed, never silently wrong, until
+    /// reconnect_shard() (or the background redial) re-establishes a clean
+    /// stream.
     bool shard_needs_reconnect(std::size_t shard) const;
+
+    /// Healthy vs configured replica counts of one shard.
+    ReplicaStatus replica_status(std::size_t shard) const;
 
     std::size_t shard_count() const { return shards_.size(); }
     /// Total bodies N across all shards.
@@ -131,31 +202,49 @@ public:
 
     split::WireFormat wire_format() const { return wire_format_; }
     const core::Selector& selector() const { return selector_; }
+    const RetryPolicy& retry_policy() const { return retry_; }
 
-    /// Whole-request latency stats (same meaning as RemoteSession's).
+    /// Whole-request latency stats (same meaning as RemoteSession's), plus
+    /// the session-level failover/retry counters.
     const SessionStats& stats() const { return stats_; }
-    /// Round-trip stats of one shard (send -> last feature map decoded);
-    /// the spread across shards is the §III-D straggler picture.
+    /// Round-trip stats of one shard (send -> last feature map decoded),
+    /// shared by the shard's replicas and surviving reconnects; the spread
+    /// across shards is the §III-D straggler picture.
     const SessionStats& shard_stats(std::size_t shard) const;
-    /// Traffic of one shard's current channel (resets on reconnect).
+    /// Traffic of one shard's current channels, summed across replicas
+    /// (resets on reconnect).
     split::TrafficStats shard_traffic(std::size_t shard) const;
+    /// In-flight requests moved onto a sibling replica since construction.
+    std::uint64_t failovers_total() const { return pipeline_->failovers_total(); }
 
-    /// Disconnects every shard (each host ends that connection's loop).
-    /// Outstanding futures fault typed.
+    /// Disconnects every shard (each host ends that connection's loop) and
+    /// stops the background redialer. Outstanding futures fault typed.
     void close();
 
 private:
-    /// Handshakes `channel` and returns the advertised slice; used by both
-    /// construction and reconnect.
+    /// Handshakes `channel` and returns the advertised slice; used by
+    /// construction, reconnect and the background redialer.
     HostInfo adopt(split::Channel& channel, std::chrono::milliseconds handshake_timeout) const;
+    /// Shared constructor body over per-shard replica channel groups.
+    void init(std::vector<std::vector<std::unique_ptr<split::Channel>>> shard_replicas,
+              std::size_t max_inflight);
+    /// Validates a replacement host's slice against shard `shard` (typed
+    /// protocol_error on mismatch).
+    void require_slice(std::size_t shard, const HostInfo& host) const;
+    /// Swaps `channel` into pipeline link `link` if it still needs it
+    /// (serialized against concurrent manual/background reconnects).
+    void admit(std::size_t link, std::unique_ptr<split::Channel> channel);
+    void maintenance_loop();
 
     std::vector<ShardInfo> shards_;
+    std::vector<std::vector<std::size_t>> link_of_;  ///< [shard][replica] -> link
     std::size_t total_bodies_ = 0;
     nn::Layer& head_;
     nn::Layer* noise_;
     nn::Layer& tail_;
     core::Selector selector_;
     split::WireFormat wire_format_;
+    RetryPolicy retry_;
     std::chrono::milliseconds handshake_timeout_;
     std::chrono::milliseconds recv_timeout_{0};
     split::WireBufferPool uplink_pool_;
@@ -163,6 +252,14 @@ private:
     // SessionStats owns a mutex (immovable), hence the indirection; held
     // here (not in the pipeline) so per-shard stats survive reconnects.
     std::vector<std::unique_ptr<SessionStats>> shard_stats_;
+    // Serializes manual reconnect_shard against the background redialer.
+    std::mutex reconnect_mutex_;
+    // Background redial state (endpoint-based construction only).
+    std::vector<ReplicaEndpoint> link_endpoints_;  ///< by link; empty port = none
+    std::mutex maint_mutex_;
+    std::condition_variable maint_cv_;
+    bool maint_stop_ = false;
+    std::thread maintenance_;
     // Destroyed first (declared last): its I/O workers reference the
     // members above.
     std::unique_ptr<ShardPipeline> pipeline_;

@@ -39,6 +39,16 @@ void SessionStats::record_blocked(double blocked_ms) {
     blocked_ms_sum_ += blocked_ms;
 }
 
+void SessionStats::record_failover() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++failovers_;
+}
+
+void SessionStats::record_retry() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++retries_;
+}
+
 std::uint64_t SessionStats::requests() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     return total_ms_.size();
@@ -57,6 +67,16 @@ std::uint64_t SessionStats::blocked() const {
 double SessionStats::total_blocked_ms() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     return blocked_ms_sum_;
+}
+
+std::uint64_t SessionStats::failovers() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return failovers_;
+}
+
+std::uint64_t SessionStats::retries() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return retries_;
 }
 
 std::uint64_t SessionStats::images() const {
@@ -110,6 +130,8 @@ void SessionStats::reset() {
     rejected_ = 0;
     blocked_ = 0;
     blocked_ms_sum_ = 0.0;
+    failovers_ = 0;
+    retries_ = 0;
 }
 
 }  // namespace ens::serve

@@ -31,6 +31,7 @@ struct LatencySummary {
 struct GaugeSnapshot {
     std::uint64_t connections_held = 0;   ///< live connections right now
     std::uint64_t connections_total = 0;  ///< accepted since start
+    std::uint64_t connections_dropped = 0;  ///< torn down on error/EOF
     std::uint64_t active_requests = 0;    ///< admitted, reply not yet sent
     std::uint64_t requests_served = 0;    ///< completed (all body replies sent)
     std::uint64_t swaps_completed = 0;    ///< live bundle hot-swaps applied
@@ -47,6 +48,7 @@ class HostGauges {
 public:
     std::atomic<std::uint64_t> connections_held{0};
     std::atomic<std::uint64_t> connections_total{0};
+    std::atomic<std::uint64_t> connections_dropped{0};
     std::atomic<std::uint64_t> active_requests{0};
     std::atomic<std::uint64_t> requests_served{0};
 
@@ -54,6 +56,7 @@ public:
         GaugeSnapshot snap;
         snap.connections_held = connections_held.load(std::memory_order_relaxed);
         snap.connections_total = connections_total.load(std::memory_order_relaxed);
+        snap.connections_dropped = connections_dropped.load(std::memory_order_relaxed);
         snap.active_requests = active_requests.load(std::memory_order_relaxed);
         snap.requests_served = requests_served.load(std::memory_order_relaxed);
         return snap;
@@ -77,6 +80,17 @@ public:
     /// queue_ms (which starts once the request is admitted).
     void record_blocked(double blocked_ms);
 
+    /// Records one in-flight request moved onto a surviving replica after
+    /// its link died (ShardPipeline failover). The request is NOT double
+    /// counted by record() — it completes once, on whichever replica
+    /// delivered it.
+    void record_failover();
+
+    /// Records one reconnection attempt against a failed replica (the
+    /// router's background re-admission loop and RetryPolicy-governed
+    /// redials), successful or not.
+    void record_retry();
+
     std::uint64_t requests() const;
     std::uint64_t images() const;
 
@@ -84,6 +98,10 @@ public:
     std::uint64_t rejected() const;
     std::uint64_t blocked() const;
     double total_blocked_ms() const;
+
+    /// Failover observability (see record_failover / record_retry).
+    std::uint64_t failovers() const;
+    std::uint64_t retries() const;
 
     /// Nearest-rank percentiles over end-to-end request latency.
     LatencySummary latency() const;
@@ -105,6 +123,8 @@ private:
     std::uint64_t rejected_ = 0;
     std::uint64_t blocked_ = 0;
     double blocked_ms_sum_ = 0.0;
+    std::uint64_t failovers_ = 0;
+    std::uint64_t retries_ = 0;
 };
 
 }  // namespace ens::serve

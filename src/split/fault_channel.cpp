@@ -1,0 +1,197 @@
+#include "split/fault_channel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ens::split {
+
+// ----------------------------------------------------------- DelayChannel
+
+DelayChannel::DelayChannel(std::unique_ptr<Channel> inner, std::chrono::microseconds one_way)
+    : inner_(std::move(inner)), delay_(one_way) {
+    shuttle_ = std::thread([this] { shuttle_loop(); });
+    pump_ = std::thread([this] { pump_loop(); });
+}
+
+DelayChannel::~DelayChannel() {
+    close();
+    shuttle_.join();
+    pump_.join();
+}
+
+void DelayChannel::send(std::string message) { enqueue_out(std::move(message)); }
+
+std::string DelayChannel::recv() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        if (!in_.empty()) {
+            if (Clock::now() >= in_.front().release) {
+                std::string message = std::move(in_.front().bytes);
+                in_.pop_front();
+                return message;
+            }
+            cv_.wait_until(lock, in_.front().release);
+            continue;
+        }
+        if (closed_ || in_eof_) {
+            throw Error(ErrorCode::channel_closed, "DelayChannel: closed");
+        }
+        cv_.wait(lock);
+    }
+}
+
+bool DelayChannel::has_pending() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return !in_.empty() && Clock::now() >= in_.front().release;
+}
+
+void DelayChannel::close() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+    inner_->close();
+}
+
+void DelayChannel::set_recv_timeout(std::chrono::milliseconds) {
+    // Modeling decorator: callers bound their waits with their own
+    // deadline logic, not per-recv timeouts.
+}
+
+void DelayChannel::enqueue_out(std::string message) {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_) {
+            throw Error(ErrorCode::channel_closed, "DelayChannel: send on closed");
+        }
+        out_.push_back(Frame{Clock::now() + delay_, std::move(message)});
+    }
+    cv_.notify_all();
+}
+
+void DelayChannel::shuttle_loop() {
+    for (;;) {
+        Frame frame;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return closed_ || !out_.empty(); });
+            if (out_.empty()) {
+                return;  // closed and drained
+            }
+            frame = std::move(out_.front());
+            out_.pop_front();
+        }
+        std::this_thread::sleep_until(frame.release);
+        try {
+            inner_->send(std::move(frame.bytes));
+        } catch (...) {
+            return;  // teardown race: the peer is gone
+        }
+    }
+}
+
+void DelayChannel::pump_loop() {
+    for (;;) {
+        std::string message;
+        try {
+            message = inner_->recv();
+        } catch (...) {
+            {
+                const std::lock_guard<std::mutex> lock(mutex_);
+                in_eof_ = true;
+            }
+            cv_.notify_all();
+            return;
+        }
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            in_.push_back(Frame{Clock::now() + delay_, std::move(message)});
+        }
+        cv_.notify_all();
+    }
+}
+
+// ----------------------------------------------------------- FaultChannel
+
+FaultChannel::FaultChannel(std::unique_ptr<Channel> inner, std::vector<FaultAction> script)
+    : inner_(std::move(inner)), script_(std::move(script)) {
+    ENS_REQUIRE(inner_ != nullptr, "FaultChannel: null inner channel");
+    fired_.assign(script_.size(), 0);
+}
+
+const FaultAction* FaultChannel::match(FaultAction::Direction direction, std::size_t index) {
+    const std::lock_guard<std::mutex> lock(script_mutex_);
+    for (std::size_t k = 0; k < script_.size(); ++k) {
+        if (!fired_[k] && script_[k].direction == direction && script_[k].at == index) {
+            fired_[k] = 1;
+            faults_fired_.fetch_add(1);
+            return &script_[k];
+        }
+    }
+    return nullptr;
+}
+
+void FaultChannel::kill_stream(const char* why) {
+    inner_->close();
+    throw Error(ErrorCode::channel_closed, std::string("FaultChannel: ") + why);
+}
+
+void FaultChannel::send(std::string message) {
+    const std::size_t index = sends_seen_.fetch_add(1);
+    const FaultAction* action = match(FaultAction::Direction::send, index);
+    if (action == nullptr) {
+        inner_->send(std::move(message));
+        return;
+    }
+    switch (action->kind) {
+        case FaultAction::Kind::drop:
+            return;  // the peer never sees it; the caller thinks it sent
+        case FaultAction::Kind::delay:
+            std::this_thread::sleep_for(action->delay);
+            inner_->send(std::move(message));
+            return;
+        case FaultAction::Kind::truncate:
+            // Forward the prefix, then die: the peer reads a short frame
+            // (typed decode/protocol error), exactly what an interrupted
+            // peer write looks like above the framing layer.
+            inner_->send(message.substr(0, std::min(action->keep_bytes, message.size())));
+            kill_stream("stream truncated mid-message (scripted)");
+        case FaultAction::Kind::close_hard:
+            kill_stream("hard close (scripted)");
+    }
+}
+
+std::string FaultChannel::recv() {
+    for (;;) {
+        std::string message = inner_->recv();
+        const std::size_t index = recvs_seen_.fetch_add(1);
+        const FaultAction* action = match(FaultAction::Direction::recv, index);
+        if (action == nullptr) {
+            return message;
+        }
+        switch (action->kind) {
+            case FaultAction::Kind::drop:
+                continue;  // swallow this message, deliver the next
+            case FaultAction::Kind::delay:
+                std::this_thread::sleep_for(action->delay);
+                return message;
+            case FaultAction::Kind::truncate:
+                return message.substr(0, std::min(action->keep_bytes, message.size()));
+            case FaultAction::Kind::close_hard:
+                kill_stream("hard close (scripted)");
+        }
+    }
+}
+
+bool FaultChannel::has_pending() const { return inner_->has_pending(); }
+
+void FaultChannel::close() { inner_->close(); }
+
+void FaultChannel::set_recv_timeout(std::chrono::milliseconds timeout) {
+    inner_->set_recv_timeout(timeout);
+}
+
+}  // namespace ens::split

@@ -446,4 +446,99 @@ std::unique_ptr<TcpChannel> tcp_connect(const std::string& host, std::uint16_t p
                                .c_str()));
 }
 
+std::unique_ptr<TcpChannel> tcp_connect(const std::string& host, std::uint16_t port,
+                                        std::chrono::milliseconds timeout) {
+    if (timeout.count() <= 0) {
+        return tcp_connect(host, port);
+    }
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* results = nullptr;
+    const int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &results);
+    if (rc != 0) {
+        throw Error(ErrorCode::io_error,
+                    "tcp_connect: cannot resolve " + host + ": " + ::gai_strerror(rc));
+    }
+    // The timeout budgets the WHOLE call, split across candidate addresses
+    // as they are tried (one address — the common case — gets all of it).
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    int last_errno = 0;
+    bool timed_out = false;
+    for (const addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+        const int fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_NONBLOCK, ai->ai_protocol);
+        if (fd < 0) {
+            last_errno = errno;
+            continue;
+        }
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+            // Immediate success (loopback fast path).
+            const int flags = ::fcntl(fd, F_GETFL);
+            (void)::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+            ::freeaddrinfo(results);
+            return std::make_unique<TcpChannel>(fd);
+        }
+        if (errno != EINPROGRESS) {
+            last_errno = errno;
+            (void)::close(fd);
+            continue;
+        }
+        // Connect in flight: poll for writability until the deadline, then
+        // read the outcome from SO_ERROR (the non-blocking connect
+        // contract).
+        for (;;) {
+            const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now());
+            if (remaining.count() <= 0) {
+                timed_out = true;
+                break;
+            }
+            pollfd pfd{};
+            pfd.fd = fd;
+            pfd.events = POLLOUT;
+            const int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+            if (ready < 0) {
+                if (errno == EINTR) {
+                    continue;
+                }
+                last_errno = errno;
+                break;
+            }
+            if (ready == 0) {
+                timed_out = true;
+                break;
+            }
+            int so_error = 0;
+            socklen_t len = sizeof(so_error);
+            if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) < 0) {
+                last_errno = errno;
+                break;
+            }
+            if (so_error == 0) {
+                const int flags = ::fcntl(fd, F_GETFL);
+                (void)::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+                ::freeaddrinfo(results);
+                return std::make_unique<TcpChannel>(fd);
+            }
+            last_errno = so_error;
+            break;
+        }
+        (void)::close(fd);
+        if (timed_out) {
+            break;  // budget exhausted; don't start on the next address
+        }
+    }
+    ::freeaddrinfo(results);
+    if (timed_out) {
+        throw Error(ErrorCode::channel_timeout,
+                    "tcp_connect: no connection to " + host + ":" + std::to_string(port) +
+                        " within " + std::to_string(timeout.count()) + " ms");
+    }
+    errno = last_errno;
+    throw Error(ErrorCode::io_error,
+                errno_text(("tcp_connect: cannot connect to " + host + ":" +
+                            std::to_string(port))
+                               .c_str()));
+}
+
 }  // namespace ens::split

@@ -165,4 +165,13 @@ private:
 /// resolvable by getaddrinfo. Throws ens::Error{io_error} on failure.
 std::unique_ptr<TcpChannel> tcp_connect(const std::string& host, std::uint16_t port);
 
+/// Bounded-wait connect (non-blocking connect + poll): a black-holed or
+/// firewalled endpoint fails within `timeout` as
+/// ens::Error{channel_timeout} instead of hanging for the kernel's SYN
+/// retry budget (minutes) — what lets replica failover make progress when
+/// a host dies silently. Refusals and other socket failures stay
+/// ens::Error{io_error}; timeout <= 0 behaves like the unbounded overload.
+std::unique_ptr<TcpChannel> tcp_connect(const std::string& host, std::uint16_t port,
+                                        std::chrono::milliseconds timeout);
+
 }  // namespace ens::split

@@ -372,7 +372,8 @@ TEST_F(BundleHostileTest, VersionBumpedManifestAndClientFailByVersionNumber) {
     } catch (const Error& e) {
         EXPECT_EQ(e.code(), ErrorCode::checkpoint_error);
         EXPECT_NE(std::string(e.what()).find("version"), std::string::npos) << e.what();
-        EXPECT_NE(std::string(e.what()).find("supports only 1"), std::string::npos)
+        EXPECT_NE(std::string(e.what()).find("supports only " + std::to_string(kBundleVersion)),
+                  std::string::npos)
             << "version refusal must name the supported version: " << e.what();
     }
     expect_typed_failure([&] { load_bundle_client(dir); }, kClientFileName,
@@ -426,7 +427,7 @@ TEST_F(BundleHostileTest, HostileBodyCountAndFileNamesAreRejectedBeforeAllocatio
     // Hand-crafted manifest: plausible magic/version, absurd body count.
     {
         std::ofstream out(fs::path(dir) / kManifestFileName, std::ios::binary);
-        const std::uint32_t magic = 0x4D534E45, version = 1, total = 0x00FFFFFF;
+        const std::uint32_t magic = 0x4D534E45, version = kBundleVersion, total = 0x00FFFFFF;
         out.write(reinterpret_cast<const char*>(&magic), 4);
         out.write(reinterpret_cast<const char*>(&version), 4);
         out.write(reinterpret_cast<const char*>(&total), 4);
@@ -437,7 +438,7 @@ TEST_F(BundleHostileTest, HostileBodyCountAndFileNamesAreRejectedBeforeAllocatio
     // Path traversal in a checkpoint file name must be refused outright.
     {
         std::ofstream out(fs::path(dir) / kManifestFileName, std::ios::binary);
-        const std::uint32_t magic = 0x4D534E45, version = 1, total = 1, mask = 1;
+        const std::uint32_t magic = 0x4D534E45, version = kBundleVersion, total = 1, mask = 1;
         const std::uint8_t wire = 0;
         const std::uint32_t inflight = 8;
         out.write(reinterpret_cast<const char*>(&magic), 4);

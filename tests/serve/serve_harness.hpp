@@ -56,11 +56,14 @@ class ForkedDaemon {
 public:
     using ChildMain = std::function<void(split::ChannelListener&)>;
 
-    /// Forks. The child opens an ephemeral listener, reports its port
-    /// through a pipe, runs `child_main(listener)` and exits 0 (1 on any
-    /// exception). The parent blocks only for the port hand-off; a spawn
-    /// failure leaves port() == 0 for the test to assert on.
-    explicit ForkedDaemon(const ChildMain& child_main) {
+    /// Forks. The child opens a listener — ephemeral by default, or bound
+    /// to `fixed_port` when nonzero (how a replacement daemon reclaims a
+    /// killed replica's address so the client's background redialer can
+    /// find it) — reports its port through a pipe, runs
+    /// `child_main(listener)` and exits 0 (1 on any exception). The parent
+    /// blocks only for the port hand-off; a spawn failure leaves
+    /// port() == 0 for the test to assert on.
+    explicit ForkedDaemon(const ChildMain& child_main, std::uint16_t fixed_port = 0) {
         int port_pipe[2] = {-1, -1};
         if (::pipe(port_pipe) != 0) {
             return;
@@ -76,7 +79,7 @@ public:
             ThreadPool::mark_forked_child();
             int code = 0;
             try {
-                split::ChannelListener listener(0);
+                split::ChannelListener listener(fixed_port);
                 const std::uint16_t port = listener.port();
                 if (::write(port_pipe[1], &port, sizeof(port)) !=
                     static_cast<ssize_t>(sizeof(port))) {
@@ -139,6 +142,22 @@ public:
     /// the failure tests. Idempotent.
     void kill_now() { terminate(); }
 
+    /// SIGSTOPs the child — a wedged-but-alive replica: the TCP connection
+    /// stays open yet nothing answers, which is how recv timeouts (not
+    /// connection resets) get exercised. Pair with resume().
+    void stop_now() {
+        if (pid_ != -1) {
+            ::kill(pid_, SIGSTOP);
+        }
+    }
+
+    /// SIGCONTs a stop_now()-frozen child.
+    void resume() {
+        if (pid_ != -1) {
+            ::kill(pid_, SIGCONT);
+        }
+    }
+
 private:
     void terminate() {
         if (pid_ == -1) {
@@ -160,15 +179,16 @@ private:
 /// building block for K-shard deployments: call it K times with per-shard
 /// factories.
 inline ForkedDaemon spawn_body_host(std::function<std::unique_ptr<BodyHost>()> make_host,
-                                    int connections) {
-    return ForkedDaemon([make_host = std::move(make_host),
-                         connections](split::ChannelListener& listener) {
-        const std::unique_ptr<BodyHost> host = make_host();
-        for (int c = 0; c < connections; ++c) {
-            auto channel = listener.accept();
-            host->serve(*channel);
-        }
-    });
+                                    int connections, std::uint16_t fixed_port = 0) {
+    return ForkedDaemon(
+        [make_host = std::move(make_host), connections](split::ChannelListener& listener) {
+            const std::unique_ptr<BodyHost> host = make_host();
+            for (int c = 0; c < connections; ++c) {
+                auto channel = listener.accept();
+                host->serve(*channel);
+            }
+        },
+        fixed_port);
 }
 
 // ---------------------------------------------------------------- models

@@ -1,0 +1,215 @@
+// Determinism tests for the scripted fault injector (split::FaultChannel)
+// and the promoted DelayChannel. The failover suite builds on these
+// decorators; here we pin the decorator semantics themselves: faults fire
+// on exact per-direction message indices (never wall clock), each script
+// entry fires at most once, truncation kills the stream after forwarding
+// the prefix, and a hard close surfaces as typed channel_closed on both
+// the faulting call and every call after it.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "split/channel.hpp"
+#include "split/fault_channel.hpp"
+
+namespace ens::split {
+namespace {
+
+ErrorCode thrown_code(const std::function<void()>& fn) {
+    try {
+        fn();
+    } catch (const Error& e) {
+        return e.code();
+    } catch (...) {
+        ADD_FAILURE() << "expected ens::Error";
+        return ErrorCode::generic;
+    }
+    ADD_FAILURE() << "expected an exception";
+    return ErrorCode::generic;
+}
+
+TEST(FaultChannel, ForwardsVerbatimWithEmptyScript) {
+    auto [near, far] = make_inproc_duplex();
+    FaultChannel faulty(std::move(near), {});
+    faulty.send("hello");
+    EXPECT_EQ(far->recv(), "hello");
+    far->send("back");
+    EXPECT_EQ(faulty.recv(), "back");
+    EXPECT_EQ(faulty.faults_fired(), 0u);
+    EXPECT_EQ(faulty.sends_seen(), 1u);
+    EXPECT_EQ(faulty.recvs_seen(), 1u);
+}
+
+TEST(FaultChannel, DropFiresOnTheExactSendIndexAndOnlyOnce) {
+    auto [near, far] = make_inproc_duplex();
+    FaultAction drop;
+    drop.kind = FaultAction::Kind::drop;
+    drop.direction = FaultAction::Direction::send;
+    drop.at = 1;
+    FaultChannel faulty(std::move(near), {drop});
+
+    faulty.send("m0");
+    faulty.send("m1-dropped");
+    faulty.send("m2");
+    faulty.send("m3");
+    EXPECT_EQ(far->recv(), "m0");
+    EXPECT_EQ(far->recv(), "m2");  // m1 silently gone, nothing duplicated
+    EXPECT_EQ(far->recv(), "m3");
+    EXPECT_EQ(faulty.faults_fired(), 1u);
+    EXPECT_EQ(faulty.sends_seen(), 4u);
+}
+
+TEST(FaultChannel, RecvDropSwallowsOneMessageAndDeliversTheNext) {
+    auto [near, far] = make_inproc_duplex();
+    FaultAction drop;
+    drop.kind = FaultAction::Kind::drop;
+    drop.direction = FaultAction::Direction::recv;
+    drop.at = 0;
+    FaultChannel faulty(std::move(near), {drop});
+
+    far->send("eaten");
+    far->send("delivered");
+    EXPECT_EQ(faulty.recv(), "delivered");
+    // The swallowed message still counted toward the direction index.
+    EXPECT_EQ(faulty.recvs_seen(), 2u);
+    EXPECT_EQ(faulty.faults_fired(), 1u);
+}
+
+TEST(FaultChannel, DelayHoldsTheMessageThenForwardsIt) {
+    auto [near, far] = make_inproc_duplex();
+    FaultAction hold;
+    hold.kind = FaultAction::Kind::delay;
+    hold.direction = FaultAction::Direction::send;
+    hold.at = 0;
+    hold.delay = std::chrono::milliseconds(60);
+    FaultChannel faulty(std::move(near), {hold});
+
+    const auto start = std::chrono::steady_clock::now();
+    faulty.send("slow");
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_GE(elapsed, std::chrono::milliseconds(50));
+    EXPECT_EQ(far->recv(), "slow");  // delayed, not dropped
+    EXPECT_EQ(faulty.faults_fired(), 1u);
+}
+
+TEST(FaultChannel, SendTruncationForwardsThePrefixThenKillsTheStream) {
+    auto [near, far] = make_inproc_duplex();
+    FaultAction cut;
+    cut.kind = FaultAction::Kind::truncate;
+    cut.direction = FaultAction::Direction::send;
+    cut.at = 0;
+    cut.keep_bytes = 4;
+    FaultChannel faulty(std::move(near), {cut});
+
+    EXPECT_EQ(thrown_code([&] { faulty.send("0123456789"); }), ErrorCode::channel_closed);
+    // The peer got exactly the prefix — a short frame a parser must then
+    // reject typed — and the stream is gone afterwards.
+    EXPECT_EQ(far->recv(), "0123");
+    EXPECT_EQ(thrown_code([&] { (void)far->recv(); }), ErrorCode::channel_closed);
+    EXPECT_EQ(thrown_code([&] { faulty.send("again"); }), ErrorCode::channel_closed);
+}
+
+TEST(FaultChannel, RecvTruncationReturnsThePrefix) {
+    auto [near, far] = make_inproc_duplex();
+    FaultAction cut;
+    cut.kind = FaultAction::Kind::truncate;
+    cut.direction = FaultAction::Direction::recv;
+    cut.at = 1;
+    cut.keep_bytes = 2;
+    FaultChannel faulty(std::move(near), {cut});
+
+    far->send("whole");
+    far->send("chopped");
+    EXPECT_EQ(faulty.recv(), "whole");
+    EXPECT_EQ(faulty.recv(), "ch");  // the local parser sees a short frame
+}
+
+TEST(FaultChannel, HardCloseIsTypedAndTerminal) {
+    auto [near, far] = make_inproc_duplex();
+    FaultAction kill;
+    kill.kind = FaultAction::Kind::close_hard;
+    kill.direction = FaultAction::Direction::send;
+    kill.at = 2;
+    FaultChannel faulty(std::move(near), {kill});
+
+    faulty.send("a");
+    faulty.send("b");
+    EXPECT_EQ(thrown_code([&] { faulty.send("c"); }), ErrorCode::channel_closed);
+    EXPECT_EQ(far->recv(), "a");
+    EXPECT_EQ(far->recv(), "b");  // queued frames drain before the close
+    EXPECT_EQ(thrown_code([&] { (void)far->recv(); }), ErrorCode::channel_closed);
+}
+
+// The determinism contract the chaos tests rely on: identical script +
+// identical traffic -> identical observable transcript, run after run.
+TEST(FaultChannel, ScriptedRunsAreBitIdenticalAcrossRepeats) {
+    const auto run_once = [] {
+        auto [near, far] = make_inproc_duplex();
+        FaultAction drop;
+        drop.kind = FaultAction::Kind::drop;
+        drop.direction = FaultAction::Direction::send;
+        drop.at = 2;
+        FaultAction cut;
+        cut.kind = FaultAction::Kind::truncate;
+        cut.direction = FaultAction::Direction::send;
+        cut.at = 5;
+        cut.keep_bytes = 1;
+        FaultChannel faulty(std::move(near), {drop, cut});
+
+        std::vector<std::string> transcript;
+        for (int i = 0; i < 8; ++i) {
+            try {
+                faulty.send("msg" + std::to_string(i));
+            } catch (const Error&) {
+                transcript.push_back("<closed on " + std::to_string(i) + ">");
+                break;
+            }
+        }
+        for (;;) {
+            try {
+                transcript.push_back(far->recv());
+            } catch (const Error&) {
+                transcript.push_back("<eof>");
+                break;
+            }
+        }
+        return transcript;
+    };
+
+    const std::vector<std::string> first = run_once();
+    // msg2 dropped, msg5 truncated to "m" and the stream killed; queued
+    // frames drain before the close surfaces on the far end.
+    const std::vector<std::string> expected = {
+        "<closed on 5>", "msg0", "msg1", "msg3", "msg4", "m", "<eof>"};
+    EXPECT_EQ(first, expected);
+    for (int repeat = 0; repeat < 3; ++repeat) {
+        EXPECT_EQ(run_once(), first) << "repeat " << repeat;
+    }
+}
+
+TEST(DelayChannel, DelaysBothDirectionsWithoutReordering) {
+    auto [near, far] = make_inproc_duplex();
+    DelayChannel delayed(std::move(near), std::chrono::milliseconds(30));
+
+    const auto start = std::chrono::steady_clock::now();
+    delayed.send("first");
+    delayed.send("second");
+    EXPECT_EQ(far->recv(), "first");
+    EXPECT_EQ(far->recv(), "second");
+    EXPECT_GE(std::chrono::steady_clock::now() - start, std::chrono::milliseconds(25));
+
+    far->send("reply");
+    EXPECT_EQ(delayed.recv(), "reply");
+    delayed.close();
+    EXPECT_EQ(thrown_code([&] { (void)delayed.recv(); }), ErrorCode::channel_closed);
+}
+
+}  // namespace
+}  // namespace ens::split

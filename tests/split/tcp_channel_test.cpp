@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -16,6 +17,7 @@
 #include <chrono>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -310,6 +312,70 @@ TEST(TcpConnect, RefusedConnectionIsIoError) {
         dead_port = listener.port();
     }
     EXPECT_EQ(thrown_code([&] { (void)tcp_connect("127.0.0.1", dead_port); }),
+              ErrorCode::io_error);
+}
+
+TEST(TcpConnect, TimeoutOverloadStillConnectsToLiveListener) {
+    ChannelListener listener(0);
+    std::unique_ptr<TcpChannel> server_end;
+    std::thread acceptor([&] { server_end = listener.accept(); });
+    std::unique_ptr<TcpChannel> client_end =
+        tcp_connect("127.0.0.1", listener.port(), std::chrono::seconds(5));
+    acceptor.join();
+    ASSERT_NE(server_end, nullptr);
+    client_end->send("bounded dial");
+    EXPECT_EQ(server_end->recv(), "bounded dial");
+}
+
+TEST(TcpConnect, BlackholedConnectFailsTypedWithinTheDeadline) {
+    // A locally manufactured blackhole (routed blackholes like RFC 5737
+    // TEST-NET-1 are unreliable under NAT'd CI sandboxes that answer every
+    // SYN): a listener with backlog 0 whose accept queue is already full
+    // makes the kernel drop further SYNs, so the dialer just retransmits
+    // into silence — exactly the case only the connect deadline can end.
+    const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(listener, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ASSERT_EQ(::bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+    ASSERT_EQ(::listen(listener, /*backlog=*/0), 0);
+    socklen_t addr_len = sizeof(addr);
+    ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &addr_len), 0);
+    const std::uint16_t port = ntohs(addr.sin_port);
+
+    // Saturate the accept queue: this connection completes its handshake
+    // and sits unaccepted, filling the backlog-0 queue.
+    std::unique_ptr<TcpChannel> filler = tcp_connect("127.0.0.1", port, std::chrono::seconds(5));
+
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        (void)tcp_connect("127.0.0.1", port, std::chrono::milliseconds(250));
+        FAIL() << "connected through a saturated backlog?";
+    } catch (const Error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::channel_timeout) << e.what();
+        // The timeout message names the dial target.
+        EXPECT_NE(std::string(e.what()).find("127.0.0.1"), std::string::npos) << e.what();
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    // Bounded by the 250 ms budget, not the kernel's SYN retransmission
+    // schedule (minutes); generous slack for CI scheduling.
+    EXPECT_LT(elapsed, std::chrono::milliseconds(5000));
+    ::close(listener);
+}
+
+TEST(TcpConnect, RefusedConnectionWithTimeoutStaysIoError) {
+    std::uint16_t dead_port = 0;
+    {
+        ChannelListener listener(0);
+        dead_port = listener.port();
+    }
+    // A refused connection is an answer, not a timeout: the typed code must
+    // not degrade to channel_timeout just because a deadline was set.
+    EXPECT_EQ(thrown_code([&] {
+                  (void)tcp_connect("127.0.0.1", dead_port, std::chrono::seconds(5));
+              }),
               ErrorCode::io_error);
 }
 
