@@ -54,12 +54,16 @@ std::uint64_t subset_search_space(std::size_t n, std::size_t min_size, std::size
     return total;
 }
 
-BruteForceReport brute_force_attack(ModelInversionAttack& mia,
-                                    const split::DeployedPipeline& victim,
-                                    const data::Dataset& aux, const data::Dataset& victim_inputs,
-                                    const std::vector<std::size_t>& true_selection,
-                                    const BruteForceOptions& options) {
-    const std::size_t n = victim.bodies.size();
+namespace {
+
+/// Shared enumeration + report assembly of the two brute_force_attack
+/// overloads; `attack_one` mounts the MIA for one candidate subset of the
+/// given deployed bodies (live-transmit or capture-replay evidence).
+BruteForceReport run_search(
+    const std::vector<nn::Sequential*>& deployed_bodies,
+    const std::vector<std::size_t>& true_selection, const BruteForceOptions& options,
+    const std::function<AttackOutcome(const std::vector<nn::Sequential*>&)>& attack_one) {
+    const std::size_t n = deployed_bodies.size();
     ENS_REQUIRE(n >= 1, "brute_force_attack: victim has no bodies");
     ENS_REQUIRE(options.min_subset_size >= 1, "brute_force_attack: min_subset_size must be >= 1");
 
@@ -80,11 +84,11 @@ BruteForceReport brute_force_attack(ModelInversionAttack& mia,
                 std::vector<nn::Sequential*> bodies;
                 bodies.reserve(subset.size());
                 for (const std::size_t index : subset) {
-                    bodies.push_back(victim.bodies[index]);
+                    bodies.push_back(deployed_bodies[index]);
                 }
                 SubsetAttackResult result;
                 result.subset = subset;
-                result.outcome = mia.attack_subset(bodies, aux, victim_inputs, victim.transmit);
+                result.outcome = attack_one(bodies);
                 result.is_true_selection = (subset == sorted_truth);
                 ENS_LOG_DEBUG << "brute-force: subset size " << subset.size() << " ssim "
                               << result.outcome.ssim;
@@ -121,6 +125,30 @@ BruteForceReport brute_force_attack(ModelInversionAttack& mia,
     report.mse_pick_matches_oracle =
         report.attacker_best_by_mse == report.oracle_best_by_ssim;
     return report;
+}
+
+}  // namespace
+
+BruteForceReport brute_force_attack(ModelInversionAttack& mia,
+                                    const split::DeployedPipeline& victim,
+                                    const data::Dataset& aux, const data::Dataset& victim_inputs,
+                                    const std::vector<std::size_t>& true_selection,
+                                    const BruteForceOptions& options) {
+    return run_search(victim.bodies, true_selection, options,
+                      [&](const std::vector<nn::Sequential*>& bodies) {
+                          return mia.attack_subset(bodies, aux, victim_inputs, victim.transmit);
+                      });
+}
+
+BruteForceReport brute_force_attack(ModelInversionAttack& mia,
+                                    const std::vector<nn::Sequential*>& victim_bodies,
+                                    const data::Dataset& aux, const WireObservations& observed,
+                                    const std::vector<std::size_t>& true_selection,
+                                    const BruteForceOptions& options) {
+    return run_search(victim_bodies, true_selection, options,
+                      [&](const std::vector<nn::Sequential*>& bodies) {
+                          return mia.attack_subset_captured(bodies, aux, observed);
+                      });
 }
 
 }  // namespace ens::attack

@@ -81,4 +81,17 @@ BruteForceReport brute_force_attack(ModelInversionAttack& mia,
                                     const std::vector<std::size_t>& true_selection,
                                     const BruteForceOptions& options = {});
 
+/// Capture-replay variant: the victim's evidence is wiretapped traffic
+/// (decoded uplink tensors + harness-aligned truth) instead of an in-proc
+/// transmit closure, so every candidate subset is attacked with exactly the
+/// bytes a real eavesdropper holds — including q8/q16 dequantization drift
+/// the in-proc interface silently ignored. `victim_bodies` are the
+/// attacker's white-box copies of ALL N deployed bodies (load them from the
+/// served bundle, not from the client).
+BruteForceReport brute_force_attack(ModelInversionAttack& mia,
+                                    const std::vector<nn::Sequential*>& victim_bodies,
+                                    const data::Dataset& aux, const WireObservations& observed,
+                                    const std::vector<std::size_t>& true_selection,
+                                    const BruteForceOptions& options = {});
+
 }  // namespace ens::attack

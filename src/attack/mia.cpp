@@ -33,6 +33,58 @@ struct ChannelStats {
     bool valid = false;
 };
 
+/// Streaming per-channel moment accumulator shared by the two wire
+/// observation sources: a live transmit closure (in-proc experiments) and
+/// a fixed set of captured wire tensors (attack/wire_harness.hpp).
+class MomentAccumulator {
+public:
+    void add(const Tensor& wire) {
+        ENS_CHECK(wire.rank() == 4, "observe_wire_stats: expected NCHW features");
+        const std::int64_t channels = wire.dim(1);
+        const std::int64_t plane = wire.dim(2) * wire.dim(3);
+        if (sum_.empty()) {
+            sum_.assign(static_cast<std::size_t>(channels), 0.0);
+            sum_sq_.assign(static_cast<std::size_t>(channels), 0.0);
+        }
+        ENS_CHECK(static_cast<std::size_t>(channels) == sum_.size(),
+                  "observe_wire_stats: channel count changed mid-observation");
+        const float* p = wire.data();
+        for (std::int64_t n = 0; n < wire.dim(0); ++n) {
+            for (std::int64_t c = 0; c < channels; ++c) {
+                const float* src = p + (n * channels + c) * plane;
+                for (std::int64_t i = 0; i < plane; ++i) {
+                    sum_[static_cast<std::size_t>(c)] += src[i];
+                    sum_sq_[static_cast<std::size_t>(c)] += static_cast<double>(src[i]) * src[i];
+                }
+            }
+        }
+        count_ += static_cast<double>(wire.dim(0) * plane);
+    }
+
+    ChannelStats finish() const {
+        ChannelStats stats;
+        if (sum_.empty() || count_ <= 0.0) {
+            return stats;  // valid stays false: nothing observed
+        }
+        const auto channels = static_cast<std::int64_t>(sum_.size());
+        stats.mean = Tensor(Shape{channels});
+        stats.var = Tensor(Shape{channels});
+        for (std::int64_t c = 0; c < channels; ++c) {
+            const double mu = sum_[static_cast<std::size_t>(c)] / count_;
+            stats.mean.at(c) = static_cast<float>(mu);
+            stats.var.at(c) =
+                static_cast<float>(sum_sq_[static_cast<std::size_t>(c)] / count_ - mu * mu);
+        }
+        stats.valid = true;
+        return stats;
+    }
+
+private:
+    double count_ = 0.0;
+    std::vector<double> sum_;
+    std::vector<double> sum_sq_;
+};
+
 /// The deployed client broadcasts its (noised) features for every real
 /// inference; the semi-honest server records them. This computes the
 /// per-channel moments of that traffic — unpaired with inputs, so the
@@ -40,47 +92,34 @@ struct ChannelStats {
 ChannelStats observe_wire_stats(const std::function<Tensor(const Tensor&)>& victim_transmit,
                                 const data::Dataset& victim_inputs, std::size_t sample_cap,
                                 std::size_t batch_size) {
-    ChannelStats stats;
+    MomentAccumulator acc;
     const std::size_t total = std::min(sample_cap, victim_inputs.size());
-    double count = 0.0;
-    std::vector<double> sum;
-    std::vector<double> sum_sq;
     std::size_t cursor = 0;
     while (cursor < total) {
         const std::size_t take = std::min(batch_size, total - cursor);
         const data::Batch batch = data::materialize(victim_inputs, cursor, take);
-        const Tensor wire = victim_transmit(batch.images);
-        ENS_CHECK(wire.rank() == 4, "observe_wire_stats: expected NCHW features");
-        const std::int64_t channels = wire.dim(1);
-        const std::int64_t plane = wire.dim(2) * wire.dim(3);
-        if (sum.empty()) {
-            sum.assign(static_cast<std::size_t>(channels), 0.0);
-            sum_sq.assign(static_cast<std::size_t>(channels), 0.0);
-        }
-        const float* p = wire.data();
-        for (std::int64_t n = 0; n < wire.dim(0); ++n) {
-            for (std::int64_t c = 0; c < channels; ++c) {
-                const float* src = p + (n * channels + c) * plane;
-                for (std::int64_t i = 0; i < plane; ++i) {
-                    sum[static_cast<std::size_t>(c)] += src[i];
-                    sum_sq[static_cast<std::size_t>(c)] += static_cast<double>(src[i]) * src[i];
-                }
-            }
-        }
-        count += static_cast<double>(wire.dim(0) * plane);
+        acc.add(victim_transmit(batch.images));
         cursor += take;
     }
-    const auto channels = static_cast<std::int64_t>(sum.size());
-    stats.mean = Tensor(Shape{channels});
-    stats.var = Tensor(Shape{channels});
-    for (std::int64_t c = 0; c < channels; ++c) {
-        const double mu = sum[static_cast<std::size_t>(c)] / count;
-        stats.mean.at(c) = static_cast<float>(mu);
-        stats.var.at(c) =
-            static_cast<float>(sum_sq[static_cast<std::size_t>(c)] / count - mu * mu);
+    return acc.finish();
+}
+
+/// Moments of CAPTURED traffic: the tensors were decoded from recorded
+/// wire bytes, so for quantized sessions the moments include the codec's
+/// dequantization drift — matching what the server-side attacker observes,
+/// where the in-proc closure above yields pre-codec f32 values.
+ChannelStats observe_captured_stats(const std::vector<Tensor>& captured,
+                                    std::size_t sample_cap) {
+    MomentAccumulator acc;
+    std::size_t seen = 0;
+    for (const Tensor& wire : captured) {
+        if (seen >= sample_cap) {
+            break;
+        }
+        acc.add(wire);
+        seen += static_cast<std::size_t>(wire.dim(0));
     }
-    stats.valid = true;
-    return stats;
+    return acc.finish();
 }
 
 /// Adds d/dz of  beta/C * sum_c [(mu_c - mu*_c)^2 + (v_c - v*_c)^2]
@@ -248,6 +287,44 @@ ModelInversionAttack::Artifacts ModelInversionAttack::attack_subset_artifacts(
     const std::vector<nn::Sequential*>& bodies, const data::Dataset& aux,
     const data::Dataset& victim_inputs,
     const std::function<Tensor(const Tensor&)>& victim_transmit) {
+    ChannelStats stats;
+    if (options_.wire_stats_weight > 0.0f) {
+        stats = observe_wire_stats(victim_transmit, victim_inputs, options_.eval_samples,
+                                   options_.eval_batch);
+    }
+    return subset_attack_core(bodies, aux, ChannelStatsHandle{&stats},
+                              [&](nn::Sequential& decoder) {
+                                  return evaluate_reconstruction(decoder, victim_inputs,
+                                                                 victim_transmit);
+                              });
+}
+
+AttackOutcome ModelInversionAttack::attack_subset_captured(
+    const std::vector<nn::Sequential*>& bodies, const data::Dataset& aux,
+    const WireObservations& observed) {
+    return attack_subset_captured_artifacts(bodies, aux, observed).outcome;
+}
+
+ModelInversionAttack::Artifacts ModelInversionAttack::attack_subset_captured_artifacts(
+    const std::vector<nn::Sequential*>& bodies, const data::Dataset& aux,
+    const WireObservations& observed) {
+    ENS_REQUIRE(!observed.features.empty(), "attack_subset_captured: no captured frames");
+    ChannelStats stats;
+    if (options_.wire_stats_weight > 0.0f) {
+        // Moments come from the recorded wire bytes (dequantization drift
+        // included) rather than from replaying the live transmit closure.
+        stats = observe_captured_stats(observed.features, options_.eval_samples);
+    }
+    return subset_attack_core(bodies, aux, ChannelStatsHandle{&stats},
+                              [&](nn::Sequential& decoder) {
+                                  return evaluate_reconstruction_captured(decoder, observed);
+                              });
+}
+
+ModelInversionAttack::Artifacts ModelInversionAttack::subset_attack_core(
+    const std::vector<nn::Sequential*>& bodies, const data::Dataset& aux,
+    const ChannelStatsHandle& wire_stats,
+    const std::function<AttackOutcome(nn::Sequential&)>& score_decoder) {
     ENS_REQUIRE(!bodies.empty(), "attack_subset: no bodies");
     Rng rng = Rng(options_.seed).fork_named("mia/adaptive").fork(attack_counter_++);
 
@@ -259,12 +336,6 @@ ModelInversionAttack::Artifacts ModelInversionAttack::attack_subset_artifacts(
     for (nn::Sequential* body : bodies) {
         body->set_training(false);
         nn::set_requires_grad(*body, false);
-    }
-
-    ChannelStats stats;
-    if (options_.wire_stats_weight > 0.0f) {
-        stats = observe_wire_stats(victim_transmit, victim_inputs, options_.eval_samples,
-                                   options_.eval_batch);
     }
 
     // Selector-shaped activation over ALL N bodies (the attacker knows the
@@ -296,7 +367,7 @@ ModelInversionAttack::Artifacts ModelInversionAttack::attack_subset_artifacts(
     };
 
     train_shadow(*shadow_head, *shadow_tail, server_forward, server_backward, aux,
-                 ChannelStatsHandle{&stats}, options_.seed ^ (0xADA0ULL + attack_counter_));
+                 wire_stats, options_.seed ^ (0xADA0ULL + attack_counter_));
 
     auto decoder = build_decoder(arch_, rng);
     shadow_head->set_training(false);
@@ -311,7 +382,7 @@ ModelInversionAttack::Artifacts ModelInversionAttack::attack_subset_artifacts(
                       decoder_options);
 
     Artifacts artifacts;
-    artifacts.outcome = evaluate_reconstruction(*decoder, victim_inputs, victim_transmit);
+    artifacts.outcome = score_decoder(*decoder);
     artifacts.outcome.shadow_aux_accuracy = shadow_aux_accuracy;
     artifacts.outcome.decoder_aux_mse = decoder_aux_mse;
     artifacts.shadow_head = std::move(shadow_head);
@@ -336,7 +407,11 @@ BestOfN ModelInversionAttack::attack_best_of_n(const split::DeployedPipeline& vi
         if (outcome.ssim > result.best_ssim.ssim) {
             result.best_ssim = outcome;
         }
-        if (outcome.psnr > result.best_psnr.psnr) {
+        // metrics::psnr clamps at cap_db, so reconstructions past the cap
+        // tie exactly; tie-break on SSIM instead of first-body order so the
+        // "Ours - PSNR" row of Table 1 is not an artifact of body indexing.
+        if (outcome.psnr > result.best_psnr.psnr ||
+            (outcome.psnr == result.best_psnr.psnr && outcome.ssim > result.best_psnr.ssim)) {
             result.best_psnr = outcome;
         }
         result.per_body.push_back(outcome);
@@ -370,6 +445,42 @@ AttackOutcome ModelInversionAttack::evaluate_reconstruction(
         }
         cursor += count;
     }
+    AttackOutcome outcome;
+    outcome.ssim = static_cast<float>(ssim_sum / static_cast<double>(scored));
+    outcome.psnr = static_cast<float>(psnr_sum / static_cast<double>(scored));
+    return outcome;
+}
+
+AttackOutcome ModelInversionAttack::evaluate_reconstruction_captured(
+    nn::Sequential& decoder, const WireObservations& observed) const {
+    ENS_REQUIRE(!observed.images.empty(),
+                "evaluate_reconstruction_captured: no aligned truth images "
+                "(capture-only evidence cannot be scored)");
+    ENS_REQUIRE(observed.images.size() == observed.features.size(),
+                "evaluate_reconstruction_captured: features/images misaligned");
+    decoder.set_training(false);
+
+    double ssim_sum = 0.0;
+    double psnr_sum = 0.0;
+    std::size_t scored = 0;
+    for (std::size_t b = 0; b < observed.features.size(); ++b) {
+        if (scored >= options_.eval_samples) {
+            break;
+        }
+        const Tensor& truth_batch = observed.images[b];
+        const Tensor reconstruction = decoder.forward(observed.features[b]);
+        ENS_CHECK(reconstruction.shape() == truth_batch.shape(),
+                  "evaluate_reconstruction_captured: decoder output geometry mismatch");
+        for (std::int64_t i = 0; i < truth_batch.dim(0) && scored < options_.eval_samples;
+             ++i) {
+            const Tensor truth = sample_of(truth_batch, i);
+            const Tensor recon = sample_of(reconstruction, i);
+            ssim_sum += metrics::ssim(recon, truth);
+            psnr_sum += metrics::psnr(recon, truth);
+            ++scored;
+        }
+    }
+    ENS_REQUIRE(scored > 0, "evaluate_reconstruction_captured: empty capture");
     AttackOutcome outcome;
     outcome.ssim = static_cast<float>(ssim_sum / static_cast<double>(scored));
     outcome.psnr = static_cast<float>(psnr_sum / static_cast<double>(scored));

@@ -50,6 +50,21 @@ struct MiaOptions {
     float wire_stats_weight = 1.0f;
 };
 
+/// Capture-only wire evidence: what a passive eavesdropper on the serving
+/// boundary actually holds, as opposed to the in-proc `victim_transmit`
+/// closure (which can be invoked on arbitrary inputs and yields the
+/// PRE-codec f32 features). `features` are the uplink batches DECODED FROM
+/// CAPTURED WIRE BYTES in capture order — for q8/q16 sessions that means
+/// dequantized values, codec drift included, which is exactly what the
+/// server-side attacker sees and what the in-proc interface silently
+/// ignored. `images` is the experiment harness's aligned ground truth
+/// (images[i] produced features[i]); leave it empty when reconstruction
+/// scoring is not needed (the attack itself never requires it — query-free).
+struct WireObservations {
+    std::vector<Tensor> features;  ///< decoded uplink batches, capture order
+    std::vector<Tensor> images;    ///< aligned truth (harness-only; may be empty)
+};
+
 struct AttackOutcome {
     float ssim = 0.0f;  // higher = better reconstruction = weaker defense
     float psnr = 0.0f;
@@ -110,6 +125,24 @@ public:
         const data::Dataset& victim_inputs,
         const std::function<Tensor(const Tensor&)>& victim_transmit);
 
+    /// Capture-replay variant of attack_subset: the victim's wire evidence
+    /// is a fixed set of CAPTURED uplink tensors (attack/wire_harness.hpp
+    /// produces them from a tapped live connection) instead of a callable
+    /// transmit. Wire-moment matching aligns against the captured traffic;
+    /// reconstruction is scored by replaying the captured features through
+    /// the trained decoder against the aligned truth (requires
+    /// observed.images — harness-side only). This is the interface the
+    /// §III-D brute-force search uses against a real deployment, and it
+    /// carries the q8 dequantization drift the in-proc closure hid.
+    AttackOutcome attack_subset_captured(const std::vector<nn::Sequential*>& subset_bodies,
+                                         const data::Dataset& aux,
+                                         const WireObservations& observed);
+
+    /// attack_subset_captured, returning the trained networks as well.
+    Artifacts attack_subset_captured_artifacts(
+        const std::vector<nn::Sequential*>& subset_bodies, const data::Dataset& aux,
+        const WireObservations& observed);
+
     /// Runs attack_single_body on each body of `victim` and aggregates.
     BestOfN attack_best_of_n(const split::DeployedPipeline& victim, const data::Dataset& aux,
                              const data::Dataset& victim_inputs);
@@ -118,6 +151,13 @@ public:
     AttackOutcome evaluate_reconstruction(
         nn::Sequential& decoder, const data::Dataset& victim_inputs,
         const std::function<Tensor(const Tensor&)>& victim_transmit) const;
+
+    /// Scores decoder(captured features) against the aligned truth images
+    /// — the capture-replay analogue of evaluate_reconstruction. Throws
+    /// when `observed.images` is empty (scoring needs the harness's ground
+    /// truth) or misaligned with `observed.features`.
+    AttackOutcome evaluate_reconstruction_captured(nn::Sequential& decoder,
+                                                   const WireObservations& observed) const;
 
 private:
     /// Opaque handle to the file-local wire-statistics struct (kept out of
@@ -133,6 +173,14 @@ private:
                       const std::function<Tensor(const Tensor&)>& server_backward,
                       const data::Dataset& aux, const ChannelStatsHandle& wire_stats,
                       std::uint64_t seed);
+
+    /// Shared body of the subset attacks: builds shadow nets, freezes the
+    /// guessed bodies, trains shadow + decoder, then lets `score_decoder`
+    /// judge the trained decoder against whichever victim evidence the
+    /// caller holds (live transmit closure or captured wire frames).
+    Artifacts subset_attack_core(const std::vector<nn::Sequential*>& bodies,
+                                 const data::Dataset& aux, const ChannelStatsHandle& wire_stats,
+                                 const std::function<AttackOutcome(nn::Sequential&)>& score_decoder);
 
     nn::ResNetConfig arch_;
     MiaOptions options_;

@@ -19,7 +19,7 @@ float psnr(const Tensor& a, const Tensor& b, float dynamic_range, float cap_db) 
     }
     mse /= static_cast<double>(n);
     if (mse <= 0.0) {
-        return cap_db;
+        return cap_db;  // identical inputs: the documented finite cap, not +inf
     }
     const double value =
         10.0 * std::log10(static_cast<double>(dynamic_range) * dynamic_range / mse);

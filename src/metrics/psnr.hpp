@@ -6,8 +6,15 @@
 
 namespace ens::metrics {
 
-/// PSNR in dB between same-shape tensors. Identical inputs return +inf
-/// capped at `cap_db` (default 100 dB) so aggregation stays finite.
+/// PSNR in dB between same-shape tensors. The mathematical value for
+/// identical inputs is +inf; this function NEVER returns it — the result
+/// is clamped to `cap_db` (default 100 dB), for identical inputs and for
+/// near-identical ones whose log10 value would exceed the cap alike, so
+/// sums/means over many samples stay finite and comparisons are total.
+/// Consequence for callers that select "best reconstruction by PSNR"
+/// (attack::attack_best_of_n, the brute-force report): two reconstructions
+/// at or above the cap compare EQUAL at cap_db — break ties with a second
+/// criterion (SSIM) rather than trusting the PSNR ordering past the cap.
 float psnr(const Tensor& a, const Tensor& b, float dynamic_range = 1.0f, float cap_db = 100.0f);
 
 }  // namespace ens::metrics

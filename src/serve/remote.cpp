@@ -356,6 +356,7 @@ RemoteSession::RemoteSession(std::unique_ptr<split::Channel> channel, nn::Layer&
     }
     body_count_ = host.total_bodies;
     deployment_version_ = host.deployment_version;
+    host_info_ = host;
     ENS_REQUIRE(selector_.n() == body_count_,
                 "RemoteSession: selector must cover the host's " + std::to_string(body_count_) +
                     " bodies");

@@ -233,6 +233,11 @@ public:
     /// handshake; 0 = unversioned host). A live hot-swap never changes
     /// this — only connections opened after the swap see the new version.
     std::uint32_t deployment_version() const { return deployment_version_; }
+    /// The full handshake the host sent at connect time (slice, wire mask,
+    /// advertised in-flight cap, deployment version). Harness-facing: the
+    /// wiretap tests compare this against what a passive observer decodes
+    /// from the captured handshake frame.
+    const HostInfo& host_info() const { return host_info_; }
     /// Effective in-flight window negotiated with the host.
     std::size_t window() const { return pipeline_->window(); }
     split::WireFormat wire_format() const { return wire_format_; }
@@ -254,6 +259,7 @@ private:
     split::WireFormat wire_format_;
     std::size_t body_count_ = 0;
     std::uint32_t deployment_version_ = 0;
+    HostInfo host_info_;
     split::WireBufferPool uplink_pool_;
     SessionStats stats_;
     std::unique_ptr<ShardPipeline> pipeline_;

@@ -91,11 +91,16 @@ public:
     virtual void set_recv_timeout(std::chrono::milliseconds timeout) = 0;
 
     /// Snapshot of the accumulated traffic counters (thread-safe).
-    TrafficStats stats() const {
+    /// Virtual so decorator channels (DelayChannel, FaultChannel,
+    /// TapChannel) can delegate to the transport they wrap: a decorator
+    /// forwards send() to its inner channel, which is where the bytes are
+    /// billed, so without delegation a session or router holding the
+    /// decorator would report zero traffic while the wire carried plenty.
+    virtual TrafficStats stats() const {
         const std::lock_guard<std::mutex> lock(stats_mutex_);
         return stats_;
     }
-    void reset_stats() {
+    virtual void reset_stats() {
         const std::lock_guard<std::mutex> lock(stats_mutex_);
         stats_.reset();
     }

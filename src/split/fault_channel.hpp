@@ -51,6 +51,12 @@ public:
     void close() override;
     void set_recv_timeout(std::chrono::milliseconds timeout) override;
 
+    /// Decorators carry no traffic of their own: billing happens where the
+    /// bytes are sent (the inner channel), so the counters a session reads
+    /// through the decorator must be the inner channel's.
+    TrafficStats stats() const override { return inner_->stats(); }
+    void reset_stats() override { inner_->reset_stats(); }
+
 private:
     using Clock = std::chrono::steady_clock;
     struct Frame {
@@ -106,6 +112,13 @@ public:
     bool has_pending() const override;
     void close() override;
     void set_recv_timeout(std::chrono::milliseconds timeout) override;
+
+    /// See DelayChannel: traffic lives on the inner channel. A scripted
+    /// drop never reaches the inner send, so it is not billed — the
+    /// counters report what actually crossed the wire, which is also what
+    /// a wiretap on the inner transport would have observed.
+    TrafficStats stats() const override { return inner_->stats(); }
+    void reset_stats() override { inner_->reset_stats(); }
 
     /// Observability for test assertions: messages that entered each
     /// direction (counting ones a fault then consumed) and scripted

@@ -1,0 +1,92 @@
+#include "split/tap_channel.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ens::split {
+
+// ---------------------------------------------------------------- TapLog
+
+std::vector<std::string> TapLog::sent() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return sent_;
+}
+
+std::vector<std::string> TapLog::received() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return received_;
+}
+
+std::size_t TapLog::sent_count() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return sent_.size();
+}
+
+std::size_t TapLog::received_count() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return received_.size();
+}
+
+std::uint64_t TapLog::sent_bytes() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return sent_bytes_;
+}
+
+std::uint64_t TapLog::received_bytes() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return received_bytes_;
+}
+
+void TapLog::record_sent(std::string_view frame) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sent_.emplace_back(frame);
+    sent_bytes_ += frame.size();
+}
+
+void TapLog::record_received(std::string_view frame) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    received_.emplace_back(frame);
+    received_bytes_ += frame.size();
+}
+
+// ------------------------------------------------------------- TapChannel
+
+TapChannel::TapChannel(std::unique_ptr<Channel> inner, std::shared_ptr<TapLog> log)
+    : inner_(std::move(inner)), log_(std::move(log)) {
+    ENS_REQUIRE(inner_ != nullptr, "TapChannel: null inner channel");
+    ENS_REQUIRE(log_ != nullptr, "TapChannel: null log");
+}
+
+void TapChannel::send(std::string message) {
+    // Record BEFORE forwarding: if the inner send throws mid-teardown the
+    // bytes may still have reached the peer, and an eavesdropper taps the
+    // wire ahead of the far endpoint anyway.
+    log_->record_sent(message);
+    inner_->send(std::move(message));
+}
+
+void TapChannel::send_parts(std::string_view header, std::string_view payload) {
+    std::string frame;
+    frame.reserve(header.size() + payload.size());
+    frame.append(header);
+    frame.append(payload);
+    log_->record_sent(frame);
+    inner_->send_parts(header, payload);
+}
+
+std::string TapChannel::recv() {
+    std::string message = inner_->recv();
+    log_->record_received(message);
+    return message;
+}
+
+bool TapChannel::has_pending() const { return inner_->has_pending(); }
+
+void TapChannel::close() { inner_->close(); }
+
+void TapChannel::set_recv_timeout(std::chrono::milliseconds timeout) {
+    inner_->set_recv_timeout(timeout);
+}
+
+}  // namespace ens::split

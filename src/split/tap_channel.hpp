@@ -1,0 +1,101 @@
+#pragma once
+// Passive wiretap decorator — the attacker's view of one connection.
+//
+// The threat model (§II-B) grants the semi-honest server every byte the
+// client puts on the wire; the wire-attack harness (attack/wire_harness.hpp)
+// needs exactly that: a verbatim record of per-direction payloads flowing
+// through a live serving connection, with ZERO observable effect on the
+// traffic itself. TapChannel forwards every message to the wrapped channel
+// unchanged and appends a copy to a shared TapLog; a RemoteSession (or
+// ShardRouter link) running over the tap behaves bit-identically to one
+// running over the bare transport — which is what makes captured frames
+// admissible evidence about the deployed system rather than about the
+// instrumentation.
+//
+// The sibling of FaultChannel (scripted faults) and DelayChannel (link
+// shape) in split/fault_channel.hpp: all three are decorators over an inner
+// Channel, and all three delegate TrafficStats to it, so byte counters read
+// through the decorator match what actually crossed the wire (and what
+// `sharded_client --stats` would report for the same traffic).
+//
+// Counting convention: the log records whole frames as the channel carries
+// them — for the pipelined serve protocol that is request tag + codec bytes
+// in one message (send_parts header + payload glued). Protocol framing tags
+// are part of the capture (the attacker sees them!) but are NOT billed in
+// TrafficStats, mirroring the library-wide payload-only billing rule; the
+// capture parser (attack::WireCapture) strips tags before decoding.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "split/channel.hpp"
+
+namespace ens::split {
+
+/// Thread-safe append-only record of the frames one TapChannel carried.
+/// Shared by the tap (writer) and the attack harness (reader, after the
+/// session closes); snapshot accessors copy under the lock so a live tap
+/// can be inspected mid-session without racing the I/O workers.
+class TapLog {
+public:
+    /// Frames the local endpoint sent (client -> host when the tap wraps a
+    /// client-side channel): uplink feature requests, in order.
+    std::vector<std::string> sent() const;
+
+    /// Frames the local endpoint received (host -> client): the handshake
+    /// first, then tagged reply frames, in arrival order.
+    std::vector<std::string> received() const;
+
+    std::size_t sent_count() const;
+    std::size_t received_count() const;
+
+    /// Total captured bytes per direction, INCLUDING protocol tags — the
+    /// raw traffic-volume observable an eavesdropper gets before parsing
+    /// anything.
+    std::uint64_t sent_bytes() const;
+    std::uint64_t received_bytes() const;
+
+private:
+    friend class TapChannel;
+    void record_sent(std::string_view frame);
+    void record_received(std::string_view frame);
+
+    mutable std::mutex mutex_;
+    std::vector<std::string> sent_;
+    std::vector<std::string> received_;
+    std::uint64_t sent_bytes_ = 0;
+    std::uint64_t received_bytes_ = 0;
+};
+
+class TapChannel final : public Channel {
+public:
+    /// Wraps `inner`; every frame in either direction is copied into `log`
+    /// (which outlives the channel — the harness reads it after teardown).
+    TapChannel(std::unique_ptr<Channel> inner, std::shared_ptr<TapLog> log);
+
+    void send(std::string message) override;
+    /// Records header+payload as ONE frame (that is the message the wire
+    /// carries) but forwards through the inner send_parts so the copy-free,
+    /// payload-only-billed path is preserved.
+    void send_parts(std::string_view header, std::string_view payload) override;
+    std::string recv() override;
+    bool has_pending() const override;
+    void close() override;
+    void set_recv_timeout(std::chrono::milliseconds timeout) override;
+
+    /// Billing delegates to the tapped transport (see file comment).
+    TrafficStats stats() const override { return inner_->stats(); }
+    void reset_stats() override { inner_->reset_stats(); }
+
+    const std::shared_ptr<TapLog>& log() const { return log_; }
+
+private:
+    std::unique_ptr<Channel> inner_;
+    std::shared_ptr<TapLog> log_;
+};
+
+}  // namespace ens::split

@@ -82,6 +82,32 @@ TEST(Psnr, IdenticalCapped) {
     EXPECT_FLOAT_EQ(psnr(a, a.clone(), 1.0f, 55.0f), 55.0f);
 }
 
+// Regression for the header contract: the result is always finite (never
+// +inf), the cap is a true clamp — near-identical inputs whose log value
+// exceeds the cap land EXACTLY on it, tying with identical inputs — and
+// aggregation over a set that includes an identical pair stays finite.
+TEST(Psnr, CapIsAFiniteClampNotInfinity) {
+    const Tensor a = Tensor::ones(Shape{64});
+    EXPECT_TRUE(std::isfinite(psnr(a, a.clone())));
+
+    // One element off by 1e-9: mathematically ~186 dB, far past the cap.
+    Tensor near = a.clone();
+    near.data()[0] += 1e-9f;
+    const float capped_near = psnr(a, near);
+    const float capped_same = psnr(a, a.clone());
+    EXPECT_TRUE(std::isfinite(capped_near));
+    EXPECT_FLOAT_EQ(capped_near, 100.0f);
+    // Past the cap the ordering collapses to a tie — exactly why
+    // best-by-PSNR selections must tie-break on SSIM (psnr.hpp).
+    EXPECT_FLOAT_EQ(capped_near, capped_same);
+
+    // Mean over {identical, noisy} pairs is finite and dominated sanely.
+    const Tensor b = Tensor::full(Shape{64}, 0.5f);
+    const float mean = (psnr(a, a.clone()) + psnr(a, b)) / 2.0f;
+    EXPECT_TRUE(std::isfinite(mean));
+    EXPECT_LT(mean, 100.0f);
+}
+
 TEST(Psnr, MoreNoiseLowerPsnr) {
     const Tensor img = random_image(9);
     Rng rng(10);

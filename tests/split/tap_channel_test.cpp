@@ -1,0 +1,135 @@
+// Wiretap decorator (split::TapChannel) semantics: the tap must be
+// invisible to the traffic it records (verbatim forwarding, both
+// directions), must capture frames exactly as the wire carries them
+// (send_parts header+payload glued into ONE logged frame), and — like every
+// channel decorator — must report the WRAPPED transport's traffic counters,
+// so byte accounting read through a decorator stack matches what actually
+// crossed the wire (the parity `sharded_client --stats` relies on).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "split/channel.hpp"
+#include "split/fault_channel.hpp"
+#include "split/tap_channel.hpp"
+
+namespace ens::split {
+namespace {
+
+TEST(TapChannel, ForwardsVerbatimBothDirections) {
+    auto [near, far] = make_inproc_duplex();
+    auto log = std::make_shared<TapLog>();
+    TapChannel tap(std::move(near), log);
+
+    tap.send("uplink-frame");
+    EXPECT_EQ(far->recv(), "uplink-frame");
+    far->send("downlink-frame");
+    EXPECT_EQ(tap.recv(), "downlink-frame");
+
+    ASSERT_EQ(log->sent_count(), 1u);
+    ASSERT_EQ(log->received_count(), 1u);
+    EXPECT_EQ(log->sent().front(), "uplink-frame");
+    EXPECT_EQ(log->received().front(), "downlink-frame");
+}
+
+TEST(TapChannel, SendPartsCapturedAsOneWireFrame) {
+    auto [near, far] = make_inproc_duplex();
+    auto log = std::make_shared<TapLog>();
+    TapChannel tap(std::move(near), log);
+
+    tap.send_parts("tag!", "payload-bytes");
+    // The peer sees one glued message; the log holds the same frame.
+    EXPECT_EQ(far->recv(), "tag!payload-bytes");
+    ASSERT_EQ(log->sent_count(), 1u);
+    EXPECT_EQ(log->sent().front(), "tag!payload-bytes");
+    // Raw capture volume includes the tag (the attacker sees it)...
+    EXPECT_EQ(log->sent_bytes(), std::string("tag!payload-bytes").size());
+    // ...but billing stays payload-only: the tap forwarded through the
+    // inner send_parts, which bills protocol tags like transport framing.
+    EXPECT_EQ(tap.stats().messages, 1u);
+    EXPECT_EQ(tap.stats().bytes, std::string("payload-bytes").size());
+}
+
+TEST(TapChannel, StatsDelegateToWrappedTransport) {
+    auto [near, far] = make_inproc_duplex();
+    Channel* inner = near.get();
+    auto log = std::make_shared<TapLog>();
+    TapChannel tap(std::move(near), log);
+
+    tap.send("12345");
+    tap.send("678");
+    // Decorator and transport agree exactly — a session holding the tap
+    // reports real traffic, not the decorator's own empty counters.
+    EXPECT_EQ(tap.stats().messages, inner->stats().messages);
+    EXPECT_EQ(tap.stats().bytes, inner->stats().bytes);
+    EXPECT_EQ(tap.stats().messages, 2u);
+    EXPECT_EQ(tap.stats().bytes, 8u);
+
+    tap.reset_stats();
+    EXPECT_EQ(inner->stats().messages, 0u);
+    EXPECT_EQ(inner->stats().bytes, 0u);
+    // The capture is evidence, not billing: reset leaves it intact.
+    EXPECT_EQ(log->sent_count(), 2u);
+    (void)far;
+}
+
+// The satellite bug this PR fixes: decorator channels used to inherit the
+// base class's own (never-incremented) counters, so any session or router
+// running over a DelayChannel/FaultChannel reported zero traffic while the
+// wire carried plenty. Pin the delegation for the fault decorators too.
+TEST(FaultChannelStats, DelegateToWrappedTransport) {
+    auto [near, far] = make_inproc_duplex();
+    Channel* inner = near.get();
+    FaultChannel faulty(std::move(near), {});
+    faulty.send("abcde");
+    EXPECT_EQ(far->recv(), "abcde");
+    EXPECT_EQ(faulty.stats().messages, 1u);
+    EXPECT_EQ(faulty.stats().bytes, 5u);
+    EXPECT_EQ(faulty.stats().messages, inner->stats().messages);
+    EXPECT_EQ(faulty.stats().bytes, inner->stats().bytes);
+}
+
+TEST(FaultChannelStats, ScriptedDropIsNotBilled) {
+    auto [near, far] = make_inproc_duplex();
+    FaultAction drop;
+    drop.kind = FaultAction::Kind::drop;
+    drop.direction = FaultAction::Direction::send;
+    drop.at = 0;
+    FaultChannel faulty(std::move(near), {drop});
+    faulty.send("never-leaves");
+    faulty.send("arrives");
+    EXPECT_EQ(far->recv(), "arrives");
+    // The dropped frame never reached the transport, so the counters say
+    // one message — they report what actually crossed the wire.
+    EXPECT_EQ(faulty.stats().messages, 1u);
+    EXPECT_EQ(faulty.stats().bytes, std::string("arrives").size());
+}
+
+TEST(DelayChannelStats, DelegateToWrappedTransport) {
+    auto [near, far] = make_inproc_duplex();
+    DelayChannel delayed(std::move(near), std::chrono::milliseconds(0));
+    delayed.send("xy");
+    EXPECT_EQ(far->recv(), "xy");
+    EXPECT_EQ(delayed.stats().messages, 1u);
+    EXPECT_EQ(delayed.stats().bytes, 2u);
+}
+
+TEST(TapChannel, NestsOverOtherDecorators) {
+    // Attack harness over a shaped link: tap(fault(transport)). Stats read
+    // through the full stack still come from the bottom transport.
+    auto [near, far] = make_inproc_duplex();
+    auto log = std::make_shared<TapLog>();
+    TapChannel tap(std::make_unique<FaultChannel>(std::move(near), std::vector<FaultAction>{}),
+                   log);
+    tap.send("through-the-stack");
+    EXPECT_EQ(far->recv(), "through-the-stack");
+    EXPECT_EQ(tap.stats().messages, 1u);
+    EXPECT_EQ(tap.stats().bytes, std::string("through-the-stack").size());
+    EXPECT_EQ(log->sent_count(), 1u);
+}
+
+}  // namespace
+}  // namespace ens::split
